@@ -1,0 +1,229 @@
+(* lepower: command-line driver for the library's experiments.
+
+   Subcommands:
+     elect      run a leader-election protocol and report the outcome
+     emulate    run the Afek-Stupp reduction on a workload
+     hierarchy  print the consensus-number table
+     game       play the Lemma 1.1 move/jump game
+     bounds     print the paper's closed-form bounds for a range of k *)
+
+open Cmdliner
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k" ] ~doc:"Compare&swap register size.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler random seed.")
+
+(* --- elect --- *)
+
+let elect_protocol =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("perm", `Perm); ("cas", `Cas); ("bcl", `Bcl); ("multi", `Multi) ])
+        `Perm
+    & info [ "protocol" ]
+        ~doc:"Election protocol: perm, cas, bcl or multi (two registers of \
+              sizes k and k-1).")
+
+let elect_n =
+  Arg.(
+    value & opt (some int) None
+    & info [ "n" ] ~doc:"Process count (default: the protocol's capacity).")
+
+let elect_crash =
+  Arg.(
+    value & opt int 0
+    & info [ "crash" ] ~doc:"Crash the lowest-numbered $(docv) processes."
+        ~docv:"COUNT")
+
+let elect k seed protocol n crash =
+  let instance =
+    match protocol with
+    | `Perm ->
+      let n = Option.value ~default:(Protocols.Perm.factorial (k - 1)) n in
+      Protocols.Permutation_election.instance ~k ~n
+    | `Cas ->
+      let n = Option.value ~default:(k - 1) n in
+      Protocols.Cas_election.instance ~k ~n
+    | `Bcl ->
+      let n = Option.value ~default:(k - 1) n in
+      Protocols.Bcl_election.instance ~k ~n
+    | `Multi ->
+      let ks = [ k; max 2 (k - 1) ] in
+      let n =
+        Option.value ~default:(Protocols.Multi_election.capacity ~ks) n
+      in
+      Protocols.Multi_election.instance ~ks ~n
+  in
+  Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
+  let result =
+    if crash = 0 then Protocols.Election.run_random instance ~seed
+    else
+      Protocols.Election.run_with_crashes instance ~seed
+        ~crashed:(List.init crash (fun i -> i))
+  in
+  match result with
+  | Ok leader ->
+    Printf.printf "leader: %d\n" leader;
+    0
+  | Error e ->
+    Printf.printf "violation: %s\n" e;
+    1
+
+let elect_cmd =
+  Cmd.v
+    (Cmd.info "elect" ~doc:"Run a leader-election protocol.")
+    Term.(const elect $ k_arg $ seed_arg $ elect_protocol $ elect_n $ elect_crash)
+
+(* --- emulate --- *)
+
+let emulate_workload =
+  Arg.(
+    value
+    & opt (enum [ ("overcap", `Overcap); ("cycling", `Cycling) ]) `Overcap
+    & info [ "workload" ]
+        ~doc:"Emulated algorithm A: overcap (over-capacity election) or \
+              cycling (value-revisiting stress).")
+
+let emulate_vps =
+  Arg.(value & opt int 280 & info [ "vps" ] ~doc:"Total virtual processes.")
+
+let emulate_schedule =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("random", `Random); ("rr", `Round_robin); ("stale", `Stale_view) ])
+        `Stale_view
+    & info [ "schedule" ] ~doc:"Emulator schedule: random, rr or stale.")
+
+let emulate_dump_tree =
+  Arg.(
+    value & flag
+    & info [ "dump-tree" ]
+        ~doc:"Print the final history structure T (Fig. 1) after the run.")
+
+let emulate k seed workload vps schedule dump_tree =
+  let alg =
+    match workload with
+    | `Overcap -> Core.Workloads.over_capacity_cas_election ~k ~num_vps:vps
+    | `Cycling -> Core.Workloads.cycling ~k ~rounds:1 ~num_vps:vps
+  in
+  let params = Core.Emulation.small_params ~k in
+  let r = Core.Reduction.check ~seed ~schedule alg params in
+  Format.printf "%a@." Core.Reduction.pp_report r;
+  let s = Core.Emulation.stats r.Core.Reduction.outcome.Core.Emulation.final in
+  Printf.printf
+    "stats: %d iterations, %d simple ops, %d suspensions, %d releases, %d \
+     attaches, %d splits, %d stalls\n"
+    s.Core.Emulation.iterations s.Core.Emulation.simple_ops
+    s.Core.Emulation.suspensions s.Core.Emulation.releases
+    s.Core.Emulation.attaches s.Core.Emulation.splits
+    s.Core.Emulation.stall_events;
+  List.iter
+    (fun (name, violations) ->
+      List.iter
+        (fun v -> Format.printf "audit %s: %a@." name Core.Invariants.pp_violation v)
+        violations)
+    (Core.Invariants.all r.Core.Reduction.outcome.Core.Emulation.final);
+  if dump_tree then
+    Format.printf "@.history structure T:@.%a" Core.History_tree.pp
+      (Core.Emulation.shared_tree r.Core.Reduction.outcome.Core.Emulation.final);
+  if r.Core.Reduction.width <= r.Core.Reduction.max_width then 0 else 1
+
+let emulate_cmd =
+  Cmd.v
+    (Cmd.info "emulate" ~doc:"Run the Afek-Stupp reduction on a workload.")
+    Term.(
+      const emulate $ k_arg $ seed_arg $ emulate_workload $ emulate_vps
+      $ emulate_schedule $ emulate_dump_tree)
+
+(* --- hierarchy --- *)
+
+let hierarchy () =
+  List.iter
+    (fun row -> Format.printf "%a@." Hierarchy.Separation.pp_row row)
+    (Hierarchy.Separation.table ());
+  0
+
+let hierarchy_cmd =
+  Cmd.v
+    (Cmd.info "hierarchy" ~doc:"Print the consensus-number analysis table.")
+    Term.(const hierarchy $ const ())
+
+(* --- game --- *)
+
+let game_m = Arg.(value & opt int 2 & info [ "m" ] ~doc:"Number of agents.")
+
+let game m k seed =
+  let greedy, exact, bound = Game.Search.strategy_gap ~m ~k ~seed in
+  Printf.printf "m=%d k=%d: greedy=%d exact=%d bound(m^k)=%d\n" m k greedy
+    exact bound;
+  if exact <= bound || m = 1 then 0 else 1
+
+let game_cmd =
+  Cmd.v
+    (Cmd.info "game" ~doc:"Play the Lemma 1.1 move/jump game.")
+    Term.(const game $ game_m $ k_arg $ seed_arg)
+
+(* --- rename --- *)
+
+let rename_n =
+  Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.")
+
+let rename n seed =
+  let instance = Protocols.Splitter.renaming ~n in
+  match Protocols.Splitter.run_random instance ~seed with
+  | Ok names ->
+    Printf.printf "names (by pid): %s  (space: %d)\n"
+      (String.concat ", " (List.map string_of_int names))
+      instance.Protocols.Splitter.name_space;
+    0
+  | Error e ->
+    Printf.printf "violation: %s\n" e;
+    1
+
+let rename_cmd =
+  Cmd.v
+    (Cmd.info "rename"
+       ~doc:"One-shot renaming from r/w registers (Moir-Anderson splitters).")
+    Term.(const rename $ rename_n $ seed_arg)
+
+(* --- bounds --- *)
+
+let bounds () =
+  Printf.printf "%-4s %-14s %-14s %-10s %s\n" "k" "lower (k-1)!" "emulators m"
+    "batch" "upper bound k^(k^2+3)";
+  List.iter
+    (fun k ->
+      let m = Core.Bounds.emulators ~k in
+      Printf.printf "%-4d %-14d %-14d %-10d %s\n" k
+        (Core.Bounds.election_lower_bound ~k)
+        m
+        (Core.Bounds.suspension_batch ~k ~m)
+        (Core.Bounds.upper_bound_string ~k))
+    [ 3; 4; 5; 6; 7; 8 ];
+  0
+
+let bounds_cmd =
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the paper's closed-form bounds.")
+    Term.(const bounds $ const ())
+
+let () =
+  let info =
+    Cmd.info "lepower" ~version:"1.0.0"
+      ~doc:
+        "Delimiting the power of bounded size synchronization objects \
+         (Afek & Stupp, PODC 1994) — executable reproduction."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            elect_cmd; emulate_cmd; hierarchy_cmd; game_cmd; rename_cmd;
+            bounds_cmd;
+          ]))

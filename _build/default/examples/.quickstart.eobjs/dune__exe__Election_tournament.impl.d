@@ -1,0 +1,1 @@
+examples/election_tournament.ml: Core List Printf Protocols String

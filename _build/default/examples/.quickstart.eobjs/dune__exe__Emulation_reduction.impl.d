@@ -1,0 +1,1 @@
+examples/emulation_reduction.ml: Core Format List Memory Printf

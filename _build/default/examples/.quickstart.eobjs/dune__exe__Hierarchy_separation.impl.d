@@ -1,0 +1,1 @@
+examples/hierarchy_separation.ml: Format Hierarchy List Memory Printf Protocols String

@@ -1,0 +1,1 @@
+examples/renaming_contrast.ml: List Memory Printf Protocols String

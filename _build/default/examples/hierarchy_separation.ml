@@ -1,0 +1,48 @@
+(* Herlihy's hierarchy, executably: classify the object zoo, synthesize
+   2-consensus protocols from discovered deciders, and drive the
+   bivalency adversary to the critical configuration.
+
+   Run with:  dune exec examples/hierarchy_separation.exe *)
+
+let () =
+  print_endline "Consensus-number analysis of the object zoo:";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun row -> Format.printf "%a@." Hierarchy.Separation.pp_row row)
+    (Hierarchy.Separation.table ());
+
+  print_endline "";
+  print_endline "Bivalency adversary vs the test&set 2-consensus protocol:";
+  let inputs = [ Memory.Value.int 1; Memory.Value.int 2 ] in
+  (match
+     Hierarchy.Bivalency.drive (Protocols.Consensus.two_from_test_and_set ~inputs)
+   with
+  | Hierarchy.Bivalency.Critical { path; pending; successor_valence } ->
+    Printf.printf
+      "  critical configuration after %d adversary steps;\n  pending operations: %s\n"
+      (List.length path)
+      (String.concat ", "
+         (List.map (fun (p, l) -> Printf.sprintf "p%d -> %s" p l) pending));
+    Printf.printf "  successor valences: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (p, v) ->
+              Printf.sprintf "step p%d => decide %s" p (Memory.Value.to_string v))
+            successor_valence));
+    print_endline
+      "  (both pending operations hit the test&set object — exactly where\n\
+       \   Herlihy's critical-configuration argument says the consensus\n\
+       \   power must reside)"
+  | _ -> print_endline "  unexpected: no critical configuration");
+
+  print_endline "";
+  print_endline "Negative controls (exhaustively checked failures):";
+  let show name instance =
+    match Protocols.Consensus.explore_all instance ~max_steps:80 with
+    | Ok _ -> Printf.printf "  %s: UNEXPECTEDLY CORRECT\n" name
+    | Error _ -> Printf.printf "  %s: violation found, as the theory demands\n" name
+  in
+  show "2-consensus from r/w registers only"
+    (Protocols.Consensus.naive_rw ~inputs);
+  show "3-consensus from one test&set"
+    Hierarchy.Separation.test_and_set_three_candidate

@@ -1,0 +1,71 @@
+(* The boundary of r/w power, from both sides.
+
+   Below the hierarchy's level 2 nothing can elect: wait-free 2-process
+   consensus (and hence leader election) is impossible from r/w
+   registers alone — we exhibit the failure of a candidate protocol on
+   an exhaustively-found schedule.  Yet r/w registers are not useless:
+   one-shot renaming into n(n+1)/2 names is wait-free solvable with a
+   grid of Moir-Anderson splitters, and we run it.
+
+   This is the backdrop against which the paper's question is asked: the
+   interesting power lives in the strong objects, and the paper shows
+   exactly how much of it a *bounded* strong object can deliver.
+
+   Run with:  dune exec examples/renaming_contrast.exe *)
+
+let () =
+  print_endline "1. What r/w registers cannot do: elect (even for n = 2)";
+  let inputs = [ Memory.Value.int 1; Memory.Value.int 2 ] in
+  (match
+     Protocols.Consensus.explore_all
+       (Protocols.Consensus.naive_rw ~inputs)
+       ~max_steps:60
+   with
+  | Ok _ -> print_endline "   unexpectedly correct?!"
+  | Error e ->
+    Printf.printf "   candidate protocol broken, witness schedule found:\n";
+    String.split_on_char '\n' e
+    |> List.iteri (fun i line -> if i < 6 then Printf.printf "   | %s\n" line));
+
+  print_endline "";
+  print_endline "2. What r/w registers can do: renaming (Moir-Anderson splitters)";
+  List.iter
+    (fun n ->
+      let instance = Protocols.Splitter.renaming ~n in
+      match Protocols.Splitter.run_random instance ~seed:n with
+      | Ok names ->
+        Printf.printf
+          "   n=%d: names %s acquired (distinct, within %d = n(n+1)/2)\n" n
+          (String.concat ", " (List.map string_of_int names))
+          instance.Protocols.Splitter.name_space
+      | Error e -> Printf.printf "   n=%d: VIOLATION %s\n" n e)
+    [ 2; 3; 4; 5 ];
+
+  print_endline "";
+  print_endline "3. And what one bounded strong object adds on top:";
+  let k = 4 in
+  let n = Protocols.Perm.factorial (k - 1) in
+  (match
+     Protocols.Election.run_random
+       (Protocols.Permutation_election.instance ~k ~n)
+       ~seed:3
+   with
+  | Ok leader ->
+    Printf.printf
+      "   one compare&swap-(%d) + r/w: leader election among %d processes \
+       (elected %d)\n"
+      k n leader
+  | Error e -> Printf.printf "   violation: %s\n" e);
+  let ks = [ 4; 3 ] in
+  let cap = Protocols.Multi_election.capacity ~ks in
+  match
+    Protocols.Election.run_random
+      (Protocols.Multi_election.instance ~ks ~n:cap)
+      ~seed:3
+  with
+  | Ok leader ->
+    Printf.printf
+      "   two registers (sizes 4 and 3): capacity (4-1)!*(3-1)! = %d \
+       (elected %d)\n"
+      cap leader
+  | Error e -> Printf.printf "   violation: %s\n" e

@@ -1,0 +1,1 @@
+lib/core/components.ml: Array Bounds Excess List

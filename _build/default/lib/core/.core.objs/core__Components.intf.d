@@ -1,0 +1,1 @@
+lib/core/components.mli: Excess Sigma

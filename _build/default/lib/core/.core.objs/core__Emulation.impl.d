@@ -1,0 +1,1 @@
+lib/core/emulation.ml: Array Bounds Excess History_tree Int Label List Map Memory Option Printf Protocols Random Runtime Sigma String Vp_graph

@@ -1,0 +1,1 @@
+lib/core/emulation.mli: History_tree Label Memory Protocols Runtime Sigma Vp_graph

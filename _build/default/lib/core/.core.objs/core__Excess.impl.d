@@ -1,0 +1,1 @@
+lib/core/excess.ml: Array Fmt List Queue Sigma Vp_graph

@@ -1,0 +1,1 @@
+lib/core/excess.mli: Format Sigma Vp_graph

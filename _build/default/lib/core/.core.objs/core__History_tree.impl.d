@@ -1,0 +1,1 @@
+lib/core/history_tree.ml: Fmt Int Label List Map Printf Sigma

@@ -1,0 +1,1 @@
+lib/core/history_tree.mli: Format Label Sigma

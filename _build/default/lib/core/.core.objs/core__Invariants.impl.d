@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Components Emulation Excess Fmt Hashtbl History_tree Label List Memory Option Sigma Vp_graph

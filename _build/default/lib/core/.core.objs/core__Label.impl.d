@@ -1,0 +1,1 @@
+lib/core/label.ml: Fmt Int List Protocols

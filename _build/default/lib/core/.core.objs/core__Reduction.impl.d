@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Bounds Emulation Fmt Label List Memory Option

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Array Emulation Excess Fmt Hashtbl History_tree Label List Option Sigma Vp_graph

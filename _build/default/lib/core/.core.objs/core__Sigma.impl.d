@@ -1,0 +1,1 @@
+lib/core/sigma.ml: Fmt Int List Memory

@@ -1,0 +1,1 @@
+lib/core/sigma.mli: Format Memory

@@ -1,0 +1,1 @@
+lib/core/vp_graph.ml: Array Label List Sigma

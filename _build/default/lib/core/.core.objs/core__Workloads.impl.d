@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Emulation List Memory Objects Printf Runtime Sigma

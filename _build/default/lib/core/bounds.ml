@@ -1,0 +1,46 @@
+let factorial = Protocols.Perm.factorial
+let election_lower_bound ~k = factorial (k - 1)
+let emulators ~k = factorial (k - 1) + 1
+let set_consensus_width ~k = factorial (k - 1)
+let upper_bound_exponent ~k = (k * k) + 3
+
+(* Small decimal bignum (little-endian digit list) — just enough to print
+   k^(k²+3) exactly without external dependencies. *)
+let big_of_int n =
+  let rec go n = if n = 0 then [] else (n mod 10) :: go (n / 10) in
+  if n = 0 then [ 0 ] else go n
+
+let big_mul_small digits n =
+  let rec go carry = function
+    | [] -> if carry = 0 then [] else big_of_int carry
+    | d :: rest ->
+      let x = (d * n) + carry in
+      (x mod 10) :: go (x / 10) rest
+  in
+  go 0 digits
+
+let big_to_string digits =
+  String.concat "" (List.rev_map string_of_int digits)
+
+let upper_bound_string ~k =
+  let e = upper_bound_exponent ~k in
+  let rec pow acc i = if i = 0 then acc else pow (big_mul_small acc k) (i - 1) in
+  big_to_string (pow (big_of_int 1) e)
+
+let suspension_batch ~k ~m = m * k * k
+
+let threshold ~m ~depth =
+  let rec pow acc i = if i = 0 then acc else pow (acc * m) (i - 1) in
+  let rec sum g acc = if g > depth then acc else sum (g + 1) (acc + (g * pow 1 g)) in
+  sum 1 0
+
+let stable_weight ~m x =
+  let rec pow acc i = if i = 0 then acc else pow (acc * m) (i - 1) in
+  let rec sum i acc = if i > x then acc else sum (i + 1) (acc + pow 1 i) in
+  if x <= 1 then 0 else sum 2 0
+
+let game_bound ~m ~k =
+  let rec pow acc i = if i = 0 then acc else pow (acc * m) (i - 1) in
+  pow 1 k
+
+let min_vps_per_emulator ~k ~m = k * (k - 1) * suspension_batch ~k ~m

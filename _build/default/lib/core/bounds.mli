@@ -1,0 +1,50 @@
+(** The paper's quantitative bounds, in closed form.
+
+    All quantities are exact integer arithmetic (no floats) so the tables
+    in experiment E1 print true values; beware that [upper_bound] grows as
+    k^(k²+3) and exceeds 64-bit range already at k = 5 — use
+    [upper_bound_string] for display. *)
+
+val factorial : int -> int
+
+val election_lower_bound : k:int -> int
+(** (k−1)! — processes that {e can} elect a leader with one
+    compare&swap-(k) plus r/w registers (the [1]/FOCS '93 algorithm,
+    reconstructed in {!Protocols.Permutation_election}). *)
+
+val emulators : k:int -> int
+(** m = (k−1)! + 1 — the number of emulators in the reduction
+    (Claim 1). *)
+
+val set_consensus_width : k:int -> int
+(** (k−1)! — the ℓ of the ℓ-set-consensus protocol the reduction
+    produces; impossible among m = ℓ+1 processes over r/w registers. *)
+
+val upper_bound_exponent : k:int -> int
+(** k² + 3: Theorem 1 bounds n_k by O(k^(k²+3)). *)
+
+val upper_bound_string : k:int -> string
+(** Decimal rendering of k^(k²+3) (arbitrary precision). *)
+
+val suspension_batch : k:int -> m:int -> int
+(** m·k² — the number of v-processes an emulator suspends per
+    compare&swap edge before emulating a successful operation
+    (Fig. 3 line 5). *)
+
+val threshold : m:int -> depth:int -> int
+(** λ_D = Σ_{g=1}^{D} g·m^g — the excess-cycle width required to attach a
+    new symbol below a depth-D node of a small tree (Fig. 6 line 7). *)
+
+val stable_weight : m:int -> int -> int
+(** σ_x = Σ_{i=2}^{x} m^i (σ_1 = 0) — the edge-weight scale in the
+    stable-component definitions (Definitions 2 and 3). *)
+
+val game_bound : m:int -> k:int -> int
+(** m^k — Lemma 1.1. *)
+
+val min_vps_per_emulator : k:int -> m:int -> int
+(** A practical lower estimate of how many v-processes an emulator needs
+    to own so it can populate one suspension batch on every edge:
+    k(k−1) edges × m·k² each.  The paper's Π/m allowance is far larger;
+    experiments below this level are expected to stall — that stall is
+    the observable face of the space lower bound. *)

@@ -1,0 +1,96 @@
+(* Tarjan-free SCC via double DFS (Kosaraju); the graphs have at most k
+   nodes, so simplicity wins. *)
+let sccs excess ~min_weight ~nodes =
+  let nodes = Array.of_list nodes in
+  let n = Array.length nodes in
+  let edge i j =
+    i <> j && Excess.weight excess nodes.(i) nodes.(j) >= min_weight
+  in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs1 i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      for j = 0 to n - 1 do
+        if edge i j then dfs1 j
+      done;
+      order := i :: !order
+    end
+  in
+  for i = 0 to n - 1 do
+    dfs1 i
+  done;
+  let comp = Array.make n (-1) in
+  let rec dfs2 i c =
+    if comp.(i) = -1 then begin
+      comp.(i) <- c;
+      for j = 0 to n - 1 do
+        if edge j i then dfs2 j c
+      done
+    end
+  in
+  let count = ref 0 in
+  List.iter
+    (fun i ->
+      if comp.(i) = -1 then begin
+        dfs2 i !count;
+        incr count
+      end)
+    !order;
+  List.init !count (fun c ->
+      Array.to_list nodes
+      |> List.filteri (fun i _ -> comp.(i) = c))
+  |> List.filter (fun l -> l <> [])
+
+let shatters_slowly excess ~m ~extra_slack nodes =
+  let j = List.length nodes in
+  if j <= 1 + extra_slack then true
+  else
+    match sccs excess ~min_weight:1 ~nodes with
+    | [ _ ] ->
+      (* Strongly connected at threshold 1; check the σ-scale. *)
+      let ok = ref true in
+      for i = 1 to j - 1 - extra_slack do
+        let threshold = Bounds.stable_weight ~m (i + 1 + extra_slack) in
+        let parts = sccs excess ~min_weight:(max 1 threshold) ~nodes in
+        if List.length parts > i + 1 then ok := false
+      done;
+      !ok
+    | _ -> false
+
+let is_stable excess ~m nodes = shatters_slowly excess ~m ~extra_slack:0 nodes
+
+let is_super_stable excess ~m nodes =
+  shatters_slowly excess ~m ~extra_slack:1 nodes
+
+let chain_decomposition excess ~m ~nodes =
+  let k = Excess.k excess in
+  (* Greedy: take the C₁ components (threshold 1) of the node set; each
+     must be stable; order them so consecutive components are linked by
+     an edge of weight ≥ k. *)
+  match nodes with
+  | [] -> Some []
+  | _ ->
+    let comps = sccs excess ~min_weight:1 ~nodes in
+    if not (List.for_all (is_stable excess ~m) comps) then None
+    else
+      let linked a b =
+        List.exists
+          (fun u -> List.exists (fun v -> Excess.weight excess u v >= k) b)
+          a
+      in
+      (* Search for a Hamiltonian ordering of the components under
+         [linked]; component counts are tiny (≤ k). *)
+      let rec arrange placed remaining =
+        match remaining with
+        | [] -> Some (List.rev placed)
+        | _ ->
+          List.find_map
+            (fun c ->
+              let rest = List.filter (fun c' -> c' != c) remaining in
+              match placed with
+              | [] -> arrange [ c ] rest
+              | prev :: _ -> if linked prev c then arrange (c :: placed) rest else None)
+            remaining
+      in
+      arrange [] comps

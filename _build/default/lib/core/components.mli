@@ -1,0 +1,40 @@
+(** Stable and super-stable components (Definitions 2 and 3) — the
+    auditable form of the emulation's key invariant.
+
+    [Gx] is the excess graph restricted to edges of weight ≥ x, and [Cx]
+    denotes its maximal strongly connected components.  A {e stable
+    component} is a C₁ component that shatters slowly as the threshold
+    climbs the scale σ_x = Σ_{i=2}^{x} mⁱ: raising the threshold by one
+    σ-level may split it into at most one more piece.  Lemma 1.2(3)
+    maintains that the values already used in a run's history always form
+    a chain of stable components connected by a high-width path, which is
+    what lets UpdateC&S always find an attachment point.
+
+    The extended abstract's published text garbles the index arithmetic
+    of both definitions (the subscripts were lost to typesetting); we
+    implement the reconstruction stated above — at most [i] maximal
+    components at threshold [σ_{base+i}] — and the invariant checker
+    reports violations rather than assuming them impossible, so the
+    reconstruction is itself under test.  See DESIGN.md §6. *)
+
+val sccs :
+  Excess.t -> min_weight:int -> nodes:Sigma.t list -> Sigma.t list list
+(** Maximal strongly connected components of the excess graph restricted
+    to [nodes] and to edges of weight ≥ [min_weight].  Singleton
+    components are included. *)
+
+val is_stable : Excess.t -> m:int -> Sigma.t list -> bool
+(** Definition 2 (reconstructed): the node set is strongly connected at
+    threshold 1, and for each i ≥ 1 it has at most [i+1] components at
+    threshold [σ_{i+1}].  Singletons are stable by definition. *)
+
+val is_super_stable : Excess.t -> m:int -> Sigma.t list -> bool
+(** Definition 3 (reconstructed): one σ-level of slack more than stable;
+    two-node C₁ components are always super-stable. *)
+
+val chain_decomposition :
+  Excess.t -> m:int -> nodes:Sigma.t list -> Sigma.t list list option
+(** Lemma 1.2(3): try to decompose the given (history-visited) values
+    into stable components [SC₁ … SC_r] such that consecutive components
+    are connected by an edge of weight ≥ k; [None] if no ordering
+    works. *)

@@ -1,0 +1,762 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Imap = Map.Make (Int)
+module Smap = Map.Make (String)
+
+type algorithm = {
+  name : string;
+  k : int;
+  cas_loc : string;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  num_vps : int;
+}
+
+let of_election (instance : Protocols.Election.instance) ~k =
+  {
+    name = instance.Protocols.Election.name;
+    k;
+    cas_loc = "C";
+    bindings = instance.Protocols.Election.bindings;
+    program = instance.Protocols.Election.program;
+    num_vps = instance.Protocols.Election.n;
+  }
+
+type params = {
+  m : int;
+  batch : int;
+  simple_burst : int;
+  disable_rebalance : bool;
+  disable_attach : bool;
+}
+
+let default_params ~k =
+  let m = Bounds.emulators ~k in
+  {
+    m;
+    batch = Bounds.suspension_batch ~k ~m;
+    simple_burst = 1;
+    disable_rebalance = false;
+    disable_attach = false;
+  }
+
+let small_params ~k =
+  let m = Bounds.emulators ~k in
+  {
+    m;
+    batch = m;
+    simple_burst = 8;
+    disable_rebalance = false;
+    disable_attach = false;
+  }
+
+type vp_status = Active | Suspended | Decided_vp of Value.t | Faulty of string
+
+type vp = { prog : Program.prim; status : vp_status; steps : int }
+
+type emu_state = {
+  id : int;
+  label : Label.t;
+  vps : vp Imap.t;
+  seq : int;
+  decided : Value.t option;
+  stalled : bool;
+  iterations : int;
+}
+
+type shared = {
+  tree : History_tree.t;
+  graph : Vp_graph.t;
+  registers : (Value.t * Label.t) list Smap.t;  (* newest first *)
+  reg_inits : Value.t Smap.t;
+}
+
+type stats = {
+  iterations : int;
+  simple_ops : int;
+  suspensions : int;
+  releases : int;
+  attaches : int;
+  splits : int;
+  stall_events : int;
+}
+
+let zero_stats =
+  {
+    iterations = 0;
+    simple_ops = 0;
+    suspensions = 0;
+    releases = 0;
+    attaches = 0;
+    splits = 0;
+    stall_events = 0;
+  }
+
+(* Analysis log: invisible to the emulators' logic; consumed by the
+   invariant checker (E5), the replay checker (E4) and the history
+   experiments (E8). *)
+type event =
+  | Ev_read of { vp : int; loc : string; value : Value.t; label : Label.t }
+  | Ev_write of { vp : int; loc : string; value : Value.t; label : Label.t }
+  | Ev_cas_fail of { vp : int; returned : Sigma.t; label : Label.t }
+  | Ev_cas_success of { vp : int; edge : Sigma.t * Sigma.t; label : Label.t }
+  | Ev_suspend of { vp : int; edge : Sigma.t * Sigma.t; label : Label.t }
+  | Ev_attach of { emu : int; value : Sigma.t; label : Label.t }
+  | Ev_split of { emu : int; label : Label.t }
+  | Ev_decide of { emu : int; value : Value.t; label : Label.t }
+
+type t = {
+  alg : algorithm;
+  params : params;
+  shared : shared;
+  emus : emu_state array;
+  stats : stats;
+  events : event list;  (* newest first *)
+}
+
+let log t ev = { t with events = ev :: t.events }
+
+let create alg params =
+  let reg_inits =
+    List.fold_left
+      (fun acc (loc, spec) ->
+        if String.equal loc alg.cas_loc then acc
+        else Smap.add loc spec.Memory.Spec.init acc)
+      Smap.empty alg.bindings
+  in
+  let emus =
+    Array.init params.m (fun id ->
+        let vps =
+          List.init alg.num_vps (fun vp -> vp)
+          |> List.filter (fun vp -> vp mod params.m = id)
+          |> List.fold_left
+               (fun acc vp ->
+                 Imap.add vp
+                   { prog = alg.program vp; status = Active; steps = 0 }
+                   acc)
+               Imap.empty
+        in
+        {
+          id;
+          label = Label.root;
+          vps;
+          seq = 0;
+          decided = None;
+          stalled = false;
+          iterations = 0;
+        })
+  in
+  {
+    alg;
+    params;
+    shared =
+      {
+        tree = History_tree.create ();
+        graph = Vp_graph.create ~m:params.m;
+        registers = Smap.empty;
+        reg_inits;
+      };
+    emus;
+    stats = zero_stats;
+    events = [];
+  }
+
+type emulator_view = {
+  id : int;
+  label : Label.t;
+  decided : Value.t option;
+  stalled : bool;
+  iterations : int;
+}
+
+let emulator t j =
+  let e = t.emus.(j) in
+  {
+    id = e.id;
+    label = e.label;
+    decided = e.decided;
+    stalled = e.stalled;
+    iterations = e.iterations;
+  }
+
+let emulators t = List.init t.params.m (emulator t)
+let k t = t.alg.k
+let m t = t.params.m
+let events t = List.rev t.events
+let shared_tree t = t.shared.tree
+let vp_graph t = t.shared.graph
+let history_of t label = History_tree.history t.shared.tree label
+let stats t = t.stats
+
+(* --- v-process inspection and resumption --- *)
+
+type next_op =
+  | Next_cas of Sigma.t * Sigma.t
+  | Next_read of string
+  | Next_write of string * Value.t
+  | Next_done of Value.t
+  | Next_bad of string
+
+let classify alg (v : vp) =
+  match v.status with
+  | Decided_vp value -> Next_done value
+  | Faulty msg -> Next_bad msg
+  | Active | Suspended -> (
+    match v.prog with
+    | Program.Done value -> Next_done value
+    | Program.Step (loc, op, _) when String.equal loc alg.cas_loc -> (
+      match op with
+      | Value.Pair (Value.Sym "cas", Value.Pair (e, d)) -> (
+        match (Sigma.of_value e, Sigma.of_value d) with
+        | e, d -> Next_cas (e, d)
+        | exception Value.Type_error _ -> Next_bad "cas outside Sigma")
+      | _ -> Next_bad "malformed compare&swap operation")
+    | Program.Step (loc, op, _) -> (
+      match op with
+      | Value.Sym "read" -> Next_read loc
+      | Value.Pair (Value.Sym "write", v) -> Next_write (loc, v)
+      | _ -> Next_bad "operation on an unsupported object"))
+
+let resume (v : vp) response =
+  match v.prog with
+  | Program.Done _ -> v
+  | Program.Step (_, _, k) -> (
+    match k response with
+    | Program.Done value ->
+      { prog = Program.Done value; status = Decided_vp value; steps = v.steps + 1 }
+    | next -> { v with prog = next; steps = v.steps + 1 }
+    | exception Value.Type_error (want, got) ->
+      {
+        v with
+        status =
+          Faulty
+            (Printf.sprintf "type error: expected %s, got %s" want
+               (Value.to_string got));
+        steps = v.steps + 1;
+      }
+    | exception Failure msg -> { v with status = Faulty msg; steps = v.steps + 1 })
+
+let active_vps alg e =
+  Imap.bindings e.vps
+  |> List.filter_map (fun (id, v) ->
+         if v.status = Active then Some (id, v, classify alg v) else None)
+
+(* --- registers (emulated r/w memory, Fig. 3 commentary) --- *)
+
+let read_register shared ~label loc =
+  let writes = Option.value ~default:[] (Smap.find_opt loc shared.registers) in
+  match
+    List.find_opt (fun (_, l) -> Label.compatible l label) writes
+  with
+  | Some (v, _) -> v
+  | None -> (
+    match Smap.find_opt loc shared.reg_inits with
+    | Some v -> v
+    | None -> Value.unit)
+
+let write_register shared ~label loc v =
+  let writes = Option.value ~default:[] (Smap.find_opt loc shared.registers) in
+  { shared with registers = Smap.add loc ((v, label) :: writes) shared.registers }
+
+(* --- the iteration (Fig. 3) --- *)
+
+let set_emu t j e =
+  let emus = Array.copy t.emus in
+  emus.(j) <- e;
+  { t with emus }
+
+let last_exn = function
+  | [] -> invalid_arg "empty history"
+  | l -> List.nth l (List.length l - 1)
+
+(* Suspension (Fig. 3 lines 4-5). *)
+let suspend_batches view_hist_len t j (e : emu_state) label' =
+  let alg = t.alg in
+  let candidates =
+    active_vps alg e
+    |> List.filter_map (fun (id, _, op) ->
+           match op with
+           | Next_cas (a, b) when not (Sigma.equal a b) -> Some (id, (a, b))
+           | _ -> None)
+  in
+  let edges =
+    List.sort_uniq compare (List.map snd candidates)
+  in
+  List.fold_left
+    (fun (t, e, count) edge ->
+      let on_edge = List.filter (fun (_, ed) -> ed = edge) candidates in
+      let already =
+        Vp_graph.entries t.shared.graph ~emu:j
+        |> List.exists (fun en ->
+               en.Vp_graph.edge = edge && not en.Vp_graph.released)
+      in
+      if already || List.length on_edge < t.params.batch then (t, e, count)
+      else begin
+        let chosen =
+          List.filteri (fun i _ -> i < t.params.batch) on_edge
+        in
+        let graph, vps, t =
+          List.fold_left
+            (fun (graph, vps, t) (vp_id, _) ->
+              ( Vp_graph.suspend graph ~emu:j ~vp:vp_id ~edge ~label:label'
+                  ~hist_len:view_hist_len,
+                Imap.update vp_id
+                  (Option.map (fun v -> { v with status = Suspended }))
+                  vps,
+                log t (Ev_suspend { vp = vp_id; edge; label = label' }) ))
+            (t.shared.graph, e.vps, t) chosen
+        in
+        ( { t with shared = { t.shared with graph } },
+          { e with vps },
+          count + List.length chosen )
+      end)
+    (t, e, 0) edges
+
+(* EmulateSimpleOp (Fig. 3 lines 6-7): one v-process step that does not
+   change the compare&swap. *)
+let try_simple_op cs t j (e : emu_state) label' =
+  let alg = t.alg in
+  let eligible =
+    active_vps alg e
+    |> List.filter_map (fun (id, v, op) ->
+           match op with
+           | Next_read loc -> Some (id, v, `Read loc)
+           | Next_write (loc, value) -> Some (id, v, `Write (loc, value))
+           | Next_cas (a, b) when Sigma.equal a b || not (Sigma.equal a cs) ->
+             Some (id, v, `Failing_cas)
+           | Next_bad msg -> Some (id, v, `Bad msg)
+           | Next_done _ | Next_cas _ -> None)
+  in
+  match eligible with
+  | [] -> None
+  | (id, v, action) :: _ ->
+    let t, v' =
+      match action with
+      | `Read loc ->
+        let value = read_register t.shared ~label:label' loc in
+        ( log t (Ev_read { vp = id; loc; value; label = label' }),
+          resume v value )
+      | `Write (loc, value) ->
+        ( log
+            { t with shared = write_register t.shared ~label:label' loc value }
+            (Ev_write { vp = id; loc; value; label = label' }),
+          resume v Value.unit )
+      | `Failing_cas ->
+        ( log t (Ev_cas_fail { vp = id; returned = cs; label = label' }),
+          resume v (Sigma.to_value cs) )
+      | `Bad msg -> (t, { v with status = Faulty msg })
+    in
+    let e = { e with vps = Imap.add id v' e.vps } in
+    Some (set_emu t j e, e)
+
+(* CanRebalance (Fig. 5): release a suspended v-process against surplus
+   history transitions, swapping in a fresh one. *)
+let try_rebalance h t j (e : emu_state) label' =
+  let alg = t.alg in
+  let m = t.params.m in
+  let trans = Excess.transitions h in
+  let own_suspended =
+    Vp_graph.entries t.shared.graph ~emu:j
+    |> List.filter (fun en ->
+           (not en.Vp_graph.released)
+           && Label.is_prefix en.Vp_graph.label label')
+  in
+  let count_trans ?(from_pos = 0) edge =
+    (* Position of a transition = index of its first symbol. *)
+    List.filteri (fun i tr -> i + 1 >= from_pos && tr = edge) trans
+    |> List.length
+  in
+  let releases edge =
+    Vp_graph.count_released t.shared.graph ~label:label' ~edge
+  in
+  let actives_on edge =
+    active_vps alg e
+    |> List.filter_map (fun (id, _, op) ->
+           match op with
+           | Next_cas (a, b) when (a, b) = edge && not (Sigma.equal a b) ->
+             Some id
+           | _ -> None)
+  in
+  let candidate =
+    List.find_map
+      (fun en ->
+        let edge = en.Vp_graph.edge in
+        let unmatched = count_trans edge - releases edge in
+        let after = count_trans ~from_pos:en.Vp_graph.hist_len edge in
+        match actives_on edge with
+        | fresh :: _ when unmatched >= m && after >= m ->
+          Some (en, fresh)
+        | _ -> None)
+      own_suspended
+  in
+  match candidate with
+  | None -> None
+  | Some (en, fresh) ->
+    let a, _ = en.Vp_graph.edge in
+    let graph =
+      Vp_graph.release t.shared.graph ~emu:j ~vp:en.Vp_graph.vp
+    in
+    let graph =
+      Vp_graph.suspend graph ~emu:j ~vp:fresh ~edge:en.Vp_graph.edge
+        ~label:label' ~hist_len:(List.length h)
+    in
+    (* The released process's c&s succeeded: it returns the old value a. *)
+    let released_vp = resume (Imap.find en.Vp_graph.vp e.vps) (Sigma.to_value a) in
+    let released_vp =
+      match released_vp.status with
+      | Suspended -> { released_vp with status = Active }
+      | Active | Decided_vp _ | Faulty _ -> released_vp
+    in
+    let vps =
+      Imap.add en.Vp_graph.vp released_vp
+        (Imap.update fresh
+           (Option.map (fun v -> { v with status = Suspended }))
+           e.vps)
+    in
+    let e = { e with vps } in
+    let t = { t with shared = { t.shared with graph } } in
+    let t =
+      log
+        (log t
+           (Ev_cas_success
+              { vp = en.Vp_graph.vp; edge = en.Vp_graph.edge; label = label' }))
+        (Ev_suspend { vp = fresh; edge = en.Vp_graph.edge; label = label' })
+    in
+    Some (set_emu t j e, e)
+
+(* UpdateC&S (Fig. 6), line 15: after updating the history with x, every
+   active v-process's pending c&s is emulated as a failure returning x
+   (their operations linearize just after the update). *)
+let fail_all_actives alg (e : emu_state) x =
+  let failed = ref [] in
+  let vps =
+    Imap.mapi
+      (fun id v ->
+        if v.status = Active then
+          match classify alg v with
+          | Next_cas _ ->
+            failed := id :: !failed;
+            resume v (Sigma.to_value x)
+          | _ -> v
+        else v)
+      e.vps
+  in
+  ({ e with vps }, List.rev !failed)
+
+type update_outcome = [ `Attached | `Split | `Stuck of string ]
+
+let try_update view h cs t j (e : emu_state) label' :
+    t * emu_state * update_outcome =
+  let alg = t.alg in
+  let m = t.params.m in
+  (* Choose x: the most popular desired next value among active vps whose
+     c&s expects the current value. *)
+  let desires =
+    active_vps alg e
+    |> List.filter_map (fun (_, _, op) ->
+           match op with
+           | Next_cas (a, b) when Sigma.equal a cs && not (Sigma.equal a b) ->
+             Some b
+           | _ -> None)
+  in
+  match desires with
+  | [] -> (t, e, `Stuck "no pending successful c&s toward any value")
+  | _ -> (
+    let grouped =
+      List.sort_uniq Sigma.compare desires
+      |> List.map (fun b ->
+             (List.length (List.filter (Sigma.equal b) desires), b))
+      |> List.sort (fun (c1, _) (c2, _) -> compare c2 c1)
+    in
+    (* Most-popular desired value; ties are broken by a per-emulator
+       rotation so simultaneous emulators with symmetric demand pick
+       different values (any choice is legal — this one maximizes the
+       concurrency the proof must absorb). *)
+    let rotation b = (Sigma.index ~k:alg.k b + (alg.k - 1) - j) mod alg.k in
+    let x =
+      List.fold_left
+        (fun best (c, b) ->
+          match best with
+          | None -> Some (c, b)
+          | Some (c', b') ->
+            if c > c' || (c = c' && rotation b < rotation b') then Some (c, b)
+            else best)
+        None grouped
+      |> Option.get |> snd
+    in
+    (* Climb from the node holding cs toward the root, looking for an
+       ancestor below which x can be attached with enough cycle width.
+       The climb runs over the (possibly stale) snapshot view — exactly
+       the concurrency the tree structure is built to absorb. *)
+    let view_tree =
+      match History_tree.tree view.tree label' with
+      | Some tr -> tr
+      | None -> (
+        match History_tree.tree t.shared.tree label' with
+        | Some tr -> tr
+        | None -> invalid_arg "UpdateC&S: label tree missing")
+    in
+    let rightmost = History_tree.rightmost view_tree in
+    let ancestors =
+      (* Ablation: with attachment disabled the emulator behaves like the
+         earlier [1]-style emulation — every update must be a fresh
+         first-use split, so value-revisiting subjects stall once the
+         alphabet is exhausted. *)
+      if t.params.disable_attach then []
+      else History_tree.ancestors view_tree rightmost
+    in
+    (* Pending obligations: the current spine's nodes have not rendered
+       their return paths into the history yet; those transitions will
+       materialize when the spine is exited, so reserve them before
+       spending excess on the new attachment. *)
+    let pending_obligations =
+      List.concat_map
+        (fun node_id ->
+          let n = History_tree.tree_node view_tree node_id in
+          match n.History_tree.parent with
+          | None -> []
+          | Some p ->
+            let pv = (History_tree.tree_node view_tree p).History_tree.value in
+            Excess.transitions
+              ((n.History_tree.value :: n.History_tree.to_parent) @ [ pv ]))
+        ancestors
+    in
+    let excess =
+      Excess.debit
+        (Excess.compute ~k:alg.k
+           ~suspensions:(Vp_graph.visible t.shared.graph ~label:label')
+           ~history:h)
+        pending_obligations
+    in
+    let attachment =
+      List.find_map
+        (fun node_id ->
+          let node = History_tree.tree_node view_tree node_id in
+          let depth = History_tree.depth view_tree node_id in
+          let thr = max 1 (Bounds.threshold ~m ~depth) in
+          let fv = node.History_tree.value in
+          let w = Excess.widest_cycle_through excess fv x in
+          if w >= thr then
+            match Excess.path_with_width excess ~min_width:1 fv x with
+            | None -> None
+            | Some from_parent -> (
+              (* The entry path materializes immediately; spend it before
+                 choosing the return path so shared edges are not double
+                 spent. *)
+              let entry_edges =
+                Excess.transitions ((fv :: from_parent) @ [ x ])
+              in
+              let excess' = Excess.debit excess entry_edges in
+              match Excess.path_with_width excess' ~min_width:1 x fv with
+              | Some to_parent -> Some (node_id, from_parent, to_parent)
+              | None -> None)
+          else None)
+        ancestors
+    in
+    let log_failures t label failed =
+      List.fold_left
+        (fun t vp -> log t (Ev_cas_fail { vp; returned = x; label }))
+        t failed
+    in
+    match attachment with
+    | Some (parent_node, from_parent, to_parent) ->
+      let tree, _ =
+        History_tree.attach t.shared.tree ~label:label' ~parent_node ~emu:j
+          ~seq:e.seq ~value:x ~from_parent ~to_parent
+      in
+      let e, failed = fail_all_actives alg { e with seq = e.seq + 1 } x in
+      let t = { t with shared = { t.shared with tree } } in
+      let t = log t (Ev_attach { emu = j; value = x; label = label' }) in
+      let t = log_failures t label' failed in
+      (set_emu t j e, e, `Attached)
+    | None -> (
+      match x with
+      | Sigma.Bot ->
+        (t, e, `Stuck "no cycle support for returning to bottom")
+      | Sigma.V xv ->
+        if List.exists (Sigma.equal x) h then
+          (t, e, `Stuck "no cycle support for an already-used value")
+        else begin
+          let tree =
+            History_tree.activate t.shared.tree ~parent:label' ~value:xv
+          in
+          let new_label = Label.extend label' xv in
+          let e, failed =
+            fail_all_actives alg { e with label = new_label } x
+          in
+          let t = { t with shared = { t.shared with tree } } in
+          let t = log t (Ev_split { emu = j; label = new_label }) in
+          let t = log_failures t new_label failed in
+          (set_emu t j e, e, `Split)
+        end))
+
+let step_inner view t j =
+  let e0 = t.emus.(j) in
+  if e0.decided <> None then t
+  else begin
+    (* ComputeHistory: refresh the label to a leaf of T, then render. *)
+    let label' = History_tree.extend_to_leaf view.tree e0.label in
+    let h = History_tree.history view.tree label' in
+    let cs = last_exn h in
+    let e =
+      { e0 with label = label'; iterations = e0.iterations + 1; stalled = false }
+    in
+    (* Adopt a decision if one of our v-processes already finished. *)
+    let decided_value =
+      Imap.fold
+        (fun _ v acc ->
+          match (acc, v.status) with
+          | Some _, _ -> acc
+          | None, Decided_vp value -> Some value
+          | None, _ -> None)
+        e.vps None
+    in
+    let bump (f : stats -> stats) t = { t with stats = f t.stats } in
+    match decided_value with
+    | Some value ->
+      bump
+        (fun (s : stats) -> { s with iterations = s.iterations + 1 })
+        (log
+           (set_emu t j { e with decided = Some value })
+           (Ev_decide { emu = j; value; label = label' }))
+    | None -> (
+      let t = set_emu t j e in
+      let t, e, suspended_now = suspend_batches (List.length h) t j e label' in
+      let t = set_emu t j e in
+      let count_base (s : stats) =
+        { s with
+          iterations = s.iterations + 1;
+          suspensions = s.suspensions + suspended_now
+        }
+      in
+      (* Try a burst of simple operations. *)
+      let rec simple_burst t e n made =
+        if n = 0 then (t, e, made)
+        else
+          match try_simple_op cs t j e label' with
+          | Some (t, e) -> simple_burst t e (n - 1) (made + 1)
+          | None -> (t, e, made)
+      in
+      let t, e, simple_made = simple_burst t e t.params.simple_burst 0 in
+      if simple_made > 0 then
+        bump (fun s -> { (count_base s) with simple_ops = s.simple_ops + simple_made }) t
+      else
+        match
+          if t.params.disable_rebalance then None
+          else try_rebalance h t j e label'
+        with
+        | Some (t, _) ->
+          bump (fun s -> { (count_base s) with releases = s.releases + 1 }) t
+        | None -> (
+          match try_update view h cs t j e label' with
+          | t, _, `Attached ->
+            bump (fun s -> { (count_base s) with attaches = s.attaches + 1 }) t
+          | t, _, `Split ->
+            bump (fun s -> { (count_base s) with splits = s.splits + 1 }) t
+          | t, e, `Stuck _ ->
+            let t = set_emu t j { e with stalled = true } in
+            bump
+              (fun s ->
+                { (count_base s) with stall_events = s.stall_events + 1 })
+              t))
+  end
+
+let plan t0 ~emu t = step_inner t0.shared t emu
+let step t ~emu = plan t ~emu t
+
+type outcome = {
+  final : t;
+  decisions : (int * Value.t) list;
+  distinct_decisions : Value.t list;
+  stalled : int list;
+  total_iterations : int;
+}
+
+let outcome_of t =
+  let decisions =
+    Array.to_list t.emus
+    |> List.filter_map (fun (e : emu_state) ->
+           Option.map (fun v -> (e.id, v)) e.decided)
+  in
+  let distinct_decisions =
+    List.sort_uniq Value.compare (List.map snd decisions)
+  in
+  let stalled =
+    Array.to_list t.emus
+    |> List.filter_map (fun (e : emu_state) ->
+           if e.decided = None && e.stalled then Some e.id else None)
+  in
+  {
+    final = t;
+    decisions;
+    distinct_decisions;
+    stalled;
+    total_iterations = t.stats.iterations;
+  }
+
+let undecided t =
+  Array.to_list t.emus
+  |> List.filter_map (fun (e : emu_state) -> if e.decided = None then Some e.id else None)
+
+let progress_key t =
+  ( t.stats.simple_ops,
+    t.stats.suspensions,
+    t.stats.releases,
+    t.stats.attaches,
+    t.stats.splits,
+    Array.to_list t.emus |> List.map (fun (e : emu_state) -> e.decided <> None) )
+
+let run_generic ~choose ?(max_iterations = 100_000) t =
+  let rec go t no_progress =
+    match undecided t with
+    | [] -> outcome_of t
+    | pending ->
+      if t.stats.iterations >= max_iterations then outcome_of t
+      else if no_progress > 2 * List.length pending then outcome_of t
+      else
+        let j = choose pending in
+        let before = progress_key t in
+        let t = step t ~emu:j in
+        let no_progress =
+          if progress_key t = before then no_progress + 1 else 0
+        in
+        go t no_progress
+  in
+  go t 0
+
+let run ?(seed = 0) ?max_iterations t =
+  let rng = Random.State.make [| seed |] in
+  run_generic
+    ~choose:(fun pending ->
+      List.nth pending (Random.State.int rng (List.length pending)))
+    ?max_iterations t
+
+let run_round_robin ?max_iterations t =
+  let cursor = ref 0 in
+  run_generic
+    ~choose:(fun pending ->
+      incr cursor;
+      List.nth pending (!cursor mod List.length pending))
+    ?max_iterations t
+
+let run_staleview ?(max_rounds = 10_000) t =
+  (* Adversarial simultaneity: in every round all pending emulators act on
+     the same snapshot taken at the round's start — the schedule that
+     maximizes concurrent updates and hence group splitting. *)
+  let rec go t no_progress rounds =
+    match undecided t with
+    | [] -> outcome_of t
+    | pending ->
+      if rounds >= max_rounds || no_progress > 2 then outcome_of t
+      else
+        let view = t in
+        let before = progress_key t in
+        let t =
+          List.fold_left (fun t j -> plan view ~emu:j t) t pending
+        in
+        let no_progress =
+          if progress_key t = before then no_progress + 1 else 0
+        in
+        go t no_progress (rounds + 1)
+  in
+  go t 0 0

@@ -1,0 +1,169 @@
+(** The emulation (§3.1, Figs. 3–6): m emulators cooperatively construct
+    legal runs of a leader-election algorithm A that uses one
+    compare&swap-(k) plus r/w registers, while themselves communicating
+    only through r/w-implementable operations.
+
+    {2 What each emulator iteration does}
+
+    An iteration (Fig. 3) snapshots the shared structures, recomputes its
+    label and history (Fig. 4), then does exactly one of:
+
+    + {b Suspend} a batch of its virtual processes that are all about to
+      perform the same [c&s(a→b)] (lines 4–5);
+    + {b EmulateSimpleOp}: execute one v-process operation that does not
+      change the compare&swap — a register read/write, or a c&s that
+      fails against the current value (lines 6–7);
+    + {b CanRebalance} (Fig. 5): release one suspended v-process whose
+      successful c&s can be safely matched to surplus history
+      transitions (at least m unmatched ones that occurred after its
+      suspension), swapping a fresh v-process into the suspended pool;
+    + {b UpdateC&S} (Fig. 6): append a value [x] to the history — either
+      attaching [x] inside the current small tree under the shallowest
+      ancestor reachable by a wide-enough excess cycle (threshold
+      λ_D = Σ g·mᵍ), or, when no cycle supports [x], splitting to the
+      new label [l·x]; all the emulator's active v-processes then
+      receive failing responses carrying [x].
+
+    The emulator adopts the first decision any of its v-processes
+    reaches — that is the set-consensus output of the reduction.
+
+    {2 Faithfulness notes (see DESIGN.md §6)}
+
+    - The paper's batch size m·k² and v-process allowance Π/m are
+      astronomically conservative; both are parameters here, and runs
+      under-provisioned in v-processes {e stall} — the observable face of
+      the space bound (experiment E1/E4 report stalls).
+    - The Fig. 6 threshold at depth 0 evaluates to 0, which would let
+      never-used values attach without any cycle support; we require
+      width ≥ max(1, λ_D), so splitting happens exactly when the excess
+      graph offers no cycle through the new value.
+    - Suspension batches may be replenished once fully released (the
+      paper executes line 5 once per edge and maintains the pool through
+      Fig. 5's swap; ours is the superset that also allows refills). *)
+
+module Value := Memory.Value
+
+(** The algorithm A being emulated. *)
+type algorithm = {
+  name : string;
+  k : int;  (** size of A's compare&swap register *)
+  cas_loc : string;
+  bindings : (string * Memory.Spec.t) list;
+      (** A's shared objects; the binding at [cas_loc] must be the
+          compare&swap-(k), everything else is treated as a r/w
+          register *)
+  program : int -> Runtime.Program.prim;  (** v-process code *)
+  num_vps : int;
+}
+
+val of_election : Protocols.Election.instance -> k:int -> algorithm
+(** Use a protocol from {!Protocols} (whose compare&swap lives at ["C"])
+    as the emulated A. *)
+
+type params = {
+  m : int;  (** number of emulators; the reduction uses (k−1)!+1 *)
+  batch : int;  (** suspension batch size (paper: m·k²) *)
+  simple_burst : int;
+      (** simple operations emulated per iteration (1 = literal paper;
+          larger values only batch consecutive EmulateSimpleOp calls) *)
+  disable_rebalance : bool;
+      (** ablation: never release suspended v-processes (Fig. 5 off) *)
+  disable_attach : bool;
+      (** ablation: never attach inside a tree — every update must be a
+          first-use split, as in the earlier emulation of [1]; this is
+          the mechanism whose absence made [1] unable to handle runs
+          with unboundedly many compare&swap operations *)
+}
+
+val default_params : k:int -> params
+(** m = (k−1)!+1, batch = m·k², burst 1. *)
+
+val small_params : k:int -> params
+(** Laptop-scale: same m, batch = m, burst 8 — documents itself in the
+    stats so experiment tables always show the provisioning used. *)
+
+type t
+(** Whole-emulation state (immutable). *)
+
+val create : algorithm -> params -> t
+
+(** Observable per-emulator status. *)
+type emulator_view = {
+  id : int;
+  label : Label.t;
+  decided : Value.t option;
+  stalled : bool;
+  iterations : int;
+}
+
+val k : t -> int
+val m : t -> int
+val emulator : t -> int -> emulator_view
+val emulators : t -> emulator_view list
+
+(** Analysis log (oldest first): every emulated v-process operation and
+    every shared-structure mutation.  Invisible to the emulators
+    themselves; consumed by {!Invariants}, {!Replay} and experiment E8. *)
+type event =
+  | Ev_read of { vp : int; loc : string; value : Value.t; label : Label.t }
+  | Ev_write of { vp : int; loc : string; value : Value.t; label : Label.t }
+  | Ev_cas_fail of { vp : int; returned : Sigma.t; label : Label.t }
+  | Ev_cas_success of { vp : int; edge : Sigma.t * Sigma.t; label : Label.t }
+  | Ev_suspend of { vp : int; edge : Sigma.t * Sigma.t; label : Label.t }
+  | Ev_attach of { emu : int; value : Sigma.t; label : Label.t }
+  | Ev_split of { emu : int; label : Label.t }
+  | Ev_decide of { emu : int; value : Value.t; label : Label.t }
+
+val events : t -> event list
+val shared_tree : t -> History_tree.t
+val vp_graph : t -> Vp_graph.t
+val history_of : t -> Label.t -> Sigma.t list
+
+val step : t -> emu:int -> t
+(** One full iteration of one emulator (snapshot + compute + publish). *)
+
+val plan : t -> emu:int -> t -> t
+(** [plan t0 ~emu t] runs emulator [emu]'s iteration against the {e stale}
+    snapshot [t0] but publishes into [t] — the adversarial interleaving
+    where several emulators acted on the same old view.  [step t e =
+    plan t ~emu:e t].
+
+    Causality requirement: [t0] must not predate emulator [emu]'s own
+    last commit (a process rereading shared memory always sees its own
+    previous writes).  Views older than that can reference labels the
+    emulator has privately adopted but whose trees are not yet visible,
+    and the iteration fails loudly. *)
+
+(** Aggregate statistics. *)
+type stats = {
+  iterations : int;
+  simple_ops : int;
+  suspensions : int;
+  releases : int;
+  attaches : int;  (** in-tree history extensions *)
+  splits : int;  (** new-label activations *)
+  stall_events : int;
+}
+
+val stats : t -> stats
+
+type outcome = {
+  final : t;
+  decisions : (int * Value.t) list;
+  distinct_decisions : Value.t list;
+  stalled : int list;  (** emulators that stopped making progress *)
+  total_iterations : int;
+}
+
+val run : ?seed:int -> ?max_iterations:int -> t -> outcome
+(** Drive emulators under a seeded random schedule until all have decided
+    or stalled (or the iteration budget runs out). *)
+
+val run_round_robin : ?max_iterations:int -> t -> outcome
+
+val run_staleview : ?max_rounds:int -> t -> outcome
+(** Adversarial simultaneity: each round, every pending emulator plans
+    against the same start-of-round snapshot.  This is the schedule under
+    which emulators perform concurrent first-use updates and the group
+    actually splits into multiple labels (with fresh views they would
+    simply join the first split they see). *)

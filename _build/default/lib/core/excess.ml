@@ -1,0 +1,117 @@
+type t = { k : int; w : int array array }
+
+let k t = t.k
+
+let transitions history =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if Sigma.equal a b then go rest else (a, b) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go history
+
+let compute ~k ~suspensions ~history =
+  let w = Array.make_matrix k k 0 in
+  let idx = Sigma.index ~k in
+  (* w = f + s − p: every suspension entry contributes +1 (unreleased
+     entries as available processes f, released ones as already-emulated
+     successes s cancelling a history debt), every history transition
+     −1. *)
+  List.iter
+    (fun (e : Vp_graph.entry) ->
+      let a, b = e.Vp_graph.edge in
+      w.(idx a).(idx b) <- w.(idx a).(idx b) + 1)
+    suspensions;
+  List.iter
+    (fun (a, b) -> w.(idx a).(idx b) <- w.(idx a).(idx b) - 1)
+    (transitions history);
+  { k; w }
+
+let weight t a b = t.w.(Sigma.index ~k:t.k a).(Sigma.index ~k:t.k b)
+
+let debit t edges =
+  let w = Array.map Array.copy t.w in
+  List.iter
+    (fun (a, b) ->
+      let i = Sigma.index ~k:t.k a and j = Sigma.index ~k:t.k b in
+      w.(i).(j) <- w.(i).(j) - 1)
+    edges;
+  { t with w }
+
+(* Widest (maximum-bottleneck) path via Floyd–Warshall on the bottleneck
+   semiring.  Paths must be non-empty, so we seed with single edges and
+   close under concatenation. *)
+let widest_matrix t =
+  let n = t.k in
+  let d = Array.make_matrix n n min_int in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then d.(i).(j) <- t.w.(i).(j)
+    done
+  done;
+  for mid = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = min d.(i).(mid) d.(mid).(j) in
+        if via > d.(i).(j) then d.(i).(j) <- via
+      done
+    done
+  done;
+  d
+
+let widest_path t a b =
+  let d = widest_matrix t in
+  let v = d.(Sigma.index ~k:t.k a).(Sigma.index ~k:t.k b) in
+  if v = min_int then 0 else max v 0
+
+let widest_cycle_through t a b =
+  if Sigma.equal a b then widest_path t a a
+  else min (widest_path t a b) (widest_path t b a)
+
+let path_with_width t ~min_width a b =
+  (* Shortest path (BFS) from a to b using only edges of weight
+     >= min_width; at least one edge even when a = b (a cycle).  Returns
+     the strictly-intermediate symbols. *)
+  let n = t.k in
+  let src = Sigma.index ~k:t.k a and dst = Sigma.index ~k:t.k b in
+  let edge u v = u <> v && t.w.(u).(v) >= min_width in
+  let prev = Array.make n (-2) in
+  (* [final_prev] is the node from which we step onto [dst]. *)
+  let final_prev = ref (-2) in
+  if edge src dst then final_prev := src
+  else begin
+    let queue = Queue.create () in
+    prev.(src) <- -1;
+    Queue.add src queue;
+    while !final_prev = -2 && not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      for j = 0 to n - 1 do
+        if !final_prev = -2 && edge u j then
+          if j = dst then final_prev := u
+          else if prev.(j) = -2 then begin
+            prev.(j) <- u;
+            Queue.add j queue
+          end
+      done
+    done
+  end;
+  if !final_prev = -2 then None
+  else begin
+    let rec build u acc =
+      if u = src || u = -1 then acc else build prev.(u) (u :: acc)
+    in
+    Some (List.map (Sigma.of_index ~k:t.k) (build !final_prev []))
+  end
+
+let pp ppf t =
+  let syms = Sigma.all ~k:t.k in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Sigma.equal a b) then
+            let w = weight t a b in
+            if w <> 0 then
+              Fmt.pf ppf "%a->%a:%d@ " Sigma.pp a Sigma.pp b w)
+        syms)
+    syms

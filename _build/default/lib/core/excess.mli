@@ -1,0 +1,53 @@
+(** The excess graph (Definition 1).
+
+    For a given run (label) and its history, edge (a→b) carries
+
+    {v w(a→b) = f(a→b) − (p(a→b) − s(a→b)) v}
+
+    where [f] = virtual processes suspended on c&s(a→b) and not released,
+    [p] = transitions a→b written in the history, [s] = successful
+    c&s(a→b) operations already emulated (released).  [p − s] is the
+    history's {e debt}: transitions that must still be backed by a
+    suspended process, so [w] is what remains available for future
+    history extensions.
+
+    The emulator needs two queries (Fig. 6): the widest cycle through two
+    given values (its width gates attaching a new symbol), and an actual
+    path of a guaranteed width (to fill the [FromParent]/[ToParent]
+    fields of a new node). *)
+
+type t
+
+val compute :
+  k:int -> suspensions:Vp_graph.entry list -> history:Sigma.t list -> t
+(** [suspensions] should already be filtered to the run's label
+    ({!Vp_graph.visible}); released entries contribute to [s], others to
+    [f]; [history] supplies [p]. *)
+
+val k : t -> int
+val weight : t -> Sigma.t -> Sigma.t -> int
+
+(** [debit t edges] subtracts one unit per listed edge: used to reserve
+    the {e pending} return-path obligations of the current DFS spine
+    (their transitions are not yet in the rendered history but will
+    materialize when the spine is exited, so attach decisions must not
+    spend them twice). *)
+val debit : t -> (Sigma.t * Sigma.t) list -> t
+val transitions : Sigma.t list -> (Sigma.t * Sigma.t) list
+(** Consecutive pairs of a history (the [p]-multiset). *)
+
+val widest_path : t -> Sigma.t -> Sigma.t -> int
+(** Maximum over non-empty paths a→…→b of the minimum edge weight
+    (0 if no positive-width path; [max_int] never returned: single-edge
+    paths allowed, a = b yields the widest cycle through a). *)
+
+val widest_cycle_through : t -> Sigma.t -> Sigma.t -> int
+(** The best width of a cycle containing both values: for a ≠ b,
+    [min (widest_path a b) (widest_path b a)]. *)
+
+val path_with_width : t -> min_width:int -> Sigma.t -> Sigma.t -> Sigma.t list option
+(** [Some intermediates] — the symbols strictly between a and b on some
+    path all of whose edges have weight ≥ [min_width]; [None] if no such
+    path.  Prefers short paths. *)
+
+val pp : Format.formatter -> t -> unit

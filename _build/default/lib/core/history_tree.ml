@@ -1,0 +1,170 @@
+module Imap = Map.Make (Int)
+
+module Lmap = Map.Make (struct
+  type t = Label.t
+
+  let compare = Label.compare
+end)
+
+type node = {
+  value : Sigma.t;
+  from_parent : Sigma.t list;
+  to_parent : Sigma.t list;
+  parent : int option;
+  children : (int * int * int) list;
+}
+
+type tree = { nodes : node Imap.t; root : int; next_id : int }
+
+let tree_root tree = tree.root
+let tree_node tree id = Imap.find id tree.nodes
+let tree_size tree = Imap.cardinal tree.nodes
+
+type t = { trees : tree Lmap.t }
+
+let singleton_tree value =
+  {
+    nodes =
+      Imap.singleton 0
+        { value; from_parent = []; to_parent = []; parent = None; children = [] };
+    root = 0;
+    next_id = 1;
+  }
+
+let create () = { trees = Lmap.singleton Label.root (singleton_tree Sigma.Bot) }
+let tree t label = Lmap.find_opt label t.trees
+let active_labels t = List.map fst (Lmap.bindings t.trees)
+
+let children_labels t label =
+  active_labels t
+  |> List.filter_map (fun l ->
+         if List.length l = List.length label + 1 && Label.is_prefix label l
+         then Some (List.nth l (List.length label))
+         else None)
+  |> List.sort compare
+
+let is_leaf t label = children_labels t label = []
+let leaf_labels t = List.filter (is_leaf t) (active_labels t)
+
+let rec extend_to_leaf t label =
+  match children_labels t label with
+  | [] -> label
+  | v :: _ -> extend_to_leaf t (Label.extend label v)
+
+let activate t ~parent ~value =
+  let label = Label.extend parent value in
+  if Lmap.mem label t.trees then t
+  else { trees = Lmap.add label (singleton_tree (Sigma.V value)) t.trees }
+
+let attach t ~label ~parent_node ~emu ~seq ~value ~from_parent ~to_parent =
+  match Lmap.find_opt label t.trees with
+  | None -> invalid_arg "History_tree.attach: no such label"
+  | Some tree ->
+    let id = tree.next_id in
+    let node = { value; from_parent; to_parent; parent = Some parent_node; children = [] } in
+    let parent = Imap.find parent_node tree.nodes in
+    let children =
+      List.sort compare ((emu, seq, id) :: parent.children)
+    in
+    let nodes =
+      Imap.add id node
+        (Imap.add parent_node { parent with children } tree.nodes)
+    in
+    let tree = { tree with nodes; next_id = id + 1 } in
+    ({ trees = Lmap.add label tree t.trees }, id)
+
+(* Fig. 4: render the tree's contribution to the history.  [full] renders
+   the complete DFS (ending back at the root symbol); otherwise we stop
+   right after entering the node that is last in DFS order. *)
+let dfs tree ~full =
+  let buf = ref [] in
+  let emit s = buf := s :: !buf in
+  let last_entry_mark = ref 0 in
+  let rec visit id =
+    let n = Imap.find id tree.nodes in
+    List.iter
+      (fun (_, _, child_id) ->
+        let c = Imap.find child_id tree.nodes in
+        List.iter emit c.from_parent;
+        emit c.value;
+        last_entry_mark := List.length !buf;
+        visit child_id;
+        List.iter emit c.to_parent;
+        emit n.value)
+      n.children
+  in
+  let root = Imap.find tree.root tree.nodes in
+  emit root.value;
+  last_entry_mark := List.length !buf;
+  visit tree.root;
+  let seq = List.rev !buf in
+  if full then seq
+  else List.filteri (fun i _ -> i < !last_entry_mark) seq
+
+let rightmost tree =
+  let result = ref tree.root in
+  let rec visit id =
+    let n = Imap.find id tree.nodes in
+    List.iter
+      (fun (_, _, child_id) ->
+        result := child_id;
+        visit child_id)
+      n.children
+  in
+  visit tree.root;
+  !result
+
+let depth tree id =
+  let rec go id acc =
+    match (Imap.find id tree.nodes).parent with
+    | None -> acc
+    | Some p -> go p (acc + 1)
+  in
+  go id 0
+
+let ancestors tree id =
+  let rec go id acc =
+    match (Imap.find id tree.nodes).parent with
+    | None -> List.rev (id :: acc)
+    | Some p -> go p (id :: acc)
+  in
+  go id []
+
+let history t label =
+  let prefix_list =
+    List.init
+      (List.length label + 1)
+      (fun i -> List.filteri (fun j _ -> j < i) label)
+  in
+  List.concat_map
+    (fun l ->
+      match Lmap.find_opt l t.trees with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "History_tree.history: missing tree for %s"
+             (Label.to_string l))
+      | Some tree -> dfs tree ~full:(not (Label.equal l label)))
+    prefix_list
+
+let pp_tree ppf tree =
+  let rec pp_node ppf id =
+    let n = Imap.find id tree.nodes in
+    Fmt.pf ppf "@[<v 2>%a%s%s%a@]" Sigma.pp n.value
+      (if n.from_parent = [] then ""
+       else
+         Fmt.str " <-[%a]"
+           Fmt.(list ~sep:sp Sigma.pp)
+           n.from_parent)
+      (if n.to_parent = [] then ""
+       else Fmt.str " ->[%a]" Fmt.(list ~sep:sp Sigma.pp) n.to_parent)
+      (fun ppf children ->
+        List.iter (fun (_, _, c) -> Fmt.pf ppf "@,%a" pp_node c) children)
+      n.children
+  in
+  pp_node ppf tree.root
+
+let pp ppf t =
+  Lmap.iter
+    (fun label tree ->
+      Fmt.pf ppf "@[<v 2>t_%s:@,%a@]@." (Label.to_string label) pp_tree tree)
+    t.trees

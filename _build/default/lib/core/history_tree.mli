@@ -1,0 +1,92 @@
+(** The shared history structure T (Fig. 1) and the small trees t_l.
+
+    T has one {e small tree} per label; the small tree [t_l] stores the
+    part of the history that the group with label [l] constructed after
+    its last split.  Each node of a small tree carries one alphabet
+    symbol plus two path fields:
+
+    - [from_parent]: the symbols the register went through between the
+      parent's value and this node's value (exclusive at both ends);
+    - [to_parent]: the way back.
+
+    The history of a run with label [l = a₁…a_n] is the concatenation of
+    the DFS renderings (Fig. 4) of the trees [t_[]], [t_[a₁]], …, [t_l]:
+    full DFS (ending back at the root's symbol) for every proper prefix,
+    and DFS cut at the {e rightmost} node — the last node in DFS order,
+    whose symbol is the register's current value — for [t_l] itself.
+
+    Nodes are attached concurrently by different emulators; the paper
+    gives each node an m-tuple of single-writer child slots.  We keep the
+    children sorted by (emulator, per-emulator sequence number), which is
+    a deterministic order every emulator computes identically.  A late
+    attachment can land in the {e middle} of the DFS; the emulation's
+    correctness argument (appendix, case 2) shows the inserted segment is
+    a cycle, and the invariant checker audits exactly that: consecutive
+    histories of one label differ only by appends and cycle
+    insertions. *)
+
+type node = {
+  value : Sigma.t;
+  from_parent : Sigma.t list;
+  to_parent : Sigma.t list;
+  parent : int option;
+  children : (int * int * int) list;
+      (** (emulator, seq, node id), kept sorted *)
+}
+
+type tree
+
+val tree_root : tree -> int
+val tree_node : tree -> int -> node
+val tree_size : tree -> int
+
+type t
+(** The whole structure T: one tree per active label.  Immutable. *)
+
+val create : unit -> t
+(** Only the root label (⊥ alone) is active, with a single ⊥ node. *)
+
+val tree : t -> Label.t -> tree option
+val active_labels : t -> Label.t list
+val leaf_labels : t -> Label.t list
+val is_leaf : t -> Label.t -> bool
+
+val extend_to_leaf : t -> Label.t -> Label.t
+(** Follow child trees (smallest first-use value first) until reaching a
+    leaf label — the label-refresh step of ComputeHistory. *)
+
+val activate : t -> parent:Label.t -> value:int -> t
+(** Mark [t_(parent·value)] active, creating its root node; idempotent.
+    @raise Invalid_argument if [value] already occurs in [parent]. *)
+
+val attach :
+  t -> label:Label.t -> parent_node:int -> emu:int -> seq:int ->
+  value:Sigma.t -> from_parent:Sigma.t list -> to_parent:Sigma.t list ->
+  t * int
+(** Attach a new node under [parent_node] in [t_label]; returns the new
+    node's id.  Deterministic sibling position given (emu, seq). *)
+
+val dfs : tree -> full:bool -> Sigma.t list
+(** The Fig. 4 rendering.  [full = true] ends back at the root symbol;
+    [full = false] cuts just after entering the rightmost node. *)
+
+val rightmost : tree -> int
+(** The last node in DFS order (its symbol is the current register value
+    for the group whose label names this tree). *)
+
+val depth : tree -> int -> int
+(** Root has depth 0. *)
+
+val ancestors : tree -> int -> int list
+(** The node itself first, then its parent chain up to the root. *)
+
+val history : t -> Label.t -> Sigma.t list
+(** ComputeHistory (Fig. 4) for a label whose prefix trees all exist:
+    always starts with ⊥; its last symbol is the group's current
+    register value. *)
+
+val pp_tree : Format.formatter -> tree -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render the whole structure T: every active label with its small
+    tree, in label order. *)

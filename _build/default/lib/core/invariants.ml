@@ -1,0 +1,249 @@
+module Value = Memory.Value
+
+type violation = { check : string; detail : string }
+
+let v check fmt = Fmt.kstr (fun detail -> { check; detail }) fmt
+
+let label_budget t =
+  let k = Emulation.k t in
+  let labels = History_tree.active_labels (Emulation.shared_tree t) in
+  let budget =
+    if List.length labels > Label.max_labels ~k + 1 then
+      (* +1: the root label itself is not a leaf/permutation. *)
+      [
+        v "label-budget" "%d labels active, budget (k-1)! = %d"
+          (List.length labels) (Label.max_labels ~k);
+      ]
+    else []
+  in
+  let shape =
+    List.concat_map
+      (fun l ->
+        let dup = List.length (List.sort_uniq compare l) <> List.length l in
+        let too_long = List.length l > k - 1 in
+        let out_of_range = List.exists (fun x -> x < 0 || x > k - 2) l in
+        if dup || too_long || out_of_range then
+          [ v "label-shape" "bad label %s" (Label.to_string l) ]
+        else [])
+      labels
+  in
+  budget @ shape
+
+let history_well_formed t =
+  let k = Emulation.k t in
+  let sigma = Sigma.all ~k in
+  History_tree.active_labels (Emulation.shared_tree t)
+  |> List.concat_map (fun l ->
+         let h = Emulation.history_of t l in
+         let errs = ref [] in
+         let add fmt = Fmt.kstr (fun d -> errs := { check = "history"; detail = d } :: !errs) fmt in
+         (match h with
+         | Sigma.Bot :: _ -> ()
+         | _ -> add "history of %s does not start at bottom" (Label.to_string l));
+         let rec adjacent = function
+           | a :: (b :: _ as rest) ->
+             if Sigma.equal a b then
+               add "history of %s repeats %s consecutively" (Label.to_string l)
+                 (Sigma.to_string a);
+             adjacent rest
+           | _ -> ()
+         in
+         adjacent h;
+         List.iter
+           (fun s ->
+             if not (List.exists (Sigma.equal s) sigma) then
+               add "history of %s leaves the alphabet: %s" (Label.to_string l)
+                 (Sigma.to_string s))
+           h;
+         (* First appearances of the label's split values follow label
+            order. *)
+         let first_pos x =
+           let rec go i = function
+             | [] -> None
+             | s :: rest ->
+               if Sigma.equal s (Sigma.V x) then Some i else go (i + 1) rest
+           in
+           go 0 h
+         in
+         let rec check_order last = function
+           | [] -> ()
+           | x :: rest -> (
+             match first_pos x with
+             | None ->
+               add "label %s value %d never appears in its history"
+                 (Label.to_string l) x
+             | Some p ->
+               if p < last then
+                 add "label %s first-use order violated at value %d"
+                   (Label.to_string l) x;
+               check_order p rest)
+         in
+         check_order (-1) l;
+         List.rev !errs)
+
+let history_backed t =
+  let k = Emulation.k t in
+  History_tree.leaf_labels (Emulation.shared_tree t)
+  |> List.concat_map (fun l ->
+         let h = Emulation.history_of t l in
+         let trans = Excess.transitions h in
+         let suspensions = Vp_graph.visible (Emulation.vp_graph t) ~label:l in
+         List.concat_map
+           (fun a ->
+             List.filter_map
+               (fun b ->
+                 if Sigma.equal a b then None
+                 else
+                   let p =
+                     List.length (List.filter (fun tr -> tr = (a, b)) trans)
+                   in
+                   let f =
+                     List.length
+                       (List.filter
+                          (fun (e : Vp_graph.entry) -> e.Vp_graph.edge = (a, b))
+                          suspensions)
+                   in
+                   (* Every transition needs a distinct suspended
+                      v-process, except first-use transitions (one per
+                      label split, accounted once each). *)
+                   let first_use =
+                     match l with
+                     | [] -> 0
+                     | _ ->
+                       List.length
+                         (List.filter
+                            (fun x -> Sigma.equal b (Sigma.V x))
+                            l)
+                   in
+                   if p - first_use > f then
+                     Some
+                       (v "history-backed"
+                          "label %s edge %s->%s: %d transitions but only %d \
+                           suspensions"
+                          (Label.to_string l) (Sigma.to_string a)
+                          (Sigma.to_string b) p f)
+                   else None)
+               (Sigma.all ~k))
+           (Sigma.all ~k))
+
+let release_margin t =
+  let m = Emulation.m t in
+  (* Replay the event log per label, tracking history transitions seen so
+     far (we approximate the releasing emulator's view with the global
+     event order, which is exactly the linearization the emulation
+     wrote). *)
+  let seen_success : (Sigma.t * Sigma.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let errs = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Emulation.Ev_cas_success { edge; label; _ } ->
+        let t' = t in
+        let h = Emulation.history_of t' label in
+        (* Final history ⊇ history at release time, so this is a
+           necessary-condition check: the final history must contain at
+           least (releases so far + m) transitions on the edge. *)
+        let total =
+          List.length
+            (List.filter (fun tr -> tr = edge) (Excess.transitions h))
+        in
+        let released_before =
+          Option.value ~default:0 (Hashtbl.find_opt seen_success edge)
+        in
+        Hashtbl.replace seen_success edge (released_before + 1);
+        if total - released_before < m then
+          errs :=
+            v "release-margin"
+              "release #%d on %s->%s but final history has only %d such \
+               transitions (< released + m = %d)"
+              (released_before + 1)
+              (Sigma.to_string (fst edge))
+              (Sigma.to_string (snd edge))
+              total (released_before + m)
+            :: !errs
+      | _ -> ())
+    (Emulation.events t);
+  List.rev !errs
+
+let reads_justified t =
+  let errs = ref [] in
+  let writes : (string, (Value.t * Label.t) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Emulation.Ev_write { loc; value; label; _ } ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt writes loc) in
+        Hashtbl.replace writes loc ((value, label) :: prev)
+      | Emulation.Ev_read { loc; value; label; vp } ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt writes loc) in
+        let justified =
+          List.exists
+            (fun (w, wl) -> Value.equal w value && Label.compatible wl label)
+            prev
+          || prev = []  (* initial value *)
+          || not
+               (List.exists
+                  (fun (_, wl) -> Label.compatible wl label)
+                  prev)
+          (* no compatible write yet: must be the initial value *)
+        in
+        if not justified then
+          errs :=
+            v "reads-justified" "vp %d read %s from %s without a matching write"
+              vp (Value.to_string value) loc
+            :: !errs
+      | _ -> ())
+    (Emulation.events t);
+  List.rev !errs
+
+let same_label_agreement t =
+  let views = Emulation.emulators t in
+  let decided =
+    List.filter_map
+      (fun (vw : Emulation.emulator_view) ->
+        Option.map (fun d -> (vw.Emulation.label, d)) vw.Emulation.decided)
+      views
+  in
+  List.concat_map
+    (fun (l, d) ->
+      List.filter_map
+        (fun (l', d') ->
+          if Label.equal l l' && not (Value.equal d d') then
+            Some
+              (v "same-label-agreement" "label %s decided both %s and %s"
+                 (Label.to_string l) (Value.to_string d) (Value.to_string d'))
+          else None)
+        decided)
+    decided
+
+let stable_chain t =
+  let m = Emulation.m t in
+  let k = Emulation.k t in
+  History_tree.leaf_labels (Emulation.shared_tree t)
+  |> List.filter_map (fun l ->
+         let h = Emulation.history_of t l in
+         let used = List.sort_uniq Sigma.compare h in
+         let suspensions = Vp_graph.visible (Emulation.vp_graph t) ~label:l in
+         let excess = Excess.compute ~k ~suspensions ~history:h in
+         match Components.chain_decomposition excess ~m ~nodes:used with
+         | Some _ -> None
+         | None ->
+           Some
+             (v "stable-chain"
+                "label %s: used values do not decompose into a stable chain"
+                (Label.to_string l)))
+
+let all t =
+  [
+    ("label-budget", label_budget t);
+    ("history-well-formed", history_well_formed t);
+    ("history-backed", history_backed t);
+    ("release-margin", release_margin t);
+    ("reads-justified", reads_justified t);
+    ("same-label-agreement", same_label_agreement t);
+    ("stable-chain", stable_chain t);
+  ]
+
+let pp_violation ppf { check; detail } = Fmt.pf ppf "[%s] %s" check detail

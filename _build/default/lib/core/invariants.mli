@@ -1,0 +1,56 @@
+(** Per-run audits of the emulation's correctness obligations
+    (experiment E5) — the executable form of Lemma 1.2 and
+    Definitions 1–3.
+
+    Each audit inspects a finished emulation and returns the list of
+    violations (empty = clean).  The checks are deliberately independent
+    of the emulator implementation: they recompute everything from the
+    shared structures and the event log. *)
+
+type violation = { check : string; detail : string }
+
+val label_budget : Emulation.t -> violation list
+(** At most (k−1)! labels; every label is a duplicate-free sequence of
+    non-⊥ values of length ≤ k−1. *)
+
+val history_well_formed : Emulation.t -> violation list
+(** For every active label: the history starts at ⊥, never has two equal
+    consecutive symbols, stays inside Σ, and the label's values make
+    their first appearances in label order (Lemma 1.2(2) in spirit: the
+    history is a legal sequence of register values whose splits happened
+    in label order). *)
+
+val history_backed : Emulation.t -> violation list
+(** Definition 1 discipline, per leaf label: no edge of the excess graph
+    is overdrawn — the number of history transitions (a→b) never exceeds
+    suspensions-ever on (a→b) visible to that run (each transition must
+    be attributable to a distinct suspended v-process).  This is the
+    heart of "there is at least one run of A that the emulation has
+    emulated". *)
+
+val release_margin : Emulation.t -> violation list
+(** Fig. 5's rule: at every release of a suspended c&s(a→b), the history
+    visible to that run contained at least m unmatched (a→b)
+    transitions.  Recomputed from the event log. *)
+
+val reads_justified : Emulation.t -> violation list
+(** Every emulated register read returned the register's initial value or
+    a value written earlier by a label-compatible write (the Fig. 3
+    register rule). *)
+
+val same_label_agreement : Emulation.t -> violation list
+(** Emulators that decided in the same final label decided equal values
+    (the property that makes B an ℓ-set consensus when A is an
+    election). *)
+
+val stable_chain : Emulation.t -> violation list
+(** Lemma 1.2(3), reconstructed: for each leaf label, the values used in
+    its history decompose into stable components connected by a
+    high-width path ({!Components.chain_decomposition}).  Reported, not
+    asserted: at laptop-scale provisioning the invariant can genuinely
+    fail after the budget is spent — see DESIGN.md. *)
+
+val all : Emulation.t -> (string * violation list) list
+(** Every audit, labelled. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,22 @@
+type t = int list
+
+let root = []
+let equal = List.equal Int.equal
+let compare = List.compare Int.compare
+
+let extend l v =
+  if List.mem v l then invalid_arg "Label.extend: value already first-used"
+  else l @ [ v ]
+
+let mem = List.mem
+
+let rec is_prefix l l' =
+  match l, l' with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+let compatible a b = is_prefix a b || is_prefix b a
+let max_labels ~k = Protocols.Perm.factorial (k - 1)
+let pp ppf l = Fmt.pf ppf "_|_%a" Fmt.(list ~sep:nop (fun ppf -> Fmt.pf ppf ".%d")) l
+let to_string l = Fmt.str "%a" pp l

@@ -1,0 +1,39 @@
+(** Labels: the sequence of "first values" of a constructed run (§3.1).
+
+    When emulators concurrently perform successful c&s operations that
+    introduce values never used before, they split into groups — one per
+    new value — and each group continues constructing its own run.  The
+    label of a run is the order in which values were first used; it
+    always starts with ⊥ (kept implicit here: a label is the list of
+    non-⊥ symbols in first-use order).  There are at most (k−1)!
+    labels, hence at most (k−1)! groups — the crux of the reduction to
+    (k−1)!-set consensus.
+
+    A label [l] identifies the tree [t_l] in the shared structure T, and
+    run data is visible across groups exactly when their labels are
+    prefix-compatible. *)
+
+type t = int list
+(** Values (as in {!Sigma.V}) in first-use order.  [[]] is the root
+    label (only ⊥ used so far). *)
+
+val root : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val extend : t -> int -> t
+(** Append a newly first-used value.  @raise Invalid_argument if the
+    value is already in the label. *)
+
+val mem : int -> t -> bool
+val is_prefix : t -> t -> bool
+(** [is_prefix l l'] : is [l] a prefix of [l']? *)
+
+val compatible : t -> t -> bool
+(** Either is a prefix of the other — the visibility condition for
+    emulated register reads. *)
+
+val max_labels : k:int -> int
+(** (k−1)! — the number of leaves of T. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

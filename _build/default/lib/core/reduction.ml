@@ -1,0 +1,64 @@
+module Value = Memory.Value
+
+type report = {
+  outcome : Emulation.outcome;
+  width : int;
+  max_width : int;
+  labels_used : int;
+  same_label_consistent : bool;
+  all_settled : bool;
+  stalls : int;
+}
+
+let check ?(seed = 0) ?(schedule = `Random) ?max_iterations alg params =
+  let t = Emulation.create alg params in
+  let outcome =
+    match schedule with
+    | `Random -> Emulation.run ~seed ?max_iterations t
+    | `Round_robin -> Emulation.run_round_robin ?max_iterations t
+    | `Stale_view -> Emulation.run_staleview ?max_rounds:max_iterations t
+  in
+  let final = outcome.Emulation.final in
+  let views = Emulation.emulators final in
+  let decided_views =
+    List.filter_map
+      (fun (v : Emulation.emulator_view) ->
+        Option.map (fun d -> (v.Emulation.label, d)) v.Emulation.decided)
+      views
+  in
+  let labels_used =
+    List.sort_uniq Label.compare (List.map fst decided_views) |> List.length
+  in
+  let same_label_consistent =
+    List.for_all
+      (fun (l, d) ->
+        List.for_all
+          (fun (l', d') ->
+            (not (Label.equal l l')) || Value.equal d d')
+          decided_views)
+      decided_views
+  in
+  let all_settled =
+    List.for_all
+      (fun (v : Emulation.emulator_view) ->
+        v.Emulation.decided <> None || v.Emulation.stalled)
+      views
+  in
+  {
+    outcome;
+    width = List.length outcome.Emulation.distinct_decisions;
+    max_width = Bounds.set_consensus_width ~k:alg.Emulation.k;
+    labels_used;
+    same_label_consistent;
+    all_settled;
+    stalls = List.length outcome.Emulation.stalled;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "width=%d (max %d) labels=%d same-label-consistent=%b settled=%b \
+     stalls=%d decisions=[%a]"
+    r.width r.max_width r.labels_used r.same_label_consistent r.all_settled
+    r.stalls
+    Fmt.(list ~sep:(any ", ") Value.pp)
+    r.outcome.Emulation.distinct_decisions

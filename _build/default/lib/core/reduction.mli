@@ -1,0 +1,46 @@
+(** The reduction of Claim 1, packaged: from a (hypothetical) leader
+    election algorithm A over one compare&swap-(k) to an
+    ℓ-set-consensus algorithm B among m = ℓ+1 emulators, ℓ = (k−1)!.
+
+    Running [check] emulates A under a schedule, then verifies the
+    set-consensus obligations of B:
+
+    - {b consistency}: at most ℓ distinct decision values overall, and —
+      when A is an election — emulators that finished in the same label
+      (same constructed run of A) decided the {e same} value;
+    - {b wait-freedom}: every emulator either decided or stalled for lack
+      of v-processes (the paper's Π-sized provisioning rules stalls out;
+      at laptop scale we report them — they are the observable form of
+      the space bound);
+    - {b validity}: every decision was decided by some v-process of A
+      (we check it appears in a decide event of the emulation).
+
+    If A were a correct election for more processes than n_k, B would
+    contradict the set-consensus impossibility [4,11,21]; concretely,
+    feeding the over-capacity A of {!Workloads} produces ≤ k−1 groups
+    each deciding a different value — the manufactured set-consensus in
+    the flesh (experiment E4). *)
+
+module Value := Memory.Value
+
+type report = {
+  outcome : Emulation.outcome;
+  width : int;  (** distinct decision values *)
+  max_width : int;  (** ℓ = (k−1)! *)
+  labels_used : int;
+  same_label_consistent : bool;
+      (** same final label ⟹ same decision (meaningful when A is an
+          election) *)
+  all_settled : bool;  (** every emulator decided or stalled *)
+  stalls : int;
+}
+
+val check :
+  ?seed:int ->
+  ?schedule:[ `Random | `Round_robin | `Stale_view ] ->
+  ?max_iterations:int ->
+  Emulation.algorithm ->
+  Emulation.params ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,177 @@
+type edge_report = {
+  edge : Sigma.t * Sigma.t;
+  transitions : int;
+  released : int;
+  suspended : int;
+  first_use : int;
+  feasible : bool;
+}
+
+type report = {
+  label : Label.t;
+  history_length : int;
+  edges : edge_report list;
+  feasible : bool;
+}
+
+let witness t label =
+  let k = Emulation.k t in
+  let h = Emulation.history_of t label in
+  let trans = Excess.transitions h in
+  let entries = Vp_graph.visible (Emulation.vp_graph t) ~label in
+  (* First-use transitions: for each split value x of the label, the one
+     transition that introduced x needs no suspension backing (appendix,
+     case 1: "at most k such cases for each kind of transition"). *)
+  let first_use_count (a, b) =
+    ignore a;
+    match b with
+    | Sigma.Bot -> 0
+    | Sigma.V x -> if Label.mem x label then 1 else 0
+  in
+  let sigma = Sigma.all ~k in
+  let edges =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Sigma.equal a b then None
+            else
+              let edge = (a, b) in
+              let transitions =
+                List.length (List.filter (fun tr -> tr = edge) trans)
+              in
+              let released =
+                List.length
+                  (List.filter
+                     (fun (e : Vp_graph.entry) ->
+                       e.Vp_graph.released && e.Vp_graph.edge = edge)
+                     entries)
+              in
+              let suspended =
+                List.length
+                  (List.filter
+                     (fun (e : Vp_graph.entry) ->
+                       (not e.Vp_graph.released) && e.Vp_graph.edge = edge)
+                     entries)
+              in
+              let first_use = first_use_count edge in
+              if transitions = 0 && released = 0 then None
+              else
+                let feasible =
+                  released <= transitions
+                  && transitions <= released + suspended + first_use
+                in
+                Some
+                  { edge; transitions; released; suspended; first_use; feasible })
+          sigma)
+      sigma
+  in
+  {
+    label;
+    history_length = List.length h;
+    edges;
+    feasible = List.for_all (fun (e : edge_report) -> e.feasible) edges;
+  }
+
+let check_all_leaves t =
+  List.map (witness t) (History_tree.leaf_labels (Emulation.shared_tree t))
+
+type timeline_violation = {
+  vp : int;
+  label : Label.t;
+  at : int;
+  reason : string;
+}
+
+let vp_timelines t =
+  let leaves = History_tree.leaf_labels (Emulation.shared_tree t) in
+  let events = Emulation.events t in
+  let violations = ref [] in
+  List.iter
+    (fun leaf ->
+      let h = Array.of_list (Emulation.history_of t leaf) in
+      (* Collect, per vp, the compare&swap responses whose label belongs
+         to this run, in emulation order. *)
+      let per_vp : (int, [ `Fail of Sigma.t | `Succ of Sigma.t * Sigma.t ] list) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      let push vp item =
+        Hashtbl.replace per_vp vp
+          (item :: Option.value ~default:[] (Hashtbl.find_opt per_vp vp))
+      in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Emulation.Ev_cas_fail { vp; returned; label } when Label.is_prefix label leaf ->
+            push vp (`Fail returned)
+          | Emulation.Ev_cas_success { vp; edge; label } when Label.is_prefix label leaf ->
+            push vp (`Succ edge)
+          | _ -> ())
+        events;
+      Hashtbl.iter
+        (fun vp items ->
+          let items = List.rev items in
+          (* Greedy earliest-position embedding: pos = index into h of
+             the point just before which the next op may linearize. *)
+          let rec embed pos idx = function
+            | [] -> ()
+            | `Fail x :: rest -> (
+              (* Find p >= pos with h.(p) = x. *)
+              let rec find p =
+                if p >= Array.length h then None
+                else if Sigma.equal h.(p) x then Some p
+                else find (p + 1)
+              in
+              match find pos with
+              | Some p -> embed p (idx + 1) rest
+              | None ->
+                violations :=
+                  {
+                    vp;
+                    label = leaf;
+                    at = idx;
+                    reason =
+                      Fmt.str "failed op returned %s but the history never \
+                               holds it after position %d"
+                        (Sigma.to_string x) pos;
+                  }
+                  :: !violations)
+            | `Succ (a, b) :: rest -> (
+              let rec find p =
+                if p + 1 >= Array.length h then None
+                else if Sigma.equal h.(p) a && Sigma.equal h.(p + 1) b then
+                  Some p
+                else find (p + 1)
+              in
+              match find pos with
+              | Some p -> embed (p + 1) (idx + 1) rest
+              | None ->
+                violations :=
+                  {
+                    vp;
+                    label = leaf;
+                    at = idx;
+                    reason =
+                      Fmt.str "success on %s->%s has no transition after \
+                               position %d"
+                        (Sigma.to_string a) (Sigma.to_string b) pos;
+                  }
+                  :: !violations)
+          in
+          embed 0 0 items)
+        per_vp)
+    leaves;
+  List.rev !violations
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>label %s: |h|=%d %s@,%a@]" (Label.to_string r.label)
+    r.history_length
+    (if r.feasible then "WITNESS EXISTS" else "INFEASIBLE")
+    Fmt.(
+      list ~sep:cut (fun ppf e ->
+          Fmt.pf ppf "  %s->%s: p=%d rel=%d susp=%d first=%d %s"
+            (Sigma.to_string (fst e.edge))
+            (Sigma.to_string (snd e.edge))
+            e.transitions e.released e.suspended e.first_use
+            (if e.feasible then "ok" else "OVERDRAWN")))
+    r.edges

@@ -1,0 +1,59 @@
+(** Witness-run construction (the executable reading of "we prove that
+    there is at least one run of A that the emulation has emulated",
+    §3.1.1).
+
+    For each leaf label we attempt to exhibit a witness assignment: every
+    transition of the constructed history is matched to a distinct
+    v-process invocation that could have performed it —
+
+    - every {e released} suspension (an emulated successful c&s) must be
+      matched to a transition on its edge;
+    - remaining transitions are covered by still-suspended v-processes
+      (their operations are linearized in the run, responses pending) or
+      by the label's first-use operations (at most one per split);
+    - counts must balance edge by edge.
+
+    The matching is per-edge counting (all operations on one edge are
+    interchangeable, so Hall's condition degenerates to counting). *)
+
+type edge_report = {
+  edge : Sigma.t * Sigma.t;
+  transitions : int;  (** occurrences in the history *)
+  released : int;  (** emulated successes that must be matched *)
+  suspended : int;  (** available pending operations *)
+  first_use : int;  (** split transitions (no suspension needed) *)
+  feasible : bool;
+}
+
+type report = {
+  label : Label.t;
+  history_length : int;
+  edges : edge_report list;
+  feasible : bool;  (** all edges feasible: a witness run exists *)
+}
+
+val witness : Emulation.t -> Label.t -> report
+val check_all_leaves : Emulation.t -> report list
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Per-v-process timelines}
+
+    A stronger per-process legality check: in the witness run, each
+    v-process's compare&swap responses must occur at {e non-decreasing}
+    positions of its run's history — a failed operation that returned
+    [x] must sit at a point where the register held [x], a success on
+    (a→b) must sit at an (a→b) transition, and both later than the
+    process's previous operation.  [vp_timelines] verifies, for every
+    leaf label and every v-process whose events belong to that run, that
+    such a monotone embedding exists (greedy earliest-position
+    assignment, which is exact for per-process feasibility). *)
+
+type timeline_violation = {
+  vp : int;
+  label : Label.t;
+  at : int;  (** index of the offending operation in the vp's sequence *)
+  reason : string;
+}
+
+val vp_timelines : Emulation.t -> timeline_violation list
+(** Empty = every v-process's observed responses embed into its run. *)

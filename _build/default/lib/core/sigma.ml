@@ -1,0 +1,42 @@
+type t = Bot | V of int
+
+let equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | V i, V j -> i = j
+  | (Bot | V _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Bot, Bot -> 0
+  | Bot, V _ -> -1
+  | V _, Bot -> 1
+  | V i, V j -> Int.compare i j
+
+let all ~k =
+  if k < 1 then invalid_arg "Sigma.all: k >= 1 required";
+  Bot :: List.init (k - 1) (fun i -> V i)
+
+let non_bottom ~k = List.init (k - 1) (fun i -> V i)
+
+let index ~k:_ = function Bot -> 0 | V i -> i + 1
+
+let of_index ~k i =
+  if i = 0 then Bot
+  else if i >= 1 && i < k then V (i - 1)
+  else invalid_arg "Sigma.of_index: out of range"
+
+let to_value = function
+  | Bot -> Memory.Value.sym "_|_"
+  | V i -> Memory.Value.int i
+
+let of_value = function
+  | Memory.Value.Sym "_|_" -> Bot
+  | Memory.Value.Int i -> V i
+  | v -> raise (Memory.Value.Type_error ("sigma symbol", v))
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "_|_"
+  | V i -> Fmt.int ppf i
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,21 @@
+(** The compare&swap-(k) alphabet Σ = {⊥, 0, 1, …, k−2} as used by the
+    emulation, with conversions to the runtime's value encoding. *)
+
+type t = Bot | V of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val all : k:int -> t list
+(** ⊥ first, then 0 … k−2. *)
+
+val non_bottom : k:int -> t list
+val index : k:int -> t -> int
+(** Dense index in [0 .. k-1]; ⊥ is 0. *)
+
+val of_index : k:int -> int -> t
+val to_value : t -> Memory.Value.t
+val of_value : Memory.Value.t -> t
+(** @raise Memory.Value.Type_error on values outside the encoding. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,56 @@
+type entry = {
+  vp : int;
+  edge : Sigma.t * Sigma.t;
+  label : Label.t;
+  hist_len : int;
+  released : bool;
+}
+
+type t = entry list array
+(** index: emulator; entries newest first internally, exposed oldest
+    first. *)
+
+let create ~m = Array.make m []
+let entries t ~emu = List.rev t.(emu)
+
+let all_entries t =
+  Array.to_list t
+  |> List.mapi (fun emu es -> List.rev_map (fun e -> (emu, e)) es)
+  |> List.concat
+
+let set t emu es =
+  let t' = Array.copy t in
+  t'.(emu) <- es;
+  t'
+
+let suspend t ~emu ~vp ~edge ~label ~hist_len =
+  set t emu ({ vp; edge; label; hist_len; released = false } :: t.(emu))
+
+let release t ~emu ~vp =
+  let rec go = function
+    | [] -> invalid_arg "Vp_graph.release: no unreleased entry for vp"
+    | e :: rest when e.vp = vp && not e.released ->
+      { e with released = true } :: rest
+    | e :: rest -> e :: go rest
+  in
+  set t emu (go t.(emu))
+
+let suspended_vps t ~emu =
+  List.filter_map (fun e -> if e.released then None else Some e.vp) (entries t ~emu)
+
+let is_suspended t ~emu ~vp =
+  List.exists (fun e -> e.vp = vp && not e.released) t.(emu)
+
+let visible t ~label =
+  List.filter (fun (_, e) -> Label.is_prefix e.label label) (all_entries t)
+  |> List.map snd
+
+let count_unreleased t ~label ~edge =
+  List.length
+    (List.filter
+       (fun e -> (not e.released) && e.edge = edge)
+       (visible t ~label))
+
+let count_released t ~label ~edge =
+  List.length
+    (List.filter (fun e -> e.released && e.edge = edge) (visible t ~label))

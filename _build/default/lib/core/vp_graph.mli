@@ -1,0 +1,48 @@
+(** The vp-graph (Fig. 2): bookkeeping of suspended virtual processes.
+
+    A complete directed graph on the k register values; for each edge
+    (a→b), each emulator keeps — in its own single-writer area — the list
+    of its virtual processes ever suspended on a pending [c&s(a→b)].
+    Entries are never removed: releasing marks the entry, preserving the
+    full record the proof (and our invariant checker) needs.  Each entry
+    carries the label and history length its emulator observed at
+    suspension time, so the release rule of Fig. 5 ("only transitions
+    that occurred after the suspension count") is checkable. *)
+
+type entry = {
+  vp : int;  (** virtual-process id *)
+  edge : Sigma.t * Sigma.t;
+  label : Label.t;  (** the owner's label at suspension time *)
+  hist_len : int;  (** length of the owner's history at suspension time *)
+  released : bool;
+}
+
+type t
+(** The whole graph: per-emulator entry lists.  Immutable. *)
+
+val create : m:int -> t
+val entries : t -> emu:int -> entry list
+(** Oldest first. *)
+
+val all_entries : t -> (int * entry) list
+(** (emulator, entry) pairs, all emulators. *)
+
+val suspend :
+  t -> emu:int -> vp:int -> edge:Sigma.t * Sigma.t -> label:Label.t ->
+  hist_len:int -> t
+
+val release : t -> emu:int -> vp:int -> t
+(** Mark this emulator's entry for [vp] released.
+    @raise Invalid_argument if no unreleased entry exists. *)
+
+val suspended_vps : t -> emu:int -> int list
+(** vps of this emulator currently suspended (unreleased). *)
+
+val is_suspended : t -> emu:int -> vp:int -> bool
+
+val visible : t -> label:Label.t -> entry list
+(** Entries whose suspension label is a prefix of [label] — the ones
+    belonging to this run (Fig. 5 line 2). *)
+
+val count_unreleased : t -> label:Label.t -> edge:Sigma.t * Sigma.t -> int
+val count_released : t -> label:Label.t -> edge:Sigma.t * Sigma.t -> int

@@ -1,0 +1,1 @@
+lib/game/board.ml: Array Buffer Char Fmt List

@@ -1,0 +1,1 @@
+lib/game/board.mli: Format

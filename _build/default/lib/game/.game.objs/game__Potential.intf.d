@@ -1,0 +1,1 @@
+lib/game/potential.mli: Board

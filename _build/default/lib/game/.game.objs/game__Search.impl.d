@@ -1,0 +1,1 @@
+lib/game/search.ml: Board Hashtbl List Potential Random

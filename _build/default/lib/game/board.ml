@@ -1,0 +1,164 @@
+type action = Move of int * int | Jump of int * int
+
+type t = {
+  m : int;
+  k : int;
+  positions : int array;  (** agent -> node *)
+  painted : bool array array;  (** painted.(v).(u) : edge v→u painted *)
+  eligibility : bool array array;
+      (** eligibility.(agent).(node): has another agent moved to [node]
+          since [agent] last visited it? *)
+  moves : int;
+}
+
+let m t = t.m
+let k t = t.k
+let position t a = t.positions.(a)
+let moves_made t = t.moves
+let eligible t ~agent ~node = t.eligibility.(agent).(node)
+
+let create ~m ~k ?positions () =
+  if m < 1 || k < 2 then invalid_arg "Board.create: need m >= 1, k >= 2";
+  let positions =
+    match positions with
+    | None -> Array.make m 0
+    | Some p ->
+      if Array.length p <> m || Array.exists (fun v -> v < 0 || v >= k) p then
+        invalid_arg "Board.create: bad positions"
+      else Array.copy p
+  in
+  {
+    m;
+    k;
+    positions;
+    painted = Array.make_matrix k k false;
+    eligibility = Array.make_matrix m k false;
+    moves = 0;
+  }
+
+let painted t =
+  let acc = ref [] in
+  for v = t.k - 1 downto 0 do
+    for u = t.k - 1 downto 0 do
+      if t.painted.(v).(u) then acc := (v, u) :: !acc
+    done
+  done;
+  !acc
+
+let legal t = function
+  | Move (a, u) ->
+    if a < 0 || a >= t.m then Error "no such agent"
+    else if u < 0 || u >= t.k then Error "no such node"
+    else if t.positions.(a) = u then Error "a move must change node"
+    else Ok ()
+  | Jump (a, u) ->
+    if a < 0 || a >= t.m then Error "no such agent"
+    else if u < 0 || u >= t.k then Error "no such node"
+    else if t.positions.(a) = u then Error "a jump must change node"
+    else if not t.eligibility.(a).(u) then
+      Error "jump target not refreshed by another agent's move"
+    else Ok ()
+
+let copy_matrix mat = Array.map Array.copy mat
+
+let apply t action =
+  match legal t action with
+  | Error _ as e -> e
+  | Ok () ->
+    let positions = Array.copy t.positions in
+    let eligibility = copy_matrix t.eligibility in
+    (match action with
+    | Move (a, u) ->
+      let v = positions.(a) in
+      positions.(a) <- u;
+      (* Leaving v and arriving at u reset this agent's eligibility for
+         both; the move refreshes everyone else's eligibility for u. *)
+      eligibility.(a).(v) <- false;
+      for b = 0 to t.m - 1 do
+        eligibility.(b).(u) <- b <> a
+      done;
+      let painted = copy_matrix t.painted in
+      painted.(v).(u) <- true;
+      Ok { t with positions; eligibility; painted; moves = t.moves + 1 }
+    | Jump (a, u) ->
+      let v = positions.(a) in
+      positions.(a) <- u;
+      eligibility.(a).(v) <- false;
+      eligibility.(a).(u) <- false;
+      Ok { t with positions; eligibility; moves = t.moves })
+
+let legal_actions t =
+  let acc = ref [] in
+  for a = t.m - 1 downto 0 do
+    for u = t.k - 1 downto 0 do
+      if u <> t.positions.(a) then begin
+        acc := Move (a, u) :: !acc;
+        if t.eligibility.(a).(u) then acc := Jump (a, u) :: !acc
+      end
+    done
+  done;
+  !acc
+
+let legal_moves t =
+  List.filter (function Move _ -> true | Jump _ -> false) (legal_actions t)
+
+let topological_order t =
+  (* Kahn's algorithm on the painted graph; edges must go from higher to
+     lower positions, so we assign positions in reverse removal order of
+     sinks. *)
+  let outdeg = Array.make t.k 0 in
+  for v = 0 to t.k - 1 do
+    for u = 0 to t.k - 1 do
+      if t.painted.(v).(u) then outdeg.(v) <- outdeg.(v) + 1
+    done
+  done;
+  let order = Array.make t.k (-1) in
+  let removed = Array.make t.k false in
+  let next_pos = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for v = 0 to t.k - 1 do
+      if (not removed.(v)) && outdeg.(v) = 0 then begin
+        (* v is a sink of the remaining graph: lowest remaining position. *)
+        order.(v) <- !next_pos;
+        incr next_pos;
+        removed.(v) <- true;
+        for w = 0 to t.k - 1 do
+          if (not removed.(w)) && t.painted.(w).(v) then
+            outdeg.(w) <- outdeg.(w) - 1
+        done;
+        progress := true
+      end
+    done
+  done;
+  if !next_pos = t.k then Some order else None
+
+let has_cycle t = topological_order t = None
+
+let pp_action ppf = function
+  | Move (a, u) -> Fmt.pf ppf "move(a%d -> n%d)" a u
+  | Jump (a, u) -> Fmt.pf ppf "jump(a%d -> n%d)" a u
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>m=%d k=%d moves=%d@,positions: %a@,painted: %a@]" t.m t.k
+    t.moves
+    Fmt.(array ~sep:sp int)
+    t.positions
+    Fmt.(list ~sep:sp (pair ~sep:(any "->") int int))
+    (painted t)
+
+let encode t =
+  let buf = Buffer.create (t.m + (t.k * t.k) + (t.m * t.k) + 8) in
+  Array.iter (fun p -> Buffer.add_char buf (Char.chr (p + 48))) t.positions;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun row ->
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) row)
+    t.painted;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun row ->
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) row)
+    t.eligibility;
+  Buffer.contents buf

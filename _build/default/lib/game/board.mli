@@ -1,0 +1,63 @@
+(** The combinatorial move/jump game of Lemma 1.1 (due to Noga Alon).
+
+    [m] agents sit on the nodes of a complete directed graph on [k]
+    nodes.  Repeatedly, an agent may
+
+    - {b Move} from its node [v] to another node [u], painting edge
+      [v→u] (painted edges stay painted), or
+    - {b Jump} to a node [u], allowed only if {e another} agent has moved
+      to [u] since this agent last visited [u] (or ever, if it never
+      visited [u]).
+
+    The run of interest ends when the painted edges contain a directed
+    cycle.  Lemma 1.1: at most [m^k] moves can occur first.
+
+    In the emulation this game is the abstract heart of why an emulator
+    can always extend the history: agents = emulators, nodes = register
+    values, a painted cycle = a value cycle that suspended v-processes
+    can traverse.
+
+    The state deliberately abstracts time into a per-(agent, node)
+    {e eligibility} bit — exactly the information the jump rule needs —
+    so that the whole game is a finite state machine and exact maximum
+    runs can be computed by memoized search ({!Search}). *)
+
+type t
+(** Immutable game state. *)
+
+type action = Move of int * int | Jump of int * int
+    (** [Move (agent, target)] / [Jump (agent, target)] *)
+
+val create : m:int -> k:int -> ?positions:int array -> unit -> t
+(** All agents start at node 0 unless [positions] is given. *)
+
+val m : t -> int
+val k : t -> int
+val position : t -> int -> int
+val painted : t -> (int * int) list
+val moves_made : t -> int
+val eligible : t -> agent:int -> node:int -> bool
+
+val legal : t -> action -> (unit, string) result
+val apply : t -> action -> (t, string) result
+(** Applies a legal action; [Error] on an illegal one.  Applying a move
+    that completes a painted cycle is allowed — check {!has_cycle}
+    afterwards; the move count includes it. *)
+
+val legal_actions : t -> action list
+val legal_moves : t -> action list
+(** Only the [Move] actions (the resource Lemma 1.1 counts). *)
+
+val has_cycle : t -> bool
+(** Do the painted edges contain a directed cycle? *)
+
+val topological_order : t -> int array option
+(** [Some order] with [order.(node)] = position (painted edges go from
+    higher to lower positions, as in the Lemma 1.1 proof); [None] if the
+    painted graph has a cycle. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_action : Format.formatter -> action -> unit
+val encode : t -> string
+(** Canonical encoding of the abstract state (positions, painted edges,
+    eligibility), used as a memoization key. *)

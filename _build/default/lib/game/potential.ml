@@ -1,0 +1,74 @@
+let weight_bound ~m ~k =
+  let rec pow acc i = if i = 0 then acc else pow (acc * m) (i - 1) in
+  pow 1 k
+
+let phi ~order board =
+  let total = ref 0 in
+  let rec pow acc i = if i = 0 then acc else pow (acc * Board.m board) (i - 1) in
+  for a = 0 to Board.m board - 1 do
+    total := !total + pow 1 order.(Board.position board a)
+  done;
+  !total
+
+type audit = {
+  initial_phi : int;
+  bound : int;
+  moves : int;
+  monotone : bool;
+  amortized : bool;
+  final_phi : int;
+}
+
+let audit_run ~init ~actions =
+  (* First replay to obtain the final painted graph and its topological
+     order; then replay again, evaluating Φ against that fixed order. *)
+  let rec replay board = function
+    | [] -> Ok board
+    | action :: rest -> (
+      match Board.apply board action with
+      | Error _ as e -> e
+      | Ok board' ->
+        if Board.has_cycle board' then
+          Error "run painted a cycle (audit requires acyclic runs)"
+        else replay board' rest)
+  in
+  match replay init actions with
+  | Error _ as e -> e
+  | Ok final -> (
+    match Board.topological_order final with
+    | None -> Error "final graph has a cycle"
+    | Some order ->
+      let initial_phi = phi ~order init in
+      let rec audit board monotone amortized = function
+        | [] -> Ok (monotone, amortized, board)
+        | action :: rest -> (
+          let before = phi ~order board in
+          match Board.apply board action with
+          | Error _ as e -> e
+          | Ok board' ->
+            let after = phi ~order board' in
+            let monotone =
+              match action with
+              | Board.Move _ -> monotone && after <= before - 1
+              | Board.Jump _ -> monotone
+            in
+            (* The Lemma 1.1 accounting: a move's decrease pays for the
+               (at most m-1) jumps it enables, netting at least 1 per
+               move, so Φ + #moves never exceeds the initial Φ. *)
+            let amortized =
+              amortized && after + Board.moves_made board' <= initial_phi
+            in
+            audit board' monotone amortized rest)
+      in
+      match audit init true true actions with
+      | Error _ as e -> e
+      | Ok (monotone, amortized, final') ->
+        Ok
+          {
+            initial_phi;
+            bound = weight_bound ~m:(Board.m init) ~k:(Board.k init);
+            moves = Board.moves_made final';
+            monotone;
+            amortized;
+            final_phi = phi ~order final';
+          })

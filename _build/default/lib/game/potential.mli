@@ -1,0 +1,44 @@
+(** The potential-function argument of Lemma 1.1, checked on real runs.
+
+    Fix the topological order of the {e final} (still acyclic) painted
+    graph, with painted edges going from higher to lower positions.
+    Give an agent standing at the node of position [j] weight [m^j] and
+    let Φ be the sum of all agents' weights.  Then
+
+    - initially Φ ≤ m · m^(k-1) = m^k;
+    - every {e move} strictly decreases Φ (the mover drops to a strictly
+      lower position in the final order — its painted edge must respect
+      that order);
+    - a {e jump} can increase Φ, but only to a node another agent just
+      moved to, and the accounting still nets out (we check the per-move
+      decrease ≥ 1 claim on replays);
+    - Φ ≥ 0 always.
+
+    Hence at most [m^k] moves before the first painted cycle. *)
+
+val weight_bound : m:int -> k:int -> int
+(** [m^k], the Lemma 1.1 bound.  Meaningful for [m >= 2]: with a single
+    agent no jumps are ever enabled and the true maximum is the longest
+    path, [k-1] (the emulation always has [m = (k-1)!+1 >= 2] agents). *)
+
+val phi : order:int array -> Board.t -> int
+(** Φ of a state w.r.t. a fixed topological order. *)
+
+type audit = {
+  initial_phi : int;
+  bound : int;
+  moves : int;
+  monotone : bool;  (** every move decreased Φ by at least 1 *)
+  amortized : bool;
+      (** Φ + #moves never exceeded the initial Φ — the banked-budget form
+          of the lemma's accounting: each move's decrease beyond 1 pays in
+          advance for the at most m−1 jumps it enables *)
+  final_phi : int;
+}
+
+val audit_run :
+  init:Board.t -> actions:Board.action list -> (audit, string) result
+(** Replay the action sequence (which must keep the painted graph
+    acyclic), evaluate Φ against the final topological order at every
+    step, and report.  [Error] if an action is illegal or a cycle
+    appears. *)

@@ -1,0 +1,140 @@
+let max_moves_general ~allow_jumps board =
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec go board =
+    let key = Board.encode board in
+    match Hashtbl.find_opt memo key with
+    | Some best -> best
+    | None ->
+      (* The reachable state graph is acyclic (jump-only sequences
+         strictly decrease eligibility bits; Lemma 1.1 rules out cycles
+         containing moves), so plain memoization is sound. *)
+      Hashtbl.add memo key 0;
+      let best = ref 0 in
+      List.iter
+        (fun action ->
+          match action with
+          | Board.Jump _ when not allow_jumps -> ()
+          | _ -> (
+            match Board.apply board action with
+            | Error _ -> ()
+            | Ok board' ->
+              if not (Board.has_cycle board') then begin
+                let gain =
+                  match action with Board.Move _ -> 1 | Board.Jump _ -> 0
+                in
+                let total = gain + go board' in
+                if total > !best then best := total
+              end))
+        (Board.legal_actions board);
+      Hashtbl.replace memo key !best;
+      !best
+  in
+  go board
+
+let max_moves_from board = max_moves_general ~allow_jumps:true board
+let max_moves ~m ~k = max_moves_from (Board.create ~m ~k ())
+
+let max_moves_no_jumps ~m ~k =
+  max_moves_general ~allow_jumps:false (Board.create ~m ~k ())
+
+type run = { actions : Board.action list; moves : int; final : Board.t }
+
+let best_run ~m ~k =
+  (* Memoize best values, then greedily walk the arg-max actions. *)
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec value board =
+    let key = Board.encode board in
+    match Hashtbl.find_opt memo key with
+    | Some best -> best
+    | None ->
+      Hashtbl.add memo key 0;
+      let best = ref 0 in
+      List.iter
+        (fun action ->
+          match Board.apply board action with
+          | Error _ -> ()
+          | Ok board' ->
+            if not (Board.has_cycle board') then begin
+              let gain =
+                match action with Board.Move _ -> 1 | Board.Jump _ -> 0
+              in
+              let total = gain + value board' in
+              if total > !best then best := total
+            end)
+        (Board.legal_actions board);
+      Hashtbl.replace memo key !best;
+      !best
+  in
+  let rec walk board actions =
+    let target = value board in
+    if target = 0 then
+      { actions = List.rev actions; moves = Board.moves_made board; final = board }
+    else
+      let next =
+        List.find_map
+          (fun action ->
+            match Board.apply board action with
+            | Error _ -> None
+            | Ok board' ->
+              if Board.has_cycle board' then None
+              else
+                let gain =
+                  match action with Board.Move _ -> 1 | Board.Jump _ -> 0
+                in
+                if gain + value board' = target then Some (action, board')
+                else None)
+          (Board.legal_actions board)
+      in
+      match next with
+      | Some (action, board') -> walk board' (action :: actions)
+      | None ->
+        (* Cannot happen: the memoized value promised a continuation. *)
+        { actions = List.rev actions; moves = Board.moves_made board; final = board }
+  in
+  walk (Board.create ~m ~k ()) []
+
+let greedy_run ~m ~k ~seed =
+  let rng = Random.State.make [| seed |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let rec go board actions jumps_since_move =
+    let acyclic_moves =
+      List.filter
+        (fun a ->
+          match Board.apply board a with
+          | Ok b -> not (Board.has_cycle b)
+          | Error _ -> false)
+        (Board.legal_moves board)
+    in
+    let jumps =
+      List.filter
+        (function Board.Jump _ -> true | Board.Move _ -> false)
+        (Board.legal_actions board)
+    in
+    let choice =
+      match (acyclic_moves, jumps) with
+      | [], [] -> None
+      | [], _ :: _ when jumps_since_move < 2 * m -> Some (pick jumps)
+      | [], _ :: _ -> None
+      | moves, [] -> Some (pick moves)
+      | moves, jumps ->
+        (* Mostly move; occasionally jump to refresh eligibility. *)
+        if Random.State.int rng 4 = 0 then Some (pick jumps)
+        else Some (pick moves)
+    in
+    match choice with
+    | None -> { actions = List.rev actions; moves = Board.moves_made board; final = board }
+    | Some action -> (
+      match Board.apply board action with
+      | Error _ -> { actions = List.rev actions; moves = Board.moves_made board; final = board }
+      | Ok board' ->
+        let jumps_since_move =
+          match action with Board.Move _ -> 0 | Board.Jump _ -> jumps_since_move + 1
+        in
+        go board' (action :: actions) jumps_since_move)
+  in
+  go (Board.create ~m ~k ()) [] 0
+
+let strategy_gap ~m ~k ~seed =
+  let greedy = (greedy_run ~m ~k ~seed).moves in
+  let exact = max_moves ~m ~k in
+  (greedy, exact, Potential.weight_bound ~m ~k)

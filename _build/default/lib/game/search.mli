@@ -1,0 +1,42 @@
+(** Exact and heuristic adversaries for the move/jump game.
+
+    [max_moves] computes, by memoized depth-first search over the finite
+    abstract state space, the exact maximum number of moves achievable
+    from a position before the painted edges contain a cycle — the
+    quantity Lemma 1.1 bounds by [m^k].  Feasible up to roughly
+    [m * k <= 10].
+
+    The strategies produce long (not necessarily optimal) runs used by
+    the benchmarks at larger sizes, and their runs feed the potential
+    audit. *)
+
+val max_moves : m:int -> k:int -> int
+(** Maximum moves from the all-at-node-0 start, cycle-free throughout.
+    The count does not include a final cycle-creating move (the run must
+    stay acyclic, matching the lemma's "before the painted edges contain
+    a cycle"). *)
+
+val max_moves_from : Board.t -> int
+
+val max_moves_no_jumps : m:int -> k:int -> int
+(** Ablation: the same maximization with jumps forbidden.  Without jumps
+    each agent can only descend the painted DAG, so the maximum
+    collapses to roughly the longest path per agent — quantifying how
+    much of the m^k budget the jump rule is responsible for. *)
+
+type run = { actions : Board.action list; moves : int; final : Board.t }
+
+val best_run : m:int -> k:int -> run
+(** An {e optimal} adversary run: an action sequence achieving
+    [max_moves ~m ~k], reconstructed from the memoized search.  Feeding
+    it to {!Potential.audit_run} checks the Lemma 1.1 accounting on the
+    worst case, not just on heuristic play. *)
+
+val greedy_run : m:int -> k:int -> seed:int -> run
+(** Randomized greedy adversary: prefers moves that do not create a
+    cycle, jumping to refresh positions when stuck; stops when no
+    cycle-free move exists. *)
+
+val strategy_gap : m:int -> k:int -> seed:int -> int * int * int
+(** [(greedy, exact, bound)] for small instances: the greedy run's move
+    count, the exact maximum, and [m^k]. *)

@@ -1,0 +1,1 @@
+lib/hierarchy/bivalency.ml: Array List Memory Protocols Runtime Set

@@ -1,0 +1,1 @@
+lib/hierarchy/bivalency.mli: Memory Protocols Runtime

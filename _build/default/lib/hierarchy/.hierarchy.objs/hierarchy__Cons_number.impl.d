@@ -1,0 +1,1 @@
+lib/hierarchy/cons_number.ml: Array Fmt List Memory Objects Printf Protocols Result Runtime

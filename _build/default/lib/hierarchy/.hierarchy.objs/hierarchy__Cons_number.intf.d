@@ -1,0 +1,1 @@
+lib/hierarchy/cons_number.mli: Format Memory Protocols

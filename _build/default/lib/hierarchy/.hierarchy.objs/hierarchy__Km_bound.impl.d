@@ -1,0 +1,1 @@
+lib/hierarchy/km_bound.ml: Array List Memory Objects Printf Protocols Runtime

@@ -1,0 +1,1 @@
+lib/hierarchy/km_bound.mli: Protocols

@@ -1,0 +1,1 @@
+lib/hierarchy/robustness.ml: Array Cons_number List Memory Objects Printf Protocols Runtime

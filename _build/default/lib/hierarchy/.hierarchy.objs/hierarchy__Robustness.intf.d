@@ -1,0 +1,1 @@
+lib/hierarchy/robustness.mli: Cons_number Memory Objects Protocols

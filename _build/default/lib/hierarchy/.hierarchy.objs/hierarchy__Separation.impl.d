@@ -1,0 +1,1 @@
+lib/hierarchy/separation.ml: Array Cons_number Fmt List Memory Objects Printf Protocols Runtime

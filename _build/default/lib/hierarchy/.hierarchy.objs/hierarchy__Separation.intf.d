@@ -1,0 +1,1 @@
+lib/hierarchy/separation.mli: Cons_number Format Objects Protocols

@@ -1,0 +1,73 @@
+module Value = Memory.Value
+module Engine = Runtime.Engine
+
+module Vset = Set.Make (Value)
+
+let decision_values _instance config =
+  let acc = ref Vset.empty in
+  let on_terminal (c : Engine.config) =
+    Array.iter
+      (fun p ->
+        match Runtime.Proc.decision p with
+        | Some v -> acc := Vset.add v !acc
+        | None -> ())
+      c.Engine.procs
+  in
+  ignore (Runtime.Explore.explore ~max_steps:10_000 ~on_terminal config);
+  Vset.elements !acc
+
+let pending_locations (config : Engine.config) =
+  Array.to_list config.Engine.procs
+  |> List.filter_map (fun (p : Runtime.Proc.t) ->
+         match p.Runtime.Proc.status, p.Runtime.Proc.prog with
+         | Runtime.Proc.Running, Runtime.Program.Step (loc, _, _) ->
+           Some (p.Runtime.Proc.pid, loc)
+         | _ -> None)
+
+type verdict =
+  | Critical of {
+      path : int list;
+      pending : (int * string) list;
+      successor_valence : (int * Value.t) list;
+    }
+  | Never_bivalent of Value.t list
+  | Still_bivalent_at_bound of int
+
+let drive ?(max_depth = 200) instance =
+  let valence config = decision_values instance config in
+  let rec go config path depth =
+    if depth >= max_depth then Still_bivalent_at_bound depth
+    else
+      let enabled = Engine.enabled config in
+      let successors =
+        List.map (fun pid -> (pid, Engine.step config pid)) enabled
+      in
+      let bivalent_succ =
+        List.find_opt
+          (fun (_, c) -> List.length (valence c) >= 2)
+          successors
+      in
+      match bivalent_succ with
+      | Some (pid, c) -> go c (pid :: path) (depth + 1)
+      | None ->
+        (* Every successor is univalent: this is the critical
+           configuration. *)
+        let successor_valence =
+          List.map
+            (fun (pid, c) ->
+              match valence c with
+              | [ v ] -> (pid, v)
+              | _ -> (pid, Value.sym "?"))
+            successors
+        in
+        Critical
+          {
+            path = List.rev path;
+            pending = pending_locations config;
+            successor_valence;
+          }
+  in
+  let config = Protocols.Consensus.config instance in
+  match valence config with
+  | [] | [ _ ] -> Never_bivalent (valence config)
+  | _ :: _ :: _ -> go config [] 0

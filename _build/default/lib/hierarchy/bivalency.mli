@@ -1,0 +1,41 @@
+(** The FLP/Herlihy bivalency adversary, made executable.
+
+    For a candidate 2-process consensus protocol, a configuration is
+    {e bivalent} when both decision values are still reachable under some
+    schedule, {e univalent} otherwise.  The adversary repeatedly steps a
+    process that keeps the configuration bivalent; for a correct wait-free
+    protocol this must terminate in a {e critical configuration} — one
+    whose every successor is univalent — and Herlihy's argument shows the
+    two pending operations there must interfere through a strong object.
+
+    [drive] computes the maximal bivalent path and analyses the critical
+    configuration: for the test&set-based protocol the pending operations
+    land on the test&set object; for r/w-only candidates no critical
+    configuration with register operations can be consistent, and indeed
+    [Protocols.Consensus.explore_all] finds an agreement violation or
+    non-termination instead.  Experiment E6. *)
+
+module Value := Memory.Value
+
+val decision_values :
+  Protocols.Consensus.instance -> Runtime.Engine.config -> Value.t list
+(** All values decided by any process in any terminal configuration
+    reachable from here.  Exponential; small instances only. *)
+
+type verdict =
+  | Critical of {
+      path : int list;  (** pids stepped to reach the critical config *)
+      pending : (int * string) list;
+          (** each enabled pid with the location its next operation
+              targets *)
+      successor_valence : (int * Value.t) list;
+          (** pid -> the unique value its step commits to *)
+    }
+  | Never_bivalent of Value.t list
+      (** the initial configuration was already univalent (or worse) *)
+  | Still_bivalent_at_bound of int
+
+val drive : ?max_depth:int -> Protocols.Consensus.instance -> verdict
+
+val pending_locations : Runtime.Engine.config -> (int * string) list
+(** The shared-memory location each running process touches next. *)

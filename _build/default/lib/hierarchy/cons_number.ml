@@ -1,0 +1,153 @@
+module Value = Memory.Value
+module Spec = Memory.Spec
+
+type witness = {
+  state : Value.t;
+  op1 : Value.t;
+  op2 : Value.t;
+  resp1_first : Value.t;
+  resp1_second : Value.t;
+  resp2_first : Value.t;
+  resp2_second : Value.t;
+}
+
+type classification =
+  | Level_one
+  | At_least_two of witness
+  | Inconclusive of string
+
+(* Apply two operations in both orders; op1 is issued by pid 0 and op2 by
+   pid 1 (mirroring two distinct contenders). *)
+type order_probe = {
+  s12 : Value.t;  (** state after op1 then op2 *)
+  s21 : Value.t;
+  s1 : Value.t;  (** state after op1 alone *)
+  s2 : Value.t;
+  r1f : Value.t;  (** op1's response going first *)
+  r1s : Value.t;  (** op1's response going second *)
+  r2f : Value.t;
+  r2s : Value.t;
+}
+
+let probe spec state op1 op2 =
+  let ( let* ) r f = Result.bind r f in
+  let* s1, r1f = Spec.apply spec ~pid:0 state op1 in
+  let* s12, r2s = Spec.apply spec ~pid:1 s1 op2 in
+  let* s2, r2f = Spec.apply spec ~pid:1 state op2 in
+  let* s21, r1s = Spec.apply spec ~pid:0 s2 op1 in
+  Ok { s12; s21; s1; s2; r1f; r1s; r2f; r2s }
+
+(* Herlihy's interference condition, made executable: the pair is
+   harmless if the orders fully commute (states and both responses
+   agree), or one operation obliterates the other (the state looks as if
+   only the second ran, and the second's response is order-independent).
+   Any of these lets the standard critical-configuration argument derive
+   a contradiction, so an object all of whose reachable pairs are
+   harmless has consensus number 1. *)
+let harmless p =
+  let commute =
+    Value.equal p.s12 p.s21
+    && Value.equal p.r1f p.r1s
+    && Value.equal p.r2f p.r2s
+  in
+  let op2_obliterates =
+    Value.equal p.s12 p.s2 && Value.equal p.r2f p.r2s
+  in
+  let op1_obliterates =
+    Value.equal p.s21 p.s1 && Value.equal p.r1f p.r1s
+  in
+  commute || op2_obliterates || op1_obliterates
+
+(* A decider: both contenders learn the order from their own response. *)
+let decider p =
+  (not (Value.equal p.r1f p.r1s)) && not (Value.equal p.r2f p.r2s)
+
+let classify spec ~ops ?(state_limit = 2000) () =
+  let states, truncated =
+    Spec.reachable spec ~pids:[ 0; 1 ] ~ops ~limit:state_limit
+  in
+  let found_witness = ref None in
+  let all_harmless = ref true in
+  List.iter
+    (fun state ->
+      List.iter
+        (fun op1 ->
+          List.iter
+            (fun op2 ->
+              match probe spec state op1 op2 with
+              | Error _ -> ()
+              | Ok p ->
+                if (not (harmless p)) then all_harmless := false;
+                if decider p && !found_witness = None then
+                  found_witness :=
+                    Some
+                      {
+                        state;
+                        op1;
+                        op2;
+                        resp1_first = p.r1f;
+                        resp1_second = p.r1s;
+                        resp2_first = p.r2f;
+                        resp2_second = p.r2s;
+                      })
+            ops)
+        ops)
+    states;
+  match !found_witness with
+  | Some w -> At_least_two w
+  | None ->
+    if truncated then
+      Inconclusive
+        (Printf.sprintf "state space truncated at %d states" state_limit)
+    else if !all_harmless then Level_one
+    else
+      Inconclusive
+        "some pair neither commutes nor obliterates, but no two-sided \
+         decider exists in the given op universe"
+
+let pp_classification ppf = function
+  | Level_one -> Fmt.string ppf "consensus number 1 (certified)"
+  | At_least_two w ->
+    Fmt.pf ppf "consensus number >= 2 (decider %a/%a at state %a)" Value.pp
+      w.op1 Value.pp w.op2 Value.pp w.state
+  | Inconclusive reason -> Fmt.pf ppf "inconclusive: %s" reason
+
+let derived_two_consensus spec witness ~inputs =
+  let inputs_arr = Array.of_list inputs in
+  if Array.length inputs_arr <> 2 then
+    invalid_arg "derived_two_consensus: exactly two inputs";
+  let obj_loc = "hier.O" and input_loc pid = Printf.sprintf "hier.in.%d" pid in
+  let obj_spec =
+    Spec.make
+      ~type_name:(spec.Spec.type_name ^ "@witness")
+      ~init:witness.state ~apply:spec.Spec.apply
+  in
+  let program pid =
+    let open Runtime.Program in
+    let my_op = if pid = 0 then witness.op1 else witness.op2 in
+    let first_resp =
+      if pid = 0 then witness.resp1_first else witness.resp2_first
+    in
+    let other = 1 - pid in
+    complete
+      (let* () =
+         Objects.Register.write (input_loc pid) inputs_arr.(pid)
+       in
+       let* resp = op obj_loc my_op in
+       if Value.equal resp first_resp then return inputs_arr.(pid)
+       else Objects.Register.read (input_loc other))
+  in
+  {
+    Protocols.Consensus.name =
+      Printf.sprintf "derived-2-consensus(%s)" spec.Spec.type_name;
+    n = 2;
+    inputs = inputs_arr;
+    bindings =
+      [
+        (obj_loc, obj_spec);
+        (input_loc 0, Objects.Register.swmr ~owner:0 ());
+        (input_loc 1, Objects.Register.swmr ~owner:1 ());
+      ];
+    program;
+    step_bound = 3;
+  }

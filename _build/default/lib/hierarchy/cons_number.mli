@@ -1,0 +1,55 @@
+(** Executable consensus-number analysis of finite object types.
+
+    Herlihy's hierarchy [10] classifies object types by the number of
+    processes among which one object (plus r/w registers) solves
+    wait-free consensus.  For a finite object specification we can decide
+    two useful facts mechanically:
+
+    - {b Level 1 certificate}: if for every reachable state any two
+      operations by different processes {e commute} or one {e overwrites}
+      the other, the object cannot help two processes learn who came
+      first, so together with r/w registers its consensus number is 1
+      (Herlihy's interference argument).
+    - {b 2-decider witness}: a reachable state and two operations whose
+      responses each depend on the order — from such a witness a working
+      2-consensus protocol is synthesized ({!derived_two_consensus}),
+      proving consensus number ≥ 2 constructively.
+
+    Experiment E6 runs this analysis over the {!Objects.Zoo} and checks
+    it against the published consensus numbers. *)
+
+module Value := Memory.Value
+
+type witness = {
+  state : Value.t;  (** a reachable state of the object *)
+  op1 : Value.t;
+  op2 : Value.t;
+  resp1_first : Value.t;  (** response of [op1] when it goes first *)
+  resp1_second : Value.t;  (** response of [op1] after [op2] *)
+  resp2_first : Value.t;
+  resp2_second : Value.t;
+}
+
+type classification =
+  | Level_one
+      (** all operation pairs commute or overwrite in every reachable
+          state: consensus number 1 *)
+  | At_least_two of witness
+  | Inconclusive of string
+      (** state space truncated, or interference analysis failed without
+          yielding a decider (rare; the classifier is sound, not
+          complete) *)
+
+val classify :
+  Memory.Spec.t -> ops:Value.t list -> ?state_limit:int -> unit ->
+  classification
+
+val pp_classification : Format.formatter -> classification -> unit
+
+val derived_two_consensus :
+  Memory.Spec.t -> witness -> inputs:Value.t list ->
+  Protocols.Consensus.instance
+(** Synthesize a 2-process consensus protocol from a decider witness: the
+    object is driven to [witness.state]; process 0 performs [op1],
+    process 1 performs [op2]; each tells from its response whether it was
+    first and decides its own or the other's (pre-announced) input. *)

@@ -1,0 +1,48 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Rmw = Objects.Rmw
+
+let register = "km.R"
+let free = Value.sym "free"
+
+(* The k register values: free plus the k-1 election identities. *)
+let rmw_spec ~k =
+  let values = free :: List.init (k - 1) (fun i -> Value.int i) in
+  let claim id =
+    {
+      Rmw.name = Printf.sprintf "claim%d" id;
+      transform = (fun state -> if Value.equal state free then Value.int id else state);
+    }
+  in
+  Rmw.spec ~type_name:(Printf.sprintf "rmw(%d)" k) ~values ~init:free
+    ~ops:(List.init (k - 1) claim)
+
+let from_bcl_register ~k ~inputs =
+  let inputs = Array.of_list inputs in
+  let m = Array.length inputs in
+  if m > (k - 1) / 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Km_bound: %d-valued register supports binary consensus for at most \
+          %d processes"
+         k ((k - 1) / 2));
+  let program pid =
+    let open Program in
+    let b = inputs.(pid) in
+    let identity = (2 * pid) + if b then 1 else 0 in
+    complete
+      (let* old = Rmw.invoke register (Printf.sprintf "claim%d" identity) in
+       let elected =
+         if Value.equal old free then identity else Value.as_int old
+       in
+       return (Value.bool (elected mod 2 = 1)))
+  in
+  {
+    Protocols.Consensus.name =
+      Printf.sprintf "km-binary-consensus(k=%d,m=%d)" k m;
+    n = m;
+    inputs = Array.map Value.bool inputs;
+    bindings = [ (register, rmw_spec ~k) ];
+    program;
+    step_bound = 1;
+  }

@@ -1,0 +1,19 @@
+(** The constructive direction of Kleinberg & Mullainathan [16] (related
+    work, §1): "if n processes can elect a leader with one copy of
+    object O (without any other registers!) then this object can solve
+    binary consensus among at most ⌊n/2⌋ processes."
+
+    The transformation is identity-doubling: binary-consensus process
+    [i] with input [b ∈ {0,1}] enters the election under identity
+    [2i + b]; everyone decides the parity of the elected identity.
+    Agreement follows from the election's agreement, validity because
+    the elected identity was proposed — i.e. equals [2j + b_j] for a
+    participating [j], whose input [b_j] is exactly the decided parity.
+
+    Instantiated here with the Burns–Cruz–Loui election object (one
+    k-valued RMW register, election capacity k−1): binary consensus for
+    ⌊(k−1)/2⌋ processes using just that register. *)
+
+val from_bcl_register : k:int -> inputs:bool list -> Protocols.Consensus.instance
+(** Requires [length inputs <= (k-1)/2].  Decisions are [Bool]s encoded
+    as [Value.bool]. *)

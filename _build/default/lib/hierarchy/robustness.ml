@@ -1,0 +1,80 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+
+let left op = Value.pair (Value.sym "left") op
+let right op = Value.pair (Value.sym "right") op
+
+let compose (a : Memory.Spec.t) (b : Memory.Spec.t) =
+  let apply ~pid state op =
+    let sa, sb = Value.as_pair state in
+    match op with
+    | Value.Pair (Value.Sym "left", inner) -> (
+      match a.Memory.Spec.apply ~pid sa inner with
+      | Ok (sa', r) -> Ok (Value.pair sa' sb, r)
+      | Error _ as e -> e)
+    | Value.Pair (Value.Sym "right", inner) -> (
+      match b.Memory.Spec.apply ~pid sb inner with
+      | Ok (sb', r) -> Ok (Value.pair sa sb', r)
+      | Error _ as e -> e)
+    | _ -> Error ("composite: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make
+    ~type_name:
+      (Printf.sprintf "%s x %s" a.Memory.Spec.type_name b.Memory.Spec.type_name)
+    ~init:(Value.pair a.Memory.Spec.init b.Memory.Spec.init)
+    ~apply
+
+let compose_ops ops_a ops_b = List.map left ops_a @ List.map right ops_b
+
+let composite_classification (a : Objects.Zoo.entry) (b : Objects.Zoo.entry) =
+  Cons_number.classify
+    (compose a.Objects.Zoo.spec b.Objects.Zoo.spec)
+    ~ops:(compose_ops a.Objects.Zoo.ops b.Objects.Zoo.ops)
+    ()
+
+let three_consensus_candidate =
+  let inputs = [| Value.int 10; Value.int 20; Value.int 30 |] in
+  let input_loc pid = Printf.sprintf "rob.in.%d" pid in
+  let unwritten = Value.sym "unwritten" in
+  let program pid =
+    let open Program in
+    complete
+      (let* () = Register.write (input_loc pid) inputs.(pid) in
+       let* won = Objects.Testset.test_and_set "rob.T" in
+       if won then
+         (* Publish victory through the queue, then decide own input. *)
+         let* () = Objects.Queue_obj.enq "rob.Q" (Value.int pid) in
+         return inputs.(pid)
+       else
+         (* Ask the queue who won; the winner may not have announced
+            yet, in which case fall back to the smallest written input —
+            the unfixable guess. *)
+         let* tok = Objects.Queue_obj.deq "rob.Q" in
+         match tok with
+         | Some w ->
+           let* () = Objects.Queue_obj.enq "rob.Q" w in
+           Register.read (input_loc (Value.as_int w))
+         | None ->
+           let rec scan q =
+             if q >= 3 then return inputs.(pid)
+             else if q = pid then scan (q + 1)
+             else
+               let* v = Register.read (input_loc q) in
+               if Value.equal v unwritten then scan (q + 1) else return v
+           in
+           scan 0)
+  in
+  {
+    Protocols.Consensus.name =
+      "3-consensus from test&set + queue (must fail)";
+    n = 3;
+    inputs;
+    bindings =
+      ("rob.T", Objects.Testset.spec ())
+      :: ("rob.Q", Objects.Queue_obj.spec ())
+      :: List.init 3 (fun pid ->
+             (input_loc pid, Register.swmr ~owner:pid ~init:unwritten ()));
+    program;
+    step_bound = 8;
+  }

@@ -1,0 +1,40 @@
+(** Probing the robustness of Herlihy's hierarchy (related work:
+    Jayanti [14], Kleinberg & Mullainathan [16]).
+
+    The robustness question: can objects of consensus number ≤ n,
+    {e combined}, solve consensus for more than n processes?  We make
+    the combination executable: {!compose} forms the product object
+    (both components side by side, operations tagged left/right), and
+    the classifier plus candidate protocols probe the composite:
+
+    - composing level-1 objects stays level 1 (the interference
+      certificate is closed under products — checked, not assumed);
+    - composing two {e different} level-2 objects (test&set and a
+      queue) still does not yield 3-consensus: the natural candidate
+      fails on an exhaustively-found schedule.
+
+    These are experiments, not proofs of robustness — exactly the state
+    of the art the paper's related-work section describes (the general
+    robustness question was open in 1994). *)
+
+module Value := Memory.Value
+
+val compose : Memory.Spec.t -> Memory.Spec.t -> Memory.Spec.t
+(** The product object.  Operations are [Pair (Sym "left", op)] or
+    [Pair (Sym "right", op)]; the state is the pair of component
+    states; responses are the component's response. *)
+
+val left : Value.t -> Value.t
+val right : Value.t -> Value.t
+
+val compose_ops : Value.t list -> Value.t list -> Value.t list
+(** Tagged union of the component op universes, for the classifier. *)
+
+val composite_classification :
+  Objects.Zoo.entry -> Objects.Zoo.entry -> Cons_number.classification
+
+val three_consensus_candidate : Protocols.Consensus.instance
+(** Three processes, one test&set {e and} one queue (plus r/w
+    registers): winner of the test&set decides its own input; losers
+    try to learn the winner through the queue.  Fails — and exhaustive
+    exploration produces the schedule. *)

@@ -1,0 +1,83 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+
+type row = {
+  object_name : string;
+  published : string;
+  verdict : Cons_number.classification;
+  derived_protocol_ok : bool option;
+}
+
+let published_of = function
+  | `Finite n -> string_of_int n
+  | `Infinite -> "infinity"
+
+let analyse (entry : Objects.Zoo.entry) =
+  let verdict =
+    Cons_number.classify entry.Objects.Zoo.spec ~ops:entry.Objects.Zoo.ops ()
+  in
+  let derived_protocol_ok =
+    match verdict with
+    | Cons_number.At_least_two w ->
+      let inputs = [ Value.int 100; Value.int 200 ] in
+      let instance =
+        Cons_number.derived_two_consensus entry.Objects.Zoo.spec w ~inputs
+      in
+      Some
+        (match Protocols.Consensus.explore_all instance ~max_steps:100 with
+        | Ok _ -> true
+        | Error _ -> false)
+    | Cons_number.Level_one | Cons_number.Inconclusive _ -> None
+  in
+  {
+    object_name = entry.Objects.Zoo.name;
+    published = published_of entry.Objects.Zoo.herlihy_number;
+    verdict;
+    derived_protocol_ok;
+  }
+
+let table () = List.map analyse (Objects.Zoo.all ())
+
+let pp_row ppf row =
+  Fmt.pf ppf "%-22s published=%-9s %a%s" row.object_name row.published
+    Cons_number.pp_classification row.verdict
+    (match row.derived_protocol_ok with
+    | Some true -> " [derived 2-consensus: verified]"
+    | Some false -> " [derived 2-consensus: FAILED]"
+    | None -> "")
+
+let test_and_set_three_candidate =
+  let inputs = [| Value.int 10; Value.int 20; Value.int 30 |] in
+  let input_loc pid = Printf.sprintf "t3.in.%d" pid in
+  let unwritten = Value.sym "unwritten" in
+  let program pid =
+    let open Program in
+    complete
+      (let* () = Register.write (input_loc pid) inputs.(pid) in
+       let* won = Objects.Testset.test_and_set "t3.T" in
+       if won then return inputs.(pid)
+       else
+         (* The loser knows *someone else* won but not who: guess the
+            smallest pid that has written.  The guess is wrong under
+            schedules where a larger pid won the race. *)
+         let rec adopt q =
+           if q >= 3 then return inputs.(pid)
+           else if q = pid then adopt (q + 1)
+           else
+             let* v = Register.read (input_loc q) in
+             if Value.equal v unwritten then adopt (q + 1) else return v
+         in
+         adopt 0)
+  in
+  {
+    Protocols.Consensus.name = "test&set-3-consensus-candidate (must fail)";
+    n = 3;
+    inputs;
+    bindings =
+      ("t3.T", Objects.Testset.spec ())
+      :: List.init 3 (fun pid ->
+             (input_loc pid, Register.swmr ~owner:pid ~init:unwritten ()));
+    program;
+    step_bound = 5;
+  }

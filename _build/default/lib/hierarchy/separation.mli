@@ -1,0 +1,28 @@
+(** The hierarchy separation experiments (E6): our machinery against the
+    published consensus numbers.
+
+    For each object in the zoo the row records (a) the classifier's
+    verdict, (b) whether a synthesized 2-consensus protocol from its
+    decider witness passes exhaustive checking, and (c) the published
+    consensus number.  [test_and_set_three_candidate] is the natural —
+    and necessarily broken — attempt to reach 3-process consensus from
+    one test&set: the losers cannot tell {e which} of the other
+    processes won.  Exhaustive search produces the violating schedule. *)
+
+type row = {
+  object_name : string;
+  published : string;  (** consensus number from the literature *)
+  verdict : Cons_number.classification;
+  derived_protocol_ok : bool option;
+      (** [Some true] when the synthesized 2-consensus protocol passed
+          exhaustive checking; [None] for level-1 objects *)
+}
+
+val analyse : Objects.Zoo.entry -> row
+val table : unit -> row list
+val pp_row : Format.formatter -> row -> unit
+
+val test_and_set_three_candidate : Protocols.Consensus.instance
+(** Three processes, one test&set: winner decides its own input, losers
+    adopt the input of the smallest pid that has written.  Fails under
+    schedules where the winner is not that pid. *)

@@ -1,0 +1,1 @@
+lib/lincheck/history.ml: Fmt Hashtbl List Memory Runtime

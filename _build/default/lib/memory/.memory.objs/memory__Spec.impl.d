@@ -1,0 +1,1 @@
+lib/memory/spec.ml: List Queue Set Value

@@ -1,0 +1,1 @@
+lib/memory/store.ml: Fmt List Map Printf Spec String Value

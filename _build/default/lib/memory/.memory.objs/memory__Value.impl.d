@@ -1,0 +1,1 @@
+lib/memory/value.ml: Bool Fmt Hashtbl Int List String

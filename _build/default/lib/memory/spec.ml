@@ -1,0 +1,43 @@
+type t = {
+  type_name : string;
+  init : Value.t;
+  apply : pid:int -> Value.t -> Value.t -> (Value.t * Value.t, string) result;
+}
+
+let make ~type_name ~init ~apply = { type_name; init; apply }
+let apply t ~pid state op = t.apply ~pid state op
+
+module Vset = Set.Make (Value)
+
+let reachable t ~pids ~ops ~limit =
+  (* Breadth-first closure of the state space under [ops] by [pids]. *)
+  let seen = ref (Vset.singleton t.init) in
+  let queue = Queue.create () in
+  Queue.add t.init queue;
+  let truncated = ref false in
+  let visit state =
+    List.iter
+      (fun pid ->
+        List.iter
+          (fun op ->
+            match t.apply ~pid state op with
+            | Error _ -> ()
+            | Ok (state', _) ->
+              if not (Vset.mem state' !seen) then
+                if Vset.cardinal !seen >= limit then truncated := true
+                else begin
+                  seen := Vset.add state' !seen;
+                  Queue.add state' queue
+                end)
+          ops)
+      pids
+  in
+  let rec loop () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some state ->
+      visit state;
+      loop ()
+  in
+  loop ();
+  (Vset.elements !seen, !truncated)

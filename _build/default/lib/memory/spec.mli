@@ -1,0 +1,35 @@
+(** Sequential specifications of shared objects.
+
+    A shared object is a deterministic sequential state machine: given the
+    invoking process id, the current state and an operation description, it
+    produces the next state and the operation's response.  The execution
+    engine applies operations atomically, one at a time, which is exactly
+    the linearizable shared-memory model of the paper (Herlihy & Wing). *)
+
+type t = {
+  type_name : string;
+      (** human-readable object type, e.g. ["cas(4)"] or ["swmr-reg"] *)
+  init : Value.t;  (** initial state *)
+  apply : pid:int -> Value.t -> Value.t -> (Value.t * Value.t, string) result;
+      (** [apply ~pid state op] returns [Ok (state', response)] or
+          [Error reason] when [op] is malformed or forbidden for [pid]
+          (e.g. a write to a single-writer register by a non-owner). *)
+}
+
+val make :
+  type_name:string ->
+  init:Value.t ->
+  apply:(pid:int -> Value.t -> Value.t -> (Value.t * Value.t, string) result) ->
+  t
+
+val apply :
+  t -> pid:int -> Value.t -> Value.t -> (Value.t * Value.t, string) result
+
+(** [reachable spec ~ops ~limit] enumerates the states reachable from
+    [spec.init] by applying operations drawn from [ops] (invoked by any
+    pid in [pids]), stopping after [limit] distinct states.  Used by the
+    consensus-number classifier, which needs the finite state space of an
+    object type. Returns the states found and whether exploration was
+    truncated by [limit]. *)
+val reachable :
+  t -> pids:int list -> ops:Value.t list -> limit:int -> Value.t list * bool

@@ -1,0 +1,39 @@
+module Smap = Map.Make (String)
+
+type t = { specs : Spec.t Smap.t; states : Value.t Smap.t }
+
+let empty = { specs = Smap.empty; states = Smap.empty }
+
+let add t loc spec =
+  {
+    specs = Smap.add loc spec t.specs;
+    states = Smap.add loc spec.Spec.init t.states;
+  }
+
+let create bindings =
+  List.fold_left (fun t (loc, spec) -> add t loc spec) empty bindings
+
+let apply t ~pid loc op =
+  match Smap.find_opt loc t.specs with
+  | None -> Error (Printf.sprintf "unknown location %S" loc)
+  | Some spec -> (
+    let state = Smap.find loc t.states in
+    match Spec.apply spec ~pid state op with
+    | Error _ as e -> e
+    | Ok (state', res) -> Ok ({ t with states = Smap.add loc state' t.states }, res))
+
+let peek t loc = Smap.find_opt loc t.states
+
+let poke t loc v =
+  if Smap.mem loc t.specs then { t with states = Smap.add loc v t.states }
+  else invalid_arg (Printf.sprintf "Store.poke: unknown location %S" loc)
+
+let spec_of t loc = Smap.find_opt loc t.specs
+let locs t = List.map fst (Smap.bindings t.specs)
+let compare_states a b = Smap.compare Value.compare a.states b.states
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (loc, v) -> Fmt.pf ppf "%s = %a" loc Value.pp v))
+    (Smap.bindings t.states)

@@ -1,0 +1,35 @@
+(** The shared memory: a persistent map from locations to object states.
+
+    The store is immutable; applying an operation returns a new store.  This
+    makes configurations of the whole system first-class values, so the
+    exhaustive explorer can branch over interleavings without copying. *)
+
+type t
+
+val empty : t
+
+val add : t -> string -> Spec.t -> t
+(** [add store loc spec] installs a fresh object at [loc].  Replaces any
+    previous object at the same location. *)
+
+val create : (string * Spec.t) list -> t
+
+val apply : t -> pid:int -> string -> Value.t -> (t * Value.t, string) result
+(** [apply store ~pid loc op] applies [op] atomically to the object at
+    [loc].  [Error _] when the location is unknown or the object rejects
+    the operation. *)
+
+val peek : t -> string -> Value.t option
+(** Current state of the object at a location (for checkers and tests;
+    protocols must go through {!apply}). *)
+
+val poke : t -> string -> Value.t -> t
+(** Forcibly set an object's state (test/adversary use only). *)
+
+val spec_of : t -> string -> Spec.t option
+val locs : t -> string list
+val compare_states : t -> t -> int
+(** Compare the two stores' states location-wise (specs are assumed equal);
+    used to key visited-set entries in exhaustive exploration. *)
+
+val pp : Format.formatter -> t -> unit

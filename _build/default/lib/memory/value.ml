@@ -1,0 +1,83 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | Pair of t * t
+  | List of t list
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Sym x, Sym y -> String.equal x y
+  | Pair (x1, y1), Pair (x2, y2) -> equal x1 x2 && equal y1 y2
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Unit | Bool _ | Int _ | Sym _ | Pair _ | List _), _ -> false
+
+let rec compare a b =
+  let tag = function
+    | Unit -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Sym _ -> 3
+    | Pair _ -> 4
+    | List _ -> 5
+  in
+  match a, b with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Sym x, Sym y -> String.compare x y
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | List xs, List ys -> List.compare compare xs ys
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let hash v = Hashtbl.hash v
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Sym s -> Fmt.pf ppf ":%s" s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | List vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp) vs
+
+let to_string v = Fmt.str "%a" pp v
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let sym s = Sym s
+let pair a b = Pair (a, b)
+let list vs = List vs
+let triple a b c = Pair (a, Pair (b, c))
+
+let option = function
+  | None -> Sym "none"
+  | Some v -> Pair (Sym "some", v)
+
+exception Type_error of string * t
+
+let type_error expected v = raise (Type_error (expected, v))
+
+let as_unit = function Unit -> () | v -> type_error "unit" v
+let as_bool = function Bool b -> b | v -> type_error "bool" v
+let as_int = function Int i -> i | v -> type_error "int" v
+let as_sym = function Sym s -> s | v -> type_error "sym" v
+let as_pair = function Pair (a, b) -> (a, b) | v -> type_error "pair" v
+
+let as_triple = function
+  | Pair (a, Pair (b, c)) -> (a, b, c)
+  | v -> type_error "triple" v
+
+let as_list = function List vs -> vs | v -> type_error "list" v
+
+let as_option = function
+  | Sym "none" -> None
+  | Pair (Sym "some", v) -> Some v
+  | v -> type_error "option" v

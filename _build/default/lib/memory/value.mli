@@ -1,0 +1,53 @@
+(** The universe of values stored in shared objects and exchanged as
+    operation arguments and results.
+
+    Every shared object in the simulated system holds a [Value.t] as its
+    state, takes a [Value.t] as an operation description and returns a
+    [Value.t] as the operation's response.  Keeping a single closed universe
+    makes configurations comparable, which the exhaustive interleaving
+    explorer ({!Runtime.Explore}) relies on. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string  (** symbolic atom, used for operation names and labels *)
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val sym : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val triple : t -> t -> t -> t
+val option : t option -> t
+(** [option v] encodes [None] as [Sym "none"] and [Some x] as
+    [Pair (Sym "some", x)]. *)
+
+(** {1 Destructors}
+
+    All destructors raise {!Type_error} when the value has the wrong shape;
+    the execution engine turns that exception into a faulty-process status,
+    so a protocol bug can never corrupt the simulation. *)
+
+exception Type_error of string * t
+
+val as_unit : t -> unit
+val as_bool : t -> bool
+val as_int : t -> int
+val as_sym : t -> string
+val as_pair : t -> t * t
+val as_triple : t -> t * t * t
+val as_list : t -> t list
+val as_option : t -> t option

@@ -1,0 +1,1 @@
+lib/objects/cas_k.ml: List Memory Printf Runtime

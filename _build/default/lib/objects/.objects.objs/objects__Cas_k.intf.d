@@ -1,0 +1,1 @@
+lib/objects/cas_k.mli: Memory Runtime

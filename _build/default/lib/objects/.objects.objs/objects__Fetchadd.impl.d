@@ -1,0 +1,1 @@
+lib/objects/fetchadd.ml: Memory Printf Runtime

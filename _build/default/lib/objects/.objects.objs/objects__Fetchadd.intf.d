@@ -1,0 +1,1 @@
+lib/objects/fetchadd.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/objects/llsc.ml: List Memory Runtime

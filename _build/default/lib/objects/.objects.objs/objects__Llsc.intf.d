@@ -1,0 +1,1 @@
+lib/objects/llsc.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/objects/queue_obj.ml: Memory Runtime

@@ -1,0 +1,1 @@
+lib/objects/register.ml: Memory Printf Runtime

@@ -1,0 +1,1 @@
+lib/objects/rmw.ml: List Memory Printf Runtime String

@@ -1,0 +1,1 @@
+lib/objects/rmw.mli: Memory Runtime

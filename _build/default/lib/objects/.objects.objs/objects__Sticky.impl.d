@@ -1,0 +1,1 @@
+lib/objects/sticky.ml: Memory Runtime

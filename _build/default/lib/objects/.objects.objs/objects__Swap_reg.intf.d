@@ -1,0 +1,1 @@
+lib/objects/swap_reg.mli: Memory Runtime

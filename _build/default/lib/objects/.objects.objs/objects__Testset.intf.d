@@ -1,0 +1,1 @@
+lib/objects/testset.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/objects/zoo.ml: Cas_k Fetchadd List Llsc Memory Printf Queue_obj Register Sticky Swap_reg Testset

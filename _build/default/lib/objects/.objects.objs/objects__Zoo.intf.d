@@ -1,0 +1,1 @@
+lib/objects/zoo.mli: Memory

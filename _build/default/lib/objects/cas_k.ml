@@ -1,0 +1,38 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let bottom = Value.sym "_|_"
+let value i = Value.int i
+
+let alphabet ~k =
+  if k < 1 then invalid_arg "Cas_k.alphabet: k must be >= 1";
+  bottom :: List.init (k - 1) value
+
+let cas_op ~expected ~desired =
+  Value.triple (Value.sym "cas") expected desired
+
+let generic_spec ~values ~init =
+  let k = List.length values in
+  let in_sigma v = List.exists (Value.equal v) values in
+  if not (in_sigma init) then
+    invalid_arg "Cas_k.generic_spec: init outside the alphabet";
+  let apply ~pid:_ state op =
+    match op with
+    | Value.Pair (Value.Sym "cas", Value.Pair (expected, desired)) ->
+      if not (in_sigma expected && in_sigma desired) then
+        Error
+          (Printf.sprintf "cas(%d): value outside the alphabet in %s" k
+             (Value.to_string op))
+      else if Value.equal state expected then Ok (desired, state)
+      else Ok (state, state)
+    | _ -> Error ("cas: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name:(Printf.sprintf "cas(%d)" k) ~init ~apply
+
+let spec ~k = generic_spec ~values:(alphabet ~k) ~init:bottom
+
+let cas loc ~expected ~desired = Program.op loc (cas_op ~expected ~desired)
+let read loc = cas loc ~expected:bottom ~desired:bottom
+
+let succeeded ~previous ~expected ~desired =
+  Value.equal previous expected && not (Value.equal expected desired)

@@ -1,0 +1,33 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let fetch_add_op n = Value.pair (Value.sym "fetch&add") (Value.int n)
+
+let spec ?modulus () =
+  let reduce v =
+    match modulus with None -> v | Some m -> ((v mod m) + m) mod m
+  in
+  let type_name =
+    match modulus with
+    | None -> "fetch&add"
+    | Some m -> Printf.sprintf "fetch&add(mod %d)" m
+  in
+  let apply ~pid:_ state op =
+    match op with
+    | Value.Pair (Value.Sym "fetch&add", Value.Int n) ->
+      let current = Value.as_int state in
+      Ok (Value.int (reduce (current + n)), state)
+    | Value.Sym "read" -> Ok (state, state)
+    | _ -> Error ("fetch&add: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name ~init:(Value.int 0) ~apply
+
+let fetch_add loc n =
+  let open Program in
+  let* old = op loc (fetch_add_op n) in
+  return (Value.as_int old)
+
+let read loc =
+  let open Program in
+  let* v = op loc (Value.sym "read") in
+  return (Value.as_int v)

@@ -1,0 +1,16 @@
+(** Fetch&add counter, optionally bounded.
+
+    With [modulus = Some m] the counter wraps modulo [m], making it an
+    [m]-valued read-modify-write register — the bounded-size regime the
+    paper studies (and the object underlying the Burns–Cruz–Loui baseline
+    election). *)
+
+module Value := Memory.Value
+
+val spec : ?modulus:int -> unit -> Memory.Spec.t
+val fetch_add_op : int -> Value.t
+
+val fetch_add : string -> int -> int Runtime.Program.t
+(** Returns the value before the addition. *)
+
+val read : string -> int Runtime.Program.t

@@ -1,0 +1,45 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let ll_op = Value.sym "ll"
+let sc_op v = Value.pair (Value.sym "sc") v
+
+(* State: (value, linked pids).  A successful sc invalidates every link
+   (including the writer's). *)
+let encode value linked = Value.pair value (Value.list (List.map Value.int linked))
+
+let decode state =
+  let value, linked = Value.as_pair state in
+  (value, List.map Value.as_int (Value.as_list linked))
+
+let spec ?values ~init () =
+  let in_domain v =
+    match values with
+    | None -> true
+    | Some vs -> List.exists (Value.equal v) vs
+  in
+  if not (in_domain init) then invalid_arg "Llsc.spec: init outside domain";
+  let apply ~pid state op =
+    let value, linked = decode state in
+    match op with
+    | Value.Sym "ll" ->
+      let linked = if List.mem pid linked then linked else pid :: linked in
+      Ok (encode value linked, value)
+    | Value.Sym "read" -> Ok (state, value)
+    | Value.Pair (Value.Sym "sc", v) ->
+      if not (in_domain v) then
+        Error ("ll/sc: value outside the domain: " ^ Value.to_string v)
+      else if List.mem pid linked then Ok (encode v [], Value.bool true)
+      else Ok (state, Value.bool false)
+    | _ -> Error ("ll/sc: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name:"ll/sc" ~init:(encode init []) ~apply
+
+let ll loc = Program.op loc ll_op
+
+let sc loc v =
+  let open Program in
+  let* r = op loc (sc_op v) in
+  return (Value.as_bool r)
+
+let read loc = Program.op loc (Value.sym "read")

@@ -1,0 +1,26 @@
+(** Load-linked / store-conditional — the other universal primitive the
+    paper names alongside compare&swap (§1).
+
+    [ll] returns the current value and records a {e link} for the calling
+    process; [sc v] succeeds (writes [v], returns [true]) only if the
+    caller's link is still valid, i.e. no successful [sc] occurred since
+    the caller's last [ll].  Like compare&swap it is universal; unlike
+    compare&swap it does not suffer from ABA, because validity is about
+    {e intervening writes}, not values.
+
+    The value domain can be bounded ([values]) to study the paper's
+    regime: a bounded LL/SC register rejects out-of-domain writes just
+    like {!Cas_k}. *)
+
+module Value := Memory.Value
+
+val spec : ?values:Value.t list -> init:Value.t -> unit -> Memory.Spec.t
+(** [values = None] leaves the domain unbounded. *)
+
+val ll_op : Value.t
+val sc_op : Value.t -> Value.t
+
+val ll : string -> Value.t Runtime.Program.t
+val sc : string -> Value.t -> bool Runtime.Program.t
+val read : string -> Value.t Runtime.Program.t
+(** A plain read (does not link). *)

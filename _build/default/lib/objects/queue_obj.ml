@@ -1,0 +1,29 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let enq_op v = Value.pair (Value.sym "enq") v
+let deq_op = Value.sym "deq"
+
+let spec ?(init = []) () =
+  let apply ~pid:_ state op =
+    let items = Value.as_list state in
+    match op with
+    | Value.Pair (Value.Sym "enq", v) ->
+      Ok (Value.list (items @ [ v ]), Value.unit)
+    | Value.Sym "deq" -> (
+      match items with
+      | [] -> Ok (state, Value.option None)
+      | x :: rest -> Ok (Value.list rest, Value.option (Some x)))
+    | _ -> Error ("queue: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name:"queue" ~init:(Value.list init) ~apply
+
+let enq loc v =
+  let open Program in
+  let* _ = op loc (enq_op v) in
+  return ()
+
+let deq loc =
+  let open Program in
+  let* r = op loc deq_op in
+  return (Value.as_option r)

@@ -1,0 +1,16 @@
+(** Wait-free FIFO queue object (consensus number 2).
+
+    Used by the hierarchy experiments as the classic example of an object
+    that separates level 2 from level 1, and by the universal-construction
+    tests as a sequential specification to implement. *)
+
+module Value := Memory.Value
+
+val spec : ?init:Value.t list -> unit -> Memory.Spec.t
+val enq_op : Value.t -> Value.t
+val deq_op : Value.t
+
+val enq : string -> Value.t -> unit Runtime.Program.t
+
+val deq : string -> Value.t option Runtime.Program.t
+(** [None] when the queue is empty. *)

@@ -1,0 +1,33 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let read_op = Value.sym "read"
+let write_op v = Value.pair (Value.sym "write") v
+
+let apply_rw ~check_writer ~pid state op =
+  match op with
+  | Value.Sym "read" -> Ok (state, state)
+  | Value.Pair (Value.Sym "write", v) -> (
+    match check_writer pid with
+    | Ok () -> Ok (v, Value.unit)
+    | Error _ as e -> e)
+  | _ -> Error ("register: bad operation " ^ Value.to_string op)
+
+let mwmr ?(init = Value.unit) () =
+  Memory.Spec.make ~type_name:"mwmr-reg" ~init
+    ~apply:(apply_rw ~check_writer:(fun _ -> Ok ()))
+
+let swmr ~owner ?(init = Value.unit) () =
+  let check_writer pid =
+    if pid = owner then Ok ()
+    else
+      Error (Printf.sprintf "swmr register owned by %d written by %d" owner pid)
+  in
+  Memory.Spec.make ~type_name:"swmr-reg" ~init ~apply:(apply_rw ~check_writer)
+
+let read loc = Program.op loc read_op
+
+let write loc v =
+  let open Program in
+  let* _ = op loc (write_op v) in
+  return ()

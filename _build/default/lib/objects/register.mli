@@ -1,0 +1,23 @@
+(** Atomic read/write registers.
+
+    Two flavours: multi-writer multi-reader ([mwmr]) and single-writer
+    multi-reader ([swmr]).  The paper assumes w.l.o.g. that all r/w
+    registers of the emulated algorithm are SWMR [3,17,19,22]; we provide
+    both and enforce the single-writer discipline in the object itself, so
+    a protocol violating it becomes a faulty process rather than a silent
+    data race. *)
+
+module Value := Memory.Value
+
+val mwmr : ?init:Value.t -> unit -> Memory.Spec.t
+val swmr : owner:int -> ?init:Value.t -> unit -> Memory.Spec.t
+
+(** {1 Operation encodings} *)
+
+val read_op : Value.t
+val write_op : Value.t -> Value.t
+
+(** {1 Program helpers} *)
+
+val read : string -> Value.t Runtime.Program.t
+val write : string -> Value.t -> unit Runtime.Program.t

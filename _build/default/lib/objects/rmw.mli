@@ -1,0 +1,30 @@
+(** Generic read-modify-write registers over a finite value set.
+
+    An RMW register type is a menu of named transformations
+    [f : state -> state] applied atomically, each returning the old state.
+    Keeping the menu finite and the value set explicit makes the object a
+    finite state machine, which the consensus-number classifier
+    ({!Hierarchy.Cons_number}) exploits.  The paper conjectures its results
+    extend from compare&swap-(k) to arbitrary size-k RMW registers —
+    this module is the playground for that conjecture. *)
+
+module Value := Memory.Value
+
+type op = { name : string; transform : Value.t -> Value.t }
+
+val spec :
+  type_name:string -> values:Value.t list -> init:Value.t -> ops:op list ->
+  Memory.Spec.t
+(** The object checks that [init] and every transformation result stay
+    inside [values] — a transformation escaping the declared value set is
+    an error, mirroring the boundedness of compare&swap-(k). *)
+
+val op_encoding : string -> Value.t
+(** The [Value.t] encoding of a named transformation, as accepted by specs
+    from this module (useful for feeding the classifier an op universe). *)
+
+val invoke : string -> string -> Value.t Runtime.Program.t
+(** [invoke loc name] applies the named transformation, returning the old
+    value. *)
+
+val read : string -> Value.t Runtime.Program.t

@@ -1,0 +1,19 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let bottom = Value.sym "_|_"
+let sticky_write_op v = Value.pair (Value.sym "sticky-write") v
+
+let spec () =
+  let apply ~pid:_ state op =
+    match op with
+    | Value.Pair (Value.Sym "sticky-write", v) ->
+      if Value.equal state bottom then Ok (v, v) else Ok (state, state)
+    | Value.Sym "read" -> Ok (state, state)
+    | _ -> Error ("sticky: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name:"sticky" ~init:bottom ~apply
+
+let sticky_write loc v = Program.op loc (sticky_write_op v)
+let read loc = Program.op loc (Value.sym "read")
+let elect loc ~me = sticky_write loc me

@@ -1,0 +1,23 @@
+(** Plotkin's sticky bit / sticky register [20].
+
+    A write succeeds only when the register still holds ⊥; afterwards the
+    value is frozen ("sticky").  Sticky bits are universal (Plotkin), and a
+    sticky register over process ids is exactly a one-shot leader-election
+    object: the paper's sequential specification of an LE object — "all
+    elect operations return the identity of the processor that applied the
+    first operation" — is implemented by [elect] below. *)
+
+module Value := Memory.Value
+
+val bottom : Value.t
+val spec : unit -> Memory.Spec.t
+val sticky_write_op : Value.t -> Value.t
+
+val sticky_write : string -> Value.t -> Value.t Runtime.Program.t
+(** Attempt to freeze the given value; returns the frozen value (which is
+    the argument iff this process was first). *)
+
+val read : string -> Value.t Runtime.Program.t
+
+val elect : string -> me:Value.t -> Value.t Runtime.Program.t
+(** The LE-object elect operation: propose [me], return the winner. *)

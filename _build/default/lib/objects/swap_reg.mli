@@ -1,0 +1,12 @@
+(** Atomic swap register (read-modify-write: write and return the old
+    value).  Consensus number 2, like test&set. *)
+
+module Value := Memory.Value
+
+val spec : ?init:Value.t -> unit -> Memory.Spec.t
+val swap_op : Value.t -> Value.t
+
+val swap : string -> Value.t -> Value.t Runtime.Program.t
+(** [swap loc v] stores [v] and returns the previous value. *)
+
+val read : string -> Value.t Runtime.Program.t

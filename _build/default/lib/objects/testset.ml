@@ -1,0 +1,30 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let test_and_set_op = Value.sym "test&set"
+let reset_op = Value.sym "reset"
+
+let spec () =
+  let apply ~pid:_ state op =
+    match op with
+    | Value.Sym "test&set" -> Ok (Value.bool true, state)
+    | Value.Sym "reset" -> Ok (Value.bool false, Value.unit)
+    | Value.Sym "read" -> Ok (state, state)
+    | _ -> Error ("test&set: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name:"test&set" ~init:(Value.bool false) ~apply
+
+let test_and_set loc =
+  let open Program in
+  let* old = op loc test_and_set_op in
+  return (not (Value.as_bool old))
+
+let reset loc =
+  let open Program in
+  let* _ = op loc reset_op in
+  return ()
+
+let read loc =
+  let open Program in
+  let* v = op loc (Value.sym "read") in
+  return (Value.as_bool v)

@@ -1,0 +1,17 @@
+(** Single-bit test&set — consensus number 2 in Herlihy's hierarchy.
+
+    [test_and_set] returns the old value (false exactly once, for the
+    winner) and sets the bit.  Supported by the hardware the paper cites
+    (IBM mainframes, Encore Multimax, Sequent Symmetry, DEC Firefly). *)
+
+module Value := Memory.Value
+
+val spec : unit -> Memory.Spec.t
+val test_and_set_op : Value.t
+val reset_op : Value.t
+
+val test_and_set : string -> bool Runtime.Program.t
+(** Returns [true] iff this process won (saw the bit unset). *)
+
+val reset : string -> unit Runtime.Program.t
+val read : string -> bool Runtime.Program.t

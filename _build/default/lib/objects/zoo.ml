@@ -1,0 +1,105 @@
+module Value = Memory.Value
+
+type entry = {
+  name : string;
+  spec : Memory.Spec.t;
+  ops : Value.t list;
+  herlihy_number : [ `Finite of int | `Infinite ];
+}
+
+let rw_register =
+  {
+    name = "r/w register";
+    spec = Register.mwmr ~init:(Value.int 0) ();
+    ops =
+      Register.read_op
+      :: List.map (fun i -> Register.write_op (Value.int i)) [ 0; 1; 2 ];
+    herlihy_number = `Finite 1;
+  }
+
+let test_and_set =
+  {
+    name = "test&set";
+    spec = Testset.spec ();
+    ops = [ Testset.test_and_set_op; Value.sym "read" ];
+    herlihy_number = `Finite 2;
+  }
+
+let swap =
+  {
+    name = "swap";
+    spec = Swap_reg.spec ~init:(Value.int 0) ();
+    ops =
+      Value.sym "read"
+      :: List.map (fun i -> Swap_reg.swap_op (Value.int i)) [ 0; 1; 2 ];
+    herlihy_number = `Finite 2;
+  }
+
+let fetch_add_mod m =
+  {
+    name = Printf.sprintf "fetch&add mod %d" m;
+    spec = Fetchadd.spec ~modulus:m ();
+    ops = [ Fetchadd.fetch_add_op 1; Value.sym "read" ];
+    herlihy_number = `Finite 2;
+  }
+
+let queue =
+  {
+    name = "queue";
+    spec = Queue_obj.spec ();
+    ops =
+      [
+        Queue_obj.deq_op;
+        Queue_obj.enq_op (Value.int 0);
+        Queue_obj.enq_op (Value.int 1);
+      ];
+    herlihy_number = `Finite 2;
+  }
+
+let sticky_bit =
+  {
+    name = "sticky bit";
+    spec = Sticky.spec ();
+    ops =
+      Value.sym "read"
+      :: List.map (fun i -> Sticky.sticky_write_op (Value.int i)) [ 0; 1 ];
+    herlihy_number = `Infinite;
+  }
+
+let llsc =
+  {
+    name = "ll/sc";
+    spec =
+      Llsc.spec
+        ~values:[ Value.int 0; Value.int 1; Value.int 2 ]
+        ~init:(Value.int 0) ();
+    ops =
+      [ Llsc.ll_op; Value.sym "read"; Llsc.sc_op (Value.int 1);
+        Llsc.sc_op (Value.int 2) ];
+    herlihy_number = `Infinite;
+  }
+
+let cas k =
+  let sigma = Cas_k.alphabet ~k in
+  let pairs =
+    List.concat_map (fun a -> List.map (fun b -> (a, b)) sigma) sigma
+  in
+  {
+    name = Printf.sprintf "compare&swap-(%d)" k;
+    spec = Cas_k.spec ~k;
+    ops = List.map (fun (a, b) -> Cas_k.cas_op ~expected:a ~desired:b) pairs;
+    herlihy_number = `Infinite;
+  }
+
+let all () =
+  [
+    rw_register;
+    test_and_set;
+    swap;
+    fetch_add_mod 4;
+    queue;
+    sticky_bit;
+    llsc;
+    cas 3;
+    cas 4;
+  ]

@@ -1,0 +1,31 @@
+(** The object zoo: a registry of the object types used across the
+    experiments, each paired with a finite operation universe so the
+    hierarchy classifier can analyse it. *)
+
+module Value := Memory.Value
+
+type entry = {
+  name : string;
+  spec : Memory.Spec.t;
+  ops : Value.t list;
+      (** a finite, representative operation universe for classification *)
+  herlihy_number : [ `Finite of int | `Infinite ];
+      (** the known consensus number, from the literature; the experiments
+          check our machinery against these ground truths *)
+}
+
+val rw_register : entry
+val test_and_set : entry
+val swap : entry
+val fetch_add_mod : int -> entry
+val queue : entry
+val sticky_bit : entry
+val llsc : entry
+val cas : int -> entry
+(** [cas k] is compare&swap-(k); consensus number ∞ for every [k >= 3]
+    (with k = 2 it can change value only once, which still solves
+    2-consensus; the paper's refinement is about how many processes can
+    {e elect a leader}, not binary consensus). *)
+
+val all : unit -> entry list
+(** A representative sample (with small parameters) for sweep tests. *)

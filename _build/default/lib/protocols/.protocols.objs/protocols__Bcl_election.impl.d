@@ -1,0 +1,1 @@
+lib/protocols/bcl_election.ml: Election List Memory Objects Printf Runtime

@@ -1,0 +1,1 @@
+lib/protocols/bcl_election.mli: Election

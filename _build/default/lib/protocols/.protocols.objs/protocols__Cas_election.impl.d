@@ -1,0 +1,1 @@
+lib/protocols/cas_election.ml: Election Memory Objects Printf Runtime

@@ -1,0 +1,1 @@
+lib/protocols/cas_election.mli: Election

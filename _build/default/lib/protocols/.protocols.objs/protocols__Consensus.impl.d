@@ -1,0 +1,1 @@
+lib/protocols/consensus.ml: Array Fmt List Memory Objects Printf Runtime

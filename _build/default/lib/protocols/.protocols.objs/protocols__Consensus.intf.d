@@ -1,0 +1,1 @@
+lib/protocols/consensus.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/protocols/election.ml: Array Fmt List Memory Printf Result Runtime

@@ -1,0 +1,1 @@
+lib/protocols/election.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/protocols/multi_election.ml: Election Fmt List Memory Objects Perm Permutation_election Printf Runtime

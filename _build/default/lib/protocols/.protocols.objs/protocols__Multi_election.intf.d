@@ -1,0 +1,1 @@
+lib/protocols/multi_election.mli: Election

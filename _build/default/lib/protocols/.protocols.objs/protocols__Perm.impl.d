@@ -1,0 +1,1 @@
+lib/protocols/perm.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/protocols/perm.mli: Format

@@ -1,0 +1,1 @@
+lib/protocols/permutation_election.ml: Election Int List Memory Objects Perm Printf Runtime Set

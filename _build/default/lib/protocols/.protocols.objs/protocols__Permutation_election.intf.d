@@ -1,0 +1,1 @@
+lib/protocols/permutation_election.mli: Election Memory

@@ -1,0 +1,1 @@
+lib/protocols/rw_objects.ml: List Memory Runtime Snapshot

@@ -1,0 +1,1 @@
+lib/protocols/rw_objects.mli: Memory Runtime

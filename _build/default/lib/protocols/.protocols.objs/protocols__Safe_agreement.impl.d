@@ -1,0 +1,1 @@
+lib/protocols/safe_agreement.ml: Array List Memory Objects Option Printf Runtime

@@ -1,0 +1,1 @@
+lib/protocols/safe_agreement.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/protocols/set_consensus.ml: Array Fmt List Memory Objects Printf Runtime

@@ -1,0 +1,1 @@
+lib/protocols/set_consensus.mli: Memory Runtime

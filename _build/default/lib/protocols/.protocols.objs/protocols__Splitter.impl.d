@@ -1,0 +1,1 @@
+lib/protocols/splitter.ml: Array Fmt List Memory Objects Printf Runtime

@@ -1,0 +1,1 @@
+lib/protocols/splitter.mli: Memory Runtime

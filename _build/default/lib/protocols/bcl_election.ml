@@ -1,0 +1,65 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Rmw = Objects.Rmw
+
+let register = "R"
+let free = Value.sym "free"
+
+(* The k register values: free, plus one identity slot per electable
+   process. *)
+let rmw_spec ~k ~id_of ~n =
+  let values = free :: List.init (k - 1) (fun i -> Value.int i) in
+  let claim pid =
+    {
+      Rmw.name = Printf.sprintf "claim%d" pid;
+      transform =
+        (fun state -> if Value.equal state free then Value.int (id_of pid) else state);
+    }
+  in
+  Rmw.spec
+    ~type_name:(Printf.sprintf "rmw(%d)" k)
+    ~values ~init:free
+    ~ops:(List.init n claim)
+
+let program pid =
+  let open Program in
+  complete
+    (let* old = Rmw.invoke register (Printf.sprintf "claim%d" pid) in
+     if Value.equal old free then return (Value.int pid) else return old)
+
+let instance ~k ~n =
+  if n > k - 1 then
+    invalid_arg
+      (Printf.sprintf "Bcl_election: capacity of a %d-valued RMW is %d" k
+         (k - 1));
+  {
+    Election.name = Printf.sprintf "bcl-election(k=%d,n=%d)" k n;
+    n;
+    bindings = [ (register, rmw_spec ~k ~id_of:(fun pid -> pid) ~n) ];
+    program;
+    step_bound = 1;
+  }
+
+let overloaded_instance ~k =
+  let n = k in
+  (* Pigeonhole: k processes, k-1 identity slots — pid k-1 is forced to
+     reuse identity 0. *)
+  let id_of pid = if pid = k - 1 then 0 else pid in
+  (* The winner decides its own pid, but the register can only transmit
+     [id_of pid]: for pid k-1 that collides with pid 0, so under the
+     schedule where pid k-1 wins, everyone else decides 0 while the winner
+     decides k-1 — agreement breaks.  A k-valued register simply cannot
+     name k distinct winners. *)
+  let program pid =
+    let open Program in
+    complete
+      (let* old = Rmw.invoke register (Printf.sprintf "claim%d" pid) in
+       if Value.equal old free then return (Value.int pid) else return old)
+  in
+  {
+    Election.name = Printf.sprintf "bcl-overloaded(k=%d,n=%d)" k n;
+    n;
+    bindings = [ (register, rmw_spec ~k ~id_of ~n) ];
+    program;
+    step_bound = 1;
+  }

@@ -1,0 +1,25 @@
+(** The Burns–Cruz–Loui baseline: election with a size-k RMW register
+    {e alone} (no read/write registers).
+
+    Under BCL's assumptions — the system has only read-modify-write
+    registers, each written at most once per process — a k-valued RMW
+    register elects a leader among at most [k−1] processes, and this is
+    tight.  The protocol: the register's k values are {free, id₁ … id_{k−1}};
+    each process applies one atomic "claim if free" transformation and
+    decides the old value (or itself if the old value was free).
+
+    The negative side ([n = k] is impossible) is a theorem over {e all}
+    protocols; what we exhibit executably is that the natural protocol is
+    forced to either reuse an identity (breaking agreement under some
+    schedule, found by exhaustive search) or use a value outside the
+    register's domain (rejected by the bounded object).  See test suite
+    and experiment E2. *)
+
+val instance : k:int -> n:int -> Election.instance
+(** Requires [n <= k-1]. *)
+
+val overloaded_instance : k:int -> Election.instance
+(** The forced-collision protocol for [n = k] processes on a size-k
+    register: processes [k-1] and [0] share an identity.  Exhaustive
+    exploration finds an agreement violation — the executable witness for
+    why capacity stops at [k−1]. *)

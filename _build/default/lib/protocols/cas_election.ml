@@ -1,0 +1,28 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Cas_k = Objects.Cas_k
+
+let register = "C"
+
+let program ~n:_ pid =
+  let open Program in
+  complete
+    (let* prev =
+       Cas_k.cas register ~expected:Cas_k.bottom ~desired:(Value.int pid)
+     in
+     if Value.equal prev Cas_k.bottom then return (Value.int pid)
+     else return prev)
+
+let instance ~k ~n =
+  if n > k - 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Cas_election: %d processes cannot be named with %d non-bottom values"
+         n (k - 1));
+  {
+    Election.name = Printf.sprintf "cas-election(k=%d,n=%d)" k n;
+    n;
+    bindings = [ (register, Cas_k.spec ~k) ];
+    program = program ~n;
+    step_bound = 1;
+  }

@@ -1,0 +1,10 @@
+(** The trivial one-shot election on a compare&swap-(k) register.
+
+    Every process tries [c&s(⊥ → own id)]; the register changes exactly
+    once, so the first attempt wins and every later attempt reads the
+    winner.  Capacity: ids must fit in Σ∖{⊥}, i.e. at most [k−1]
+    processes — the baseline the paper's [(k−1)!] algorithm beats by using
+    unbounded r/w registers alongside the bounded compare&swap. *)
+
+val instance : k:int -> n:int -> Election.instance
+(** Requires [n <= k-1]. *)

@@ -1,0 +1,230 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+module Register = Objects.Register
+module Cas_k = Objects.Cas_k
+
+type instance = {
+  name : string;
+  n : int;
+  inputs : Value.t array;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  step_bound : int;
+}
+
+let config t =
+  let store = Memory.Store.create t.bindings in
+  Engine.init store (List.init t.n t.program)
+
+let check_config t (config : Engine.config) =
+  let procs = Array.to_list config.Engine.procs in
+  let faults =
+    List.filter_map
+      (fun (p : Runtime.Proc.t) ->
+        match p.Runtime.Proc.status with
+        | Runtime.Proc.Faulty m -> Some (p.Runtime.Proc.pid, m)
+        | _ -> None)
+      procs
+  in
+  if faults <> [] then
+    let pid, m = List.hd faults in
+    Error (Printf.sprintf "process %d faulty: %s" pid m)
+  else if
+    List.exists
+      (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.status = Runtime.Proc.Running)
+      procs
+  then Error "some live process did not decide"
+  else
+    let decisions = List.filter_map Runtime.Proc.decision procs in
+    let distinct = List.sort_uniq Value.compare decisions in
+    let is_input v = Array.exists (Value.equal v) t.inputs in
+    let over =
+      List.find_opt
+        (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.step_bound)
+        procs
+    in
+    match (distinct, over) with
+    | _ :: _ :: _, _ ->
+      Error
+        (Fmt.str "agreement violated: decisions %a"
+           Fmt.(list ~sep:(any ", ") Value.pp)
+           distinct)
+    | _, Some p ->
+      Error
+        (Printf.sprintf "wait-freedom bound exceeded: pid %d took %d > %d"
+           p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
+    | [ v ], None ->
+      if is_input v then Ok ()
+      else Error (Fmt.str "validity violated: %a is no one's input" Value.pp v)
+    | [], None -> Ok ()
+
+let check_outcome t (outcome : Engine.outcome) =
+  if outcome.Engine.hit_step_limit then Error "run hit the global step limit"
+  else check_config t outcome.Engine.final
+
+let max_run_steps t = (t.step_bound * t.n) + 1000
+
+let run_random t ~seed =
+  let outcome =
+    Engine.run ~max_steps:(max_run_steps t) ~sched:(Sched.random ~seed)
+      (config t)
+  in
+  match check_outcome t outcome with
+  | Error _ as e -> e
+  | Ok () -> (
+    match outcome.Engine.decisions with
+    | (_, v) :: _ -> Ok v
+    | [] -> Error "no process decided")
+
+let run_with_crashes t ~seed ~crashed =
+  let sched = Sched.crashing ~crashed (Sched.random ~seed) in
+  let config =
+    List.fold_left (fun c pid -> Engine.crash c pid) (config t) crashed
+  in
+  let outcome = Engine.run ~max_steps:(max_run_steps t) ~sched config in
+  match check_outcome t outcome with
+  | Error _ as e -> e
+  | Ok () -> (
+    match outcome.Engine.decisions with
+    | (_, v) :: _ -> Ok (Some v)
+    | [] -> Ok None)
+
+let explore_all t ~max_steps =
+  match Runtime.Explore.check_all ~max_steps (config t) (check_config t) with
+  | Ok stats -> Ok stats.Runtime.Explore.terminals
+  | Error v ->
+    Error
+      (Fmt.str "%s@.counterexample schedule:@.%a" v.Runtime.Explore.message
+         Runtime.Trace.pp v.Runtime.Explore.trace)
+
+(* --- Protocols --- *)
+
+let cas_loc = "cons.C"
+let input_loc pid = Printf.sprintf "cons.in.%d" pid
+
+let from_cas ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let distinct = List.sort_uniq Value.compare (Array.to_list inputs) in
+  let program pid =
+    let open Program in
+    let mine = inputs.(pid) in
+    complete
+      (let* prev = Cas_k.cas cas_loc ~expected:Cas_k.bottom ~desired:mine in
+       if Value.equal prev Cas_k.bottom then return mine else return prev)
+  in
+  {
+    name = Printf.sprintf "consensus-from-cas(n=%d)" n;
+    n;
+    inputs;
+    bindings =
+      [
+        ( cas_loc,
+          Cas_k.generic_spec
+            ~values:(Cas_k.bottom :: distinct)
+            ~init:Cas_k.bottom );
+      ];
+    program;
+    step_bound = 1;
+  }
+
+let from_sticky ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let program pid =
+    let open Program in
+    complete (Objects.Sticky.elect "cons.S" ~me:inputs.(pid))
+  in
+  {
+    name = Printf.sprintf "consensus-from-sticky(n=%d)" n;
+    n;
+    inputs;
+    bindings = [ ("cons.S", Objects.Sticky.spec ()) ];
+    program;
+    step_bound = 1;
+  }
+
+let two_inputs inputs =
+  match inputs with
+  | [ a; b ] -> (Array.of_list inputs, a, b)
+  | _ -> invalid_arg "2-process consensus needs exactly two inputs"
+
+let two_from_test_and_set ~inputs =
+  let inputs, _, _ = two_inputs inputs in
+  let program pid =
+    let open Program in
+    let other = 1 - pid in
+    complete
+      (let* () = Register.write (input_loc pid) inputs.(pid) in
+       let* won = Objects.Testset.test_and_set "cons.T" in
+       if won then return inputs.(pid) else Register.read (input_loc other))
+  in
+  {
+    name = "consensus2-from-test&set";
+    n = 2;
+    inputs;
+    bindings =
+      [
+        ("cons.T", Objects.Testset.spec ());
+        (input_loc 0, Register.swmr ~owner:0 ());
+        (input_loc 1, Register.swmr ~owner:1 ());
+      ];
+    program;
+    step_bound = 3;
+  }
+
+let two_from_queue ~inputs =
+  let inputs, _, _ = two_inputs inputs in
+  let win = Value.sym "win" and lose = Value.sym "lose" in
+  let program pid =
+    let open Program in
+    let other = 1 - pid in
+    complete
+      (let* () = Register.write (input_loc pid) inputs.(pid) in
+       let* token = Objects.Queue_obj.deq "cons.Q" in
+       match token with
+       | Some t when Value.equal t win -> return inputs.(pid)
+       | _ -> Register.read (input_loc other))
+  in
+  {
+    name = "consensus2-from-queue";
+    n = 2;
+    inputs;
+    bindings =
+      [
+        ("cons.Q", Objects.Queue_obj.spec ~init:[ win; lose ] ());
+        (input_loc 0, Register.swmr ~owner:0 ());
+        (input_loc 1, Register.swmr ~owner:1 ());
+      ];
+    program;
+    step_bound = 3;
+  }
+
+let naive_rw ~inputs =
+  let inputs, _, _ = two_inputs inputs in
+  let unwritten = Value.sym "unwritten" in
+  let program pid =
+    let open Program in
+    let other = 1 - pid in
+    complete
+      (let* () = Register.write (input_loc pid) inputs.(pid) in
+       let* theirs = Register.read (input_loc other) in
+       if Value.equal theirs unwritten then return inputs.(pid)
+       else
+         (* Both wrote: deterministically prefer process 0's input. *)
+         return (if pid = 0 then inputs.(0) else theirs))
+  in
+  {
+    name = "naive-rw-consensus (expected to fail)";
+    n = 2;
+    inputs;
+    bindings =
+      [
+        (input_loc 0, Register.swmr ~owner:0 ~init:unwritten ());
+        (input_loc 1, Register.swmr ~owner:1 ~init:unwritten ());
+      ];
+    program;
+    step_bound = 2;
+  }

@@ -1,0 +1,55 @@
+(** Wait-free consensus protocols from objects at different hierarchy
+    levels.
+
+    Each builder returns a configured instance: shared-object bindings and
+    one program per process, where process [pid] proposes [inputs.(pid)].
+    The checkers enforce the classical properties: {b agreement} (all
+    decisions equal), {b validity} (the decision is some process's input),
+    {b wait-freedom} (bounded own-steps, crash-tolerant). *)
+
+module Value := Memory.Value
+
+type instance = {
+  name : string;
+  n : int;
+  inputs : Value.t array;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  step_bound : int;
+}
+
+val config : instance -> Runtime.Engine.config
+val check_outcome : instance -> Runtime.Engine.outcome -> (unit, string) result
+
+val run_random : instance -> seed:int -> (Value.t, string) result
+val run_with_crashes :
+  instance -> seed:int -> crashed:int list -> (Value.t option, string) result
+val explore_all : instance -> max_steps:int -> (int, string) result
+
+(** {1 Protocols} *)
+
+val from_cas : inputs:Value.t list -> instance
+(** n-consensus from one compare&swap over the alphabet {⊥} ∪ inputs —
+    the standard proof that compare&swap has consensus number ∞.  Note the
+    register needs [n+1] values to carry [n] distinct inputs: consensus
+    number ∞ does {e not} mean a {e bounded} register suffices, which is
+    the paper's point. *)
+
+val from_sticky : inputs:Value.t list -> instance
+(** n-consensus from one sticky register (Plotkin [20]). *)
+
+val two_from_test_and_set : inputs:Value.t list -> instance
+(** 2-process consensus from one test&set plus two SWMR registers:
+    both write their input, race on the test&set; the winner decides its
+    own input, the loser adopts the winner's. *)
+
+val two_from_queue : inputs:Value.t list -> instance
+(** 2-process consensus from a queue pre-loaded with a winner token
+    (Herlihy's classical construction). *)
+
+val naive_rw : inputs:Value.t list -> instance
+(** A {e deliberately impossible} attempt at 2-consensus from r/w
+    registers only (write-then-scan, prefer the smaller pid's value on
+    conflict).  FLP/Herlihy say every such protocol fails; exhaustive
+    exploration and the bivalency adversary exhibit the failing schedules.
+    Used as the negative control in experiment E6. *)

@@ -1,0 +1,120 @@
+module Value = Memory.Value
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+
+type instance = {
+  name : string;
+  n : int;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  step_bound : int;
+}
+
+let config t =
+  let store = Memory.Store.create t.bindings in
+  Engine.init store (List.init t.n t.program)
+
+let check_config t (config : Engine.config) =
+  let procs = Array.to_list config.Engine.procs in
+  let faults =
+    List.filter_map
+      (fun (p : Runtime.Proc.t) ->
+        match p.Runtime.Proc.status with
+        | Runtime.Proc.Faulty m -> Some (p.Runtime.Proc.pid, m)
+        | _ -> None)
+      procs
+  in
+  let undecided =
+    List.filter
+      (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.status = Runtime.Proc.Running)
+      procs
+  in
+  let decisions = List.filter_map Runtime.Proc.decision procs in
+  let distinct =
+    List.sort_uniq Value.compare decisions
+  in
+  let over_bound =
+    List.filter (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.step_bound)
+      procs
+  in
+  let trace = Engine.trace config in
+  let stepped pid = List.exists (fun e -> e.Runtime.Trace.pid = pid) trace in
+  match (faults, undecided, distinct, over_bound) with
+  | (pid, m) :: _, _, _, _ ->
+    Error (Printf.sprintf "process %d faulty: %s" pid m)
+  | [], _ :: _, _, _ ->
+    Error "some live process did not decide (run incomplete?)"
+  | [], [], [], _ ->
+    (* Everyone crashed before deciding: vacuously fine. *)
+    Ok ()
+  | [], [], _ :: _ :: _, _ ->
+    Error
+      (Fmt.str "agreement violated: decisions %a"
+         Fmt.(list ~sep:(any ", ") Value.pp)
+         distinct)
+  | [], [], [ _ ], p :: _ ->
+    Error
+      (Printf.sprintf
+         "wait-freedom bound exceeded: process %d took %d > %d steps"
+         p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
+  | [], [], [ leader ], [] ->
+    let pid =
+      match leader with Value.Int i -> i | _ -> -1
+    in
+    if pid < 0 || pid >= t.n then
+      Error (Fmt.str "elected identity %a is not a process id" Value.pp leader)
+    else if not (stepped pid) then
+      Error
+        (Printf.sprintf "validity violated: leader %d never took a step" pid)
+    else Ok ()
+
+let check_outcome t (outcome : Engine.outcome) =
+  if outcome.Engine.hit_step_limit then
+    Error "run hit the global step limit (livelock or bound too small)"
+  else check_config t outcome.Engine.final
+
+let run t ~sched =
+  let outcome =
+    Engine.run ~max_steps:(t.step_bound * t.n * 2 + 1000) ~sched (config t)
+  in
+  match check_outcome t outcome with
+  | Ok () -> Ok outcome
+  | Error _ as e -> e
+
+let leader_of (outcome : Engine.outcome) =
+  match outcome.Engine.decisions with
+  | [] -> None
+  | (_, v) :: _ -> Some v
+
+let leader_int_exn outcome =
+  match leader_of outcome with
+  | Some (Value.Int i) -> i
+  | _ -> failwith "no leader decided"
+
+let run_random t ~seed =
+  Result.map leader_int_exn (run t ~sched:(Sched.random ~seed))
+
+let run_with_crashes t ~seed ~crashed =
+  let sched = Sched.crashing ~crashed (Sched.random ~seed) in
+  let config =
+    List.fold_left (fun c pid -> Engine.crash c pid) (config t) crashed
+  in
+  let outcome =
+    Engine.run ~max_steps:(t.step_bound * t.n * 2 + 1000) ~sched config
+  in
+  match check_outcome t outcome with
+  | Ok () -> (
+    match leader_of outcome with
+    | Some (Value.Int i) -> Ok i
+    | Some _ | None -> Error "no survivor decided")
+  | Error _ as e -> e
+
+let explore_all t ~max_steps =
+  match
+    Runtime.Explore.check_all ~max_steps (config t) (check_config t)
+  with
+  | Ok stats -> Ok stats.Runtime.Explore.terminals
+  | Error v ->
+    Error
+      (Fmt.str "%s@.counterexample schedule:@.%a" v.Runtime.Explore.message
+         Runtime.Trace.pp v.Runtime.Explore.trace)

@@ -1,0 +1,55 @@
+(** Common harness for leader-election protocols.
+
+    The paper's leader election task (§2): every participating process
+    proposes its own identity; all processes must elect one common
+    identity.  Required properties:
+
+    - {b Consistent}: distinct processes never elect distinct identities;
+    - {b Wait-free}: each process elects after a finite number of its own
+      steps, regardless of other processes' speed or crashes;
+    - {b Valid}: the elected identity belongs to a process that proposed
+      itself (took at least one step).
+
+    An {!instance} packages a protocol for [n] processes; the checkers
+    validate outcomes against the three properties, under sampled random
+    schedules, crash adversaries, and (for small instances) every
+    interleaving. *)
+
+module Value := Memory.Value
+
+type instance = {
+  name : string;
+  n : int;  (** number of processes *)
+  bindings : (string * Memory.Spec.t) list;  (** shared objects *)
+  program : int -> Runtime.Program.prim;  (** code of process [pid] *)
+  step_bound : int;
+      (** wait-freedom certificate: max shared-memory operations any single
+          process may need *)
+}
+
+val config : instance -> Runtime.Engine.config
+
+val check_outcome :
+  instance -> Runtime.Engine.outcome -> (unit, string) result
+(** Agreement + validity + per-process step bound + no faulty processes.
+    Crashed processes are exempt from deciding; all others must decide the
+    same pid, and that pid must appear in the trace (validity). *)
+
+val run :
+  instance -> sched:Runtime.Sched.t -> (Runtime.Engine.outcome, string) result
+(** Run to completion under the scheduler and check the outcome. *)
+
+val run_random : instance -> seed:int -> (int, string) result
+(** Run under a seeded uniform scheduler; returns the elected leader. *)
+
+val run_with_crashes :
+  instance -> seed:int -> crashed:int list -> (int, string) result
+(** Crash the given pids at the start (they never take a step); the
+    survivors must still elect among themselves. *)
+
+val explore_all : instance -> max_steps:int -> (int, string) result
+(** Exhaustively check every interleaving (small instances only).
+    Returns the number of complete executions enumerated. *)
+
+val leader_of : Runtime.Engine.outcome -> Value.t option
+(** The common decision, if any process decided. *)

@@ -1,0 +1,191 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+module Cas_k = Objects.Cas_k
+
+let capacity ~ks =
+  List.fold_left (fun acc k -> acc * Perm.factorial (k - 1)) 1 ks
+
+let radices ~ks = List.map (fun k -> Perm.factorial (k - 1)) ks
+
+let coords_of_pid ~ks pid =
+  (* Most significant coordinate first. *)
+  let rec go pid = function
+    | [] -> []
+    | radix :: rest ->
+      let weight = List.fold_left ( * ) 1 rest in
+      (pid / weight mod radix) :: go pid rest
+  in
+  go pid (radices ~ks)
+
+let pid_of_coords ~ks coords =
+  let rec go coords radii =
+    match coords, radii with
+    | [], [] -> 0
+    | c :: cs, _ :: rest ->
+      let weight = List.fold_left ( * ) 1 rest in
+      (c * weight) + go cs rest
+    | _ -> invalid_arg "pid_of_coords: arity mismatch"
+  in
+  go coords (radices ~ks)
+
+let cas_loc s = Printf.sprintf "MC.%d" s
+let claims_loc pid = Printf.sprintf "mclaims.%d" pid
+
+(* Log entries: an announcement, or a claim tagged with its stage. *)
+let announce_entry = Value.sym "announce"
+
+let claim_entry ~stage (c : Permutation_election.claim) =
+  Value.pair
+    (Value.pair (Value.sym "claim") (Value.int stage))
+    (Value.triple c.Permutation_election.source
+       (Value.int c.Permutation_election.dest)
+       (Value.int c.Permutation_election.position))
+
+let decode_entry v =
+  match v with
+  | Value.Sym "announce" -> `Announce
+  | Value.Pair (Value.Pair (Value.Sym "claim", Value.Int stage), rest) ->
+    let source, dest, position = Value.as_triple rest in
+    `Claim
+      ( stage,
+        {
+          Permutation_election.source;
+          dest = Value.as_int dest;
+          position = Value.as_int position;
+        } )
+  | _ -> raise (Value.Type_error ("multi-election log entry", v))
+
+let stage_claims views ~stage =
+  List.concat_map
+    (fun view ->
+      List.filter_map
+        (fun entry ->
+          match decode_entry entry with
+          | `Claim (s, c) when s = stage -> Some c
+          | `Claim _ | `Announce -> None)
+        (Value.as_list view))
+    views
+
+let announced_pids views =
+  List.mapi (fun pid view -> (pid, view)) views
+  |> List.filter_map (fun (pid, view) ->
+         if
+           List.exists
+             (fun entry -> decode_entry entry = `Announce)
+             (Value.as_list view)
+         then Some pid
+         else None)
+
+let append pid entry =
+  let open Program in
+  let* log = Register.read (claims_loc pid) in
+  Register.write (claims_loc pid) (Value.list (entry :: Value.as_list log))
+
+let read_views n =
+  Program.list_map (fun q -> Register.read (claims_loc q)) (List.init n (fun q -> q))
+
+let program ~ks ~n pid =
+  let open Program in
+  let nstages = List.length ks in
+  let k_of s = List.nth ks s in
+  let coords q = coords_of_pid ~ks q in
+  (* One pass: read every stage register and all logs, reconstruct the
+     chains stage by stage, and either decide or drive the first
+     incomplete stage. *)
+  let rec work () =
+    let* currents =
+      list_map (fun s -> Cas_k.read (cas_loc s)) (List.init nstages (fun s -> s))
+    in
+    let* views = read_views n in
+    let announced = announced_pids views in
+    (* Reconstruct chains in stage order; stop at the first incomplete
+       one. *)
+    let rec chains s elected =
+      if s >= nstages then `All_elected (List.rev elected)
+      else
+        let k = k_of s in
+        let claims = stage_claims views ~stage:s in
+        match
+          Permutation_election.reconstruct ~k ~cur:(List.nth currents s) ~claims
+        with
+        | None -> failwith "multi-election: reconstruction found no chain"
+        | Some chain ->
+          if List.length chain = k - 1 then
+            chains (s + 1) (Perm.rank chain :: elected)
+          else `Drive (s, chain, List.rev elected)
+    in
+    match chains 0 [] with
+    | `All_elected elected ->
+      let winner = pid_of_coords ~ks elected in
+      if winner < 0 || winner >= n then
+        failwith "multi-election: elected coordinates name no process"
+      else decide (Value.int winner)
+    | `Drive (s, chain, elected) ->
+      let k = k_of s in
+      (* Candidates: announced processes whose earlier coordinates match
+         the already-elected ones. *)
+      let matches q =
+        let cq = coords q in
+        List.for_all2
+          (fun a b -> a = b)
+          elected
+          (List.filteri (fun i _ -> i < s) cq)
+      in
+      let candidate_perm q = Perm.unrank ~m:(k - 1) (List.nth (coords q) s) in
+      let pi =
+        match
+          List.find_opt
+            (fun q -> matches q && Perm.is_prefix chain (candidate_perm q))
+            (List.sort compare announced)
+        with
+        | Some q -> candidate_perm q
+        | None -> failwith "multi-election: no candidate permutation"
+      in
+      let next = List.nth pi (List.length chain) in
+      let cur = List.nth currents s in
+      let claim =
+        {
+          Permutation_election.source = cur;
+          dest = next;
+          position = List.length chain;
+        }
+      in
+      let* () = append pid (claim_entry ~stage:s claim) in
+      let* _ =
+        Cas_k.cas (cas_loc s) ~expected:cur ~desired:(Value.int next)
+      in
+      work ()
+  in
+  complete
+    (let* () = append pid announce_entry in
+     work ())
+
+let bindings ~ks ~n =
+  List.mapi (fun s k -> (cas_loc s, Cas_k.spec ~k)) ks
+  @ List.init n (fun pid ->
+        (claims_loc pid, Register.swmr ~owner:pid ~init:(Value.list []) ()))
+
+let step_bound ~ks ~n =
+  (* Per iteration: L register reads + n log reads + 2 log ops + 1 cas.
+     Total register movements: Σ (kₛ−1); failures bounded likewise. *)
+  let total_moves = List.fold_left (fun acc k -> acc + k - 1) 0 ks in
+  let per_iteration = List.length ks + n + 4 in
+  (((2 * total_moves) + 2) * per_iteration) + 2
+
+let instance ~ks ~n =
+  if List.exists (fun k -> k < 2) ks then
+    invalid_arg "Multi_election: every register needs k >= 2";
+  let cap = capacity ~ks in
+  if n < 1 || n > cap then
+    invalid_arg
+      (Printf.sprintf "Multi_election: need 1 <= n <= capacity = %d, got %d"
+         cap n);
+  {
+    Election.name =
+      Fmt.str "multi-election(ks=[%a],n=%d)" Fmt.(list ~sep:(any ", ") int) ks n;
+    n;
+    bindings = bindings ~ks ~n;
+    program = program ~ks ~n;
+    step_bound = step_bound ~ks ~n;
+  }

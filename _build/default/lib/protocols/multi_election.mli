@@ -1,0 +1,38 @@
+(** Leader election with {e several} bounded compare&swap registers —
+    the paper's §4 extension ("…and to systems with a number of copies
+    of the strong object"), made constructive.
+
+    Given registers of sizes [k₁, …, k_L] (plus unbounded r/w memory),
+    the protocol elects among [Π (kₛ−1)!] processes: identities are
+    mixed-radix tuples [(c₁, …, c_L)] with [cₛ < (kₛ−1)!], and the
+    election proceeds in stages.  Stage [s] runs the permutation-chain
+    protocol on register [s], where the {e candidate} permutations are
+    those of announced processes whose first [s−1] coordinates match the
+    coordinates already elected.  The stage-[s] chain realizes the
+    permutation of one such candidate, electing coordinate
+    [e_s = rank(chain_s)]; after stage [L] the winner is the process with
+    coordinates [(e₁, …, e_L)] — which, by induction on the candidate
+    invariant, announced itself, so validity holds.
+
+    Everyone helps drive every stage (candidates are computed from the
+    announcement logs, not from who is "supposed" to contend), so the
+    protocol stays wait-free: each register changes value at most
+    [kₛ−1] times and a failed attempt implies somebody else made
+    progress.
+
+    For a single register this degenerates to
+    {!Permutation_election.instance}.  Compare Burns–Cruz–Loui's product
+    bound for registers {e without} r/w memory: [Π (kₛ−1)] — r/w
+    registers boost each factor from [kₛ−1] to [(kₛ−1)!]. *)
+
+val capacity : ks:int list -> int
+(** [Π (kₛ−1)!]. *)
+
+val coords_of_pid : ks:int list -> int -> int list
+(** Mixed-radix decomposition of an identity; inverse of
+    {!pid_of_coords}. *)
+
+val pid_of_coords : ks:int list -> int list -> int
+
+val instance : ks:int list -> n:int -> Election.instance
+(** Requires [1 <= n <= capacity ~ks] and every [kₛ >= 2]. *)

@@ -1,0 +1,51 @@
+type t = int list
+
+let factorial m =
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  if m < 0 then invalid_arg "Perm.factorial: negative" else go 1 m
+
+let rec insertions x = function
+  | [] -> [ [ x ] ]
+  | y :: ys as l -> (x :: l) :: List.map (fun r -> y :: r) (insertions x ys)
+
+let all m =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insertions x) (go xs)
+  in
+  go (List.init m (fun i -> i)) |> List.sort compare
+
+let rank perm =
+  (* Lexicographic rank: for each element, count smaller elements to its
+     right and weight by the factorial of the remaining length. *)
+  let rec go = function
+    | [] -> 0
+    | x :: rest ->
+      let smaller = List.length (List.filter (fun y -> y < x) rest) in
+      (smaller * factorial (List.length rest)) + go rest
+  in
+  go perm
+
+let unrank ~m r =
+  if r < 0 || r >= factorial m then invalid_arg "Perm.unrank: rank out of range";
+  let rec go available r =
+    match available with
+    | [] -> []
+    | _ ->
+      let f = factorial (List.length available - 1) in
+      let i = r / f in
+      let x = List.nth available i in
+      x :: go (List.filter (fun y -> y <> x) available) (r mod f)
+  in
+  go (List.init m (fun i -> i)) r
+
+let rec is_prefix prefix perm =
+  match prefix, perm with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+let is_permutation ~m l =
+  List.length l = m && List.sort compare l = List.init m (fun i -> i)
+
+let pp ppf t = Fmt.pf ppf "<%a>" Fmt.(list ~sep:(any " ") int) t

@@ -1,0 +1,23 @@
+(** Permutations of [{0, …, m-1}] with lexicographic ranking.
+
+    The permutation-chain election assigns process [pid] the permutation
+    [unrank ~m pid]; the emulation's labels are permutation prefixes.  Both
+    need the rank/unrank bijection between [0 … m!-1] and permutations. *)
+
+type t = int list
+(** A permutation of [{0, …, m-1}], given as the list of its values. *)
+
+val factorial : int -> int
+val all : int -> t list
+(** All permutations of [{0,…,m-1}] in lexicographic order.  [m <= 8]. *)
+
+val rank : t -> int
+(** Lexicographic rank, inverse of {!unrank}. *)
+
+val unrank : m:int -> int -> t
+(** [unrank ~m r] is the rank-[r] permutation of [{0,…,m-1}];
+    [0 <= r < m!]. *)
+
+val is_prefix : int list -> t -> bool
+val is_permutation : m:int -> int list -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,204 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+module Cas_k = Objects.Cas_k
+
+type claim = { source : Value.t; dest : int; position : int }
+
+let cas_loc = "C"
+let claims_loc pid = Printf.sprintf "claims.%d" pid
+let perm_of_pid ~k pid = Perm.unrank ~m:(k - 1) pid
+
+(* Claim-log entries. *)
+let announce_entry = Value.sym "announce"
+
+let claim_entry { source; dest; position } =
+  Value.pair (Value.sym "claim")
+    (Value.triple source (Value.int dest) (Value.int position))
+
+let decode_entry v =
+  match v with
+  | Value.Sym "announce" -> `Announce
+  | Value.Pair (Value.Sym "claim", rest) ->
+    let source, dest, position = Value.as_triple rest in
+    `Claim { source; dest = Value.as_int dest; position = Value.as_int position }
+  | _ -> raise (Value.Type_error ("claim-log entry", v))
+
+(* Why this computes the true chain.  Claim sources were read directly
+   from the register, so every source is an introduced value and (by
+   induction over publication times) every claim's label equals its
+   source's position + 1.  Hence at path position j < pos(cur) the only
+   way to continue to a value that is itself the source of a label-(j+1)
+   claim is through the true j-th value; the only other label-consistent
+   moves jump straight to [cur] (failed intents that wanted to introduce
+   [cur] early) and terminate.  So every label-consistent path ending at
+   [cur] is a prefix of the true chain followed by [cur], and the longest
+   one is the chain itself.  Claims published after our register read can
+   only mention later values and never extend a path that must end at
+   [cur], so the staleness of the (non-atomic) log collect is harmless. *)
+let reconstruct ~k ~cur ~claims =
+  ignore k;
+  if Value.equal cur Cas_k.bottom then Some []
+  else begin
+    let claims =
+      List.sort_uniq
+        (fun a b ->
+          match Value.compare a.source b.source with
+          | 0 -> compare (a.dest, a.position) (b.dest, b.position)
+          | c -> c)
+        claims
+    in
+    let goal = Value.as_int cur in
+    let is_source_at position v =
+      List.exists
+        (fun c -> c.position = position && Value.equal c.source (Value.int v))
+        claims
+    in
+    let module Iset = Set.Make (Int) in
+    let solutions = ref [] in
+    let rec go last position used acc =
+      List.iter
+        (fun c ->
+          if
+            c.position = position
+            && Value.equal c.source last
+            && not (Iset.mem c.dest used)
+          then
+            if c.dest = goal then solutions := List.rev (goal :: acc) :: !solutions
+            else if is_source_at (position + 1) c.dest then
+              go (Value.int c.dest) (position + 1) (Iset.add c.dest used)
+                (c.dest :: acc))
+        claims
+    in
+    go Cas_k.bottom 0 Iset.empty [];
+    match !solutions with
+    | [] -> None
+    | first :: rest ->
+      let longest =
+        List.fold_left
+          (fun best s -> if List.length s > List.length best then s else best)
+          first rest
+      in
+      if
+        List.for_all (fun s ->
+            Perm.is_prefix (List.filteri (fun i _ -> i < List.length s - 1) s)
+              longest)
+          !solutions
+      then Some longest
+      else failwith "Permutation_election.reconstruct: ambiguous chain"
+  end
+
+let all_claims views =
+  List.concat_map
+    (fun view ->
+      List.filter_map
+        (fun entry ->
+          match decode_entry entry with
+          | `Claim c -> Some c
+          | `Announce -> None)
+        (Value.as_list view))
+    views
+
+let announced_pids views =
+  List.mapi (fun pid view -> (pid, view)) views
+  |> List.filter_map (fun (pid, view) ->
+         if
+           List.exists
+             (fun entry -> decode_entry entry = `Announce)
+             (Value.as_list view)
+         then Some pid
+         else None)
+
+(* Append an entry to our own single-writer claim log. *)
+let append pid entry =
+  let open Program in
+  let* log = Register.read (claims_loc pid) in
+  Register.write (claims_loc pid) (Value.list (entry :: Value.as_list log))
+
+let read_views n =
+  Program.list_map
+    (fun q -> Register.read (claims_loc q))
+    (List.init n (fun q -> q))
+
+let program ~k ~n ~perm_assignment pid =
+  let open Program in
+  let rec help () =
+    let* cur = Cas_k.read cas_loc in
+    let* views = read_views n in
+    let claims = all_claims views in
+    let announced = announced_pids views in
+    match reconstruct ~k ~cur ~claims with
+    | None -> failwith "reconstruction found no chain"
+    | Some chain ->
+      if List.length chain = k - 1 then
+        (* Chain complete: its owner is the process assigned this
+           permutation.  The owner announced before the extension that
+           realized its permutation, so validity holds. *)
+        let owner =
+          match
+            List.find_opt
+              (fun q -> perm_assignment q = chain)
+              (List.init n (fun q -> q))
+          with
+          | Some q -> q
+          | None -> failwith "realized chain has no owner"
+        in
+        decide (Value.int owner)
+      else
+        (* Steer the chain toward the minimal announced permutation
+           consistent with it, publish the labelled claim, then attempt. *)
+        let pi =
+          match
+            List.find_opt
+              (fun q -> Perm.is_prefix chain (perm_assignment q))
+              (List.sort compare announced)
+          with
+          | Some q -> perm_assignment q
+          | None -> failwith "no announced permutation is consistent"
+        in
+        let next = List.nth pi (List.length chain) in
+        let c = { source = cur; dest = next; position = List.length chain } in
+        let* () = append pid (claim_entry c) in
+        let* _prev =
+          Cas_k.cas cas_loc ~expected:cur ~desired:(Value.int next)
+        in
+        help ()
+  in
+  complete
+    (let* () = append pid announce_entry in
+     help ())
+
+let bindings ~k ~n =
+  (cas_loc, Cas_k.spec ~k)
+  :: List.init n (fun pid ->
+         (claims_loc pid, Register.swmr ~owner:pid ~init:(Value.list []) ()))
+
+(* Per iteration: 1 register read of C, n view reads, 2 log ops, 1 cas.
+   Iterations: at most k-1 own successes + k-1 failures (each failure
+   implies the register moved) + 1 deciding pass. *)
+let step_bound ~k ~n = ((2 * k) + 1) * (n + 4) + 2
+
+let instance ~k ~n =
+  if n < 1 || n > Perm.factorial (k - 1) then
+    invalid_arg
+      (Printf.sprintf "Permutation_election: need 1 <= n <= (k-1)! = %d, got %d"
+         (Perm.factorial (k - 1))
+         n);
+  {
+    Election.name = Printf.sprintf "perm-election(k=%d,n=%d)" k n;
+    n;
+    bindings = bindings ~k ~n;
+    program = program ~k ~n ~perm_assignment:(perm_of_pid ~k);
+    step_bound = step_bound ~k ~n;
+  }
+
+let duplicate_instance ~k ~n =
+  let fact = Perm.factorial (k - 1) in
+  let perm_assignment pid = perm_of_pid ~k (pid mod fact) in
+  {
+    Election.name = Printf.sprintf "perm-election-dup(k=%d,n=%d)" k n;
+    n;
+    bindings = bindings ~k ~n;
+    program = program ~k ~n ~perm_assignment;
+    step_bound = step_bound ~k ~n;
+  }

@@ -1,0 +1,77 @@
+(** Leader election for [(k−1)!] processes from one compare&swap-(k) plus
+    unbounded SWMR registers — our executable reconstruction of the
+    algorithm of Afek & Stupp, FOCS '93 (reference [1] of the paper),
+    whose capacity the paper's Theorem 1 upper-bounds.
+
+    {2 The algorithm}
+
+    The register's alphabet is Σ = {⊥, 0, …, k−2}.  The protocol only ever
+    performs successful operations that introduce a {e fresh} value, so
+    the register never revisits a value and its value sequence — the
+    {e chain} — is a growing prefix of a permutation of Σ∖{⊥}.  Process
+    [pid] owns the rank-[pid] permutation (lexicographic); the process
+    whose permutation equals the realized chain is elected.
+
+    Every process, repeatedly:
+
+    + reads the register and every process's claim log;
+    + {e reconstructs} the chain so far (see below);
+    + if the chain is complete (all k−1 values used) decides its owner;
+    + otherwise picks the minimal {e announced} permutation consistent
+      with the chain, publishes a labelled claim [(cur → next, position)]
+      in its own SWMR log, and attempts [c&s(cur → next)].
+
+    Everyone helps drive the chain, so no process ever waits on another:
+    an attempt fails only if the register moved, and it can move at most
+    k−1 times, which bounds every process's steps — wait-freedom.
+
+    {2 Reconstruction}
+
+    A claim [(c → s, j)] is published {e before} the attempt, when the
+    claimant has just read the register at [c] and reconstructed [c]'s
+    position as [j−1].  Consequently (a) claim sources are always
+    introduced values, so the introduced set is exactly
+    [{sources} ∪ {current value}]; (b) claim labels are always accurate
+    for their source.  A short induction then shows there is exactly one
+    label-consistent path from ⊥ through all introduced values ending at
+    the current value — the true chain — even though some successful
+    operations may never be individually attributable (their performers
+    may have crashed).  [reconstruct] computes it; the test suite checks
+    uniqueness on every schedule of small instances.
+
+    Capacity is exactly [(k−1)!]: with more processes two would share a
+    permutation and both would decide themselves; [duplicate_instance]
+    exhibits the resulting agreement violation. *)
+
+module Value := Memory.Value
+
+val instance : k:int -> n:int -> Election.instance
+(** Requires [1 <= n <= (k-1)!]. *)
+
+val duplicate_instance : k:int -> n:int -> Election.instance
+(** Same protocol with [n] processes but permutations assigned modulo
+    [(k−1)!].  With [n = (k−1)!+1], pids [0] and [n−1] share a
+    permutation, and identities stop being recoverable from the chain: in
+    a run where only pid [n−1] participates, the realized chain is its
+    permutation but the deterministic owner rule names pid [0], electing a
+    process that never proposed itself — a validity violation the test
+    suite exhibits with a crash schedule.  (This shows {e this} protocol's
+    capacity is exactly [(k−1)!]; whether some other protocol exceeds it
+    is the paper's open gap between [(k−1)!] and [O(k^(k²+3))].) *)
+
+(** {2 Exposed internals (for tests and the emulation experiments)} *)
+
+type claim = { source : Value.t; dest : int; position : int }
+
+val reconstruct :
+  k:int -> cur:Value.t -> claims:claim list -> int list option
+(** The chain of introduced values up to (and including) the register's
+    current value [cur]: the longest label-consistent claim path from ⊥
+    ending at [cur].  In reachable states every such path is a prefix of
+    the true chain (ended early by a failed intent that wanted to
+    introduce [cur] sooner), so the longest is the chain itself; [None]
+    only for claim sets not arising from real executions.
+    @raise Failure if two solutions are not prefix-ordered — impossible in
+    reachable states, and the tests rely on this being checked. *)
+
+val perm_of_pid : k:int -> int -> int list

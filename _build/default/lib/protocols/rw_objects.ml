@@ -1,0 +1,72 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Snapshot_obj = Snapshot.Snapshot_obj
+
+(* --- sequential specifications (for the linearizability checker) --- *)
+
+let counter_incr_op = Value.sym "incr"
+let counter_read_op = Value.sym "read"
+
+let counter_seq_spec =
+  Memory.Spec.make ~type_name:"counter" ~init:(Value.int 0)
+    ~apply:(fun ~pid:_ s op ->
+      match op with
+      | Value.Sym "incr" -> Ok (Value.int (Value.as_int s + 1), Value.unit)
+      | Value.Sym "read" -> Ok (s, s)
+      | _ -> Error "counter: bad operation")
+
+let max_write_op v = Value.pair (Value.sym "max-write") (Value.int v)
+let max_read_op = Value.sym "read"
+
+let max_seq_spec =
+  Memory.Spec.make ~type_name:"max-register" ~init:(Value.int 0)
+    ~apply:(fun ~pid:_ s op ->
+      match op with
+      | Value.Pair (Value.Sym "max-write", Value.Int v) ->
+        Ok (Value.int (max (Value.as_int s) v), Value.unit)
+      | Value.Sym "read" -> Ok (s, s)
+      | _ -> Error "max-register: bad operation")
+
+(* --- counter from snapshot --- *)
+
+type counter = { c_loc : string; c_n : int }
+
+let counter ~base ~n = { c_loc = base; c_n = n }
+
+let counter_bindings t =
+  [ (t.c_loc, Snapshot_obj.spec ~segments:t.c_n ()) ]
+
+let segment_int v = match v with Value.Int i -> i | _ -> 0
+
+let incr t ~me =
+  let open Program in
+  (* Read own segment from a scan, bump it.  Only the owner writes the
+     segment, so the read-modify-write is private and needs no atomicity
+     beyond the two operations. *)
+  let* segments = Snapshot_obj.scan t.c_loc in
+  let mine = segment_int (List.nth segments me) in
+  Snapshot_obj.update t.c_loc ~segment:me (Value.int (mine + 1))
+
+let counter_read t =
+  let open Program in
+  let* segments = Snapshot_obj.scan t.c_loc in
+  return (List.fold_left (fun acc v -> acc + segment_int v) 0 segments)
+
+(* --- max register from snapshot --- *)
+
+type max_reg = { m_loc : string; m_n : int }
+
+let max_reg ~base ~n = { m_loc = base; m_n = n }
+let max_bindings t = [ (t.m_loc, Snapshot_obj.spec ~segments:t.m_n ()) ]
+
+let max_write t ~me v =
+  let open Program in
+  let* segments = Snapshot_obj.scan t.m_loc in
+  let mine = segment_int (List.nth segments me) in
+  if v > mine then Snapshot_obj.update t.m_loc ~segment:me (Value.int v)
+  else return ()
+
+let max_read t =
+  let open Program in
+  let* segments = Snapshot_obj.scan t.m_loc in
+  return (List.fold_left (fun acc v -> max acc (segment_int v)) 0 segments)

@@ -1,0 +1,48 @@
+(** Wait-free objects that r/w registers {e can} implement.
+
+    Leader election needs consensus power, but plenty of useful shared
+    objects do not: a counter (increments commute) and a max-register
+    (writes overwrite monotonically) are both implementable wait-free
+    from atomic snapshot — hence from SWMR registers
+    ({!Snapshot.Swmr_snapshot}).  In Herlihy's classifier terms
+    ({!Hierarchy.Cons_number}) their operation algebras are
+    commute/overwrite, which is exactly why they sit at level 1 and why
+    implementing them needs no strong object.
+
+    Both constructions give each process a private segment of one
+    snapshot object; the test suite checks linearizability against the
+    corresponding sequential specifications. *)
+
+module Value := Memory.Value
+
+(** {1 Counter} *)
+
+val counter_seq_spec : Memory.Spec.t
+(** Sequential counter: [Sym "incr"] → unit, [Sym "read"] → current
+    total. *)
+
+val counter_incr_op : Value.t
+val counter_read_op : Value.t
+
+type counter
+
+val counter : base:string -> n:int -> counter
+val counter_bindings : counter -> (string * Memory.Spec.t) list
+val incr : counter -> me:int -> unit Runtime.Program.t
+val counter_read : counter -> int Runtime.Program.t
+
+(** {1 Max register} *)
+
+val max_seq_spec : Memory.Spec.t
+(** Sequential max-register: [Pair (Sym "max-write", Int v)] → unit,
+    [Sym "read"] → the largest value written (0 initially). *)
+
+val max_write_op : int -> Value.t
+val max_read_op : Value.t
+
+type max_reg
+
+val max_reg : base:string -> n:int -> max_reg
+val max_bindings : max_reg -> (string * Memory.Spec.t) list
+val max_write : max_reg -> me:int -> int -> unit Runtime.Program.t
+val max_read : max_reg -> int Runtime.Program.t

@@ -1,0 +1,129 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+module Engine = Runtime.Engine
+
+type instance = {
+  n : int;
+  inputs : Value.t array;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+}
+
+let val_loc i = Printf.sprintf "sa.val.%d" i
+let level_loc i = Printf.sprintf "sa.level.%d" i
+
+let make ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let collect_levels =
+    Program.list_map
+      (fun j -> Program.map Value.as_int (Register.read (level_loc j)))
+      (List.init n (fun j -> j))
+  in
+  let program pid =
+    let open Program in
+    complete
+      (* Enter the unsafe window. *)
+      (let* () = Register.write (val_loc pid) inputs.(pid) in
+       let* () = Register.write (level_loc pid) (Value.int 1) in
+       let* levels = collect_levels in
+       let* () =
+         if List.exists (fun l -> l = 2) levels then
+           Register.write (level_loc pid) (Value.int 0)
+         else Register.write (level_loc pid) (Value.int 2)
+       in
+       (* Decide phase: spin until the window is empty, then take the
+          value of the smallest process at level 2.  This loop is the
+          non-wait-free part: a crash at level 1 blocks it forever. *)
+       let* winner =
+         repeat_until (fun () ->
+             let* levels = collect_levels in
+             if List.exists (fun l -> l = 1) levels then return None
+             else
+               let rec first j = function
+                 | [] -> None
+                 | 2 :: _ -> Some j
+                 | _ :: rest -> first (j + 1) rest
+               in
+               return (Option.map (fun j -> `Winner j) (first 0 levels)))
+       in
+       match winner with
+       | `Winner j -> Register.read (val_loc j))
+  in
+  {
+    n;
+    inputs;
+    bindings =
+      List.concat_map
+        (fun i ->
+          [
+            (val_loc i, Register.swmr ~owner:i ());
+            (level_loc i, Register.swmr ~owner:i ~init:(Value.int 0) ());
+          ])
+        (List.init n (fun i -> i));
+    program;
+  }
+
+let config t =
+  Engine.init (Memory.Store.create t.bindings) (List.init t.n t.program)
+
+let decisions_of (outcome : Engine.outcome) =
+  List.sort_uniq Value.compare (List.map snd outcome.Engine.decisions)
+
+let check_crash_free t (final : Engine.config) =
+  let procs = Array.to_list final.Engine.procs in
+  if
+    List.exists
+      (fun (p : Runtime.Proc.t) ->
+        match p.Runtime.Proc.status with Runtime.Proc.Faulty _ -> true | _ -> false)
+      procs
+  then Error "faulty process"
+  else if
+    List.exists
+      (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.status = Runtime.Proc.Running)
+      procs
+  then Error "undecided process in a crash-free run"
+  else
+    let ds =
+      List.filter_map Runtime.Proc.decision procs
+      |> List.sort_uniq Value.compare
+    in
+    match ds with
+    | [ v ] when Array.exists (Value.equal v) t.inputs -> Ok ()
+    | [ _ ] -> Error "validity violated"
+    | _ -> Error "agreement violated"
+
+let run_random t ~seed =
+  let outcome =
+    Engine.run ~max_steps:2000 ~sched:(Runtime.Sched.random ~seed) (config t)
+  in
+  if outcome.Engine.faults <> [] then Error "faulty process"
+  else Ok (decisions_of outcome, outcome.Engine.hit_step_limit)
+
+let run_with_window_crash t ~seed =
+  (* Let process 0 write its value and enter level 1 (two steps), then
+     fail-stop it and run the others. *)
+  let c = config t in
+  let c = Engine.step (Engine.step c 0) 0 in
+  let c = Engine.crash c 0 in
+  let sched = Runtime.Sched.crashing ~crashed:[ 0 ] (Runtime.Sched.random ~seed) in
+  let outcome = Engine.run ~max_steps:2000 ~sched c in
+  outcome.Engine.hit_step_limit && outcome.Engine.decisions = []
+
+let explore_all t ~max_steps =
+  (* Safety only: safe agreement's liveness needs fairness (that is the
+     point — it is not wait-free), so schedules cut off by the step
+     bound (a process starved mid-spin) are expected, not violations.
+     Complete schedules must satisfy agreement + validity. *)
+  let failure = ref None in
+  let on_terminal final =
+    if !failure = None then
+      match check_crash_free t final with
+      | Ok () -> ()
+      | Error msg -> failure := Some msg
+  in
+  let stats = Runtime.Explore.explore ~max_steps ~on_terminal (config t) in
+  match !failure with
+  | Some msg -> Error msg
+  | None -> Ok stats.Runtime.Explore.terminals

@@ -1,0 +1,53 @@
+(** Borowsky–Gafni safe agreement — the building block of the BG
+    simulation [4], which the paper contrasts with its own technique
+    ("in their technique each simulating process tries to simulate all
+    the codes … while in our technique we divide the codes among the
+    simulators").
+
+    Safe agreement is consensus with a weakened liveness guarantee,
+    implementable from r/w registers alone:
+
+    + [val_i := v; level_i := 1]  (enter the unsafe window)
+    + collect levels; if somebody is already at level 2, retreat to
+      level 0, else advance to level 2  (leave the window)
+    + spin until nobody is at level 1, then decide the value of the
+      smallest-id process at level 2.
+
+    Agreement and validity always hold, and if no process {e crashes
+    inside the window} every participant decides.  But a crash inside
+    the window blocks everyone forever — safe agreement is {e not}
+    wait-free, which is exactly why the BG simulation lives in the
+    t-resilient world while the paper's emulation, which partitions the
+    v-processes among the emulators instead of agreeing step by step,
+    stays wait-free.  The test suite demonstrates both faces. *)
+
+module Value := Memory.Value
+
+type instance = {
+  n : int;
+  inputs : Value.t array;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+}
+
+val make : inputs:Value.t list -> instance
+
+val run_random :
+  instance -> seed:int -> (Value.t list * bool, string) result
+(** [(distinct decisions, hit_step_limit)] — without crashes the run
+    terminates with one decision; see {!run_with_window_crash} for the
+    blocking face. *)
+
+val run_with_window_crash : instance -> seed:int -> bool
+(** Crash process 0 immediately after it enters the unsafe window
+    (level 1) and run the others: returns [true] iff the survivors
+    spin without deciding (hit the step limit) — the expected,
+    blocking outcome. *)
+
+val explore_all : instance -> max_steps:int -> (int, string) result
+(** Exhaustively verify agreement + validity over all crash-free
+    schedules (small n); returns the number of {e complete} schedules.
+    Termination is deliberately not required: unfair schedules starve
+    the decide spin even without crashes — safe agreement's liveness
+    needs fairness, which is precisely its difference from the paper's
+    wait-free emulation. *)

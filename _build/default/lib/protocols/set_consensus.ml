@@ -1,0 +1,130 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+module Cas_k = Objects.Cas_k
+
+type instance = {
+  name : string;
+  n : int;
+  k : int;
+  inputs : Value.t array;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  step_bound : int;
+}
+
+let config t =
+  let store = Memory.Store.create t.bindings in
+  Engine.init store (List.init t.n t.program)
+
+let check_config t (config : Engine.config) =
+  let procs = Array.to_list config.Engine.procs in
+  match
+    List.find_map
+      (fun (p : Runtime.Proc.t) ->
+        match p.Runtime.Proc.status with
+        | Runtime.Proc.Faulty m -> Some (p.Runtime.Proc.pid, m)
+        | _ -> None)
+      procs
+  with
+  | Some (pid, m) -> Error (Printf.sprintf "process %d faulty: %s" pid m)
+  | None ->
+    if
+      List.exists
+        (fun (p : Runtime.Proc.t) ->
+          p.Runtime.Proc.status = Runtime.Proc.Running)
+        procs
+    then Error "some live process did not decide"
+    else
+      let decisions = List.filter_map Runtime.Proc.decision procs in
+      let distinct = List.sort_uniq Value.compare decisions in
+      let is_input v = Array.exists (Value.equal v) t.inputs in
+      if List.length distinct > t.k then
+        Error
+          (Fmt.str "consistency violated: %d > %d distinct decisions: %a"
+             (List.length distinct) t.k
+             Fmt.(list ~sep:(any ", ") Value.pp)
+             distinct)
+      else if not (List.for_all is_input distinct) then
+        Error "validity violated: some decision is no one's input"
+      else
+        match
+          List.find_opt
+            (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.step_bound)
+            procs
+        with
+        | Some p ->
+          Error
+            (Printf.sprintf "wait-freedom bound exceeded: pid %d took %d > %d"
+               p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
+        | None -> Ok ()
+
+let check_outcome t (outcome : Engine.outcome) =
+  if outcome.Engine.hit_step_limit then Error "run hit the global step limit"
+  else check_config t outcome.Engine.final
+
+let run_random t ~seed =
+  let outcome =
+    Engine.run
+      ~max_steps:((t.step_bound * t.n) + 1000)
+      ~sched:(Sched.random ~seed) (config t)
+  in
+  match check_outcome t outcome with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      (List.sort_uniq Value.compare (List.map snd outcome.Engine.decisions))
+
+let explore_all t ~max_steps =
+  match Runtime.Explore.check_all ~max_steps (config t) (check_config t) with
+  | Ok stats -> Ok stats.Runtime.Explore.terminals
+  | Error v ->
+    Error
+      (Fmt.str "%s@.counterexample schedule:@.%a" v.Runtime.Explore.message
+         Runtime.Trace.pp v.Runtime.Explore.trace)
+
+let trivial ~k ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  if n > k then
+    invalid_arg "Set_consensus.trivial: needs n <= k (that is the theorem!)";
+  {
+    name = Printf.sprintf "trivial-%d-set(n=%d)" k n;
+    n;
+    k;
+    inputs;
+    bindings = [];
+    program = (fun pid -> Program.Done inputs.(pid));
+    step_bound = 0;
+  }
+
+let group_loc g = Printf.sprintf "setcons.group%d" g
+
+let from_groups ~k ~inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let distinct = List.sort_uniq Value.compare (Array.to_list inputs) in
+  let group_of pid = pid mod k in
+  let program pid =
+    let open Program in
+    let mine = inputs.(pid) in
+    let loc = group_loc (group_of pid) in
+    complete
+      (let* prev = Cas_k.cas loc ~expected:Cas_k.bottom ~desired:mine in
+       if Value.equal prev Cas_k.bottom then return mine else return prev)
+  in
+  {
+    name = Printf.sprintf "group-%d-set(n=%d)" k n;
+    n;
+    k;
+    inputs;
+    bindings =
+      List.init (min k n) (fun g ->
+          ( group_loc g,
+            Cas_k.generic_spec
+              ~values:(Cas_k.bottom :: distinct)
+              ~init:Cas_k.bottom ));
+    program;
+    step_bound = 1;
+  }

@@ -1,0 +1,40 @@
+(** k-set consensus (§2 of the paper).
+
+    Each of [n] processes starts with an input from a domain [D] and
+    decides a value such that (a) {b Consistent}: at most [k] distinct
+    values are decided overall, (b) {b Wait-free}, (c) {b Valid}: every
+    decision is some process's input.
+
+    The paper's lower bound manufactures a [(k−1)!]-set-consensus protocol
+    for [(k−1)!+1] processes out of a too-strong election algorithm; this
+    module provides the generic machinery for checking set-consensus
+    outcomes, plus two honest protocols used as references:
+
+    - [trivial]: with [n <= k] processes, deciding your own input is
+      already k-set consensus (this is why the impossibility needs
+      [m > l] processes);
+    - [from_groups]: [n] processes, partitioned into [k] groups, each
+      group agreeing internally via one consensus object — k-set
+      consensus for arbitrary [n]. *)
+
+module Value := Memory.Value
+
+type instance = {
+  name : string;
+  n : int;
+  k : int;  (** max distinct decisions allowed *)
+  inputs : Value.t array;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  step_bound : int;
+}
+
+val config : instance -> Runtime.Engine.config
+val check_outcome : instance -> Runtime.Engine.outcome -> (unit, string) result
+val run_random : instance -> seed:int -> (Value.t list, string) result
+(** Distinct decided values (size ≤ k on success). *)
+
+val explore_all : instance -> max_steps:int -> (int, string) result
+
+val trivial : k:int -> inputs:Value.t list -> instance
+val from_groups : k:int -> inputs:Value.t list -> instance

@@ -1,0 +1,132 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+module Engine = Runtime.Engine
+
+type outcome = Stop | Right | Down
+
+let x_loc name = name ^ ".X"
+let door_loc name = name ^ ".door"
+
+let splitter_bindings name =
+  [
+    (x_loc name, Register.mwmr ~init:(Value.sym "nobody") ());
+    (door_loc name, Register.mwmr ~init:(Value.bool false) ());
+  ]
+
+let enter name ~me =
+  let open Program in
+  let* () = Register.write (x_loc name) me in
+  let* door = Register.read (door_loc name) in
+  if Value.as_bool door then return Right
+  else
+    let* () = Register.write (door_loc name) (Value.bool true) in
+    let* x = Register.read (x_loc name) in
+    if Value.equal x me then return Stop else return Down
+
+(* --- renaming grid --- *)
+
+type instance = {
+  n : int;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+  name_space : int;
+  step_bound : int;
+}
+
+let cell_name r d = Printf.sprintf "split.%d.%d" r d
+
+(* Triangular enumeration of the grid cells reachable with at most n-1
+   moves: cell (r, d) gets name r + (r+d)(r+d+1)/2 restricted to the
+   diagonal band; we simply enumerate all cells with r + d <= n-1. *)
+let cell_id ~n r d =
+  ignore n;
+  let diag = r + d in
+  (diag * (diag + 1) / 2) + r
+
+let renaming ~n =
+  let cells =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun d -> if r + d <= n - 1 then Some (r, d) else None)
+          (List.init n (fun d -> d)))
+      (List.init n (fun r -> r))
+  in
+  let bindings =
+    List.concat_map (fun (r, d) -> splitter_bindings (cell_name r d)) cells
+  in
+  let program pid =
+    let open Program in
+    let me = Value.int pid in
+    let rec walk r d =
+      if r + d > n - 1 then failwith "renaming: walked off the grid"
+      else
+        let* o = enter (cell_name r d) ~me in
+        match o with
+        | Stop -> decide (Value.int (cell_id ~n r d))
+        | Right -> walk (r + 1) d
+        | Down -> walk r (d + 1)
+    in
+    complete (walk 0 0)
+  in
+  {
+    n;
+    bindings;
+    program;
+    name_space = n * (n + 1) / 2;
+    step_bound = 4 * n;
+  }
+
+let config t =
+  Engine.init (Memory.Store.create t.bindings) (List.init t.n t.program)
+
+let check_config t (final : Engine.config) =
+  let procs = Array.to_list final.Engine.procs in
+  match
+    List.find_map
+      (fun (p : Runtime.Proc.t) ->
+        match p.Runtime.Proc.status with
+        | Runtime.Proc.Faulty m -> Some m
+        | _ -> None)
+      procs
+  with
+  | Some m -> Error ("faulty process: " ^ m)
+  | None ->
+    if
+      List.exists
+        (fun (p : Runtime.Proc.t) ->
+          p.Runtime.Proc.status = Runtime.Proc.Running)
+        procs
+    then Error "undecided process"
+    else
+      let names = List.filter_map Runtime.Proc.decision procs in
+      let ints = List.map Value.as_int names in
+      if List.exists (fun i -> i < 0 || i >= t.name_space) ints then
+        Error "name outside the name space"
+      else if List.length (List.sort_uniq compare ints) <> List.length ints
+      then Error "duplicate names acquired"
+      else Ok ()
+
+let check_outcome t (outcome : Engine.outcome) =
+  if outcome.Engine.hit_step_limit then Error "hit step limit"
+  else check_config t outcome.Engine.final
+
+let run_random t ~seed =
+  let outcome =
+    Engine.run
+      ~max_steps:((t.step_bound * t.n) + 100)
+      ~sched:(Runtime.Sched.random ~seed) (config t)
+  in
+  match check_outcome t outcome with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok (List.map (fun (_, v) -> Value.as_int v) outcome.Engine.decisions)
+
+let explore_all t ~max_steps =
+  match Runtime.Explore.check_all ~max_steps (config t) (check_config t) with
+  | Ok stats -> Ok stats.Runtime.Explore.terminals
+  | Error v ->
+    Error
+      (Fmt.str "%s@.%a" v.Runtime.Explore.message Runtime.Trace.pp
+         v.Runtime.Explore.trace)

@@ -1,0 +1,56 @@
+(** Moir–Anderson splitters and one-shot renaming from r/w registers.
+
+    A counterpoint inside the model: leader election is impossible from
+    r/w registers for even two processes (the base of the paper's whole
+    hierarchy story), yet {e renaming} — shrinking the name space to
+    O(n²) — is wait-free solvable from r/w registers alone.  The
+    splitter is the classic building block:
+
+    {v
+        splitter(id):
+          X := id
+          if door closed then return Right
+          close door
+          if X = id then return Stop else return Down
+    v}
+
+    Among the processes that enter one splitter, at most one {b Stop}s,
+    at most n−1 go {b Right} (the first process to enter cannot see the
+    door closed) and at most n−1 go {b Down} (the last writer of X that
+    closed… the last process to write X before any door-read cannot be
+    overwritten — standard argument).  Arranging splitters in a
+    triangular grid gives each process a distinct grid cell within n−1
+    steps: a one-shot renaming into n(n+1)/2 names. *)
+
+module Value := Memory.Value
+
+type outcome = Stop | Right | Down
+
+val splitter_bindings : string -> (string * Memory.Spec.t) list
+(** The two registers (X and the door) of a named splitter. *)
+
+val enter : string -> me:Value.t -> outcome Runtime.Program.t
+(** Run the splitter protocol (3–4 register operations). *)
+
+(** {2 Renaming} *)
+
+type instance = {
+  n : int;
+  bindings : (string * Memory.Spec.t) list;
+  program : int -> Runtime.Program.prim;
+      (** decides the acquired name as an [Int] *)
+  name_space : int;  (** n(n+1)/2 *)
+  step_bound : int;
+}
+
+val renaming : n:int -> instance
+
+val check_outcome :
+  instance -> Runtime.Engine.outcome -> (unit, string) result
+(** All non-crashed processes acquired distinct names within
+    [0, name_space). *)
+
+val run_random : instance -> seed:int -> (int list, string) result
+(** The names acquired, indexed by pid order. *)
+
+val explore_all : instance -> max_steps:int -> (int, string) result

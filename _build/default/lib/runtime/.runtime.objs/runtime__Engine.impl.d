@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array List Memory Printf Proc Program Sched Trace

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Memory Proc Program Sched Trace

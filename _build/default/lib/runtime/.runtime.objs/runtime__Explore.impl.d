@@ -1,0 +1,1 @@
+lib/runtime/explore.ml: Array Engine List Memory Proc Set Trace

@@ -1,0 +1,1 @@
+lib/runtime/proc.ml: Fmt Memory Program

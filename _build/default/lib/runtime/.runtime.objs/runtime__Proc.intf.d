@@ -1,0 +1,1 @@
+lib/runtime/proc.mli: Format Memory Program

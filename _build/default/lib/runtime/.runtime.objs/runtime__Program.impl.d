@@ -1,0 +1,1 @@
+lib/runtime/program.ml: Memory Printf

@@ -1,0 +1,120 @@
+module Value = Memory.Value
+
+type config = {
+  store : Memory.Store.t;
+  procs : Proc.t array;
+  time : int;
+  trace : Trace.event list;
+}
+
+let init store progs =
+  let procs = List.mapi (fun pid prog -> Proc.make ~pid prog) progs in
+  { store; procs = Array.of_list procs; time = 0; trace = [] }
+
+let enabled config =
+  let acc = ref [] in
+  for i = Array.length config.procs - 1 downto 0 do
+    if Proc.is_running config.procs.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let set_proc config pid proc =
+  let procs = Array.copy config.procs in
+  procs.(pid) <- proc;
+  { config with procs }
+
+let step config pid =
+  let proc = config.procs.(pid) in
+  if not (Proc.is_running proc) then config
+  else
+    match proc.Proc.prog with
+    | Program.Done v ->
+      set_proc config pid { proc with status = Proc.Decided v }
+    | Program.Step (loc, o, k) -> (
+      match Memory.Store.apply config.store ~pid loc o with
+      | Error msg ->
+        set_proc config pid { proc with status = Proc.Faulty msg }
+      | Ok (store, result) ->
+        let event = { Trace.time = config.time; pid; loc; op = o; result } in
+        let proc' =
+          match k result with
+          | exception Value.Type_error (want, got) ->
+            {
+              proc with
+              Proc.status =
+                Proc.Faulty
+                  (Printf.sprintf "type error: expected %s, got %s" want
+                     (Value.to_string got));
+              steps = proc.Proc.steps + 1;
+            }
+          | Program.Done v ->
+            {
+              proc with
+              Proc.prog = Program.Done v;
+              status = Proc.Decided v;
+              steps = proc.Proc.steps + 1;
+            }
+          | next ->
+            { proc with Proc.prog = next; steps = proc.Proc.steps + 1 }
+        in
+        let config = set_proc config pid proc' in
+        { config with store; time = config.time + 1; trace = event :: config.trace })
+
+let crash config pid =
+  let proc = config.procs.(pid) in
+  if Proc.is_running proc then
+    set_proc config pid { proc with Proc.status = Proc.Crashed }
+  else config
+
+let trace config = List.rev config.trace
+
+type outcome = {
+  final : config;
+  decisions : (int * Value.t) list;
+  faults : (int * string) list;
+  crashes : int list;
+  steps : int;
+  hit_step_limit : bool;
+}
+
+let outcome_of ~hit_step_limit config =
+  let decisions = ref [] and faults = ref [] and crashes = ref [] in
+  Array.iter
+    (fun (p : Proc.t) ->
+      match p.Proc.status with
+      | Proc.Decided v -> decisions := (p.Proc.pid, v) :: !decisions
+      | Proc.Faulty m -> faults := (p.Proc.pid, m) :: !faults
+      | Proc.Crashed -> crashes := p.Proc.pid :: !crashes
+      | Proc.Running -> ())
+    config.procs;
+  {
+    final = config;
+    decisions = List.rev !decisions;
+    faults = List.rev !faults;
+    crashes = List.rev !crashes;
+    steps = config.time;
+    hit_step_limit;
+  }
+
+let run ?(max_steps = 1_000_000) ~sched config =
+  let rec go config =
+    if config.time >= max_steps then outcome_of ~hit_step_limit:true config
+    else
+      match enabled config with
+      | [] -> outcome_of ~hit_step_limit:false config
+      | pids ->
+        let pid = sched.Sched.choose ~time:config.time ~enabled:pids in
+        go (step config pid)
+  in
+  go config
+
+let distinct_decisions outcome =
+  List.fold_left
+    (fun acc (_, v) -> if List.exists (Value.equal v) acc then acc else v :: acc)
+    [] outcome.decisions
+  |> List.rev
+
+let max_steps_per_proc outcome =
+  Array.fold_left
+    (fun acc (p : Proc.t) -> max acc p.Proc.steps)
+    0 outcome.final.procs

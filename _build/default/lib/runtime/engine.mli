@@ -1,0 +1,53 @@
+(** The execution engine: interleaves process steps under a scheduler.
+
+    A {!config} is a complete instantaneous description of the system —
+    shared memory plus every process's remaining program.  [step] advances
+    one process by one atomic operation; [run] drives a whole execution. *)
+
+type config = {
+  store : Memory.Store.t;
+  procs : Proc.t array;
+  time : int;
+  trace : Trace.event list;  (** newest first; see {!trace} *)
+}
+
+val init : Memory.Store.t -> Program.prim list -> config
+(** Processes get pids [0 .. n-1] in list order. *)
+
+val enabled : config -> int list
+(** Pids that are still [Running]. *)
+
+val step : config -> int -> config
+(** Advance process [pid] by one shared-memory operation.  A process whose
+    operation is rejected by the store, or whose continuation raises,
+    becomes [Faulty].  Stepping a non-running process is a no-op. *)
+
+val crash : config -> int -> config
+(** Fail-stop a process (adversary move). *)
+
+val trace : config -> Trace.t
+(** The linearization order, oldest first. *)
+
+(** Result of a completed run. *)
+type outcome = {
+  final : config;
+  decisions : (int * Memory.Value.t) list;  (** pid, decision; pid order *)
+  faults : (int * string) list;
+  crashes : int list;
+  steps : int;  (** total shared-memory operations performed *)
+  hit_step_limit : bool;
+}
+
+val run : ?max_steps:int -> sched:Sched.t -> config -> outcome
+(** Drive the configuration until no process is running or [max_steps]
+    (default 1_000_000) operations have been performed.  Hitting the limit
+    with live processes sets [hit_step_limit] — for a wait-free protocol
+    under a fair scheduler this indicates a bug and tests treat it as
+    failure. *)
+
+val distinct_decisions : outcome -> Memory.Value.t list
+(** Deduplicated decision values, in first-decided order. *)
+
+val max_steps_per_proc : outcome -> int
+(** Maximum number of operations any single process performed: the
+    empirical wait-freedom bound of the run. *)

@@ -1,0 +1,68 @@
+type stats = { terminals : int; truncated : int; max_depth : int }
+
+exception Stop_exploration
+
+let explore ?(max_steps = 10_000) ?(crash_faults = false) ?on_terminal
+    ?on_truncated config =
+  let terminals = ref 0 and truncated = ref 0 and max_depth = ref 0 in
+  let emit hook n config =
+    incr n;
+    match hook with None -> () | Some f -> f config
+  in
+  let rec go config depth =
+    if depth > !max_depth then max_depth := depth;
+    match Engine.enabled config with
+    | [] -> emit on_terminal terminals config
+    | pids when depth >= max_steps ->
+      ignore pids;
+      emit on_truncated truncated config
+    | pids ->
+      List.iter
+        (fun pid ->
+          go (Engine.step config pid) (depth + 1);
+          if crash_faults then go (Engine.crash config pid) depth)
+        pids
+  in
+  go config 0;
+  { terminals = !terminals; truncated = !truncated; max_depth = !max_depth }
+
+type violation = { trace : Trace.t; message : string }
+
+let check_all ?max_steps ?crash_faults config predicate =
+  let failure = ref None in
+  let record config message =
+    failure := Some { trace = Engine.trace config; message };
+    raise Stop_exploration
+  in
+  let on_terminal config =
+    match predicate config with
+    | Ok () -> ()
+    | Error message -> record config message
+  in
+  let on_truncated config =
+    record config "execution exceeded the step bound (possible livelock)"
+  in
+  match explore ?max_steps ?crash_faults ~on_terminal ~on_truncated config with
+  | stats -> Ok stats
+  | exception Stop_exploration -> (
+    match !failure with
+    | Some v -> Error v
+    | None -> assert false)
+
+let decision_sets ?max_steps config =
+  let module Vls = Set.Make (struct
+    type t = Memory.Value.t list
+
+    let compare = List.compare Memory.Value.compare
+  end) in
+  let sets = ref Vls.empty in
+  let on_terminal config =
+    let ds =
+      Array.to_list config.Engine.procs
+      |> List.filter_map Proc.decision
+      |> List.sort Memory.Value.compare
+    in
+    sets := Vls.add ds !sets
+  in
+  ignore (explore ?max_steps ~on_terminal config);
+  Vls.elements !sets

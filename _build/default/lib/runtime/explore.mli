@@ -1,0 +1,50 @@
+(** Exhaustive interleaving exploration.
+
+    Depth-first enumeration of {e every} schedule of a configuration, up to
+    a step bound.  Because configurations are immutable values, branching
+    is cheap.  This is the strongest correctness evidence we can produce
+    for agreement properties on small instances: a property checked by
+    [explore] holds under all adversaries, not just sampled ones.
+
+    Optionally explores crash steps too ([crash_faults]), modelling the
+    wait-free (n-1)-resilient adversary. *)
+
+type stats = {
+  terminals : int;  (** complete executions enumerated *)
+  truncated : int;  (** executions cut off by the step bound *)
+  max_depth : int;
+}
+
+val explore :
+  ?max_steps:int ->
+  ?crash_faults:bool ->
+  ?on_terminal:(Engine.config -> unit) ->
+  ?on_truncated:(Engine.config -> unit) ->
+  Engine.config ->
+  stats
+(** [max_steps] bounds each execution's length (default 10_000 — effectively
+    unbounded for wait-free protocols on small instances).  When
+    [crash_faults] is true (default false), at every choice point each
+    running process may also crash, multiplying the schedule space. *)
+
+(** {1 Ready-made whole-space checks} *)
+
+type violation = {
+  trace : Trace.t;
+  message : string;
+}
+
+val check_all :
+  ?max_steps:int ->
+  ?crash_faults:bool ->
+  Engine.config ->
+  (Engine.config -> (unit, string) result) ->
+  (stats, violation) result
+(** Run the predicate on every terminal configuration; stop at the first
+    violation and report its schedule.  A truncated execution is itself a
+    violation (non-termination under some schedule). *)
+
+val decision_sets :
+  ?max_steps:int -> Engine.config -> Memory.Value.t list list
+(** All distinct decision multisets (sorted within a run, deduplicated
+    across runs) reachable from the configuration.  Small instances only. *)

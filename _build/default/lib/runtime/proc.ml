@@ -1,0 +1,22 @@
+type status =
+  | Running
+  | Decided of Memory.Value.t
+  | Crashed
+  | Faulty of string
+
+type t = { pid : int; prog : Program.prim; steps : int; status : status }
+
+let make ~pid prog =
+  let status =
+    match prog with Program.Done v -> Decided v | Program.Step _ -> Running
+  in
+  { pid; prog; steps = 0; status }
+
+let is_running t = t.status = Running
+let decision t = match t.status with Decided v -> Some v | _ -> None
+
+let pp_status ppf = function
+  | Running -> Fmt.string ppf "running"
+  | Decided v -> Fmt.pf ppf "decided %a" Memory.Value.pp v
+  | Crashed -> Fmt.string ppf "crashed"
+  | Faulty msg -> Fmt.pf ppf "faulty (%s)" msg

@@ -1,0 +1,23 @@
+(** A simulated process: a program plus its execution status. *)
+
+type status =
+  | Running
+  | Decided of Memory.Value.t
+  | Crashed  (** fail-stopped by the adversary; never scheduled again *)
+  | Faulty of string
+      (** the program misbehaved (bad operation, type error); counts as a
+          protocol bug, never as a legal outcome *)
+
+type t = {
+  pid : int;
+  prog : Program.prim;
+  steps : int;  (** shared-memory operations this process has performed *)
+  status : status;
+}
+
+val make : pid:int -> Program.prim -> t
+(** Normalizes: a program that is immediately [Done] starts as [Decided]. *)
+
+val is_running : t -> bool
+val decision : t -> Memory.Value.t option
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,56 @@
+module Value = Memory.Value
+
+type prim =
+  | Done of Value.t
+  | Step of string * Value.t * (Value.t -> prim)
+
+type 'a t = ('a -> prim) -> prim
+
+let return x k = k x
+let bind m f k = m (fun a -> f a k)
+let map f m k = m (fun a -> k (f a))
+let ( let* ) = bind
+let ( let+ ) m f = map f m
+let op loc o k = Step (loc, o, k)
+let decide v _k = Done v
+
+let rec list_iter f = function
+  | [] -> return ()
+  | x :: xs ->
+    let* () = f x in
+    list_iter f xs
+
+let rec list_map f = function
+  | [] -> return []
+  | x :: xs ->
+    let* y = f x in
+    let* ys = list_map f xs in
+    return (y :: ys)
+
+let rec list_fold f acc = function
+  | [] -> return acc
+  | x :: xs ->
+    let* acc = f acc x in
+    list_fold f acc xs
+
+let rec repeat_until body =
+  let* r = body () in
+  match r with Some x -> return x | None -> repeat_until body
+
+let complete m = m (fun v -> Done v)
+
+let run_sequential store ~pid prim =
+  let rec go store = function
+    | Done v -> Ok (store, v)
+    | Step (loc, o, k) -> (
+      match Memory.Store.apply store ~pid loc o with
+      | Error _ as e -> e
+      | Ok (store, res) -> (
+        match k res with
+        | exception Value.Type_error (want, got) ->
+          Error
+            (Printf.sprintf "type error: expected %s, got %s" want
+               (Value.to_string got))
+        | next -> go store next))
+  in
+  go store prim

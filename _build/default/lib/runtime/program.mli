@@ -1,0 +1,65 @@
+(** Protocol programs.
+
+    A process's code is a sequence of atomic shared-memory operations with
+    local computation between them.  We represent it as a resumable step
+    machine ({!prim}) and provide a continuation monad ({!type-t}) for
+    writing protocols in direct style:
+
+    {[
+      let open Runtime.Program in
+      let* v = op "r" (Objects.Register.read_op) in
+      if Memory.Value.as_int v = 0 then decide (Memory.Value.int 1)
+      else return ()
+    ]}
+
+    The execution engine owns all scheduling: a program only advances when
+    the scheduler grants it a step, and each [op] is applied atomically.
+
+    {b Purity requirement.}  Continuations must not capture mutable state:
+    the exhaustive explorer ({!Explore}) resumes the same continuation
+    along many interleaving branches, so captured refs would leak state
+    between alternative schedules.  Thread loop state through recursion
+    arguments instead. *)
+
+module Value := Memory.Value
+
+(** A resumable program: either finished with a decision value, or blocked
+    on one shared-memory operation with a continuation awaiting the
+    response. *)
+type prim =
+  | Done of Value.t
+  | Step of string * Value.t * (Value.t -> prim)
+      (** [Step (loc, op, k)] invokes [op] on the object at [loc]. *)
+
+type 'a t
+(** Monadic protocol fragment returning an ['a]. *)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+
+val op : string -> Value.t -> Value.t t
+(** [op loc o] performs one atomic operation on the shared object at [loc]
+    and returns its response. *)
+
+val decide : Value.t -> 'a t
+(** Terminate the whole program immediately with the given decision value,
+    discarding the continuation. *)
+
+val list_iter : ('a -> unit t) -> 'a list -> unit t
+val list_map : ('a -> 'b t) -> 'a list -> 'b list t
+val list_fold : ('acc -> 'a -> 'acc t) -> 'acc -> 'a list -> 'acc t
+
+val repeat_until : (unit -> 'a option t) -> 'a t
+(** [repeat_until body] runs [body] repeatedly until it returns [Some x].
+    The loop itself consumes no steps; only the [op]s inside [body] do. *)
+
+val complete : Value.t t -> prim
+(** Close a program: its result becomes the decision value. *)
+
+val run_sequential : Memory.Store.t -> pid:int -> prim ->
+  (Memory.Store.t * Value.t, string) result
+(** Run a program to completion alone against a store (no concurrency).
+    Used by tests and by the replay checker. *)

@@ -1,0 +1,53 @@
+type t = { name : string; choose : time:int -> enabled:int list -> int }
+
+let hd_exn = function
+  | [] -> invalid_arg "Sched: empty enabled set"
+  | pid :: _ -> pid
+
+let round_robin () =
+  let last = ref (-1) in
+  let choose ~time:_ ~enabled =
+    let next =
+      match List.find_opt (fun pid -> pid > !last) enabled with
+      | Some pid -> pid
+      | None -> hd_exn enabled
+    in
+    last := next;
+    next
+  in
+  { name = "round-robin"; choose }
+
+let random ~seed =
+  let state = Random.State.make [| seed |] in
+  let choose ~time:_ ~enabled =
+    List.nth enabled (Random.State.int state (List.length enabled))
+  in
+  { name = Printf.sprintf "random(%d)" seed; choose }
+
+let fixed pids =
+  let remaining = ref pids in
+  let fallback = round_robin () in
+  let rec choose ~time ~enabled =
+    match !remaining with
+    | [] -> fallback.choose ~time ~enabled
+    | pid :: rest ->
+      remaining := rest;
+      if List.mem pid enabled then pid else choose ~time ~enabled
+  in
+  { name = "fixed"; choose }
+
+let prioritize order =
+  let choose ~time:_ ~enabled =
+    match List.find_opt (fun pid -> List.mem pid enabled) order with
+    | Some pid -> pid
+    | None -> hd_exn enabled
+  in
+  { name = "prioritize"; choose }
+
+let crashing ~crashed inner =
+  let choose ~time ~enabled =
+    match List.filter (fun pid -> not (List.mem pid crashed)) enabled with
+    | [] -> inner.choose ~time ~enabled
+    | alive -> inner.choose ~time ~enabled:alive
+  in
+  { name = inner.name ^ "+crash"; choose }

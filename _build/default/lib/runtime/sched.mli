@@ -1,0 +1,31 @@
+(** Schedulers: the adversary controlling the interleaving.
+
+    A scheduler sees the global time and the set of processes that still
+    have a pending step and picks which one moves next.  It sees nothing
+    else — the contents of memory are not an input, which keeps these
+    schedulers oblivious; content-aware adversaries (e.g. the bivalency
+    adversary) drive {!Engine.step} directly instead. *)
+
+type t = { name : string; choose : time:int -> enabled:int list -> int }
+(** [choose] is only called with a non-empty [enabled] list and must return
+    a member of it. *)
+
+val round_robin : unit -> t
+(** Cycles through process ids in order.  Fresh internal cursor per call. *)
+
+val random : seed:int -> t
+(** Uniform choice among enabled processes, deterministic in [seed]. *)
+
+val fixed : int list -> t
+(** Follows the given pid sequence while its entries are enabled (skipping
+    disabled ones); falls back to round-robin when exhausted. *)
+
+val prioritize : int list -> t
+(** Always runs the enabled process that appears earliest in the list;
+    processes not listed are starved until all listed ones finish.  This is
+    the "solo run" adversary used in wait-freedom tests. *)
+
+val crashing : crashed:int list -> t -> t
+(** Wraps a scheduler so that the given pids are never scheduled
+    (fail-stop).  If only crashed processes remain enabled, the underlying
+    scheduler is consulted anyway so the engine can terminate the run. *)

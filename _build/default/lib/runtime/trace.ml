@@ -1,0 +1,18 @@
+type event = {
+  time : int;
+  pid : int;
+  loc : string;
+  op : Memory.Value.t;
+  result : Memory.Value.t;
+}
+
+type t = event list
+
+let pp_event ppf e =
+  Fmt.pf ppf "@[t=%d p%d %s %a -> %a@]" e.time e.pid e.loc Memory.Value.pp e.op
+    Memory.Value.pp e.result
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_event) t
+let by_pid t pid = List.filter (fun e -> e.pid = pid) t
+let ops_on t loc = List.filter (fun e -> String.equal e.loc loc) t
+let length = List.length

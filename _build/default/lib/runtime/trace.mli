@@ -1,0 +1,19 @@
+(** Execution traces: the linearization order of shared-memory operations. *)
+
+type event = {
+  time : int;  (** global step number *)
+  pid : int;
+  loc : string;
+  op : Memory.Value.t;
+  result : Memory.Value.t;
+}
+
+type t = event list
+(** Oldest event first. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+val by_pid : t -> int -> t
+val ops_on : t -> string -> t
+val length : t -> int

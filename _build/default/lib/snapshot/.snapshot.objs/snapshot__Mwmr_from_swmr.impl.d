@@ -1,0 +1,1 @@
+lib/snapshot/mwmr_from_swmr.ml: Array List Memory Objects Printf Runtime

@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_obj.ml: Array List Memory Printf Runtime

@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_obj.mli: Memory Runtime

@@ -1,0 +1,1 @@
+lib/snapshot/swmr_snapshot.ml: Array List Memory Objects Printf Runtime

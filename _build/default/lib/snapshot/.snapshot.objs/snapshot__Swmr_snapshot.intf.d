@@ -1,0 +1,1 @@
+lib/snapshot/swmr_snapshot.mli: Memory Runtime

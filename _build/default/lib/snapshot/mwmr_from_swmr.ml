@@ -1,0 +1,46 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+
+type t = { base : string; writers : int array }
+
+let create ~base ~writers = { base; writers }
+let cells t = Array.length t.writers
+let loc t i = Printf.sprintf "%s.w%d" t.base i
+
+let initial_cell =
+  (* timestamp 0, writer -1: loses to every real write. *)
+  Value.triple (Value.int 0) (Value.int (-1)) Value.unit
+
+let registers t =
+  List.init (cells t) (fun i ->
+      (loc t i, Register.swmr ~owner:t.writers.(i) ~init:initial_cell ()))
+
+let decode cell =
+  let ts, wid, v = Value.as_triple cell in
+  (Value.as_int ts, Value.as_int wid, v)
+
+let collect t =
+  Program.list_map
+    (fun i -> Program.map decode (Register.read (loc t i)))
+    (List.init (cells t) (fun i -> i))
+
+let best cells_read =
+  List.fold_left
+    (fun (bts, bwid, bv) (ts, wid, v) ->
+      if ts > bts || (ts = bts && wid > bwid) then (ts, wid, v)
+      else (bts, bwid, bv))
+    (0, -1, Value.unit) cells_read
+
+let write t ~me v =
+  let open Program in
+  let* cells_read = collect t in
+  let max_ts = List.fold_left (fun acc (ts, _, _) -> max acc ts) 0 cells_read in
+  Register.write (loc t me)
+    (Value.triple (Value.int (max_ts + 1)) (Value.int me) v)
+
+let read t =
+  let open Program in
+  let* cells_read = collect t in
+  let _, _, v = best cells_read in
+  return v

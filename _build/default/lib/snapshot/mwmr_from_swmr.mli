@@ -1,0 +1,34 @@
+(** A multi-writer multi-reader atomic register from single-writer
+    registers — the construction behind the paper's "w.l.o.g. we assume
+    that all atomic registers in A are SWMR [3,17,19,22]" (proof of
+    Claim 1).
+
+    Unbounded-timestamp version (Vitányi–Awerbuch style): each writer
+    owns one SWMR register holding [(timestamp, writer_id, value)].
+
+    - [write v]: collect all cells, pick a timestamp greater than every
+      one seen, publish [(ts, me, v)] in one's own cell;
+    - [read]: collect all cells, return the value of the
+      lexicographically largest [(timestamp, writer_id)].
+
+    Each cell's timestamp grows monotonically and a collect reads every
+    cell, so reads never suffer new/old inversion; ties between
+    concurrent writers are broken by id.  The test suite checks
+    linearizability against a plain MWMR register spec across random
+    schedules rather than trusting this argument. *)
+
+module Value := Memory.Value
+
+type t
+
+val create : base:string -> writers:int array -> t
+(** [writers.(i)] is the pid owning cell [i]. *)
+
+val registers : t -> (string * Memory.Spec.t) list
+
+val write : t -> me:int -> Value.t -> unit Runtime.Program.t
+(** [me] is the caller's {e cell index} (its position in [writers]). *)
+
+val read : t -> Value.t Runtime.Program.t
+(** Returns the register's current value ([Value.unit] before any
+    write). *)

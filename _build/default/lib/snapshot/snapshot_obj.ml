@@ -1,0 +1,41 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+
+let update_op ~segment v =
+  Value.triple (Value.sym "update") (Value.int segment) v
+
+let scan_op = Value.sym "scan"
+
+let spec ~segments ?owners () =
+  let owner_of i =
+    match owners with None -> i | Some a -> a.(i)
+  in
+  let init = Value.list (List.init segments (fun _ -> Value.unit)) in
+  let apply ~pid state op =
+    match op with
+    | Value.Sym "scan" -> Ok (state, state)
+    | Value.Pair (Value.Sym "update", Value.Pair (Value.Int i, v)) ->
+      if i < 0 || i >= segments then
+        Error (Printf.sprintf "snapshot: segment %d out of range" i)
+      else if pid <> owner_of i then
+        Error
+          (Printf.sprintf "snapshot: segment %d owned by %d, updated by %d" i
+             (owner_of i) pid)
+      else
+        let items = Value.as_list state in
+        let items' = List.mapi (fun j x -> if j = i then v else x) items in
+        Ok (Value.list items', Value.unit)
+    | _ -> Error ("snapshot: bad operation " ^ Value.to_string op)
+  in
+  Memory.Spec.make ~type_name:(Printf.sprintf "snapshot(%d)" segments) ~init
+    ~apply
+
+let update loc ~segment v =
+  let open Program in
+  let* _ = op loc (update_op ~segment v) in
+  return ()
+
+let scan loc =
+  let open Program in
+  let* s = op loc scan_op in
+  return (Value.as_list s)

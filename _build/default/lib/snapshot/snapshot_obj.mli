@@ -1,0 +1,21 @@
+(** Atomic snapshot objects.
+
+    An [n]-segment snapshot object lets process [i] atomically [update]
+    segment [i] and lets any process atomically [scan] all segments.  The
+    paper's emulation reads all shared data structures in one atomic
+    [SnapShot(T, G)] (Fig. 3 line 2); atomic snapshot is implementable
+    wait-free from SWMR registers (see {!Swmr_snapshot}), so granting it
+    as a primitive does not strengthen the r/w model. *)
+
+module Value := Memory.Value
+
+val spec : segments:int -> ?owners:int array -> unit -> Memory.Spec.t
+(** A primitive snapshot object with [segments] segments initialized to
+    [Unit].  With [owners], segment [i] may only be updated by pid
+    [owners.(i)]; the default owner of segment [i] is pid [i]. *)
+
+val update_op : segment:int -> Value.t -> Value.t
+val scan_op : Value.t
+
+val update : string -> segment:int -> Value.t -> unit Runtime.Program.t
+val scan : string -> Value.t list Runtime.Program.t

@@ -1,0 +1,73 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+
+type t = { base : string; owners : int array }
+
+let create ~base ~owners = { base; owners }
+let segments t = Array.length t.owners
+let loc t i = Printf.sprintf "%s.seg%d" t.base i
+
+let initial_cell n =
+  (* (seq, value, embedded view) *)
+  Value.triple (Value.int 0) Value.unit
+    (Value.list (List.init n (fun _ -> Value.unit)))
+
+let registers t =
+  let n = segments t in
+  List.init n (fun i ->
+      (loc t i, Register.swmr ~owner:t.owners.(i) ~init:(initial_cell n) ()))
+
+let decode cell =
+  let seq, v, view = Value.as_triple cell in
+  (Value.as_int seq, v, Value.as_list view)
+
+let collect t =
+  let n = segments t in
+  Program.list_map (fun i -> Program.map decode (Register.read (loc t i)))
+    (List.init n (fun i -> i))
+
+let values_of cells = List.map (fun (_, v, _) -> v) cells
+
+(* The recursion threads its state (previous collect, per-segment move
+   counts) through arguments rather than mutable cells: a program's
+   continuations must be pure, because the exhaustive explorer resumes the
+   same continuation along many interleaving branches. *)
+let scan t =
+  let open Program in
+  let rec attempt prev moved =
+    let* cur = collect t in
+    let deltas =
+      List.map2
+        (fun (pseq, _, _) (cseq, _, view) -> (pseq <> cseq, view))
+        prev cur
+    in
+    if List.for_all (fun (changed, _) -> not changed) deltas then
+      return (values_of cur)
+    else
+      (* A segment observed to move twice has completed a whole update
+         inside our interval — borrow its embedded view. *)
+      let moved' =
+        List.map2
+          (fun count (changed, _) -> if changed then count + 1 else count)
+          moved deltas
+      in
+      let borrowed =
+        List.combine moved' deltas
+        |> List.find_map (fun (count, (changed, view)) ->
+               if changed && count >= 2 then Some view else None)
+      in
+      match borrowed with
+      | Some view -> return view
+      | None -> attempt cur moved'
+  in
+  let* first = collect t in
+  attempt first (List.map (fun _ -> 0) first)
+
+let update t ~segment v =
+  let open Program in
+  let* view = scan t in
+  let* cell = Register.read (loc t segment) in
+  let seq, _, _ = decode cell in
+  Register.write (loc t segment)
+    (Value.triple (Value.int (seq + 1)) v (Value.list view))

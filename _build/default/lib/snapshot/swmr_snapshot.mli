@@ -1,0 +1,38 @@
+(** Wait-free atomic snapshot from SWMR registers.
+
+    The unbounded-sequence-number construction of Afek, Attiya, Dolev,
+    Gafni, Merritt and Shavit (1993): each segment is a SWMR register
+    holding [(seq, value, embedded_view)].
+
+    - [scan] performs repeated collects.  Two identical consecutive
+      collects form a clean double collect and are returned directly.  A
+      segment observed to change {e twice} during a scan must have
+      completed a whole [update] inside the scan's interval, so its
+      embedded view — itself a snapshot taken inside that interval — can
+      be borrowed and returned.
+    - [update] first scans, then writes the new value together with the
+      obtained view and an incremented sequence number.
+
+    Wait-freedom: with [n] processes, after [n+1] collects a scan has
+    either seen a clean double collect or seen some segment move twice,
+    so every scan terminates within [O(n²)] reads.
+
+    The module exposes the construction as programs over the runtime DSL
+    so executions are schedulable, explorable and linearizability-checked
+    against the primitive {!Snapshot} object in the test suite. *)
+
+module Value := Memory.Value
+
+type t
+
+val create : base:string -> owners:int array -> t
+(** [owners.(i)] is the pid allowed to update segment [i]. *)
+
+val registers : t -> (string * Memory.Spec.t) list
+(** The SWMR register bindings to install in the store. *)
+
+val segments : t -> int
+
+val update : t -> segment:int -> Value.t -> unit Runtime.Program.t
+val scan : t -> Value.t list Runtime.Program.t
+(** Returns the segment values (without bookkeeping fields). *)

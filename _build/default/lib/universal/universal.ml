@@ -1,0 +1,97 @@
+module Value = Memory.Value
+module Program = Runtime.Program
+module Register = Objects.Register
+module Sticky = Objects.Sticky
+
+type t = {
+  name : string;
+  spec : Memory.Spec.t;
+  n : int;
+  max_ops : int;
+}
+
+let create ~name ~spec ~n ~max_ops = { name; spec; n; max_ops }
+let cell_loc t i = Printf.sprintf "%s.cell%d" t.name i
+let announce_loc t p = Printf.sprintf "%s.ann%d" t.name p
+
+let bindings t =
+  List.init t.max_ops (fun i ->
+      (* Consensus cells: sticky registers (write-once), Plotkin-style;
+         each decides the i-th log entry exactly once. *)
+      (cell_loc t i, Sticky.spec ()))
+  @ List.init t.n (fun p ->
+        (announce_loc t p, Register.swmr ~owner:p ~init:(Value.option None) ()))
+
+let descriptor ~pid ~seq op = Value.triple (Value.int pid) (Value.int seq) op
+
+let decode_descriptor d =
+  let pid, seq, op = Value.as_triple d in
+  (Value.as_int pid, Value.as_int seq, op)
+
+(* Replay the sequential specification over a decided log prefix (oldest
+   first); returns the response of the last operation. *)
+let replay spec log =
+  let rec go state last = function
+    | [] -> last
+    | (pid, _, op) :: rest -> (
+      match Memory.Spec.apply spec ~pid state op with
+      | Error msg -> failwith ("universal replay: " ^ msg)
+      | Ok (state', resp) -> go state' (Some resp) rest)
+  in
+  match go spec.Memory.Spec.init None log with
+  | Some resp -> resp
+  | None -> failwith "universal replay: empty log"
+
+let invoke t ~pid ~seq operation =
+  let open Program in
+  let mine = descriptor ~pid ~seq operation in
+  let applied acc (p, s, _) =
+    List.exists (fun (p', s', _) -> p = p' && s = s') acc
+  in
+  (* Walk the log from the start, accumulating decided entries (newest
+     last).  At the first undecided cell, propose — helping the process
+     whose turn it is at this cell, so every announced operation is
+     decided within n cells. *)
+  let rec walk i acc =
+    if i >= t.max_ops then failwith "universal: log exhausted (max_ops)"
+    else
+      let* current = Sticky.read (cell_loc t i) in
+      let* decided =
+        if Value.equal current Sticky.bottom then
+          let helped = i mod t.n in
+          let* announced = Register.read (announce_loc t helped) in
+          let proposal =
+            match Value.as_option announced with
+            | Some pending ->
+              let s, o = Value.as_pair pending in
+              let d = (helped, Value.as_int s, o) in
+              if applied acc d || helped = pid then mine
+              else descriptor ~pid:helped ~seq:(Value.as_int s) o
+            | None -> mine
+          in
+          Sticky.sticky_write (cell_loc t i) proposal
+        else return current
+      in
+      let entry = decode_descriptor decided in
+      let acc = acc @ [ entry ] in
+      let p, s, _ = entry in
+      if p = pid && s = seq then return (replay t.spec acc)
+      else walk (i + 1) acc
+  in
+  let* () =
+    Register.write (announce_loc t pid)
+      (Value.option (Some (Value.pair (Value.int seq) operation)))
+  in
+  walk 0 []
+
+let log_of_store t store =
+  let rec go i acc =
+    if i >= t.max_ops then List.rev acc
+    else
+      match Memory.Store.peek store (cell_loc t i) with
+      | None -> List.rev acc
+      | Some v ->
+        if Value.equal v Sticky.bottom then List.rev acc
+        else go (i + 1) (decode_descriptor v :: acc)
+  in
+  go 0 []

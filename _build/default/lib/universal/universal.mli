@@ -1,0 +1,49 @@
+(** Herlihy's universal construction [10], as modified to bounded form by
+    Jayanti & Toueg [15] in spirit: a wait-free linearizable
+    implementation of {e any} sequential object from consensus objects
+    plus SWMR registers.
+
+    This is the sense in which compare&swap is "universal" at the top of
+    the hierarchy — and the construction consumes one consensus object
+    per operation, so a {e bounded} compare&swap register cannot feed it
+    forever: precisely the gap the paper's Theorem 1 quantifies.
+
+    {2 Construction}
+
+    The shared state is an agreed log of operations:
+
+    - [cell i] — a consensus object (here compare&swap-based) deciding
+      which announced operation is the [i]-th to apply;
+    - [announce p] — a SWMR register where process [p] publishes its
+      pending operation, tagged [(p, seq)];
+    - processes repeatedly propose at the first undecided cell.  To make
+      the construction wait-free, at cell [i] every process first tries
+      to {e help} process [i mod n]: if that process has announced an
+      operation not yet in the log, propose {e it} instead of one's own.
+      Within [n] cells of announcing, every pending operation is decided
+      into the log (either someone proposed it, or its turn as the helped
+      process came up), so each invocation completes in [O(n)] cell
+      rounds.
+
+    An operation's response is computed by replaying the sequential
+    specification over the decided log prefix. *)
+
+module Value := Memory.Value
+
+type t
+
+val create : name:string -> spec:Memory.Spec.t -> n:int -> max_ops:int -> t
+(** [spec] is the sequential object being implemented; [n] the number of
+    client processes; [max_ops] bounds the log length (the simulation's
+    substitute for unbounded memory — runs exceeding it become faulty
+    processes, which tests would catch). *)
+
+val bindings : t -> (string * Memory.Spec.t) list
+
+val invoke : t -> pid:int -> seq:int -> Value.t -> Value.t Runtime.Program.t
+(** [invoke t ~pid ~seq op] runs one high-level operation against the
+    universal object and returns its (linearized) response.  [seq] must
+    increase across the calling process's successive invocations. *)
+
+val log_of_store : t -> Memory.Store.t -> (int * int * Value.t) list
+(** The decided operation log [(pid, seq, op)], for tests. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Fmt List Memory Option Printf Random String

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Fmt Game List Printf QCheck QCheck_alcotest

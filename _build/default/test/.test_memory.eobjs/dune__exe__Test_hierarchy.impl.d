@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Dump Fmt Hierarchy List Memory Objects Protocols Runtime String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Fmt List Memory Objects Printf Protocols Runtime Universal

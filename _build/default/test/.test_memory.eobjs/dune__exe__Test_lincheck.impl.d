@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Lincheck List Memory Objects Runtime

@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Array List Memory Objects Printf QCheck QCheck_alcotest Runtime

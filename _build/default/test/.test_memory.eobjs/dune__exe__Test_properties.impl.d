@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Core Lincheck List Memory Objects Option Protocols QCheck QCheck_alcotest Runtime Snapshot

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Fmt Hierarchy Lincheck List Memory Objects Printf Protocols QCheck QCheck_alcotest Runtime String

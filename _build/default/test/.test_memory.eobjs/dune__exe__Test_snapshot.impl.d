@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Fmt Lincheck List Memory Objects Printf Runtime Snapshot

@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Fmt Lincheck List Memory Objects Printf Runtime Universal

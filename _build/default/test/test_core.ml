@@ -1,0 +1,589 @@
+(* Tests for the paper's core: alphabet, labels, bounds, the history
+   tree, excess graphs, components, and the emulation itself. *)
+
+module Value = Memory.Value
+module Sigma = Core.Sigma
+module Label = Core.Label
+module Bounds = Core.Bounds
+module Tree = Core.History_tree
+module Excess = Core.Excess
+module Vp_graph = Core.Vp_graph
+module Emulation = Core.Emulation
+
+let sigma_t : Sigma.t Alcotest.testable =
+  Alcotest.testable Sigma.pp Sigma.equal
+
+(* --- sigma --- *)
+
+let test_sigma_alphabet () =
+  Alcotest.(check int) "size" 4 (List.length (Sigma.all ~k:4));
+  Alcotest.check sigma_t "bottom first" Sigma.Bot (List.hd (Sigma.all ~k:4));
+  Alcotest.(check int) "non-bottom" 3 (List.length (Sigma.non_bottom ~k:4))
+
+let test_sigma_index_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.check sigma_t "roundtrip"
+        s
+        (Sigma.of_index ~k:5 (Sigma.index ~k:5 s)))
+    (Sigma.all ~k:5)
+
+let test_sigma_value_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.check sigma_t "roundtrip" s (Sigma.of_value (Sigma.to_value s)))
+    (Sigma.all ~k:4)
+
+(* --- label --- *)
+
+let test_label_basics () =
+  let l = Label.extend (Label.extend Label.root 2) 0 in
+  Alcotest.(check bool) "mem" true (Label.mem 2 l);
+  Alcotest.(check bool) "prefix" true (Label.is_prefix [ 2 ] l);
+  Alcotest.(check bool) "not prefix" false (Label.is_prefix [ 0 ] l);
+  Alcotest.(check bool) "compatible" true (Label.compatible [ 2 ] l);
+  Alcotest.(check bool) "incompatible" false (Label.compatible [ 0 ] l);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Label.extend l 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_label_budget () =
+  Alcotest.(check int) "k=4: 3! labels" 6 (Label.max_labels ~k:4);
+  Alcotest.(check int) "k=5: 4! labels" 24 (Label.max_labels ~k:5)
+
+(* --- bounds --- *)
+
+let test_bounds_closed_forms () =
+  Alcotest.(check int) "m(k=3)" 3 (Bounds.emulators ~k:3);
+  Alcotest.(check int) "m(k=4)" 7 (Bounds.emulators ~k:4);
+  Alcotest.(check int) "lower(k=5)" 24 (Bounds.election_lower_bound ~k:5);
+  Alcotest.(check int) "exponent(k=3)" 12 (Bounds.upper_bound_exponent ~k:3);
+  Alcotest.(check string) "3^12" "531441" (Bounds.upper_bound_string ~k:3);
+  Alcotest.(check string) "4^19" "274877906944" (Bounds.upper_bound_string ~k:4);
+  Alcotest.(check int) "batch(k=3)" 27
+    (Bounds.suspension_batch ~k:3 ~m:3);
+  Alcotest.(check int) "game bound" 8 (Bounds.game_bound ~m:2 ~k:3)
+
+let test_bounds_threshold () =
+  (* λ_D = Σ_{g=1}^{D} g·m^g *)
+  Alcotest.(check int) "depth 0" 0 (Bounds.threshold ~m:3 ~depth:0);
+  Alcotest.(check int) "depth 1" 3 (Bounds.threshold ~m:3 ~depth:1);
+  Alcotest.(check int) "depth 2" 21 (Bounds.threshold ~m:3 ~depth:2);
+  Alcotest.(check int) "depth 3" 102 (Bounds.threshold ~m:3 ~depth:3)
+
+let test_bounds_stable_weight () =
+  (* σ_x = Σ_{i=2}^{x} m^i, σ_1 = 0 *)
+  Alcotest.(check int) "sigma_1" 0 (Bounds.stable_weight ~m:3 1);
+  Alcotest.(check int) "sigma_2" 9 (Bounds.stable_weight ~m:3 2);
+  Alcotest.(check int) "sigma_3" 36 (Bounds.stable_weight ~m:3 3)
+
+let test_upper_bound_string_grows () =
+  let l3 = String.length (Bounds.upper_bound_string ~k:3) in
+  let l5 = String.length (Bounds.upper_bound_string ~k:5) in
+  let l7 = String.length (Bounds.upper_bound_string ~k:7) in
+  Alcotest.(check bool) "monotone growth" true (l3 < l5 && l5 < l7)
+
+(* --- history tree --- *)
+
+let test_tree_initial () =
+  let t = Tree.create () in
+  Alcotest.(check int) "one label" 1 (List.length (Tree.active_labels t));
+  Alcotest.(check bool) "root is leaf" true (Tree.is_leaf t Label.root);
+  Alcotest.(check (list (module struct
+      type t = Sigma.t list
+      let pp = Fmt.Dump.list Sigma.pp
+      let equal = List.equal Sigma.equal
+    end))) "history = [bottom]"
+    [ [ Sigma.Bot ] ]
+    [ Tree.history t Label.root ]
+
+let test_tree_activate_and_leaves () =
+  let t = Tree.create () in
+  let t = Tree.activate t ~parent:Label.root ~value:1 in
+  let t = Tree.activate t ~parent:Label.root ~value:0 in
+  Alcotest.(check bool) "root no longer leaf" false (Tree.is_leaf t Label.root);
+  Alcotest.(check int) "two leaves" 2 (List.length (Tree.leaf_labels t));
+  (* extend_to_leaf prefers the smallest first value. *)
+  Alcotest.(check (list int)) "extends to smallest" [ 0 ]
+    (Tree.extend_to_leaf t Label.root);
+  (* idempotent *)
+  let t' = Tree.activate t ~parent:Label.root ~value:0 in
+  Alcotest.(check int) "activate idempotent" 2
+    (List.length (Tree.leaf_labels t'))
+
+let test_tree_attach_and_dfs () =
+  let t = Tree.create () in
+  (* Attach 0 directly under the root (⊥), then 1 under 0 with a return
+     path through ⊥. *)
+  let t, n0 =
+    Tree.attach t ~label:Label.root ~parent_node:0 ~emu:0 ~seq:0
+      ~value:(Sigma.V 0) ~from_parent:[] ~to_parent:[]
+  in
+  let t, _ =
+    Tree.attach t ~label:Label.root ~parent_node:n0 ~emu:0 ~seq:1
+      ~value:(Sigma.V 1) ~from_parent:[] ~to_parent:[ Sigma.Bot ]
+  in
+  let tree = Option.get (Tree.tree t Label.root) in
+  (* Full DFS: ⊥ 0 1 (to_parent ⊥) 0 (back) ⊥ *)
+  Alcotest.(check (list string)) "full dfs"
+    [ "_|_"; "0"; "1"; "_|_"; "0"; "_|_" ]
+    (List.map Sigma.to_string (Tree.dfs tree ~full:true));
+  (* Cut at rightmost: ⊥ 0 1 *)
+  Alcotest.(check (list string)) "cut dfs" [ "_|_"; "0"; "1" ]
+    (List.map Sigma.to_string (Tree.dfs tree ~full:false));
+  Alcotest.(check int) "rightmost is the deep node" 2 (Tree.rightmost tree);
+  Alcotest.(check int) "depth" 2 (Tree.depth tree 2);
+  Alcotest.(check (list int)) "ancestors" [ 2; 1; 0 ] (Tree.ancestors tree 2)
+
+let test_tree_sibling_order () =
+  let t = Tree.create () in
+  (* Two emulators attach children of the root concurrently; sibling
+     order is by (emulator, seq) whatever the attach order. *)
+  let t, _ =
+    Tree.attach t ~label:Label.root ~parent_node:0 ~emu:2 ~seq:0
+      ~value:(Sigma.V 1) ~from_parent:[] ~to_parent:[]
+  in
+  let t, _ =
+    Tree.attach t ~label:Label.root ~parent_node:0 ~emu:1 ~seq:0
+      ~value:(Sigma.V 0) ~from_parent:[] ~to_parent:[]
+  in
+  let tree = Option.get (Tree.tree t Label.root) in
+  Alcotest.(check (list string)) "dfs order by slot"
+    [ "_|_"; "0"; "_|_"; "1"; "_|_" ]
+    (List.map Sigma.to_string (Tree.dfs tree ~full:true))
+
+let test_tree_multi_label_history () =
+  let t = Tree.create () in
+  let t = Tree.activate t ~parent:Label.root ~value:2 in
+  let label = [ 2 ] in
+  let t, _ =
+    Tree.attach t ~label ~parent_node:0 ~emu:0 ~seq:0 ~value:(Sigma.V 0)
+      ~from_parent:[] ~to_parent:[]
+  in
+  (* history of [2] = full dfs of t_root (just ⊥) then cut dfs of t_[2]. *)
+  Alcotest.(check (list string)) "chained history" [ "_|_"; "2"; "0" ]
+    (List.map Sigma.to_string (Tree.history t label))
+
+(* --- excess graph --- *)
+
+let entry vp edge = { Vp_graph.vp; edge; label = []; hist_len = 1; released = false }
+
+let test_excess_weights () =
+  let suspensions =
+    [
+      entry 0 (Sigma.Bot, Sigma.V 0);
+      entry 1 (Sigma.Bot, Sigma.V 0);
+      entry 2 (Sigma.V 0, Sigma.Bot);
+      { (entry 3 (Sigma.Bot, Sigma.V 0)) with released = true };
+    ]
+  in
+  let history = [ Sigma.Bot; Sigma.V 0; Sigma.Bot ] in
+  let g = Excess.compute ~k:3 ~suspensions ~history in
+  (* f+s-p: bottom->0: 2 unreleased + 1 released - 1 transition = 2 *)
+  Alcotest.(check int) "bottom->0" 2 (Excess.weight g Sigma.Bot (Sigma.V 0));
+  (* 0->bottom: 1 - 1 = 0 *)
+  Alcotest.(check int) "0->bottom" 0 (Excess.weight g (Sigma.V 0) Sigma.Bot);
+  Alcotest.(check int) "unused edge" 0 (Excess.weight g (Sigma.V 0) (Sigma.V 1))
+
+let test_excess_transitions () =
+  let h = [ Sigma.Bot; Sigma.V 0; Sigma.V 0; Sigma.V 1 ] in
+  Alcotest.(check int) "skips equal-adjacent" 2
+    (List.length (Excess.transitions h))
+
+let test_excess_widest_and_paths () =
+  let suspensions =
+    List.concat_map
+      (fun i -> [ entry i (Sigma.Bot, Sigma.V 0) ])
+      [ 0; 1; 2 ]
+    @ [ entry 3 (Sigma.V 0, Sigma.V 1); entry 4 (Sigma.V 1, Sigma.Bot);
+        entry 5 (Sigma.V 1, Sigma.Bot) ]
+  in
+  let g = Excess.compute ~k:3 ~suspensions ~history:[ Sigma.Bot ] in
+  (* Cycle ⊥ →(3) 0 →(1) 1 →(2) ⊥: bottleneck 1. *)
+  Alcotest.(check int) "widest path bottom->1" 1
+    (Excess.widest_path g Sigma.Bot (Sigma.V 1));
+  Alcotest.(check int) "widest cycle through bottom,0" 1
+    (Excess.widest_cycle_through g Sigma.Bot (Sigma.V 0));
+  (match Excess.path_with_width g ~min_width:1 (Sigma.V 0) Sigma.Bot with
+  | Some mids ->
+    Alcotest.(check (list string)) "path 0->⊥ via 1" [ "1" ]
+      (List.map Sigma.to_string mids)
+  | None -> Alcotest.fail "path should exist");
+  (match Excess.path_with_width g ~min_width:2 (Sigma.V 0) Sigma.Bot with
+  | Some _ -> Alcotest.fail "no width-2 path exists"
+  | None -> ());
+  (* Direct edge: no intermediates. *)
+  match Excess.path_with_width g ~min_width:3 Sigma.Bot (Sigma.V 0) with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "direct edge expected"
+
+let test_excess_debit () =
+  let g =
+    Excess.compute ~k:3
+      ~suspensions:[ entry 0 (Sigma.Bot, Sigma.V 0) ]
+      ~history:[ Sigma.Bot ]
+  in
+  let g' = Excess.debit g [ (Sigma.Bot, Sigma.V 0) ] in
+  Alcotest.(check int) "debited" 0 (Excess.weight g' Sigma.Bot (Sigma.V 0));
+  Alcotest.(check int) "original untouched" 1
+    (Excess.weight g Sigma.Bot (Sigma.V 0))
+
+let test_excess_cycle_to_self () =
+  let suspensions =
+    [ entry 0 (Sigma.Bot, Sigma.V 0); entry 1 (Sigma.V 0, Sigma.Bot) ]
+  in
+  let g = Excess.compute ~k:3 ~suspensions ~history:[ Sigma.Bot ] in
+  Alcotest.(check int) "self cycle" 1 (Excess.widest_path g Sigma.Bot Sigma.Bot);
+  match Excess.path_with_width g ~min_width:1 Sigma.Bot Sigma.Bot with
+  | Some mids ->
+    Alcotest.(check (list string)) "cycle intermediates" [ "0" ]
+      (List.map Sigma.to_string mids)
+  | None -> Alcotest.fail "cycle path should exist"
+
+(* --- vp graph --- *)
+
+let test_vp_graph_lifecycle () =
+  let g = Vp_graph.create ~m:2 in
+  let g =
+    Vp_graph.suspend g ~emu:0 ~vp:7 ~edge:(Sigma.Bot, Sigma.V 0) ~label:[]
+      ~hist_len:1
+  in
+  Alcotest.(check bool) "suspended" true (Vp_graph.is_suspended g ~emu:0 ~vp:7);
+  Alcotest.(check (list int)) "listed" [ 7 ] (Vp_graph.suspended_vps g ~emu:0);
+  Alcotest.(check int) "unreleased count" 1
+    (Vp_graph.count_unreleased g ~label:[ 1 ] ~edge:(Sigma.Bot, Sigma.V 0));
+  let g = Vp_graph.release g ~emu:0 ~vp:7 in
+  Alcotest.(check bool) "released" false (Vp_graph.is_suspended g ~emu:0 ~vp:7);
+  Alcotest.(check int) "released count" 1
+    (Vp_graph.count_released g ~label:[] ~edge:(Sigma.Bot, Sigma.V 0));
+  Alcotest.(check bool) "double release fails" true
+    (try
+       ignore (Vp_graph.release g ~emu:0 ~vp:7);
+       false
+     with Invalid_argument _ -> true)
+
+let test_vp_graph_label_visibility () =
+  let g = Vp_graph.create ~m:1 in
+  let g =
+    Vp_graph.suspend g ~emu:0 ~vp:1 ~edge:(Sigma.Bot, Sigma.V 0) ~label:[ 0 ]
+      ~hist_len:2
+  in
+  Alcotest.(check int) "visible from extension" 1
+    (List.length (Vp_graph.visible g ~label:[ 0; 1 ]));
+  Alcotest.(check int) "invisible from other branch" 0
+    (List.length (Vp_graph.visible g ~label:[ 1 ]))
+
+(* --- components --- *)
+
+let test_components_sccs () =
+  let suspensions =
+    [
+      entry 0 (Sigma.Bot, Sigma.V 0);
+      entry 1 (Sigma.V 0, Sigma.Bot);
+      entry 2 (Sigma.V 1, Sigma.Bot);
+    ]
+  in
+  let g = Excess.compute ~k:3 ~suspensions ~history:[ Sigma.Bot ] in
+  let comps =
+    Core.Components.sccs g ~min_weight:1 ~nodes:(Sigma.all ~k:3)
+  in
+  (* {⊥,0} strongly connected; {1} alone. *)
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  Alcotest.(check bool) "pair component" true
+    (List.exists (fun c -> List.length c = 2) comps)
+
+let test_components_stability () =
+  let g =
+    Excess.compute ~k:3
+      ~suspensions:
+        (List.concat_map
+           (fun i ->
+             [ entry (2 * i) (Sigma.Bot, Sigma.V 0);
+               entry ((2 * i) + 1) (Sigma.V 0, Sigma.Bot) ])
+           [ 0; 1; 2; 3; 4 ])
+      ~history:[ Sigma.Bot ]
+  in
+  Alcotest.(check bool) "singleton stable" true
+    (Core.Components.is_stable g ~m:2 [ Sigma.V 1 ]);
+  Alcotest.(check bool) "2-cycle super stable" true
+    (Core.Components.is_super_stable g ~m:2 [ Sigma.Bot; Sigma.V 0 ])
+
+(* --- emulation --- *)
+
+let over_cap k vps = Core.Workloads.over_capacity_cas_election ~k ~num_vps:vps
+let small k = Emulation.small_params ~k
+
+let mechanical_audits =
+  (* The audits that must be clean on every run; same-label-agreement is
+     meaningful only for election As and stable-chain is reported, not
+     asserted (see DESIGN.md). *)
+  [ "label-budget"; "history-well-formed"; "history-backed"; "release-margin";
+    "reads-justified" ]
+
+let assert_clean_audits ?(extra = []) t =
+  List.iter
+    (fun (name, violations) ->
+      if List.mem name (mechanical_audits @ extra) && violations <> [] then
+        Alcotest.fail
+          (Fmt.str "audit %s: %a" name
+             Fmt.(list ~sep:comma Core.Invariants.pp_violation)
+             violations))
+    (Core.Invariants.all t)
+
+let test_emulation_over_capacity_basic () =
+  List.iter
+    (fun seed ->
+      let o = Emulation.run ~seed (Emulation.create (over_cap 3 120) (small 3)) in
+      Alcotest.(check int) "all emulators decide" 3
+        (List.length o.Emulation.decisions);
+      Alcotest.(check bool) "width within (k-1)!" true
+        (List.length o.Emulation.distinct_decisions <= 2);
+      assert_clean_audits ~extra:[ "same-label-agreement" ] o.Emulation.final)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_emulation_staleview_splits () =
+  let o = Emulation.run_staleview (Emulation.create (over_cap 4 280) (small 4)) in
+  let stats = Emulation.stats o.Emulation.final in
+  Alcotest.(check bool) "several groups split" true (stats.Emulation.splits >= 2);
+  Alcotest.(check bool) "width within (k-1)!" true
+    (List.length o.Emulation.distinct_decisions <= 6);
+  Alcotest.(check bool) "width manufactured > 1" true
+    (List.length o.Emulation.distinct_decisions > 1);
+  assert_clean_audits ~extra:[ "same-label-agreement" ] o.Emulation.final
+
+let test_emulation_cycling_machinery () =
+  let alg = Core.Workloads.cycling ~k:3 ~rounds:1 ~num_vps:120 in
+  let o = Emulation.run ~seed:3 (Emulation.create alg (small 3)) in
+  let stats = Emulation.stats o.Emulation.final in
+  Alcotest.(check bool) "attaches happened" true (stats.Emulation.attaches > 0);
+  Alcotest.(check bool) "releases happened" true (stats.Emulation.releases > 0);
+  assert_clean_audits o.Emulation.final;
+  (* Witness runs exist for every leaf label. *)
+  List.iter
+    (fun (rep : Core.Replay.report) ->
+      Alcotest.(check bool)
+        (Fmt.str "witness for %s" (Label.to_string rep.Core.Replay.label))
+        true rep.Core.Replay.feasible)
+    (Core.Replay.check_all_leaves o.Emulation.final)
+
+let test_emulation_vp_timelines () =
+  (* Every v-process's response sequence must embed monotonically into
+     its run's history — the per-process half of run legality. *)
+  List.iter
+    (fun (alg, seed) ->
+      let o = Emulation.run ~seed (Emulation.create alg (small 3)) in
+      match Core.Replay.vp_timelines o.Emulation.final with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.fail
+          (Printf.sprintf "vp %d (label %s) op %d: %s" v.Core.Replay.vp
+             (Label.to_string v.Core.Replay.label)
+             v.Core.Replay.at v.Core.Replay.reason))
+    [
+      (Core.Workloads.cycling ~k:3 ~rounds:1 ~num_vps:120, 0);
+      (Core.Workloads.cycling ~k:3 ~rounds:1 ~num_vps:120, 5);
+      (Core.Workloads.cycling ~k:3 ~rounds:2 ~num_vps:240, 1);
+      (over_cap 3 120, 2);
+    ]
+
+let test_emulation_cycling_seeds () =
+  List.iter
+    (fun seed ->
+      let alg = Core.Workloads.cycling ~k:3 ~rounds:1 ~num_vps:120 in
+      let o = Emulation.run ~seed (Emulation.create alg (small 3)) in
+      assert_clean_audits o.Emulation.final;
+      List.iter
+        (fun rep ->
+          Alcotest.(check bool) "witness feasible" true rep.Core.Replay.feasible)
+        (Core.Replay.check_all_leaves o.Emulation.final))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_emulation_under_provisioned_stalls () =
+  (* Far too few v-processes: the emulation must stall rather than
+     fabricate history — the observable face of the space bound. *)
+  let alg = Core.Workloads.cycling ~k:3 ~rounds:5 ~num_vps:12 in
+  let o = Emulation.run ~seed:0 (Emulation.create alg (small 3)) in
+  Alcotest.(check bool) "some emulator stalled or undecided" true
+    (o.Emulation.stalled <> [] || List.length o.Emulation.decisions < 3);
+  assert_clean_audits o.Emulation.final
+
+let test_emulation_random_staleness () =
+  (* Drive the emulation with plan/commit split: every step executes
+     against a randomly chosen recent snapshot (up to 3 states old).
+     This is a strictly more adversarial interleaving than run/step;
+     all mechanical audits must still hold. *)
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let alg = over_cap 3 120 in
+      let t0 = Emulation.create alg (small 3) in
+      (* Staleness must respect each emulator's own causality: a process
+         rereading shared memory always sees its own previous writes, so
+         emulator j's view may be any state not older than j's last
+         step. *)
+      let states = ref [| t0 |] in
+      let last = Array.make 3 0 in
+      let rec drive t steps =
+        if steps = 0 then t
+        else
+          let pending =
+            List.filter_map
+              (fun (v : Emulation.emulator_view) ->
+                if v.Emulation.decided = None then Some v.Emulation.id else None)
+              (Emulation.emulators t)
+          in
+          match pending with
+          | [] -> t
+          | _ ->
+            let j = List.nth pending (Random.State.int rng (List.length pending)) in
+            let newest = Array.length !states - 1 in
+            let idx =
+              last.(j) + Random.State.int rng (newest - last.(j) + 1)
+            in
+            let view = !states.(idx) in
+            let t' = Emulation.plan view ~emu:j t in
+            states := Array.append !states [| t' |];
+            last.(j) <- Array.length !states - 1;
+            drive t' (steps - 1)
+      in
+      let final = drive t0 400 in
+      List.iter
+        (fun (name, violations) ->
+          if List.mem name mechanical_audits && violations <> [] then
+            Alcotest.fail
+              (Fmt.str "seed %d audit %s: %a" seed name
+                 Fmt.(list ~sep:(any ", ") Core.Invariants.pp_violation)
+                 violations))
+        (Core.Invariants.all final);
+      (* Width still within the label budget even under maximal
+         staleness. *)
+      let decided =
+        List.filter_map
+          (fun (v : Emulation.emulator_view) -> v.Emulation.decided)
+          (Emulation.emulators final)
+        |> List.sort_uniq Value.compare
+      in
+      Alcotest.(check bool) "width bounded" true (List.length decided <= 2))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_reduction_report () =
+  let r =
+    Core.Reduction.check ~seed:1 ~schedule:`Stale_view (over_cap 4 280)
+      (small 4)
+  in
+  Alcotest.(check bool) "width <= max" true
+    (r.Core.Reduction.width <= r.Core.Reduction.max_width);
+  Alcotest.(check bool) "same-label consistent" true
+    r.Core.Reduction.same_label_consistent;
+  Alcotest.(check bool) "all settled" true r.Core.Reduction.all_settled;
+  Alcotest.(check int) "max width = (k-1)!" 6 r.Core.Reduction.max_width
+
+let test_reduction_scales_to_k6 () =
+  (* 121 emulators, 2420 v-processes: the reduction's mechanics scale
+     and every group still satisfies the budget and agreement. *)
+  let r =
+    Core.Reduction.check ~seed:0 ~schedule:`Stale_view
+      (Core.Workloads.over_capacity_cas_election ~k:6 ~num_vps:2420)
+      (Emulation.small_params ~k:6)
+  in
+  Alcotest.(check int) "m = 121" 121
+    (List.length r.Core.Reduction.outcome.Core.Emulation.decisions
+    + List.length r.Core.Reduction.outcome.Core.Emulation.stalled
+    + List.length
+        (List.filter
+           (fun (v : Emulation.emulator_view) ->
+             v.Emulation.decided = None && not v.Emulation.stalled)
+           (Emulation.emulators r.Core.Reduction.outcome.Core.Emulation.final)));
+  Alcotest.(check bool) "k-1 groups formed" true
+    (r.Core.Reduction.labels_used = 5);
+  Alcotest.(check bool) "within budget" true
+    (r.Core.Reduction.width <= 120);
+  Alcotest.(check bool) "consistent" true
+    r.Core.Reduction.same_label_consistent
+
+let test_reduction_schedules_agree_on_bounds () =
+  List.iter
+    (fun schedule ->
+      let r = Core.Reduction.check ~seed:2 ~schedule (over_cap 3 120) (small 3) in
+      Alcotest.(check bool) "width bounded" true
+        (r.Core.Reduction.width <= r.Core.Reduction.max_width))
+    [ `Random; `Round_robin; `Stale_view ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "sigma",
+        [
+          Alcotest.test_case "alphabet" `Quick test_sigma_alphabet;
+          Alcotest.test_case "index roundtrip" `Quick test_sigma_index_roundtrip;
+          Alcotest.test_case "value roundtrip" `Quick test_sigma_value_roundtrip;
+        ] );
+      ( "label",
+        [
+          Alcotest.test_case "basics" `Quick test_label_basics;
+          Alcotest.test_case "budget" `Quick test_label_budget;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "closed forms" `Quick test_bounds_closed_forms;
+          Alcotest.test_case "thresholds" `Quick test_bounds_threshold;
+          Alcotest.test_case "stable weights" `Quick test_bounds_stable_weight;
+          Alcotest.test_case "bignum growth" `Quick
+            test_upper_bound_string_grows;
+        ] );
+      ( "history-tree",
+        [
+          Alcotest.test_case "initial" `Quick test_tree_initial;
+          Alcotest.test_case "activate/leaves" `Quick
+            test_tree_activate_and_leaves;
+          Alcotest.test_case "attach and DFS" `Quick test_tree_attach_and_dfs;
+          Alcotest.test_case "sibling order" `Quick test_tree_sibling_order;
+          Alcotest.test_case "multi-label history" `Quick
+            test_tree_multi_label_history;
+        ] );
+      ( "excess",
+        [
+          Alcotest.test_case "weights" `Quick test_excess_weights;
+          Alcotest.test_case "transitions" `Quick test_excess_transitions;
+          Alcotest.test_case "widest paths" `Quick test_excess_widest_and_paths;
+          Alcotest.test_case "debit" `Quick test_excess_debit;
+          Alcotest.test_case "cycle to self" `Quick test_excess_cycle_to_self;
+        ] );
+      ( "vp-graph",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_vp_graph_lifecycle;
+          Alcotest.test_case "label visibility" `Quick
+            test_vp_graph_label_visibility;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "sccs" `Quick test_components_sccs;
+          Alcotest.test_case "stability" `Quick test_components_stability;
+        ] );
+      ( "emulation",
+        [
+          Alcotest.test_case "over-capacity basic" `Quick
+            test_emulation_over_capacity_basic;
+          Alcotest.test_case "stale-view splits groups" `Quick
+            test_emulation_staleview_splits;
+          Alcotest.test_case "cycling exercises machinery" `Quick
+            test_emulation_cycling_machinery;
+          Alcotest.test_case "vp timelines embed" `Quick
+            test_emulation_vp_timelines;
+          Alcotest.test_case "cycling audit sweep" `Slow
+            test_emulation_cycling_seeds;
+          Alcotest.test_case "under-provisioning stalls" `Quick
+            test_emulation_under_provisioned_stalls;
+          Alcotest.test_case "random staleness keeps invariants" `Quick
+            test_emulation_random_staleness;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "report" `Quick test_reduction_report;
+          Alcotest.test_case "schedules bounded" `Quick
+            test_reduction_schedules_agree_on_bounds;
+          Alcotest.test_case "scales to k=6 (121 emulators)" `Slow
+            test_reduction_scales_to_k6;
+        ] );
+    ]

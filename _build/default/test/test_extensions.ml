@@ -1,0 +1,364 @@
+(* Tests for the §4 extensions and ablations: multi-register elections,
+   the RMW-via-cas subject, splitter renaming, emulation ablations, and
+   the no-jump game variant. *)
+
+module Value = Memory.Value
+module Multi = Protocols.Multi_election
+module Splitter = Protocols.Splitter
+module Emulation = Core.Emulation
+
+(* --- multi-register election --- *)
+
+let test_multi_capacity () =
+  Alcotest.(check int) "[3] cap" 2 (Multi.capacity ~ks:[ 3 ]);
+  Alcotest.(check int) "[3;3] cap" 4 (Multi.capacity ~ks:[ 3; 3 ]);
+  Alcotest.(check int) "[4;3] cap" 12 (Multi.capacity ~ks:[ 4; 3 ]);
+  Alcotest.(check int) "[4;4] cap" 36 (Multi.capacity ~ks:[ 4; 4 ]);
+  Alcotest.(check int) "[3;3;3] cap" 8 (Multi.capacity ~ks:[ 3; 3; 3 ])
+
+let test_multi_coords_roundtrip () =
+  List.iter
+    (fun ks ->
+      let cap = Multi.capacity ~ks in
+      List.iter
+        (fun pid ->
+          Alcotest.(check int) "roundtrip" pid
+            (Multi.pid_of_coords ~ks (Multi.coords_of_pid ~ks pid)))
+        (List.init cap (fun i -> i)))
+    [ [ 3 ]; [ 4; 3 ]; [ 3; 4 ]; [ 3; 3; 3 ] ]
+
+let test_multi_election_sweeps () =
+  List.iter
+    (fun (ks, n, seeds) ->
+      let i = Multi.instance ~ks ~n in
+      for seed = 0 to seeds - 1 do
+        match Protocols.Election.run_random i ~seed with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.fail
+            (Fmt.str "ks=[%a] n=%d seed=%d: %s"
+               Fmt.(list ~sep:comma int)
+               ks n seed e)
+      done)
+    [ ([ 3; 3 ], 4, 25); ([ 4; 3 ], 12, 15); ([ 3; 3; 3 ], 8, 15) ]
+
+let test_multi_election_partial_participation () =
+  (* Fewer processes than capacity, plus crashes. *)
+  let i = Multi.instance ~ks:[ 4; 3 ] ~n:7 in
+  List.iter
+    (fun (seed, crashed) ->
+      match Protocols.Election.run_with_crashes i ~seed ~crashed with
+      | Ok leader ->
+        Alcotest.(check bool) "live leader" true (not (List.mem leader crashed))
+      | Error e -> Alcotest.fail e)
+    [ (0, [ 0 ]); (1, [ 0; 1; 2 ]); (2, [ 3; 4; 5; 6 ]); (3, [ 1; 3; 5 ]) ]
+
+let test_multi_degenerates_to_single () =
+  (* One register: behaves exactly like the permutation election. *)
+  let i = Multi.instance ~ks:[ 4 ] ~n:6 in
+  for seed = 0 to 19 do
+    match Protocols.Election.run_random i ~seed with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e)
+  done
+
+let test_multi_guards () =
+  Alcotest.(check bool) "k=1 rejected" true
+    (try
+       ignore (Multi.instance ~ks:[ 1; 3 ] ~n:1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "over capacity rejected" true
+    (try
+       ignore (Multi.instance ~ks:[ 3; 3 ] ~n:5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- splitter and renaming --- *)
+
+let test_splitter_solo_stops () =
+  let store = Memory.Store.create (Splitter.splitter_bindings "s") in
+  let prog =
+    Runtime.Program.complete
+      (Runtime.Program.map
+         (function
+           | Splitter.Stop -> Value.sym "stop"
+           | Splitter.Right -> Value.sym "right"
+           | Splitter.Down -> Value.sym "down")
+         (Splitter.enter "s" ~me:(Value.int 1)))
+  in
+  match Runtime.Program.run_sequential store ~pid:0 prog with
+  | Ok (_, v) ->
+    Alcotest.(check string) "solo stops" "stop" (Value.as_sym v)
+  | Error e -> Alcotest.fail e
+
+let test_splitter_at_most_one_stop () =
+  (* Exhaustive over all schedules of 3 processes entering one splitter:
+     at most one Stop, never all Right, never all Down. *)
+  let encode = function
+    | Splitter.Stop -> Value.sym "stop"
+    | Splitter.Right -> Value.sym "right"
+    | Splitter.Down -> Value.sym "down"
+  in
+  let prog pid =
+    Runtime.Program.complete
+      (Runtime.Program.map encode (Splitter.enter "s" ~me:(Value.int pid)))
+  in
+  let store = Memory.Store.create (Splitter.splitter_bindings "s") in
+  let config = Runtime.Engine.init store (List.init 3 prog) in
+  match
+    Runtime.Explore.check_all config (fun final ->
+        let outs =
+          Array.to_list final.Runtime.Engine.procs
+          |> List.filter_map Runtime.Proc.decision
+          |> List.map Value.as_sym
+        in
+        let count s = List.length (List.filter (String.equal s) outs) in
+        if count "stop" > 1 then Error "two processes stopped"
+        else if count "right" = 3 then Error "all went right"
+        else if count "down" = 3 then Error "all went down"
+        else Ok ())
+  with
+  | Ok _ -> ()
+  | Error v -> Alcotest.fail v.Runtime.Explore.message
+
+let test_renaming_random () =
+  List.iter
+    (fun n ->
+      let i = Splitter.renaming ~n in
+      for seed = 0 to 29 do
+        match Splitter.run_random i ~seed with
+        | Ok names ->
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d seed=%d count" n seed)
+            n (List.length names)
+        | Error e -> Alcotest.fail (Printf.sprintf "n=%d seed=%d: %s" n seed e)
+      done)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_renaming_exhaustive_n2 () =
+  match Splitter.explore_all (Splitter.renaming ~n:2) ~max_steps:60 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_renaming_name_space () =
+  let i = Splitter.renaming ~n:4 in
+  Alcotest.(check int) "n(n+1)/2" 10 i.Splitter.name_space
+
+(* --- emulation ablations --- *)
+
+let cycling_hard () = Core.Workloads.cycling ~k:3 ~rounds:2 ~num_vps:240
+
+let test_ablation_no_attach_stalls () =
+  let base = Emulation.small_params ~k:3 in
+  let full =
+    Emulation.run ~seed:0 (Emulation.create (cycling_hard ()) base)
+  in
+  let crippled =
+    Emulation.run ~seed:0
+      (Emulation.create (cycling_hard ())
+         { base with Emulation.disable_attach = true })
+  in
+  let s_full = Emulation.stats full.Emulation.final in
+  let s_crip = Emulation.stats crippled.Emulation.final in
+  Alcotest.(check bool) "full attaches" true (s_full.Emulation.attaches > 0);
+  Alcotest.(check int) "no attaches when disabled" 0 s_crip.Emulation.attaches;
+  (* The crippled emulation makes strictly less progress: fewer (or no)
+     decisions. *)
+  Alcotest.(check bool) "less progress without attach" true
+    (List.length crippled.Emulation.decisions
+    <= List.length full.Emulation.decisions);
+  Alcotest.(check bool) "crippled run stalls" true
+    (crippled.Emulation.stalled <> [])
+
+let test_ablation_no_rebalance () =
+  let base = Emulation.small_params ~k:3 in
+  let o =
+    Emulation.run ~seed:0
+      (Emulation.create (cycling_hard ())
+         { base with Emulation.disable_rebalance = true })
+  in
+  let s = Emulation.stats o.Emulation.final in
+  Alcotest.(check int) "no releases" 0 s.Emulation.releases;
+  (* Suspended v-processes are never recycled: the run cannot finish. *)
+  Alcotest.(check bool) "incomplete" true
+    (List.length o.Emulation.decisions < 3)
+
+let test_ablations_keep_mechanical_invariants () =
+  List.iter
+    (fun params ->
+      let o = Emulation.run ~seed:1 (Emulation.create (cycling_hard ()) params) in
+      List.iter
+        (fun (name, violations) ->
+          if
+            List.mem name
+              [ "label-budget"; "history-well-formed"; "history-backed";
+                "release-margin"; "reads-justified" ]
+            && violations <> []
+          then
+            Alcotest.fail
+              (Fmt.str "audit %s: %a" name
+                 Fmt.(list ~sep:comma Core.Invariants.pp_violation)
+                 violations))
+        (Core.Invariants.all o.Emulation.final))
+    [
+      { (Emulation.small_params ~k:3) with Emulation.disable_attach = true };
+      { (Emulation.small_params ~k:3) with Emulation.disable_rebalance = true };
+    ]
+
+(* --- RMW-via-cas subject (the §4 conjecture's shape) --- *)
+
+let rmw_transforms k =
+  [
+    ("reset", fun _ -> Core.Sigma.Bot);
+    ( "next",
+      function
+      | Core.Sigma.Bot -> Core.Sigma.V 0
+      | Core.Sigma.V i -> if i >= k - 2 then Core.Sigma.Bot else Core.Sigma.V (i + 1) );
+    ("id", fun v -> v);
+  ]
+
+let test_rmw_subject_emulates () =
+  let k = 3 in
+  let alg =
+    Core.Workloads.rmw_via_cas ~k ~transforms:(rmw_transforms k) ~rounds:1
+      ~num_vps:120
+  in
+  let o = Emulation.run ~seed:1 (Emulation.create alg (Emulation.small_params ~k)) in
+  (* Laptop-scale provisioning: most emulators decide; stalls are the
+     documented under-provisioning outcome, never wrong answers. *)
+  Alcotest.(check bool) "most emulators decide" true
+    (List.length o.Emulation.decisions >= 2);
+  List.iter
+    (fun (name, violations) ->
+      if
+        List.mem name
+          [ "history-backed"; "release-margin"; "history-well-formed" ]
+        && violations <> []
+      then Alcotest.fail ("audit " ^ name))
+    (Core.Invariants.all o.Emulation.final)
+
+let test_rmw_identity_is_a_read () =
+  (* A subject whose transform is the identity everywhere performs only
+     simple operations: the register never changes. *)
+  let k = 3 in
+  let alg =
+    Core.Workloads.rmw_via_cas ~k
+      ~transforms:[ ("id", fun v -> v) ]
+      ~rounds:2 ~num_vps:30
+  in
+  let o = Emulation.run ~seed:0 (Emulation.create alg (Emulation.small_params ~k)) in
+  let s = Emulation.stats o.Emulation.final in
+  Alcotest.(check int) "no history extensions" 0
+    (s.Emulation.attaches + s.Emulation.splits);
+  Alcotest.(check int) "everyone decides" 3 (List.length o.Emulation.decisions)
+
+(* --- paper-faithful provisioning --- *)
+
+let test_default_params_completes () =
+  (* The literal paper parameters at k=3: batch = m*k^2 = 27, with the
+     v-process estimate from Bounds.  Every emulator completes and every
+     audit, witness and timeline check passes. *)
+  let k = 3 in
+  let params =
+    { (Emulation.default_params ~k) with Emulation.simple_burst = 8 }
+  in
+  let vps = Core.Bounds.min_vps_per_emulator ~k ~m:params.Emulation.m * params.Emulation.m in
+  let alg = Core.Workloads.cycling ~k ~rounds:2 ~num_vps:vps in
+  let o = Emulation.run ~seed:0 ~max_iterations:500_000 (Emulation.create alg params) in
+  Alcotest.(check int) "all emulators decide" params.Emulation.m
+    (List.length o.Emulation.decisions);
+  List.iter
+    (fun (name, violations) ->
+      if
+        List.mem name
+          [ "label-budget"; "history-well-formed"; "history-backed";
+            "release-margin"; "reads-justified" ]
+        && violations <> []
+      then Alcotest.fail ("audit " ^ name))
+    (Core.Invariants.all o.Emulation.final);
+  Alcotest.(check bool) "witnesses feasible" true
+    (List.for_all
+       (fun (r : Core.Replay.report) -> r.Core.Replay.feasible)
+       (Core.Replay.check_all_leaves o.Emulation.final));
+  Alcotest.(check (list string)) "timelines embed" []
+    (List.map
+       (fun (v : Core.Replay.timeline_violation) -> v.Core.Replay.reason)
+       (Core.Replay.vp_timelines o.Emulation.final))
+
+(* --- game without jumps --- *)
+
+let test_no_jump_maxima () =
+  List.iter
+    (fun (m, k) ->
+      let with_jumps = Game.Search.max_moves ~m ~k in
+      let without = Game.Search.max_moves_no_jumps ~m ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d k=%d jumps only help" m k)
+        true
+        (without <= with_jumps))
+    [ (2, 2); (2, 3); (3, 3); (2, 4) ]
+
+let test_no_jump_single_agent_unchanged () =
+  (* With one agent jumps never fire, so both variants agree. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "m=1 k=%d" k)
+        (Game.Search.max_moves ~m:1 ~k)
+        (Game.Search.max_moves_no_jumps ~m:1 ~k))
+    [ 2; 3; 4 ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "multi-election",
+        [
+          Alcotest.test_case "capacity products" `Quick test_multi_capacity;
+          Alcotest.test_case "coords roundtrip" `Quick
+            test_multi_coords_roundtrip;
+          Alcotest.test_case "random sweeps" `Slow test_multi_election_sweeps;
+          Alcotest.test_case "partial participation + crashes" `Quick
+            test_multi_election_partial_participation;
+          Alcotest.test_case "degenerates to single register" `Quick
+            test_multi_degenerates_to_single;
+          Alcotest.test_case "guards" `Quick test_multi_guards;
+        ] );
+      ( "splitter",
+        [
+          Alcotest.test_case "solo stops" `Quick test_splitter_solo_stops;
+          Alcotest.test_case "at most one stop (exhaustive)" `Slow
+            test_splitter_at_most_one_stop;
+          Alcotest.test_case "renaming random" `Quick test_renaming_random;
+          Alcotest.test_case "renaming exhaustive n=2" `Quick
+            test_renaming_exhaustive_n2;
+          Alcotest.test_case "name space size" `Quick test_renaming_name_space;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "no-attach stalls ([1]-style)" `Quick
+            test_ablation_no_attach_stalls;
+          Alcotest.test_case "no-rebalance starves" `Quick
+            test_ablation_no_rebalance;
+          Alcotest.test_case "ablations keep mechanical invariants" `Quick
+            test_ablations_keep_mechanical_invariants;
+        ] );
+      ( "rmw-subject",
+        [
+          Alcotest.test_case "emulates arbitrary RMW" `Quick
+            test_rmw_subject_emulates;
+          Alcotest.test_case "identity RMW is a read" `Quick
+            test_rmw_identity_is_a_read;
+        ] );
+      ( "paper-faithful",
+        [
+          Alcotest.test_case "default params complete (k=3)" `Slow
+            test_default_params_completes;
+        ] );
+      ( "game-no-jumps",
+        [
+          Alcotest.test_case "jumps only help" `Slow test_no_jump_maxima;
+          Alcotest.test_case "single agent unchanged" `Quick
+            test_no_jump_single_agent_unchanged;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for the Lemma 1.1 move/jump game. *)
+
+module Board = Game.Board
+module Potential = Game.Potential
+module Search = Game.Search
+
+let apply_exn board action =
+  match Board.apply board action with
+  | Ok b -> b
+  | Error e -> Alcotest.fail e
+
+let test_move_paints () =
+  let b = Board.create ~m:1 ~k:3 () in
+  let b = apply_exn b (Board.Move (0, 1)) in
+  Alcotest.(check int) "one move" 1 (Board.moves_made b);
+  Alcotest.(check (list (pair int int))) "edge painted" [ (0, 1) ]
+    (Board.painted b);
+  Alcotest.(check int) "agent moved" 1 (Board.position b 0)
+
+let test_move_to_self_illegal () =
+  let b = Board.create ~m:1 ~k:3 () in
+  match Board.apply b (Board.Move (0, 0)) with
+  | Ok _ -> Alcotest.fail "self move accepted"
+  | Error _ -> ()
+
+let test_jump_needs_refresh () =
+  let b = Board.create ~m:2 ~k:3 ~positions:[| 0; 2 |] () in
+  (* Agent 1 cannot jump to 1 before anyone moved there. *)
+  (match Board.apply b (Board.Jump (1, 1)) with
+  | Ok _ -> Alcotest.fail "jump without refresh accepted"
+  | Error _ -> ());
+  (* Agent 0 moves to 1: now agent 1 may jump there. *)
+  let b = apply_exn b (Board.Move (0, 1)) in
+  Alcotest.(check bool) "eligible" true (Board.eligible b ~agent:1 ~node:1);
+  let b = apply_exn b (Board.Jump (1, 1)) in
+  Alcotest.(check int) "jumped" 1 (Board.position b 1);
+  Alcotest.(check int) "jump does not count as move" 1 (Board.moves_made b);
+  (* Eligibility is consumed. *)
+  Alcotest.(check bool) "consumed" false (Board.eligible b ~agent:1 ~node:1)
+
+let test_own_move_does_not_enable_self () =
+  let b = Board.create ~m:2 ~k:3 () in
+  let b = apply_exn b (Board.Move (0, 1)) in
+  (* Agent 0's own move to 1 does not let agent 0 jump back later. *)
+  Alcotest.(check bool) "not self-enabled" false
+    (Board.eligible b ~agent:0 ~node:1)
+
+let test_cycle_detection () =
+  let b = Board.create ~m:1 ~k:3 () in
+  let b = apply_exn b (Board.Move (0, 1)) in
+  Alcotest.(check bool) "acyclic" false (Board.has_cycle b);
+  let b = apply_exn b (Board.Move (0, 2)) in
+  Alcotest.(check bool) "still acyclic" false (Board.has_cycle b);
+  let b = apply_exn b (Board.Move (0, 0)) in
+  Alcotest.(check bool) "cycle 0->1->2->0" true (Board.has_cycle b)
+
+let test_topological_order () =
+  let b = Board.create ~m:1 ~k:3 () in
+  let b = apply_exn b (Board.Move (0, 1)) in
+  let b = apply_exn b (Board.Move (0, 2)) in
+  match Board.topological_order b with
+  | None -> Alcotest.fail "acyclic graph has an order"
+  | Some order ->
+    (* Edges 0->1, 1->2 must go from higher to lower positions. *)
+    Alcotest.(check bool) "0 above 1" true (order.(0) > order.(1));
+    Alcotest.(check bool) "1 above 2" true (order.(1) > order.(2))
+
+let test_legal_actions_consistency () =
+  let b = Board.create ~m:2 ~k:3 () in
+  let actions = Board.legal_actions b in
+  List.iter
+    (fun a ->
+      match Board.apply b a with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Fmt.str "%a: %s" Board.pp_action a e))
+    actions;
+  (* Initially: each agent can move to 2 nodes, no jumps. *)
+  Alcotest.(check int) "4 moves" 4 (List.length actions)
+
+let test_encode_distinguishes () =
+  let b = Board.create ~m:2 ~k:3 () in
+  let b1 = apply_exn b (Board.Move (0, 1)) in
+  Alcotest.(check bool) "different states differ" true
+    (Board.encode b <> Board.encode b1);
+  Alcotest.(check string) "same state same encoding" (Board.encode b)
+    (Board.encode (Board.create ~m:2 ~k:3 ()))
+
+(* --- the Lemma 1.1 bound --- *)
+
+let test_exact_max_within_bound () =
+  List.iter
+    (fun (m, k) ->
+      let exact = Search.max_moves ~m ~k in
+      let bound = Potential.weight_bound ~m ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d k=%d: exact %d <= %d" m k exact bound)
+        true (exact <= bound);
+      Alcotest.(check bool) "positive" true (exact >= 1))
+    [ (2, 2); (2, 3); (3, 2); (3, 3); (2, 4) ]
+
+let test_single_agent_longest_path () =
+  (* With one agent, no jump is ever enabled: the max is the longest
+     repaint-free descent, k-1 (documented m=1 exception to m^k). *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "m=1 k=%d" k)
+        (k - 1)
+        (Search.max_moves ~m:1 ~k))
+    [ 2; 3; 4 ]
+
+let test_jumps_add_power () =
+  (* Two agents beat one: jumps reuse painted structure. *)
+  let one = Search.max_moves ~m:1 ~k:3 in
+  let two = Search.max_moves ~m:2 ~k:3 in
+  Alcotest.(check bool) "m=2 strictly better" true (two > one)
+
+let test_greedy_below_exact () =
+  List.iter
+    (fun (m, k) ->
+      let greedy, exact, bound = Search.strategy_gap ~m ~k ~seed:17 in
+      Alcotest.(check bool) "greedy <= exact" true (greedy <= exact);
+      Alcotest.(check bool) "exact <= bound" true (exact <= bound))
+    [ (2, 3); (3, 3) ]
+
+let prop_greedy_runs_within_bound =
+  QCheck.Test.make ~name:"greedy runs never exceed m^k" ~count:50
+    (QCheck.triple (QCheck.int_range 2 3) (QCheck.int_range 2 4)
+       (QCheck.int_bound 10_000))
+    (fun (m, k, seed) ->
+      let run = Search.greedy_run ~m ~k ~seed in
+      run.Search.moves <= Potential.weight_bound ~m ~k)
+
+let prop_potential_audit =
+  QCheck.Test.make ~name:"potential audit: monotone and amortized" ~count:50
+    (QCheck.triple (QCheck.int_range 2 3) (QCheck.int_range 3 4)
+       (QCheck.int_bound 10_000))
+    (fun (m, k, seed) ->
+      let run = Search.greedy_run ~m ~k ~seed in
+      match
+        Potential.audit_run
+          ~init:(Board.create ~m ~k ())
+          ~actions:run.Search.actions
+      with
+      | Ok audit ->
+        audit.Potential.monotone && audit.Potential.amortized
+        && audit.Potential.initial_phi <= Potential.weight_bound ~m ~k
+        && audit.Potential.final_phi >= 0
+      | Error e -> QCheck.Test.fail_report e)
+
+let test_best_run_is_optimal_and_audits () =
+  List.iter
+    (fun (m, k) ->
+      let run = Search.best_run ~m ~k in
+      Alcotest.(check int)
+        (Printf.sprintf "best run reaches the max (m=%d k=%d)" m k)
+        (Search.max_moves ~m ~k) run.Search.moves;
+      match
+        Potential.audit_run ~init:(Board.create ~m ~k ())
+          ~actions:run.Search.actions
+      with
+      | Ok audit ->
+        Alcotest.(check bool) "monotone on optimal play" true
+          audit.Potential.monotone;
+        Alcotest.(check bool) "amortized on optimal play" true
+          audit.Potential.amortized
+      | Error e -> Alcotest.fail e)
+    [ (2, 2); (2, 3); (3, 3); (2, 4) ]
+
+let test_audit_rejects_cyclic_runs () =
+  let actions = [ Board.Move (0, 1); Board.Move (0, 0) ] in
+  match
+    Potential.audit_run ~init:(Board.create ~m:1 ~k:2 ()) ~actions
+  with
+  | Ok _ -> Alcotest.fail "cyclic run audited"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "game"
+    [
+      ( "board",
+        [
+          Alcotest.test_case "move paints" `Quick test_move_paints;
+          Alcotest.test_case "self move illegal" `Quick
+            test_move_to_self_illegal;
+          Alcotest.test_case "jump eligibility lifecycle" `Quick
+            test_jump_needs_refresh;
+          Alcotest.test_case "own move does not self-enable" `Quick
+            test_own_move_does_not_enable_self;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "legal actions apply" `Quick
+            test_legal_actions_consistency;
+          Alcotest.test_case "encode" `Quick test_encode_distinguishes;
+        ] );
+      ( "lemma-1.1",
+        [
+          Alcotest.test_case "exact max within m^k" `Slow
+            test_exact_max_within_bound;
+          Alcotest.test_case "single agent = longest path" `Quick
+            test_single_agent_longest_path;
+          Alcotest.test_case "jumps add power" `Quick test_jumps_add_power;
+          Alcotest.test_case "greedy <= exact <= bound" `Slow
+            test_greedy_below_exact;
+          QCheck_alcotest.to_alcotest prop_greedy_runs_within_bound;
+          QCheck_alcotest.to_alcotest prop_potential_audit;
+          Alcotest.test_case "optimal runs audit" `Slow
+            test_best_run_is_optimal_and_audits;
+          Alcotest.test_case "audit rejects cycles" `Quick
+            test_audit_rejects_cyclic_runs;
+        ] );
+    ]

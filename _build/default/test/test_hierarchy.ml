@@ -1,0 +1,286 @@
+(* Tests for the hierarchy machinery: the consensus-number classifier
+   against published ground truth, the synthesized 2-consensus
+   protocols, and the bivalency adversary. *)
+
+module Value = Memory.Value
+module Cons_number = Hierarchy.Cons_number
+module Separation = Hierarchy.Separation
+module Bivalency = Hierarchy.Bivalency
+module Consensus = Protocols.Consensus
+
+let expect_level_one (entry : Objects.Zoo.entry) =
+  match Cons_number.classify entry.Objects.Zoo.spec ~ops:entry.Objects.Zoo.ops () with
+  | Cons_number.Level_one -> ()
+  | c ->
+    Alcotest.fail
+      (Fmt.str "%s should be level 1, got %a" entry.Objects.Zoo.name
+         Cons_number.pp_classification c)
+
+let expect_at_least_two (entry : Objects.Zoo.entry) =
+  match Cons_number.classify entry.Objects.Zoo.spec ~ops:entry.Objects.Zoo.ops () with
+  | Cons_number.At_least_two _ -> ()
+  | c ->
+    Alcotest.fail
+      (Fmt.str "%s should be >= 2, got %a" entry.Objects.Zoo.name
+         Cons_number.pp_classification c)
+
+let test_rw_is_level_one () = expect_level_one Objects.Zoo.rw_register
+
+let test_strong_objects_at_least_two () =
+  List.iter expect_at_least_two
+    [
+      Objects.Zoo.test_and_set;
+      Objects.Zoo.swap;
+      Objects.Zoo.fetch_add_mod 4;
+      Objects.Zoo.queue;
+      Objects.Zoo.sticky_bit;
+      Objects.Zoo.cas 3;
+      Objects.Zoo.cas 4;
+    ]
+
+let test_table_matches_published () =
+  List.iter
+    (fun (row : Separation.row) ->
+      let expected_level_one = String.equal row.Separation.published "1" in
+      let got_level_one = row.Separation.verdict = Cons_number.Level_one in
+      Alcotest.(check bool)
+        (row.Separation.object_name ^ " classification direction")
+        expected_level_one got_level_one)
+    (Separation.table ())
+
+let test_derived_protocols_verified () =
+  List.iter
+    (fun (row : Separation.row) ->
+      match row.Separation.derived_protocol_ok with
+      | Some ok ->
+        Alcotest.(check bool)
+          (row.Separation.object_name ^ " derived 2-consensus")
+          true ok
+      | None -> ())
+    (Separation.table ())
+
+let test_derived_consensus_from_witness () =
+  match
+    Cons_number.classify (Objects.Testset.spec ())
+      ~ops:[ Objects.Testset.test_and_set_op; Value.sym "read" ]
+      ()
+  with
+  | Cons_number.At_least_two w -> (
+    let instance =
+      Cons_number.derived_two_consensus (Objects.Testset.spec ()) w
+        ~inputs:[ Value.int 1; Value.int 2 ]
+    in
+    match Consensus.explore_all instance ~max_steps:50 with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e)
+  | c ->
+    Alcotest.fail (Fmt.str "expected decider, got %a" Cons_number.pp_classification c)
+
+let test_testset_three_fails () =
+  match
+    Consensus.explore_all Separation.test_and_set_three_candidate ~max_steps:80
+  with
+  | Ok _ -> Alcotest.fail "3-process test&set candidate unexpectedly correct"
+  | Error _ -> ()
+
+(* --- Kleinberg-Mullainathan bound --- *)
+
+let test_km_binary_consensus_exhaustive () =
+  (* Every input combination, every schedule, for k = 5 (2 processes)
+     and k = 7 (3 processes). *)
+  List.iter
+    (fun (k, inputs) ->
+      let i = Hierarchy.Km_bound.from_bcl_register ~k ~inputs in
+      match Consensus.explore_all i ~max_steps:40 with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.fail
+          (Fmt.str "k=%d inputs=%a: %s" k Fmt.(Dump.list bool) inputs e))
+    [
+      (5, [ false; false ]);
+      (5, [ false; true ]);
+      (5, [ true; false ]);
+      (5, [ true; true ]);
+      (7, [ true; false; true ]);
+      (7, [ false; false; true ]);
+      (7, [ true; true; true ]);
+    ]
+
+let test_km_capacity_guard () =
+  Alcotest.(check bool) "too many processes rejected" true
+    (try
+       ignore
+         (Hierarchy.Km_bound.from_bcl_register ~k:5
+            ~inputs:[ true; false; true ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_km_single_operation () =
+  (* The whole consensus costs one RMW operation per process — the
+     register alone carries it, matching [16]'s "without any other
+     registers" hypothesis. *)
+  let i = Hierarchy.Km_bound.from_bcl_register ~k:7 ~inputs:[ true; false; true ] in
+  match Consensus.run_random i ~seed:3 with
+  | Ok _ -> Alcotest.(check int) "one binding" 1 (List.length i.Consensus.bindings)
+  | Error e -> Alcotest.fail e
+
+(* --- robustness probes --- *)
+
+let test_compose_level_one_closed () =
+  (* Level 1 is closed under products: two r/w registers together are
+     still consensus number 1. *)
+  match
+    Hierarchy.Robustness.composite_classification Objects.Zoo.rw_register
+      Objects.Zoo.rw_register
+  with
+  | Cons_number.Level_one -> ()
+  | c ->
+    Alcotest.fail (Fmt.str "rw x rw: %a" Cons_number.pp_classification c)
+
+let test_compose_strong_component_detected () =
+  List.iter
+    (fun (a, b, name) ->
+      match Hierarchy.Robustness.composite_classification a b with
+      | Cons_number.At_least_two _ -> ()
+      | c -> Alcotest.fail (Fmt.str "%s: %a" name Cons_number.pp_classification c))
+    [
+      (Objects.Zoo.rw_register, Objects.Zoo.test_and_set, "rw x t&s");
+      (Objects.Zoo.test_and_set, Objects.Zoo.queue, "t&s x queue");
+      (Objects.Zoo.queue, Objects.Zoo.rw_register, "queue x rw");
+    ]
+
+let test_compose_semantics () =
+  (* Operations act on their component only. *)
+  let spec =
+    Hierarchy.Robustness.compose (Objects.Testset.spec ())
+      (Objects.Queue_obj.spec ())
+  in
+  let open Runtime.Program in
+  let store = Memory.Store.create [ ("c", spec) ] in
+  let prog =
+    complete
+      (let* r1 = op "c" (Hierarchy.Robustness.left Objects.Testset.test_and_set_op) in
+       let* () =
+         let* _ =
+           op "c"
+             (Hierarchy.Robustness.right (Objects.Queue_obj.enq_op (Value.int 5)))
+         in
+         return ()
+       in
+       let* r2 = op "c" (Hierarchy.Robustness.right Objects.Queue_obj.deq_op) in
+       return (Value.pair r1 r2))
+  in
+  match Runtime.Program.run_sequential store ~pid:0 prog with
+  | Ok (_, v) ->
+    Alcotest.(check bool) "t&s won and queue served" true
+      (Value.equal v
+         (Value.pair (Value.bool false) (Value.option (Some (Value.int 5)))))
+  | Error e -> Alcotest.fail e
+
+let test_tands_plus_queue_no_three_consensus () =
+  match
+    Consensus.explore_all Hierarchy.Robustness.three_consensus_candidate
+      ~max_steps:300
+  with
+  | Ok _ -> Alcotest.fail "t&s + queue 3-consensus unexpectedly correct"
+  | Error _ -> ()
+
+(* --- bivalency --- *)
+
+let inputs = [ Value.int 1; Value.int 2 ]
+
+let test_bivalency_critical_on_strong_object () =
+  match Bivalency.drive (Consensus.two_from_test_and_set ~inputs) with
+  | Bivalency.Critical { pending; successor_valence; _ } ->
+    (* Herlihy's theorem: at the critical configuration both pending
+       operations target the same strong object. *)
+    Alcotest.(check (list (pair int string)))
+      "both pending on the test&set"
+      [ (0, "cons.T"); (1, "cons.T") ]
+      (List.sort compare pending);
+    let valences = List.map snd successor_valence in
+    Alcotest.(check bool) "successors commit to different values" true
+      (match valences with
+      | [ a; b ] -> not (Value.equal a b)
+      | _ -> false)
+  | Bivalency.Never_bivalent _ -> Alcotest.fail "should start bivalent"
+  | Bivalency.Still_bivalent_at_bound _ -> Alcotest.fail "should reach critical"
+
+let test_bivalency_queue_protocol () =
+  match Bivalency.drive (Consensus.two_from_queue ~inputs) with
+  | Bivalency.Critical { pending; _ } ->
+    Alcotest.(check (list (pair int string)))
+      "both pending on the queue"
+      [ (0, "cons.Q"); (1, "cons.Q") ]
+      (List.sort compare pending)
+  | _ -> Alcotest.fail "expected a critical configuration"
+
+let test_bivalency_same_inputs_univalent () =
+  let i = Consensus.two_from_test_and_set ~inputs:[ Value.int 7; Value.int 7 ] in
+  match Bivalency.drive i with
+  | Bivalency.Never_bivalent [ v ] ->
+    Alcotest.(check bool) "only value 7" true (Value.equal v (Value.int 7))
+  | _ -> Alcotest.fail "identical inputs must be univalent"
+
+let test_decision_values () =
+  let i = Consensus.two_from_test_and_set ~inputs in
+  let config = Consensus.config i in
+  let vs = Bivalency.decision_values i config in
+  Alcotest.(check int) "both outcomes reachable initially" 2 (List.length vs)
+
+let test_naive_rw_disagreement_found () =
+  match Consensus.explore_all (Consensus.naive_rw ~inputs) ~max_steps:50 with
+  | Ok _ -> Alcotest.fail "naive r/w passed"
+  | Error e ->
+    Alcotest.(check bool) "agreement violation reported" true
+      (String.length e > 0)
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ( "classifier",
+        [
+          Alcotest.test_case "r/w register is level 1" `Quick
+            test_rw_is_level_one;
+          Alcotest.test_case "strong objects >= 2" `Quick
+            test_strong_objects_at_least_two;
+          Alcotest.test_case "table matches published" `Quick
+            test_table_matches_published;
+          Alcotest.test_case "derived protocols verified" `Quick
+            test_derived_protocols_verified;
+          Alcotest.test_case "witness -> working consensus" `Quick
+            test_derived_consensus_from_witness;
+          Alcotest.test_case "test&set cannot do 3" `Quick
+            test_testset_three_fails;
+        ] );
+      ( "km-bound",
+        [
+          Alcotest.test_case "binary consensus exhaustive" `Quick
+            test_km_binary_consensus_exhaustive;
+          Alcotest.test_case "capacity guard" `Quick test_km_capacity_guard;
+          Alcotest.test_case "single operation, single object" `Quick
+            test_km_single_operation;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "level 1 closed under products" `Quick
+            test_compose_level_one_closed;
+          Alcotest.test_case "strong components detected" `Quick
+            test_compose_strong_component_detected;
+          Alcotest.test_case "composite semantics" `Quick test_compose_semantics;
+          Alcotest.test_case "t&s + queue cannot do 3" `Quick
+            test_tands_plus_queue_no_three_consensus;
+        ] );
+      ( "bivalency",
+        [
+          Alcotest.test_case "critical config on test&set" `Quick
+            test_bivalency_critical_on_strong_object;
+          Alcotest.test_case "critical config on queue" `Quick
+            test_bivalency_queue_protocol;
+          Alcotest.test_case "same inputs univalent" `Quick
+            test_bivalency_same_inputs_univalent;
+          Alcotest.test_case "decision values" `Quick test_decision_values;
+          Alcotest.test_case "naive r/w disagreement" `Quick
+            test_naive_rw_disagreement_found;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Cross-library integration tests: the reduction applied to real
+   election protocols, elections run on top of the universal
+   construction's substrate, and end-to-end experiment sanity. *)
+
+module Value = Memory.Value
+module Emulation = Core.Emulation
+
+(* --- emulating real election algorithms --- *)
+
+let test_emulate_trivial_cas_election () =
+  (* A correct election (n <= k-1): decisions may differ across labels
+     (each label is a different constructed run of A, with a different
+     solo winner) but must agree within a label, and the total width
+     stays within the (k-1)! budget. *)
+  let instance = Protocols.Cas_election.instance ~k:4 ~n:3 in
+  let alg = Emulation.of_election instance ~k:4 in
+  (* batch = 2 > per-emulator vp count: no emulator ever suspends its
+     only v-process, so each can always drive an update. *)
+  let params = { (Emulation.small_params ~k:4) with Emulation.batch = 2 } in
+  let o = Emulation.run ~seed:0 (Emulation.create alg params) in
+  Alcotest.(check bool) "some emulator decided" true
+    (o.Emulation.decisions <> []);
+  Alcotest.(check bool) "width within (k-1)!" true
+    (List.length o.Emulation.distinct_decisions <= 6);
+  List.iter
+    (fun (name, violations) ->
+      if List.mem name [ "same-label-agreement"; "label-budget" ] && violations <> []
+      then
+        Alcotest.fail
+          (Fmt.str "audit %s: %a" name
+             Fmt.(list ~sep:comma Core.Invariants.pp_violation)
+             violations))
+    (Core.Invariants.all o.Emulation.final)
+
+let test_emulate_permutation_election () =
+  (* The real (k-1)! algorithm as A, emulated: exercises the r/w register
+     emulation (claims logs) inside the reduction. *)
+  let instance = Protocols.Permutation_election.instance ~k:3 ~n:2 in
+  let alg = Emulation.of_election instance ~k:3 in
+  let params =
+    { (Emulation.small_params ~k:3) with Emulation.batch = 1; simple_burst = 16 }
+  in
+  let o = Emulation.run ~seed:1 ~max_iterations:50_000 (Emulation.create alg params) in
+  (* Register machinery must stay consistent even if the run stalls. *)
+  List.iter
+    (fun (name, violations) ->
+      if
+        List.mem name [ "reads-justified"; "history-well-formed"; "label-budget" ]
+        && violations <> []
+      then
+        Alcotest.fail
+          (Fmt.str "audit %s: %a" name
+             Fmt.(list ~sep:comma Core.Invariants.pp_violation)
+             violations))
+    (Core.Invariants.all o.Emulation.final);
+  let stats = Emulation.stats o.Emulation.final in
+  Alcotest.(check bool) "register ops were emulated" true
+    (stats.Emulation.simple_ops > 0)
+
+let test_reduction_manufactures_set_consensus () =
+  (* The paper's contradiction, end to end: an over-capacity "election"
+     is emulated by m = (k-1)!+1 emulators; the decisions form a
+     (k-1)-set consensus with more than one value — which a correct
+     election could never produce. *)
+  let k = 4 in
+  let r =
+    Core.Reduction.check ~seed:0 ~schedule:`Stale_view
+      (Core.Workloads.over_capacity_cas_election ~k ~num_vps:280)
+      (Emulation.small_params ~k)
+  in
+  Alcotest.(check bool) "multiple groups decided differently" true
+    (r.Core.Reduction.width >= 2);
+  Alcotest.(check bool) "within the (k-1)! budget" true
+    (r.Core.Reduction.width <= r.Core.Reduction.max_width);
+  Alcotest.(check bool) "per-run agreement held" true
+    r.Core.Reduction.same_label_consistent
+
+(* --- election over universal objects --- *)
+
+let test_election_via_universal_sticky () =
+  (* Build a leader-election object out of the universal construction
+     applied to a sticky register — universality in action — and elect. *)
+  let n = 3 in
+  let u =
+    Universal.create ~name:"ue" ~spec:(Objects.Sticky.spec ()) ~n ~max_ops:16
+  in
+  let prog pid =
+    let open Runtime.Program in
+    complete
+      (let* w =
+         Universal.invoke u ~pid ~seq:0
+           (Objects.Sticky.sticky_write_op (Value.int pid))
+       in
+       return w)
+  in
+  let store = Memory.Store.create (Universal.bindings u) in
+  for seed = 0 to 9 do
+    let config = Runtime.Engine.init store (List.init n prog) in
+    let outcome =
+      Runtime.Engine.run ~max_steps:100_000
+        ~sched:(Runtime.Sched.random ~seed) config
+    in
+    let decisions =
+      List.map snd outcome.Runtime.Engine.decisions
+      |> List.sort_uniq Value.compare
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "agreement (seed %d)" seed)
+      1 (List.length decisions)
+  done
+
+(* --- capacity ladder: the paper's refinement, measured --- *)
+
+let test_capacity_ladder () =
+  (* For each k: the BCL baseline caps at k-1 while the permutation
+     election reaches (k-1)! — bigger registers are strictly stronger,
+     and r/w registers amplify the gap. *)
+  List.iter
+    (fun k ->
+      let bcl_cap = k - 1 in
+      let perm_cap = Protocols.Perm.factorial (k - 1) in
+      let bcl = Protocols.Bcl_election.instance ~k ~n:bcl_cap in
+      let perm = Protocols.Permutation_election.instance ~k ~n:perm_cap in
+      (match Protocols.Election.run_random bcl ~seed:0 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "bcl k=%d: %s" k e));
+      (match Protocols.Election.run_random perm ~seed:0 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "perm k=%d: %s" k e));
+      if k >= 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d: (k-1)! > k-1" k)
+          true (perm_cap > bcl_cap))
+    [ 3; 4; 5 ]
+
+(* --- game vs emulation cross-check --- *)
+
+let test_game_bound_covers_emulation_updates () =
+  (* Lemma 1.1 is invoked with m emulators on k values: the number of
+     history extensions between splits is bounded by m^k.  Check the
+     emulation's attach counts stay under the bound. *)
+  let k = 3 in
+  let params = Emulation.small_params ~k in
+  let alg = Core.Workloads.cycling ~k ~rounds:1 ~num_vps:120 in
+  let o = Emulation.run ~seed:3 (Emulation.create alg params) in
+  let stats = Emulation.stats o.Emulation.final in
+  let bound = Core.Bounds.game_bound ~m:params.Emulation.m ~k in
+  Alcotest.(check bool) "attaches within m^k per label era" true
+    (stats.Emulation.attaches <= bound * (stats.Emulation.splits + 1))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "reduction-on-real-protocols",
+        [
+          Alcotest.test_case "emulate trivial cas election" `Quick
+            test_emulate_trivial_cas_election;
+          Alcotest.test_case "emulate permutation election" `Slow
+            test_emulate_permutation_election;
+          Alcotest.test_case "manufactured set consensus" `Quick
+            test_reduction_manufactures_set_consensus;
+        ] );
+      ( "universality",
+        [
+          Alcotest.test_case "election via universal sticky" `Slow
+            test_election_via_universal_sticky;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "capacity ladder" `Slow test_capacity_ladder;
+          Alcotest.test_case "game bound covers updates" `Quick
+            test_game_bound_covers_emulation_updates;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the linearizability checker: hand-built positive and
+   negative histories, plus the recorder roundtrip. *)
+
+module Value = Memory.Value
+module History = Lincheck.History
+module Checker = Lincheck.Checker
+
+let op ~pid ~op ~result ~inv ~res =
+  {
+    History.pid;
+    op;
+    result;
+    inv_time = inv;
+    res_time = res;
+  }
+
+let register_spec = Objects.Register.mwmr ~init:(Value.int 0) ()
+let queue_spec = Objects.Queue_obj.spec ()
+let read_op = Objects.Register.read_op
+let write v = Objects.Register.write_op (Value.int v)
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty linearizable" true
+    (Checker.is_linearizable ~spec:register_spec [])
+
+let test_sequential_history () =
+  let h =
+    [
+      op ~pid:0 ~op:(write 1) ~result:Value.unit ~inv:0 ~res:1;
+      op ~pid:0 ~op:read_op ~result:(Value.int 1) ~inv:2 ~res:3;
+    ]
+  in
+  Alcotest.(check bool) "sequential" true
+    (Checker.is_linearizable ~spec:register_spec h)
+
+let test_stale_read_rejected () =
+  (* A read that returns 0 strictly after a write of 1 completed. *)
+  let h =
+    [
+      op ~pid:0 ~op:(write 1) ~result:Value.unit ~inv:0 ~res:1;
+      op ~pid:1 ~op:read_op ~result:(Value.int 0) ~inv:2 ~res:3;
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Checker.is_linearizable ~spec:register_spec h)
+
+let test_concurrent_read_both_ok () =
+  (* A read overlapping the write may return either value. *)
+  let overlapping result =
+    [
+      op ~pid:0 ~op:(write 1) ~result:Value.unit ~inv:0 ~res:3;
+      op ~pid:1 ~op:read_op ~result ~inv:1 ~res:2;
+    ]
+  in
+  Alcotest.(check bool) "reads 0" true
+    (Checker.is_linearizable ~spec:register_spec (overlapping (Value.int 0)));
+  Alcotest.(check bool) "reads 1" true
+    (Checker.is_linearizable ~spec:register_spec (overlapping (Value.int 1)))
+
+let test_queue_classic_violation () =
+  (* Two sequential enqueues followed by a dequeue of the second item:
+     FIFO forbids it. *)
+  let enq v = Objects.Queue_obj.enq_op (Value.int v) in
+  let deq = Objects.Queue_obj.deq_op in
+  let h =
+    [
+      op ~pid:0 ~op:(enq 1) ~result:Value.unit ~inv:0 ~res:1;
+      op ~pid:0 ~op:(enq 2) ~result:Value.unit ~inv:2 ~res:3;
+      op ~pid:1 ~op:deq ~result:(Value.option (Some (Value.int 2))) ~inv:4
+        ~res:5;
+    ]
+  in
+  Alcotest.(check bool) "fifo violation rejected" false
+    (Checker.is_linearizable ~spec:queue_spec h)
+
+let test_queue_concurrent_enqueues () =
+  (* Concurrent enqueues may linearize in either order. *)
+  let enq v = Objects.Queue_obj.enq_op (Value.int v) in
+  let deq = Objects.Queue_obj.deq_op in
+  let h =
+    [
+      op ~pid:0 ~op:(enq 1) ~result:Value.unit ~inv:0 ~res:3;
+      op ~pid:1 ~op:(enq 2) ~result:Value.unit ~inv:1 ~res:2;
+      op ~pid:1 ~op:deq ~result:(Value.option (Some (Value.int 2))) ~inv:4
+        ~res:5;
+    ]
+  in
+  Alcotest.(check bool) "either order allowed" true
+    (Checker.is_linearizable ~spec:queue_spec h)
+
+let test_witness_order_is_legal () =
+  let h =
+    [
+      op ~pid:0 ~op:(write 5) ~result:Value.unit ~inv:0 ~res:1;
+      op ~pid:1 ~op:read_op ~result:(Value.int 5) ~inv:2 ~res:3;
+    ]
+  in
+  match Checker.check ~spec:register_spec h with
+  | Checker.Linearizable order ->
+    Alcotest.(check int) "order covers all ops" 2 (List.length order);
+    Alcotest.(check int) "write first" 0 (List.hd order).History.pid
+  | Checker.Not_linearizable -> Alcotest.fail "should be linearizable"
+
+(* --- recorder --- *)
+
+let test_recorder_roundtrip () =
+  let open Runtime.Program in
+  let store =
+    Memory.Store.create
+      [
+        ("h", History.recorder_spec ());
+        ("r", Objects.Register.mwmr ~init:(Value.int 0) ());
+      ]
+  in
+  let prog =
+    complete
+      (let* _ =
+         History.bracket "h" (write 9)
+           (let* () = Objects.Register.write "r" (Value.int 9) in
+            return Value.unit)
+       in
+       let* _ =
+         History.bracket "h" read_op (Objects.Register.read "r")
+       in
+       return Value.unit)
+  in
+  match Runtime.Program.run_sequential store ~pid:0 prog with
+  | Error e -> Alcotest.fail e
+  | Ok (store, _) ->
+    let h = History.of_store store "h" in
+    Alcotest.(check int) "two operations" 2 (List.length h);
+    Alcotest.(check bool) "linearizable" true
+      (Checker.is_linearizable ~spec:register_spec h);
+    let times = List.concat_map (fun o -> [ o.History.inv_time; o.History.res_time ]) h in
+    Alcotest.(check (list int)) "marker times" [ 0; 1; 2; 3 ] times
+
+let test_incomplete_dropped () =
+  let open Runtime.Program in
+  let store = Memory.Store.create [ ("h", History.recorder_spec ()) ] in
+  let prog =
+    complete
+      (let* () = History.invoke "h" read_op in
+       (* never responds *)
+       return Value.unit)
+  in
+  match Runtime.Program.run_sequential store ~pid:0 prog with
+  | Error e -> Alcotest.fail e
+  | Ok (store, _) ->
+    Alcotest.(check int) "pending op dropped" 0
+      (List.length (History.of_store store "h"))
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential" `Quick test_sequential_history;
+          Alcotest.test_case "stale read rejected" `Quick
+            test_stale_read_rejected;
+          Alcotest.test_case "concurrent read both ok" `Quick
+            test_concurrent_read_both_ok;
+          Alcotest.test_case "queue FIFO violation" `Quick
+            test_queue_classic_violation;
+          Alcotest.test_case "queue concurrent enqueues" `Quick
+            test_queue_concurrent_enqueues;
+          Alcotest.test_case "witness order" `Quick test_witness_order_is_legal;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_recorder_roundtrip;
+          Alcotest.test_case "incomplete ops dropped" `Quick
+            test_incomplete_dropped;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Unit and property tests for lib/memory: the value universe, object
+   specifications and the persistent store. *)
+
+module Value = Memory.Value
+module Spec = Memory.Spec
+module Store = Memory.Store
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+(* --- Value --- *)
+
+let test_equal_basic () =
+  Alcotest.(check bool) "unit" true (Value.equal Value.unit Value.unit);
+  Alcotest.(check bool) "int" true (Value.equal (Value.int 3) (Value.int 3));
+  Alcotest.(check bool) "int/int" false (Value.equal (Value.int 3) (Value.int 4));
+  Alcotest.(check bool) "int/sym" false (Value.equal (Value.int 3) (Value.sym "3"));
+  Alcotest.(check bool)
+    "pair" true
+    (Value.equal
+       (Value.pair (Value.int 1) (Value.bool true))
+       (Value.pair (Value.int 1) (Value.bool true)))
+
+let test_compare_total_order () =
+  let vs =
+    [
+      Value.unit;
+      Value.bool false;
+      Value.bool true;
+      Value.int (-1);
+      Value.int 7;
+      Value.sym "a";
+      Value.sym "b";
+      Value.pair (Value.int 1) (Value.int 2);
+      Value.list [ Value.int 1 ];
+      Value.list [];
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b and ba = Value.compare b a in
+          Alcotest.(check bool)
+            "antisymmetric" true
+            ((ab = 0 && ba = 0) || (ab > 0 && ba < 0) || (ab < 0 && ba > 0));
+          Alcotest.(check bool)
+            "compare-equal consistent" (Value.equal a b) (ab = 0))
+        vs)
+    vs
+
+let test_triple_roundtrip () =
+  let t = Value.triple (Value.int 1) (Value.sym "x") (Value.bool true) in
+  let a, b, c = Value.as_triple t in
+  Alcotest.check value "fst" (Value.int 1) a;
+  Alcotest.check value "snd" (Value.sym "x") b;
+  Alcotest.check value "thd" (Value.bool true) c
+
+let test_option_roundtrip () =
+  Alcotest.(check (option value))
+    "some" (Some (Value.int 5))
+    (Value.as_option (Value.option (Some (Value.int 5))));
+  Alcotest.(check (option value)) "none" None (Value.as_option (Value.option None))
+
+let test_destructor_errors () =
+  Alcotest.check_raises "as_int on sym"
+    (Value.Type_error ("int", Value.sym "x"))
+    (fun () -> ignore (Value.as_int (Value.sym "x")));
+  Alcotest.check_raises "as_pair on int"
+    (Value.Type_error ("pair", Value.int 1))
+    (fun () -> ignore (Value.as_pair (Value.int 1)));
+  Alcotest.check_raises "as_option on int"
+    (Value.Type_error ("option", Value.int 1))
+    (fun () -> ignore (Value.as_option (Value.int 1)))
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                return Value.unit;
+                map Value.bool bool;
+                map Value.int small_signed_int;
+                map Value.sym (string_size ~gen:(char_range 'a' 'z') (return 3));
+              ]
+          else
+            frequency
+              [
+                (3, map Value.int small_signed_int);
+                (1, map2 Value.pair (self (n / 2)) (self (n / 2)));
+                (1, map Value.list (list_size (int_bound 3) (self (n / 2))));
+              ])
+        (min n 6))
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"Value.equal reflexive" ~count:200 arb_value (fun v ->
+      Value.equal v v && Value.compare v v = 0)
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"Value.hash consistent with equal" ~count:200
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+(* --- Spec + Store --- *)
+
+let counter_spec =
+  Spec.make ~type_name:"counter" ~init:(Value.int 0) ~apply:(fun ~pid:_ s op ->
+      match op with
+      | Value.Sym "incr" -> Ok (Value.int (Value.as_int s + 1), s)
+      | Value.Sym "read" -> Ok (s, s)
+      | _ -> Error "bad op")
+
+let test_spec_reachable () =
+  let bounded =
+    Spec.make ~type_name:"mod3" ~init:(Value.int 0) ~apply:(fun ~pid:_ s op ->
+        match op with
+        | Value.Sym "incr" -> Ok (Value.int ((Value.as_int s + 1) mod 3), s)
+        | _ -> Error "bad op")
+  in
+  let states, truncated =
+    Spec.reachable bounded ~pids:[ 0 ] ~ops:[ Value.sym "incr" ] ~limit:100
+  in
+  Alcotest.(check int) "three states" 3 (List.length states);
+  Alcotest.(check bool) "not truncated" false truncated
+
+let test_spec_reachable_truncates () =
+  let _, truncated =
+    Spec.reachable counter_spec ~pids:[ 0 ] ~ops:[ Value.sym "incr" ] ~limit:10
+  in
+  Alcotest.(check bool) "truncated" true truncated
+
+let test_store_apply () =
+  let store = Store.create [ ("c", counter_spec) ] in
+  (match Store.apply store ~pid:0 "c" (Value.sym "incr") with
+  | Ok (store', old) ->
+    Alcotest.check value "old value" (Value.int 0) old;
+    Alcotest.(check (option value)) "new state" (Some (Value.int 1))
+      (Store.peek store' "c");
+    (* Persistence: the original store is unchanged. *)
+    Alcotest.(check (option value)) "persistent" (Some (Value.int 0))
+      (Store.peek store "c")
+  | Error e -> Alcotest.fail e);
+  match Store.apply store ~pid:0 "nope" (Value.sym "incr") with
+  | Ok _ -> Alcotest.fail "unknown location accepted"
+  | Error _ -> ()
+
+let test_store_poke_and_compare () =
+  let store = Store.create [ ("c", counter_spec) ] in
+  let store' = Store.poke store "c" (Value.int 42) in
+  Alcotest.(check (option value)) "poked" (Some (Value.int 42))
+    (Store.peek store' "c");
+  Alcotest.(check bool) "compare differs" true
+    (Store.compare_states store store' <> 0);
+  Alcotest.(check bool) "compare equal" true
+    (Store.compare_states store store = 0);
+  Alcotest.check_raises "poke unknown"
+    (Invalid_argument "Store.poke: unknown location \"x\"") (fun () ->
+      ignore (Store.poke store "x" Value.unit))
+
+let test_store_locs () =
+  let store = Store.create [ ("b", counter_spec); ("a", counter_spec) ] in
+  Alcotest.(check (list string)) "sorted locs" [ "a"; "b" ] (Store.locs store)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "equal basics" `Quick test_equal_basic;
+          Alcotest.test_case "compare is a total order" `Quick
+            test_compare_total_order;
+          Alcotest.test_case "triple roundtrip" `Quick test_triple_roundtrip;
+          Alcotest.test_case "option roundtrip" `Quick test_option_roundtrip;
+          Alcotest.test_case "destructors raise Type_error" `Quick
+            test_destructor_errors;
+          QCheck_alcotest.to_alcotest prop_equal_reflexive;
+          QCheck_alcotest.to_alcotest prop_hash_consistent;
+        ] );
+      ( "spec-store",
+        [
+          Alcotest.test_case "reachable closes finite spaces" `Quick
+            test_spec_reachable;
+          Alcotest.test_case "reachable truncates infinite spaces" `Quick
+            test_spec_reachable_truncates;
+          Alcotest.test_case "store apply is persistent" `Quick test_store_apply;
+          Alcotest.test_case "store poke/compare" `Quick
+            test_store_poke_and_compare;
+          Alcotest.test_case "store locs" `Quick test_store_locs;
+        ] );
+    ]

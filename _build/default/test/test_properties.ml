@@ -1,0 +1,440 @@
+(* Property-based tests (qcheck) across the libraries: structural
+   invariants that should hold on randomly generated inputs, not just on
+   the hand-picked cases of the unit suites. *)
+
+module Value = Memory.Value
+module Sigma = Core.Sigma
+module Label = Core.Label
+module Excess = Core.Excess
+module Tree = Core.History_tree
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Perm --- *)
+
+let prop_rank_monotone_lex =
+  QCheck.Test.make ~name:"rank is monotone in lexicographic order" ~count:50
+    (QCheck.int_range 2 5) (fun m ->
+      let perms = Protocols.Perm.all m in
+      let ranks = List.map Protocols.Perm.rank perms in
+      ranks = List.init (Protocols.Perm.factorial m) (fun i -> i))
+
+let prop_unrank_distinct =
+  QCheck.Test.make ~name:"unrank yields distinct permutations" ~count:20
+    (QCheck.int_range 1 5) (fun m ->
+      let all =
+        List.init (Protocols.Perm.factorial m) (fun r ->
+            Protocols.Perm.unrank ~m r)
+      in
+      List.length (List.sort_uniq compare all) = Protocols.Perm.factorial m)
+
+(* --- Label --- *)
+
+let label_gen =
+  QCheck.Gen.(
+    let* len = int_bound 3 in
+    let* xs = shuffle_l [ 0; 1; 2; 3 ] in
+    return (List.filteri (fun i _ -> i < len) xs))
+
+let arb_label = QCheck.make ~print:Label.to_string label_gen
+
+let prop_label_prefix_reflexive =
+  QCheck.Test.make ~name:"label prefix is reflexive" ~count:100 arb_label
+    (fun l -> Label.is_prefix l l)
+
+let prop_label_compatible_symmetric =
+  QCheck.Test.make ~name:"label compatibility is symmetric" ~count:200
+    (QCheck.pair arb_label arb_label) (fun (a, b) ->
+      Label.compatible a b = Label.compatible b a)
+
+let prop_label_extend_prefix =
+  QCheck.Test.make ~name:"extension keeps the old label as prefix" ~count:100
+    arb_label (fun l ->
+      match List.filter (fun v -> not (Label.mem v l)) [ 0; 1; 2; 3; 4 ] with
+      | [] -> true
+      | v :: _ ->
+        let l' = Label.extend l v in
+        Label.is_prefix l l' && Label.compatible l l' && Label.mem v l')
+
+(* --- Excess graph --- *)
+
+let arb_excess =
+  let gen =
+    QCheck.Gen.(
+      let k = 4 in
+      let* n_susp = int_range 0 12 in
+      let* entries =
+        list_repeat n_susp
+          (let* a = int_bound (k - 1) in
+           let* b = int_bound (k - 1) in
+           let* released = bool in
+           return (a, b, released))
+      in
+      let* hist_len = int_bound 6 in
+      let* hist_tail =
+        list_repeat hist_len (int_bound (k - 1))
+      in
+      return (k, entries, hist_tail))
+  in
+  QCheck.make gen
+
+let build_excess (k, entries, hist_tail) =
+  let sym i = Sigma.of_index ~k i in
+  let suspensions =
+    List.mapi
+      (fun vp (a, b, released) ->
+        {
+          Core.Vp_graph.vp;
+          edge = (sym a, sym b);
+          label = [];
+          hist_len = 1;
+          released;
+        })
+      (List.filter (fun (a, b, _) -> a <> b) entries)
+  in
+  let history = Sigma.Bot :: List.map sym hist_tail in
+  (Excess.compute ~k ~suspensions ~history, k)
+
+let prop_widest_path_iff_path =
+  QCheck.Test.make
+    ~name:"path_with_width succeeds iff widest_path reaches the width"
+    ~count:300 arb_excess (fun input ->
+      let g, k = build_excess input in
+      let syms = Sigma.all ~k in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let w = Excess.widest_path g a b in
+              let at w' = Excess.path_with_width g ~min_width:w' a b in
+              (w <= 0 || at w <> None)
+              && (at (w + 1) = None || Excess.widest_path g a b > w))
+            syms)
+        syms)
+
+let prop_path_edges_meet_width =
+  QCheck.Test.make ~name:"returned paths only use edges of enough width"
+    ~count:300 arb_excess (fun input ->
+      let g, k = build_excess input in
+      let syms = Sigma.all ~k in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              match Excess.path_with_width g ~min_width:1 a b with
+              | None -> true
+              | Some mids ->
+                let nodes = (a :: mids) @ [ b ] in
+                let rec edges = function
+                  | x :: (y :: _ as rest) -> (x, y) :: edges rest
+                  | _ -> []
+                in
+                List.for_all (fun (x, y) -> Excess.weight g x y >= 1) (edges nodes))
+            syms)
+        syms)
+
+let prop_debit_is_local =
+  QCheck.Test.make ~name:"debit decrements exactly the listed edges"
+    ~count:200 arb_excess (fun input ->
+      let g, k = build_excess input in
+      let syms = Sigma.all ~k in
+      let edge = (List.nth syms 0, List.nth syms 1) in
+      let g' = Excess.debit g [ edge; edge ] in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let expected =
+                if (a, b) = edge then Excess.weight g a b - 2
+                else Excess.weight g a b
+              in
+              Excess.weight g' a b = expected)
+            syms)
+        syms)
+
+(* --- History tree --- *)
+
+(* Random tree construction: a sequence of attaches to random existing
+   nodes (paths kept empty so the alphabet constraint cannot fail). *)
+let arb_tree_script =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_bound 12)
+        (pair (int_bound 20) (int_bound 2)))
+
+let build_tree script =
+  let k = 4 in
+  List.fold_left
+    (fun (t, count) (parent_choice, v) ->
+      let tree = Option.get (Tree.tree t Label.root) in
+      let parent = parent_choice mod Tree.tree_size tree in
+      let t, _ =
+        Tree.attach t ~label:Label.root ~parent_node:parent ~emu:0 ~seq:count
+          ~value:(Sigma.V (v mod (k - 1)))
+          ~from_parent:[] ~to_parent:[]
+      in
+      (t, count + 1))
+    (Tree.create (), 0)
+    script
+  |> fst
+
+let prop_dfs_full_starts_ends_at_root =
+  QCheck.Test.make ~name:"full DFS starts and ends at the root symbol"
+    ~count:200 arb_tree_script (fun script ->
+      let t = build_tree script in
+      let tree = Option.get (Tree.tree t Label.root) in
+      let seq = Tree.dfs tree ~full:true in
+      match seq with
+      | [] -> false
+      | first :: _ ->
+        Sigma.equal first Sigma.Bot
+        && Sigma.equal (List.nth seq (List.length seq - 1)) Sigma.Bot)
+
+let prop_dfs_cut_ends_at_rightmost =
+  QCheck.Test.make ~name:"cut DFS ends at the rightmost node's symbol"
+    ~count:200 arb_tree_script (fun script ->
+      let t = build_tree script in
+      let tree = Option.get (Tree.tree t Label.root) in
+      let seq = Tree.dfs tree ~full:false in
+      let rm = Tree.rightmost tree in
+      Sigma.equal
+        (List.nth seq (List.length seq - 1))
+        (Tree.tree_node tree rm).Tree.value)
+
+let prop_cut_is_prefix_of_full =
+  QCheck.Test.make ~name:"cut DFS is a prefix of the full DFS" ~count:200
+    arb_tree_script (fun script ->
+      let t = build_tree script in
+      let tree = Option.get (Tree.tree t Label.root) in
+      let full = Tree.dfs tree ~full:true in
+      let cut = Tree.dfs tree ~full:false in
+      List.length cut <= List.length full
+      && List.for_all2
+           (fun a b -> Sigma.equal a b)
+           cut
+           (List.filteri (fun i _ -> i < List.length cut) full))
+
+let prop_ancestors_reach_root =
+  QCheck.Test.make ~name:"ancestors end at the root" ~count:200
+    arb_tree_script (fun script ->
+      let t = build_tree script in
+      let tree = Option.get (Tree.tree t Label.root) in
+      let rm = Tree.rightmost tree in
+      let anc = Tree.ancestors tree rm in
+      List.nth anc (List.length anc - 1) = Tree.tree_root tree
+      && List.length anc = Tree.depth tree rm + 1)
+
+(* --- Bounds recurrences --- *)
+
+let prop_threshold_recurrence =
+  QCheck.Test.make ~name:"lambda_D = lambda_(D-1) + D*m^D" ~count:100
+    (QCheck.pair (QCheck.int_range 2 5) (QCheck.int_range 1 6))
+    (fun (m, d) ->
+      let pow = int_of_float (float_of_int m ** float_of_int d) in
+      Core.Bounds.threshold ~m ~depth:d
+      = Core.Bounds.threshold ~m ~depth:(d - 1) + (d * pow))
+
+let prop_stable_weight_recurrence =
+  QCheck.Test.make ~name:"sigma_x = sigma_(x-1) + m^x (x >= 2)" ~count:100
+    (QCheck.pair (QCheck.int_range 2 5) (QCheck.int_range 2 6))
+    (fun (m, x) ->
+      let pow = int_of_float (float_of_int m ** float_of_int x) in
+      Core.Bounds.stable_weight ~m x = Core.Bounds.stable_weight ~m (x - 1) + pow)
+
+(* --- snapshot linearizability on random mixes --- *)
+
+let prop_snapshot_linearizable_random_mix =
+  QCheck.Test.make ~name:"AADGMS snapshot linearizable on random op mixes"
+    ~count:25
+    (QCheck.pair (QCheck.int_bound 1000)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 3) (QCheck.int_bound 1)))
+    (fun (seed, shape) ->
+      let n = 2 in
+      let t =
+        Snapshot.Swmr_snapshot.create ~base:"s"
+          ~owners:(Array.init n (fun i -> i))
+      in
+      let hist = "hist" in
+      let bindings =
+        (hist, Lincheck.History.recorder_spec ())
+        :: Snapshot.Swmr_snapshot.registers t
+      in
+      let prog pid =
+        let open Runtime.Program in
+        complete
+          (let* _ =
+             list_fold
+               (fun i kind ->
+                 let* _ =
+                   if kind = 0 then
+                     Lincheck.History.bracket hist
+                       (Snapshot.Snapshot_obj.update_op ~segment:pid
+                          (Value.int ((10 * pid) + i)))
+                       (let* () =
+                          Snapshot.Swmr_snapshot.update t ~segment:pid
+                            (Value.int ((10 * pid) + i))
+                        in
+                        return Value.unit)
+                   else
+                     Lincheck.History.bracket hist Snapshot.Snapshot_obj.scan_op
+                       (let* v = Snapshot.Swmr_snapshot.scan t in
+                        return (Value.list v))
+                 in
+                 return (i + 1))
+               0 shape
+           in
+           return Value.unit)
+      in
+      let store = Memory.Store.create bindings in
+      let config = Runtime.Engine.init store (List.init n prog) in
+      let outcome =
+        Runtime.Engine.run ~max_steps:100_000
+          ~sched:(Runtime.Sched.random ~seed) config
+      in
+      outcome.Runtime.Engine.faults = []
+      && Lincheck.Checker.is_linearizable
+           ~spec:(Snapshot.Snapshot_obj.spec ~segments:n ())
+           (Lincheck.History.of_store
+              outcome.Runtime.Engine.final.Runtime.Engine.store hist))
+
+(* --- engine-produced register histories are linearizable --- *)
+
+let prop_register_histories_linearizable =
+  QCheck.Test.make
+    ~name:"recorded register histories are always linearizable" ~count:40
+    (QCheck.pair (QCheck.int_bound 1000)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 4) (QCheck.int_bound 4)))
+    (fun (seed, writes) ->
+      let spec = Objects.Register.mwmr ~init:(Value.int 0) () in
+      let bindings =
+        [ ("hist", Lincheck.History.recorder_spec ()); ("r", spec) ]
+      in
+      let prog pid =
+        let open Runtime.Program in
+        complete
+          (let* _ =
+             list_fold
+               (fun i w ->
+                 let op_desc =
+                   if (w + pid) mod 2 = 0 then Objects.Register.read_op
+                   else Objects.Register.write_op (Value.int ((10 * pid) + i))
+                 in
+                 let* _ =
+                   Lincheck.History.bracket "hist" op_desc
+                     (Runtime.Program.op "r" op_desc)
+                 in
+                 return (i + 1))
+               0 writes
+           in
+           return Value.unit)
+      in
+      let store = Memory.Store.create bindings in
+      let config = Runtime.Engine.init store [ prog 0; prog 1 ] in
+      let outcome =
+        Runtime.Engine.run ~max_steps:10_000
+          ~sched:(Runtime.Sched.random ~seed) config
+      in
+      outcome.Runtime.Engine.faults = []
+      && Lincheck.Checker.is_linearizable ~spec
+           (Lincheck.History.of_store
+              outcome.Runtime.Engine.final.Runtime.Engine.store "hist"))
+
+(* --- permutation election under random crash patterns, k=3..4 --- *)
+
+let prop_perm_election_random_instances =
+  QCheck.Test.make ~name:"perm election correct on random instances"
+    ~count:40
+    (QCheck.triple (QCheck.int_range 3 4) (QCheck.int_bound 1000)
+       (QCheck.int_bound 5))
+    (fun (k, seed, n_raw) ->
+      let cap = Protocols.Perm.factorial (k - 1) in
+      let n = 1 + (n_raw mod cap) in
+      let i = Protocols.Permutation_election.instance ~k ~n in
+      match Protocols.Election.run_random i ~seed with
+      | Ok leader -> leader >= 0 && leader < n
+      | Error e -> QCheck.Test.fail_report e)
+
+(* --- multi-register election on random shapes --- *)
+
+let prop_multi_election_random_shapes =
+  QCheck.Test.make ~name:"multi election correct on random shapes" ~count:25
+    (QCheck.triple
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 2) (QCheck.int_range 3 4))
+       (QCheck.int_bound 1000) (QCheck.int_bound 10))
+    (fun (ks, seed, n_raw) ->
+      let cap = Protocols.Multi_election.capacity ~ks in
+      let n = 1 + (n_raw mod cap) in
+      let i = Protocols.Multi_election.instance ~ks ~n in
+      match Protocols.Election.run_random i ~seed with
+      | Ok leader -> leader >= 0 && leader < n
+      | Error e -> QCheck.Test.fail_report e)
+
+(* --- emulation audits on random seeds and workloads --- *)
+
+let prop_emulation_mechanical_audits =
+  QCheck.Test.make ~name:"emulation hard audits clean on random runs"
+    ~count:15
+    (QCheck.pair (QCheck.int_bound 1000) (QCheck.int_range 0 2))
+    (fun (seed, which) ->
+      let alg =
+        match which with
+        | 0 -> Core.Workloads.over_capacity_cas_election ~k:3 ~num_vps:120
+        | 1 -> Core.Workloads.cycling ~k:3 ~rounds:1 ~num_vps:120
+        | _ -> Core.Workloads.cycling ~k:3 ~rounds:2 ~num_vps:240
+      in
+      let o =
+        Core.Emulation.run ~seed
+          (Core.Emulation.create alg (Core.Emulation.small_params ~k:3))
+      in
+      List.for_all
+        (fun (name, violations) ->
+          (not
+             (List.mem name
+                [ "label-budget"; "history-well-formed"; "history-backed";
+                  "release-margin"; "reads-justified" ]))
+          || violations = [])
+        (Core.Invariants.all o.Core.Emulation.final)
+      && List.for_all
+           (fun rep -> rep.Core.Replay.feasible)
+           (Core.Replay.check_all_leaves o.Core.Emulation.final))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("perm", [ to_alcotest prop_rank_monotone_lex; to_alcotest prop_unrank_distinct ]);
+      ( "label",
+        [
+          to_alcotest prop_label_prefix_reflexive;
+          to_alcotest prop_label_compatible_symmetric;
+          to_alcotest prop_label_extend_prefix;
+        ] );
+      ( "excess",
+        [
+          to_alcotest prop_widest_path_iff_path;
+          to_alcotest prop_path_edges_meet_width;
+          to_alcotest prop_debit_is_local;
+        ] );
+      ( "history-tree",
+        [
+          to_alcotest prop_dfs_full_starts_ends_at_root;
+          to_alcotest prop_dfs_cut_ends_at_rightmost;
+          to_alcotest prop_cut_is_prefix_of_full;
+          to_alcotest prop_ancestors_reach_root;
+        ] );
+      ( "bounds",
+        [
+          to_alcotest prop_threshold_recurrence;
+          to_alcotest prop_stable_weight_recurrence;
+        ] );
+      ( "linearizability",
+        [
+          to_alcotest prop_snapshot_linearizable_random_mix;
+          to_alcotest prop_register_histories_linearizable;
+        ] );
+      ( "elections",
+        [
+          to_alcotest prop_perm_election_random_instances;
+          to_alcotest prop_multi_election_random_shapes;
+        ] );
+      ("emulation", [ to_alcotest prop_emulation_mechanical_audits ]);
+    ]

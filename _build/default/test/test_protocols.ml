@@ -1,0 +1,518 @@
+(* Tests for the protocols library: permutations, elections (cas / BCL /
+   permutation-chain), consensus and set-consensus. *)
+
+module Value = Memory.Value
+module Perm = Protocols.Perm
+module Election = Protocols.Election
+module Consensus = Protocols.Consensus
+
+(* --- Perm --- *)
+
+let test_factorial () =
+  List.iter
+    (fun (n, f) -> Alcotest.(check int) (Printf.sprintf "%d!" n) f (Perm.factorial n))
+    [ (0, 1); (1, 1); (2, 2); (3, 6); (4, 24); (6, 720) ]
+
+let test_all_perms () =
+  Alcotest.(check int) "3! perms" 6 (List.length (Perm.all 3));
+  Alcotest.(check (list (list int))) "lex order of all 2"
+    [ [ 0; 1 ]; [ 1; 0 ] ]
+    (Perm.all 2);
+  let perms = Perm.all 4 in
+  Alcotest.(check int) "4! perms" 24 (List.length perms);
+  Alcotest.(check bool) "all distinct" true
+    (List.length (List.sort_uniq compare perms) = 24)
+
+let test_rank_unrank_examples () =
+  Alcotest.(check int) "rank of identity" 0 (Perm.rank [ 0; 1; 2 ]);
+  Alcotest.(check int) "rank of reverse" 5 (Perm.rank [ 2; 1; 0 ]);
+  Alcotest.(check (list int)) "unrank 0" [ 0; 1; 2 ] (Perm.unrank ~m:3 0);
+  Alcotest.(check (list int)) "unrank 5" [ 2; 1; 0 ] (Perm.unrank ~m:3 5)
+
+let prop_rank_unrank_roundtrip =
+  QCheck.Test.make ~name:"unrank . rank = id" ~count:200
+    (QCheck.make
+       (QCheck.Gen.map
+          (fun (m, r) -> (m, r mod Perm.factorial m))
+          QCheck.Gen.(pair (int_range 1 6) (int_bound 719))))
+    (fun (m, r) ->
+      let p = Perm.unrank ~m r in
+      Perm.rank p = r && Perm.is_permutation ~m p)
+
+let test_is_prefix () =
+  Alcotest.(check bool) "empty prefix" true (Perm.is_prefix [] [ 1; 2 ]);
+  Alcotest.(check bool) "proper prefix" true (Perm.is_prefix [ 1 ] [ 1; 2 ]);
+  Alcotest.(check bool) "not prefix" false (Perm.is_prefix [ 2 ] [ 1; 2 ]);
+  Alcotest.(check bool) "longer" false (Perm.is_prefix [ 1; 2; 3 ] [ 1; 2 ])
+
+(* --- cas election --- *)
+
+let test_cas_election_exhaustive () =
+  let i = Protocols.Cas_election.instance ~k:4 ~n:3 in
+  match Election.explore_all i ~max_steps:50 with
+  | Ok terminals -> Alcotest.(check int) "3! schedules" 6 terminals
+  | Error e -> Alcotest.fail e
+
+let test_cas_election_capacity_guard () =
+  Alcotest.(check bool) "n = k rejected" true
+    (try
+       ignore (Protocols.Cas_election.instance ~k:3 ~n:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cas_election_crash () =
+  let i = Protocols.Cas_election.instance ~k:5 ~n:4 in
+  match Election.run_with_crashes i ~seed:1 ~crashed:[ 0; 1 ] with
+  | Ok leader -> Alcotest.(check bool) "survivor won" true (leader >= 2)
+  | Error e -> Alcotest.fail e
+
+(* --- BCL election --- *)
+
+let test_bcl_capacity () =
+  List.iter
+    (fun k ->
+      let i = Protocols.Bcl_election.instance ~k ~n:(k - 1) in
+      match Election.explore_all i ~max_steps:50 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "k=%d: %s" k e))
+    [ 2; 3; 4; 5 ]
+
+let test_bcl_overloaded_fails () =
+  List.iter
+    (fun k ->
+      let i = Protocols.Bcl_election.overloaded_instance ~k in
+      match Election.explore_all i ~max_steps:50 with
+      | Ok _ ->
+        Alcotest.fail
+          (Printf.sprintf "k=%d: overloaded instance unexpectedly correct" k)
+      | Error _ -> ())
+    [ 2; 3; 4 ]
+
+let test_bcl_single_op () =
+  (* Each process performs exactly one shared-memory operation: the BCL
+     "written at most once" regime. *)
+  let i = Protocols.Bcl_election.instance ~k:4 ~n:3 in
+  match Election.run i ~sched:(Runtime.Sched.random ~seed:3) with
+  | Ok outcome ->
+    Alcotest.(check int) "3 ops total" 3 outcome.Runtime.Engine.steps
+  | Error e -> Alcotest.fail e
+
+(* --- permutation election --- *)
+
+let test_perm_election_reconstruct_chain () =
+  let claim source dest position =
+    { Protocols.Permutation_election.source; dest; position }
+  in
+  let bot = Objects.Cas_k.bottom in
+  (* True chain ⊥ → 0 → 1 → 2 with a failed early intent (0 → 2, pos 1). *)
+  let claims =
+    [
+      claim bot 0 0;
+      claim (Value.int 0) 1 1;
+      claim (Value.int 0) 2 1;
+      claim (Value.int 1) 2 2;
+    ]
+  in
+  (match
+     Protocols.Permutation_election.reconstruct ~k:4 ~cur:(Value.int 2) ~claims
+   with
+  | Some chain -> Alcotest.(check (list int)) "full chain" [ 0; 1; 2 ] chain
+  | None -> Alcotest.fail "no chain found");
+  (* Same claims but register still at 1: prefix. *)
+  (match
+     Protocols.Permutation_election.reconstruct ~k:4 ~cur:(Value.int 1) ~claims
+   with
+  | Some chain -> Alcotest.(check (list int)) "prefix chain" [ 0; 1 ] chain
+  | None -> Alcotest.fail "no prefix chain");
+  (* Empty register. *)
+  match Protocols.Permutation_election.reconstruct ~k:4 ~cur:bot ~claims:[] with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "bottom should reconstruct to empty"
+
+let test_perm_election_solo () =
+  let i = Protocols.Permutation_election.instance ~k:4 ~n:1 in
+  match Election.run_random i ~seed:0 with
+  | Ok 0 -> ()
+  | Ok l -> Alcotest.fail (Printf.sprintf "solo elected %d" l)
+  | Error e -> Alcotest.fail e
+
+let test_perm_election_random_sweep () =
+  List.iter
+    (fun (k, n) ->
+      let i = Protocols.Permutation_election.instance ~k ~n in
+      for seed = 0 to 30 do
+        match Election.run_random i ~seed with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.fail (Printf.sprintf "k=%d n=%d seed=%d: %s" k n seed e)
+      done)
+    [ (3, 2); (4, 6); (5, 24) ]
+
+let test_perm_election_full_capacity_k5 () =
+  let i = Protocols.Permutation_election.instance ~k:5 ~n:24 in
+  match Election.run_random i ~seed:11 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let prop_perm_election_crash_subsets =
+  QCheck.Test.make ~name:"perm election survives crash subsets" ~count:40
+    (QCheck.pair (QCheck.int_bound 1000)
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 4) (QCheck.int_bound 5)))
+    (fun (seed, crashed) ->
+      let i = Protocols.Permutation_election.instance ~k:4 ~n:6 in
+      let crashed = List.sort_uniq compare crashed in
+      if List.length crashed >= 6 then true
+      else
+        match Election.run_with_crashes i ~seed ~crashed with
+        | Ok leader -> not (List.mem leader crashed)
+        | Error e -> QCheck.Test.fail_report e)
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_perm_duplicate_validity_violation () =
+  (* With one extra process sharing permutation 0, a run where only that
+     process participates elects the absent owner: validity breaks. *)
+  let fact = Perm.factorial 3 in
+  let i = Protocols.Permutation_election.duplicate_instance ~k:4 ~n:(fact + 1) in
+  let crashed = List.init fact (fun q -> q) in
+  match Election.run_with_crashes i ~seed:1 ~crashed with
+  | Ok _ -> Alcotest.fail "expected a validity violation"
+  | Error e ->
+    Alcotest.(check bool) "validity mentioned" true (string_contains e "validity")
+
+(* --- consensus --- *)
+
+let inputs2 = [ Value.int 10; Value.int 20 ]
+
+let test_consensus_exhaustive_suite () =
+  List.iter
+    (fun instance ->
+      match Consensus.explore_all instance ~max_steps:60 with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.fail (Printf.sprintf "%s: %s" instance.Consensus.name e))
+    [
+      Consensus.from_cas ~inputs:inputs2;
+      Consensus.from_sticky ~inputs:inputs2;
+      Consensus.two_from_test_and_set ~inputs:inputs2;
+      Consensus.two_from_queue ~inputs:inputs2;
+    ]
+
+let test_naive_rw_fails () =
+  match Consensus.explore_all (Consensus.naive_rw ~inputs:inputs2) ~max_steps:60 with
+  | Ok _ -> Alcotest.fail "naive r/w consensus unexpectedly correct"
+  | Error _ -> ()
+
+let test_consensus_from_cas_n4 () =
+  let inputs = [ Value.int 1; Value.int 2; Value.int 3; Value.int 4 ] in
+  let i = Consensus.from_cas ~inputs in
+  match Consensus.explore_all i ~max_steps:60 with
+  | Ok terminals -> Alcotest.(check int) "4! schedules" 24 terminals
+  | Error e -> Alcotest.fail e
+
+let test_consensus_crash_tolerance () =
+  let inputs = [ Value.int 1; Value.int 2; Value.int 3 ] in
+  let i = Consensus.from_cas ~inputs in
+  match Consensus.run_with_crashes i ~seed:4 ~crashed:[ 0 ] with
+  | Ok (Some v) ->
+    Alcotest.(check bool) "valid decision" true
+      (List.exists (Value.equal v) inputs)
+  | Ok None -> Alcotest.fail "no survivor decided"
+  | Error e -> Alcotest.fail e
+
+(* --- set consensus --- *)
+
+let test_trivial_set_consensus () =
+  let i =
+    Protocols.Set_consensus.trivial ~k:3
+      ~inputs:[ Value.int 1; Value.int 2; Value.int 3 ]
+  in
+  match Protocols.Set_consensus.run_random i ~seed:0 with
+  | Ok vs -> Alcotest.(check int) "three decisions" 3 (List.length vs)
+  | Error e -> Alcotest.fail e
+
+let test_trivial_guard () =
+  Alcotest.(check bool) "n > k rejected" true
+    (try
+       ignore
+         (Protocols.Set_consensus.trivial ~k:2
+            ~inputs:[ Value.int 1; Value.int 2; Value.int 3 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_group_set_consensus () =
+  let inputs = List.init 7 (fun i -> Value.int (100 + i)) in
+  let i = Protocols.Set_consensus.from_groups ~k:3 ~inputs in
+  for seed = 0 to 20 do
+    match Protocols.Set_consensus.run_random i ~seed with
+    | Ok vs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "width <= 3 (seed %d)" seed)
+        true
+        (List.length vs <= 3)
+    | Error e -> Alcotest.fail e
+  done
+
+let test_group_set_consensus_exhaustive () =
+  let inputs = [ Value.int 1; Value.int 2; Value.int 3 ] in
+  let i = Protocols.Set_consensus.from_groups ~k:2 ~inputs in
+  match Protocols.Set_consensus.explore_all i ~max_steps:50 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- safe agreement (the BG simulation's building block, [4]) --- *)
+
+let sa_inputs = [ Value.int 1; Value.int 2 ]
+
+let test_safe_agreement_crash_free () =
+  let i = Protocols.Safe_agreement.make ~inputs:sa_inputs in
+  for seed = 0 to 29 do
+    match Protocols.Safe_agreement.run_random i ~seed with
+    | Ok ([ v ], false) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "valid decision (seed %d)" seed)
+        true
+        (List.exists (Value.equal v) sa_inputs)
+    | Ok (ds, limit) ->
+      Alcotest.fail
+        (Printf.sprintf "seed %d: %d decisions, limit=%b" seed
+           (List.length ds) limit)
+    | Error e -> Alcotest.fail e
+  done
+
+let test_safe_agreement_safety_exhaustive () =
+  (* Agreement + validity over every complete schedule within the step
+     bound (termination is a fairness property, deliberately not
+     checked — see the mli). *)
+  let i = Protocols.Safe_agreement.make ~inputs:sa_inputs in
+  match Protocols.Safe_agreement.explore_all i ~max_steps:26 with
+  | Ok complete -> Alcotest.(check bool) "schedules explored" true (complete > 0)
+  | Error e -> Alcotest.fail e
+
+let test_safe_agreement_blocks_on_window_crash () =
+  (* The non-wait-free face: a crash inside the unsafe window blocks
+     every survivor — the reason the BG simulation is t-resilient while
+     the paper's emulation (which partitions v-processes instead of
+     agreeing step-by-step) stays wait-free. *)
+  List.iter
+    (fun (inputs, seed) ->
+      let i = Protocols.Safe_agreement.make ~inputs in
+      Alcotest.(check bool) "survivors blocked" true
+        (Protocols.Safe_agreement.run_with_window_crash i ~seed))
+    [
+      (sa_inputs, 0);
+      (sa_inputs, 5);
+      ([ Value.int 1; Value.int 2; Value.int 3 ], 7);
+    ]
+
+(* --- rw-implementable objects: counter and max register --- *)
+
+let test_counter_sequential () =
+  let t = Protocols.Rw_objects.counter ~base:"cnt" ~n:2 in
+  let store = Memory.Store.create (Protocols.Rw_objects.counter_bindings t) in
+  let open Runtime.Program in
+  let prog =
+    complete
+      (let* () = Protocols.Rw_objects.incr t ~me:0 in
+       let* () = Protocols.Rw_objects.incr t ~me:0 in
+       let* v = Protocols.Rw_objects.counter_read t in
+       return (Value.int v))
+  in
+  match Runtime.Program.run_sequential store ~pid:0 prog with
+  | Ok (_, v) -> Alcotest.(check int) "two increments" 2 (Value.as_int v)
+  | Error e -> Alcotest.fail e
+
+let run_lincheck_object ~seeds ~bindings ~prog ~spec =
+  for seed = 0 to seeds - 1 do
+    let all = ("hist", Lincheck.History.recorder_spec ()) :: bindings in
+    let store = Memory.Store.create all in
+    let config = Runtime.Engine.init store (List.init 3 prog) in
+    let outcome =
+      Runtime.Engine.run ~max_steps:50_000
+        ~sched:(Runtime.Sched.random ~seed) config
+    in
+    if outcome.Runtime.Engine.faults <> [] then
+      Alcotest.fail (snd (List.hd outcome.Runtime.Engine.faults));
+    let h =
+      Lincheck.History.of_store outcome.Runtime.Engine.final.Runtime.Engine.store
+        "hist"
+    in
+    if not (Lincheck.Checker.is_linearizable ~spec h) then
+      Alcotest.fail (Fmt.str "seed %d not linearizable:@.%a" seed Lincheck.History.pp h)
+  done
+
+let test_counter_linearizable () =
+  let t = Protocols.Rw_objects.counter ~base:"cnt" ~n:3 in
+  let prog pid =
+    let open Runtime.Program in
+    complete
+      (let* _ =
+         Lincheck.History.bracket "hist" Protocols.Rw_objects.counter_incr_op
+           (let* () = Protocols.Rw_objects.incr t ~me:pid in
+            return Value.unit)
+       in
+       let* _ =
+         Lincheck.History.bracket "hist" Protocols.Rw_objects.counter_read_op
+           (let* v = Protocols.Rw_objects.counter_read t in
+            return (Value.int v))
+       in
+       let* _ =
+         Lincheck.History.bracket "hist" Protocols.Rw_objects.counter_incr_op
+           (let* () = Protocols.Rw_objects.incr t ~me:pid in
+            return Value.unit)
+       in
+       return Value.unit)
+  in
+  run_lincheck_object ~seeds:20
+    ~bindings:(Protocols.Rw_objects.counter_bindings t)
+    ~prog ~spec:Protocols.Rw_objects.counter_seq_spec
+
+let test_max_register_linearizable () =
+  let t = Protocols.Rw_objects.max_reg ~base:"mx" ~n:3 in
+  let prog pid =
+    let open Runtime.Program in
+    complete
+      (let* _ =
+         Lincheck.History.bracket "hist"
+           (Protocols.Rw_objects.max_write_op (10 + pid))
+           (let* () = Protocols.Rw_objects.max_write t ~me:pid (10 + pid) in
+            return Value.unit)
+       in
+       let* _ =
+         Lincheck.History.bracket "hist" Protocols.Rw_objects.max_read_op
+           (let* v = Protocols.Rw_objects.max_read t in
+            return (Value.int v))
+       in
+       return Value.unit)
+  in
+  run_lincheck_object ~seeds:20
+    ~bindings:(Protocols.Rw_objects.max_bindings t)
+    ~prog ~spec:Protocols.Rw_objects.max_seq_spec
+
+let test_counter_and_max_classified_level_one () =
+  (* Both objects' algebras are commute/overwrite, so Herlihy's
+     classifier certifies them at level 1 — consistent with their being
+     r/w-implementable (the classifier needs a bounded state space, so
+     we bound the counter at a modulus for the check). *)
+  let bounded_counter =
+    Memory.Spec.make ~type_name:"counter-mod" ~init:(Value.int 0)
+      ~apply:(fun ~pid:_ s op ->
+        match op with
+        | Value.Sym "incr" ->
+          Ok (Value.int ((Value.as_int s + 1) mod 8), Value.unit)
+        | Value.Sym "read" -> Ok (s, s)
+        | _ -> Error "bad op")
+  in
+  (match
+     Hierarchy.Cons_number.classify bounded_counter
+       ~ops:[ Value.sym "incr"; Value.sym "read" ]
+       ()
+   with
+  | Hierarchy.Cons_number.Level_one -> ()
+  | c ->
+    Alcotest.fail
+      (Fmt.str "counter: %a" Hierarchy.Cons_number.pp_classification c));
+  let bounded_max =
+    Memory.Spec.make ~type_name:"max-mod" ~init:(Value.int 0)
+      ~apply:(fun ~pid:_ s op ->
+        match op with
+        | Value.Pair (Value.Sym "max-write", Value.Int v) ->
+          Ok (Value.int (max (Value.as_int s) (v mod 4)), Value.unit)
+        | Value.Sym "read" -> Ok (s, s)
+        | _ -> Error "bad op")
+  in
+  match
+    Hierarchy.Cons_number.classify bounded_max
+      ~ops:
+        [
+          Protocols.Rw_objects.max_write_op 1;
+          Protocols.Rw_objects.max_write_op 2;
+          Value.sym "read";
+        ]
+      ()
+  with
+  | Hierarchy.Cons_number.Level_one -> ()
+  | c ->
+    Alcotest.fail (Fmt.str "max: %a" Hierarchy.Cons_number.pp_classification c)
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "perm",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "all permutations" `Quick test_all_perms;
+          Alcotest.test_case "rank/unrank examples" `Quick
+            test_rank_unrank_examples;
+          QCheck_alcotest.to_alcotest prop_rank_unrank_roundtrip;
+          Alcotest.test_case "is_prefix" `Quick test_is_prefix;
+        ] );
+      ( "cas-election",
+        [
+          Alcotest.test_case "exhaustive" `Quick test_cas_election_exhaustive;
+          Alcotest.test_case "capacity guard" `Quick
+            test_cas_election_capacity_guard;
+          Alcotest.test_case "crash tolerance" `Quick test_cas_election_crash;
+        ] );
+      ( "bcl-election",
+        [
+          Alcotest.test_case "capacity k-1 (exhaustive)" `Quick
+            test_bcl_capacity;
+          Alcotest.test_case "n = k fails (exhaustive)" `Quick
+            test_bcl_overloaded_fails;
+          Alcotest.test_case "single RMW op per process" `Quick
+            test_bcl_single_op;
+        ] );
+      ( "perm-election",
+        [
+          Alcotest.test_case "reconstruct chains" `Quick
+            test_perm_election_reconstruct_chain;
+          Alcotest.test_case "solo run" `Quick test_perm_election_solo;
+          Alcotest.test_case "random sweep" `Slow test_perm_election_random_sweep;
+          Alcotest.test_case "full capacity k=5" `Quick
+            test_perm_election_full_capacity_k5;
+          QCheck_alcotest.to_alcotest prop_perm_election_crash_subsets;
+          Alcotest.test_case "duplicate perm breaks validity" `Quick
+            test_perm_duplicate_validity_violation;
+        ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "all protocols exhaustive" `Quick
+            test_consensus_exhaustive_suite;
+          Alcotest.test_case "naive r/w fails" `Quick test_naive_rw_fails;
+          Alcotest.test_case "from_cas n=4" `Quick test_consensus_from_cas_n4;
+          Alcotest.test_case "crash tolerance" `Quick
+            test_consensus_crash_tolerance;
+        ] );
+      ( "safe-agreement",
+        [
+          Alcotest.test_case "crash-free runs decide" `Quick
+            test_safe_agreement_crash_free;
+          Alcotest.test_case "safety exhaustive" `Slow
+            test_safe_agreement_safety_exhaustive;
+          Alcotest.test_case "window crash blocks" `Quick
+            test_safe_agreement_blocks_on_window_crash;
+        ] );
+      ( "rw-objects",
+        [
+          Alcotest.test_case "counter sequential" `Quick test_counter_sequential;
+          Alcotest.test_case "counter linearizable" `Slow
+            test_counter_linearizable;
+          Alcotest.test_case "max register linearizable" `Slow
+            test_max_register_linearizable;
+          Alcotest.test_case "classified level 1" `Quick
+            test_counter_and_max_classified_level_one;
+        ] );
+      ( "set-consensus",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial_set_consensus;
+          Alcotest.test_case "trivial guard" `Quick test_trivial_guard;
+          Alcotest.test_case "groups width bound" `Quick
+            test_group_set_consensus;
+          Alcotest.test_case "groups exhaustive" `Quick
+            test_group_set_consensus_exhaustive;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for lib/runtime: the program monad, the engine, schedulers and
+   the exhaustive explorer. *)
+
+module Value = Memory.Value
+module Program = Runtime.Program
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+module Explore = Runtime.Explore
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let counter_spec =
+  Memory.Spec.make ~type_name:"counter" ~init:(Value.int 0)
+    ~apply:(fun ~pid:_ s op ->
+      match op with
+      | Value.Sym "incr" -> Ok (Value.int (Value.as_int s + 1), s)
+      | Value.Sym "read" -> Ok (s, s)
+      | _ -> Error "bad op")
+
+let store () = Memory.Store.create [ ("c", counter_spec) ]
+
+(* --- Program --- *)
+
+let test_run_sequential () =
+  let open Program in
+  let prog =
+    complete
+      (let* old = op "c" (Value.sym "incr") in
+       let* _ = op "c" (Value.sym "incr") in
+       let* now = op "c" (Value.sym "read") in
+       return (Value.pair old now))
+  in
+  match Program.run_sequential (store ()) ~pid:0 prog with
+  | Ok (_, v) -> Alcotest.check value "result" (Value.pair (Value.int 0) (Value.int 2)) v
+  | Error e -> Alcotest.fail e
+
+let test_decide_short_circuits () =
+  let open Program in
+  let prog =
+    complete
+      (let* _ = op "c" (Value.sym "incr") in
+       let* _ = decide (Value.sym "early") in
+       op "c" (Value.sym "incr"))
+  in
+  match Program.run_sequential (store ()) ~pid:0 prog with
+  | Ok (store, v) ->
+    Alcotest.check value "early decision" (Value.sym "early") v;
+    Alcotest.(check (option value)) "only one incr ran" (Some (Value.int 1))
+      (Memory.Store.peek store "c")
+  | Error e -> Alcotest.fail e
+
+let test_list_helpers () =
+  let open Program in
+  let prog =
+    complete
+      (let* () =
+         list_iter
+           (fun _ ->
+             let* _ = op "c" (Value.sym "incr") in
+             return ())
+           [ 1; 2; 3 ]
+       in
+       let* vs = list_map (fun i -> return (Value.int i)) [ 4; 5 ] in
+       let* sum = list_fold (fun acc v -> return (acc + Value.as_int v)) 0 vs in
+       let* now = op "c" (Value.sym "read") in
+       return (Value.pair (Value.int sum) now))
+  in
+  match Program.run_sequential (store ()) ~pid:0 prog with
+  | Ok (_, v) ->
+    Alcotest.check value "fold+iter" (Value.pair (Value.int 9) (Value.int 3)) v
+  | Error e -> Alcotest.fail e
+
+let test_repeat_until () =
+  let open Program in
+  let prog =
+    complete
+      (let* n =
+         repeat_until (fun () ->
+             let* old = op "c" (Value.sym "incr") in
+             if Value.as_int old >= 4 then return (Some (Value.as_int old))
+             else return None)
+       in
+       return (Value.int n))
+  in
+  match Program.run_sequential (store ()) ~pid:0 prog with
+  | Ok (_, v) -> Alcotest.check value "looped to 4" (Value.int 4) v
+  | Error e -> Alcotest.fail e
+
+let test_sequential_error () =
+  let open Program in
+  let prog = complete (op "c" (Value.sym "nonsense")) in
+  match Program.run_sequential (store ()) ~pid:0 prog with
+  | Ok _ -> Alcotest.fail "bad op accepted"
+  | Error _ -> ()
+
+(* --- Engine --- *)
+
+let incr_and_read =
+  let open Program in
+  complete
+    (let* _ = op "c" (Value.sym "incr") in
+     op "c" (Value.sym "read"))
+
+let test_engine_runs_all () =
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let outcome = Engine.run ~sched:(Sched.round_robin ()) config in
+  Alcotest.(check int) "both decided" 2 (List.length outcome.Engine.decisions);
+  Alcotest.(check bool) "no faults" true (outcome.Engine.faults = []);
+  Alcotest.(check int) "four ops" 4 outcome.Engine.steps;
+  (* Under round-robin both increment before either reads. *)
+  List.iter
+    (fun (_, v) -> Alcotest.check value "read 2" (Value.int 2) v)
+    outcome.Engine.decisions
+
+let test_engine_crash () =
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let config = Engine.crash config 0 in
+  let outcome = Engine.run ~sched:(Sched.round_robin ()) config in
+  Alcotest.(check (list int)) "crashed" [ 0 ] outcome.Engine.crashes;
+  Alcotest.(check int) "one decided" 1 (List.length outcome.Engine.decisions)
+
+let test_engine_faulty () =
+  let open Program in
+  let bad = complete (op "c" (Value.sym "nonsense")) in
+  let config = Engine.init (store ()) [ bad ] in
+  let outcome = Engine.run ~sched:(Sched.round_robin ()) config in
+  Alcotest.(check int) "one fault" 1 (List.length outcome.Engine.faults)
+
+let test_engine_step_limit () =
+  let open Program in
+  let rec forever () =
+    let* _ = op "c" (Value.sym "incr") in
+    forever ()
+  in
+  let config = Engine.init (store ()) [ complete (forever ()) ] in
+  let outcome = Engine.run ~max_steps:50 ~sched:(Sched.round_robin ()) config in
+  Alcotest.(check bool) "hit limit" true outcome.Engine.hit_step_limit
+
+let test_trace_order () =
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let outcome = Engine.run ~sched:(Sched.fixed [ 1; 1; 0; 0 ]) config in
+  let trace = Engine.trace outcome.Engine.final in
+  Alcotest.(check (list int)) "pids in schedule order" [ 1; 1; 0; 0 ]
+    (List.map (fun e -> e.Runtime.Trace.pid) trace);
+  Alcotest.(check int) "by_pid" 2
+    (List.length (Runtime.Trace.by_pid trace 0));
+  Alcotest.(check int) "ops_on" 4 (List.length (Runtime.Trace.ops_on trace "c"))
+
+let test_max_steps_per_proc () =
+  let config = Engine.init (store ()) [ incr_and_read ] in
+  let outcome = Engine.run ~sched:(Sched.round_robin ()) config in
+  Alcotest.(check int) "two steps" 2 (Engine.max_steps_per_proc outcome)
+
+(* --- Schedulers --- *)
+
+let test_prioritize_starves () =
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let outcome = Engine.run ~sched:(Sched.prioritize [ 1; 0 ]) config in
+  let trace = Engine.trace outcome.Engine.final in
+  Alcotest.(check (list int)) "pid 1 runs solo first" [ 1; 1; 0; 0 ]
+    (List.map (fun e -> e.Runtime.Trace.pid) trace)
+
+let test_crashing_scheduler () =
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let sched = Sched.crashing ~crashed:[ 0 ] (Sched.round_robin ()) in
+  (* The scheduler starves pid 0 but the engine still sees it running;
+     bound the steps so the run ends. *)
+  let outcome = Engine.run ~max_steps:10 ~sched config in
+  let trace = Engine.trace outcome.Engine.final in
+  Alcotest.(check bool) "pid 1 finished" true
+    (List.mem_assoc 1 outcome.Engine.decisions);
+  (* The wrapper starves pid 0 until only crashed pids remain enabled. *)
+  Alcotest.(check (list int)) "pid 1 first" [ 1; 1; 0; 0 ]
+    (List.map (fun e -> e.Runtime.Trace.pid) trace)
+
+(* --- Explore --- *)
+
+let test_explore_counts_interleavings () =
+  (* Two processes, two ops each: C(4,2) = 6 interleavings. *)
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let stats = Explore.explore config in
+  Alcotest.(check int) "terminals" 6 stats.Explore.terminals;
+  Alcotest.(check int) "none truncated" 0 stats.Explore.truncated
+
+let test_explore_truncation () =
+  let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
+  let stats = Explore.explore ~max_steps:2 config in
+  Alcotest.(check int) "no terminal fits in 2 steps" 0 stats.Explore.terminals;
+  Alcotest.(check bool) "truncated" true (stats.Explore.truncated > 0)
+
+let test_check_all_finds_violation () =
+  let open Program in
+  (* A "protocol" whose outcome depends on schedule: each process reads,
+     then claims victory if it saw 0. *)
+  let racer =
+    complete
+      (let* v = op "c" (Value.sym "incr") in
+       return v)
+  in
+  let config = Engine.init (store ()) [ racer; racer ] in
+  match
+    Explore.check_all config (fun final ->
+        let winners =
+          Array.to_list final.Engine.procs
+          |> List.filter (fun p ->
+                 match Runtime.Proc.decision p with
+                 | Some (Value.Int 0) -> true
+                 | _ -> false)
+        in
+        (* Claim (falsely) that pid 0 always sees 0 first. *)
+        match winners with
+        | [ p ] when p.Runtime.Proc.pid = 0 -> Ok ()
+        | _ -> Error "pid 1 won the race")
+  with
+  | Ok _ -> Alcotest.fail "expected a violating schedule"
+  | Error v ->
+    Alcotest.(check bool) "trace non-empty" true (v.Explore.trace <> [])
+
+let test_decision_sets () =
+  let open Program in
+  let racer = complete (op "c" (Value.sym "incr")) in
+  let config = Engine.init (store ()) [ racer; racer ] in
+  let sets = Explore.decision_sets config in
+  (* Both orders give the decision multiset {0, 1}. *)
+  Alcotest.(check int) "one distinct outcome" 1 (List.length sets)
+
+let test_explore_crash_faults () =
+  let open Program in
+  let one = complete (op "c" (Value.sym "incr")) in
+  let config = Engine.init (store ()) [ one ] in
+  let stats = Explore.explore ~crash_faults:true config in
+  (* Either the process runs (1 terminal) or crashes first (1 terminal). *)
+  Alcotest.(check int) "two terminals" 2 stats.Explore.terminals
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "run_sequential" `Quick test_run_sequential;
+          Alcotest.test_case "decide short-circuits" `Quick
+            test_decide_short_circuits;
+          Alcotest.test_case "list helpers" `Quick test_list_helpers;
+          Alcotest.test_case "repeat_until" `Quick test_repeat_until;
+          Alcotest.test_case "sequential error" `Quick test_sequential_error;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs all to decision" `Quick test_engine_runs_all;
+          Alcotest.test_case "crash removes a process" `Quick test_engine_crash;
+          Alcotest.test_case "bad ops fault the process" `Quick
+            test_engine_faulty;
+          Alcotest.test_case "step limit" `Quick test_engine_step_limit;
+          Alcotest.test_case "trace order" `Quick test_trace_order;
+          Alcotest.test_case "max steps per proc" `Quick
+            test_max_steps_per_proc;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "prioritize starves" `Quick test_prioritize_starves;
+          Alcotest.test_case "crashing wrapper" `Quick test_crashing_scheduler;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "counts interleavings" `Quick
+            test_explore_counts_interleavings;
+          Alcotest.test_case "truncation" `Quick test_explore_truncation;
+          Alcotest.test_case "check_all finds violations" `Quick
+            test_check_all_finds_violation;
+          Alcotest.test_case "decision_sets" `Quick test_decision_sets;
+          Alcotest.test_case "crash faults" `Quick test_explore_crash_faults;
+        ] );
+    ]

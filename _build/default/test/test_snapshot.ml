@@ -1,0 +1,323 @@
+(* Tests for the snapshot substrate: the primitive object and the
+   AADGMS construction from SWMR registers, including a linearizability
+   comparison between the two. *)
+
+module Value = Memory.Value
+module Program = Runtime.Program
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+(* --- primitive snapshot object --- *)
+
+let test_primitive_update_scan () =
+  let open Program in
+  let store =
+    Memory.Store.create [ ("S", Snapshot.Snapshot_obj.spec ~segments:3 ()) ]
+  in
+  let prog =
+    complete
+      (let* () = Snapshot.Snapshot_obj.update "S" ~segment:0 (Value.int 7) in
+       let* v = Snapshot.Snapshot_obj.scan "S" in
+       return (Value.list v))
+  in
+  match Program.run_sequential store ~pid:0 prog with
+  | Ok (_, v) ->
+    Alcotest.check value "scan" (Value.list [ Value.int 7; Value.unit; Value.unit ]) v
+  | Error e -> Alcotest.fail e
+
+let test_primitive_ownership () =
+  let store =
+    Memory.Store.create [ ("S", Snapshot.Snapshot_obj.spec ~segments:2 ()) ]
+  in
+  (match
+     Memory.Store.apply store ~pid:1 "S"
+       (Snapshot.Snapshot_obj.update_op ~segment:0 Value.unit)
+   with
+  | Ok _ -> Alcotest.fail "non-owner update accepted"
+  | Error _ -> ());
+  match
+    Memory.Store.apply store ~pid:1 "S"
+      (Snapshot.Snapshot_obj.update_op ~segment:1 Value.unit)
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_primitive_custom_owners () =
+  let store =
+    Memory.Store.create
+      [ ("S", Snapshot.Snapshot_obj.spec ~segments:2 ~owners:[| 5; 6 |] ()) ]
+  in
+  match
+    Memory.Store.apply store ~pid:5 "S"
+      (Snapshot.Snapshot_obj.update_op ~segment:0 (Value.int 1))
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- AADGMS construction --- *)
+
+let swmr_setup n = Snapshot.Swmr_snapshot.create ~base:"snap" ~owners:(Array.init n (fun i -> i))
+
+let test_swmr_sequential () =
+  let open Program in
+  let t = swmr_setup 3 in
+  let store = Memory.Store.create (Snapshot.Swmr_snapshot.registers t) in
+  let prog =
+    complete
+      (let* () = Snapshot.Swmr_snapshot.update t ~segment:0 (Value.int 1) in
+       let* v1 = Snapshot.Swmr_snapshot.scan t in
+       let* () = Snapshot.Swmr_snapshot.update t ~segment:0 (Value.int 2) in
+       let* v2 = Snapshot.Swmr_snapshot.scan t in
+       return (Value.pair (Value.list v1) (Value.list v2)))
+  in
+  match Program.run_sequential store ~pid:0 prog with
+  | Ok (_, v) ->
+    Alcotest.check value "two scans"
+      (Value.pair
+         (Value.list [ Value.int 1; Value.unit; Value.unit ])
+         (Value.list [ Value.int 2; Value.unit; Value.unit ]))
+      v
+  | Error e -> Alcotest.fail e
+
+(* Concurrent runs: capture scans with the history recorder and check
+   they are linearizable against the primitive snapshot object. *)
+let concurrent_history ~seed =
+  let n = 3 in
+  let t = swmr_setup n in
+  let hist = "hist" in
+  let bindings =
+    (hist, Lincheck.History.recorder_spec ())
+    :: Snapshot.Swmr_snapshot.registers t
+  in
+  let prog pid =
+    let open Program in
+    complete
+      (let* _ =
+         Lincheck.History.bracket hist
+           (Snapshot.Snapshot_obj.update_op ~segment:pid (Value.int (100 + pid)))
+           (let* () =
+              Snapshot.Swmr_snapshot.update t ~segment:pid (Value.int (100 + pid))
+            in
+            return Value.unit)
+       in
+       let* _ =
+         Lincheck.History.bracket hist Snapshot.Snapshot_obj.scan_op
+           (let* v = Snapshot.Swmr_snapshot.scan t in
+            return (Value.list v))
+       in
+       return Value.unit)
+  in
+  let store = Memory.Store.create bindings in
+  let config = Engine.init store (List.init n prog) in
+  let outcome = Engine.run ~sched:(Sched.random ~seed) config in
+  if outcome.Engine.faults <> [] then
+    Alcotest.fail (snd (List.hd outcome.Engine.faults));
+  if outcome.Engine.hit_step_limit then Alcotest.fail "step limit";
+  Lincheck.History.of_store outcome.Engine.final.Engine.store hist
+
+let test_swmr_linearizable () =
+  let spec = Snapshot.Snapshot_obj.spec ~segments:3 () in
+  for seed = 0 to 19 do
+    let history = concurrent_history ~seed in
+    if not (Lincheck.Checker.is_linearizable ~spec history) then
+      Alcotest.fail
+        (Fmt.str "seed %d not linearizable:@.%a" seed Lincheck.History.pp
+           history)
+  done
+
+let test_swmr_wait_free_bound () =
+  (* A scan terminates within O(n²) reads even under adversarial
+     scheduling; check the per-process step bound across seeds. *)
+  let n = 3 in
+  let t = swmr_setup n in
+  let prog pid =
+    let open Program in
+    complete
+      (let* () = Snapshot.Swmr_snapshot.update t ~segment:pid (Value.int pid) in
+       let* _ = Snapshot.Swmr_snapshot.scan t in
+       return Value.unit)
+  in
+  let store = Memory.Store.create (Snapshot.Swmr_snapshot.registers t) in
+  for seed = 0 to 19 do
+    let config = Engine.init store (List.init n prog) in
+    let outcome = Engine.run ~sched:(Sched.random ~seed) config in
+    Alcotest.(check bool) "terminates" false outcome.Engine.hit_step_limit;
+    (* update = scan + write ≤ (2n+1) collects ≈ (2n+1)·n + 2; another
+       scan on top: generous bound 4n² + 6n + 4. *)
+    let bound = (4 * n * n) + (6 * n) + 4 in
+    Alcotest.(check bool)
+      (Printf.sprintf "steps within bound (seed %d)" seed)
+      true
+      (Engine.max_steps_per_proc outcome <= bound)
+  done
+
+let test_swmr_borrowed_view () =
+  (* Force the borrow path: a scanner interleaved with a fast updater
+     must still return a coherent view.  Schedule: p0 starts scanning,
+     p1 completes two full updates in between, p0 finishes. *)
+  let n = 2 in
+  let t = swmr_setup n in
+  let scanner =
+    let open Program in
+    complete
+      (let* v = Snapshot.Swmr_snapshot.scan t in
+       return (Value.list v))
+  in
+  let updater =
+    let open Program in
+    complete
+      (let* () = Snapshot.Swmr_snapshot.update t ~segment:1 (Value.int 1) in
+       let* () = Snapshot.Swmr_snapshot.update t ~segment:1 (Value.int 2) in
+       let* () = Snapshot.Swmr_snapshot.update t ~segment:1 (Value.int 3) in
+       return Value.unit)
+  in
+  let store = Memory.Store.create (Snapshot.Swmr_snapshot.registers t) in
+  for seed = 0 to 29 do
+    let config = Engine.init store [ scanner; updater ] in
+    let outcome = Engine.run ~sched:(Sched.random ~seed) config in
+    match List.assoc_opt 0 outcome.Engine.decisions with
+    | Some (Value.List [ _; v ]) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "coherent segment value (seed %d)" seed)
+        true
+        (List.exists (Value.equal v)
+           [ Value.unit; Value.int 1; Value.int 2; Value.int 3 ])
+    | _ -> Alcotest.fail "scanner did not decide a 2-segment view"
+  done
+
+(* --- MWMR from SWMR (the paper's w.l.o.g. step) --- *)
+
+let test_mwmr_sequential () =
+  let t =
+    Snapshot.Mwmr_from_swmr.create ~base:"mw" ~writers:[| 0; 1 |]
+  in
+  let store = Memory.Store.create (Snapshot.Mwmr_from_swmr.registers t) in
+  let open Program in
+  let prog =
+    complete
+      (let* v0 = Snapshot.Mwmr_from_swmr.read t in
+       let* () = Snapshot.Mwmr_from_swmr.write t ~me:0 (Value.int 5) in
+       let* v1 = Snapshot.Mwmr_from_swmr.read t in
+       return (Value.pair v0 v1))
+  in
+  match Program.run_sequential store ~pid:0 prog with
+  | Ok (_, v) ->
+    Alcotest.check value "before/after" (Value.pair Value.unit (Value.int 5)) v
+  | Error e -> Alcotest.fail e
+
+let test_mwmr_linearizable () =
+  (* Both processes write then read through the construction; the
+     recorded history must linearize against a plain MWMR register. *)
+  let spec = Objects.Register.mwmr ~init:Value.unit () in
+  for seed = 0 to 24 do
+    let t = Snapshot.Mwmr_from_swmr.create ~base:"mw" ~writers:[| 0; 1 |] in
+    let hist = "hist" in
+    let bindings =
+      (hist, Lincheck.History.recorder_spec ())
+      :: Snapshot.Mwmr_from_swmr.registers t
+    in
+    let prog pid =
+      let open Program in
+      complete
+        (let* _ =
+           Lincheck.History.bracket hist
+             (Objects.Register.write_op (Value.int pid))
+             (let* () = Snapshot.Mwmr_from_swmr.write t ~me:pid (Value.int pid) in
+              return Value.unit)
+         in
+         let* _ =
+           Lincheck.History.bracket hist Objects.Register.read_op
+             (Snapshot.Mwmr_from_swmr.read t)
+         in
+         let* _ =
+           Lincheck.History.bracket hist
+             (Objects.Register.write_op (Value.int (10 + pid)))
+             (let* () =
+                Snapshot.Mwmr_from_swmr.write t ~me:pid (Value.int (10 + pid))
+              in
+              return Value.unit)
+         in
+         let* _ =
+           Lincheck.History.bracket hist Objects.Register.read_op
+             (Snapshot.Mwmr_from_swmr.read t)
+         in
+         return Value.unit)
+    in
+    let store = Memory.Store.create bindings in
+    let config = Engine.init store [ prog 0; prog 1 ] in
+    let outcome = Engine.run ~sched:(Sched.random ~seed) config in
+    if outcome.Engine.faults <> [] then
+      Alcotest.fail (snd (List.hd outcome.Engine.faults));
+    let h = Lincheck.History.of_store outcome.Engine.final.Engine.store hist in
+    if not (Lincheck.Checker.is_linearizable ~spec h) then
+      Alcotest.fail
+        (Fmt.str "seed %d not linearizable:@.%a" seed Lincheck.History.pp h)
+  done
+
+let test_mwmr_three_writers () =
+  let spec = Objects.Register.mwmr ~init:Value.unit () in
+  for seed = 0 to 9 do
+    let t =
+      Snapshot.Mwmr_from_swmr.create ~base:"mw" ~writers:[| 0; 1; 2 |]
+    in
+    let hist = "hist" in
+    let bindings =
+      (hist, Lincheck.History.recorder_spec ())
+      :: Snapshot.Mwmr_from_swmr.registers t
+    in
+    let prog pid =
+      let open Program in
+      complete
+        (let* _ =
+           Lincheck.History.bracket hist
+             (Objects.Register.write_op (Value.int pid))
+             (let* () = Snapshot.Mwmr_from_swmr.write t ~me:pid (Value.int pid) in
+              return Value.unit)
+         in
+         let* _ =
+           Lincheck.History.bracket hist Objects.Register.read_op
+             (Snapshot.Mwmr_from_swmr.read t)
+         in
+         return Value.unit)
+    in
+    let store = Memory.Store.create bindings in
+    let config = Engine.init store (List.init 3 prog) in
+    let outcome = Engine.run ~sched:(Sched.random ~seed) config in
+    if outcome.Engine.faults <> [] then
+      Alcotest.fail (snd (List.hd outcome.Engine.faults));
+    let h = Lincheck.History.of_store outcome.Engine.final.Engine.store hist in
+    if not (Lincheck.Checker.is_linearizable ~spec h) then
+      Alcotest.fail (Fmt.str "seed %d not linearizable" seed)
+  done
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "primitive",
+        [
+          Alcotest.test_case "update/scan" `Quick test_primitive_update_scan;
+          Alcotest.test_case "ownership" `Quick test_primitive_ownership;
+          Alcotest.test_case "custom owners" `Quick test_primitive_custom_owners;
+        ] );
+      ( "swmr",
+        [
+          Alcotest.test_case "sequential" `Quick test_swmr_sequential;
+          Alcotest.test_case "linearizable vs primitive" `Slow
+            test_swmr_linearizable;
+          Alcotest.test_case "wait-free step bound" `Quick
+            test_swmr_wait_free_bound;
+          Alcotest.test_case "borrowed views coherent" `Quick
+            test_swmr_borrowed_view;
+        ] );
+      ( "mwmr-from-swmr",
+        [
+          Alcotest.test_case "sequential" `Quick test_mwmr_sequential;
+          Alcotest.test_case "linearizable (2 writers)" `Slow
+            test_mwmr_linearizable;
+          Alcotest.test_case "linearizable (3 writers)" `Slow
+            test_mwmr_three_writers;
+        ] );
+    ]

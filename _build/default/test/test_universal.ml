@@ -1,0 +1,180 @@
+(* Tests for Herlihy's universal construction: sequential behaviour,
+   concurrent linearizability against the implemented spec, helping
+   under crashes, and the agreed log's structure. *)
+
+module Value = Memory.Value
+module Program = Runtime.Program
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let counter_spec =
+  Memory.Spec.make ~type_name:"counter" ~init:(Value.int 0)
+    ~apply:(fun ~pid:_ s op ->
+      match op with
+      | Value.Sym "incr" -> Ok (Value.int (Value.as_int s + 1), s)
+      | Value.Sym "read" -> Ok (s, s)
+      | _ -> Error "bad op")
+
+let test_sequential_counter () =
+  let u =
+    Universal.create ~name:"uc" ~spec:counter_spec ~n:1 ~max_ops:8
+  in
+  let store = Memory.Store.create (Universal.bindings u) in
+  let open Program in
+  let prog =
+    complete
+      (let* a = Universal.invoke u ~pid:0 ~seq:0 (Value.sym "incr") in
+       let* b = Universal.invoke u ~pid:0 ~seq:1 (Value.sym "incr") in
+       let* c = Universal.invoke u ~pid:0 ~seq:2 (Value.sym "read") in
+       return (Value.list [ a; b; c ]))
+  in
+  match Program.run_sequential store ~pid:0 prog with
+  | Ok (store, v) ->
+    Alcotest.check value "responses"
+      (Value.list [ Value.int 0; Value.int 1; Value.int 2 ])
+      v;
+    let u_log = Universal.log_of_store u store in
+    Alcotest.(check int) "three log entries" 3 (List.length u_log)
+  | Error e -> Alcotest.fail e
+
+let concurrent_run ~seed ~n ~spec ~ops_per_proc ~op_of =
+  let u =
+    Universal.create ~name:"u" ~spec ~n ~max_ops:(n * ops_per_proc * 2)
+  in
+  let hist = "hist" in
+  let bindings = (hist, Lincheck.History.recorder_spec ()) :: Universal.bindings u in
+  let prog pid =
+    let open Program in
+    complete
+      (let* _ =
+         Program.list_fold
+           (fun seq op ->
+             let* _ =
+               Lincheck.History.bracket hist op
+                 (Universal.invoke u ~pid ~seq op)
+             in
+             return (seq + 1))
+           0 (op_of pid)
+      in
+      return Value.unit)
+  in
+  let store = Memory.Store.create bindings in
+  let config = Engine.init store (List.init n prog) in
+  let outcome = Engine.run ~max_steps:500_000 ~sched:(Sched.random ~seed) config in
+  (u, outcome, hist)
+
+let test_concurrent_counter_linearizable () =
+  for seed = 0 to 14 do
+    let _, outcome, hist =
+      concurrent_run ~seed ~n:3 ~spec:counter_spec ~ops_per_proc:3
+        ~op_of:(fun _ -> [ Value.sym "incr"; Value.sym "read"; Value.sym "incr" ])
+    in
+    if outcome.Engine.faults <> [] then
+      Alcotest.fail (snd (List.hd outcome.Engine.faults));
+    let h = Lincheck.History.of_store outcome.Engine.final.Engine.store hist in
+    Alcotest.(check int) "9 operations" 9 (List.length h);
+    if not (Lincheck.Checker.is_linearizable ~spec:counter_spec h) then
+      Alcotest.fail (Fmt.str "seed %d: not linearizable@.%a" seed Lincheck.History.pp h)
+  done
+
+let test_concurrent_queue_linearizable () =
+  let qspec = Objects.Queue_obj.spec () in
+  for seed = 0 to 9 do
+    let _, outcome, hist =
+      concurrent_run ~seed ~n:3 ~spec:qspec ~ops_per_proc:2
+        ~op_of:(fun pid ->
+          [ Objects.Queue_obj.enq_op (Value.int pid); Objects.Queue_obj.deq_op ])
+    in
+    if outcome.Engine.faults <> [] then
+      Alcotest.fail (snd (List.hd outcome.Engine.faults));
+    let h = Lincheck.History.of_store outcome.Engine.final.Engine.store hist in
+    if not (Lincheck.Checker.is_linearizable ~spec:qspec h) then
+      Alcotest.fail (Fmt.str "seed %d: not linearizable@.%a" seed Lincheck.History.pp h)
+  done
+
+let test_log_has_no_duplicates () =
+  for seed = 0 to 9 do
+    let u, outcome, _ =
+      concurrent_run ~seed ~n:3 ~spec:counter_spec ~ops_per_proc:2
+        ~op_of:(fun _ -> [ Value.sym "incr"; Value.sym "incr" ])
+    in
+    let log = Universal.log_of_store u outcome.Engine.final.Engine.store in
+    let keys = List.map (fun (p, s, _) -> (p, s)) log in
+    Alcotest.(check int)
+      (Printf.sprintf "log size (seed %d)" seed)
+      6 (List.length log);
+    Alcotest.(check int) "no duplicates" 6
+      (List.length (List.sort_uniq compare keys))
+  done
+
+let test_crashed_process_does_not_block () =
+  (* Crash pid 0 before it takes any step; the others must still finish
+     (helping means no one ever waits on a specific process). *)
+  let u = Universal.create ~name:"u" ~spec:counter_spec ~n:3 ~max_ops:16 in
+  let prog pid =
+    let open Program in
+    complete
+      (let* v = Universal.invoke u ~pid ~seq:0 (Value.sym "incr") in
+       return v)
+  in
+  let store = Memory.Store.create (Universal.bindings u) in
+  let config = Engine.init store (List.init 3 prog) in
+  let config = Engine.crash config 0 in
+  let sched = Sched.crashing ~crashed:[ 0 ] (Sched.random ~seed:5) in
+  let outcome = Engine.run ~max_steps:100_000 ~sched config in
+  Alcotest.(check int) "two survivors decided" 2
+    (List.length outcome.Engine.decisions);
+  Alcotest.(check bool) "no faults" true (outcome.Engine.faults = [])
+
+let test_helping_completes_announced_op () =
+  (* pid 1 announces and performs exactly one cell round; even if pid 1
+     is then starved, pid 0's subsequent operations keep deciding cells,
+     and within n cells pid 1's op enters the log via helping. *)
+  let u = Universal.create ~name:"u" ~spec:counter_spec ~n:2 ~max_ops:16 in
+  let p0 =
+    let open Program in
+    complete
+      (let* _ = Universal.invoke u ~pid:0 ~seq:0 (Value.sym "incr") in
+       let* _ = Universal.invoke u ~pid:0 ~seq:1 (Value.sym "incr") in
+       let* _ = Universal.invoke u ~pid:0 ~seq:2 (Value.sym "incr") in
+       return Value.unit)
+  in
+  let p1 =
+    let open Program in
+    complete
+      (let* _ = Universal.invoke u ~pid:1 ~seq:0 (Value.sym "incr") in
+       return Value.unit)
+  in
+  let store = Memory.Store.create (Universal.bindings u) in
+  let config = Engine.init store [ p0; p1 ] in
+  (* Let pid 1 announce and propose once, then starve it. *)
+  let config = Engine.step (Engine.step config 1) 1 in
+  let outcome =
+    Engine.run ~max_steps:100_000 ~sched:(Sched.prioritize [ 0; 1 ]) config
+  in
+  ignore outcome;
+  let log = Universal.log_of_store u outcome.Engine.final.Engine.store in
+  Alcotest.(check bool) "pid 1's op is in the log" true
+    (List.exists (fun (p, _, _) -> p = 1) log)
+
+let () =
+  Alcotest.run "universal"
+    [
+      ( "universal",
+        [
+          Alcotest.test_case "sequential counter" `Quick test_sequential_counter;
+          Alcotest.test_case "concurrent counter linearizable" `Slow
+            test_concurrent_counter_linearizable;
+          Alcotest.test_case "concurrent queue linearizable" `Slow
+            test_concurrent_queue_linearizable;
+          Alcotest.test_case "log has no duplicates" `Quick
+            test_log_has_no_duplicates;
+          Alcotest.test_case "crashed process does not block" `Quick
+            test_crashed_process_does_not_block;
+          Alcotest.test_case "helping completes announced ops" `Quick
+            test_helping_completes_announced_op;
+        ] );
+    ]
