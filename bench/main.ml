@@ -70,11 +70,13 @@ let e2_bcl () =
     (fun k ->
       let fits =
         match
-          Protocols.Election.explore_all
+          Protocols.Election.explore_stats
             (Protocols.Bcl_election.instance ~k ~n:(k - 1))
             ~max_steps:50
         with
-        | Ok t -> Printf.sprintf "ok (%d schedules)" t
+        | Ok s ->
+          Printf.sprintf "ok (%d sched, %d cps)" s.Runtime.Explore.terminals
+            s.Runtime.Explore.choice_points
         | Error _ -> "FAIL"
       in
       let breaks =
@@ -475,14 +477,54 @@ let micro_benchmarks () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, o) ->
       match Analyze.OLS.estimates o with
-      | Some (ns :: _) -> Printf.printf "%-45s %14.1f ns/run\n" name ns
-      | _ -> Printf.printf "%-45s %14s\n" name "n/a")
+      | Some (ns :: _) ->
+        Printf.printf "%-45s %14.1f ns/run\n" name ns;
+        Some (name, ns)
+      | _ ->
+        Printf.printf "%-45s %14s\n" name "n/a";
+        None)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable artifacts: alongside the tables above, emit        *)
+(* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
+(* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
+(* diff runs without scraping stdout.  LEPOWER_BENCH_DIR overrides the *)
+(* output directory (default: the current directory).                  *)
+
+let bench_dir () =
+  match Sys.getenv_opt "LEPOWER_BENCH_DIR" with
+  | Some dir when dir <> "" -> dir
+  | _ -> "."
+
+let write_bench_json micro_rows =
+  let module Json = Lepower_obs.Json in
+  let dir = bench_dir () in
+  let micro_path = Filename.concat dir "BENCH_micro.json" in
+  Lepower_obs.Export.write_json micro_path
+    (Json.Obj
+       [
+         ("source", Json.String "bench/main.exe");
+         ("unit", Json.String "ns/run");
+         ( "benchmarks",
+           Json.Obj
+             (List.map (fun (name, ns) -> (name, Json.Float ns)) micro_rows) );
+       ]);
+  let counters_path = Filename.concat dir "BENCH_counters.json" in
+  Lepower_obs.Export.write_json counters_path
+    (Lepower_obs.Export.metrics_json
+       ~meta:[ ("source", Json.String "bench/main.exe") ]
+       ());
+  Printf.printf "\nmetrics JSON: %s, %s\n" micro_path counters_path
+
 let () =
+  (* Counters on for the whole harness: the experiment tables double as a
+     workload that exercises every instrumented hot path, and the final
+     snapshot records exactly how much work each experiment drove. *)
+  Lepower_obs.Metrics.enable ();
   e1_capacity ();
   e2_bcl ();
   e3_game ();
@@ -494,5 +536,6 @@ let () =
   e9_multi_register ();
   e10_provisioning ();
   a1_ablations ();
-  micro_benchmarks ();
+  let micro_rows = micro_benchmarks () in
+  write_bench_json micro_rows;
   print_newline ()

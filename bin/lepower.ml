@@ -2,10 +2,15 @@
 
    Subcommands:
      elect      run a leader-election protocol and report the outcome
+     explore    exhaustively check an election over every interleaving
      emulate    run the Afek-Stupp reduction on a workload
      hierarchy  print the consensus-number table
      game       play the Lemma 1.1 move/jump game
-     bounds     print the paper's closed-form bounds for a range of k *)
+     bounds     print the paper's closed-form bounds for a range of k
+
+   Every run-producing subcommand takes --trace-out FILE (Chrome trace
+   JSON: shared-memory operations + spans, loadable in chrome://tracing)
+   and --metrics-out FILE (a Lepower_obs metrics snapshot). *)
 
 open Cmdliner
 
@@ -14,6 +19,68 @@ let k_arg =
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler random seed.")
+
+(* --- observability flags --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome-trace-format JSON of the run (shared-memory \
+           operations and timing spans) to $(docv); load it in \
+           chrome://tracing or ui.perfetto.dev.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON snapshot of all runtime metrics (counters, gauges, \
+           histograms) to $(docv) after the run.")
+
+(* Run [f] with the observability subsystems the flags ask for enabled,
+   then write the requested artifacts.  [f] returns the exit code and the
+   execution trace to export (oldest first), if the subcommand has one. *)
+let with_obs ~trace_out ~metrics_out (f : unit -> int * Runtime.Trace.t option)
+    =
+  if trace_out <> None then Lepower_obs.Span.enable ();
+  if metrics_out <> None then Lepower_obs.Metrics.enable ();
+  let code, trace = f () in
+  (* A bad output path must not look like a protocol failure: report it
+     as a plain CLI error after the run itself already completed. *)
+  let write what path writer =
+    try
+      writer path;
+      Printf.printf "%s written to %s\n" what path;
+      0
+    with Sys_error e ->
+      Printf.eprintf "lepower: cannot write %s: %s\n" what e;
+      1
+  in
+  let metrics_code =
+    Option.fold ~none:0
+      ~some:(fun path ->
+        write "metrics snapshot" path (fun path ->
+            Lepower_obs.Export.write_json path
+              (Lepower_obs.Export.metrics_json
+                 ~meta:[ ("source", Lepower_obs.Json.String "lepower") ]
+                 ())))
+      metrics_out
+  in
+  let trace_code =
+    Option.fold ~none:0
+      ~some:(fun path ->
+        write "chrome trace" path (fun path ->
+            Runtime.Trace_export.write_chrome
+              ~spans:(Lepower_obs.Span.completed ())
+              path
+              (Option.value ~default:[] trace)))
+      trace_out
+  in
+  max code (max metrics_code trace_code)
 
 (* --- elect --- *)
 
@@ -39,44 +106,96 @@ let elect_crash =
     & info [ "crash" ] ~doc:"Crash the lowest-numbered $(docv) processes."
         ~docv:"COUNT")
 
-let elect k seed protocol n crash =
-  let instance =
-    match protocol with
-    | `Perm ->
-      let n = Option.value ~default:(Protocols.Perm.factorial (k - 1)) n in
-      Protocols.Permutation_election.instance ~k ~n
-    | `Cas ->
-      let n = Option.value ~default:(k - 1) n in
-      Protocols.Cas_election.instance ~k ~n
-    | `Bcl ->
-      let n = Option.value ~default:(k - 1) n in
-      Protocols.Bcl_election.instance ~k ~n
-    | `Multi ->
-      let ks = [ k; max 2 (k - 1) ] in
-      let n =
-        Option.value ~default:(Protocols.Multi_election.capacity ~ks) n
-      in
-      Protocols.Multi_election.instance ~ks ~n
-  in
+let election_instance ~k ~n protocol =
+  match protocol with
+  | `Perm ->
+    let n = Option.value ~default:(Protocols.Perm.factorial (k - 1)) n in
+    Protocols.Permutation_election.instance ~k ~n
+  | `Cas ->
+    let n = Option.value ~default:(k - 1) n in
+    Protocols.Cas_election.instance ~k ~n
+  | `Bcl ->
+    let n = Option.value ~default:(k - 1) n in
+    Protocols.Bcl_election.instance ~k ~n
+  | `Multi ->
+    let ks = [ k; max 2 (k - 1) ] in
+    let n = Option.value ~default:(Protocols.Multi_election.capacity ~ks) n in
+    Protocols.Multi_election.instance ~ks ~n
+
+let elect k seed protocol n crash trace_out metrics_out =
+  let instance = election_instance ~k ~n protocol in
   Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
-  let result =
-    if crash = 0 then Protocols.Election.run_random instance ~seed
-    else
-      Protocols.Election.run_with_crashes instance ~seed
-        ~crashed:(List.init crash (fun i -> i))
-  in
-  match result with
-  | Ok leader ->
-    Printf.printf "leader: %d\n" leader;
-    0
-  | Error e ->
-    Printf.printf "violation: %s\n" e;
-    1
+  with_obs ~trace_out ~metrics_out (fun () ->
+      let result =
+        if crash = 0 then
+          Protocols.Election.run instance
+            ~sched:(Runtime.Sched.random ~seed)
+        else
+          Protocols.Election.run_with_crashes_outcome instance ~seed
+            ~crashed:(List.init crash (fun i -> i))
+      in
+      match result with
+      | Ok outcome ->
+        let trace =
+          Runtime.Engine.trace outcome.Runtime.Engine.final
+        in
+        (match Protocols.Election.leader_of outcome with
+        | Some leader ->
+          Format.printf "leader: %a@." Memory.Value.pp leader;
+          (0, Some trace)
+        | None ->
+          (* Everyone crashed before deciding: vacuously consistent. *)
+          print_endline "no survivor decided";
+          (0, Some trace))
+      | Error e ->
+        Printf.printf "violation: %s\n" e;
+        (1, None))
 
 let elect_cmd =
   Cmd.v
     (Cmd.info "elect" ~doc:"Run a leader-election protocol.")
-    Term.(const elect $ k_arg $ seed_arg $ elect_protocol $ elect_n $ elect_crash)
+    Term.(
+      const elect $ k_arg $ seed_arg $ elect_protocol $ elect_n $ elect_crash
+      $ trace_out_arg $ metrics_out_arg)
+
+(* --- explore --- *)
+
+let explore_max_steps =
+  Arg.(
+    value & opt int 50
+    & info [ "max-steps" ]
+        ~doc:"Per-execution step bound for the exhaustive search.")
+
+let explore k protocol n max_steps trace_out metrics_out =
+  let instance = election_instance ~k ~n protocol in
+  Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
+  with_obs ~trace_out ~metrics_out (fun () ->
+      match Protocols.Election.explore_stats instance ~max_steps with
+      | Ok stats ->
+        Printf.printf "schedules (terminals): %d\n"
+          stats.Runtime.Explore.terminals;
+        Printf.printf "truncated:             %d\n"
+          stats.Runtime.Explore.truncated;
+        Printf.printf "max depth:             %d\n"
+          stats.Runtime.Explore.max_depth;
+        Printf.printf "choice points:         %d\n"
+          stats.Runtime.Explore.choice_points;
+        Printf.printf "configs visited:       %d\n"
+          stats.Runtime.Explore.configs_visited;
+        (0, None)
+      | Error e ->
+        Printf.printf "violation: %s\n" e;
+        (1, None))
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively check a leader election over every interleaving and \
+          report the schedule-space statistics (small instances only).")
+    Term.(
+      const explore $ k_arg $ elect_protocol $ elect_n $ explore_max_steps
+      $ trace_out_arg $ metrics_out_arg)
 
 (* --- emulate --- *)
 
@@ -106,13 +225,14 @@ let emulate_dump_tree =
     & info [ "dump-tree" ]
         ~doc:"Print the final history structure T (Fig. 1) after the run.")
 
-let emulate k seed workload vps schedule dump_tree =
+let emulate k seed workload vps schedule dump_tree trace_out metrics_out =
   let alg =
     match workload with
     | `Overcap -> Core.Workloads.over_capacity_cas_election ~k ~num_vps:vps
     | `Cycling -> Core.Workloads.cycling ~k ~rounds:1 ~num_vps:vps
   in
   let params = Core.Emulation.small_params ~k in
+  with_obs ~trace_out ~metrics_out @@ fun () ->
   let r = Core.Reduction.check ~seed ~schedule alg params in
   Format.printf "%a@." Core.Reduction.pp_report r;
   let s = Core.Emulation.stats r.Core.Reduction.outcome.Core.Emulation.final in
@@ -132,14 +252,14 @@ let emulate k seed workload vps schedule dump_tree =
   if dump_tree then
     Format.printf "@.history structure T:@.%a" Core.History_tree.pp
       (Core.Emulation.shared_tree r.Core.Reduction.outcome.Core.Emulation.final);
-  if r.Core.Reduction.width <= r.Core.Reduction.max_width then 0 else 1
+  ((if r.Core.Reduction.width <= r.Core.Reduction.max_width then 0 else 1), None)
 
 let emulate_cmd =
   Cmd.v
     (Cmd.info "emulate" ~doc:"Run the Afek-Stupp reduction on a workload.")
     Term.(
       const emulate $ k_arg $ seed_arg $ emulate_workload $ emulate_vps
-      $ emulate_schedule $ emulate_dump_tree)
+      $ emulate_schedule $ emulate_dump_tree $ trace_out_arg $ metrics_out_arg)
 
 (* --- hierarchy --- *)
 
@@ -158,39 +278,41 @@ let hierarchy_cmd =
 
 let game_m = Arg.(value & opt int 2 & info [ "m" ] ~doc:"Number of agents.")
 
-let game m k seed =
+let game m k seed metrics_out =
+  with_obs ~trace_out:None ~metrics_out @@ fun () ->
   let greedy, exact, bound = Game.Search.strategy_gap ~m ~k ~seed in
   Printf.printf "m=%d k=%d: greedy=%d exact=%d bound(m^k)=%d\n" m k greedy
     exact bound;
-  if exact <= bound || m = 1 then 0 else 1
+  ((if exact <= bound || m = 1 then 0 else 1), None)
 
 let game_cmd =
   Cmd.v
     (Cmd.info "game" ~doc:"Play the Lemma 1.1 move/jump game.")
-    Term.(const game $ game_m $ k_arg $ seed_arg)
+    Term.(const game $ game_m $ k_arg $ seed_arg $ metrics_out_arg)
 
 (* --- rename --- *)
 
 let rename_n =
   Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.")
 
-let rename n seed =
+let rename n seed trace_out metrics_out =
+  with_obs ~trace_out ~metrics_out @@ fun () ->
   let instance = Protocols.Splitter.renaming ~n in
   match Protocols.Splitter.run_random instance ~seed with
   | Ok names ->
     Printf.printf "names (by pid): %s  (space: %d)\n"
       (String.concat ", " (List.map string_of_int names))
       instance.Protocols.Splitter.name_space;
-    0
+    (0, None)
   | Error e ->
     Printf.printf "violation: %s\n" e;
-    1
+    (1, None)
 
 let rename_cmd =
   Cmd.v
     (Cmd.info "rename"
        ~doc:"One-shot renaming from r/w registers (Moir-Anderson splitters).")
-    Term.(const rename $ rename_n $ seed_arg)
+    Term.(const rename $ rename_n $ seed_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- bounds --- *)
 
@@ -224,6 +346,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            elect_cmd; emulate_cmd; hierarchy_cmd; game_cmd; rename_cmd;
-            bounds_cmd;
+            elect_cmd; explore_cmd; emulate_cmd; hierarchy_cmd; game_cmd;
+            rename_cmd; bounds_cmd;
           ]))

@@ -1,0 +1,20 @@
+(* Strictly parse each file named on the command line with
+   [Lepower_obs.Json] and fail loudly on the first malformed one.  The
+   root @check alias runs this over the telemetry artifacts a smoke
+   `lepower elect` run exports, so a regression in either exporter or
+   parser breaks the build rather than shipping unloadable JSON. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then (
+    prerr_endline "usage: validate_json FILE...";
+    exit 2);
+  List.iter
+    (fun path ->
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      match Lepower_obs.Json.of_string contents with
+      | Ok _ -> Printf.printf "valid JSON: %s\n" path
+      | Error e ->
+        Printf.eprintf "invalid JSON in %s: %s\n" path e;
+        exit 1)
+    files

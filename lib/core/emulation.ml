@@ -2,6 +2,19 @@ module Value = Memory.Value
 module Program = Runtime.Program
 module Imap = Map.Make (Int)
 module Smap = Map.Make (String)
+module Obs = Lepower_obs
+
+(* Observability mirrors of [stats] — aggregated across every emulation
+   in the process, no-ops unless Lepower_obs.Metrics is enabled. *)
+let m_iterations = Obs.Metrics.counter "emulation.iterations"
+let m_simple_ops = Obs.Metrics.counter "emulation.simple_ops"
+let m_suspensions = Obs.Metrics.counter "emulation.suspensions"
+let m_releases = Obs.Metrics.counter "emulation.releases"
+let m_attaches = Obs.Metrics.counter "emulation.attaches"
+let m_splits = Obs.Metrics.counter "emulation.splits"
+let m_stalls = Obs.Metrics.counter "emulation.stall_events"
+let m_decisions = Obs.Metrics.counter "emulation.decisions"
+let m_rounds = Obs.Metrics.counter "emulation.staleview_rounds"
 
 type algorithm = {
   name : string;
@@ -612,8 +625,10 @@ let step_inner view t j =
         e.vps None
     in
     let bump (f : stats -> stats) t = { t with stats = f t.stats } in
+    Obs.Metrics.incr m_iterations;
     match decided_value with
     | Some value ->
+      Obs.Metrics.incr m_decisions;
       bump
         (fun (s : stats) -> { s with iterations = s.iterations + 1 })
         (log
@@ -623,6 +638,7 @@ let step_inner view t j =
       let t = set_emu t j e in
       let t, e, suspended_now = suspend_batches (List.length h) t j e label' in
       let t = set_emu t j e in
+      Obs.Metrics.incr m_suspensions ~by:suspended_now;
       let count_base (s : stats) =
         { s with
           iterations = s.iterations + 1;
@@ -638,22 +654,28 @@ let step_inner view t j =
           | None -> (t, e, made)
       in
       let t, e, simple_made = simple_burst t e t.params.simple_burst 0 in
-      if simple_made > 0 then
+      if simple_made > 0 then begin
+        Obs.Metrics.incr m_simple_ops ~by:simple_made;
         bump (fun s -> { (count_base s) with simple_ops = s.simple_ops + simple_made }) t
+      end
       else
         match
           if t.params.disable_rebalance then None
           else try_rebalance h t j e label'
         with
         | Some (t, _) ->
+          Obs.Metrics.incr m_releases;
           bump (fun s -> { (count_base s) with releases = s.releases + 1 }) t
         | None -> (
           match try_update view h cs t j e label' with
           | t, _, `Attached ->
+            Obs.Metrics.incr m_attaches;
             bump (fun s -> { (count_base s) with attaches = s.attaches + 1 }) t
           | t, _, `Split ->
+            Obs.Metrics.incr m_splits;
             bump (fun s -> { (count_base s) with splits = s.splits + 1 }) t
           | t, e, `Stuck _ ->
+            Obs.Metrics.incr m_stalls;
             let t = set_emu t j { e with stalled = true } in
             bump
               (fun s ->
@@ -706,6 +728,13 @@ let progress_key t =
     t.stats.splits,
     Array.to_list t.emus |> List.map (fun (e : emu_state) -> e.decided <> None) )
 
+let span_args t =
+  [
+    ("alg", Obs.Json.String t.alg.name);
+    ("k", Obs.Json.Int t.alg.k);
+    ("m", Obs.Json.Int t.params.m);
+  ]
+
 let run_generic ~choose ?(max_iterations = 100_000) t =
   let rec go t no_progress =
     match undecided t with
@@ -722,7 +751,7 @@ let run_generic ~choose ?(max_iterations = 100_000) t =
         in
         go t no_progress
   in
-  go t 0
+  Obs.Span.with_span "emulation.run" ~args:(span_args t) (fun () -> go t 0)
 
 let run ?(seed = 0) ?max_iterations t =
   let rng = Random.State.make [| seed |] in
@@ -751,6 +780,7 @@ let run_staleview ?(max_rounds = 10_000) t =
       else
         let view = t in
         let before = progress_key t in
+        Obs.Metrics.incr m_rounds;
         let t =
           List.fold_left (fun t j -> plan view ~emu:j t) t pending
         in
@@ -759,4 +789,5 @@ let run_staleview ?(max_rounds = 10_000) t =
         in
         go t no_progress (rounds + 1)
   in
-  go t 0 0
+  Obs.Span.with_span "emulation.run_staleview" ~args:(span_args t) (fun () ->
+      go t 0 0)

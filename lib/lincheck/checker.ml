@@ -1,5 +1,9 @@
 module Value = Memory.Value
 
+let m_checks = Lepower_obs.Metrics.counter "lincheck.checks"
+let m_memo_hits = Lepower_obs.Metrics.counter "lincheck.memo_hits"
+let m_memo_misses = Lepower_obs.Metrics.counter "lincheck.memo_misses"
+
 type result =
   | Linearizable of History.operation list
   | Not_linearizable
@@ -14,6 +18,10 @@ end
 module Memo = Hashtbl.Make (Key)
 
 let check ~spec history =
+  Lepower_obs.Metrics.incr m_checks;
+  Lepower_obs.Span.with_span "lincheck.check"
+    ~args:[ ("ops", Lepower_obs.Json.Int (List.length history)) ]
+  @@ fun () ->
   let ops = Array.of_list history in
   let n = Array.length ops in
   let done_ = Array.make n false in
@@ -27,8 +35,12 @@ let check ~spec history =
     if count = n then Some (List.rev placed)
     else
       let key = (Array.copy done_, state) in
-      if Memo.mem visited key then None
+      if Memo.mem visited key then begin
+        Lepower_obs.Metrics.incr m_memo_hits;
+        None
+      end
       else begin
+        Lepower_obs.Metrics.incr m_memo_misses;
         Memo.add visited key ();
         let rec try_ops i =
           if i >= n then None

@@ -8,7 +8,12 @@
 
     The search is exponential in the worst case but fast on the short
     histories our tests generate; visited (done-set, state) pairs are
-    memoized. *)
+    memoized.
+
+    Observability: [check] is wrapped in a ["lincheck.check"]
+    {!Lepower_obs.Span} and maintains the [lincheck.checks] /
+    [lincheck.memo_hits] / [lincheck.memo_misses] counters when
+    {!Lepower_obs.Metrics} is enabled. *)
 
 module Value := Memory.Value
 

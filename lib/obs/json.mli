@@ -1,0 +1,35 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability layer must emit machine-readable artifacts (JSONL
+    event streams, Chrome-trace files, metrics snapshots) and the test
+    suite must round-trip them, without adding a dependency the container
+    may not have.  This module is deliberately small: a value tree, a
+    compact printer, and a strict recursive-descent parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats render as
+    [null] — JSON has no NaN/infinity. *)
+
+val to_channel : out_channel -> t -> unit
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document: trailing garbage, trailing
+    commas and unterminated constructs are errors.  [\uXXXX] escapes are
+    decoded to UTF-8 (surrogate pairs included). *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Obj] field order is significant. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key], if any;
+    [None] on non-objects. *)

@@ -1,0 +1,170 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+let num_buckets = 33 (* <=1, <=2, ..., <=2^31, overflow *)
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let is_enabled () = !on
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0. } in
+    Hashtbl.add gauges name g;
+    g
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_count = 0;
+        h_sum = 0.;
+        h_min = 0.;
+        h_max = 0.;
+        h_buckets = Array.make num_buckets 0;
+      }
+    in
+    Hashtbl.add histograms name h;
+    h
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- 0.;
+      h.h_max <- 0.;
+      Array.fill h.h_buckets 0 num_buckets 0)
+    histograms
+
+let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+let set g v = if !on then g.g_value <- v
+
+let bucket_index v =
+  let rec go i bound =
+    if i >= num_buckets - 1 || v <= bound then i else go (i + 1) (bound *. 2.)
+  in
+  go 0 1.0
+
+let observe h v =
+  if !on then begin
+    if h.h_count = 0 || v < h.h_min then h.h_min <- v;
+    if h.h_count = 0 || v > h.h_max then h.h_max <- v;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  end
+
+let value c = c.c_value
+let gauge_value g = g.g_value
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let histogram_stats h =
+  let buckets = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      let bound =
+        if i = num_buckets - 1 then infinity else Float.of_int (1 lsl i)
+      in
+      buckets := (bound, h.h_buckets.(i)) :: !buckets
+  done;
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    buckets = !buckets;
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun _ x acc -> f x :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters (fun c -> (c.c_name, c.c_value));
+    gauges = sorted_bindings gauges (fun g -> (g.g_name, g.g_value));
+    histograms =
+      sorted_bindings histograms (fun h -> (h.h_name, histogram_stats h));
+  }
+
+let histogram_stats_to_json (s : histogram_stats) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ( "mean",
+        if s.count = 0 then Json.Null
+        else Json.Float (s.sum /. Float.of_int s.count) );
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (bound, count) ->
+               Json.Obj
+                 [
+                   ( "le",
+                     if Float.is_finite bound then Json.Float bound
+                     else Json.String "+inf" );
+                   ("count", Json.Int count);
+                 ])
+             s.buckets) );
+    ]
+
+let snapshot_to_json (s : snapshot) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) s.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, st) -> (name, histogram_stats_to_json st))
+             s.histograms) );
+    ]

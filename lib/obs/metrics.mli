@@ -1,0 +1,67 @@
+(** Counters, gauges and histograms — zero cost when disabled.
+
+    The paper's claims are quantitative (step counts, schedule-space
+    sizes, capacity ladders), so the runtime's hot paths carry permanent
+    instrumentation points.  Each metric is a registered mutable cell;
+    every mutation first reads one global flag, so with the subsystem
+    disabled (the default) an instrumented hot path costs a load and a
+    branch — nothing is allocated, formatted or stored.
+
+    Metrics live in a global registry keyed by name: requesting an
+    existing name returns the same cell, so modules can declare their
+    instruments at top level and tests can look the values up by name. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create the counter registered under this name. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+(** {1 Global switch} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+(** Guard for instrumentation whose {e argument computation} is not free
+    (e.g. classifying an operation before picking a counter).  Plain
+    [incr]/[set]/[observe] already check the flag themselves. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (the registry itself is kept). *)
+
+(** {1 Mutation — no-ops while disabled} *)
+
+val incr : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val value : counter -> int
+val gauge_value : gauge -> float
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** 0 when empty *)
+  max : float;
+  buckets : (float * int) list;
+      (** (inclusive upper bound, observations <= bound), powers of two
+          starting at 1.0; the last bucket is [infinity] (overflow). Only
+          non-empty buckets are listed. *)
+}
+
+val histogram_stats : histogram -> histogram_stats
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+
+val snapshot : unit -> snapshot
+val snapshot_to_json : snapshot -> Json.t

@@ -1,0 +1,58 @@
+type completed = {
+  name : string;
+  start_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type sink = completed -> unit
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let is_enabled () = !on
+
+let buffer : completed list ref = ref [] (* newest first *)
+let custom_sink : sink option ref = ref None
+let set_sink s = custom_sink := s
+
+let epoch = Unix.gettimeofday ()
+
+let now_us =
+  let last = ref 0. in
+  fun () ->
+    let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+    if t > !last then last := t;
+    !last
+
+let emit span =
+  match !custom_sink with
+  | Some f -> f span
+  | None -> buffer := span :: !buffer
+
+let with_span ?(tid = 0) ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let start_us = now_us () in
+    let finish () =
+      emit { name; start_us; dur_us = now_us () -. start_us; tid; args }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let instant ?(tid = 0) ?(args = []) name =
+  if !on then emit { name; start_us = now_us (); dur_us = 0.; tid; args }
+
+let completed () =
+  List.sort
+    (fun a b -> Float.compare a.start_us b.start_us)
+    (List.rev !buffer)
+
+let reset () = buffer := []

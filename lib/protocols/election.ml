@@ -94,7 +94,7 @@ let leader_int_exn outcome =
 let run_random t ~seed =
   Result.map leader_int_exn (run t ~sched:(Sched.random ~seed))
 
-let run_with_crashes t ~seed ~crashed =
+let run_with_crashes_outcome t ~seed ~crashed =
   let sched = Sched.crashing ~crashed (Sched.random ~seed) in
   let config =
     List.fold_left (fun c pid -> Engine.crash c pid) (config t) crashed
@@ -103,18 +103,28 @@ let run_with_crashes t ~seed ~crashed =
     Engine.run ~max_steps:(t.step_bound * t.n * 2 + 1000) ~sched config
   in
   match check_outcome t outcome with
-  | Ok () -> (
+  | Ok () -> Ok outcome
+  | Error _ as e -> e
+
+let run_with_crashes t ~seed ~crashed =
+  match run_with_crashes_outcome t ~seed ~crashed with
+  | Error _ as e -> e
+  | Ok outcome -> (
     match leader_of outcome with
     | Some (Value.Int i) -> Ok i
     | Some _ | None -> Error "no survivor decided")
-  | Error _ as e -> e
 
-let explore_all t ~max_steps =
+let explore_stats t ~max_steps =
   match
     Runtime.Explore.check_all ~max_steps (config t) (check_config t)
   with
-  | Ok stats -> Ok stats.Runtime.Explore.terminals
+  | Ok stats -> Ok stats
   | Error v ->
     Error
       (Fmt.str "%s@.counterexample schedule:@.%a" v.Runtime.Explore.message
          Runtime.Trace.pp v.Runtime.Explore.trace)
+
+let explore_all t ~max_steps =
+  Result.map
+    (fun (stats : Runtime.Explore.stats) -> stats.Runtime.Explore.terminals)
+    (explore_stats t ~max_steps)

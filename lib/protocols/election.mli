@@ -47,9 +47,22 @@ val run_with_crashes :
 (** Crash the given pids at the start (they never take a step); the
     survivors must still elect among themselves. *)
 
+val run_with_crashes_outcome :
+  instance ->
+  seed:int ->
+  crashed:int list ->
+  (Runtime.Engine.outcome, string) result
+(** Like {!run_with_crashes} but returning the whole checked outcome —
+    the CLI uses it to export the execution trace. *)
+
 val explore_all : instance -> max_steps:int -> (int, string) result
 (** Exhaustively check every interleaving (small instances only).
     Returns the number of complete executions enumerated. *)
+
+val explore_stats :
+  instance -> max_steps:int -> (Runtime.Explore.stats, string) result
+(** Like {!explore_all} but returning the full exploration statistics
+    (terminals, truncations, choice points, configurations visited). *)
 
 val leader_of : Runtime.Engine.outcome -> Value.t option
 (** The common decision, if any process decided. *)

@@ -1,4 +1,14 @@
 module Value = Memory.Value
+module Obs = Lepower_obs
+
+(* Instrumentation points (no-ops unless Lepower_obs.Metrics is enabled). *)
+let m_steps = Obs.Metrics.counter "engine.steps"
+let m_store_ops = Obs.Metrics.counter "engine.store_ops"
+let m_cas_success = Obs.Metrics.counter "engine.cas_success"
+let m_cas_failure = Obs.Metrics.counter "engine.cas_failure"
+let m_faults = Obs.Metrics.counter "engine.faults"
+let m_runs = Obs.Metrics.counter "engine.runs"
+let h_steps_per_proc = Obs.Metrics.histogram "engine.steps_per_proc"
 
 type config = {
   store : Memory.Store.t;
@@ -26,19 +36,34 @@ let set_proc config pid proc =
 let step config pid =
   let proc = config.procs.(pid) in
   if not (Proc.is_running proc) then config
-  else
+  else begin
+    Obs.Metrics.incr m_steps;
     match proc.Proc.prog with
     | Program.Done v ->
       set_proc config pid { proc with status = Proc.Decided v }
     | Program.Step (loc, o, k) -> (
       match Memory.Store.apply config.store ~pid loc o with
       | Error msg ->
+        Obs.Metrics.incr m_faults;
         set_proc config pid { proc with status = Proc.Faulty msg }
       | Ok (store, result) ->
+        if Obs.Metrics.is_enabled () then begin
+          Obs.Metrics.incr m_store_ops;
+          (* A compare&swap succeeds iff it returns its expected value and
+             actually changes the state (the alphabet-reading cas with
+             expected = desired is a read, not a successful swap). *)
+          match o with
+          | Value.Pair (Value.Sym "cas", Value.Pair (expected, desired)) ->
+            if Value.equal result expected && not (Value.equal expected desired)
+            then Obs.Metrics.incr m_cas_success
+            else Obs.Metrics.incr m_cas_failure
+          | _ -> ()
+        end;
         let event = { Trace.time = config.time; pid; loc; op = o; result } in
         let proc' =
           match k result with
           | exception Value.Type_error (want, got) ->
+            Obs.Metrics.incr m_faults;
             {
               proc with
               Proc.status =
@@ -59,6 +84,7 @@ let step config pid =
         in
         let config = set_proc config pid proc' in
         { config with store; time = config.time + 1; trace = event :: config.trace })
+  end
 
 let crash config pid =
   let proc = config.procs.(pid) in
@@ -106,7 +132,21 @@ let run ?(max_steps = 1_000_000) ~sched config =
         let pid = sched.Sched.choose ~time:config.time ~enabled:pids in
         go (step config pid)
   in
-  go config
+  Obs.Metrics.incr m_runs;
+  Obs.Span.with_span "engine.run"
+    ~args:
+      [
+        ("procs", Obs.Json.Int (Array.length config.procs));
+        ("sched", Obs.Json.String sched.Sched.name);
+      ]
+    (fun () ->
+      let outcome = go config in
+      if Obs.Metrics.is_enabled () then
+        Array.iter
+          (fun (p : Proc.t) ->
+            Obs.Metrics.observe h_steps_per_proc (Float.of_int p.Proc.steps))
+          outcome.final.procs;
+      outcome)
 
 let distinct_decisions outcome =
   List.fold_left

@@ -8,7 +8,12 @@ type config = {
   store : Memory.Store.t;
   procs : Proc.t array;
   time : int;
-  trace : Trace.event list;  (** newest first; see {!trace} *)
+  trace : Trace.event list;
+      (** {b Reverse} chronological order — the event consed by the most
+          recent [step] is at the head.  This is the raw accumulator;
+          every consumer that wants the linearization order (pretty
+          printers, {!Trace_export}'s JSONL/Chrome writers, checkers)
+          must go through {!trace}, which reverses it. *)
 }
 
 val init : Memory.Store.t -> Program.prim list -> config
@@ -26,7 +31,9 @@ val crash : config -> int -> config
 (** Fail-stop a process (adversary move). *)
 
 val trace : config -> Trace.t
-(** The linearization order, oldest first. *)
+(** The linearization order, {b oldest first} (chronological) — the
+    reverse of the [trace] field's accumulation order.  This is the
+    order {!Trace_export} serializes. *)
 
 (** Result of a completed run. *)
 type outcome = {
@@ -43,7 +50,13 @@ val run : ?max_steps:int -> sched:Sched.t -> config -> outcome
     (default 1_000_000) operations have been performed.  Hitting the limit
     with live processes sets [hit_step_limit] — for a wait-free protocol
     under a fair scheduler this indicates a bug and tests treat it as
-    failure. *)
+    failure.
+
+    Observability: the whole run is wrapped in a ["engine.run"]
+    {!Lepower_obs.Span}, and [step] maintains the [engine.*] counters
+    (steps, store ops, cas successes/failures, faults) plus the
+    [engine.steps_per_proc] histogram — all no-ops unless
+    {!Lepower_obs.Metrics.enable} / {!Lepower_obs.Span.enable} ran. *)
 
 val distinct_decisions : outcome -> Memory.Value.t list
 (** Deduplicated decision values, in first-decided order. *)

@@ -1,30 +1,64 @@
-type stats = { terminals : int; truncated : int; max_depth : int }
+type stats = {
+  terminals : int;
+  truncated : int;
+  max_depth : int;
+  choice_points : int;
+  configs_visited : int;
+}
 
 exception Stop_exploration
 
+let m_configs = Lepower_obs.Metrics.counter "explore.configs_visited"
+let m_choice_points = Lepower_obs.Metrics.counter "explore.choice_points"
+let m_terminals = Lepower_obs.Metrics.counter "explore.terminals"
+let m_truncated = Lepower_obs.Metrics.counter "explore.truncated"
+
 let explore ?(max_steps = 10_000) ?(crash_faults = false) ?on_terminal
     ?on_truncated config =
-  let terminals = ref 0 and truncated = ref 0 and max_depth = ref 0 in
+  let terminals = ref 0
+  and truncated = ref 0
+  and max_depth = ref 0
+  and choice_points = ref 0
+  and configs_visited = ref 0 in
   let emit hook n config =
     incr n;
     match hook with None -> () | Some f -> f config
   in
   let rec go config depth =
     if depth > !max_depth then max_depth := depth;
+    incr configs_visited;
+    Lepower_obs.Metrics.incr m_configs;
     match Engine.enabled config with
     | [] -> emit on_terminal terminals config
     | pids when depth >= max_steps ->
       ignore pids;
       emit on_truncated truncated config
     | pids ->
+      (* A choice point is a configuration where the adversary has more
+         than one move: several enabled processes, or (with crash faults)
+         the step/crash alternative for even a single process. *)
+      if (match pids with _ :: _ :: _ -> true | _ -> crash_faults) then begin
+        incr choice_points;
+        Lepower_obs.Metrics.incr m_choice_points
+      end;
       List.iter
         (fun pid ->
           go (Engine.step config pid) (depth + 1);
           if crash_faults then go (Engine.crash config pid) depth)
         pids
   in
-  go config 0;
-  { terminals = !terminals; truncated = !truncated; max_depth = !max_depth }
+  Lepower_obs.Span.with_span "explore.explore"
+    ~args:[ ("max_steps", Lepower_obs.Json.Int max_steps) ]
+    (fun () -> go config 0);
+  Lepower_obs.Metrics.incr m_terminals ~by:!terminals;
+  Lepower_obs.Metrics.incr m_truncated ~by:!truncated;
+  {
+    terminals = !terminals;
+    truncated = !truncated;
+    max_depth = !max_depth;
+    choice_points = !choice_points;
+    configs_visited = !configs_visited;
+  }
 
 type violation = { trace : Trace.t; message : string }
 

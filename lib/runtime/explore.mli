@@ -13,6 +13,13 @@ type stats = {
   terminals : int;  (** complete executions enumerated *)
   truncated : int;  (** executions cut off by the step bound *)
   max_depth : int;
+  choice_points : int;
+      (** configurations where the adversary had more than one move
+          (≥ 2 enabled processes, or any enabled process when
+          [crash_faults] adds the step/crash alternative) *)
+  configs_visited : int;
+      (** total configurations visited by the depth-first walk, interior
+          and terminal — the size of the explored schedule tree *)
 }
 
 val explore :
@@ -25,7 +32,12 @@ val explore :
 (** [max_steps] bounds each execution's length (default 10_000 — effectively
     unbounded for wait-free protocols on small instances).  When
     [crash_faults] is true (default false), at every choice point each
-    running process may also crash, multiplying the schedule space. *)
+    running process may also crash, multiplying the schedule space.
+
+    Observability: wrapped in an ["explore.explore"]
+    {!Lepower_obs.Span}; maintains the [explore.*] counters
+    (configs_visited, choice_points, terminals, truncated) when
+    {!Lepower_obs.Metrics} is enabled. *)
 
 (** {1 Ready-made whole-space checks} *)
 

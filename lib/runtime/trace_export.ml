@@ -1,0 +1,44 @@
+module Json = Lepower_obs.Json
+module Value = Memory.Value
+
+let chrome_event (e : Trace.event) =
+  Json.Obj
+    [
+      ("name", Json.String e.Trace.loc);
+      ("cat", Json.String "op");
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Float.of_int e.Trace.time));
+      ("dur", Json.Float 1.);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.Trace.pid);
+      ( "args",
+        Json.Obj
+          [
+            ("op", Json.String (Value.to_string e.Trace.op));
+            ("result", Json.String (Value.to_string e.Trace.result));
+            ("time", Json.Int e.Trace.time);
+          ] );
+    ]
+
+let jsonl_event (e : Trace.event) =
+  Json.Obj
+    [
+      ("type", Json.String "op");
+      ("time", Json.Int e.Trace.time);
+      ("pid", Json.Int e.Trace.pid);
+      ("loc", Json.String e.Trace.loc);
+      ("op", Json.String (Value.to_string e.Trace.op));
+      ("result", Json.String (Value.to_string e.Trace.result));
+    ]
+
+let jsonl t = List.map jsonl_event t
+
+let chrome ?(spans = []) t =
+  Lepower_obs.Export.chrome_of_events
+    (List.map chrome_event t
+    @ List.map Lepower_obs.Export.span_to_chrome spans)
+
+let write_chrome ?spans path t =
+  Lepower_obs.Export.write_json path (chrome ?spans t)
+
+let write_jsonl path t = Lepower_obs.Export.write_jsonl path (jsonl t)

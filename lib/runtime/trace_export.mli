@@ -1,0 +1,36 @@
+(** Serialize execution traces ({!Trace.t}) to JSONL and Chrome trace
+    format.
+
+    {b Ordering contract}: every function here consumes a {!Trace.t} in
+    the {e oldest-first} (chronological) order produced by
+    {!Engine.trace}.  Do {b not} feed the raw [Engine.config.trace]
+    field — that accumulator is newest-first, and serializing it
+    directly would emit a time-reversed trace.
+
+    In Chrome trace output, shared-memory operations are placed in
+    process lane [pid = 1] ("logical time": [ts] is the global step
+    number, one microsecond per step, [dur = 1]) with one thread lane
+    [tid] per process.  Wall-clock {!Lepower_obs.Span} events live in
+    lane [pid = 0].  The two clocks are unrelated; the lanes keep them
+    visually separate in [chrome://tracing]. *)
+
+val chrome_event : Trace.event -> Lepower_obs.Json.t
+(** One complete ("X") trace event in lane [pid = 1]. *)
+
+val jsonl_event : Trace.event -> Lepower_obs.Json.t
+(** JSONL form: [{"type":"op","time":...,"pid":...,"loc":...,
+    "op":...,"result":...}].  [op] and [result] use
+    {!Memory.Value.to_string} notation. *)
+
+val jsonl : Trace.t -> Lepower_obs.Json.t list
+(** One document per event, chronological. *)
+
+val chrome :
+  ?spans:Lepower_obs.Span.completed list -> Trace.t -> Lepower_obs.Json.t
+(** A full Chrome trace document combining the execution's
+    shared-memory operations with any collected spans. *)
+
+val write_chrome :
+  ?spans:Lepower_obs.Span.completed list -> string -> Trace.t -> unit
+
+val write_jsonl : string -> Trace.t -> unit

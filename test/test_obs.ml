@@ -1,0 +1,315 @@
+(* Tests for the observability layer (Lepower_obs) and its runtime
+   integration: JSON round-trips, JSONL and Chrome-trace exports, and
+   exact counter values on a deterministic election run. *)
+
+module Json = Lepower_obs.Json
+module Metrics = Lepower_obs.Metrics
+module Span = Lepower_obs.Span
+module Export = Lepower_obs.Export
+module Engine = Runtime.Engine
+module Sched = Runtime.Sched
+module Trace = Runtime.Trace
+
+let json : Json.t Alcotest.testable = Alcotest.testable Json.pp Json.equal
+
+(* Every test starts from a clean slate: counters zeroed, spans dropped,
+   both subsystems off.  (Alcotest runs cases sequentially, so the global
+   registry is safe to share.) *)
+let fresh () =
+  Metrics.reset ();
+  Metrics.disable ();
+  Span.reset ();
+  Span.disable ();
+  Span.set_sink None
+
+(* --- Json --- *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+      ("int", Json.Int (-42));
+      ("float", Json.Float 2.5);
+      ("string", Json.String "a \"quoted\"\nline\twith \\ specials");
+      ( "nested",
+        Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]
+      );
+    ]
+
+let test_json_round_trip () =
+  match Json.of_string (Json.to_string sample) with
+  | Ok parsed -> Alcotest.check json "round-trip" sample parsed
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_escapes () =
+  match Json.of_string {|{"a":"Aé€😀","b":[1,-2.5e3,true,null]}|} with
+  | Ok v ->
+    Alcotest.(check (option string))
+      "unicode escapes decode to UTF-8"
+      (Some "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80")
+      (match Json.member "a" v with
+      | Some (Json.String s) -> Some s
+      | _ -> None);
+    Alcotest.(check bool)
+      "numbers parse" true
+      (match Json.member "b" v with
+      | Some (Json.List [ Json.Int 1; Json.Float f; Json.Bool true; Json.Null ])
+        ->
+        f = -2500.
+      | _ -> false)
+  | Error e -> Alcotest.fail e
+
+let test_json_rejects_garbage () =
+  let bad = [ "{"; "[1,]"; "{} trailing"; "\"unterminated"; "nul"; "" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+(* --- metrics --- *)
+
+let test_counters_disabled_are_noops () =
+  fresh ();
+  let c = Metrics.counter "test.noop" in
+  Metrics.incr c;
+  Metrics.incr c ~by:10;
+  Alcotest.(check int) "disabled counter unchanged" 0 (Metrics.value c);
+  Metrics.enable ();
+  Metrics.incr c;
+  Alcotest.(check int) "enabled counter counts" 1 (Metrics.value c)
+
+let test_histogram_stats () =
+  fresh ();
+  Metrics.enable ();
+  let h = Metrics.histogram "test.histo" in
+  List.iter (Metrics.observe h) [ 0.5; 3.; 100. ];
+  let s = Metrics.histogram_stats h in
+  Alcotest.(check int) "count" 3 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 103.5 s.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 0.5 s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 100. s.Metrics.max;
+  (* 0.5 <= 1, 3 <= 4, 100 <= 128: three distinct non-empty buckets. *)
+  Alcotest.(check int) "buckets" 3 (List.length s.Metrics.buckets)
+
+let test_metrics_snapshot_json () =
+  fresh ();
+  Metrics.enable ();
+  Metrics.incr (Metrics.counter "test.snap") ~by:7;
+  Metrics.set (Metrics.gauge "test.gauge") 1.5;
+  let doc = Export.metrics_json ~meta:[ ("run", Json.String "t") ] () in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check (option int))
+      "counter in snapshot" (Some 7)
+      (match Json.member "counters" parsed with
+      | Some counters -> (
+        match Json.member "test.snap" counters with
+        | Some (Json.Int v) -> Some v
+        | _ -> None)
+      | None -> None)
+
+(* --- spans --- *)
+
+let test_spans_buffer_and_sink () =
+  fresh ();
+  (* Disabled: thunk runs, nothing recorded. *)
+  Alcotest.(check int) "disabled span is transparent" 3
+    (Span.with_span "t.off" (fun () -> 3));
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Span.completed ()));
+  Span.enable ();
+  let v =
+    Span.with_span "t.outer" (fun () ->
+        Span.with_span "t.inner" (fun () -> ());
+        41 + 1)
+  in
+  Alcotest.(check int) "value passes through" 42 v;
+  let spans = Span.completed () in
+  (* Start timestamps can tie at microsecond granularity, so compare
+     as a set rather than relying on the start-time sort order. *)
+  Alcotest.(check (list string))
+    "both spans recorded" [ "t.inner"; "t.outer" ]
+    (List.sort String.compare (List.map (fun s -> s.Span.name) spans));
+  List.iter
+    (fun (s : Span.completed) ->
+      Alcotest.(check bool) "duration non-negative" true (s.Span.dur_us >= 0.))
+    spans;
+  (* A custom sink redirects the stream. *)
+  let seen = ref [] in
+  Span.set_sink (Some (fun s -> seen := s.Span.name :: !seen));
+  Span.with_span "t.sinked" (fun () -> ());
+  Span.set_sink None;
+  Alcotest.(check (list string)) "sink saw the span" [ "t.sinked" ] !seen
+
+(* --- a deterministic 2-process election, counters exact --- *)
+
+let election_outcome () =
+  let instance = Protocols.Cas_election.instance ~k:3 ~n:2 in
+  match Protocols.Election.run instance ~sched:(Sched.round_robin ()) with
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.fail e
+
+let test_election_counters_exact () =
+  fresh ();
+  Metrics.enable ();
+  let outcome = election_outcome () in
+  let trace = Engine.trace outcome.Engine.final in
+  let steps = outcome.Engine.steps in
+  Alcotest.(check bool) "run did something" true (steps > 0);
+  Alcotest.(check int) "trace length = steps" steps (Trace.length trace);
+  Alcotest.(check int) "engine.steps" steps
+    (Metrics.value (Metrics.counter "engine.steps"));
+  Alcotest.(check int) "engine.store_ops" steps
+    (Metrics.value (Metrics.counter "engine.store_ops"));
+  Alcotest.(check int) "engine.runs" 1
+    (Metrics.value (Metrics.counter "engine.runs"));
+  Alcotest.(check int) "engine.faults" 0
+    (Metrics.value (Metrics.counter "engine.faults"));
+  (* Re-derive cas success/failure from the trace and demand exact
+     agreement with the hot-path classification. *)
+  let successes, failures =
+    List.fold_left
+      (fun (s, f) (e : Trace.event) ->
+        match e.Trace.op with
+        | Memory.Value.Pair
+            (Memory.Value.Sym "cas", Memory.Value.Pair (expected, desired)) ->
+          if
+            Memory.Value.equal e.Trace.result expected
+            && not (Memory.Value.equal expected desired)
+          then (s + 1, f)
+          else (s, f + 1)
+        | _ -> (s, f))
+      (0, 0) trace
+  in
+  Alcotest.(check bool) "some cas op happened" true (successes + failures > 0);
+  Alcotest.(check int) "engine.cas_success" successes
+    (Metrics.value (Metrics.counter "engine.cas_success"));
+  Alcotest.(check int) "engine.cas_failure" failures
+    (Metrics.value (Metrics.counter "engine.cas_failure"));
+  let h = Metrics.histogram_stats (Metrics.histogram "engine.steps_per_proc") in
+  Alcotest.(check int) "steps_per_proc observations" 2 h.Metrics.count;
+  Alcotest.(check (float 1e-9)) "steps_per_proc sum" (Float.of_int steps)
+    h.Metrics.sum
+
+let test_explore_counters_match_stats () =
+  fresh ();
+  Metrics.enable ();
+  let instance = Protocols.Cas_election.instance ~k:3 ~n:2 in
+  match Protocols.Election.explore_stats instance ~max_steps:50 with
+  | Error e -> Alcotest.fail e
+  | Ok stats ->
+    Alcotest.(check int) "configs counter = stats"
+      stats.Runtime.Explore.configs_visited
+      (Metrics.value (Metrics.counter "explore.configs_visited"));
+    Alcotest.(check int) "choice-point counter = stats"
+      stats.Runtime.Explore.choice_points
+      (Metrics.value (Metrics.counter "explore.choice_points"));
+    Alcotest.(check int) "terminals counter = stats"
+      stats.Runtime.Explore.terminals
+      (Metrics.value (Metrics.counter "explore.terminals"))
+
+(* --- exporters on a real run --- *)
+
+let test_trace_jsonl_round_trip () =
+  fresh ();
+  let outcome = election_outcome () in
+  let trace = Engine.trace outcome.Engine.final in
+  let docs = Runtime.Trace_export.jsonl trace in
+  Alcotest.(check int) "one line per event" (Trace.length trace)
+    (List.length docs);
+  (* Every line survives print -> parse, chronologically. *)
+  List.iteri
+    (fun i doc ->
+      match Json.of_string (Json.to_string doc) with
+      | Error e -> Alcotest.fail e
+      | Ok parsed ->
+        Alcotest.check json "line round-trips" doc parsed;
+        Alcotest.(check (option int))
+          "chronological (oldest first)" (Some i)
+          (match Json.member "time" parsed with
+          | Some (Json.Int t) -> Some t
+          | _ -> None))
+    docs;
+  (* And through a file. *)
+  let path = Filename.temp_file "lepower_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.write_jsonl path docs;
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+      in
+      Alcotest.(check int) "file line count" (List.length docs)
+        (List.length lines);
+      List.iter2
+        (fun doc line ->
+          match Json.of_string line with
+          | Ok parsed -> Alcotest.check json "file line parses" doc parsed
+          | Error e -> Alcotest.fail e)
+        docs lines)
+
+let test_chrome_trace_well_formed () =
+  fresh ();
+  Span.enable ();
+  let outcome = election_outcome () in
+  let trace = Engine.trace outcome.Engine.final in
+  let spans = Span.completed () in
+  Alcotest.(check bool) "engine.run span collected" true
+    (List.exists (fun s -> s.Span.name = "engine.run") spans);
+  let doc = Runtime.Trace_export.chrome ~spans trace in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed -> (
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List events) ->
+      Alcotest.(check int) "ops + spans all exported"
+        (Trace.length trace + List.length spans)
+        (List.length events);
+      List.iter
+        (fun ev ->
+          Alcotest.(check bool) "complete-event fields present" true
+            (Json.member "name" ev <> None
+            && Json.member "ph" ev = Some (Json.String "X")
+            && Json.member "ts" ev <> None
+            && Json.member "dur" ev <> None
+            && Json.member "pid" ev <> None
+            && Json.member "tid" ev <> None))
+        events
+    | _ -> Alcotest.fail "traceEvents missing or not a list")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_counters_disabled_are_noops;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "snapshot json" `Quick test_metrics_snapshot_json;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "buffer and sink" `Quick
+            test_spans_buffer_and_sink;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "election counters exact" `Quick
+            test_election_counters_exact;
+          Alcotest.test_case "explore counters match stats" `Quick
+            test_explore_counters_match_stats;
+          Alcotest.test_case "trace JSONL round-trip" `Quick
+            test_trace_jsonl_round_trip;
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_chrome_trace_well_formed;
+        ] );
+    ]

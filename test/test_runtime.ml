@@ -181,7 +181,12 @@ let test_explore_counts_interleavings () =
   let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
   let stats = Explore.explore config in
   Alcotest.(check int) "terminals" 6 stats.Explore.terminals;
-  Alcotest.(check int) "none truncated" 0 stats.Explore.truncated
+  Alcotest.(check int) "none truncated" 0 stats.Explore.truncated;
+  (* Nodes of the schedule tree: prefixes with a <= 2 steps of p0 and
+     b <= 2 of p1, i.e. sum of C(a+b, a) = 19; the 5 with a, b < 2 have
+     both processes enabled and are choice points. *)
+  Alcotest.(check int) "configs visited" 19 stats.Explore.configs_visited;
+  Alcotest.(check int) "choice points" 5 stats.Explore.choice_points
 
 let test_explore_truncation () =
   let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
@@ -231,7 +236,11 @@ let test_explore_crash_faults () =
   let config = Engine.init (store ()) [ one ] in
   let stats = Explore.explore ~crash_faults:true config in
   (* Either the process runs (1 terminal) or crashes first (1 terminal). *)
-  Alcotest.(check int) "two terminals" 2 stats.Explore.terminals
+  Alcotest.(check int) "two terminals" 2 stats.Explore.terminals;
+  (* With crash faults even a single enabled process is a choice point
+     (step or crash); root + both terminals = 3 configurations. *)
+  Alcotest.(check int) "one choice point" 1 stats.Explore.choice_points;
+  Alcotest.(check int) "three configs" 3 stats.Explore.configs_visited
 
 let () =
   Alcotest.run "runtime"
