@@ -3,6 +3,7 @@
    Subcommands:
      elect      run a leader-election protocol and report the outcome
      explore    exhaustively check an election over every interleaving
+     lint       run the Lepower_check analyzers over a protocol or fixture
      emulate    run the Afek-Stupp reduction on a workload
      hierarchy  print the consensus-number table
      game       play the Lemma 1.1 move/jump game
@@ -197,6 +198,129 @@ let explore_cmd =
       const explore $ k_arg $ elect_protocol $ elect_n $ explore_max_steps
       $ trace_out_arg $ metrics_out_arg)
 
+(* --- lint --- *)
+
+let lint_subject =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("perm", `Perm); ("cas", `Cas); ("bcl", `Bcl); ("multi", `Multi);
+             ("all", `All); ("fixtures", `Fixtures);
+             ("broken-swmr", `Broken_swmr); ("broken-cas", `Broken_cas);
+             ("spin", `Spin);
+           ])
+        `All
+    & info [ "protocol" ]
+        ~doc:
+          "What to lint: an election protocol (perm, cas, bcl, multi), all \
+           of them (all), every seeded-bug fixture (fixtures), or one \
+           fixture (broken-swmr, broken-cas, spin).")
+
+let lint_rules =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "rules" ] ~docv:"RULE,..."
+        ~doc:
+          "Keep only findings whose rule name is listed (e.g. \
+           swmr-discipline,bounded-value,wait-freedom).  Default: all \
+           rules.")
+
+let lint_jsonl_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the findings and per-subject summaries as JSONL (one \
+           strict JSON document per line) to $(docv).")
+
+let lint_seeds =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seeds" ]
+        ~doc:
+          "Force sampled-schedule mode with this many seeded runs \
+           (default: exhaustive when the instance is small enough, else \
+           64 samples).")
+
+let lint_exhaustive =
+  Arg.(
+    value & flag
+    & info [ "exhaustive" ]
+        ~doc:"Force exhaustive interleaving exploration (small instances \
+              only).")
+
+let lint_max_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~doc:"Per-execution step cap override.")
+
+let lint_targets ~k ~n subject =
+  let open Lepower_check in
+  let protocols subjects =
+    List.map (fun p -> Lint.target_of_instance (election_instance ~k ~n p))
+      subjects
+  in
+  match subject with
+  | `Perm -> protocols [ `Perm ]
+  | `Cas -> protocols [ `Cas ]
+  | `Bcl -> protocols [ `Bcl ]
+  | `Multi -> protocols [ `Multi ]
+  | `All -> protocols [ `Cas; `Bcl; `Perm; `Multi ]
+  | `Fixtures -> Lint.fixtures ()
+  | `Broken_swmr -> [ Lint.broken_swmr_fixture () ]
+  | `Broken_cas -> [ Lint.broken_cas_fixture () ]
+  | `Spin -> [ Lint.spin_fixture () ]
+
+let lint k n subject rules seeds exhaustive max_steps jsonl_out metrics_out =
+  let open Lepower_check in
+  with_obs ~trace_out:None ~metrics_out @@ fun () ->
+  let mode =
+    if exhaustive then Some Lint.Exhaustive
+    else Option.map (fun s -> Lint.Sample s) seeds
+  in
+  let reports =
+    List.map
+      (fun t -> Lint.lint ?mode ?rules ?max_steps t)
+      (lint_targets ~k ~n subject)
+  in
+  List.iter (fun r -> Format.printf "%a@.@." Report.pp r) reports;
+  let code =
+    Option.fold ~none:0
+      ~some:(fun path ->
+        try
+          Report.write_jsonl path reports;
+          Printf.printf "findings written to %s\n" path;
+          0
+        with Sys_error e ->
+          Printf.eprintf "lepower: cannot write findings: %s\n" e;
+          2)
+      jsonl_out
+  in
+  let clean = List.for_all Report.ok reports in
+  if not clean then
+    Printf.printf "lint: %d of %d subjects have findings\n"
+      (List.length (List.filter (fun r -> not (Report.ok r)) reports))
+      (List.length reports);
+  (max code (if clean then 0 else 1), None)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the Lepower_check analysis pass (trace discipline, \
+          bounded-value, wait-freedom audit) over election protocols or \
+          the seeded-bug fixtures; exit nonzero when any finding is \
+          reported.")
+    Term.(
+      const lint $ k_arg $ elect_n $ lint_subject $ lint_rules $ lint_seeds
+      $ lint_exhaustive $ lint_max_steps $ lint_jsonl_out $ metrics_out_arg)
+
 (* --- emulate --- *)
 
 let emulate_workload =
@@ -249,10 +373,23 @@ let emulate k seed workload vps schedule dump_tree trace_out metrics_out =
         (fun v -> Format.printf "audit %s: %a@." name Core.Invariants.pp_violation v)
         violations)
     (Core.Invariants.all r.Core.Reduction.outcome.Core.Emulation.final);
+  (* The same history structures, through the lint pipeline: every active
+     label's constructed Σ-history must satisfy the space bound. *)
+  let findings =
+    Lepower_check.Emulation_check.check
+      r.Core.Reduction.outcome.Core.Emulation.final
+  in
+  List.iter
+    (fun f -> Format.printf "lint: %a@." Lepower_check.Finding.pp f)
+    findings;
   if dump_tree then
     Format.printf "@.history structure T:@.%a" Core.History_tree.pp
       (Core.Emulation.shared_tree r.Core.Reduction.outcome.Core.Emulation.final);
-  ((if r.Core.Reduction.width <= r.Core.Reduction.max_width then 0 else 1), None)
+  let ok =
+    r.Core.Reduction.width <= r.Core.Reduction.max_width
+    && not (List.exists Lepower_check.Finding.is_reportable findings)
+  in
+  ((if ok then 0 else 1), None)
 
 let emulate_cmd =
   Cmd.v
@@ -346,6 +483,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            elect_cmd; explore_cmd; emulate_cmd; hierarchy_cmd; game_cmd;
-            rename_cmd; bounds_cmd;
+            elect_cmd; explore_cmd; lint_cmd; emulate_cmd; hierarchy_cmd;
+            game_cmd; rename_cmd; bounds_cmd;
           ]))

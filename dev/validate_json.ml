@@ -1,20 +1,55 @@
 (* Strictly parse each file named on the command line with
    [Lepower_obs.Json] and fail loudly on the first malformed one.  The
    root @check alias runs this over the telemetry artifacts a smoke
-   `lepower elect` run exports, so a regression in either exporter or
-   parser breaks the build rather than shipping unloadable JSON. *)
+   `lepower elect` run exports — and, with [--jsonl], over the lint
+   findings stream `lepower lint` writes — so a regression in an
+   exporter or the parser breaks the build rather than shipping
+   unloadable JSON.
+
+   Modes:
+     validate_json FILE...          each file is one JSON document
+     validate_json --jsonl FILE...  each non-empty line of each file is
+                                    one JSON document; an empty file is
+                                    an error (a lint run always writes
+                                    at least its summary record) *)
+
+let validate_document path contents =
+  match Lepower_obs.Json.of_string contents with
+  | Ok _ -> Printf.printf "valid JSON: %s\n" path
+  | Error e ->
+    Printf.eprintf "invalid JSON in %s: %s\n" path e;
+    exit 1
+
+let validate_jsonl path contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then (
+    Printf.eprintf "invalid JSONL in %s: no documents\n" path;
+    exit 1);
+  List.iteri
+    (fun i line ->
+      match Lepower_obs.Json.of_string line with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.eprintf "invalid JSONL in %s, line %d: %s\n" path (i + 1) e;
+        exit 1)
+    lines;
+  Printf.printf "valid JSONL: %s (%d documents)\n" path (List.length lines)
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let jsonl, files =
+    match args with
+    | "--jsonl" :: rest -> (true, rest)
+    | _ -> (false, args)
+  in
   if files = [] then (
-    prerr_endline "usage: validate_json FILE...";
+    prerr_endline "usage: validate_json [--jsonl] FILE...";
     exit 2);
   List.iter
     (fun path ->
       let contents = In_channel.with_open_text path In_channel.input_all in
-      match Lepower_obs.Json.of_string contents with
-      | Ok _ -> Printf.printf "valid JSON: %s\n" path
-      | Error e ->
-        Printf.eprintf "invalid JSON in %s: %s\n" path e;
-        exit 1)
+      (if jsonl then validate_jsonl else validate_document) path contents)
     files

@@ -1,0 +1,182 @@
+module Value = Memory.Value
+module Trace = Runtime.Trace
+module Sigma = Core.Sigma
+module Label = Core.Label
+
+(* "cas(7)" -> Some 7 *)
+let cas_size type_name =
+  if String.length type_name > 5 && String.sub type_name 0 4 = "cas(" then
+    int_of_string_opt (String.sub type_name 4 (String.length type_name - 5))
+  else None
+
+let check_history ?label ~k ~loc history =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (match history with
+  | [] | Sigma.Bot :: _ -> ()
+  | s :: _ ->
+    add
+      (Finding.v ~rule:"sigma-history" ~loc
+         "history starts at %s, not at ⊥" (Sigma.to_string s)));
+  let rec adjacent = function
+    | a :: (b :: _ as rest) ->
+      if Sigma.equal a b then
+        add
+          (Finding.v ~rule:"sigma-history" ~loc
+             "history repeats %s consecutively (a c&s success must change \
+              the value)"
+             (Sigma.to_string a));
+      adjacent rest
+    | _ -> ()
+  in
+  adjacent history;
+  (* The space bound itself: the register may ever take at most k distinct
+     values — ⊥ plus the k−1 symbols 0 … k−2. *)
+  let non_bottom =
+    List.sort_uniq Sigma.compare
+      (List.filter (fun s -> not (Sigma.equal s Sigma.Bot)) history)
+  in
+  if List.length non_bottom > k - 1 then
+    add
+      (Finding.v ~rule:"bounded-value" ~loc
+         "%d distinct non-⊥ values appear; a cas(%d) admits only %d"
+         (List.length non_bottom) k (k - 1));
+  List.iter
+    (fun s ->
+      match s with
+      | Sigma.V i when i < 0 || i > k - 2 ->
+        add
+          (Finding.v ~rule:"bounded-value" ~loc
+             "value %d escapes the Σ alphabet {⊥, 0, …, %d}" i (k - 2))
+      | Sigma.V _ | Sigma.Bot -> ())
+    non_bottom;
+  (* First uses, in order of appearance, must form a legal label — and
+     when the caller knows which label this history belongs to (the
+     emulation does), they must follow exactly that label's order. *)
+  let first_uses =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Sigma.Bot -> acc
+        | Sigma.V i -> if List.mem i acc then acc else i :: acc)
+      [] history
+    |> List.rev
+  in
+  (try ignore (List.fold_left Label.extend Label.root first_uses)
+   with Invalid_argument _ ->
+     add
+       (Finding.v ~rule:"label-order" ~loc
+          "first uses %s do not form a legal label"
+          (Label.to_string first_uses)));
+  Option.iter
+    (fun l ->
+      if not (Label.is_prefix first_uses l) then
+        add
+          (Finding.v ~rule:"label-order" ~loc
+             "first uses %s do not follow the label %s"
+             (Label.to_string first_uses) (Label.to_string l)))
+    label;
+  List.rev !findings
+
+(* Families whose value timeline the lint certifies. *)
+type family = Cas of int | Swap | Sticky
+
+let family_of type_name =
+  match cas_size type_name with
+  | Some k -> Some (Cas k)
+  | None ->
+    if String.equal type_name "swap" then Some Swap
+    else if String.equal type_name "sticky" then Some Sticky
+    else None
+
+let check ?(bounds = []) ~store trace =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* Replay the whole trace through the sequential specs: every recorded
+     response must be reproducible.  This is the strongest per-location
+     op/response cross-check we can run — specs are deterministic, so a
+     genuine engine trace replays exactly. *)
+  let timelines : (string, Value.t list) Hashtbl.t = Hashtbl.create 16 in
+  let note_state loc state =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt timelines loc) in
+    match prev with
+    | last :: _ when Value.equal last state -> ()
+    | _ -> Hashtbl.replace timelines loc (state :: prev)
+  in
+  List.iter
+    (fun loc ->
+      Option.iter (note_state loc) (Memory.Store.peek store loc))
+    (Memory.Store.locs store);
+  let final =
+    List.fold_left
+      (fun st (e : Trace.event) ->
+        match
+          Memory.Store.apply st ~pid:e.Trace.pid e.Trace.loc e.Trace.op
+        with
+        | Error msg ->
+          add
+            (Finding.v ~rule:"replay-divergence" ~loc:e.Trace.loc
+               "t=%d p%d op %s rejected on replay: %s" e.Trace.time e.Trace.pid
+               (Value.to_string e.Trace.op) msg);
+          st
+        | Ok (st', result) ->
+          if not (Value.equal result e.Trace.result) then
+            add
+              (Finding.v ~rule:"replay-divergence" ~loc:e.Trace.loc
+                 "t=%d p%d op %s returned %s but replays to %s" e.Trace.time
+                 e.Trace.pid
+                 (Value.to_string e.Trace.op)
+                 (Value.to_string e.Trace.result)
+                 (Value.to_string result));
+          Option.iter (note_state e.Trace.loc) (Memory.Store.peek st' e.Trace.loc);
+          st')
+      store trace
+  in
+  ignore final;
+  (* Certify each bounded location's value timeline. *)
+  List.iter
+    (fun loc ->
+      let family =
+        match Memory.Store.spec_of store loc with
+        | None -> None
+        | Some s -> family_of s.Memory.Spec.type_name
+      in
+      let declared = List.assoc_opt loc bounds in
+      let timeline =
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt timelines loc))
+      in
+      let changes = List.length timeline - 1 in
+      match family, declared with
+      | Some (Cas k), _ ->
+        let k = Option.value ~default:k declared in
+        let history =
+          List.filter_map
+            (fun v ->
+              match Sigma.of_value v with
+              | s -> Some s
+              | exception Value.Type_error _ ->
+                add
+                  (Finding.v ~rule:"sigma-history" ~loc
+                     "state %s is outside the Σ encoding" (Value.to_string v));
+                None)
+            timeline
+        in
+        List.iter add (check_history ~k ~loc history)
+      | Some Sticky, _ ->
+        if changes > 1 then
+          add
+            (Finding.v ~rule:"sticky-discipline" ~loc
+               "sticky register changed value %d times (⊥ may freeze once)"
+               changes)
+      | Some Swap, Some k | None, Some k ->
+        (* No intrinsic alphabet: certify against the declared bound. *)
+        let distinct =
+          List.length (List.sort_uniq Value.compare timeline)
+        in
+        if distinct > k then
+          add
+            (Finding.v ~rule:"bounded-value" ~loc
+               "%d distinct values observed; declared bound is %d" distinct k)
+      | Some Swap, None | None, None -> ())
+    (Memory.Store.locs store);
+  Finding.dedup (List.rev !findings)

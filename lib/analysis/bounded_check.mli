@@ -1,0 +1,46 @@
+(** Bounded-value lint: the executable form of the paper's space bound.
+
+    A compare&swap-(k) register may ever hold at most [k] distinct values
+    — ⊥ plus Σ's [k−1] symbols — and the sequence of values it actually
+    takes must be a legal Σ-history: it starts at ⊥, never repeats a
+    symbol consecutively (a successful c&s changes the value), and first
+    uses of symbols occur in label order ({!Core.Sigma},
+    {!Core.Label}).  This module certifies those facts over concrete
+    executions:
+
+    - {!check} replays a {!Runtime.Trace.t} through the store's
+      sequential specs, reconstructs each bounded location's value
+      timeline, and lints it ([replay-divergence] when the trace is not
+      even reproducible by the specs, then the history rules below);
+    - {!check_history} lints one already-reconstructed Σ-history — the
+      entry point the emulation run path uses on each label's history,
+      next to {!Core.Invariants}.
+
+    Rules: [bounded-value] (more than [k−1] distinct non-⊥ values, or a
+    symbol escaping the alphabet), [sigma-history] (not starting at ⊥,
+    consecutive repetition, non-Σ state), [label-order] (first uses
+    not forming — or not following — a legal label), [sticky-discipline]
+    (a sticky register changing value more than once) and
+    [replay-divergence]. *)
+
+val check :
+  ?bounds:(string * int) list ->
+  store:Memory.Store.t ->
+  Runtime.Trace.t ->
+  Finding.t list
+(** [check ~store trace] — [store] must be the pre-run store.  Locations
+    with spec type [cas(k)] are certified against their own [k]; entries
+    in [bounds] override (or, for object types without an intrinsic
+    alphabet such as [swap], declare) the bound for a location — that is
+    how a lint declares "this register was supposed to be a cas(k)" and
+    catches a location fed [k+1] values. *)
+
+val check_history :
+  ?label:Core.Label.t ->
+  k:int ->
+  loc:string ->
+  Core.Sigma.t list ->
+  Finding.t list
+(** Lint one Σ-history (oldest first, starting at ⊥).  When [label] is
+    given, the history's first uses must additionally follow that label's
+    order (the emulation's Definition 1 obligation). *)

@@ -1,0 +1,12 @@
+module Emulation = Core.Emulation
+module Label = Core.Label
+module History_tree = Core.History_tree
+
+let check t =
+  let k = Emulation.k t in
+  Core.History_tree.active_labels (Emulation.shared_tree t)
+  |> List.concat_map (fun label ->
+         let loc = Fmt.str "history[%s]" (Label.to_string label) in
+         Bounded_check.check_history ~label ~k ~loc
+           (Emulation.history_of t label))
+  |> Finding.dedup

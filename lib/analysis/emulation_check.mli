@@ -1,0 +1,16 @@
+(** The analysis pass over a finished emulation, run next to
+    {!Core.Invariants} on the emulation run path.
+
+    Every active label's constructed history is a Σ-history of the
+    emulated compare&swap-(k): {!check} feeds each one to
+    {!Bounded_check.check_history} with the owning label, certifying the
+    space bound ([bounded-value]), the history shape ([sigma-history])
+    and the first-use order against the label ([label-order]) over the
+    very structures {!Core.Invariants} audits — but with the same
+    finding/report pipeline (rules, severities, JSONL) as the trace
+    lints, so emulation runs and protocol runs are checkable by one
+    toolchain. *)
+
+val check : Core.Emulation.t -> Finding.t list
+(** Findings are deduplicated; the [loc] of each is
+    ["history[<label>]"]. *)

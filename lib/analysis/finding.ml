@@ -1,0 +1,51 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = { rule : string; severity : severity; loc : string; detail : string }
+
+let v ?(severity = Error) ~rule ~loc fmt =
+  Fmt.kstr (fun detail -> { rule; severity; loc; detail }) fmt
+
+let compare a b =
+  (* Severity first so reports lead with what matters; then stable
+     lexicographic order so deduplicated sets print deterministically. *)
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = String.compare a.loc b.loc in
+      if c <> 0 then c else String.compare a.detail b.detail
+
+let equal a b = compare a b = 0
+
+module Fset = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let dedup findings = Fset.elements (Fset.of_list findings)
+
+let is_reportable t = match t.severity with Error | Warning -> true | Info -> false
+
+let pp ppf t =
+  Fmt.pf ppf "[%s] %s @@ %s: %s" (severity_name t.severity) t.rule t.loc
+    t.detail
+
+let to_json t =
+  Lepower_obs.Json.Obj
+    [
+      ("type", Lepower_obs.Json.String "finding");
+      ("rule", Lepower_obs.Json.String t.rule);
+      ("severity", Lepower_obs.Json.String (severity_name t.severity));
+      ("loc", Lepower_obs.Json.String t.loc);
+      ("detail", Lepower_obs.Json.String t.detail);
+    ]

@@ -1,0 +1,39 @@
+(** The one report type every analyzer in [Lepower_check] emits.
+
+    A finding names the rule that fired, how bad it is, the shared-memory
+    location (or other locus) it concerns, and a human-readable detail.
+    Analyzers over exhaustive explorations fire the same finding once per
+    violating schedule, so consumers deduplicate with {!dedup} before
+    reporting. *)
+
+type severity =
+  | Error  (** the checked discipline is definitely violated *)
+  | Warning  (** suspicious but not a proven violation *)
+  | Info  (** telemetry: recorded in reports, never fails a lint run *)
+
+type t = { rule : string; severity : severity; loc : string; detail : string }
+
+val v :
+  ?severity:severity ->
+  rule:string ->
+  loc:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [v ~rule ~loc fmt …] builds a finding with a formatted detail;
+    [severity] defaults to [Error]. *)
+
+val severity_name : severity -> string
+val compare : t -> t -> int
+(** Orders by severity (errors first), then rule, loc, detail. *)
+
+val equal : t -> t -> bool
+
+val dedup : t list -> t list
+(** Sorted and deduplicated (see {!compare}). *)
+
+val is_reportable : t -> bool
+(** Errors and warnings fail a lint run; [Info] findings do not. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Lepower_obs.Json.t
+(** One JSONL record: [{"type":"finding","rule":…,"severity":…,…}]. *)

@@ -1,0 +1,246 @@
+module Value = Memory.Value
+module Engine = Runtime.Engine
+module Explore = Runtime.Explore
+module Sched = Runtime.Sched
+module Election = Protocols.Election
+
+type target = {
+  name : string;
+  bindings : (string * Memory.Spec.t) list;
+  programs : Runtime.Program.prim list;
+  budget : int;
+  single_writer : string list;
+  bounds : (string * int) list;
+}
+
+let target_of_instance (t : Election.instance) =
+  {
+    name = t.Election.name;
+    bindings = t.Election.bindings;
+    programs = List.init t.Election.n t.Election.program;
+    budget = t.Election.step_bound;
+    single_writer = [];
+    bounds = [];
+  }
+
+type mode = Auto | Exhaustive | Sample of int
+
+(* Exhaustive interleaving search is only tractable when the whole system
+   performs a handful of operations; beyond that we sample seeded random
+   schedules, matching the protocol harness's own checking strategy. *)
+let exhaustive_feasible t = List.length t.programs * t.budget <= 12
+
+let default_seeds = 64
+
+let m_targets = Lepower_obs.Metrics.counter "lint.targets"
+let m_schedules = Lepower_obs.Metrics.counter "lint.schedules_analyzed"
+let m_findings = Lepower_obs.Metrics.counter "lint.findings"
+
+let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps t =
+  Lepower_obs.Metrics.incr m_targets;
+  Lepower_obs.Span.with_span "lint.target"
+    ~args:[ ("name", Lepower_obs.Json.String t.name) ]
+  @@ fun () ->
+  let store = Memory.Store.create t.bindings in
+  let n = List.length t.programs in
+  let findings = ref [] in
+  let max_proc_steps = ref 0 in
+  let truncated = ref 0 in
+  let schedules = ref 0 in
+  let observe_steps (config : Engine.config) =
+    Array.iter
+      (fun (p : Runtime.Proc.t) ->
+        if p.Runtime.Proc.steps > !max_proc_steps then
+          max_proc_steps := p.Runtime.Proc.steps)
+      config.Engine.procs
+  in
+  let analyze (config : Engine.config) =
+    incr schedules;
+    Lepower_obs.Metrics.incr m_schedules;
+    observe_steps config;
+    let trace = Engine.trace config in
+    findings :=
+      Bounded_check.check ~bounds:t.bounds ~store trace
+      @ Trace_check.check ~single_writer:t.single_writer ~store trace
+      @ !findings
+  in
+  let exhaustive =
+    match mode with
+    | Exhaustive -> true
+    | Sample _ -> false
+    | Auto -> exhaustive_feasible t
+  in
+  let config () = Engine.init store t.programs in
+  (if exhaustive then begin
+     let max_steps =
+       Option.value ~default:((t.budget * max n 1 * 2) + 8) max_steps
+     in
+     let stats =
+       Explore.explore ~max_steps ~analyze
+         ~on_truncated:(fun config ->
+           incr truncated;
+           observe_steps config)
+         (config ())
+     in
+     ignore stats.Explore.terminals
+   end
+   else
+     let seeds = match mode with Sample s -> s | _ -> default_seeds in
+     let max_steps =
+       Option.value ~default:((t.budget * max n 1 * 2) + 1000) max_steps
+     in
+     for seed = 0 to seeds - 1 do
+       let outcome =
+         Engine.run ~max_steps ~sched:(Sched.random ~seed) (config ())
+       in
+       if outcome.Engine.hit_step_limit then incr truncated;
+       analyze outcome.Engine.final
+     done);
+  (* Wait-freedom: the symbolic audit flags programs that admit an
+     unbounded adversarial op sequence; executions corroborate (or
+     refute) the flag — see Waitfree_check's doc on over-approximation. *)
+  let audits =
+    Waitfree_check.audit_programs ?max_nodes ~store ~budget:t.budget t.programs
+  in
+  let corroborated = !truncated > 0 || !max_proc_steps > t.budget in
+  List.iter
+    (fun (pid, verdict) ->
+      let loc = Printf.sprintf "p%d" pid in
+      match verdict with
+      | Waitfree_check.Exceeded { budget; witness } ->
+        let path = Waitfree_check.witness_summary witness in
+        if corroborated then
+          findings :=
+            Finding.v ~rule:"wait-freedom" ~loc
+              "program admits > %d ops under an adversarial responder \
+               (witness: %s), corroborated by execution (%d truncated runs, \
+               max %d steps/proc observed)"
+              budget path !truncated !max_proc_steps
+            :: !findings
+        else
+          findings :=
+            Finding.v ~severity:Finding.Info ~rule:"wait-freedom" ~loc
+              "symbolic audit exceeds budget %d (witness: %s) but no \
+               analyzed execution corroborates it (max %d steps/proc \
+               observed); recorded, not reported"
+              budget path !max_proc_steps
+            :: !findings
+      | Waitfree_check.Bounded b ->
+        if !max_proc_steps > b then
+          findings :=
+            Finding.v ~rule:"waitfree-mismatch" ~loc
+              "audited bound %d ops, but an execution performed %d — the \
+               responder model missed reachable responses"
+              b !max_proc_steps
+            :: !findings
+      | Waitfree_check.Inconclusive { explored } ->
+        findings :=
+          Finding.v ~severity:Finding.Info ~rule:"wait-freedom" ~loc
+            "audit inconclusive after %d explored nodes" explored
+          :: !findings)
+    audits;
+  if !max_proc_steps > t.budget then
+    findings :=
+      Finding.v ~rule:"wait-freedom" ~loc:t.name
+        "an analyzed execution performed %d steps on one process, above \
+         the declared budget %d"
+        !max_proc_steps t.budget
+      :: !findings;
+  let findings =
+    Finding.dedup !findings
+    |> List.filter (fun (f : Finding.t) ->
+           match rules with
+           | None -> true
+           | Some rs -> List.exists (String.equal f.Finding.rule) rs)
+  in
+  Lepower_obs.Metrics.incr m_findings ~by:(List.length findings);
+  {
+    Report.subject = t.name;
+    findings;
+    stats =
+      Some
+        {
+          Report.schedules = !schedules;
+          truncated = !truncated;
+          max_proc_steps = !max_proc_steps;
+          exhaustive;
+        };
+    audits;
+  }
+
+let lint_instance ?mode ?rules ?max_nodes ?max_steps instance =
+  lint ?mode ?rules ?max_nodes ?max_steps (target_of_instance instance)
+
+(* --- seeded-bug fixtures ---------------------------------------------- *)
+
+let broken_swmr_fixture () =
+  (* Two writers share one register that the protocol treats as
+     single-writer — but it was (wrongly) bound to the multi-writer spec,
+     so the object itself cannot catch the discipline violation.  The
+     trace checker must. *)
+  let program pid =
+    let open Runtime.Program in
+    complete
+      (let* () = Objects.Register.write "r" (Value.int pid) in
+       let* v = Objects.Register.read "r" in
+       return v)
+  in
+  {
+    name = "fixture-broken-swmr";
+    bindings = [ ("r", Objects.Register.mwmr ~init:(Value.int (-1)) ()) ];
+    programs = [ program 0; program 1 ];
+    budget = 2;
+    single_writer = [ "r" ];
+    bounds = [];
+  }
+
+let broken_cas_fixture () =
+  (* The register was provisioned as a cas(4) but the protocol's space
+     certificate claims cas(3): under the schedule p0; p1; p2 the chain
+     ⊥→0→1→2 feeds it k+1 = 4 distinct values (counting ⊥), one more
+     than the declared alphabet admits. *)
+  let program pid =
+    let open Runtime.Program in
+    let expected =
+      if pid = 0 then Objects.Cas_k.bottom else Value.int (pid - 1)
+    in
+    complete
+      (let* prev =
+         Objects.Cas_k.cas "C" ~expected ~desired:(Value.int pid)
+       in
+       return prev)
+  in
+  {
+    name = "fixture-broken-cas";
+    bindings = [ ("C", Objects.Cas_k.spec ~k:4) ];
+    programs = [ program 0; program 1; program 2 ];
+    budget = 1;
+    single_writer = [];
+    bounds = [ ("C", 3) ];
+  }
+
+let spin_fixture () =
+  (* A repeat_until loop whose exit condition only the environment can
+     satisfy — and nobody ever does: the canonical unbounded op sequence
+     the wait-freedom auditor exists to flag. *)
+  let program =
+    let open Runtime.Program in
+    complete
+      (let* v =
+         repeat_until (fun () ->
+             let* v = Objects.Register.read "flag" in
+             if Value.equal v (Value.sym "go") then return (Some v)
+             else return None)
+       in
+       return v)
+  in
+  {
+    name = "fixture-spin";
+    bindings = [ ("flag", Objects.Register.mwmr ~init:(Value.sym "wait") ()) ];
+    programs = [ program ];
+    budget = 4;
+    single_writer = [];
+    bounds = [];
+  }
+
+let fixtures () = [ broken_swmr_fixture (); broken_cas_fixture (); spin_fixture () ]

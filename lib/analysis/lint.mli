@@ -1,0 +1,81 @@
+(** The lint driver: run every analyzer over a protocol (or seeded-bug
+    fixture) and collect one {!Report.t}.
+
+    A {!target} is anything executable by the engine — an
+    {!Protocols.Election.instance} ({!target_of_instance}) or a
+    hand-built fixture.  The driver
+
+    - obtains executions (exhaustively when the instance is small enough,
+      otherwise over sampled seeded schedules),
+    - feeds every analyzed trace to {!Trace_check} and {!Bounded_check},
+    - runs the symbolic {!Waitfree_check} audit and {e corroborates} it
+      against the executions actually observed: a symbolic [Exceeded]
+      becomes an error only when some execution also truncated or
+      overran the budget (the audit's adversarial responder
+      over-approximates, so an uncorroborated [Exceeded] is recorded at
+      [Info] severity, not reported),
+    - dedups findings and applies the [?rules] filter. *)
+
+type target = {
+  name : string;
+  bindings : (string * Memory.Spec.t) list;
+  programs : Runtime.Program.prim list;
+  budget : int;
+      (** claimed wait-freedom bound: max shared-memory ops per process *)
+  single_writer : string list;
+      (** locations the protocol {e claims} are single-writer, for the
+          trace discipline checker (independent of whether the bound
+          spec enforces it) *)
+  bounds : (string * int) list;
+      (** claimed space bounds [loc, k] overriding the spec's own, for
+          the bounded-value lint *)
+}
+
+val target_of_instance : Protocols.Election.instance -> target
+(** Budget is the instance's [step_bound]; no extra single-writer or
+    bound claims. *)
+
+type mode =
+  | Auto  (** [Exhaustive] iff [n * budget <= 12], else [Sample 64] *)
+  | Exhaustive
+  | Sample of int  (** that many seeded random schedules *)
+
+val lint :
+  ?mode:mode ->
+  ?rules:string list ->
+  ?max_nodes:int ->
+  ?max_steps:int ->
+  target ->
+  Report.t
+(** [rules] keeps only findings whose rule name is listed (default: all).
+    [max_nodes] caps the symbolic audit ({!Waitfree_check.audit});
+    [max_steps] overrides the per-execution step cap. *)
+
+val lint_instance :
+  ?mode:mode ->
+  ?rules:string list ->
+  ?max_nodes:int ->
+  ?max_steps:int ->
+  Protocols.Election.instance ->
+  Report.t
+
+(** {1 Seeded-bug fixtures}
+
+    Each fixture plants one intended defect and must trigger exactly its
+    rule — the analyzer's regression suite and the CLI's demo subjects. *)
+
+val broken_swmr_fixture : unit -> target
+(** Two processes write one location declared single-writer (but bound to
+    a multi-writer spec, so only the trace checker can object):
+    [swmr-discipline]. *)
+
+val broken_cas_fixture : unit -> target
+(** A cas(4) register claimed to be cas(3): some schedule feeds it 4
+    distinct values: [bounded-value]. *)
+
+val spin_fixture : unit -> target
+(** A process spinning on a flag nobody sets: the symbolic audit exceeds
+    the budget and execution corroborates (every run truncates):
+    [wait-freedom]. *)
+
+val fixtures : unit -> target list

@@ -1,0 +1,104 @@
+module Json = Lepower_obs.Json
+
+type run_stats = {
+  schedules : int;
+  truncated : int;
+  max_proc_steps : int;
+  exhaustive : bool;
+}
+
+type t = {
+  subject : string;
+  findings : Finding.t list;
+  stats : run_stats option;
+  audits : (int * Waitfree_check.verdict) list;
+}
+
+let count sev t =
+  List.length (List.filter (fun (f : Finding.t) -> f.Finding.severity = sev) t.findings)
+
+let errors = count Finding.Error
+let warnings = count Finding.Warning
+let ok t = not (List.exists Finding.is_reportable t.findings)
+
+let verdict_json = function
+  | Waitfree_check.Bounded b ->
+    Json.Obj [ ("verdict", Json.String "bounded"); ("bound", Json.Int b) ]
+  | Waitfree_check.Exceeded { budget; witness } ->
+    Json.Obj
+      [
+        ("verdict", Json.String "exceeded");
+        ("budget", Json.Int budget);
+        ("witness_ops", Json.Int (List.length witness));
+      ]
+  | Waitfree_check.Inconclusive { explored } ->
+    Json.Obj
+      [
+        ("verdict", Json.String "inconclusive");
+        ("explored", Json.Int explored);
+      ]
+
+let summary_json t =
+  let stats =
+    match t.stats with
+    | None -> []
+    | Some s ->
+      [
+        ("schedules", Json.Int s.schedules);
+        ("truncated", Json.Int s.truncated);
+        ("max_proc_steps", Json.Int s.max_proc_steps);
+        ("exhaustive", Json.Bool s.exhaustive);
+      ]
+  in
+  Json.Obj
+    ([
+       ("type", Json.String "lint-summary");
+       ("subject", Json.String t.subject);
+       ("findings", Json.Int (List.length t.findings));
+       ("errors", Json.Int (errors t));
+       ("warnings", Json.Int (warnings t));
+     ]
+    @ stats
+    @ [
+        ( "audits",
+          Json.List
+            (List.map
+               (fun (pid, v) ->
+                 match verdict_json v with
+                 | Json.Obj fields -> Json.Obj (("pid", Json.Int pid) :: fields)
+                 | other -> other)
+               t.audits) );
+      ])
+
+let subject_of_finding subject (f : Finding.t) =
+  match Finding.to_json f with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("subject", Json.String subject) ])
+  | other -> other
+
+let jsonl t =
+  List.map (subject_of_finding t.subject) t.findings @ [ summary_json t ]
+
+let write_jsonl path reports =
+  Lepower_obs.Export.write_jsonl path (List.concat_map jsonl reports)
+
+let pp ppf t =
+  let reportable = List.filter Finding.is_reportable t.findings in
+  Fmt.pf ppf "@[<v>%s: %d finding%s (%d error%s, %d warning%s)" t.subject
+    (List.length reportable)
+    (if List.length reportable = 1 then "" else "s")
+    (errors t)
+    (if errors t = 1 then "" else "s")
+    (warnings t)
+    (if warnings t = 1 then "" else "s");
+  Option.iter
+    (fun s ->
+      Fmt.pf ppf "@,  %s schedules: %d (%d truncated), max steps/proc %d"
+        (if s.exhaustive then "exhaustive" else "sampled")
+        s.schedules s.truncated s.max_proc_steps)
+    t.stats;
+  List.iter
+    (fun (pid, v) ->
+      Fmt.pf ppf "@,  wait-freedom p%d: %a" pid Waitfree_check.pp_verdict v)
+    t.audits;
+  List.iter (fun f -> Fmt.pf ppf "@,  %a" Finding.pp f) t.findings;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,36 @@
+(** Lint reports: one subject (a protocol, a fixture, an emulation), its
+    deduplicated findings, how its executions were obtained, and the
+    wait-freedom audit verdicts — renderable as text or as a JSONL
+    stream of strict {!Lepower_obs.Json} documents (one ["finding"]
+    record per finding plus one trailing ["lint-summary"] record per
+    subject). *)
+
+type run_stats = {
+  schedules : int;  (** executions analyzed *)
+  truncated : int;  (** executions cut off by the step bound *)
+  max_proc_steps : int;
+      (** most shared-memory ops any process performed in any analyzed
+          execution — the observed wait-freedom bound *)
+  exhaustive : bool;  (** every interleaving vs sampled schedules *)
+}
+
+type t = {
+  subject : string;
+  findings : Finding.t list;
+  stats : run_stats option;
+  audits : (int * Waitfree_check.verdict) list;  (** by pid *)
+}
+
+val errors : t -> int
+val warnings : t -> int
+
+val ok : t -> bool
+(** No error or warning findings ([Info] does not count). *)
+
+val summary_json : t -> Lepower_obs.Json.t
+val jsonl : t -> Lepower_obs.Json.t list
+(** Finding records (each tagged with the subject) followed by the
+    summary record. *)
+
+val write_jsonl : string -> t list -> unit
+val pp : Format.formatter -> t -> unit

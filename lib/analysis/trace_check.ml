@@ -1,0 +1,156 @@
+module Value = Memory.Value
+module Trace = Runtime.Trace
+module Op_codec = Objects.Op_codec
+
+(* Which mutation family does a spec's type_name promise?  [None] for
+   object types the checker has no model of (queues, LL/SC, …). *)
+let expected_family type_name =
+  if String.equal type_name "swmr-reg" || String.equal type_name "mwmr-reg"
+  then Some "write"
+  else if String.length type_name >= 4 && String.sub type_name 0 4 = "cas("
+  then Some "cas"
+  else if String.equal type_name "swap" then Some "swap"
+  else if String.equal type_name "sticky" then Some "sticky-write"
+  else if String.length type_name >= 4 && String.sub type_name 0 4 = "rmw("
+  then Some "rmw"
+  else None
+
+let is_register_type type_name =
+  String.equal type_name "swmr-reg" || String.equal type_name "mwmr-reg"
+
+type writer = { pid : int; value : Value.t; clock : Vclock.t }
+
+let check ?(single_writer = []) ~store trace =
+  let n =
+    1 + List.fold_left (fun m (e : Trace.event) -> max m e.Trace.pid) 0 trace
+  in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let clocks = Array.init n (fun _ -> Vclock.make n) in
+  (* Per location: the last mutation (reads-from source), every pid's most
+     recent write (single-writer discipline), and the mutation families
+     seen so far (op/response confusion). *)
+  let last_mut : (string, writer) Hashtbl.t = Hashtbl.create 16 in
+  let writers : (string, (int * Vclock.t) list) Hashtbl.t = Hashtbl.create 16 in
+  let families : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let type_of loc =
+    Option.map
+      (fun (s : Memory.Spec.t) -> s.Memory.Spec.type_name)
+      (Memory.Store.spec_of store loc)
+  in
+  let is_single_writer loc =
+    List.exists (String.equal loc) single_writer
+    || (match type_of loc with Some "swmr-reg" -> true | _ -> false)
+  in
+  let record_family loc kind =
+    let fam = Op_codec.kind_name kind in
+    let seen = Option.value ~default:[] (Hashtbl.find_opt families loc) in
+    if not (List.exists (String.equal fam) seen) then begin
+      Hashtbl.replace families loc (fam :: seen);
+      (match seen with
+      | [] -> ()
+      | other :: _ ->
+        add
+          (Finding.v ~rule:"op-type" ~loc
+             "location driven through two operation families: %s and %s" other
+             fam));
+      match type_of loc with
+      | None -> ()
+      | Some tn -> (
+        match expected_family tn with
+        | Some want when not (String.equal want fam) ->
+          add
+            (Finding.v ~rule:"op-type" ~loc
+               "%s operation on a location of object type %s (expects %s)" fam
+               tn want)
+        | Some _ | None -> ())
+    end
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let pid = e.Trace.pid and loc = e.Trace.loc in
+      let clock = Vclock.tick clocks.(pid) pid in
+      clocks.(pid) <- clock;
+      let kind = Op_codec.classify e.Trace.op in
+      (* Reads are legal on every object family; only mutations commit a
+         location to a family. *)
+      (match kind with
+      | Op_codec.Other | Op_codec.Read -> ()
+      | _ -> record_family loc kind);
+      match kind with
+      | Op_codec.Read ->
+        (* Reads-from: in a linearized trace an atomic read must return
+           the latest preceding mutation's published value, or the
+           initial value when nothing was written yet.  Only register
+           locations publish the exact value they were handed; other
+           object types are replay-checked by [Bounded_check]. *)
+        let registerish =
+          match type_of loc with
+          | Some tn -> is_register_type tn
+          | None -> Hashtbl.find_opt last_mut loc <> None
+        in
+        (match Hashtbl.find_opt last_mut loc with
+        | Some w ->
+          if registerish && not (Value.equal e.Trace.result w.value) then
+            add
+              (Finding.v ~rule:"reads-from" ~loc
+                 "t=%d p%d read %s but the latest write (p%d) published %s"
+                 e.Trace.time pid
+                 (Value.to_string e.Trace.result)
+                 w.pid (Value.to_string w.value));
+          clocks.(pid) <- Vclock.join clocks.(pid) w.clock
+        | None ->
+          let init = Memory.Store.peek store loc in
+          if registerish then
+            Option.iter
+              (fun init ->
+                if not (Value.equal e.Trace.result init) then
+                  add
+                    (Finding.v ~rule:"reads-from" ~loc
+                       "t=%d p%d read %s before any write; initial value is \
+                        %s"
+                       e.Trace.time pid
+                       (Value.to_string e.Trace.result)
+                       (Value.to_string init)))
+              init)
+      | Op_codec.Write v ->
+        if not (Value.equal e.Trace.result Value.unit) then
+          add
+            (Finding.v ~rule:"op-type" ~loc
+               "t=%d p%d write acknowledged with %s instead of ()" e.Trace.time
+               pid
+               (Value.to_string e.Trace.result));
+        if is_single_writer loc then begin
+          let prev = Option.value ~default:[] (Hashtbl.find_opt writers loc) in
+          List.iter
+            (fun (p, c) ->
+              if p <> pid then
+                add
+                  (Finding.v ~rule:"swmr-discipline" ~loc
+                     "single-writer register written by both p%d and p%d \
+                      (writes are %s under happens-before)"
+                     p pid
+                     (if Vclock.concurrent c clock then "concurrent"
+                      else "ordered")))
+            prev;
+          Hashtbl.replace writers loc
+            ((pid, clock) :: List.remove_assoc pid prev)
+        end;
+        Hashtbl.replace last_mut loc { pid; value = v; clock }
+      | Op_codec.Cas { expected; desired } ->
+        (* A cas publishes [desired] exactly when it succeeds (returns
+           [expected] and changes the value). *)
+        if
+          Value.equal e.Trace.result expected
+          && not (Value.equal expected desired)
+        then Hashtbl.replace last_mut loc { pid; value = desired; clock }
+      | Op_codec.Swap v ->
+        Hashtbl.replace last_mut loc { pid; value = v; clock }
+      | Op_codec.Sticky_write _ | Op_codec.Rmw _ ->
+        (* The published value is the operation's return contract, not its
+           argument; replay in [Bounded_check] validates it. *)
+        Hashtbl.replace last_mut loc
+          { pid; value = e.Trace.result; clock }
+      | Op_codec.Other -> ())
+    trace;
+  Finding.dedup (List.rev !findings)

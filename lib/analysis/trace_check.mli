@@ -1,0 +1,36 @@
+(** Trace discipline checker: a vector-clock happens-before pass over one
+    linearized execution trace.
+
+    Replays the trace once, maintaining per-process vector clocks
+    (program order, joined along reads-from edges) and per-location write
+    metadata, and reports:
+
+    - {b swmr-discipline}: two distinct processes wrote one single-writer
+      register.  The paper assumes w.l.o.g. that the emulated algorithm's
+      r/w registers are SWMR; this rule makes that assumption checkable
+      on any trace, including traces of protocols that (wrongly) route a
+      shared register through the multi-writer spec.  The finding reports
+      whether the offending writes were concurrent under happens-before
+      or merely by different owners.
+    - {b reads-from}: an atomic register read returned a value that is
+      neither the latest preceding write's value nor the initial value.
+    - {b op-type}: operation/response confusion — a location driven
+      through two different operation families (e.g. both [write] and
+      [cas]), an operation family contradicting the location's spec
+      type, or a write acknowledged with a non-unit response.
+
+    The checker never runs programs; it needs only the {e initial} store
+    (for specs and initial values) and the trace. *)
+
+val check :
+  ?single_writer:string list ->
+  store:Memory.Store.t ->
+  Runtime.Trace.t ->
+  Finding.t list
+(** [check ~store trace] — [store] must be the pre-run store (as built
+    from an instance's bindings).  Locations whose spec type is
+    [swmr-reg] are held to the single-writer discipline automatically;
+    [single_writer] adds locations that are {e declared} single-writer
+    even though their spec would accept any writer (that is exactly the
+    discipline violation the rule exists to catch).  Findings are
+    deduplicated and sorted. *)

@@ -8,8 +8,7 @@ let alphabet ~k =
   if k < 1 then invalid_arg "Cas_k.alphabet: k must be >= 1";
   bottom :: List.init (k - 1) value
 
-let cas_op ~expected ~desired =
-  Value.triple (Value.sym "cas") expected desired
+let cas_op = Op_codec.cas_op
 
 let generic_spec ~values ~init =
   let k = List.length values in
@@ -17,15 +16,15 @@ let generic_spec ~values ~init =
   if not (in_sigma init) then
     invalid_arg "Cas_k.generic_spec: init outside the alphabet";
   let apply ~pid:_ state op =
-    match op with
-    | Value.Pair (Value.Sym "cas", Value.Pair (expected, desired)) ->
+    match Op_codec.decode_cas op with
+    | Some (expected, desired) ->
       if not (in_sigma expected && in_sigma desired) then
         Error
           (Printf.sprintf "cas(%d): value outside the alphabet in %s" k
              (Value.to_string op))
       else if Value.equal state expected then Ok (desired, state)
       else Ok (state, state)
-    | _ -> Error ("cas: bad operation " ^ Value.to_string op)
+    | None -> Error ("cas: bad operation " ^ Value.to_string op)
   in
   Memory.Spec.make ~type_name:(Printf.sprintf "cas(%d)" k) ~init ~apply
 

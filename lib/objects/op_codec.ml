@@ -1,0 +1,62 @@
+module Value = Memory.Value
+
+(* Encoders.  These are the single source of truth for the wire format of
+   every operation the object zoo speaks; the per-object modules and the
+   analysis layer both go through here, so an encoding change cannot
+   desynchronize an object from its lint. *)
+
+let read_op = Value.sym "read"
+let write_op v = Value.pair (Value.sym "write") v
+let cas_op ~expected ~desired = Value.triple (Value.sym "cas") expected desired
+let swap_op v = Value.pair (Value.sym "swap") v
+let sticky_write_op v = Value.pair (Value.sym "sticky-write") v
+let rmw_op name = Value.pair (Value.sym "rmw") (Value.sym name)
+
+type kind =
+  | Read
+  | Write of Value.t
+  | Cas of { expected : Value.t; desired : Value.t }
+  | Swap of Value.t
+  | Sticky_write of Value.t
+  | Rmw of string
+  | Other
+
+let classify op =
+  match op with
+  | Value.Sym "read" -> Read
+  | Value.Pair (Value.Sym "write", v) -> Write v
+  | Value.Pair (Value.Sym "cas", Value.Pair (expected, desired)) ->
+    Cas { expected; desired }
+  | Value.Pair (Value.Sym "swap", v) -> Swap v
+  | Value.Pair (Value.Sym "sticky-write", v) -> Sticky_write v
+  | Value.Pair (Value.Sym "rmw", Value.Sym name) -> Rmw name
+  | _ -> Other
+
+let decode_write op = match classify op with Write v -> Some v | _ -> None
+
+let decode_cas op =
+  match classify op with
+  | Cas { expected; desired } -> Some (expected, desired)
+  | _ -> None
+
+let decode_swap op = match classify op with Swap v -> Some v | _ -> None
+
+let decode_sticky_write op =
+  match classify op with Sticky_write v -> Some v | _ -> None
+
+let decode_rmw op = match classify op with Rmw name -> Some name | _ -> None
+let is_read op = match classify op with Read -> true | _ -> false
+
+let is_mutation = function
+  | Read -> false
+  | Write _ | Cas _ | Swap _ | Sticky_write _ | Rmw _ -> true
+  | Other -> true
+
+let kind_name = function
+  | Read -> "read"
+  | Write _ -> "write"
+  | Cas _ -> "cas"
+  | Swap _ -> "swap"
+  | Sticky_write _ -> "sticky-write"
+  | Rmw _ -> "rmw"
+  | Other -> "other"

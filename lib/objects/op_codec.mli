@@ -1,0 +1,50 @@
+(** The shared wire format of object operations.
+
+    Every object in the zoo describes an invocation as a {!Memory.Value.t}
+    and each module used to hand-roll both the encoder and the pattern
+    match decoding it.  This module centralizes the encoding: the object
+    specs decode through {!classify}, and the analysis layer
+    ([Lepower_check]) classifies trace events with the very same decoder,
+    so an object and its lint can never disagree about what an operation
+    means. *)
+
+module Value := Memory.Value
+
+(** {1 Encoders} *)
+
+val read_op : Value.t
+val write_op : Value.t -> Value.t
+val cas_op : expected:Value.t -> desired:Value.t -> Value.t
+val swap_op : Value.t -> Value.t
+val sticky_write_op : Value.t -> Value.t
+val rmw_op : string -> Value.t
+
+(** {1 Decoding} *)
+
+(** The decoded shape of an operation. *)
+type kind =
+  | Read
+  | Write of Value.t
+  | Cas of { expected : Value.t; desired : Value.t }
+  | Swap of Value.t
+  | Sticky_write of Value.t
+  | Rmw of string
+  | Other  (** not one of the standard encodings (e.g. LL/SC, queue ops) *)
+
+val classify : Value.t -> kind
+
+val decode_write : Value.t -> Value.t option
+val decode_cas : Value.t -> (Value.t * Value.t) option
+(** [(expected, desired)] of a compare&swap invocation. *)
+
+val decode_swap : Value.t -> Value.t option
+val decode_sticky_write : Value.t -> Value.t option
+val decode_rmw : Value.t -> string option
+val is_read : Value.t -> bool
+
+val is_mutation : kind -> bool
+(** Can the operation change the object's state?  [Read] cannot; [Other]
+    conservatively can. *)
+
+val kind_name : kind -> string
+(** Short tag for reports: ["read"], ["write"], ["cas"], … *)

@@ -1,13 +1,13 @@
 module Value = Memory.Value
 module Program = Runtime.Program
 
-let read_op = Value.sym "read"
-let write_op v = Value.pair (Value.sym "write") v
+let read_op = Op_codec.read_op
+let write_op = Op_codec.write_op
 
 let apply_rw ~check_writer ~pid state op =
-  match op with
-  | Value.Sym "read" -> Ok (state, state)
-  | Value.Pair (Value.Sym "write", v) -> (
+  match Op_codec.classify op with
+  | Op_codec.Read -> Ok (state, state)
+  | Op_codec.Write v -> (
     match check_writer pid with
     | Ok () -> Ok (v, Value.unit)
     | Error _ as e -> e)

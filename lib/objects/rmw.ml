@@ -3,15 +3,15 @@ module Program = Runtime.Program
 
 type op = { name : string; transform : Value.t -> Value.t }
 
-let op_encoding name = Value.pair (Value.sym "rmw") (Value.sym name)
+let op_encoding = Op_codec.rmw_op
 
 let spec ~type_name ~values ~init ~ops =
   let in_values v = List.exists (Value.equal v) values in
   if not (in_values init) then
     invalid_arg (type_name ^ ": init outside the declared value set");
   let apply ~pid:_ state op =
-    match op with
-    | Value.Pair (Value.Sym "rmw", Value.Sym name) -> (
+    match Op_codec.classify op with
+    | Op_codec.Rmw name -> (
       match List.find_opt (fun o -> String.equal o.name name) ops with
       | None -> Error (type_name ^ ": unknown rmw op " ^ name)
       | Some { transform; _ } ->
@@ -21,7 +21,7 @@ let spec ~type_name ~values ~init ~ops =
           Error
             (Printf.sprintf "%s: op %s escaped the value set (%s)" type_name
                name (Value.to_string state')))
-    | Value.Sym "read" -> Ok (state, state)
+    | Op_codec.Read -> Ok (state, state)
     | _ -> Error (type_name ^ ": bad operation " ^ Value.to_string op)
   in
   Memory.Spec.make ~type_name ~init ~apply

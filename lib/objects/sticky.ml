@@ -2,18 +2,18 @@ module Value = Memory.Value
 module Program = Runtime.Program
 
 let bottom = Value.sym "_|_"
-let sticky_write_op v = Value.pair (Value.sym "sticky-write") v
+let sticky_write_op = Op_codec.sticky_write_op
 
 let spec () =
   let apply ~pid:_ state op =
-    match op with
-    | Value.Pair (Value.Sym "sticky-write", v) ->
+    match Op_codec.classify op with
+    | Op_codec.Sticky_write v ->
       if Value.equal state bottom then Ok (v, v) else Ok (state, state)
-    | Value.Sym "read" -> Ok (state, state)
+    | Op_codec.Read -> Ok (state, state)
     | _ -> Error ("sticky: bad operation " ^ Value.to_string op)
   in
   Memory.Spec.make ~type_name:"sticky" ~init:bottom ~apply
 
 let sticky_write loc v = Program.op loc (sticky_write_op v)
-let read loc = Program.op loc (Value.sym "read")
+let read loc = Program.op loc Op_codec.read_op
 let elect loc ~me = sticky_write loc me

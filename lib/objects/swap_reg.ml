@@ -1,16 +1,16 @@
 module Value = Memory.Value
 module Program = Runtime.Program
 
-let swap_op v = Value.pair (Value.sym "swap") v
+let swap_op = Op_codec.swap_op
 
 let spec ?(init = Value.unit) () =
   let apply ~pid:_ state op =
-    match op with
-    | Value.Pair (Value.Sym "swap", v) -> Ok (v, state)
-    | Value.Sym "read" -> Ok (state, state)
+    match Op_codec.classify op with
+    | Op_codec.Swap v -> Ok (v, state)
+    | Op_codec.Read -> Ok (state, state)
     | _ -> Error ("swap: bad operation " ^ Value.to_string op)
   in
   Memory.Spec.make ~type_name:"swap" ~init ~apply
 
 let swap loc v = Program.op loc (swap_op v)
-let read loc = Program.op loc (Value.sym "read")
+let read loc = Program.op loc Op_codec.read_op

@@ -114,9 +114,9 @@ let run_with_crashes t ~seed ~crashed =
     | Some (Value.Int i) -> Ok i
     | Some _ | None -> Error "no survivor decided")
 
-let explore_stats t ~max_steps =
+let explore_stats ?analyze t ~max_steps =
   match
-    Runtime.Explore.check_all ~max_steps (config t) (check_config t)
+    Runtime.Explore.check_all ~max_steps ?analyze (config t) (check_config t)
   with
   | Ok stats -> Ok stats
   | Error v ->

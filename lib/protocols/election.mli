@@ -60,9 +60,15 @@ val explore_all : instance -> max_steps:int -> (int, string) result
     Returns the number of complete executions enumerated. *)
 
 val explore_stats :
-  instance -> max_steps:int -> (Runtime.Explore.stats, string) result
+  ?analyze:(Runtime.Engine.config -> unit) ->
+  instance ->
+  max_steps:int ->
+  (Runtime.Explore.stats, string) result
 (** Like {!explore_all} but returning the full exploration statistics
-    (terminals, truncations, choice points, configurations visited). *)
+    (terminals, truncations, choice points, configurations visited).
+    [analyze] runs on every terminal configuration (see
+    {!Runtime.Explore.explore}) — the hook [Lepower_check] uses to lint
+    every complete trace of the protocol. *)
 
 val leader_of : Runtime.Engine.outcome -> Value.t option
 (** The common decision, if any process decided. *)

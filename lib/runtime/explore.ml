@@ -13,7 +13,7 @@ let m_choice_points = Lepower_obs.Metrics.counter "explore.choice_points"
 let m_terminals = Lepower_obs.Metrics.counter "explore.terminals"
 let m_truncated = Lepower_obs.Metrics.counter "explore.truncated"
 
-let explore ?(max_steps = 10_000) ?(crash_faults = false) ?on_terminal
+let explore ?(max_steps = 10_000) ?(crash_faults = false) ?analyze ?on_terminal
     ?on_truncated config =
   let terminals = ref 0
   and truncated = ref 0
@@ -29,7 +29,9 @@ let explore ?(max_steps = 10_000) ?(crash_faults = false) ?on_terminal
     incr configs_visited;
     Lepower_obs.Metrics.incr m_configs;
     match Engine.enabled config with
-    | [] -> emit on_terminal terminals config
+    | [] ->
+      (match analyze with None -> () | Some f -> f config);
+      emit on_terminal terminals config
     | pids when depth >= max_steps ->
       ignore pids;
       emit on_truncated truncated config
@@ -62,7 +64,7 @@ let explore ?(max_steps = 10_000) ?(crash_faults = false) ?on_terminal
 
 type violation = { trace : Trace.t; message : string }
 
-let check_all ?max_steps ?crash_faults config predicate =
+let check_all ?max_steps ?crash_faults ?analyze config predicate =
   let failure = ref None in
   let record config message =
     failure := Some { trace = Engine.trace config; message };
@@ -74,9 +76,24 @@ let check_all ?max_steps ?crash_faults config predicate =
     | Error message -> record config message
   in
   let on_truncated config =
-    record config "execution exceeded the step bound (possible livelock)"
+    (* The truncated schedule is the whole diagnostic: say where the
+       execution was cut off and what it was doing, not just that it
+       happened. *)
+    let depth = List.length config.Engine.trace in
+    let message =
+      match config.Engine.trace with
+      | [] -> "execution exceeded the step bound before any shared-memory op"
+      | last :: _ ->
+        Fmt.str
+          "execution exceeded the step bound at depth %d (possible \
+           livelock); last event: %a"
+          depth Trace.pp_event last
+    in
+    record config message
   in
-  match explore ?max_steps ?crash_faults ~on_terminal ~on_truncated config with
+  match
+    explore ?max_steps ?crash_faults ?analyze ~on_terminal ~on_truncated config
+  with
   | stats -> Ok stats
   | exception Stop_exploration -> (
     match !failure with

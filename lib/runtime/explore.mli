@@ -25,6 +25,7 @@ type stats = {
 val explore :
   ?max_steps:int ->
   ?crash_faults:bool ->
+  ?analyze:(Engine.config -> unit) ->
   ?on_terminal:(Engine.config -> unit) ->
   ?on_truncated:(Engine.config -> unit) ->
   Engine.config ->
@@ -33,6 +34,13 @@ val explore :
     unbounded for wait-free protocols on small instances).  When
     [crash_faults] is true (default false), at every choice point each
     running process may also crash, multiplying the schedule space.
+
+    [analyze] is the analysis hook: it runs on every {e terminal}
+    configuration, before [on_terminal].  It exists so whole-space
+    checkers layered on top of this module ([check_all], the protocol
+    harnesses) can still feed each complete trace to an external analysis
+    pass — e.g. [Lepower_check]'s trace discipline and bounded-value
+    lints — without claiming the [on_terminal] callback for themselves.
 
     Observability: wrapped in an ["explore.explore"]
     {!Lepower_obs.Span}; maintains the [explore.*] counters
@@ -49,12 +57,15 @@ type violation = {
 val check_all :
   ?max_steps:int ->
   ?crash_faults:bool ->
+  ?analyze:(Engine.config -> unit) ->
   Engine.config ->
   (Engine.config -> (unit, string) result) ->
   (stats, violation) result
 (** Run the predicate on every terminal configuration; stop at the first
     violation and report its schedule.  A truncated execution is itself a
-    violation (non-termination under some schedule). *)
+    violation (non-termination under some schedule); its [message] names
+    the truncation depth and the truncated trace's last event.  [analyze]
+    is passed through to {!explore}. *)
 
 val decision_sets :
   ?max_steps:int -> Engine.config -> Memory.Value.t list list

@@ -1,0 +1,348 @@
+(* Tests for the Lepower_check analysis pass: the shared op codec, the
+   trace discipline checker, the bounded-value lint, the wait-freedom
+   audit, the lint driver over clean protocols and seeded-bug fixtures,
+   and the JSONL report format. *)
+
+module Value = Memory.Value
+module Trace = Runtime.Trace
+module Op_codec = Objects.Op_codec
+module Finding = Lepower_check.Finding
+module Trace_check = Lepower_check.Trace_check
+module Bounded_check = Lepower_check.Bounded_check
+module Waitfree_check = Lepower_check.Waitfree_check
+module Lint = Lepower_check.Lint
+module Report = Lepower_check.Report
+
+let rules fs = List.sort_uniq compare (List.map (fun f -> f.Finding.rule) fs)
+let reportable fs = List.filter Finding.is_reportable fs
+
+let check_rules msg expected fs =
+  Alcotest.(check (list string)) msg expected (rules (reportable fs))
+
+(* --- op codec --- *)
+
+let test_codec_round_trip () =
+  let check_kind msg op expected =
+    Alcotest.(check string) msg expected (Op_codec.kind_name (Op_codec.classify op))
+  in
+  check_kind "read" Op_codec.read_op "read";
+  check_kind "write" (Op_codec.write_op (Value.int 7)) "write";
+  check_kind "cas"
+    (Op_codec.cas_op ~expected:(Value.int 0) ~desired:(Value.int 1))
+    "cas";
+  check_kind "swap" (Op_codec.swap_op (Value.int 2)) "swap";
+  check_kind "sticky" (Op_codec.sticky_write_op (Value.int 3)) "sticky-write";
+  check_kind "rmw" (Op_codec.rmw_op "incr") "rmw";
+  (match
+     Op_codec.decode_cas
+       (Op_codec.cas_op ~expected:(Value.int 4) ~desired:(Value.int 5))
+   with
+  | Some (e, d) ->
+    Alcotest.(check bool) "cas expected" true (Value.equal e (Value.int 4));
+    Alcotest.(check bool) "cas desired" true (Value.equal d (Value.int 5))
+  | None -> Alcotest.fail "decode_cas failed on its own encoding");
+  Alcotest.(check bool) "read is_read" true (Op_codec.is_read Op_codec.read_op);
+  Alcotest.(check bool) "read not mutation" false
+    (Op_codec.is_mutation Op_codec.Read);
+  Alcotest.(check bool) "write is mutation" true
+    (Op_codec.is_mutation (Op_codec.Write Value.unit))
+
+let test_codec_objects_agree () =
+  (* The objects encode through the same codec the lint decodes with. *)
+  Alcotest.(check bool) "register read" true
+    (Value.equal Objects.Register.read_op Op_codec.read_op);
+  Alcotest.(check bool) "register write" true
+    (Value.equal
+       (Objects.Register.write_op (Value.int 9))
+       (Op_codec.write_op (Value.int 9)));
+  Alcotest.(check bool) "cas op" true
+    (Value.equal
+       (Objects.Cas_k.cas_op ~expected:Objects.Cas_k.bottom
+          ~desired:(Value.int 0))
+       (Op_codec.cas_op ~expected:Objects.Cas_k.bottom
+          ~desired:(Value.int 0)))
+
+(* --- trace discipline checker --- *)
+
+let event ~time ~pid ~loc ~op ~result = { Trace.time; pid; loc; op; result }
+
+let mwmr_store () =
+  Memory.Store.create [ ("r", Objects.Register.mwmr ~init:(Value.int 0) ()) ]
+
+let test_trace_clean () =
+  let store = mwmr_store () in
+  let trace =
+    [
+      event ~time:0 ~pid:0 ~loc:"r" ~op:(Op_codec.write_op (Value.int 1))
+        ~result:Value.unit;
+      event ~time:1 ~pid:1 ~loc:"r" ~op:Op_codec.read_op
+        ~result:(Value.int 1);
+    ]
+  in
+  check_rules "clean trace" [] (Trace_check.check ~store trace)
+
+let test_trace_swmr_violation () =
+  let store = mwmr_store () in
+  let trace =
+    [
+      event ~time:0 ~pid:0 ~loc:"r" ~op:(Op_codec.write_op (Value.int 1))
+        ~result:Value.unit;
+      event ~time:1 ~pid:1 ~loc:"r" ~op:(Op_codec.write_op (Value.int 2))
+        ~result:Value.unit;
+    ]
+  in
+  check_rules "two writers" [ "swmr-discipline" ]
+    (Trace_check.check ~single_writer:[ "r" ] ~store trace);
+  check_rules "not single-writer: fine" [] (Trace_check.check ~store trace)
+
+let test_trace_reads_from () =
+  let store = mwmr_store () in
+  let trace =
+    [
+      event ~time:0 ~pid:0 ~loc:"r" ~op:(Op_codec.write_op (Value.int 1))
+        ~result:Value.unit;
+      event ~time:1 ~pid:1 ~loc:"r" ~op:Op_codec.read_op
+        ~result:(Value.int 99);
+    ]
+  in
+  check_rules "stale read" [ "reads-from" ] (Trace_check.check ~store trace);
+  let before_write =
+    [
+      event ~time:0 ~pid:1 ~loc:"r" ~op:Op_codec.read_op
+        ~result:(Value.int 5);
+    ]
+  in
+  check_rules "read before any write" [ "reads-from" ]
+    (Trace_check.check ~store before_write)
+
+let test_trace_op_type () =
+  let store = mwmr_store () in
+  let trace =
+    [
+      event ~time:0 ~pid:0 ~loc:"r" ~op:(Op_codec.write_op (Value.int 1))
+        ~result:Value.unit;
+      event ~time:1 ~pid:1 ~loc:"r"
+        ~op:(Op_codec.swap_op (Value.int 2))
+        ~result:(Value.int 1);
+    ]
+  in
+  check_rules "swap on a register" [ "op-type" ]
+    (Trace_check.check ~store trace)
+
+(* --- bounded-value lint --- *)
+
+let test_history_rules () =
+  let open Core.Sigma in
+  check_rules "legal history" []
+    (Bounded_check.check_history ~k:3 ~loc:"C" [ Bot; V 0; V 1; V 0 ]);
+  check_rules "consecutive repeat" [ "sigma-history" ]
+    (Bounded_check.check_history ~k:3 ~loc:"C" [ Bot; V 0; V 0 ]);
+  check_rules "not starting at bottom" [ "sigma-history" ]
+    (Bounded_check.check_history ~k:3 ~loc:"C" [ V 0; V 1 ]);
+  check_rules "alphabet escape" [ "bounded-value" ]
+    (Bounded_check.check_history ~k:3 ~loc:"C" [ Bot; V 5 ]);
+  (* First uses must follow the owning label's symbol order. *)
+  let label = Core.Label.extend (Core.Label.extend Core.Label.root 0) 1 in
+  check_rules "first-use in label order" []
+    (Bounded_check.check_history ~label ~k:3 ~loc:"C" [ Bot; V 0; V 1 ]);
+  check_rules "first-use out of label order" [ "label-order" ]
+    (Bounded_check.check_history ~label ~k:3 ~loc:"C" [ Bot; V 1; V 0 ])
+
+let test_replay_divergence () =
+  let store = Memory.Store.create [ ("C", Objects.Cas_k.spec ~k:3) ] in
+  (* The cas reports prev = 1 but the register held ⊥: not reproducible. *)
+  let trace =
+    [
+      event ~time:0 ~pid:0 ~loc:"C"
+        ~op:
+          (Op_codec.cas_op ~expected:(Value.int 1) ~desired:(Value.int 0))
+        ~result:(Value.int 1);
+    ]
+  in
+  check_rules "impossible cas result" [ "replay-divergence" ]
+    (Bounded_check.check ~store trace)
+
+let test_declared_bound () =
+  (* A cas(4) register claimed to be a cas(3): feeding it 3 distinct
+     non-⊥ values violates the claim though the object accepts them. *)
+  let store = Memory.Store.create [ ("C", Objects.Cas_k.spec ~k:4) ] in
+  let cas ~time ~pid ~expected ~desired =
+    event ~time ~pid ~loc:"C"
+      ~op:(Op_codec.cas_op ~expected ~desired)
+      ~result:expected
+  in
+  let trace =
+    [
+      cas ~time:0 ~pid:0 ~expected:Objects.Cas_k.bottom ~desired:(Value.int 0);
+      cas ~time:1 ~pid:1 ~expected:(Value.int 0) ~desired:(Value.int 1);
+      cas ~time:2 ~pid:2 ~expected:(Value.int 1) ~desired:(Value.int 2);
+    ]
+  in
+  check_rules "own k=4 bound holds" [] (Bounded_check.check ~store trace);
+  check_rules "claimed k=3 bound fails" [ "bounded-value" ]
+    (Bounded_check.check ~bounds:[ ("C", 3) ] ~store trace)
+
+(* --- wait-freedom audit --- *)
+
+let test_audit_bounded () =
+  let store = mwmr_store () in
+  let prog =
+    let open Runtime.Program in
+    complete
+      (let* () = Objects.Register.write "r" (Value.int 1) in
+       Objects.Register.read "r")
+  in
+  match Waitfree_check.audit_programs ~store ~budget:5 [ prog ] with
+  | [ (0, Waitfree_check.Bounded b) ] ->
+    Alcotest.(check int) "two ops" 2 b
+  | _ -> Alcotest.fail "expected a Bounded verdict for pid 0"
+
+let test_audit_exceeded () =
+  let store = mwmr_store () in
+  let prog =
+    let open Runtime.Program in
+    complete
+      (repeat_until (fun () ->
+           let* v = Objects.Register.read "r" in
+           if Value.equal v (Value.int 42) then return (Some v)
+           else return None))
+  in
+  match Waitfree_check.audit_programs ~store ~budget:3 [ prog ] with
+  | [ (0, Waitfree_check.Exceeded { budget = 3; witness }) ] ->
+    Alcotest.(check int) "witness length" 4 (List.length witness)
+  | _ -> Alcotest.fail "expected an Exceeded verdict for pid 0"
+
+(* --- the lint driver --- *)
+
+let test_lint_clean_election () =
+  let r = Lint.lint_instance (Protocols.Cas_election.instance ~k:3 ~n:2) in
+  Alcotest.(check bool) "report ok" true (Report.ok r);
+  Alcotest.(check (list string)) "no findings" [] (rules r.Report.findings);
+  match r.Report.stats with
+  | Some s ->
+    Alcotest.(check bool) "exhaustive" true s.Report.exhaustive;
+    Alcotest.(check bool) "analyzed schedules" true (s.Report.schedules > 0)
+  | None -> Alcotest.fail "expected run stats"
+
+let test_fixture_swmr () =
+  let r = Lint.lint (Lint.broken_swmr_fixture ()) in
+  Alcotest.(check bool) "not ok" false (Report.ok r);
+  check_rules "planted rule" [ "swmr-discipline" ] r.Report.findings
+
+let test_fixture_cas () =
+  let r = Lint.lint (Lint.broken_cas_fixture ()) in
+  Alcotest.(check bool) "not ok" false (Report.ok r);
+  check_rules "planted rule" [ "bounded-value" ] r.Report.findings
+
+let test_fixture_spin () =
+  let r = Lint.lint (Lint.spin_fixture ()) in
+  Alcotest.(check bool) "not ok" false (Report.ok r);
+  check_rules "planted rule" [ "wait-freedom" ] r.Report.findings;
+  match List.assoc_opt 0 r.Report.audits with
+  | Some (Waitfree_check.Exceeded _) -> ()
+  | _ -> Alcotest.fail "expected the audit to exceed the budget"
+
+let test_lint_rules_filter () =
+  let r =
+    Lint.lint ~rules:[ "reads-from" ] (Lint.broken_swmr_fixture ())
+  in
+  Alcotest.(check bool) "filtered clean" true (Report.ok r);
+  Alcotest.(check (list string)) "nothing kept" [] (rules r.Report.findings)
+
+(* --- satellite: truncation messages name depth and last event --- *)
+
+let test_truncated_message () =
+  let store = mwmr_store () in
+  let spin =
+    let open Runtime.Program in
+    complete
+      (repeat_until (fun () ->
+           let* v = Objects.Register.read "r" in
+           if Value.equal v (Value.int 42) then return (Some v)
+           else return None))
+  in
+  let config = Runtime.Engine.init store [ spin ] in
+  match
+    Runtime.Explore.check_all ~max_steps:5 config (fun _ -> Ok ())
+  with
+  | Ok _ -> Alcotest.fail "expected the spin to truncate"
+  | Error v ->
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the depth" true
+      (contains "depth 5" v.Runtime.Explore.message);
+    Alcotest.(check bool) "names the last event" true
+      (contains "last event" v.Runtime.Explore.message)
+
+(* --- JSONL report format --- *)
+
+let test_report_jsonl () =
+  let reports =
+    [
+      Lint.lint (Lint.broken_cas_fixture ());
+      Lint.lint_instance (Protocols.Cas_election.instance ~k:3 ~n:2);
+    ]
+  in
+  let docs = List.concat_map Report.jsonl reports in
+  Alcotest.(check bool) "several documents" true (List.length docs >= 3);
+  List.iter
+    (fun doc ->
+      let line = Lepower_obs.Json.to_string doc in
+      match Lepower_obs.Json.of_string line with
+      | Ok round -> Alcotest.(check bool) "round-trips" true
+          (Lepower_obs.Json.equal doc round)
+      | Error e -> Alcotest.fail ("unparseable JSONL line: " ^ e))
+    docs;
+  (* The last record of each report is its summary. *)
+  match List.rev (Report.jsonl (List.hd reports)) with
+  | last :: _ -> (
+    match Lepower_obs.Json.member "type" last with
+    | Some (Lepower_obs.Json.String "lint-summary") -> ()
+    | _ -> Alcotest.fail "expected a trailing lint-summary record")
+  | [] -> Alcotest.fail "empty JSONL stream"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "op-codec",
+        [
+          Alcotest.test_case "round trip" `Quick test_codec_round_trip;
+          Alcotest.test_case "objects agree" `Quick test_codec_objects_agree;
+        ] );
+      ( "trace-check",
+        [
+          Alcotest.test_case "clean" `Quick test_trace_clean;
+          Alcotest.test_case "swmr violation" `Quick
+            test_trace_swmr_violation;
+          Alcotest.test_case "reads-from" `Quick test_trace_reads_from;
+          Alcotest.test_case "op-type" `Quick test_trace_op_type;
+        ] );
+      ( "bounded-check",
+        [
+          Alcotest.test_case "history rules" `Quick test_history_rules;
+          Alcotest.test_case "replay divergence" `Quick
+            test_replay_divergence;
+          Alcotest.test_case "declared bound" `Quick test_declared_bound;
+        ] );
+      ( "waitfree-check",
+        [
+          Alcotest.test_case "bounded" `Quick test_audit_bounded;
+          Alcotest.test_case "exceeded" `Quick test_audit_exceeded;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean election" `Quick
+            test_lint_clean_election;
+          Alcotest.test_case "broken swmr fixture" `Quick test_fixture_swmr;
+          Alcotest.test_case "broken cas fixture" `Quick test_fixture_cas;
+          Alcotest.test_case "spin fixture" `Quick test_fixture_spin;
+          Alcotest.test_case "rules filter" `Quick test_lint_rules_filter;
+          Alcotest.test_case "truncation message" `Quick
+            test_truncated_message;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "jsonl round trip" `Quick test_report_jsonl ] );
+    ]
