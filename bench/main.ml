@@ -489,16 +489,199 @@ let micro_benchmarks () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable artifacts: alongside the tables above, emit        *)
-(* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
-(* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
-(* diff runs without scraping stdout.  LEPOWER_BENCH_DIR overrides the *)
-(* output directory (default: the current directory).                  *)
+(* E12: exploration throughput — the explorer's opt-in reductions      *)
+(* (dedup, POR, domains) against the naive exhaustive walk, with the   *)
+(* cross-mode agreement checks that make the speedups trustworthy.     *)
 
+(* Output directory for the machine-readable artifacts below;
+   LEPOWER_BENCH_DIR overrides (default: the current directory). *)
 let bench_dir () =
   match Sys.getenv_opt "LEPOWER_BENCH_DIR" with
   | Some dir when dir <> "" -> dir
   | _ -> "."
+
+let host_cores = Domain.recommended_domain_count ()
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The mode grid: every reduction alone, combined, and combined across
+   4 domains.  [naive dom4] isolates the parallel-runtime overhead from
+   the reduction gains. *)
+let e12_modes =
+  [
+    ("naive", false, false, 1);
+    ("dedup", true, false, 1);
+    ("por", false, true, 1);
+    ("dedup+por", true, true, 1);
+    ("naive dom4", false, false, 4);
+    ("dedup+por dom4", true, true, 4);
+  ]
+
+let e12_stats_row name (stats : Runtime.Explore.stats) secs verdict =
+  let module Json = Lepower_obs.Json in
+  Printf.printf "%-16s %10.3fs %12d %12d %10d %10d %6s\n" name secs
+    stats.Runtime.Explore.configs_visited stats.Runtime.Explore.terminals
+    stats.Runtime.Explore.configs_deduped stats.Runtime.Explore.por_pruned
+    verdict;
+  ( name,
+    Json.Obj
+      [
+        ("wall_s", Json.Float secs);
+        ( "configs_per_s",
+          Json.Float
+            (if secs > 0. then
+               float_of_int stats.Runtime.Explore.configs_visited /. secs
+             else 0.) );
+        ("configs_visited", Json.Int stats.Runtime.Explore.configs_visited);
+        ("configs_deduped", Json.Int stats.Runtime.Explore.configs_deduped);
+        ("por_pruned", Json.Int stats.Runtime.Explore.por_pruned);
+        ("terminals", Json.Int stats.Runtime.Explore.terminals);
+        ("truncated", Json.Int stats.Runtime.Explore.truncated);
+        ("choice_points", Json.Int stats.Runtime.Explore.choice_points);
+        ("domains_used", Json.Int stats.Runtime.Explore.domains_used);
+        ("verdict", Json.String verdict);
+      ] )
+
+let e12_table_header () =
+  Printf.printf "%-16s %11s %12s %12s %10s %10s %6s\n" "mode" "wall" "configs"
+    "terminals" "deduped" "pruned" "check"
+
+(* Workload 1: whole-space agreement checking (check_all through the
+   election harness) on cas-election under the crash-fault adversary —
+   a schedule space that is combinatorially huge but canonically tiny,
+   the memoizer's best case. *)
+let e12_checked_workload ~instance ~crash_faults =
+  Printf.printf "\n%s, crash_faults=%b  (check_all)\n"
+    instance.Protocols.Election.name crash_faults;
+  e12_table_header ();
+  List.map
+    (fun (name, dedup, por, domains) ->
+      let result, secs =
+        wall (fun () ->
+            Protocols.Election.explore_stats instance ~max_steps:10_000
+              ~crash_faults ~dedup ~por ~domains)
+      in
+      match result with
+      | Ok stats -> (e12_stats_row name stats secs "ok", `Ok)
+      | Error _ ->
+        let zero =
+          {
+            Runtime.Explore.terminals = 0;
+            truncated = 0;
+            max_depth = 0;
+            choice_points = 0;
+            configs_visited = 0;
+            configs_deduped = 0;
+            por_pruned = 0;
+            domains_used = domains;
+          }
+        in
+        (e12_stats_row name zero secs "VIOL", `Violation))
+    e12_modes
+
+(* Workload 2: raw tree enumeration (plain explore, no predicate) of the
+   permutation protocol under a step cap — multi-location programs where
+   POR's independence relation has real traction, including truncated
+   branches. *)
+let e12_capped_workload ~instance ~max_steps =
+  Printf.printf "\n%s, max_steps=%d  (plain explore)\n"
+    instance.Protocols.Election.name max_steps;
+  e12_table_header ();
+  List.map
+    (fun (name, dedup, por, domains) ->
+      let stats, secs =
+        wall (fun () ->
+            Runtime.Explore.explore ~max_steps ~dedup ~por ~domains
+              (Protocols.Election.config instance))
+      in
+      e12_stats_row name stats secs "-")
+    e12_modes
+
+(* Agreement: decision_sets must be byte-identical across every mode on
+   representative instances (the explorer's own equivalence tests cover
+   more; re-asserting it here keeps the published numbers honest). *)
+let e12_agreement () =
+  let identical instance max_steps =
+    let config () = Protocols.Election.config instance in
+    let naive = Runtime.Explore.decision_sets ~max_steps (config ()) in
+    List.for_all
+      (fun (_, dedup, por, domains) ->
+        Runtime.Explore.decision_sets ~max_steps ~dedup ~por ~domains
+          (config ())
+        = naive)
+      e12_modes
+  in
+  let cas = identical (Protocols.Cas_election.instance ~k:4 ~n:3) 60 in
+  let perm = identical (Protocols.Permutation_election.instance ~k:3 ~n:2) 12 in
+  Printf.printf "\ndecision_sets identical across modes: cas %s, perm %s\n"
+    (ok_or cas) (ok_or perm);
+  cas && perm
+
+let e12_explore ~smoke () =
+  let module Json = Lepower_obs.Json in
+  header
+    (Printf.sprintf "E12 exploration throughput (dedup/POR/domains)%s"
+       (if smoke then " [smoke]" else ""));
+  Printf.printf "host cores: %d%s\n" host_cores
+    (if host_cores < 4 then
+       "  (domains>1 pays the multi-domain runtime with no parallelism)"
+     else "");
+  let checked_instance =
+    if smoke then Protocols.Cas_election.instance ~k:6 ~n:5
+    else Protocols.Cas_election.instance ~k:8 ~n:7
+  in
+  let capped_instance = Protocols.Permutation_election.instance ~k:3 ~n:2 in
+  let capped_steps = if smoke then 12 else 18 in
+  let checked = e12_checked_workload ~instance:checked_instance ~crash_faults:true in
+  let capped = e12_capped_workload ~instance:capped_instance ~max_steps:capped_steps in
+  let verdicts_identical =
+    match checked with
+    | (_, first) :: rest -> List.for_all (fun (_, v) -> v = first) rest
+    | [] -> true
+  in
+  let decisions_identical = e12_agreement () in
+  Printf.printf "check_all verdicts identical across modes: %s\n"
+    (ok_or verdicts_identical);
+  let json =
+    Json.Obj
+      [
+        ("source", Json.String "bench/main.exe");
+        ("experiment", Json.String "E12");
+        ("smoke", Json.Bool smoke);
+        ("host_cores", Json.Int host_cores);
+        ( "workloads",
+          Json.Obj
+            [
+              ( checked_instance.Protocols.Election.name ^ " crash",
+                Json.Obj (List.map fst checked) );
+              ( Printf.sprintf "%s cap%d"
+                  capped_instance.Protocols.Election.name capped_steps,
+                Json.Obj capped );
+            ] );
+        ( "agreement",
+          Json.Obj
+            [
+              ("check_all_verdicts_identical", Json.Bool verdicts_identical);
+              ("decision_sets_identical", Json.Bool decisions_identical);
+            ] );
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) "BENCH_explore.json" in
+  Lepower_obs.Export.write_json path json;
+  Printf.printf "explore JSON: %s\n" path;
+  if not (verdicts_identical && decisions_identical) then begin
+    prerr_endline "E12: cross-mode agreement check FAILED";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable artifacts: alongside the tables above, emit        *)
+(* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
+(* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
+(* diff runs without scraping stdout.                                  *)
 
 let write_bench_json micro_rows =
   let module Json = Lepower_obs.Json in
@@ -523,19 +706,30 @@ let write_bench_json micro_rows =
 let () =
   (* Counters on for the whole harness: the experiment tables double as a
      workload that exercises every instrumented hot path, and the final
-     snapshot records exactly how much work each experiment drove. *)
+     snapshot records exactly how much work each experiment drove.
+
+     [explore-smoke] runs only a downsized E12 — the exploration
+     benchmark plus its cross-mode agreement checks — sized for the
+     @bench-smoke alias. *)
   Lepower_obs.Metrics.enable ();
-  e1_capacity ();
-  e2_bcl ();
-  e3_game ();
-  e4_emulation ();
-  e5_invariants ();
-  e6_hierarchy ();
-  e7_universal ();
-  e8_history ();
-  e9_multi_register ();
-  e10_provisioning ();
-  a1_ablations ();
-  let micro_rows = micro_benchmarks () in
-  write_bench_json micro_rows;
-  print_newline ()
+  match Sys.argv with
+  | [| _; "explore-smoke" |] -> e12_explore ~smoke:true ()
+  | [| _ |] ->
+    e1_capacity ();
+    e2_bcl ();
+    e3_game ();
+    e4_emulation ();
+    e5_invariants ();
+    e6_hierarchy ();
+    e7_universal ();
+    e8_history ();
+    e9_multi_register ();
+    e10_provisioning ();
+    a1_ablations ();
+    e12_explore ~smoke:false ();
+    let micro_rows = micro_benchmarks () in
+    write_bench_json micro_rows;
+    print_newline ()
+  | _ ->
+    prerr_endline "usage: main.exe [explore-smoke]";
+    exit 2

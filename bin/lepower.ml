@@ -167,11 +167,49 @@ let explore_max_steps =
     & info [ "max-steps" ]
         ~doc:"Per-execution step bound for the exhaustive search.")
 
-let explore k protocol n max_steps trace_out metrics_out =
+let explore_dedup =
+  Arg.(
+    value & flag
+    & info [ "dedup" ]
+        ~doc:
+          "Memoize visited configurations (canonical fingerprint over store \
+           + per-process state) and prune revisits.  Sound here: the \
+           election predicate is trace-order-insensitive.")
+
+let explore_por =
+  Arg.(
+    value & flag
+    & info [ "por" ]
+        ~doc:
+          "Sleep-set partial-order reduction: skip interleavings that only \
+           reorder commuting steps (distinct locations, read-read, \
+           crashes, decide steps).")
+
+let explore_domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Split the top of the schedule tree across $(docv) OCaml domains \
+           running in parallel.")
+
+let explore_crash =
+  Arg.(
+    value & flag
+    & info [ "crash-faults" ]
+        ~doc:
+          "Let the adversary also fail-stop any process at every choice \
+           point (the wait-free adversary; multiplies the schedule space).")
+
+let explore k protocol n max_steps dedup por domains crash_faults trace_out
+    metrics_out =
   let instance = election_instance ~k ~n protocol in
   Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
   with_obs ~trace_out ~metrics_out (fun () ->
-      match Protocols.Election.explore_stats instance ~max_steps with
+      match
+        Protocols.Election.explore_stats instance ~max_steps
+          ~crash_faults ~dedup ~por ~domains
+      with
       | Ok stats ->
         Printf.printf "schedules (terminals): %d\n"
           stats.Runtime.Explore.terminals;
@@ -183,6 +221,12 @@ let explore k protocol n max_steps trace_out metrics_out =
           stats.Runtime.Explore.choice_points;
         Printf.printf "configs visited:       %d\n"
           stats.Runtime.Explore.configs_visited;
+        Printf.printf "configs deduped:       %d\n"
+          stats.Runtime.Explore.configs_deduped;
+        Printf.printf "POR pruned moves:      %d\n"
+          stats.Runtime.Explore.por_pruned;
+        Printf.printf "domains used:          %d\n"
+          stats.Runtime.Explore.domains_used;
         (0, None)
       | Error e ->
         Printf.printf "violation: %s\n" e;
@@ -193,9 +237,12 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:
          "Exhaustively check a leader election over every interleaving and \
-          report the schedule-space statistics (small instances only).")
+          report the schedule-space statistics (small instances only).  \
+          --dedup, --por and --domains opt into the reduced/parallel \
+          explorer; the verdict is identical to the naive walk's.")
     Term.(
       const explore $ k_arg $ elect_protocol $ elect_n $ explore_max_steps
+      $ explore_dedup $ explore_por $ explore_domains $ explore_crash
       $ trace_out_arg $ metrics_out_arg)
 
 (* --- lint --- *)

@@ -1,0 +1,125 @@
+(* Compare two benchmark JSON artifacts (BENCH_explore.json,
+   BENCH_micro.json, BENCH_counters.json) and flag regressions.
+
+     bench_diff OLD NEW [--threshold PCT]
+
+   Walks both documents in lockstep and compares every numeric leaf the
+   two share.  Direction is inferred from the key name:
+
+     - [wall_s], [*_ns], and entries under a ["benchmarks"] object are
+       timings: lower is better, a rise past the threshold regresses;
+     - [configs_per_s] is a rate: higher is better, a drop past the
+       threshold regresses;
+     - every other number (counters, sizes, verdicts encoded as 0/1) is
+       compared for information only — printed when it changed, never
+       fatal, since work counts legitimately move with the workload.
+
+   Exits 1 when any regression was flagged, 0 otherwise; missing or
+   unparseable files are a hard error (exit 2).  The default threshold
+   is 20%. *)
+
+module Json = Lepower_obs.Json
+
+let threshold = ref 20.0
+let regressions = ref 0
+
+let read_json path =
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "bench_diff: cannot read %s: %s\n" path e;
+      exit 2
+  in
+  match Json.of_string contents with
+  | Ok j -> j
+  | Error e ->
+    Printf.eprintf "bench_diff: invalid JSON in %s: %s\n" path e;
+    exit 2
+
+type direction = Lower_better | Higher_better | Informational
+
+let direction ~in_benchmarks key =
+  if in_benchmarks || key = "wall_s" || Filename.check_suffix key "_ns" then
+    Lower_better
+  else if key = "configs_per_s" then Higher_better
+  else Informational
+
+let pct_change ~old_v ~new_v =
+  if old_v = 0. then if new_v = 0. then 0. else infinity
+  else (new_v -. old_v) /. Float.abs old_v *. 100.
+
+let report path dir old_v new_v =
+  let change = pct_change ~old_v ~new_v in
+  let flag worse =
+    if worse > !threshold then begin
+      incr regressions;
+      Printf.printf "REGRESSION  %-50s %12.4g -> %-12.4g (%+.1f%%)\n" path
+        old_v new_v change
+    end
+    else if Float.abs change > 0.5 then
+      Printf.printf "ok          %-50s %12.4g -> %-12.4g (%+.1f%%)\n" path
+        old_v new_v change
+  in
+  match dir with
+  | Lower_better -> flag change
+  | Higher_better -> flag (-.change)
+  | Informational ->
+    if old_v <> new_v then
+      Printf.printf "info        %-50s %12.4g -> %-12.4g\n" path old_v new_v
+
+let as_number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | Json.Bool _ | Json.Null | Json.String _ | Json.List _ | Json.Obj _ -> None
+
+let rec diff ~in_benchmarks path old_j new_j =
+  match (old_j, new_j) with
+  | Json.Obj old_fields, Json.Obj new_fields ->
+    List.iter
+      (fun (key, old_v) ->
+        match List.assoc_opt key new_fields with
+        | None -> Printf.printf "info        %s/%s: dropped\n" path key
+        | Some new_v ->
+          diff
+            ~in_benchmarks:(in_benchmarks || key = "benchmarks")
+            (path ^ "/" ^ key) old_v new_v)
+      old_fields
+  | Json.List old_items, Json.List new_items
+    when List.length old_items = List.length new_items ->
+    List.iteri
+      (fun i (o, n) -> diff ~in_benchmarks (Printf.sprintf "%s[%d]" path i) o n)
+      (List.combine old_items new_items)
+  | _ -> (
+    match (as_number old_j, as_number new_j) with
+    | Some old_v, Some new_v ->
+      let key = Filename.basename path in
+      report path (direction ~in_benchmarks key) old_v new_v
+    | _ -> ())
+
+let () =
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p > 0. -> threshold := p
+      | _ ->
+        Printf.eprintf "bench_diff: bad threshold %S\n" pct;
+        exit 2);
+      parse rest
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !positional with
+  | [ old_path; new_path ] ->
+    diff ~in_benchmarks:false "" (read_json old_path) (read_json new_path);
+    if !regressions > 0 then begin
+      Printf.printf "%d regression(s) beyond %.0f%%\n" !regressions !threshold;
+      exit 1
+    end
+    else Printf.printf "no regressions beyond %.0f%%\n" !threshold
+  | _ ->
+    prerr_endline "usage: bench_diff OLD.json NEW.json [--threshold PCT]";
+    exit 2

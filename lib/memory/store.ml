@@ -31,6 +31,7 @@ let poke t loc v =
 let spec_of t loc = Smap.find_opt loc t.specs
 let locs t = List.map fst (Smap.bindings t.specs)
 let compare_states a b = Smap.compare Value.compare a.states b.states
+let state_bindings t = Smap.bindings t.states
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@]"

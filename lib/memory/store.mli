@@ -32,4 +32,8 @@ val compare_states : t -> t -> int
 (** Compare the two stores' states location-wise (specs are assumed equal);
     used to key visited-set entries in exhaustive exploration. *)
 
+val state_bindings : t -> (string * Value.t) list
+(** Every location's current state, sorted by location.  The canonical
+    store component of the explorer's configuration fingerprint. *)
+
 val pp : Format.formatter -> t -> unit

@@ -37,7 +37,25 @@ let rec compare a b =
   | List xs, List ys -> List.compare compare xs ys
   | _, _ -> Int.compare (tag a) (tag b)
 
-let hash v = Hashtbl.hash v
+(* FNV-1a-style mixing.  [Hashtbl.hash] is depth- and width-limited (it
+   samples at most ~10 "meaningful" nodes), so on the deep [Pair]/[List]
+   values the protocols build it collapses structurally distinct values
+   onto the same hash with high probability — fatal for the explorer's
+   visited-set, which keys millions of configurations on value hashes.
+   This hash visits every node, so [equal a b] implies [hash a = hash b]
+   and unequal deep values almost surely differ. *)
+let mix h x = (h * 0x01000193) lxor x
+
+let rec hash_fold h = function
+  | Unit -> mix h 0x11
+  | Bool false -> mix h 0x23
+  | Bool true -> mix h 0x37
+  | Int i -> mix (mix h 0x41) i
+  | Sym s -> String.fold_left (fun h c -> mix h (Char.code c)) (mix h 0x53) s
+  | Pair (a, b) -> hash_fold (hash_fold (mix h 0x61) a) b
+  | List vs -> List.fold_left hash_fold (mix h 0x79) vs
+
+let hash v = hash_fold 0x811c9dc5 v land max_int
 
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"

@@ -17,7 +17,18 @@ type t =
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Structural hash visiting {e every} node (unlike [Hashtbl.hash], which
+    samples a bounded prefix and collides badly on deep [Pair]/[List]
+    structures).  Consistent with {!equal}:
+    [equal a b] implies [hash a = hash b].  Always non-negative. *)
+
+val hash_fold : int -> t -> int
+(** [hash_fold seed v] folds [v]'s structural hash into an accumulator, so
+    composite keys (the explorer's configuration fingerprints) can chain
+    value hashes without intermediate allocation.  [hash] is
+    [hash_fold] from a fixed seed, masked non-negative. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -114,9 +114,13 @@ let run_with_crashes t ~seed ~crashed =
     | Some (Value.Int i) -> Ok i
     | Some _ | None -> Error "no survivor decided")
 
-let explore_stats ?analyze t ~max_steps =
+let explore_stats ?analyze ?crash_faults ?dedup ?por ?domains t ~max_steps =
+  (* [check_config] only inspects final statuses, decisions and per-pid
+     trace projections — trace-order-insensitive, so every reduction is
+     sound to request here (see Runtime.Explore). *)
   match
-    Runtime.Explore.check_all ~max_steps ?analyze (config t) (check_config t)
+    Runtime.Explore.check_all ~max_steps ?crash_faults ?dedup ?por ?domains
+      ?analyze (config t) (check_config t)
   with
   | Ok stats -> Ok stats
   | Error v ->

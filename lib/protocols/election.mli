@@ -61,6 +61,10 @@ val explore_all : instance -> max_steps:int -> (int, string) result
 
 val explore_stats :
   ?analyze:(Runtime.Engine.config -> unit) ->
+  ?crash_faults:bool ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?domains:int ->
   instance ->
   max_steps:int ->
   (Runtime.Explore.stats, string) result
@@ -68,7 +72,13 @@ val explore_stats :
     (terminals, truncations, choice points, configurations visited).
     [analyze] runs on every terminal configuration (see
     {!Runtime.Explore.explore}) — the hook [Lepower_check] uses to lint
-    every complete trace of the protocol. *)
+    every complete trace of the protocol.
+
+    [crash_faults] additionally lets the adversary fail-stop processes at
+    every choice point.  [dedup]/[por]/[domains] request the explorer's
+    opt-in reductions; the election predicate is trace-order-insensitive
+    (final statuses, decisions, per-pid projections only), so they
+    preserve the verdict exactly. *)
 
 val leader_of : Runtime.Engine.outcome -> Value.t option
 (** The common decision, if any process decided. *)

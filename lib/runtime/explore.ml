@@ -4,6 +4,9 @@ type stats = {
   max_depth : int;
   choice_points : int;
   configs_visited : int;
+  configs_deduped : int;
+  por_pruned : int;
+  domains_used : int;
 }
 
 exception Stop_exploration
@@ -12,62 +15,403 @@ let m_configs = Lepower_obs.Metrics.counter "explore.configs_visited"
 let m_choice_points = Lepower_obs.Metrics.counter "explore.choice_points"
 let m_terminals = Lepower_obs.Metrics.counter "explore.terminals"
 let m_truncated = Lepower_obs.Metrics.counter "explore.truncated"
+let m_deduped = Lepower_obs.Metrics.counter "explore.configs_deduped"
+let m_por_pruned = Lepower_obs.Metrics.counter "explore.por_pruned"
 
-let explore ?(max_steps = 10_000) ?(crash_faults = false) ?analyze ?on_terminal
-    ?on_truncated config =
-  let terminals = ref 0
-  and truncated = ref 0
-  and max_depth = ref 0
-  and choice_points = ref 0
-  and configs_visited = ref 0 in
-  let emit hook n config =
-    incr n;
-    match hook with None -> () | Some f -> f config
+(* ------------------------------------------------------------------ *)
+(* Adversary moves and the independence relation (POR).               *)
+
+type move = Step_m of int | Crash_m of int
+
+let move_pid = function Step_m pid | Crash_m pid -> pid
+
+let move_equal a b =
+  match (a, b) with
+  | Step_m x, Step_m y | Crash_m x, Crash_m y -> x = y
+  | (Step_m _ | Crash_m _), _ -> false
+
+(* What a move touches at [config]: [None] when it accesses no shared
+   location (a crash, or a decide step of a [Done] program); otherwise
+   the location and whether the operation is a pure read.  The read
+   encoding is [Op_codec.read_op = Sym "read"] — the one wire format the
+   whole object zoo shares; [test_explore] cross-checks the two against
+   each other so they cannot drift apart. *)
+let move_access (config : Engine.config) = function
+  | Crash_m _ -> None
+  | Step_m pid -> (
+    match config.Engine.procs.(pid).Proc.prog with
+    | Program.Done _ -> None
+    | Program.Step (loc, op, _) ->
+      Some (loc, Memory.Value.equal op (Memory.Value.Sym "read")))
+
+(* Two moves commute (their order is unobservable up to global trace
+   order) when they belong to distinct processes and do not conflict on
+   a location: ops on distinct locations commute, and read-read on the
+   same location commutes.  Moves touching no location (crashes, decide
+   steps) commute with every other process's moves.  In this model a
+   process's enabledness depends only on its own status, so independent
+   moves can never enable or disable one another. *)
+let independent config m1 m2 =
+  move_pid m1 <> move_pid m2
+  &&
+  match (move_access config m1, move_access config m2) with
+  | None, _ | _, None -> true
+  | Some (l1, r1), Some (l2, r2) -> (not (String.equal l1 l2)) || (r1 && r2)
+
+let sleep_mem m sleep = List.exists (move_equal m) sleep
+let sleep_subset a b = List.for_all (fun m -> sleep_mem m b) a
+let sleep_inter a b = List.filter (fun m -> sleep_mem m b) a
+
+(* ------------------------------------------------------------------ *)
+(* Options and mutable accumulators.                                  *)
+
+type opts = {
+  o_max_steps : int;
+  o_crash_faults : bool;
+  o_dedup : bool;
+  o_por : bool;
+}
+
+type acc = {
+  mutable a_terminals : int;
+  mutable a_truncated : int;
+  mutable a_max_depth : int;
+  mutable a_choice_points : int;
+  mutable a_configs : int;
+  mutable a_deduped : int;
+  mutable a_pruned : int;
+}
+
+let acc_create () =
+  {
+    a_terminals = 0;
+    a_truncated = 0;
+    a_max_depth = 0;
+    a_choice_points = 0;
+    a_configs = 0;
+    a_deduped = 0;
+    a_pruned = 0;
+  }
+
+let acc_merge into from =
+  into.a_terminals <- into.a_terminals + from.a_terminals;
+  into.a_truncated <- into.a_truncated + from.a_truncated;
+  into.a_max_depth <- max into.a_max_depth from.a_max_depth;
+  into.a_choice_points <- into.a_choice_points + from.a_choice_points;
+  into.a_configs <- into.a_configs + from.a_configs;
+  into.a_deduped <- into.a_deduped + from.a_deduped;
+  into.a_pruned <- into.a_pruned + from.a_pruned
+
+let initial_histories (config : Engine.config) =
+  Array.make (Array.length config.Engine.procs) Fingerprint.history_empty
+
+(* Step process [pid] and, when memoizing, extend its fingerprint history
+   with the event the step appended (decide steps and store-rejected
+   faults append none — physical trace identity detects that). *)
+let step_with_history opts (config : Engine.config) histories pid =
+  let config' = Engine.step config pid in
+  let histories' =
+    if not opts.o_dedup then histories
+    else if config'.Engine.trace != config.Engine.trace then
+      match config'.Engine.trace with
+      | e :: _ ->
+        let h = Array.copy histories in
+        h.(pid) <- Fingerprint.history_extend h.(pid) e;
+        h
+      | [] -> histories
+    else histories
   in
-  let rec go config depth =
-    if depth > !max_depth then max_depth := depth;
-    incr configs_visited;
-    Lepower_obs.Metrics.incr m_configs;
+  (config', histories')
+
+let moves_of opts pids =
+  (* Same traversal order as the historical naive walk: for each enabled
+     pid in ascending order, its step move then (with crash faults) its
+     crash move. *)
+  List.concat_map
+    (fun pid ->
+      if opts.o_crash_faults then [ Step_m pid; Crash_m pid ]
+      else [ Step_m pid ])
+    pids
+
+(* ------------------------------------------------------------------ *)
+(* The sequential core: DFS with optional visited-set memoization and  *)
+(* sleep-set partial-order reduction.                                  *)
+(*                                                                     *)
+(* Memoization: a configuration's fingerprint determines its reachable *)
+(* futures AND its depth (depth = per-proc events + decided + faulted, *)
+(* all fingerprint-determined), so pruning a revisit can never cut off *)
+(* budget the first visit did not have.                                *)
+(*                                                                     *)
+(* Sleep sets (Godefroid): after exploring move [m] at a node, [m] is  *)
+(* put to sleep for the remaining sibling subtrees, and a child's      *)
+(* sleep set keeps only moves independent of the move just taken.      *)
+(* Combined with the visited set, a revisit may only be pruned when    *)
+(* the stored sleep set is a subset of the current one; otherwise the  *)
+(* node is re-explored with the intersection (state-space caching      *)
+(* discipline), which keeps the combination sound.                     *)
+
+let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
+    (config0, histories0, depth0) =
+  let rec go config histories depth sleep =
+    if depth > acc.a_max_depth then acc.a_max_depth <- depth;
+    let enabled = Engine.enabled config in
+    let leaf = enabled = [] || depth >= opts.o_max_steps in
+    let proceed sleep =
+      acc.a_configs <- acc.a_configs + 1;
+      match enabled with
+      | [] ->
+        (match analyze with None -> () | Some f -> f config);
+        acc.a_terminals <- acc.a_terminals + 1;
+        (match on_terminal with None -> () | Some f -> f config)
+      | _ when depth >= opts.o_max_steps ->
+        acc.a_truncated <- acc.a_truncated + 1;
+        (match on_truncated with None -> () | Some f -> f config)
+      | pids ->
+        (* A choice point is a configuration where the adversary has more
+           than one move: several enabled processes, or (with crash
+           faults) the step/crash alternative for even a single one. *)
+        if (match pids with _ :: _ :: _ -> true | _ -> opts.o_crash_faults)
+        then acc.a_choice_points <- acc.a_choice_points + 1;
+        let rec loop sleep explored = function
+          | [] -> ()
+          | m :: rest ->
+            if sleep_mem m sleep then begin
+              acc.a_pruned <- acc.a_pruned + 1;
+              loop sleep explored rest
+            end
+            else begin
+              let child_sleep =
+                if opts.o_por then
+                  List.filter
+                    (fun m' -> independent config m' m)
+                    (List.rev_append explored sleep)
+                else []
+              in
+              (match m with
+              | Step_m pid ->
+                let config', histories' =
+                  step_with_history opts config histories pid
+                in
+                go config' histories' (depth + 1) child_sleep
+              | Crash_m pid ->
+                go (Engine.crash config pid) histories depth child_sleep);
+              loop sleep (if opts.o_por then m :: explored else explored) rest
+            end
+        in
+        loop sleep [] (moves_of opts pids)
+    in
+    match visited with
+    | None -> proceed sleep
+    | Some tbl -> (
+      let key = Fingerprint.make config histories in
+      match Fingerprint.Tbl.find_opt tbl key with
+      | None ->
+        Fingerprint.Tbl.add tbl key (if leaf then [] else sleep);
+        proceed sleep
+      | Some stored when leaf || sleep_subset stored sleep ->
+        (* Everything this node would explore was already explored under
+           a sleep set no larger than the current one. *)
+        acc.a_deduped <- acc.a_deduped + 1
+      | Some stored ->
+        (* Revisit with moves awake that slept last time: re-explore
+           under the intersection so no transition is lost. *)
+        let sleep = sleep_inter sleep stored in
+        Fingerprint.Tbl.replace tbl key sleep;
+        proceed sleep)
+  in
+  go config0 histories0 depth0 []
+
+(* ------------------------------------------------------------------ *)
+(* Multicore frontier exploration.                                    *)
+
+(* Expand the first few levels of the schedule tree breadth-first (naive:
+   no memoization or reduction, so the split is exact) until at least
+   [target] roots exist; leaves met on the way are dispatched to the
+   callbacks right here in the coordinator.  Returns the frontier in
+   deterministic (schedule) order. *)
+let split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated ~target
+    config =
+  let expand (config, histories, depth) =
+    if depth > acc.a_max_depth then acc.a_max_depth <- depth;
+    acc.a_configs <- acc.a_configs + 1;
     match Engine.enabled config with
     | [] ->
       (match analyze with None -> () | Some f -> f config);
-      emit on_terminal terminals config
-    | pids when depth >= max_steps ->
-      ignore pids;
-      emit on_truncated truncated config
+      acc.a_terminals <- acc.a_terminals + 1;
+      (match on_terminal with None -> () | Some f -> f config);
+      []
+    | _ when depth >= opts.o_max_steps ->
+      acc.a_truncated <- acc.a_truncated + 1;
+      (match on_truncated with None -> () | Some f -> f config);
+      []
     | pids ->
-      (* A choice point is a configuration where the adversary has more
-         than one move: several enabled processes, or (with crash faults)
-         the step/crash alternative for even a single process. *)
-      if (match pids with _ :: _ :: _ -> true | _ -> crash_faults) then begin
-        incr choice_points;
-        Lepower_obs.Metrics.incr m_choice_points
-      end;
-      List.iter
-        (fun pid ->
-          go (Engine.step config pid) (depth + 1);
-          if crash_faults then go (Engine.crash config pid) depth)
-        pids
+      if (match pids with _ :: _ :: _ -> true | _ -> opts.o_crash_faults)
+      then acc.a_choice_points <- acc.a_choice_points + 1;
+      List.concat_map
+        (fun m ->
+          match m with
+          | Step_m pid ->
+            let config', histories' =
+              step_with_history opts config histories pid
+            in
+            [ (config', histories', depth + 1) ]
+          | Crash_m pid -> [ (Engine.crash config pid, histories, depth) ])
+        (moves_of opts pids)
   in
-  Lepower_obs.Span.with_span "explore.explore"
-    ~args:[ ("max_steps", Lepower_obs.Json.Int max_steps) ]
-    (fun () -> go config 0);
-  Lepower_obs.Metrics.incr m_terminals ~by:!terminals;
-  Lepower_obs.Metrics.incr m_truncated ~by:!truncated;
-  {
-    terminals = !terminals;
-    truncated = !truncated;
-    max_depth = !max_depth;
-    choice_points = !choice_points;
-    configs_visited = !configs_visited;
-  }
+  let rec grow frontier =
+    if List.length frontier >= target then frontier
+    else
+      match List.concat_map expand frontier with
+      | [] -> []
+      | next -> grow next
+  in
+  grow [ (config, initial_histories config, 0) ]
+
+(* Workers share nothing: each gets every [i mod domains = w]-th frontier
+   root (static split, so per-worker work — and therefore every merged
+   count — is deterministic), its own visited table, and its own
+   accumulator.  User callbacks are serialized through one mutex by the
+   caller.  A worker that raises (e.g. [Stop_exploration] out of a
+   checking callback) stops early; its exception is re-raised by the
+   coordinator after all workers are joined. *)
+let run_parallel ~opts ~acc ~domains ~analyze ~on_terminal ~on_truncated
+    config =
+  let frontier =
+    split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated
+      ~target:(domains * 4) config
+  in
+  match frontier with
+  | [] -> 1 (* the whole space fit in the frontier expansion *)
+  | _ ->
+    let items = Array.of_list frontier in
+    let nd = min domains (Array.length items) in
+    let workers =
+      List.init nd (fun w ->
+          Domain.spawn (fun () ->
+              let wacc = acc_create () in
+              let visited =
+                if opts.o_dedup then Some (Fingerprint.Tbl.create 1024)
+                else None
+              in
+              let failed = ref None in
+              (try
+                 Array.iteri
+                   (fun i item ->
+                     if i mod nd = w then
+                       explore_seq ~opts ~acc:wacc ~visited ~analyze
+                         ~on_terminal ~on_truncated item)
+                   items
+               with e -> failed := Some e);
+              (wacc, !failed)))
+    in
+    let results = List.map Domain.join workers in
+    List.iter (fun (wacc, _) -> acc_merge acc wacc) results;
+    (match List.find_map (fun (_, e) -> e) results with
+    | Some e -> raise e
+    | None -> ());
+    nd
+
+let with_mutex mutex f =
+  Option.map
+    (fun g config ->
+      Mutex.lock mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mutex)
+        (fun () -> g config))
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points.                                               *)
+
+(* [serialize]: wrap the callbacks in the mutex when running on several
+   domains.  The public [explore] always serializes (arbitrary user
+   callbacks); [check_all] opts out for its own pure predicate — locking
+   around every terminal would serialize the whole search — and wraps
+   only what actually needs it (the analyze hook, failure recording). *)
+let explore_inner ~serialize ?(max_steps = 10_000) ?(crash_faults = false)
+    ?(dedup = false) ?(por = false) ?(domains = 1) ?analyze ?on_terminal
+    ?on_truncated config =
+  let opts =
+    {
+      o_max_steps = max_steps;
+      o_crash_faults = crash_faults;
+      o_dedup = dedup;
+      o_por = por;
+    }
+  in
+  let acc = acc_create () in
+  let finish domains_used =
+    (* Counters maintained once, from the merged totals, so they stay
+       deterministic and race-free even under domain parallelism. *)
+    Lepower_obs.Metrics.incr m_configs ~by:acc.a_configs;
+    Lepower_obs.Metrics.incr m_choice_points ~by:acc.a_choice_points;
+    Lepower_obs.Metrics.incr m_terminals ~by:acc.a_terminals;
+    Lepower_obs.Metrics.incr m_truncated ~by:acc.a_truncated;
+    Lepower_obs.Metrics.incr m_deduped ~by:acc.a_deduped;
+    Lepower_obs.Metrics.incr m_por_pruned ~by:acc.a_pruned;
+    {
+      terminals = acc.a_terminals;
+      truncated = acc.a_truncated;
+      max_depth = acc.a_max_depth;
+      choice_points = acc.a_choice_points;
+      configs_visited = acc.a_configs;
+      configs_deduped = acc.a_deduped;
+      por_pruned = acc.a_pruned;
+      domains_used;
+    }
+  in
+  let domains_used =
+    Lepower_obs.Span.with_span "explore.explore"
+      ~args:
+        [
+          ("max_steps", Lepower_obs.Json.Int max_steps);
+          ("dedup", Lepower_obs.Json.Bool dedup);
+          ("por", Lepower_obs.Json.Bool por);
+          ("domains", Lepower_obs.Json.Int domains);
+        ]
+      (fun () ->
+        if domains <= 1 then begin
+          let visited =
+            if dedup then Some (Fingerprint.Tbl.create 4096) else None
+          in
+          explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
+            (config, initial_histories config, 0);
+          1
+        end
+        else if serialize then begin
+          let mutex = Mutex.create () in
+          run_parallel ~opts ~acc ~domains
+            ~analyze:(with_mutex mutex analyze)
+            ~on_terminal:(with_mutex mutex on_terminal)
+            ~on_truncated:(with_mutex mutex on_truncated)
+            config
+        end
+        else
+          run_parallel ~opts ~acc ~domains ~analyze ~on_terminal ~on_truncated
+            config)
+  in
+  finish domains_used
+
+let explore = explore_inner ~serialize:true
 
 type violation = { trace : Trace.t; message : string }
 
-let check_all ?max_steps ?crash_faults ?analyze config predicate =
+let check_all ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze config
+    predicate =
+  (* The predicate is a pure function of the configuration, so under
+     domain parallelism it runs concurrently in the workers with no lock
+     — a per-terminal mutex would serialize the entire search.  Only the
+     two effectful spots synchronize: recording the first violation, and
+     the caller's [analyze] hook (arbitrary user code). *)
+  let mutex = Mutex.create () in
   let failure = ref None in
   let record config message =
-    failure := Some { trace = Engine.trace config; message };
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        if !failure = None then
+          failure := Some { trace = Engine.trace config; message });
     raise Stop_exploration
   in
   let on_terminal config =
@@ -92,7 +436,10 @@ let check_all ?max_steps ?crash_faults ?analyze config predicate =
     record config message
   in
   match
-    explore ?max_steps ?crash_faults ?analyze ~on_terminal ~on_truncated config
+    explore_inner ~serialize:false ?max_steps ?crash_faults ?dedup ?por
+      ?domains
+      ?analyze:(with_mutex mutex analyze)
+      ~on_terminal ~on_truncated config
   with
   | stats -> Ok stats
   | exception Stop_exploration -> (
@@ -100,20 +447,27 @@ let check_all ?max_steps ?crash_faults ?analyze config predicate =
     | Some v -> Error v
     | None -> assert false)
 
-let decision_sets ?max_steps config =
-  let module Vls = Set.Make (struct
-    type t = Memory.Value.t list
+module Vtbl = Hashtbl.Make (struct
+  type t = Memory.Value.t
 
-    let compare = List.compare Memory.Value.compare
-  end) in
-  let sets = ref Vls.empty in
+  let equal = Memory.Value.equal
+  let hash = Memory.Value.hash
+end)
+
+let decision_sets ?max_steps ?dedup ?por ?domains config =
+  (* Keyed by the canonical (sorted) decision multiset in a hash table:
+     O(1) per terminal instead of a comparison against every set seen so
+     far.  The result stays the documented sorted list of sorted lists. *)
+  let sets = Vtbl.create 64 in
   let on_terminal config =
     let ds =
       Array.to_list config.Engine.procs
       |> List.filter_map Proc.decision
       |> List.sort Memory.Value.compare
     in
-    sets := Vls.add ds !sets
+    let key = Memory.Value.List ds in
+    if not (Vtbl.mem sets key) then Vtbl.add sets key ds
   in
-  ignore (explore ?max_steps ~on_terminal config);
-  Vls.elements !sets
+  ignore (explore ?max_steps ?dedup ?por ?domains ~on_terminal config);
+  Vtbl.fold (fun _ ds acc -> ds :: acc) sets []
+  |> List.sort (List.compare Memory.Value.compare)

@@ -7,7 +7,37 @@
     [explore] holds under all adversaries, not just sampled ones.
 
     Optionally explores crash steps too ([crash_faults]), modelling the
-    wait-free (n-1)-resilient adversary. *)
+    wait-free (n-1)-resilient adversary.
+
+    {2 Reductions (opt-in)}
+
+    The naive walk revisits the same configuration through every
+    commuting interleaving, which is what caps instance sizes.  Three
+    opt-in throughput layers — all {b off by default}, so the default
+    walk remains the exhaustive-schedule semantic reference the
+    paper-facing claims are stated against:
+
+    - [~dedup:true] memoizes visited configurations under their
+      {!Fingerprint} (store state + per-process status and operation
+      history — {e not} the global trace order) and prunes revisits.
+    - [~por:true] enables sleep-set partial-order reduction over a sound
+      independence relation: moves of distinct processes commute when
+      they touch distinct locations, or both read the same location, or
+      at least one touches no location (crashes, decide steps).
+    - [~domains:n] splits the top of the schedule tree over [n] OCaml 5
+      domains, each running the sequential explorer; statistics merge
+      deterministically (static work split, no cross-domain sharing).
+
+    Every mode preserves: the set of reachable terminal configurations
+    up to trace-order (hence [check_all] verdicts for trace-{e order}-
+    insensitive predicates — predicates depending only on final store,
+    statuses, decisions, or per-process trace projections), the
+    existence of bound-exceeding executions, and {!decision_sets}
+    exactly.  Reductions are {b not} sound for predicates that inspect
+    the global interleaving order of the trace.  With [~domains:n > 1]
+    the [on_terminal]/[on_truncated]/[analyze] callbacks run in worker
+    domains, serialized by a mutex; terminal visit order is
+    nondeterministic (the stats are not). *)
 
 type stats = {
   terminals : int;  (** complete executions enumerated *)
@@ -20,11 +50,21 @@ type stats = {
   configs_visited : int;
       (** total configurations visited by the depth-first walk, interior
           and terminal — the size of the explored schedule tree *)
+  configs_deduped : int;
+      (** revisits pruned by [~dedup] memoization (0 unless enabled) *)
+  por_pruned : int;
+      (** sibling moves skipped by [~por] sleep sets (0 unless enabled) *)
+  domains_used : int;  (** worker domains that actually ran (1 if serial) *)
 }
+
+exception Stop_exploration
 
 val explore :
   ?max_steps:int ->
   ?crash_faults:bool ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?domains:int ->
   ?analyze:(Engine.config -> unit) ->
   ?on_terminal:(Engine.config -> unit) ->
   ?on_truncated:(Engine.config -> unit) ->
@@ -35,17 +75,25 @@ val explore :
     [crash_faults] is true (default false), at every choice point each
     running process may also crash, multiplying the schedule space.
 
+    [dedup], [por], [domains] are the opt-in reductions documented above;
+    defaults ([false], [false], [1]) reproduce the naive exhaustive walk
+    exactly, including traversal order.
+
     [analyze] is the analysis hook: it runs on every {e terminal}
     configuration, before [on_terminal].  It exists so whole-space
     checkers layered on top of this module ([check_all], the protocol
     harnesses) can still feed each complete trace to an external analysis
     pass — e.g. [Lepower_check]'s trace discipline and bounded-value
     lints — without claiming the [on_terminal] callback for themselves.
+    Note that with [dedup]/[por] only a representative interleaving per
+    equivalence class reaches the hook.
 
     Observability: wrapped in an ["explore.explore"]
     {!Lepower_obs.Span}; maintains the [explore.*] counters
-    (configs_visited, choice_points, terminals, truncated) when
-    {!Lepower_obs.Metrics} is enabled. *)
+    (configs_visited, choice_points, terminals, truncated,
+    configs_deduped, por_pruned) when {!Lepower_obs.Metrics} is enabled —
+    updated once from the merged totals, so they are deterministic and
+    race-free under [~domains]. *)
 
 (** {1 Ready-made whole-space checks} *)
 
@@ -57,6 +105,9 @@ type violation = {
 val check_all :
   ?max_steps:int ->
   ?crash_faults:bool ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?domains:int ->
   ?analyze:(Engine.config -> unit) ->
   Engine.config ->
   (Engine.config -> (unit, string) result) ->
@@ -65,9 +116,29 @@ val check_all :
     violation and report its schedule.  A truncated execution is itself a
     violation (non-termination under some schedule); its [message] names
     the truncation depth and the truncated trace's last event.  [analyze]
-    is passed through to {!explore}. *)
+    is passed through to {!explore}.
+
+    [dedup]/[por]/[domains] may be requested {b only} for predicates
+    insensitive to the global trace order (see {!explore}); the Ok/Error
+    verdict is then identical to the naive walk's, though the particular
+    witness schedule reported may be a different member of the same
+    commutation class.
+
+    Under [~domains:n > 1] the predicate runs {b concurrently} in the
+    worker domains (it must be — and, being a function of an immutable
+    configuration, naturally is — pure); serializing it would serialize
+    the whole search.  [analyze] and violation recording remain
+    mutex-protected. *)
 
 val decision_sets :
-  ?max_steps:int -> Engine.config -> Memory.Value.t list list
+  ?max_steps:int ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?domains:int ->
+  Engine.config ->
+  Memory.Value.t list list
 (** All distinct decision multisets (sorted within a run, deduplicated
-    across runs) reachable from the configuration.  Small instances only. *)
+    across runs, output sorted) reachable from the configuration.  Small
+    instances only.  Decision multisets are trace-order-insensitive, so
+    the reductions are always sound here and the output is byte-identical
+    across all modes. *)

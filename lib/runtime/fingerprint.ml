@@ -1,0 +1,109 @@
+module Value = Memory.Value
+
+let mix h x = (h * 0x01000193) lxor x
+
+(* Hash-chained persistent history.  Sharing matters: sibling branches of
+   the exploration extend the same tail, so the spine (and its hashes) is
+   computed once per event, not once per configuration. *)
+type history =
+  | Nil
+  | Ev of { loc : string; op : Value.t; result : Value.t; h : int; tl : history }
+
+let history_empty = Nil
+let history_hash = function Nil -> 0x2545f491 | Ev e -> e.h
+
+let history_extend tl (e : Trace.event) =
+  (* [time] and [pid] deliberately excluded: the fingerprint must be
+     invariant under reorderings of other processes' events. *)
+  let h =
+    String.fold_left
+      (fun h c -> mix h (Char.code c))
+      (mix (history_hash tl) 0x1f) e.Trace.loc
+  in
+  let h = Value.hash_fold (Value.hash_fold h e.Trace.op) e.Trace.result in
+  Ev { loc = e.Trace.loc; op = e.Trace.op; result = e.Trace.result; h; tl }
+
+let rec history_equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Nil, Nil -> true
+  | Ev x, Ev y ->
+    x.h = y.h
+    && String.equal x.loc y.loc
+    && Value.equal x.op y.op
+    && Value.equal x.result y.result
+    && history_equal x.tl y.tl
+  | (Nil | Ev _), _ -> false
+
+let status_hash = function
+  | Proc.Running -> 0x3d
+  | Proc.Decided v -> Value.hash_fold 0x47 v
+  | Proc.Crashed -> 0x59
+  | Proc.Faulty m ->
+    String.fold_left (fun h c -> mix h (Char.code c)) 0x6b m
+
+let status_equal a b =
+  match (a, b) with
+  | Proc.Running, Proc.Running | Proc.Crashed, Proc.Crashed -> true
+  | Proc.Decided x, Proc.Decided y -> Value.equal x y
+  | Proc.Faulty x, Proc.Faulty y -> String.equal x y
+  | (Proc.Running | Proc.Decided _ | Proc.Crashed | Proc.Faulty _), _ -> false
+
+type t = {
+  hash : int;
+  store : (string * Value.t) list;  (** canonical: sorted by location *)
+  procs : (Proc.status * history) array;
+}
+
+let make (config : Engine.config) histories =
+  let store = Memory.Store.state_bindings config.Engine.store in
+  let h =
+    List.fold_left
+      (fun h (loc, v) ->
+        Value.hash_fold
+          (String.fold_left (fun h c -> mix h (Char.code c)) (mix h 0x7f) loc)
+          v)
+      0x811c9dc5 store
+  in
+  let n = Array.length config.Engine.procs in
+  let procs =
+    Array.init n (fun pid ->
+        (config.Engine.procs.(pid).Proc.status, histories.(pid)))
+  in
+  let h = ref h in
+  Array.iter
+    (fun (status, hist) ->
+      h := mix (mix !h (status_hash status)) (history_hash hist))
+    procs;
+  { hash = !h land max_int; store; procs }
+
+let hash t = t.hash
+
+let equal a b =
+  a.hash = b.hash
+  && Array.length a.procs = Array.length b.procs
+  && (let rec stores xs ys =
+        match (xs, ys) with
+        | [], [] -> true
+        | (la, va) :: xs, (lb, vb) :: ys ->
+          String.equal la lb && Value.equal va vb && stores xs ys
+        | _, _ -> false
+      in
+      stores a.store b.store)
+  &&
+  let n = Array.length a.procs in
+  let rec procs i =
+    i >= n
+    ||
+    let sa, ha = a.procs.(i) and sb, hb = b.procs.(i) in
+    status_equal sa sb && history_equal ha hb && procs (i + 1)
+  in
+  procs 0
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

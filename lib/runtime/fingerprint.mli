@@ -1,0 +1,48 @@
+(** Canonical configuration fingerprints for exploration memoization.
+
+    An {!Engine.config} cannot be compared structurally: each process's
+    remaining program is a closure.  But programs are {e deterministic}
+    functions of the responses they receive (the purity requirement of
+    {!Program}), so within one exploration — where every process starts
+    from a fixed program — a process's local state is fully determined by
+    the sequence of [(loc, op, result)] triples it has performed, and a
+    whole configuration by
+
+    - the store's state bindings,
+    - each process's status, and
+    - each process's operation history.
+
+    Two configurations with equal fingerprints have the same reachable
+    futures and the same per-process trace projections; only the global
+    interleaving order of their traces (and the [time] stamps, which are
+    deliberately {e excluded}) may differ.  This is exactly the
+    equivalence the explorer's [~dedup] mode prunes on.
+
+    Histories are hash-chained persistent lists: extending by one event is
+    O(size of that event's values), and the spine carries precomputed
+    hashes so visited-set insertion never rehashes a deep history. *)
+
+type history
+(** One process's operation history, newest first, with precomputed
+    chained hashes. *)
+
+val history_empty : history
+
+val history_extend : history -> Trace.event -> history
+(** Record one more event for the owning process.  The event's [time]
+    and [pid] fields are ignored: only [(loc, op, result)] enter the
+    fingerprint, keeping it insensitive to the global interleaving. *)
+
+type t
+(** A fingerprint: canonical store bindings + per-process status and
+    history, with a precomputed hash. *)
+
+val make : Engine.config -> history array -> t
+(** [make config histories] — [histories.(pid)] must be the history of
+    events process [pid] performed, as maintained by the explorer via
+    {!history_extend}. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+module Tbl : Hashtbl.S with type key = t

@@ -106,6 +106,38 @@ let prop_hash_consistent =
     (QCheck.pair arb_value arb_value) (fun (a, b) ->
       (not (Value.equal a b)) || Value.hash a = Value.hash b)
 
+(* Random pairs are almost never equal, so the property above mostly
+   vacuously passes; pair each value with an independently rebuilt
+   structural copy to actually exercise the implication. *)
+let rec value_copy = function
+  | Value.Unit -> Value.Unit
+  | Value.Bool b -> Value.Bool b
+  | Value.Int i -> Value.Int i
+  | Value.Sym s -> Value.Sym (String.init (String.length s) (String.get s))
+  | Value.Pair (a, b) -> Value.Pair (value_copy a, value_copy b)
+  | Value.List vs -> Value.List (List.map value_copy vs)
+
+let prop_hash_equal_on_copies =
+  QCheck.Test.make ~name:"Value.hash equal on structural copies" ~count:500
+    arb_value (fun v -> Value.hash v = Value.hash (value_copy v))
+
+let test_hash_depth_robust () =
+  (* Regression: [Hashtbl.hash] only inspects a bounded prefix of the
+     structure, so deep values differing only far from the root used to
+     collide — exactly the shape of an explorer fingerprint (long
+     operation histories).  The structural hash must see all of it. *)
+  let deep n last =
+    let rec go i acc =
+      if i >= n then acc else go (i + 1) (Value.pair (Value.int i) acc)
+    in
+    go 0 (Value.int last)
+  in
+  Alcotest.(check bool) "differ only at depth 40" false
+    (Value.hash (deep 40 0) = Value.hash (deep 40 1));
+  let wide last = Value.list (List.init 40 Value.int @ [ Value.int last ]) in
+  Alcotest.(check bool) "differ only at width 40" false
+    (Value.hash (wide 0) = Value.hash (wide 1))
+
 (* --- Spec + Store --- *)
 
 let counter_spec =
@@ -180,6 +212,9 @@ let () =
             test_destructor_errors;
           QCheck_alcotest.to_alcotest prop_equal_reflexive;
           QCheck_alcotest.to_alcotest prop_hash_consistent;
+          QCheck_alcotest.to_alcotest prop_hash_equal_on_copies;
+          Alcotest.test_case "hash sees deep and wide structure" `Quick
+            test_hash_depth_robust;
         ] );
       ( "spec-store",
         [
