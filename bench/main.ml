@@ -562,7 +562,14 @@ let e12_checked_workload ~instance ~crash_faults =
       let result, secs =
         wall (fun () ->
             Protocols.Election.explore_stats instance ~max_steps:10_000
-              ~crash_faults ~dedup ~por ~domains)
+              ~options:
+                {
+                  Runtime.Explore.Options.default with
+                  crash_faults;
+                  dedup;
+                  por;
+                  domains;
+                })
       in
       match result with
       | Ok stats -> (e12_stats_row name stats secs "ok", `Ok)
@@ -594,7 +601,15 @@ let e12_capped_workload ~instance ~max_steps =
     (fun (name, dedup, por, domains) ->
       let stats, secs =
         wall (fun () ->
-            Runtime.Explore.explore ~max_steps ~dedup ~por ~domains
+            Runtime.Explore.explore
+              ~options:
+                {
+                  Runtime.Explore.Options.default with
+                  max_steps;
+                  dedup;
+                  por;
+                  domains;
+                }
               (Protocols.Election.config instance))
       in
       e12_stats_row name stats secs "-")
@@ -606,10 +621,15 @@ let e12_capped_workload ~instance ~max_steps =
 let e12_agreement () =
   let identical instance max_steps =
     let config () = Protocols.Election.config instance in
-    let naive = Runtime.Explore.decision_sets ~max_steps (config ()) in
+    let opts dedup por domains =
+      { Runtime.Explore.Options.default with max_steps; dedup; por; domains }
+    in
+    let naive =
+      Runtime.Explore.decision_sets ~options:(opts false false 1) (config ())
+    in
     List.for_all
       (fun (_, dedup, por, domains) ->
-        Runtime.Explore.decision_sets ~max_steps ~dedup ~por ~domains
+        Runtime.Explore.decision_sets ~options:(opts dedup por domains)
           (config ())
         = naive)
       e12_modes
@@ -678,6 +698,115 @@ let e12_explore ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E13: deterministic repro — what a schedule certificate costs to     *)
+(* record and to replay (against a plain uninstrumented run), and how  *)
+(* hard ddmin shrinks the seeded broken-cas counterexample.            *)
+
+let e13_reps = 200
+
+let e13_wall_per_run f =
+  let (), secs = wall (fun () -> for _ = 1 to e13_reps do f () done) in
+  secs /. float_of_int e13_reps *. 1e6 (* µs/run *)
+
+let e13_repro ~smoke () =
+  let module Json = Lepower_obs.Json in
+  let module Repro = Runtime.Repro in
+  let module Subject = Lepower_check.Repro_subject in
+  header
+    (Printf.sprintf "E13 repro certificates: record/replay cost, ddmin shrink%s"
+       (if smoke then " [smoke]" else ""));
+  let n = if smoke then 8 else 16 in
+  let target = Lepower_check.Lint.broken_cas_fixture ~n () in
+  let resolved = Subject.of_target target in
+  let config = resolved.Subject.config in
+  let failing c = resolved.Subject.failing c <> None in
+  let max_steps = 64 * n in
+  (* First seed whose random schedule lets three processes cas in
+     ascending order (~1/6 per seed; seed 1 at the shipped sizes). *)
+  let rec failing_cert seed =
+    if seed > 64 then failwith "E13: no failing seed below 64"
+    else
+      let outcome, cert =
+        Repro.record ~subject:target.Lepower_check.Lint.subject ~seed
+          ~max_steps ~sched:(Runtime.Sched.random ~seed) config
+      in
+      match resolved.Subject.failing outcome.Runtime.Engine.final with
+      | Some message -> (seed, Repro.with_message cert message)
+      | None -> failing_cert (seed + 1)
+  in
+  let (seed, cert), find_secs = wall (fun () -> failing_cert 1) in
+  let sched () = Runtime.Sched.random ~seed in
+  (* Record overhead: the same run with and without the decision log. *)
+  let plain_us =
+    e13_wall_per_run (fun () ->
+        ignore (Runtime.Engine.run ~max_steps ~sched:(sched ()) config))
+  in
+  let record_us =
+    e13_wall_per_run (fun () ->
+        ignore (Repro.record ~seed ~max_steps ~sched:(sched ()) config))
+  in
+  let replay_us =
+    e13_wall_per_run (fun () ->
+        match Repro.replay cert config with
+        | Ok _ -> ()
+        | Error e -> failwith ("E13: replay rejected: " ^ e))
+  in
+  Printf.printf
+    "broken-cas n=%d, seed %d (found in %.3fs): %d decisions, %d reps each\n"
+    n seed find_secs
+    (List.length cert.Repro.decisions)
+    e13_reps;
+  Printf.printf "%-28s %10.2f µs/run\n" "plain run" plain_us;
+  Printf.printf "%-28s %10.2f µs/run  (%.2fx plain)" "record (decision log)"
+    record_us
+    (record_us /. plain_us);
+  print_newline ();
+  Printf.printf "%-28s %10.2f µs/run  (digest-checked)\n" "replay" replay_us;
+  (* Shrink: ddmin + crash/pid passes down to the 3-decision core. *)
+  let (min_cert, stats), shrink_secs =
+    wall (fun () -> Repro.shrink ~failing ~config0:config cert)
+  in
+  let ratio =
+    float_of_int stats.Repro.original /. float_of_int (max 1 stats.Repro.shrunk)
+  in
+  Printf.printf
+    "shrink: %d -> %d decisions (%.2fx, %d candidate replays, %.3fs)\n"
+    stats.Repro.original stats.Repro.shrunk ratio stats.Repro.attempts
+    shrink_secs;
+  (match Repro.replay min_cert config with
+  | Ok final when failing final -> ()
+  | Ok _ -> failwith "E13: shrunk certificate no longer fails"
+  | Error e -> failwith ("E13: shrunk certificate rejected: " ^ e));
+  let json =
+    Json.Obj
+      [
+        ("source", Json.String "bench/main.exe");
+        ("experiment", Json.String "E13");
+        ("smoke", Json.Bool smoke);
+        ("fixture", Json.String "broken-cas");
+        ("n", Json.Int n);
+        ("seed", Json.Int seed);
+        ("reps", Json.Int e13_reps);
+        ("plain_us", Json.Float plain_us);
+        ("record_us", Json.Float record_us);
+        ("record_overhead", Json.Float (record_us /. plain_us));
+        ("replay_us", Json.Float replay_us);
+        ("decisions_original", Json.Int stats.Repro.original);
+        ("decisions_shrunk", Json.Int stats.Repro.shrunk);
+        ("shrink_ratio", Json.Float ratio);
+        ("shrink_attempts", Json.Int stats.Repro.attempts);
+        ("shrink_wall_s", Json.Float shrink_secs);
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) "BENCH_repro.json" in
+  Lepower_obs.Export.write_json path json;
+  Printf.printf "repro JSON: %s\n" path;
+  if not smoke && ratio < 5.0 then begin
+    prerr_endline "E13: shrink ratio fell below the published 5x";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifacts: alongside the tables above, emit        *)
 (* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
 (* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
@@ -709,11 +838,13 @@ let () =
      snapshot records exactly how much work each experiment drove.
 
      [explore-smoke] runs only a downsized E12 — the exploration
-     benchmark plus its cross-mode agreement checks — sized for the
-     @bench-smoke alias. *)
+     benchmark plus its cross-mode agreement checks — and [repro-smoke]
+     only a downsized E13 (certificate record/replay/shrink), each sized
+     for its smoke alias. *)
   Lepower_obs.Metrics.enable ();
   match Sys.argv with
   | [| _; "explore-smoke" |] -> e12_explore ~smoke:true ()
+  | [| _; "repro-smoke" |] -> e13_repro ~smoke:true ()
   | [| _ |] ->
     e1_capacity ();
     e2_bcl ();
@@ -727,9 +858,10 @@ let () =
     e10_provisioning ();
     a1_ablations ();
     e12_explore ~smoke:false ();
+    e13_repro ~smoke:false ();
     let micro_rows = micro_benchmarks () in
     write_bench_json micro_rows;
     print_newline ()
   | _ ->
-    prerr_endline "usage: main.exe [explore-smoke]";
+    prerr_endline "usage: main.exe [explore-smoke|repro-smoke]";
     exit 2

@@ -4,6 +4,7 @@
      elect      run a leader-election protocol and report the outcome
      explore    exhaustively check an election over every interleaving
      lint       run the Lepower_check analyzers over a protocol or fixture
+     replay     re-execute a recorded schedule certificate (and shrink it)
      emulate    run the Afek-Stupp reduction on a workload
      hierarchy  print the consensus-number table
      game       play the Lemma 1.1 move/jump game
@@ -208,7 +209,14 @@ let explore k protocol n max_steps dedup por domains crash_faults trace_out
   with_obs ~trace_out ~metrics_out (fun () ->
       match
         Protocols.Election.explore_stats instance ~max_steps
-          ~crash_faults ~dedup ~por ~domains
+          ~options:
+            {
+              Runtime.Explore.Options.default with
+              crash_faults;
+              dedup;
+              por;
+              domains;
+            }
       with
       | Ok stats ->
         Printf.printf "schedules (terminals): %d\n"
@@ -309,8 +317,21 @@ let lint_max_steps =
 
 let lint_targets ~k ~n subject =
   let open Lepower_check in
+  let protocol_name = function
+    | `Perm -> "perm"
+    | `Cas -> "cas"
+    | `Bcl -> "bcl"
+    | `Multi -> "multi"
+  in
   let protocols subjects =
-    List.map (fun p -> Lint.target_of_instance (election_instance ~k ~n p))
+    List.map
+      (fun p ->
+        let instance = election_instance ~k ~n p in
+        let subject =
+          Repro_subject.election ~protocol:(protocol_name p) ~k
+            ~n:instance.Protocols.Election.n ()
+        in
+        Lint.target_of_instance ~subject instance)
       subjects
   in
   match subject with
@@ -321,20 +342,69 @@ let lint_targets ~k ~n subject =
   | `All -> protocols [ `Cas; `Bcl; `Perm; `Multi ]
   | `Fixtures -> Lint.fixtures ()
   | `Broken_swmr -> [ Lint.broken_swmr_fixture () ]
-  | `Broken_cas -> [ Lint.broken_cas_fixture () ]
+  | `Broken_cas -> [ Lint.broken_cas_fixture ?n () ]
   | `Spin -> [ Lint.spin_fixture () ]
 
-let lint k n subject rules seeds exhaustive max_steps jsonl_out metrics_out =
+let lint_repro_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a replayable schedule certificate for the first failing \
+           sampled run and write it to $(docv) (sampled mode only; see \
+           'lepower replay').")
+
+let lint_shrink =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:
+          "Minimize the recorded certificate's decision log by delta \
+           debugging before writing it (only with --repro-out).")
+
+let lint k n subject rules seeds exhaustive max_steps jsonl_out repro_out
+    shrink metrics_out =
   let open Lepower_check in
   with_obs ~trace_out:None ~metrics_out @@ fun () ->
   let mode =
     if exhaustive then Some Lint.Exhaustive
     else Option.map (fun s -> Lint.Sample s) seeds
   in
+  let recorded = ref None in
+  let on_repro =
+    Option.map
+      (fun _path cert stats ->
+        if !recorded = None then recorded := Some (cert, stats))
+      repro_out
+  in
   let reports =
     List.map
-      (fun t -> Lint.lint ?mode ?rules ?max_steps t)
+      (fun t -> Lint.lint ?mode ?rules ?max_steps ~shrink ?on_repro t)
       (lint_targets ~k ~n subject)
+  in
+  let repro_code =
+    match (repro_out, !recorded) with
+    | None, _ -> 0
+    | Some path, Some (cert, stats) -> (
+      Option.iter
+        (fun (s : Runtime.Repro.shrink_stats) ->
+          Printf.printf
+            "shrunk: %d -> %d decisions (%d candidate replays)\n"
+            s.Runtime.Repro.original s.Runtime.Repro.shrunk
+            s.Runtime.Repro.attempts)
+        stats;
+      try
+        Runtime.Repro.save path cert;
+        Printf.printf "repro certificate written to %s\n" path;
+        0
+      with Sys_error e ->
+        Printf.eprintf "lepower: cannot write certificate: %s\n" e;
+        2)
+    | Some _, None ->
+      print_endline
+        "no failing sampled run: no repro certificate recorded";
+      0
   in
   List.iter (fun r -> Format.printf "%a@.@." Report.pp r) reports;
   let code =
@@ -354,7 +424,7 @@ let lint k n subject rules seeds exhaustive max_steps jsonl_out metrics_out =
     Printf.printf "lint: %d of %d subjects have findings\n"
       (List.length (List.filter (fun r -> not (Report.ok r)) reports))
       (List.length reports);
-  (max code (if clean then 0 else 1), None)
+  (max (max code repro_code) (if clean then 0 else 1), None)
 
 let lint_cmd =
   Cmd.v
@@ -366,7 +436,112 @@ let lint_cmd =
           reported.")
     Term.(
       const lint $ k_arg $ elect_n $ lint_subject $ lint_rules $ lint_seeds
-      $ lint_exhaustive $ lint_max_steps $ lint_jsonl_out $ metrics_out_arg)
+      $ lint_exhaustive $ lint_max_steps $ lint_jsonl_out $ lint_repro_out
+      $ lint_shrink $ metrics_out_arg)
+
+(* --- replay --- *)
+
+let replay_cert =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CERT.json"
+        ~doc:"Schedule certificate to replay (see --repro-out).")
+
+let replay_shrink =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:
+          "After reproducing, minimize the decision log by delta debugging \
+           (ddmin + crash-removal + pid-merge passes, every candidate \
+           validated by replay).")
+
+let replay_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the minimized certificate to $(docv) (with --shrink).")
+
+let replay cert_file shrink out trace_out metrics_out =
+  with_obs ~trace_out ~metrics_out @@ fun () ->
+  match Runtime.Repro.load cert_file with
+  | Error e ->
+    Printf.eprintf "lepower: cannot load certificate: %s\n" e;
+    (1, None)
+  | Ok cert -> (
+    match Lepower_check.Repro_subject.resolve cert.Runtime.Repro.subject with
+    | Error e ->
+      Printf.eprintf "lepower: cannot resolve certificate subject: %s\n" e;
+      (1, None)
+    | Ok r -> (
+      Printf.printf "subject:   %s\n" r.Lepower_check.Repro_subject.name;
+      Printf.printf "recorded:  sched=%s%s  decisions=%d  version=%s\n"
+        cert.Runtime.Repro.sched
+        (match cert.Runtime.Repro.seed with
+        | Some s -> Printf.sprintf " seed=%d" s
+        | None -> "")
+        (List.length cert.Runtime.Repro.decisions)
+        cert.Runtime.Repro.version;
+      if cert.Runtime.Repro.message <> "" then
+        Printf.printf "failure:   %s\n" cert.Runtime.Repro.message;
+      match
+        Runtime.Repro.replay cert r.Lepower_check.Repro_subject.config
+      with
+      | Error e ->
+        Printf.printf "replay rejected: %s\n" e;
+        (1, None)
+      | Ok final -> (
+        let trace = Some (Runtime.Engine.trace final) in
+        match r.Lepower_check.Repro_subject.failing final with
+        | None ->
+          print_endline
+            "replay verified (fingerprints match) but the subject's failure \
+             predicate does not fire";
+          (1, trace)
+        | Some msg ->
+          Printf.printf "reproduced: %s\n" msg;
+          let code =
+            if not shrink then 0
+            else begin
+              let failing c =
+                r.Lepower_check.Repro_subject.failing c <> None
+              in
+              let cert', stats =
+                Runtime.Repro.shrink ~failing
+                  ~config0:r.Lepower_check.Repro_subject.config cert
+              in
+              Printf.printf
+                "shrunk: %d -> %d decisions (%d candidate replays)\n"
+                stats.Runtime.Repro.original stats.Runtime.Repro.shrunk
+                stats.Runtime.Repro.attempts;
+              match out with
+              | None -> 0
+              | Some path -> (
+                try
+                  Runtime.Repro.save path cert';
+                  Printf.printf "minimized certificate written to %s\n" path;
+                  0
+                with Sys_error e ->
+                  Printf.eprintf "lepower: cannot write certificate: %s\n" e;
+                  2)
+            end
+          in
+          (code, trace))))
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-execute a recorded schedule certificate: \
+          rebuild the instance from the certificate's subject, drive the \
+          engine along the recorded adversary decisions, verify initial and \
+          final configuration fingerprints bit-for-bit, and re-check the \
+          failure.  Exit 0 iff the failure reproduces.")
+    Term.(
+      const replay $ replay_cert $ replay_shrink $ replay_out $ trace_out_arg
+      $ metrics_out_arg)
 
 (* --- emulate --- *)
 
@@ -530,6 +705,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            elect_cmd; explore_cmd; lint_cmd; emulate_cmd; hierarchy_cmd;
-            game_cmd; rename_cmd; bounds_cmd;
+            elect_cmd; explore_cmd; lint_cmd; replay_cmd; emulate_cmd;
+            hierarchy_cmd; game_cmd; rename_cmd; bounds_cmd;
           ]))

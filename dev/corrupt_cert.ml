@@ -1,0 +1,49 @@
+(* Corrupt a repro certificate's final fingerprint in place:
+   [corrupt_cert IN OUT] copies IN to OUT with the first hex digit of
+   the "final" digest field cycled to the next one (0->1, ..., f->0).
+   The output is still well-formed JSON and still parses as a
+   certificate -- only the digest is wrong -- which is exactly the
+   tampering [lepower replay] must reject.  The root @repro-smoke alias
+   uses this to pin the rejection path end to end. *)
+
+let key = {|"final":"|}
+
+let cycle_hex c =
+  match c with
+  | '0' .. '8' | 'a' .. 'e' -> Char.chr (Char.code c + 1)
+  | '9' -> 'a'
+  | 'f' -> '0'
+  | _ -> failwith (Printf.sprintf "not a hex digit after %s: %C" key c)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let () =
+  match Sys.argv with
+  | [| _; input; output |] ->
+    let contents = In_channel.with_open_text input In_channel.input_all in
+    let pos =
+      match find_sub contents key with
+      | Some i -> i + String.length key
+      | None ->
+        Printf.eprintf "corrupt_cert: no %s field in %s\n" key input;
+        exit 1
+    in
+    let corrupted =
+      String.mapi
+        (fun i c -> if i = pos then cycle_hex c else c)
+        contents
+    in
+    Out_channel.with_open_text output (fun oc ->
+        Out_channel.output_string oc corrupted);
+    Printf.printf "corrupted %s -> %s (hex digit at byte %d cycled)\n" input
+      output pos
+  | _ ->
+    prerr_endline "usage: corrupt_cert IN.json OUT.json";
+    exit 2

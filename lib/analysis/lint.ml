@@ -11,9 +11,11 @@ type target = {
   budget : int;
   single_writer : string list;
   bounds : (string * int) list;
+  subject : Lepower_obs.Json.t;
 }
 
-let target_of_instance (t : Election.instance) =
+let target_of_instance ?(subject = Lepower_obs.Json.Null)
+    (t : Election.instance) =
   {
     name = t.Election.name;
     bindings = t.Election.bindings;
@@ -21,6 +23,7 @@ let target_of_instance (t : Election.instance) =
     budget = t.Election.step_bound;
     single_writer = [];
     bounds = [];
+    subject;
   }
 
 type mode = Auto | Exhaustive | Sample of int
@@ -36,7 +39,8 @@ let m_targets = Lepower_obs.Metrics.counter "lint.targets"
 let m_schedules = Lepower_obs.Metrics.counter "lint.schedules_analyzed"
 let m_findings = Lepower_obs.Metrics.counter "lint.findings"
 
-let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps t =
+let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
+    ?on_repro t =
   Lepower_obs.Metrics.incr m_targets;
   Lepower_obs.Span.with_span "lint.target"
     ~args:[ ("name", Lepower_obs.Json.String t.name) ]
@@ -54,16 +58,18 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps t =
           max_proc_steps := p.Runtime.Proc.steps)
       config.Engine.procs
   in
-  let analyze (config : Engine.config) =
+  let findings_of (config : Engine.config) =
+    let trace = Engine.trace config in
+    Bounded_check.check ~bounds:t.bounds ~store trace
+    @ Trace_check.check ~single_writer:t.single_writer ~store trace
+  in
+  let note fs (config : Engine.config) =
     incr schedules;
     Lepower_obs.Metrics.incr m_schedules;
     observe_steps config;
-    let trace = Engine.trace config in
-    findings :=
-      Bounded_check.check ~bounds:t.bounds ~store trace
-      @ Trace_check.check ~single_writer:t.single_writer ~store trace
-      @ !findings
+    findings := fs @ !findings
   in
+  let analyze config = note (findings_of config) config in
   let exhaustive =
     match mode with
     | Exhaustive -> true
@@ -71,15 +77,33 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps t =
     | Auto -> exhaustive_feasible t
   in
   let config () = Engine.init store t.programs in
+  (* What makes one execution a failure — the same predicate drives both
+     per-seed certificate recording and shrink-candidate validation.
+     [hit_step_limit] is not recoverable from a replayed configuration,
+     but a truncated run's process stepped past the budget, which is. *)
+  let failing_config (config : Engine.config) =
+    List.exists Finding.is_reportable (findings_of config)
+    || Array.exists
+         (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
+         config.Engine.procs
+  in
   (if exhaustive then begin
      let max_steps =
        Option.value ~default:((t.budget * max n 1 * 2) + 8) max_steps
      in
      let stats =
-       Explore.explore ~max_steps ~analyze
-         ~on_truncated:(fun config ->
-           incr truncated;
-           observe_steps config)
+       Explore.explore
+         ~options:
+           {
+             Explore.Options.default with
+             max_steps;
+             analyze = Some analyze;
+             on_truncated =
+               Some
+                 (fun config ->
+                   incr truncated;
+                   observe_steps config);
+           }
          (config ())
      in
      ignore stats.Explore.terminals
@@ -89,12 +113,52 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps t =
      let max_steps =
        Option.value ~default:((t.budget * max n 1 * 2) + 1000) max_steps
      in
+     let recorded = ref false in
      for seed = 0 to seeds - 1 do
-       let outcome =
-         Engine.run ~max_steps ~sched:(Sched.random ~seed) (config ())
-       in
-       if outcome.Engine.hit_step_limit then incr truncated;
-       analyze outcome.Engine.final
+       let sched = Sched.random ~seed in
+       match on_repro with
+       | None ->
+         let outcome = Engine.run ~max_steps ~sched (config ()) in
+         if outcome.Engine.hit_step_limit then incr truncated;
+         analyze outcome.Engine.final
+       | Some report ->
+         let outcome, cert =
+           Runtime.Repro.record ~subject:t.subject ~seed ~max_steps ~sched
+             (config ())
+         in
+         if outcome.Engine.hit_step_limit then incr truncated;
+         let fs = findings_of outcome.Engine.final in
+         note fs outcome.Engine.final;
+         let failed =
+           List.exists Finding.is_reportable fs
+           || outcome.Engine.hit_step_limit
+           || Array.exists
+                (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
+                outcome.Engine.final.Engine.procs
+         in
+         if failed && not !recorded then begin
+           recorded := true;
+           let message =
+             match List.find_opt Finding.is_reportable fs with
+             | Some f ->
+               Printf.sprintf "%s: %s" f.Finding.rule f.Finding.detail
+             | None ->
+               if outcome.Engine.hit_step_limit then
+                 "run hit the step limit (possible livelock)"
+             else "per-process step budget exceeded"
+           in
+           let cert = Runtime.Repro.with_message cert message in
+           let cert, stats =
+             if shrink then
+               let cert, stats =
+                 Runtime.Repro.shrink ~failing:failing_config
+                   ~config0:(config ()) cert
+               in
+               (cert, Some stats)
+             else (cert, None)
+           in
+           report cert stats
+         end
      done);
   (* Wait-freedom: the symbolic audit flags programs that admit an
      unbounded adversarial op sequence; executions corroborate (or
@@ -168,10 +232,19 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps t =
     audits;
   }
 
-let lint_instance ?mode ?rules ?max_nodes ?max_steps instance =
-  lint ?mode ?rules ?max_nodes ?max_steps (target_of_instance instance)
+let lint_instance ?mode ?rules ?max_nodes ?max_steps ?subject instance =
+  lint ?mode ?rules ?max_nodes ?max_steps
+    (target_of_instance ?subject instance)
 
 (* --- seeded-bug fixtures ---------------------------------------------- *)
+
+(* The subject descriptor [Repro_subject.resolve] rebuilds fixtures
+   from; kept next to the fixtures so the two stay in sync. *)
+let fixture_subject ?n name =
+  Lepower_obs.Json.Obj
+    ([ ("kind", Lepower_obs.Json.String "fixture");
+       ("name", Lepower_obs.Json.String name) ]
+    @ match n with None -> [] | Some n -> [ ("n", Lepower_obs.Json.Int n) ])
 
 let broken_swmr_fixture () =
   (* Two writers share one register that the protocol treats as
@@ -192,13 +265,19 @@ let broken_swmr_fixture () =
     budget = 2;
     single_writer = [ "r" ];
     bounds = [];
+    subject = fixture_subject "broken-swmr";
   }
 
-let broken_cas_fixture () =
-  (* The register was provisioned as a cas(4) but the protocol's space
-     certificate claims cas(3): under the schedule p0; p1; p2 the chain
-     ⊥→0→1→2 feeds it k+1 = 4 distinct values (counting ⊥), one more
-     than the declared alphabet admits. *)
+let broken_cas_fixture ?(n = 3) () =
+  (* The register was provisioned as a cas(n+1) but the protocol's space
+     certificate claims cas(3): under any schedule running p0; p1; p2 in
+     that relative order the chain ⊥→0→1→2 stores 4 distinct values
+     (counting ⊥), one more than the declared alphabet admits.  With
+     [n > 3] the extra processes extend the chain but are not needed for
+     the violation — which is exactly what makes this the shrinker's
+     reference fixture: of an [n]-decision failing schedule only the
+     first three processes' steps must survive minimization. *)
+  if n < 3 then invalid_arg "broken_cas_fixture: needs n >= 3";
   let program pid =
     let open Runtime.Program in
     let expected =
@@ -212,11 +291,12 @@ let broken_cas_fixture () =
   in
   {
     name = "fixture-broken-cas";
-    bindings = [ ("C", Objects.Cas_k.spec ~k:4) ];
-    programs = [ program 0; program 1; program 2 ];
+    bindings = [ ("C", Objects.Cas_k.spec ~k:(n + 1)) ];
+    programs = List.init n program;
     budget = 1;
     single_writer = [];
     bounds = [ ("C", 3) ];
+    subject = fixture_subject ~n "broken-cas";
   }
 
 let spin_fixture () =
@@ -241,6 +321,7 @@ let spin_fixture () =
     budget = 4;
     single_writer = [];
     bounds = [];
+    subject = fixture_subject "spin";
   }
 
 let fixtures () = [ broken_swmr_fixture (); broken_cas_fixture (); spin_fixture () ]

@@ -29,11 +29,17 @@ type target = {
   bounds : (string * int) list;
       (** claimed space bounds [loc, k] overriding the spec's own, for
           the bounded-value lint *)
+  subject : Lepower_obs.Json.t;
+      (** opaque instance descriptor stored in recorded
+          {!Runtime.Repro} certificates so [lepower replay] can rebuild
+          the target (see [Repro_subject]); [Null] when the target is
+          not rebuildable by name *)
 }
 
-val target_of_instance : Protocols.Election.instance -> target
+val target_of_instance :
+  ?subject:Lepower_obs.Json.t -> Protocols.Election.instance -> target
 (** Budget is the instance's [step_bound]; no extra single-writer or
-    bound claims. *)
+    bound claims.  [subject] defaults to [Null]. *)
 
 type mode =
   | Auto  (** [Exhaustive] iff [n * budget <= 12], else [Sample 64] *)
@@ -45,17 +51,29 @@ val lint :
   ?rules:string list ->
   ?max_nodes:int ->
   ?max_steps:int ->
+  ?shrink:bool ->
+  ?on_repro:(Runtime.Repro.t -> Runtime.Repro.shrink_stats option -> unit) ->
   target ->
   Report.t
 (** [rules] keeps only findings whose rule name is listed (default: all).
     [max_nodes] caps the symbolic audit ({!Waitfree_check.audit});
-    [max_steps] overrides the per-execution step cap. *)
+    [max_steps] overrides the per-execution step cap.
+
+    [on_repro]: in sampled mode, every seeded run is recorded through
+    {!Runtime.Repro.record}; the first {e failing} run (reportable
+    finding, step-limit hit, or per-process budget overrun) has its
+    certificate — carrying the target's [subject] and the failure
+    message — handed to the callback, after delta-debugging minimization
+    when [shrink] is [true] (the shrink stats come along; [None] when
+    shrinking was off).  Exhaustive mode never records: use
+    {!Protocols.Election.explore_repro} for whole-space certificates. *)
 
 val lint_instance :
   ?mode:mode ->
   ?rules:string list ->
   ?max_nodes:int ->
   ?max_steps:int ->
+  ?subject:Lepower_obs.Json.t ->
   Protocols.Election.instance ->
   Report.t
 
@@ -69,9 +87,12 @@ val broken_swmr_fixture : unit -> target
     a multi-writer spec, so only the trace checker can object):
     [swmr-discipline]. *)
 
-val broken_cas_fixture : unit -> target
-(** A cas(4) register claimed to be cas(3): some schedule feeds it 4
-    distinct values: [bounded-value]. *)
+val broken_cas_fixture : ?n:int -> unit -> target
+(** A cas(n+1) register claimed to be cas(3) driven by [n] processes
+    (default 3, the minimum): any schedule running p0, p1, p2 in that
+    relative order feeds it 4 distinct values: [bounded-value].  Larger
+    [n] pads the schedule with processes irrelevant to the violation —
+    the shrinker's reference workload. *)
 
 val spin_fixture : unit -> target
 (** A process spinning on a flag nobody sets: the symbolic audit exceeds

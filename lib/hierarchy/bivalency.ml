@@ -13,7 +13,14 @@ let decision_values _instance config =
         | None -> ())
       c.Engine.procs
   in
-  ignore (Runtime.Explore.explore ~max_steps:10_000 ~on_terminal config);
+  ignore
+    (Runtime.Explore.explore
+       ~options:
+         {
+           Runtime.Explore.Options.default with
+           on_terminal = Some on_terminal;
+         }
+       config);
   Vset.elements !acc
 
 let pending_locations (config : Engine.config) =

@@ -80,3 +80,18 @@ let is_linearizable ~spec history =
   match check ~spec history with
   | Linearizable _ -> true
   | Not_linearizable -> false
+
+let check_run ~spec ~history_loc ?subject ?seed ?max_steps ~sched config =
+  let outcome, cert =
+    Runtime.Repro.record ?subject ?seed ?max_steps ~sched config
+  in
+  let final = outcome.Runtime.Engine.final in
+  let history = History.of_store final.Runtime.Engine.store history_loc in
+  match check ~spec history with
+  | Linearizable order -> Ok order
+  | Not_linearizable ->
+    Error
+      (Runtime.Repro.with_message cert
+         (Printf.sprintf
+            "history at %S is not linearizable against spec %s" history_loc
+            spec.Memory.Spec.type_name))

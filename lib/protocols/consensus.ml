@@ -92,7 +92,11 @@ let run_with_crashes t ~seed ~crashed =
     | [] -> Ok None)
 
 let explore_all t ~max_steps =
-  match Runtime.Explore.check_all ~max_steps (config t) (check_config t) with
+  match
+    Runtime.Explore.check_all
+      ~options:{ Runtime.Explore.Options.default with max_steps }
+      (config t) (check_config t)
+  with
   | Ok stats -> Ok stats.Runtime.Explore.terminals
   | Error v ->
     Error

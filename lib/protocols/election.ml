@@ -68,6 +68,53 @@ let check_config t (config : Engine.config) =
         (Printf.sprintf "validity violated: leader %d never took a step" pid)
     else Ok ()
 
+let check_partial t (config : Engine.config) =
+  (* For judging replayed schedule prefixes (Runtime.Repro shrinking):
+     a still-running process is an incomplete run, not a violation, so
+     only what has already happened may fail — faults, disagreement,
+     budget overruns.  Completed configurations get the full check. *)
+  let procs = Array.to_list config.Engine.procs in
+  if
+    not
+      (List.exists
+         (fun (p : Runtime.Proc.t) ->
+           p.Runtime.Proc.status = Runtime.Proc.Running)
+         procs)
+  then check_config t config
+  else
+    let fault =
+      List.find_map
+        (fun (p : Runtime.Proc.t) ->
+          match p.Runtime.Proc.status with
+          | Runtime.Proc.Faulty m ->
+            Some (Printf.sprintf "process %d faulty: %s" p.Runtime.Proc.pid m)
+          | _ -> None)
+        procs
+    in
+    let distinct =
+      List.sort_uniq Value.compare (List.filter_map Runtime.Proc.decision procs)
+    in
+    let over =
+      List.find_map
+        (fun (p : Runtime.Proc.t) ->
+          if p.Runtime.Proc.steps > t.step_bound then
+            Some
+              (Printf.sprintf
+                 "wait-freedom bound exceeded: process %d took %d > %d steps"
+                 p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
+          else None)
+        procs
+    in
+    match (fault, distinct, over) with
+    | Some m, _, _ -> Error m
+    | None, _ :: _ :: _, _ ->
+      Error
+        (Fmt.str "agreement violated: decisions %a"
+           Fmt.(list ~sep:(any ", ") Value.pp)
+           distinct)
+    | None, _, Some m -> Error m
+    | None, ([] | [ _ ]), None -> Ok ()
+
 let check_outcome t (outcome : Engine.outcome) =
   if outcome.Engine.hit_step_limit then
     Error "run hit the global step limit (livelock or bound too small)"
@@ -114,16 +161,26 @@ let run_with_crashes t ~seed ~crashed =
     | Some (Value.Int i) -> Ok i
     | Some _ | None -> Error "no survivor decided")
 
-let explore_stats ?analyze ?crash_faults ?dedup ?por ?domains t ~max_steps =
-  (* [check_config] only inspects final statuses, decisions and per-pid
-     trace projections — trace-order-insensitive, so every reduction is
-     sound to request here (see Runtime.Explore). *)
-  match
-    Runtime.Explore.check_all ~max_steps ?crash_faults ?dedup ?por ?domains
-      ?analyze (config t) (check_config t)
-  with
+(* [check_config] only inspects final statuses, decisions and per-pid
+   trace projections — trace-order-insensitive, so every reduction is
+   sound to request here (see Runtime.Explore). *)
+let explore_repro ?(options = Runtime.Explore.Options.default) ?subject t
+    ~max_steps =
+  let options = { options with Runtime.Explore.Options.max_steps } in
+  match Runtime.Explore.check_all ~options (config t) (check_config t) with
   | Ok stats -> Ok stats
   | Error v ->
+    let cert =
+      Runtime.Repro.of_decisions ?subject ~sched:"explore" ~max_steps
+        ~message:v.Runtime.Explore.message (config t)
+        v.Runtime.Explore.decisions
+    in
+    Error (v, cert)
+
+let explore_stats ?options t ~max_steps =
+  match explore_repro ?options t ~max_steps with
+  | Ok stats -> Ok stats
+  | Error (v, _) ->
     Error
       (Fmt.str "%s@.counterexample schedule:@.%a" v.Runtime.Explore.message
          Runtime.Trace.pp v.Runtime.Explore.trace)

@@ -35,6 +35,19 @@ val check_outcome :
     Crashed processes are exempt from deciding; all others must decide the
     same pid, and that pid must appear in the trace (validity). *)
 
+val check_config : instance -> Runtime.Engine.config -> (unit, string) result
+(** The terminal-configuration form of {!check_outcome}: what
+    {!explore_all} runs on every complete schedule.  Expects a finished
+    run — still-running processes are reported as incomplete. *)
+
+val check_partial : instance -> Runtime.Engine.config -> (unit, string) result
+(** Like {!check_config} but tolerant of still-running processes: only
+    faults, disagreement among decisions already made, and budget
+    overruns fail.  This is the failure predicate replayed schedule
+    {e prefixes} are judged by ({!Runtime.Repro.shrink} candidates — an
+    incomplete run must not count as a violation, or shrinking would
+    trivialize). *)
+
 val run :
   instance -> sched:Runtime.Sched.t -> (Runtime.Engine.outcome, string) result
 (** Run to completion under the scheduler and check the outcome. *)
@@ -60,25 +73,37 @@ val explore_all : instance -> max_steps:int -> (int, string) result
     Returns the number of complete executions enumerated. *)
 
 val explore_stats :
-  ?analyze:(Runtime.Engine.config -> unit) ->
-  ?crash_faults:bool ->
-  ?dedup:bool ->
-  ?por:bool ->
-  ?domains:int ->
+  ?options:Runtime.Explore.Options.t ->
   instance ->
   max_steps:int ->
   (Runtime.Explore.stats, string) result
 (** Like {!explore_all} but returning the full exploration statistics
     (terminals, truncations, choice points, configurations visited).
-    [analyze] runs on every terminal configuration (see
-    {!Runtime.Explore.explore}) — the hook [Lepower_check] uses to lint
-    every complete trace of the protocol.
+    [options] carries the explorer knobs ([options.max_steps] is
+    overridden by the required [max_steps]); its [analyze] hook runs on
+    every terminal configuration (see {!Runtime.Explore.explore}) — the
+    hook [Lepower_check] uses to lint every complete trace of the
+    protocol.
 
-    [crash_faults] additionally lets the adversary fail-stop processes at
-    every choice point.  [dedup]/[por]/[domains] request the explorer's
-    opt-in reductions; the election predicate is trace-order-insensitive
-    (final statuses, decisions, per-pid projections only), so they
-    preserve the verdict exactly. *)
+    [options.crash_faults] additionally lets the adversary fail-stop
+    processes at every choice point.  [dedup]/[por]/[domains] request the
+    explorer's opt-in reductions; the election predicate is
+    trace-order-insensitive (final statuses, decisions, per-pid
+    projections only), so they preserve the verdict exactly. *)
+
+val explore_repro :
+  ?options:Runtime.Explore.Options.t ->
+  ?subject:Lepower_obs.Json.t ->
+  instance ->
+  max_steps:int ->
+  ( Runtime.Explore.stats,
+    Runtime.Explore.violation * Runtime.Repro.t )
+  result
+(** Like {!explore_stats} but a failing verdict carries the structured
+    {!Runtime.Explore.violation} {e and} a replayable schedule
+    certificate built from the explorer's decision path ([sched] field
+    ["explore"]).  [subject] is stored opaquely in the certificate so
+    [lepower replay] can rebuild the instance. *)
 
 val leader_of : Runtime.Engine.outcome -> Value.t option
 (** The common decision, if any process decided. *)

@@ -123,7 +123,16 @@ let explore_all t ~max_steps =
       | Ok () -> ()
       | Error msg -> failure := Some msg
   in
-  let stats = Runtime.Explore.explore ~max_steps ~on_terminal (config t) in
+  let stats =
+    Runtime.Explore.explore
+      ~options:
+        {
+          Runtime.Explore.Options.default with
+          max_steps;
+          on_terminal = Some on_terminal;
+        }
+      (config t)
+  in
   match !failure with
   | Some msg -> Error msg
   | None -> Ok stats.Runtime.Explore.terminals

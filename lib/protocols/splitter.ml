@@ -124,7 +124,11 @@ let run_random t ~seed =
     Ok (List.map (fun (_, v) -> Value.as_int v) outcome.Engine.decisions)
 
 let explore_all t ~max_steps =
-  match Runtime.Explore.check_all ~max_steps (config t) (check_config t) with
+  match
+    Runtime.Explore.check_all
+      ~options:{ Runtime.Explore.Options.default with max_steps }
+      (config t) (check_config t)
+  with
   | Ok stats -> Ok stats.Runtime.Explore.terminals
   | Error v ->
     Error

@@ -130,7 +130,15 @@ let run ?(max_steps = 1_000_000) ~sched config =
       | [] -> outcome_of ~hit_step_limit:false config
       | pids ->
         let pid = sched.Sched.choose ~time:config.time ~enabled:pids in
-        go (step config pid)
+        (* [Sched.halt] — or, defensively, any pid outside the enabled
+           set, which would otherwise no-op-step forever — ends the run
+           with every process left in its current status. *)
+        if not (List.mem pid pids) then
+          outcome_of ~hit_step_limit:false config
+        else begin
+          sched.Sched.observe ~time:config.time ~pid;
+          go (step config pid)
+        end
   in
   Obs.Metrics.incr m_runs;
   Obs.Span.with_span "engine.run"

@@ -46,11 +46,14 @@ type outcome = {
 }
 
 val run : ?max_steps:int -> sched:Sched.t -> config -> outcome
-(** Drive the configuration until no process is running or [max_steps]
-    (default 1_000_000) operations have been performed.  Hitting the limit
-    with live processes sets [hit_step_limit] — for a wait-free protocol
-    under a fair scheduler this indicates a bug and tests treat it as
-    failure.
+(** Drive the configuration until no process is running, the scheduler
+    returns {!Sched.halt} (or any non-enabled pid — treated as halt), or
+    [max_steps] (default 1_000_000) operations have been performed.
+    Hitting the limit with live processes sets [hit_step_limit] — for a
+    wait-free protocol under a fair scheduler this indicates a bug and
+    tests treat it as failure.  After each executed step the scheduler's
+    [observe] hook is notified with the pid that moved, which is what
+    {!Repro.recording} uses to capture schedule certificates.
 
     Observability: the whole run is wrapped in a ["engine.run"]
     {!Lepower_obs.Span}, and [step] maintains the [engine.*] counters

@@ -19,6 +19,34 @@ let m_deduped = Lepower_obs.Metrics.counter "explore.configs_deduped"
 let m_por_pruned = Lepower_obs.Metrics.counter "explore.por_pruned"
 
 (* ------------------------------------------------------------------ *)
+(* Options.                                                           *)
+
+module Options = struct
+  type t = {
+    max_steps : int;
+    crash_faults : bool;
+    dedup : bool;
+    por : bool;
+    domains : int;
+    analyze : (Engine.config -> unit) option;
+    on_terminal : (Engine.config -> unit) option;
+    on_truncated : (Engine.config -> unit) option;
+  }
+
+  let default =
+    {
+      max_steps = 10_000;
+      crash_faults = false;
+      dedup = false;
+      por = false;
+      domains = 1;
+      analyze = None;
+      on_terminal = None;
+      on_truncated = None;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* Adversary moves and the independence relation (POR).               *)
 
 type move = Step_m of int | Crash_m of int
@@ -29,6 +57,10 @@ let move_equal a b =
   match (a, b) with
   | Step_m x, Step_m y | Crash_m x, Crash_m y -> x = y
   | (Step_m _ | Crash_m _), _ -> false
+
+let decision_of_move = function
+  | Step_m pid -> Repro.Step pid
+  | Crash_m pid -> Repro.Crash pid
 
 (* What a move touches at [config]: [None] when it accesses no shared
    location (a crash, or a decide step of a [Done] program); otherwise
@@ -63,7 +95,7 @@ let sleep_subset a b = List.for_all (fun m -> sleep_mem m b) a
 let sleep_inter a b = List.filter (fun m -> sleep_mem m b) a
 
 (* ------------------------------------------------------------------ *)
-(* Options and mutable accumulators.                                  *)
+(* Internal knobs and mutable accumulators.                           *)
 
 type opts = {
   o_max_steps : int;
@@ -71,6 +103,14 @@ type opts = {
   o_dedup : bool;
   o_por : bool;
 }
+
+let opts_of (options : Options.t) =
+  {
+    o_max_steps = options.Options.max_steps;
+    o_crash_faults = options.Options.crash_faults;
+    o_dedup = options.Options.dedup;
+    o_por = options.Options.por;
+  }
 
 type acc = {
   mutable a_terminals : int;
@@ -137,6 +177,11 @@ let moves_of opts pids =
 (* The sequential core: DFS with optional visited-set memoization and  *)
 (* sleep-set partial-order reduction.                                  *)
 (*                                                                     *)
+(* Every node carries [rpath], the root-to-node adversary decisions in  *)
+(* reverse; callbacks receive it so leaves are replayable certificates  *)
+(* for free.  With [dedup]/[por] a pruned revisit reports nothing, so   *)
+(* any path that does reach a callback is a genuine schedule.           *)
+(*                                                                     *)
 (* Memoization: a configuration's fingerprint determines its reachable *)
 (* futures AND its depth (depth = per-proc events + decided + faulted, *)
 (* all fingerprint-determined), so pruning a revisit can never cut off *)
@@ -151,8 +196,8 @@ let moves_of opts pids =
 (* discipline), which keeps the combination sound.                     *)
 
 let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
-    (config0, histories0, depth0) =
-  let rec go config histories depth sleep =
+    (config0, histories0, depth0, rpath0) =
+  let rec go config histories depth rpath sleep =
     if depth > acc.a_max_depth then acc.a_max_depth <- depth;
     let enabled = Engine.enabled config in
     let leaf = enabled = [] || depth >= opts.o_max_steps in
@@ -160,12 +205,12 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
       acc.a_configs <- acc.a_configs + 1;
       match enabled with
       | [] ->
-        (match analyze with None -> () | Some f -> f config);
+        (match analyze with None -> () | Some f -> f config rpath);
         acc.a_terminals <- acc.a_terminals + 1;
-        (match on_terminal with None -> () | Some f -> f config)
+        (match on_terminal with None -> () | Some f -> f config rpath)
       | _ when depth >= opts.o_max_steps ->
         acc.a_truncated <- acc.a_truncated + 1;
-        (match on_truncated with None -> () | Some f -> f config)
+        (match on_truncated with None -> () | Some f -> f config rpath)
       | pids ->
         (* A choice point is a configuration where the adversary has more
            than one move: several enabled processes, or (with crash
@@ -187,14 +232,15 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
                     (List.rev_append explored sleep)
                 else []
               in
+              let rpath' = decision_of_move m :: rpath in
               (match m with
               | Step_m pid ->
                 let config', histories' =
                   step_with_history opts config histories pid
                 in
-                go config' histories' (depth + 1) child_sleep
+                go config' histories' (depth + 1) rpath' child_sleep
               | Crash_m pid ->
-                go (Engine.crash config pid) histories depth child_sleep);
+                go (Engine.crash config pid) histories depth rpath' child_sleep);
               loop sleep (if opts.o_por then m :: explored else explored) rest
             end
         in
@@ -219,7 +265,7 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
         Fingerprint.Tbl.replace tbl key sleep;
         proceed sleep)
   in
-  go config0 histories0 depth0 []
+  go config0 histories0 depth0 rpath0 []
 
 (* ------------------------------------------------------------------ *)
 (* Multicore frontier exploration.                                    *)
@@ -228,34 +274,35 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
    no memoization or reduction, so the split is exact) until at least
    [target] roots exist; leaves met on the way are dispatched to the
    callbacks right here in the coordinator.  Returns the frontier in
-   deterministic (schedule) order. *)
+   deterministic (schedule) order, each root carrying its path prefix. *)
 let split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated ~target
     config =
-  let expand (config, histories, depth) =
+  let expand (config, histories, depth, rpath) =
     if depth > acc.a_max_depth then acc.a_max_depth <- depth;
     acc.a_configs <- acc.a_configs + 1;
     match Engine.enabled config with
     | [] ->
-      (match analyze with None -> () | Some f -> f config);
+      (match analyze with None -> () | Some f -> f config rpath);
       acc.a_terminals <- acc.a_terminals + 1;
-      (match on_terminal with None -> () | Some f -> f config);
+      (match on_terminal with None -> () | Some f -> f config rpath);
       []
     | _ when depth >= opts.o_max_steps ->
       acc.a_truncated <- acc.a_truncated + 1;
-      (match on_truncated with None -> () | Some f -> f config);
+      (match on_truncated with None -> () | Some f -> f config rpath);
       []
     | pids ->
       if (match pids with _ :: _ :: _ -> true | _ -> opts.o_crash_faults)
       then acc.a_choice_points <- acc.a_choice_points + 1;
       List.concat_map
         (fun m ->
+          let rpath' = decision_of_move m :: rpath in
           match m with
           | Step_m pid ->
             let config', histories' =
               step_with_history opts config histories pid
             in
-            [ (config', histories', depth + 1) ]
-          | Crash_m pid -> [ (Engine.crash config pid, histories, depth) ])
+            [ (config', histories', depth + 1, rpath') ]
+          | Crash_m pid -> [ (Engine.crash config pid, histories, depth, rpath') ])
         (moves_of opts pids)
   in
   let rec grow frontier =
@@ -265,7 +312,7 @@ let split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated ~target
       | [] -> []
       | next -> grow next
   in
-  grow [ (config, initial_histories config, 0) ]
+  grow [ (config, initial_histories config, 0, []) ]
 
 (* Workers share nothing: each gets every [i mod domains = w]-th frontier
    root (static split, so per-worker work — and therefore every merged
@@ -313,12 +360,16 @@ let run_parallel ~opts ~acc ~domains ~analyze ~on_terminal ~on_truncated
 
 let with_mutex mutex f =
   Option.map
-    (fun g config ->
+    (fun g config rpath ->
       Mutex.lock mutex;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock mutex)
-        (fun () -> g config))
+        (fun () -> g config rpath))
     f
+
+(* Adapt a public [Engine.config -> unit] callback to the internal
+   path-carrying shape. *)
+let drop_path f = Option.map (fun g config _rpath -> g config) f
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points.                                               *)
@@ -328,17 +379,10 @@ let with_mutex mutex f =
    callbacks); [check_all] opts out for its own pure predicate — locking
    around every terminal would serialize the whole search — and wraps
    only what actually needs it (the analyze hook, failure recording). *)
-let explore_inner ~serialize ?(max_steps = 10_000) ?(crash_faults = false)
-    ?(dedup = false) ?(por = false) ?(domains = 1) ?analyze ?on_terminal
-    ?on_truncated config =
-  let opts =
-    {
-      o_max_steps = max_steps;
-      o_crash_faults = crash_faults;
-      o_dedup = dedup;
-      o_por = por;
-    }
-  in
+let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
+    ~on_truncated config =
+  let opts = opts_of options in
+  let domains = options.Options.domains in
   let acc = acc_create () in
   let finish domains_used =
     (* Counters maintained once, from the merged totals, so they stay
@@ -364,18 +408,18 @@ let explore_inner ~serialize ?(max_steps = 10_000) ?(crash_faults = false)
     Lepower_obs.Span.with_span "explore.explore"
       ~args:
         [
-          ("max_steps", Lepower_obs.Json.Int max_steps);
-          ("dedup", Lepower_obs.Json.Bool dedup);
-          ("por", Lepower_obs.Json.Bool por);
+          ("max_steps", Lepower_obs.Json.Int opts.o_max_steps);
+          ("dedup", Lepower_obs.Json.Bool opts.o_dedup);
+          ("por", Lepower_obs.Json.Bool opts.o_por);
           ("domains", Lepower_obs.Json.Int domains);
         ]
       (fun () ->
         if domains <= 1 then begin
           let visited =
-            if dedup then Some (Fingerprint.Tbl.create 4096) else None
+            if opts.o_dedup then Some (Fingerprint.Tbl.create 4096) else None
           in
           explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
-            (config, initial_histories config, 0);
+            (config, initial_histories config, 0, []);
           1
         end
         else if serialize then begin
@@ -392,12 +436,37 @@ let explore_inner ~serialize ?(max_steps = 10_000) ?(crash_faults = false)
   in
   finish domains_used
 
-let explore = explore_inner ~serialize:true
+let explore ?(options = Options.default) config =
+  explore_inner ~serialize:true ~options
+    ~analyze:(drop_path options.Options.analyze)
+    ~on_terminal:(drop_path options.Options.on_terminal)
+    ~on_truncated:(drop_path options.Options.on_truncated)
+    config
 
-type violation = { trace : Trace.t; message : string }
+let explore_legacy ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze
+    ?on_terminal ?on_truncated config =
+  let d = Options.default in
+  let options =
+    {
+      Options.max_steps = Option.value ~default:d.Options.max_steps max_steps;
+      crash_faults = Option.value ~default:d.Options.crash_faults crash_faults;
+      dedup = Option.value ~default:d.Options.dedup dedup;
+      por = Option.value ~default:d.Options.por por;
+      domains = Option.value ~default:d.Options.domains domains;
+      analyze;
+      on_terminal;
+      on_truncated;
+    }
+  in
+  explore ~options config
 
-let check_all ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze config
-    predicate =
+type violation = {
+  trace : Trace.t;
+  message : string;
+  decisions : Repro.decision list;
+}
+
+let check_all ?(options = Options.default) config predicate =
   (* The predicate is a pure function of the configuration, so under
      domain parallelism it runs concurrently in the workers with no lock
      — a per-terminal mutex would serialize the entire search.  Only the
@@ -405,21 +474,27 @@ let check_all ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze config
      the caller's [analyze] hook (arbitrary user code). *)
   let mutex = Mutex.create () in
   let failure = ref None in
-  let record config message =
+  let record config rpath message =
     Mutex.lock mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock mutex)
       (fun () ->
         if !failure = None then
-          failure := Some { trace = Engine.trace config; message });
+          failure :=
+            Some
+              {
+                trace = Engine.trace config;
+                message;
+                decisions = List.rev rpath;
+              });
     raise Stop_exploration
   in
-  let on_terminal config =
+  let on_terminal config rpath =
     match predicate config with
     | Ok () -> ()
-    | Error message -> record config message
+    | Error message -> record config rpath message
   in
-  let on_truncated config =
+  let on_truncated config rpath =
     (* The truncated schedule is the whole diagnostic: say where the
        execution was cut off and what it was doing, not just that it
        happened. *)
@@ -433,19 +508,35 @@ let check_all ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze config
            livelock); last event: %a"
           depth Trace.pp_event last
     in
-    record config message
+    record config rpath message
   in
   match
-    explore_inner ~serialize:false ?max_steps ?crash_faults ?dedup ?por
-      ?domains
-      ?analyze:(with_mutex mutex analyze)
-      ~on_terminal ~on_truncated config
+    explore_inner ~serialize:false ~options
+      ~analyze:(with_mutex mutex (drop_path options.Options.analyze))
+      ~on_terminal:(Some on_terminal) ~on_truncated:(Some on_truncated) config
   with
   | stats -> Ok stats
   | exception Stop_exploration -> (
     match !failure with
     | Some v -> Error v
     | None -> assert false)
+
+let check_all_legacy ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze
+    config predicate =
+  let d = Options.default in
+  let options =
+    {
+      Options.max_steps = Option.value ~default:d.Options.max_steps max_steps;
+      crash_faults = Option.value ~default:d.Options.crash_faults crash_faults;
+      dedup = Option.value ~default:d.Options.dedup dedup;
+      por = Option.value ~default:d.Options.por por;
+      domains = Option.value ~default:d.Options.domains domains;
+      analyze;
+      on_terminal = None;
+      on_truncated = None;
+    }
+  in
+  check_all ~options config predicate
 
 module Vtbl = Hashtbl.Make (struct
   type t = Memory.Value.t
@@ -454,20 +545,26 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Memory.Value.hash
 end)
 
-let decision_sets ?max_steps ?dedup ?por ?domains config =
+let decision_sets ?(options = Options.default) config =
   (* Keyed by the canonical (sorted) decision multiset in a hash table:
      O(1) per terminal instead of a comparison against every set seen so
      far.  The result stays the documented sorted list of sorted lists. *)
   let sets = Vtbl.create 64 in
-  let on_terminal config =
+  let on_terminal config _rpath =
     let ds =
       Array.to_list config.Engine.procs
       |> List.filter_map Proc.decision
       |> List.sort Memory.Value.compare
     in
     let key = Memory.Value.List ds in
-    if not (Vtbl.mem sets key) then Vtbl.add sets key ds
+    if not (Vtbl.mem sets key) then Vtbl.add sets key ds;
+    match options.Options.on_terminal with None -> () | Some f -> f config
   in
-  ignore (explore ?max_steps ?dedup ?por ?domains ~on_terminal config);
+  ignore
+    (explore_inner ~serialize:true ~options
+       ~analyze:(drop_path options.Options.analyze)
+       ~on_terminal:(Some on_terminal)
+       ~on_truncated:(drop_path options.Options.on_truncated)
+       config);
   Vtbl.fold (fun _ ds acc -> ds :: acc) sets []
   |> List.sort (List.compare Memory.Value.compare)

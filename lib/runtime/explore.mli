@@ -6,8 +6,16 @@
     for agreement properties on small instances: a property checked by
     [explore] holds under all adversaries, not just sampled ones.
 
-    Optionally explores crash steps too ([crash_faults]), modelling the
-    wait-free (n-1)-resilient adversary.
+    Optionally explores crash steps too ({!Options.t.crash_faults}),
+    modelling the wait-free (n-1)-resilient adversary.
+
+    All knobs live in one {!Options.t} record — build one with record
+    update on {!Options.default}:
+    {[
+      Explore.explore
+        ~options:{ Explore.Options.default with crash_faults = true }
+        config
+    ]}
 
     {2 Reductions (opt-in)}
 
@@ -17,14 +25,14 @@
     walk remains the exhaustive-schedule semantic reference the
     paper-facing claims are stated against:
 
-    - [~dedup:true] memoizes visited configurations under their
+    - [dedup = true] memoizes visited configurations under their
       {!Fingerprint} (store state + per-process status and operation
       history — {e not} the global trace order) and prunes revisits.
-    - [~por:true] enables sleep-set partial-order reduction over a sound
+    - [por = true] enables sleep-set partial-order reduction over a sound
       independence relation: moves of distinct processes commute when
       they touch distinct locations, or both read the same location, or
       at least one touches no location (crashes, decide steps).
-    - [~domains:n] splits the top of the schedule tree over [n] OCaml 5
+    - [domains = n] splits the top of the schedule tree over [n] OCaml 5
       domains, each running the sequential explorer; statistics merge
       deterministically (static work split, no cross-domain sharing).
 
@@ -34,7 +42,7 @@
     statuses, decisions, or per-process trace projections), the
     existence of bound-exceeding executions, and {!decision_sets}
     exactly.  Reductions are {b not} sound for predicates that inspect
-    the global interleaving order of the trace.  With [~domains:n > 1]
+    the global interleaving order of the trace.  With [domains = n > 1]
     the [on_terminal]/[on_truncated]/[analyze] callbacks run in worker
     domains, serialized by a mutex; terminal visit order is
     nondeterministic (the stats are not). *)
@@ -51,15 +59,61 @@ type stats = {
       (** total configurations visited by the depth-first walk, interior
           and terminal — the size of the explored schedule tree *)
   configs_deduped : int;
-      (** revisits pruned by [~dedup] memoization (0 unless enabled) *)
+      (** revisits pruned by [dedup] memoization (0 unless enabled) *)
   por_pruned : int;
-      (** sibling moves skipped by [~por] sleep sets (0 unless enabled) *)
+      (** sibling moves skipped by [por] sleep sets (0 unless enabled) *)
   domains_used : int;  (** worker domains that actually ran (1 if serial) *)
 }
 
 exception Stop_exploration
 
-val explore :
+(** The exploration configuration, consolidated.  Prefer
+    [{ Options.default with ... }] over spelling out all fields. *)
+module Options : sig
+  type t = {
+    max_steps : int;
+        (** bound on each execution's length (default 10_000 —
+            effectively unbounded for wait-free protocols on small
+            instances) *)
+    crash_faults : bool;
+        (** when [true] (default [false]), at every choice point each
+            running process may also crash, multiplying the schedule
+            space *)
+    dedup : bool;  (** fingerprint memoization (default [false]) *)
+    por : bool;  (** sleep-set partial-order reduction (default [false]) *)
+    domains : int;  (** worker domains (default [1] = sequential) *)
+    analyze : (Engine.config -> unit) option;
+        (** analysis hook: runs on every {e terminal} configuration,
+            before [on_terminal].  It exists so whole-space checkers
+            layered on top of this module ([check_all], the protocol
+            harnesses) can still feed each complete trace to an external
+            analysis pass — e.g. [Lepower_check]'s trace discipline and
+            bounded-value lints — without claiming the [on_terminal]
+            callback for themselves.  With [dedup]/[por] only a
+            representative interleaving per equivalence class reaches
+            the hook. *)
+    on_terminal : (Engine.config -> unit) option;
+    on_truncated : (Engine.config -> unit) option;
+  }
+
+  val default : t
+  (** [{max_steps = 10_000; crash_faults = false; dedup = false;
+      por = false; domains = 1; analyze = None; on_terminal = None;
+      on_truncated = None}] — the naive exhaustive walk, exactly. *)
+end
+
+val explore : ?options:Options.t -> Engine.config -> stats
+(** Walk every schedule under the given {!Options.t} (default
+    {!Options.default}).
+
+    Observability: wrapped in an ["explore.explore"]
+    {!Lepower_obs.Span}; maintains the [explore.*] counters
+    (configs_visited, choice_points, terminals, truncated,
+    configs_deduped, por_pruned) when {!Lepower_obs.Metrics} is enabled —
+    updated once from the merged totals, so they are deterministic and
+    race-free under [domains]. *)
+
+val explore_legacy :
   ?max_steps:int ->
   ?crash_faults:bool ->
   ?dedup:bool ->
@@ -70,39 +124,50 @@ val explore :
   ?on_truncated:(Engine.config -> unit) ->
   Engine.config ->
   stats
-(** [max_steps] bounds each execution's length (default 10_000 — effectively
-    unbounded for wait-free protocols on small instances).  When
-    [crash_faults] is true (default false), at every choice point each
-    running process may also crash, multiplying the schedule space.
-
-    [dedup], [por], [domains] are the opt-in reductions documented above;
-    defaults ([false], [false], [1]) reproduce the naive exhaustive walk
-    exactly, including traversal order.
-
-    [analyze] is the analysis hook: it runs on every {e terminal}
-    configuration, before [on_terminal].  It exists so whole-space
-    checkers layered on top of this module ([check_all], the protocol
-    harnesses) can still feed each complete trace to an external analysis
-    pass — e.g. [Lepower_check]'s trace discipline and bounded-value
-    lints — without claiming the [on_terminal] callback for themselves.
-    Note that with [dedup]/[por] only a representative interleaving per
-    equivalence class reaches the hook.
-
-    Observability: wrapped in an ["explore.explore"]
-    {!Lepower_obs.Span}; maintains the [explore.*] counters
-    (configs_visited, choice_points, terminals, truncated,
-    configs_deduped, por_pruned) when {!Lepower_obs.Metrics} is enabled —
-    updated once from the merged totals, so they are deterministic and
-    race-free under [~domains]. *)
+[@@ocaml.deprecated
+  "use Explore.explore ?options with an Explore.Options.t record"]
+(** The pre-{!Options} labelled-argument interface, kept one release as a
+    thin wrapper over {!explore}.  Identical semantics. *)
 
 (** {1 Ready-made whole-space checks} *)
 
+(** A failed check: the witness schedule, what went wrong, and the exact
+    adversary decisions from the initial configuration to the witness —
+    ready to certify with {!Repro.of_decisions} and replay anywhere.
+    Even under [dedup]/[por]/[domains] the decisions are a genuine
+    root-to-leaf path of the search (pruned revisits never report). *)
 type violation = {
   trace : Trace.t;
   message : string;
+  decisions : Repro.decision list;
 }
 
 val check_all :
+  ?options:Options.t ->
+  Engine.config ->
+  (Engine.config -> (unit, string) result) ->
+  (stats, violation) result
+(** Run the predicate on every terminal configuration; stop at the first
+    violation and report its schedule.  A truncated execution is itself a
+    violation (non-termination under some schedule); its [message] names
+    the truncation depth and the truncated trace's last event.
+    [options.analyze] is honored; [options.on_terminal] and
+    [options.on_truncated] are {b ignored} — [check_all] claims both
+    hooks for the predicate and truncation reporting.
+
+    [dedup]/[por]/[domains] may be requested {b only} for predicates
+    insensitive to the global trace order (see {!explore}); the Ok/Error
+    verdict is then identical to the naive walk's, though the particular
+    witness schedule reported may be a different member of the same
+    commutation class.
+
+    Under [domains = n > 1] the predicate runs {b concurrently} in the
+    worker domains (it must be — and, being a function of an immutable
+    configuration, naturally is — pure); serializing it would serialize
+    the whole search.  [analyze] and violation recording remain
+    mutex-protected. *)
+
+val check_all_legacy :
   ?max_steps:int ->
   ?crash_faults:bool ->
   ?dedup:bool ->
@@ -112,33 +177,15 @@ val check_all :
   Engine.config ->
   (Engine.config -> (unit, string) result) ->
   (stats, violation) result
-(** Run the predicate on every terminal configuration; stop at the first
-    violation and report its schedule.  A truncated execution is itself a
-    violation (non-termination under some schedule); its [message] names
-    the truncation depth and the truncated trace's last event.  [analyze]
-    is passed through to {!explore}.
-
-    [dedup]/[por]/[domains] may be requested {b only} for predicates
-    insensitive to the global trace order (see {!explore}); the Ok/Error
-    verdict is then identical to the naive walk's, though the particular
-    witness schedule reported may be a different member of the same
-    commutation class.
-
-    Under [~domains:n > 1] the predicate runs {b concurrently} in the
-    worker domains (it must be — and, being a function of an immutable
-    configuration, naturally is — pure); serializing it would serialize
-    the whole search.  [analyze] and violation recording remain
-    mutex-protected. *)
+[@@ocaml.deprecated
+  "use Explore.check_all ?options with an Explore.Options.t record"]
+(** The pre-{!Options} labelled-argument interface of {!check_all}. *)
 
 val decision_sets :
-  ?max_steps:int ->
-  ?dedup:bool ->
-  ?por:bool ->
-  ?domains:int ->
-  Engine.config ->
-  Memory.Value.t list list
+  ?options:Options.t -> Engine.config -> Memory.Value.t list list
 (** All distinct decision multisets (sorted within a run, deduplicated
     across runs, output sorted) reachable from the configuration.  Small
     instances only.  Decision multisets are trace-order-insensitive, so
     the reductions are always sound here and the output is byte-identical
-    across all modes. *)
+    across all modes.  [options.on_terminal] (if any) still runs after
+    the internal recording; other callbacks pass through unchanged. *)

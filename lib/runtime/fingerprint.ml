@@ -107,3 +107,44 @@ module Tbl = Hashtbl.Make (struct
   let equal = equal
   let hash = hash
 end)
+
+(* ------------------------------------------------------------------ *)
+(* Replay digests.                                                     *)
+
+(* Unlike [make] — which deliberately forgets the global interleaving so
+   commuting schedules collide — a replay digest must pin the {e exact}
+   execution: store bindings, every process's status and step count, and
+   the full trace in order, [time]/[pid] stamps included.  Two chained
+   FNV-style accumulators with distinct multipliers keep accidental
+   collisions out of reach of the schedule spaces we explore. *)
+let digest (config : Engine.config) =
+  let mix2 m h x = (h * m) lxor x in
+  let fold_string m h s =
+    String.fold_left (fun h c -> mix2 m h (Char.code c)) (mix2 m h 0x1f) s
+  in
+  let fold_value m h v = mix2 m (Value.hash_fold h v) 0x2b in
+  let fold m seed =
+    let h = mix2 m seed config.Engine.time in
+    let h =
+      List.fold_left
+        (fun h (loc, v) -> fold_value m (fold_string m h loc) v)
+        h
+        (Memory.Store.state_bindings config.Engine.store)
+    in
+    let h =
+      Array.fold_left
+        (fun h (p : Proc.t) ->
+          mix2 m (mix2 m h (status_hash p.Proc.status)) p.Proc.steps)
+        h config.Engine.procs
+    in
+    List.fold_left
+      (fun h (e : Trace.event) ->
+        let h = mix2 m (mix2 m h e.Trace.time) e.Trace.pid in
+        fold_value m (fold_value m (fold_string m h e.Trace.loc) e.Trace.op)
+          e.Trace.result)
+      h
+      (List.rev config.Engine.trace)
+  in
+  Printf.sprintf "%08x%08x"
+    (fold 0x01000193 0x811c9dc5 land 0xffffffff)
+    (fold 0x01000197 0x0b4711d5 land 0xffffffff)

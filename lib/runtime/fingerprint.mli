@@ -46,3 +46,11 @@ val equal : t -> t -> bool
 val hash : t -> int
 
 module Tbl : Hashtbl.S with type key = t
+
+val digest : Engine.config -> string
+(** A fixed-width hex digest of the {e exact} configuration — store
+    bindings, per-process status and step counts, and the full trace in
+    global order with [time]/[pid] stamps.  Where {!make} deliberately
+    identifies commuting schedules, [digest] separates them: it is the
+    bit-for-bit certificate {!Repro} records at the start and end of a
+    run and re-checks after replay. *)

@@ -1,28 +1,36 @@
-type t = { name : string; choose : time:int -> enabled:int list -> int }
+type t = {
+  name : string;
+  choose : time:int -> enabled:int list -> int;
+  observe : time:int -> pid:int -> unit;
+}
+
+let halt = -1
+let no_observe ~time:_ ~pid:_ = ()
+let make ?(observe = no_observe) ~name choose = { name; choose; observe }
 
 let hd_exn = function
   | [] -> invalid_arg "Sched: empty enabled set"
   | pid :: _ -> pid
 
 let round_robin () =
+  (* The cursor is committed in [observe], not [choose]: under a wrapper
+     that vetoes proposals (e.g. [crashing]) it tracks the schedule that
+     actually ran instead of drifting on discarded choices. *)
   let last = ref (-1) in
   let choose ~time:_ ~enabled =
-    let next =
-      match List.find_opt (fun pid -> pid > !last) enabled with
-      | Some pid -> pid
-      | None -> hd_exn enabled
-    in
-    last := next;
-    next
+    match List.find_opt (fun pid -> pid > !last) enabled with
+    | Some pid -> pid
+    | None -> hd_exn enabled
   in
-  { name = "round-robin"; choose }
+  let observe ~time:_ ~pid = last := pid in
+  { name = "round-robin"; choose; observe }
 
 let random ~seed =
   let state = Random.State.make [| seed |] in
   let choose ~time:_ ~enabled =
     List.nth enabled (Random.State.int state (List.length enabled))
   in
-  { name = Printf.sprintf "random(%d)" seed; choose }
+  make ~name:(Printf.sprintf "random(%d)" seed) choose
 
 let fixed pids =
   let remaining = ref pids in
@@ -34,7 +42,7 @@ let fixed pids =
       remaining := rest;
       if List.mem pid enabled then pid else choose ~time ~enabled
   in
-  { name = "fixed"; choose }
+  { name = "fixed"; choose; observe = fallback.observe }
 
 let prioritize order =
   let choose ~time:_ ~enabled =
@@ -42,12 +50,13 @@ let prioritize order =
     | Some pid -> pid
     | None -> hd_exn enabled
   in
-  { name = "prioritize"; choose }
+  make ~name:"prioritize" choose
 
 let crashing ~crashed inner =
   let choose ~time ~enabled =
     match List.filter (fun pid -> not (List.mem pid crashed)) enabled with
-    | [] -> inner.choose ~time ~enabled
+    | [] -> halt
     | alive -> inner.choose ~time ~enabled:alive
   in
-  { name = inner.name ^ "+crash"; choose }
+  let observe ~time ~pid = inner.observe ~time ~pid in
+  { name = inner.name ^ "+crash"; choose; observe }

@@ -1,17 +1,54 @@
 (** Schedulers: the adversary controlling the interleaving.
 
     A scheduler sees the global time and the set of processes that still
-    have a pending step and picks which one moves next.  It sees nothing
-    else — the contents of memory are not an input, which keeps these
-    schedulers oblivious; content-aware adversaries (e.g. the bivalency
-    adversary) drive {!Engine.step} directly instead. *)
+    have a pending step and picks which one moves next.
 
-type t = { name : string; choose : time:int -> enabled:int list -> int }
-(** [choose] is only called with a non-empty [enabled] list and must return
-    a member of it. *)
+    {b Oblivious-adversary contract.}  A scheduler sees {e nothing} of the
+    shared state: [choose] receives only the time and the enabled pid set,
+    and [observe] only the pid that actually moved.  The contents of
+    memory, pending operations and decision values are not inputs, which
+    keeps these schedulers oblivious; content-aware adversaries (e.g. the
+    bivalency adversary) drive {!Engine.step} directly instead.  This is
+    what makes a recorded pid sequence a complete schedule certificate
+    ({!Repro}): replaying the same choices from the same initial
+    configuration reproduces the run bit for bit.
+
+    {b Protocol with the engine.}  For each executed step the engine calls
+    [choose] exactly once and then, if the returned pid was executed,
+    [observe] exactly once with that pid.  Wrappers (decision logging in
+    {!Repro.recording}, fail-stop filtering in {!crashing}) therefore
+    compose without shadowing each other's state: a layer that keeps a
+    cursor commits it in [observe] — which always reports the {e actual}
+    schedule — rather than in [choose], whose proposal an outer layer may
+    veto.  [choose] may also return {!halt} to end the run with every
+    remaining process left in its current status. *)
+
+type t = {
+  name : string;
+  choose : time:int -> enabled:int list -> int;
+      (** Called with a non-empty [enabled] list; must return a member of
+          it or {!halt}.  Any other value is treated as {!halt} by the
+          engine (defensive: a stray pid would otherwise spin forever on
+          a no-op step). *)
+  observe : time:int -> pid:int -> unit;
+      (** Notification that [pid] actually moved at [time] — called once
+          per executed step, after [choose].  Stateful schedulers commit
+          cursors here; wrappers must forward to the wrapped scheduler. *)
+}
+
+val halt : int
+(** Sentinel (negative, never a pid) a scheduler returns from [choose] to
+    end the run: the engine stops without stepping or crashing anyone and
+    reports the outcome of the current configuration. *)
+
+val make : ?observe:(time:int -> pid:int -> unit) -> name:string ->
+  (time:int -> enabled:int list -> int) -> t
+(** Build a scheduler; [observe] defaults to a no-op. *)
 
 val round_robin : unit -> t
-(** Cycles through process ids in order.  Fresh internal cursor per call. *)
+(** Cycles through process ids in order.  Fresh internal cursor per call;
+    the cursor follows the {e observed} schedule, so a wrapper that vetoes
+    a proposal does not desynchronize it. *)
 
 val random : seed:int -> t
 (** Uniform choice among enabled processes, deterministic in [seed]. *)
@@ -27,5 +64,7 @@ val prioritize : int list -> t
 
 val crashing : crashed:int list -> t -> t
 (** Wraps a scheduler so that the given pids are never scheduled
-    (fail-stop).  If only crashed processes remain enabled, the underlying
-    scheduler is consulted anyway so the engine can terminate the run. *)
+    (fail-stop).  When only crashed pids remain enabled the wrapper
+    returns {!halt} — it never consults the underlying scheduler with a
+    pid it promised not to run — so the run ends with the crashed
+    processes still in their last status. *)

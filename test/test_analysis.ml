@@ -263,7 +263,10 @@ let test_truncated_message () =
   in
   let config = Runtime.Engine.init store [ spin ] in
   match
-    Runtime.Explore.check_all ~max_steps:5 config (fun _ -> Ok ())
+    Runtime.Explore.check_all
+      ~options:{ Runtime.Explore.Options.default with max_steps = 5 }
+      config
+      (fun _ -> Ok ())
   with
   | Ok _ -> Alcotest.fail "expected the spin to truncate"
   | Error v ->

@@ -22,6 +22,9 @@ let modes =
     ("dedup+por dom3", true, true, 3);
   ]
 
+let opts ?(crash_faults = false) ~max_steps ~dedup ~por ~domains () =
+  { Explore.Options.default with max_steps; crash_faults; dedup; por; domains }
+
 let pp_sets sets =
   String.concat "; "
     (List.map
@@ -32,7 +35,11 @@ let pp_sets sets =
 
 let check_decision_sets ?(expect_nonempty = true) name instance ~max_steps =
   let config () = Election.config instance in
-  let naive = Explore.decision_sets ~max_steps (config ()) in
+  let naive =
+    Explore.decision_sets
+      ~options:(opts ~max_steps ~dedup:false ~por:false ~domains:1 ())
+      (config ())
+  in
   if expect_nonempty then
     Alcotest.(check bool)
       (name ^ ": naive decision_sets non-empty")
@@ -40,7 +47,9 @@ let check_decision_sets ?(expect_nonempty = true) name instance ~max_steps =
   List.iter
     (fun (mode, dedup, por, domains) ->
       let ds =
-        Explore.decision_sets ~max_steps ~dedup ~por ~domains (config ())
+        Explore.decision_sets
+          ~options:(opts ~max_steps ~dedup ~por ~domains ())
+          (config ())
       in
       if ds <> naive then
         Alcotest.failf "%s: decision_sets differ under %s:\n  naive: %s\n  %s: %s"
@@ -65,8 +74,8 @@ let test_decision_sets () =
 let harness_verdict instance ~crash_faults ~max_steps (_, dedup, por, domains)
     =
   match
-    Election.explore_stats instance ~max_steps ~crash_faults ~dedup ~por
-      ~domains
+    Election.explore_stats instance ~max_steps
+      ~options:(opts ~crash_faults ~max_steps ~dedup ~por ~domains ())
   with
   | Ok stats -> `Ok stats
   | Error _ -> `Violation
@@ -110,7 +119,8 @@ let test_terminals_per_protocol () =
      walk is intractable (multi-election). *)
   let reached instance ~max_steps =
     let stats =
-      Explore.explore ~max_steps ~dedup:true ~por:true
+      Explore.explore
+        ~options:(opts ~max_steps ~dedup:true ~por:true ~domains:1 ())
         (Election.config instance)
     in
     stats.Explore.terminals >= 1
@@ -132,12 +142,20 @@ let test_reduction_stats () =
   let config () =
     Election.config (Protocols.Cas_election.instance ~k:4 ~n:3)
   in
-  let naive = Explore.explore ~max_steps:60 ~crash_faults:true (config ()) in
+  let crash ~dedup ~por ~domains =
+    opts ~crash_faults:true ~max_steps:60 ~dedup ~por ~domains ()
+  in
+  let naive =
+    Explore.explore ~options:(crash ~dedup:false ~por:false ~domains:1)
+      (config ())
+  in
   let dedup =
-    Explore.explore ~max_steps:60 ~crash_faults:true ~dedup:true (config ())
+    Explore.explore ~options:(crash ~dedup:true ~por:false ~domains:1)
+      (config ())
   in
   let por =
-    Explore.explore ~max_steps:60 ~crash_faults:true ~por:true (config ())
+    Explore.explore ~options:(crash ~dedup:false ~por:true ~domains:1)
+      (config ())
   in
   Alcotest.(check int) "naive: configs_deduped = 0" 0 naive.Explore.configs_deduped;
   Alcotest.(check int) "naive: por_pruned = 0" 0 naive.Explore.por_pruned;
@@ -157,9 +175,19 @@ let test_domains_deterministic () =
   let config () =
     Election.config (Protocols.Cas_election.instance ~k:4 ~n:3)
   in
-  let naive = Explore.explore ~max_steps:60 ~crash_faults:true (config ()) in
+  let naive =
+    Explore.explore
+      ~options:
+        (opts ~crash_faults:true ~max_steps:60 ~dedup:false ~por:false
+           ~domains:1 ())
+      (config ())
+  in
   let run () =
-    Explore.explore ~max_steps:60 ~crash_faults:true ~domains:3 (config ())
+    Explore.explore
+      ~options:
+        (opts ~crash_faults:true ~max_steps:60 ~dedup:false ~por:false
+           ~domains:3 ())
+      (config ())
   in
   let a = run () and b = run () in
   Alcotest.(check bool) "two domain runs agree" true (a = b);
@@ -180,7 +208,8 @@ let test_naive_unchanged () =
   (* Pinned from the pre-reduction explorer: the default walk must keep
      producing exactly these numbers (same traversal, same counters). *)
   let stats =
-    Explore.explore ~max_steps:60
+    Explore.explore
+      ~options:{ Explore.Options.default with max_steps = 60 }
       (Election.config (Protocols.Cas_election.instance ~k:4 ~n:3))
   in
   Alcotest.(check int) "terminals" 6 stats.Explore.terminals;

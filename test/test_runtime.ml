@@ -164,15 +164,19 @@ let test_prioritize_starves () =
 let test_crashing_scheduler () =
   let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
   let sched = Sched.crashing ~crashed:[ 0 ] (Sched.round_robin ()) in
-  (* The scheduler starves pid 0 but the engine still sees it running;
-     bound the steps so the run ends. *)
   let outcome = Engine.run ~max_steps:10 ~sched config in
   let trace = Engine.trace outcome.Engine.final in
   Alcotest.(check bool) "pid 1 finished" true
     (List.mem_assoc 1 outcome.Engine.decisions);
-  (* The wrapper starves pid 0 until only crashed pids remain enabled. *)
-  Alcotest.(check (list int)) "pid 1 first" [ 1; 1; 0; 0 ]
-    (List.map (fun e -> e.Runtime.Trace.pid) trace)
+  (* Once only crashed pids remain enabled the wrapper halts the run:
+     pid 0 never takes a step, and the engine stops without burning the
+     step bound. *)
+  Alcotest.(check (list int)) "pid 1 only" [ 1; 1 ]
+    (List.map (fun e -> e.Runtime.Trace.pid) trace);
+  Alcotest.(check bool) "halt, not step-limit" false
+    outcome.Engine.hit_step_limit;
+  Alcotest.(check int) "pid 0 took no step" 0
+    outcome.Engine.final.Engine.procs.(0).Runtime.Proc.steps
 
 (* --- Explore --- *)
 
@@ -190,7 +194,11 @@ let test_explore_counts_interleavings () =
 
 let test_explore_truncation () =
   let config = Engine.init (store ()) [ incr_and_read; incr_and_read ] in
-  let stats = Explore.explore ~max_steps:2 config in
+  let stats =
+    Explore.explore
+      ~options:{ Explore.Options.default with max_steps = 2 }
+      config
+  in
   Alcotest.(check int) "no terminal fits in 2 steps" 0 stats.Explore.terminals;
   Alcotest.(check bool) "truncated" true (stats.Explore.truncated > 0)
 
@@ -234,7 +242,11 @@ let test_explore_crash_faults () =
   let open Program in
   let one = complete (op "c" (Value.sym "incr")) in
   let config = Engine.init (store ()) [ one ] in
-  let stats = Explore.explore ~crash_faults:true config in
+  let stats =
+    Explore.explore
+      ~options:{ Explore.Options.default with crash_faults = true }
+      config
+  in
   (* Either the process runs (1 terminal) or crashes first (1 terminal). *)
   Alcotest.(check int) "two terminals" 2 stats.Explore.terminals;
   (* With crash faults even a single enabled process is a choice point
