@@ -2,7 +2,7 @@
 
    The paper is pure theory — its "evaluation" is a set of quantitative
    claims (bounds, capacities, invariants).  This harness regenerates
-   each claim as a table (experiments E1-E8 of DESIGN.md), then measures
+   each claim as a table (experiments E1-E14 of DESIGN.md), then measures
    the executable constructions with Bechamel micro-benchmarks (B1-B5).
    EXPERIMENTS.md records paper-vs-measured for every row printed here. *)
 
@@ -807,6 +807,133 @@ let e13_repro ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E14: fuzz vs exhaustive search — time to first violation on the     *)
+(* DFS-adversarial flip fixtures, where the violating schedule order   *)
+(* is the one depth-first search reaches last.  The headline claim     *)
+(* gated here: a seeded PCT fuzz campaign finds the bug at least 10x   *)
+(* faster than the exhaustive walk.                                    *)
+
+let e14_fuzz ~smoke () =
+  let module Json = Lepower_obs.Json in
+  let module Subject = Lepower_check.Repro_subject in
+  let module Fuzz = Runtime.Fuzz in
+  header
+    (Printf.sprintf "E14 fuzzing: time to first violation, fuzz vs DFS%s"
+       (if smoke then " [smoke]" else ""));
+  (* flip-cas: chain p2;p1;p0 with each pad process making
+     [Lint.flip_pad_ops] doomed cas attempts — every pad multiplies the
+     violation-free p0-/p1-first subtrees DFS must exhaust.  Smoke keeps
+     two pads (milliseconds); full uses three (sub-second DFS, a ~1000x
+     gap).  flip-swmr is fixed-size: its p0-first subtree is ~25k
+     schedules either way. *)
+  let cas_n = if smoke then 5 else 6 in
+  let fixtures =
+    [
+      ( "broken-cas-flip",
+        Lepower_check.Lint.broken_cas_fixture ~n:cas_n ~flip:true () );
+      ("broken-swmr-flip", Lepower_check.Lint.broken_swmr_fixture ~flip:true ());
+    ]
+  in
+  let scheds =
+    [
+      ("random", Fuzz.Random_walk);
+      ("pct", Fuzz.Pct { depth = 3 });
+      ("starve", Fuzz.Starve { victim = 0; stall = 8 });
+    ]
+  in
+  (* DFS is deterministic: take the best of a few runs.  Fuzz campaigns
+     finish in microseconds: average over many. *)
+  let dfs_reps = 3 in
+  let fuzz_reps = if smoke then 20 else 50 in
+  let best f =
+    let rec go best left =
+      if left = 0 then best
+      else
+        let _, secs = wall f in
+        go (min best secs) (left - 1)
+    in
+    go infinity dfs_reps
+  in
+  let avg f =
+    let (), secs = wall (fun () -> for _ = 1 to fuzz_reps do ignore (f ()) done) in
+    secs /. float_of_int fuzz_reps
+  in
+  Printf.printf "%-18s %-8s %14s %12s %10s\n" "fixture" "mode" "to-violation"
+    "speedup" "found-at";
+  let ratios = ref [] in
+  let rows =
+    List.map
+      (fun (fname, target) ->
+        let resolved = Subject.of_target target in
+        let predicate c =
+          match resolved.Subject.failing c with
+          | Some m -> Error m
+          | None -> Ok ()
+        in
+        let dfs_secs =
+          best (fun () ->
+              match
+                Runtime.Explore.check_all resolved.Subject.config predicate
+              with
+              | Ok _ -> failwith ("E14: DFS missed the " ^ fname ^ " bug")
+              | Error _ -> ())
+        in
+        Printf.printf "%-18s %-8s %12.1f\u{00b5}s %12s %10s\n" fname "dfs"
+          (dfs_secs *. 1e6) "1.0x" "-";
+        let sched_rows =
+          List.map
+            (fun (sname, kind) ->
+              let campaign () =
+                Lepower_check.Lint.fuzz_target ~kind ~runs:512 ~seed:1
+                  ~shrink:false target
+              in
+              let found_at =
+                match (campaign ()).Fuzz.first_violation with
+                | Some i -> i
+                | None -> failwith ("E14: " ^ sname ^ " missed " ^ fname)
+              in
+              let secs = avg campaign in
+              let speedup = dfs_secs /. secs in
+              if sname = "pct" && fname = "broken-cas-flip" then
+                ratios := speedup :: !ratios;
+              Printf.printf "%-18s %-8s %12.1f\u{00b5}s %11.1fx %10d\n" fname
+                sname (secs *. 1e6) speedup found_at;
+              ( sname,
+                Json.Obj
+                  [
+                    ("wall_s", Json.Float secs);
+                    ("speedup_vs_dfs", Json.Float speedup);
+                    ("first_violation_run", Json.Int found_at);
+                  ] ))
+            scheds
+        in
+        ( fname,
+          Json.Obj
+            (("dfs", Json.Obj [ ("wall_s", Json.Float dfs_secs) ])
+            :: sched_rows) ))
+      fixtures
+  in
+  let json =
+    Json.Obj
+      [
+        ("source", Json.String "bench/main.exe");
+        ("experiment", Json.String "E14");
+        ("smoke", Json.Bool smoke);
+        ("cas_n", Json.Int cas_n);
+        ("runs_budget", Json.Int 512);
+        ("seed", Json.Int 1);
+        ("fixtures", Json.Obj rows);
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) "BENCH_fuzz.json" in
+  Lepower_obs.Export.write_json path json;
+  Printf.printf "fuzz JSON: %s\n" path;
+  if (not smoke) && List.exists (fun r -> r < 10.0) !ratios then begin
+    prerr_endline "E14: PCT fuzzing fell below the published 10x over DFS";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifacts: alongside the tables above, emit        *)
 (* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
 (* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
@@ -845,6 +972,7 @@ let () =
   match Sys.argv with
   | [| _; "explore-smoke" |] -> e12_explore ~smoke:true ()
   | [| _; "repro-smoke" |] -> e13_repro ~smoke:true ()
+  | [| _; "fuzz-smoke" |] -> e14_fuzz ~smoke:true ()
   | [| _ |] ->
     e1_capacity ();
     e2_bcl ();
@@ -859,9 +987,10 @@ let () =
     a1_ablations ();
     e12_explore ~smoke:false ();
     e13_repro ~smoke:false ();
+    e14_fuzz ~smoke:false ();
     let micro_rows = micro_benchmarks () in
     write_bench_json micro_rows;
     print_newline ()
   | _ ->
-    prerr_endline "usage: main.exe [explore-smoke|repro-smoke]";
+    prerr_endline "usage: main.exe [explore-smoke|repro-smoke|fuzz-smoke]";
     exit 2

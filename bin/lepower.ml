@@ -4,6 +4,7 @@
      elect      run a leader-election protocol and report the outcome
      explore    exhaustively check an election over every interleaving
      lint       run the Lepower_check analyzers over a protocol or fixture
+     fuzz       adversarial-schedule fuzzing with optional fault injection
      replay     re-execute a recorded schedule certificate (and shrink it)
      emulate    run the Afek-Stupp reduction on a workload
      hierarchy  print the consensus-number table
@@ -439,6 +440,192 @@ let lint_cmd =
       $ lint_exhaustive $ lint_max_steps $ lint_jsonl_out $ lint_repro_out
       $ lint_shrink $ metrics_out_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_subject =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("perm", `Perm); ("cas", `Cas); ("bcl", `Bcl); ("multi", `Multi);
+             ("broken-swmr", `Broken_swmr); ("broken-cas", `Broken_cas);
+             ("spin", `Spin);
+           ])
+        `Broken_cas
+    & info [ "protocol" ]
+        ~doc:
+          "What to fuzz: an election protocol (perm, cas, bcl, multi) or a \
+           seeded-bug fixture (broken-swmr, broken-cas, spin; see also \
+           --flip).")
+
+let fuzz_flip =
+  Arg.(
+    value & flag
+    & info [ "flip" ]
+        ~doc:
+          "Use the DFS-adversarial variant of the broken-swmr/broken-cas \
+           fixtures: the violating schedule order is the one exhaustive \
+           depth-first search tries last, so randomized fuzzing wins by \
+           orders of magnitude (the E14 benchmark fixtures).")
+
+let fuzz_sched =
+  Arg.(
+    value
+    & opt (enum [ ("random", `Random); ("pct", `Pct); ("starve", `Starve) ])
+        `Pct
+    & info [ "sched" ]
+        ~doc:
+          "Adversarial scheduler: random (uniform walk), pct (priority \
+           scheduling with --pct-depth change points), or starve (random \
+           walk withholding --starve-pid for --starve-steps steps).")
+
+let fuzz_depth =
+  Arg.(
+    value & opt int 3
+    & info [ "pct-depth" ]
+        ~doc:"PCT bug depth d: d-1 priority-change points per run.")
+
+let fuzz_starve_pid =
+  Arg.(value & opt int 0 & info [ "starve-pid" ] ~doc:"Pid to starve.")
+
+let fuzz_starve_steps =
+  Arg.(
+    value & opt int 8
+    & info [ "starve-steps" ]
+        ~doc:"How many executed steps the starved pid is withheld for.")
+
+let fuzz_runs =
+  Arg.(
+    value & opt int 256
+    & info [ "runs" ] ~doc:"Run budget: stop after this many clean runs.")
+
+let fuzz_faults =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:
+          "Inject faults (fail-stop crashes, lost writes, stuck-at \
+           registers) at the default rates; every injection is recorded \
+           in the certificate's decision log, so replay re-injects them \
+           bit-for-bit.")
+
+let fuzz_max_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~doc:"Per-run step cap override.")
+
+let fuzz_repro_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the violation's schedule certificate to $(docv) (see \
+           'lepower replay').")
+
+let fuzz_no_shrink =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:
+          "Skip delta-debugging minimization of the violation certificate \
+           (fuzz shrinks by default).")
+
+let fuzz k n subject flip sched depth starve_pid starve_steps runs seed faults
+    max_steps repro_out no_shrink metrics_out =
+  let open Lepower_check in
+  with_obs ~trace_out:None ~metrics_out @@ fun () ->
+  let kind =
+    match sched with
+    | `Random -> Runtime.Fuzz.Random_walk
+    | `Pct -> Runtime.Fuzz.Pct { depth }
+    | `Starve ->
+      Runtime.Fuzz.Starve { victim = starve_pid; stall = starve_steps }
+  in
+  let plan = if faults then Runtime.Faults.default else Runtime.Faults.none in
+  let shrink = not no_shrink in
+  let name, outcome =
+    match subject with
+    | (`Perm | `Cas | `Bcl | `Multi) as p ->
+      let instance = election_instance ~k ~n p in
+      let protocol =
+        match p with
+        | `Perm -> "perm"
+        | `Cas -> "cas"
+        | `Bcl -> "bcl"
+        | `Multi -> "multi"
+      in
+      let subject_json =
+        Repro_subject.election ~protocol ~k
+          ~n:instance.Protocols.Election.n ()
+      in
+      ( instance.Protocols.Election.name,
+        Protocols.Election.fuzz ~runs ~seed ?max_steps ~plan ~kind ~shrink
+          ~subject:subject_json instance )
+    | `Broken_swmr ->
+      let t = Lint.broken_swmr_fixture ~flip () in
+      (t.Lint.name, Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink t)
+    | `Broken_cas ->
+      let t = Lint.broken_cas_fixture ?n ~flip () in
+      (t.Lint.name, Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink t)
+    | `Spin ->
+      let t = Lint.spin_fixture () in
+      (t.Lint.name, Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink t)
+  in
+  Printf.printf "subject:  %s\n" name;
+  Printf.printf "sched:    %s  seed=%d  faults=%s\n"
+    (Runtime.Fuzz.kind_name kind) seed
+    (if faults then "on" else "off");
+  Printf.printf "runs:     %d (budget %d)  decisions=%d  injected=%d\n"
+    outcome.Runtime.Fuzz.runs runs outcome.Runtime.Fuzz.steps
+    outcome.Runtime.Fuzz.injected;
+  match outcome.Runtime.Fuzz.cert with
+  | None ->
+    print_endline "no violation found";
+    (0, None)
+  | Some cert ->
+    (match outcome.Runtime.Fuzz.first_violation with
+    | Some i -> Printf.printf "violation at run %d (seed %d)\n" i (seed + i)
+    | None -> ());
+    Option.iter (Printf.printf "failure:  %s\n") outcome.Runtime.Fuzz.message;
+    Option.iter
+      (fun (s : Runtime.Repro.shrink_stats) ->
+        Printf.printf "shrunk: %d -> %d decisions (%d candidate replays)\n"
+          s.Runtime.Repro.original s.Runtime.Repro.shrunk
+          s.Runtime.Repro.attempts)
+      outcome.Runtime.Fuzz.shrink;
+    let write_code =
+      match repro_out with
+      | None -> 0
+      | Some path -> (
+        try
+          Runtime.Repro.save path cert;
+          Printf.printf "repro certificate written to %s\n" path;
+          0
+        with Sys_error e ->
+          Printf.eprintf "lepower: cannot write certificate: %s\n" e;
+          2)
+    in
+    (max 1 write_code, None)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Hunt schedule-dependent violations with seeded adversarial \
+          schedulers (random walk, PCT priority scheduling, starvation) \
+          and optional fault injection (crashes, lost writes, stuck-at \
+          registers).  Deterministic: a violation is emitted as a \
+          replayable schedule certificate with the injected faults in its \
+          decision log.  Exit 1 when a violation is found.")
+    Term.(
+      const fuzz $ k_arg $ elect_n $ fuzz_subject $ fuzz_flip $ fuzz_sched
+      $ fuzz_depth $ fuzz_starve_pid $ fuzz_starve_steps $ fuzz_runs
+      $ seed_arg $ fuzz_faults $ fuzz_max_steps $ fuzz_repro_out
+      $ fuzz_no_shrink $ metrics_out_arg)
+
 (* --- replay --- *)
 
 let replay_cert =
@@ -705,6 +892,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            elect_cmd; explore_cmd; lint_cmd; replay_cmd; emulate_cmd;
-            hierarchy_cmd; game_cmd; rename_cmd; bounds_cmd;
+            elect_cmd; explore_cmd; lint_cmd; fuzz_cmd; replay_cmd;
+            emulate_cmd; hierarchy_cmd; game_cmd; rename_cmd; bounds_cmd;
           ]))

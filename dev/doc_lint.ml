@@ -1,0 +1,210 @@
+(* doc_lint: structural check of odoc cross-references in interfaces.
+
+   `dune build @doc` is gated on odoc being installed (see the root
+   dune file), so this linter enforces the cheap 90% everywhere odoc
+   may be absent: every {!ref} / {{!ref} text} in a lib/ interface must
+   point at something that plausibly exists —
+
+   - a dotted path whose head is a known top-level module: any
+     compilation unit under the scanned tree, any library entry module
+     (parsed from the `(name ...)` fields of the dune files), a stdlib
+     or vendored-dependency module, or a submodule declared in the same
+     file;
+   - a bare capitalized name under the same rule;
+   - a bare lowercase name declared in the same file (val / type /
+     exception / module / class line).
+
+   It cannot prove a deep path's tail resolves (that needs odoc's
+   semantic pass), but it catches the common rot: references to
+   renamed or deleted modules and to values that moved files.
+
+   Usage: doc_lint.exe DIR...   (exit 1 when any reference is broken) *)
+
+let stdlib_modules =
+  [
+    "Stdlib"; "List"; "Array"; "String"; "Bytes"; "Hashtbl"; "Printf";
+    "Format"; "Sys"; "Filename"; "Random"; "Option"; "Result"; "Either";
+    "Map"; "Set"; "Seq"; "Buffer"; "Int"; "Float"; "Bool"; "Char"; "Fun";
+    "Lazy"; "Queue"; "Stack"; "Domain"; "Mutex"; "Condition"; "Atomic";
+    "Unix"; "Fmt"; "Cmdliner"; "Alcotest"; "QCheck"; "Bechamel"; "Logs";
+    "Invalid_argument"; "Not_found"; "Failure";
+  ]
+
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || is_upper c
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        if entry.[0] = '.' || entry.[0] = '_' then acc else walk path acc
+      else path :: acc)
+    acc (Sys.readdir dir)
+
+(* Every compilation unit in the tree is a visible module name. *)
+let unit_modules files =
+  List.filter_map
+    (fun path ->
+      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+      then
+        Some
+          (String.capitalize_ascii
+             (Filename.remove_extension (Filename.basename path)))
+      else None)
+    files
+
+(* `(name foo)` / `(public_name x.foo)` in dune files: wrapped library
+   entry modules, e.g. lepower_obs -> Lepower_obs. *)
+let library_modules files =
+  List.concat_map
+    (fun path ->
+      if Filename.basename path <> "dune" then []
+      else
+        let text = read_file path in
+        let out = ref [] in
+        let key = "(name " in
+        let rec scan from =
+          match String.index_from_opt text from '(' with
+          | None -> ()
+          | Some i ->
+            (if i + String.length key <= String.length text
+               && String.sub text i (String.length key) = key
+             then
+               let start = i + String.length key in
+               let stop = ref start in
+               while
+                 !stop < String.length text && is_ident_char text.[!stop]
+               do
+                 incr stop
+               done;
+               if !stop > start then
+                 out :=
+                   String.capitalize_ascii (String.sub text start (!stop - start))
+                   :: !out);
+            scan (i + 1)
+        in
+        scan 0;
+        !out)
+    files
+
+(* All identifiers appearing on declaration lines of one interface: a
+   deliberate over-approximation (any word of a `val`/`type`/... line
+   counts), tuned to never reject a real declaration. *)
+let declared_idents text =
+  let decls = Hashtbl.create 64 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let trimmed = String.trim line in
+         let starts p =
+           String.length trimmed >= String.length p
+           && String.sub trimmed 0 (String.length p) = p
+         in
+         if
+           starts "val " || starts "type " || starts "exception "
+           || starts "module " || starts "class " || starts "and "
+           || starts "| " || starts "external "
+         then begin
+           let n = String.length trimmed in
+           let i = ref 0 in
+           while !i < n do
+             if is_ident_char trimmed.[!i] then begin
+               let start = !i in
+               while !i < n && is_ident_char trimmed.[!i] do incr i done;
+               Hashtbl.replace decls (String.sub trimmed start (!i - start)) ()
+             end
+             else incr i
+           done
+         end);
+  decls
+
+(* odoc reference syntax: strip `kind:` at the front and `kind-` from
+   each path component ({!module-Store.t}, {!val:freeze}, ...). *)
+let normalize_component c =
+  match String.rindex_opt c '-' with
+  | Some i -> String.sub c (i + 1) (String.length c - i - 1)
+  | None -> c
+
+let split_ref r =
+  let r =
+    match String.index_opt r ':' with
+    | Some i -> String.sub r (i + 1) (String.length r - i - 1)
+    | None -> r
+  in
+  List.map normalize_component (String.split_on_char '.' r)
+
+let line_of text pos =
+  let line = ref 1 in
+  for i = 0 to pos - 1 do
+    if text.[i] = '\n' then incr line
+  done;
+  !line
+
+let check_file ~known path =
+  let text = read_file path in
+  let decls = declared_idents text in
+  let errors = ref [] in
+  let n = String.length text in
+  let rec scan i =
+    if i + 1 < n then
+      if text.[i] = '{' && text.[i + 1] = '!' then begin
+        (match String.index_from_opt text (i + 2) '}' with
+        | None -> ()
+        | Some close ->
+          let raw = String.trim (String.sub text (i + 2) (close - i - 2)) in
+          (* {!"quoted"} section refs and empty refs are out of scope *)
+          if raw <> "" && raw.[0] <> '"' then begin
+            match split_ref raw with
+            | [] -> ()
+            | head :: _ ->
+              let ok =
+                if head = "" then false
+                else if is_upper head.[0] then
+                  Hashtbl.mem known head || Hashtbl.mem decls head
+                else Hashtbl.mem decls head
+              in
+              if not ok then
+                errors :=
+                  Printf.sprintf "%s:%d: unresolved reference {!%s}" path
+                    (line_of text i) raw
+                  :: !errors
+          end);
+        scan (i + 2)
+      end
+      else scan (i + 1)
+  in
+  scan 0;
+  List.rev !errors
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib" ]
+  in
+  let files = List.concat_map (fun root -> walk root []) roots in
+  let known = Hashtbl.create 128 in
+  List.iter
+    (fun m -> Hashtbl.replace known m ())
+    (stdlib_modules @ unit_modules files @ library_modules files);
+  let mlis =
+    List.sort compare
+      (List.filter (fun p -> Filename.check_suffix p ".mli") files)
+  in
+  let errors = List.concat_map (check_file ~known) mlis in
+  List.iter prerr_endline errors;
+  Printf.printf "doc_lint: %d interfaces, %d broken references\n"
+    (List.length mlis) (List.length errors);
+  if errors <> [] then exit 1

@@ -240,17 +240,28 @@ let lint_instance ?mode ?rules ?max_nodes ?max_steps ?subject instance =
 
 (* The subject descriptor [Repro_subject.resolve] rebuilds fixtures
    from; kept next to the fixtures so the two stay in sync. *)
-let fixture_subject ?n name =
+let fixture_subject ?n ?(flip = false) name =
   Lepower_obs.Json.Obj
     ([ ("kind", Lepower_obs.Json.String "fixture");
        ("name", Lepower_obs.Json.String name) ]
-    @ match n with None -> [] | Some n -> [ ("n", Lepower_obs.Json.Int n) ])
+    @ (match n with None -> [] | Some n -> [ ("n", Lepower_obs.Json.Int n) ])
+    @ if flip then [ ("flip", Lepower_obs.Json.Bool true) ] else [])
 
-let broken_swmr_fixture () =
+let broken_swmr_fixture ?(flip = false) () =
   (* Two writers share one register that the protocol treats as
      single-writer — but it was (wrongly) bound to the multi-writer spec,
      so the object itself cannot catch the discipline violation.  The
-     trace checker must. *)
+     trace checker must.
+
+     [flip] is the DFS-adversarial variant: the second writer only
+     writes when its read still sees the initial value, so the
+     violation needs p1 scheduled {e before} p0's write — the schedule
+     order DFS tries {e last} among the first decisions — and pad
+     readers inflate the non-violating p0-first subtree the exhaustive
+     walk must exhaust before getting there.  Randomized schedulers hit
+     the required order in a handful of runs; this is the honest
+     benchmark fixture for fuzz-vs-DFS time-to-first-violation. *)
+  let init = Value.int (-1) in
   let program pid =
     let open Runtime.Program in
     complete
@@ -258,17 +269,43 @@ let broken_swmr_fixture () =
        let* v = Objects.Register.read "r" in
        return v)
   in
+  let flip_writer =
+    let open Runtime.Program in
+    complete
+      (let* v = Objects.Register.read "r" in
+       if Value.equal v init then
+         let* () = Objects.Register.write "r" (Value.int 1) in
+         return (Value.int 1)
+       else return v)
+  in
+  let pad_reader =
+    let open Runtime.Program in
+    complete
+      (let* _ = Objects.Register.read "r" in
+       let* v = Objects.Register.read "r" in
+       return v)
+  in
   {
-    name = "fixture-broken-swmr";
-    bindings = [ ("r", Objects.Register.mwmr ~init:(Value.int (-1)) ()) ];
-    programs = [ program 0; program 1 ];
+    name = (if flip then "fixture-broken-swmr-flip" else "fixture-broken-swmr");
+    bindings = [ ("r", Objects.Register.mwmr ~init ()) ];
+    programs =
+      (* Two pad readers put the p0-first subtree at ~25k schedules —
+         enough that exhaustive DFS pays for its ordering, small enough
+         that the benchmark still terminates quickly. *)
+      (if flip then [ program 0; flip_writer; pad_reader; pad_reader ]
+       else [ program 0; program 1 ]);
     budget = 2;
     single_writer = [ "r" ];
     bounds = [];
-    subject = fixture_subject "broken-swmr";
+    subject = fixture_subject ~flip "broken-swmr";
   }
 
-let broken_cas_fixture ?(n = 3) () =
+(* Attempts per pad process in the flip variant of [broken_cas_fixture]:
+   with p pads the violation-free subtrees DFS must exhaust hold
+   (2 + p*flip_pad_ops)! / (flip_pad_ops!)^p schedules each. *)
+let flip_pad_ops = 4
+
+let broken_cas_fixture ?(n = 3) ?(flip = false) () =
   (* The register was provisioned as a cas(n+1) but the protocol's space
      certificate claims cas(3): under any schedule running p0; p1; p2 in
      that relative order the chain ⊥→0→1→2 stores 4 distinct values
@@ -276,27 +313,65 @@ let broken_cas_fixture ?(n = 3) () =
      [n > 3] the extra processes extend the chain but are not needed for
      the violation — which is exactly what makes this the shrinker's
      reference fixture: of an [n]-decision failing schedule only the
-     first three processes' steps must survive minimization. *)
+     first three processes' steps must survive minimization.
+
+     [flip] is the DFS-adversarial variant: the chain runs in
+     {e descending} pid order — p2 cas(⊥→1), p1 cas(1→0), p0 cas(0→2) —
+     and only the {e last} link stores the escaping value 2.  Each
+     process gets a single cas attempt, so any schedule that runs p0 or
+     p1 before its expected value is present burns that link and the
+     escape never happens: the violation lives only in schedules whose
+     first chain step is p2's — the exact opposite of the ascending pid
+     order DFS tries first, so the exhaustive walk must exhaust the
+     entire (violation-free) p0-first and p1-first subtrees before it
+     can win, while a randomized scheduler hits the descending order
+     with probability ~1/6 per run.  Processes beyond the first three
+     anchor their expected value one above anything ever stored, so
+     they never succeed; each makes [flip_pad_ops] attempts, purely to
+     inflate the subtrees DFS drowns in. *)
   if n < 3 then invalid_arg "broken_cas_fixture: needs n >= 3";
   let program pid =
     let open Runtime.Program in
-    let expected =
-      if pid = 0 then Objects.Cas_k.bottom else Value.int (pid - 1)
-    in
-    complete
-      (let* prev =
-         Objects.Cas_k.cas "C" ~expected ~desired:(Value.int pid)
-       in
-       return prev)
+    if flip && pid >= 3 then
+      (* pad: [pid + 1] is never stored, these cas never fire *)
+      let rec attempts left =
+        if left = 1 then
+          let* prev =
+            Objects.Cas_k.cas "C" ~expected:(Value.int (pid + 1))
+              ~desired:(Value.int pid)
+          in
+          return prev
+        else
+          let* _ =
+            Objects.Cas_k.cas "C" ~expected:(Value.int (pid + 1))
+              ~desired:(Value.int pid)
+          in
+          attempts (left - 1)
+      in
+      complete (attempts flip_pad_ops)
+    else
+      let expected, desired =
+        if flip then
+          match pid with
+          | 2 -> (Objects.Cas_k.bottom, Value.int 1)
+          | 1 -> (Value.int 1, Value.int 0)
+          | _ -> (Value.int 0, Value.int 2)
+        else
+          ( (if pid = 0 then Objects.Cas_k.bottom else Value.int (pid - 1)),
+            Value.int pid )
+      in
+      complete
+        (let* prev = Objects.Cas_k.cas "C" ~expected ~desired in
+         return prev)
   in
   {
-    name = "fixture-broken-cas";
+    name = (if flip then "fixture-broken-cas-flip" else "fixture-broken-cas");
     bindings = [ ("C", Objects.Cas_k.spec ~k:(n + 1)) ];
     programs = List.init n program;
-    budget = 1;
+    budget = (if flip && n > 3 then flip_pad_ops else 1);
     single_writer = [];
     bounds = [ ("C", 3) ];
-    subject = fixture_subject ~n "broken-cas";
+    subject = fixture_subject ~n ~flip "broken-cas";
   }
 
 let spin_fixture () =
@@ -325,3 +400,34 @@ let spin_fixture () =
   }
 
 let fixtures () = [ broken_swmr_fixture (); broken_cas_fixture (); spin_fixture () ]
+
+(* --- fuzzing ----------------------------------------------------------- *)
+
+let fuzz_target ?runs ?seed ?max_steps ?plan ?kind ?shrink (t : target) =
+  let store = Memory.Store.create t.bindings in
+  let n = List.length t.programs in
+  let max_steps =
+    Option.value ~default:((t.budget * max n 1 * 2) + 1000) max_steps
+  in
+  (* The same failure predicate [Repro_subject.of_target] builds — kept
+     textually close to [failing_config] above so the certificate a fuzz
+     campaign emits fails under exactly the predicate replay re-checks. *)
+  let failing (config : Engine.config) =
+    let trace = Engine.trace config in
+    let findings =
+      Bounded_check.check ~bounds:t.bounds ~store trace
+      @ Trace_check.check ~single_writer:t.single_writer ~store trace
+    in
+    match List.find_opt Finding.is_reportable findings with
+    | Some f -> Some (Printf.sprintf "%s: %s" f.Finding.rule f.Finding.detail)
+    | None ->
+      if
+        Array.exists
+          (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
+          config.Engine.procs
+      then
+        Some (Printf.sprintf "per-process step budget %d exceeded" t.budget)
+      else None
+  in
+  Runtime.Fuzz.campaign ?runs ?seed ~max_steps ?plan ?kind ?shrink
+    ~subject:t.subject ~failing (fun () -> Engine.init store t.programs)

@@ -82,17 +82,26 @@ val lint_instance :
     Each fixture plants one intended defect and must trigger exactly its
     rule — the analyzer's regression suite and the CLI's demo subjects. *)
 
-val broken_swmr_fixture : unit -> target
+val broken_swmr_fixture : ?flip:bool -> unit -> target
 (** Two processes write one location declared single-writer (but bound to
     a multi-writer spec, so only the trace checker can object):
-    [swmr-discipline]. *)
+    [swmr-discipline].  [flip] (default [false]) is the DFS-adversarial
+    variant: the second writer writes only when scheduled before the
+    first one's write — the order DFS tries last — and two pad readers
+    inflate the violation-free subtree the exhaustive walk must exhaust
+    first.  The fuzz benchmark's second fixture. *)
 
-val broken_cas_fixture : ?n:int -> unit -> target
+val broken_cas_fixture : ?n:int -> ?flip:bool -> unit -> target
 (** A cas(n+1) register claimed to be cas(3) driven by [n] processes
     (default 3, the minimum): any schedule running p0, p1, p2 in that
     relative order feeds it 4 distinct values: [bounded-value].  Larger
     [n] pads the schedule with processes irrelevant to the violation —
-    the shrinker's reference workload. *)
+    the shrinker's reference workload.  [flip] (default [false])
+    reverses the chain (p2's cas, then p1's, then p0's) so the violating
+    order is the one depth-first search reaches {e last}; with [n > 3]
+    the pad processes can never cas successfully and exist purely to
+    blow up the subtrees DFS must exhaust before winning — the fuzz
+    benchmark's headline fixture. *)
 
 val spin_fixture : unit -> target
 (** A process spinning on a flag nobody sets: the symbolic audit exceeds
@@ -100,3 +109,24 @@ val spin_fixture : unit -> target
     [wait-freedom]. *)
 
 val fixtures : unit -> target list
+
+(** {1 Fuzzing} *)
+
+val fuzz_target :
+  ?runs:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?plan:Runtime.Faults.plan ->
+  ?kind:Runtime.Fuzz.sched_kind ->
+  ?shrink:bool ->
+  target ->
+  Runtime.Fuzz.outcome
+(** Fuzz a target with {!Runtime.Fuzz.campaign}: each run starts from a
+    fresh configuration of the target's bindings and programs; a final
+    configuration fails when it has a reportable {!Trace_check} or
+    {!Bounded_check} finding or a process exceeded the target's step
+    budget (the same predicate [Repro_subject.of_target] resolves, so
+    the emitted certificate — carrying the target's [subject] — replays
+    through [lepower replay]).  Defaults follow
+    {!Runtime.Fuzz.campaign}; [max_steps] defaults to the same
+    per-execution cap sampled lint uses. *)

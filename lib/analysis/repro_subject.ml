@@ -24,10 +24,11 @@ let election ~protocol ~k ~n ?(crashed = []) () =
     | [] -> []
     | pids -> [ ("crashed", Json.List (List.map (fun p -> Json.Int p) pids)) ])
 
-let fixture ?n name =
+let fixture ?n ?(flip = false) name =
   Json.Obj
     ([ ("kind", Json.String "fixture"); ("name", Json.String name) ]
-    @ match n with None -> [] | Some n -> [ ("n", Json.Int n) ])
+    @ (match n with None -> [] | Some n -> [ ("n", Json.Int n) ])
+    @ if flip then [ ("flip", Json.Bool true) ] else [])
 
 (* ------------------------------------------------------------------ *)
 (* Resolution.                                                         *)
@@ -125,9 +126,14 @@ let resolve json =
       let n =
         match Json.member "n" json with Some (Json.Int n) -> Some n | _ -> None
       in
+      let flip =
+        match Json.member "flip" json with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
       match name with
-      | "broken-swmr" -> Ok (of_target (Lint.broken_swmr_fixture ()))
-      | "broken-cas" -> Ok (of_target (Lint.broken_cas_fixture ?n ()))
+      | "broken-swmr" -> Ok (of_target (Lint.broken_swmr_fixture ~flip ()))
+      | "broken-cas" -> Ok (of_target (Lint.broken_cas_fixture ?n ~flip ()))
       | "spin" -> Ok (of_target (Lint.spin_fixture ()))
       | f -> Error (Printf.sprintf "unknown fixture %S" f))
     | k -> Error (Printf.sprintf "unknown subject kind %S" k))

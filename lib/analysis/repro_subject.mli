@@ -10,8 +10,10 @@
       election protocol instance ([perm], [cas], [bcl] or [multi],
       mirroring the CLI's [--protocol]), with the listed pids crashed
       before the first step;
-    - [{"kind":"fixture","name":F,"n":N?}] — a [Lint] seeded-bug fixture
-      ([broken-swmr], [broken-cas] with its process count, [spin]).
+    - [{"kind":"fixture","name":F,"n":N?,"flip":B?}] — a [Lint]
+      seeded-bug fixture ([broken-swmr], [broken-cas] with its process
+      count, [spin]); [flip] selects the DFS-adversarial variants the
+      fuzz benchmark uses (absent means [false]).
 
     Builders and resolver are kept in one place so a certificate recorded
     by any producer ([lepower lint], {!Protocols.Election.explore_repro},
@@ -43,10 +45,11 @@ val election :
     process count (record the default explicitly — replay must not
     re-derive it). *)
 
-val fixture : ?n:int -> string -> Lepower_obs.Json.t
+val fixture : ?n:int -> ?flip:bool -> string -> Lepower_obs.Json.t
 (** Subject descriptor for a [Lint] fixture, by short name
     (["broken-swmr"], ["broken-cas"], ["spin"]).  Matches what the
-    fixtures themselves embed in their targets. *)
+    fixtures themselves embed in their targets; [flip] defaults to
+    [false] and is only recorded when [true]. *)
 
 val of_target : Lint.target -> resolved
 (** Resolve a lint target directly (no JSON round-trip): initial

@@ -28,6 +28,25 @@ let poke t loc v =
   if Smap.mem loc t.specs then { t with states = Smap.add loc v t.states }
   else invalid_arg (Printf.sprintf "Store.poke: unknown location %S" loc)
 
+let freeze t loc =
+  match Smap.find_opt loc t.specs with
+  | None -> invalid_arg (Printf.sprintf "Store.freeze: unknown location %S" loc)
+  | Some spec ->
+    let already = String.length spec.Spec.type_name >= 6
+                  && String.sub spec.Spec.type_name 0 6 = "stuck(" in
+    if already then t
+    else
+      let frozen =
+        Spec.make
+          ~type_name:(Printf.sprintf "stuck(%s)" spec.Spec.type_name)
+          ~init:spec.Spec.init
+          ~apply:(fun ~pid state op ->
+            match Spec.apply spec ~pid state op with
+            | Error _ as e -> e
+            | Ok (_discarded, res) -> Ok (state, res))
+      in
+      { t with specs = Smap.add loc frozen t.specs }
+
 let spec_of t loc = Smap.find_opt loc t.specs
 let locs t = List.map fst (Smap.bindings t.specs)
 let compare_states a b = Smap.compare Value.compare a.states b.states

@@ -26,6 +26,15 @@ val peek : t -> string -> Value.t option
 val poke : t -> string -> Value.t -> t
 (** Forcibly set an object's state (test/adversary use only). *)
 
+val freeze : t -> string -> t
+(** Stuck-at fault (adversary move): the object at the location keeps its
+    current state forever.  Subsequent operations compute their responses
+    against the frozen state through the original spec — a successful-
+    looking compare&swap included — but the state never changes.  The
+    spec's [type_name] is wrapped as ["stuck(...)"] so checkers can see
+    the fault.  Idempotent.  @raise Invalid_argument on an unknown
+    location (like {!poke}). *)
+
 val spec_of : t -> string -> Spec.t option
 val locs : t -> string list
 val compare_states : t -> t -> int

@@ -177,6 +177,20 @@ let explore_repro ?(options = Runtime.Explore.Options.default) ?subject t
     in
     Error (v, cert)
 
+let fuzz ?runs ?seed ?max_steps ?plan ?kind ?shrink ?subject t =
+  let max_steps =
+    Option.value ~default:((t.step_bound * t.n * 2) + 1000) max_steps
+  in
+  (* [check_partial], not [check_config]: a fuzz run may end with
+     processes crashed or stalled mid-protocol, and under fault
+     injection that is the interesting case — only genuine disagreement,
+     faults, or budget overruns should count as violations. *)
+  let failing config =
+    match check_partial t config with Ok () -> None | Error m -> Some m
+  in
+  Runtime.Fuzz.campaign ?runs ?seed ~max_steps ?plan ?kind ?shrink ?subject
+    ~failing (fun () -> config t)
+
 let explore_stats ?options t ~max_steps =
   match explore_repro ?options t ~max_steps with
   | Ok stats -> Ok stats

@@ -105,5 +105,26 @@ val explore_repro :
     ["explore"]).  [subject] is stored opaquely in the certificate so
     [lepower replay] can rebuild the instance. *)
 
+val fuzz :
+  ?runs:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?plan:Runtime.Faults.plan ->
+  ?kind:Runtime.Fuzz.sched_kind ->
+  ?shrink:bool ->
+  ?subject:Lepower_obs.Json.t ->
+  instance ->
+  Runtime.Fuzz.outcome
+(** Fuzz the instance with {!Runtime.Fuzz.campaign}: adversarial
+    schedules (and, with a non-trivial [plan], injected faults) against
+    {!check_partial} — so crashed or stalled processes are fine and only
+    genuine disagreement, faulty processes, or budget overruns count as
+    violations.  Note that under fault injection a {e correct} protocol
+    may legitimately fail (a lost write breaks real protocols — that is
+    the point of the robustness harness); the emitted certificate
+    replays the faults along with the schedule.  [max_steps] defaults to
+    the crash-run cap ([step_bound * n * 2 + 1000]); other defaults
+    follow {!Runtime.Fuzz.campaign}. *)
+
 val leader_of : Runtime.Engine.outcome -> Value.t option
 (** The common decision, if any process decided. *)

@@ -86,6 +86,14 @@ let step config pid =
         { config with store; time = config.time + 1; trace = event :: config.trace })
   end
 
+let step_lost config pid =
+  (* Lost-write fault: the process takes its step — response computed
+     against the pre-state, continuation advanced, trace event recorded,
+     clock ticked — but the store keeps its pre-step states, so any write
+     the operation performed evaporates.  The process cannot tell. *)
+  let config' = step config pid in
+  { config' with store = config.store }
+
 let crash config pid =
   let proc = config.procs.(pid) in
   if Proc.is_running proc then

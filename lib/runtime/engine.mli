@@ -30,6 +30,16 @@ val step : config -> int -> config
 val crash : config -> int -> config
 (** Fail-stop a process (adversary move). *)
 
+val step_lost : config -> int -> config
+(** Lost-write fault (adversary move): like {!step}, except the store
+    keeps its pre-step states.  The process observes the response its
+    operation would have produced against the pre-state — consistent,
+    since a read linearized just before the lost write sees exactly that
+    state — advances its continuation, and cannot tell its effect
+    evaporated.  The trace event is recorded as usual.  The other
+    register-fault primitive, stuck-at, lives in
+    {!Memory.Store.freeze}; both are driven by [Faults]. *)
+
 val trace : config -> Trace.t
 (** The linearization order, {b oldest first} (chronological) — the
     reverse of the [trace] field's accumulation order.  This is the

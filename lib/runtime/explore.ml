@@ -443,23 +443,6 @@ let explore ?(options = Options.default) config =
     ~on_truncated:(drop_path options.Options.on_truncated)
     config
 
-let explore_legacy ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze
-    ?on_terminal ?on_truncated config =
-  let d = Options.default in
-  let options =
-    {
-      Options.max_steps = Option.value ~default:d.Options.max_steps max_steps;
-      crash_faults = Option.value ~default:d.Options.crash_faults crash_faults;
-      dedup = Option.value ~default:d.Options.dedup dedup;
-      por = Option.value ~default:d.Options.por por;
-      domains = Option.value ~default:d.Options.domains domains;
-      analyze;
-      on_terminal;
-      on_truncated;
-    }
-  in
-  explore ~options config
-
 type violation = {
   trace : Trace.t;
   message : string;
@@ -520,23 +503,6 @@ let check_all ?(options = Options.default) config predicate =
     match !failure with
     | Some v -> Error v
     | None -> assert false)
-
-let check_all_legacy ?max_steps ?crash_faults ?dedup ?por ?domains ?analyze
-    config predicate =
-  let d = Options.default in
-  let options =
-    {
-      Options.max_steps = Option.value ~default:d.Options.max_steps max_steps;
-      crash_faults = Option.value ~default:d.Options.crash_faults crash_faults;
-      dedup = Option.value ~default:d.Options.dedup dedup;
-      por = Option.value ~default:d.Options.por por;
-      domains = Option.value ~default:d.Options.domains domains;
-      analyze;
-      on_terminal = None;
-      on_truncated = None;
-    }
-  in
-  check_all ~options config predicate
 
 module Vtbl = Hashtbl.Make (struct
   type t = Memory.Value.t

@@ -67,8 +67,11 @@ type stats = {
 
 exception Stop_exploration
 
-(** The exploration configuration, consolidated.  Prefer
-    [{ Options.default with ... }] over spelling out all fields. *)
+(** The exploration configuration, consolidated — the {e only} way to
+    configure this module (the pre-[Options] labelled-argument wrappers
+    [explore_legacy]/[check_all_legacy] were deprecated for one release
+    and are gone).  Prefer [{ Options.default with ... }] over spelling
+    out all fields. *)
 module Options : sig
   type t = {
     max_steps : int;
@@ -113,22 +116,6 @@ val explore : ?options:Options.t -> Engine.config -> stats
     updated once from the merged totals, so they are deterministic and
     race-free under [domains]. *)
 
-val explore_legacy :
-  ?max_steps:int ->
-  ?crash_faults:bool ->
-  ?dedup:bool ->
-  ?por:bool ->
-  ?domains:int ->
-  ?analyze:(Engine.config -> unit) ->
-  ?on_terminal:(Engine.config -> unit) ->
-  ?on_truncated:(Engine.config -> unit) ->
-  Engine.config ->
-  stats
-[@@ocaml.deprecated
-  "use Explore.explore ?options with an Explore.Options.t record"]
-(** The pre-{!Options} labelled-argument interface, kept one release as a
-    thin wrapper over {!explore}.  Identical semantics. *)
-
 (** {1 Ready-made whole-space checks} *)
 
 (** A failed check: the witness schedule, what went wrong, and the exact
@@ -166,20 +153,6 @@ val check_all :
     configuration, naturally is — pure); serializing it would serialize
     the whole search.  [analyze] and violation recording remain
     mutex-protected. *)
-
-val check_all_legacy :
-  ?max_steps:int ->
-  ?crash_faults:bool ->
-  ?dedup:bool ->
-  ?por:bool ->
-  ?domains:int ->
-  ?analyze:(Engine.config -> unit) ->
-  Engine.config ->
-  (Engine.config -> (unit, string) result) ->
-  (stats, violation) result
-[@@ocaml.deprecated
-  "use Explore.check_all ?options with an Explore.Options.t record"]
-(** The pre-{!Options} labelled-argument interface of {!check_all}. *)
 
 val decision_sets :
   ?options:Options.t -> Engine.config -> Memory.Value.t list list

@@ -3,25 +3,32 @@ module Json = Lepower_obs.Json
 let m_replays = Lepower_obs.Metrics.counter "repro.replays"
 let m_shrink_attempts = Lepower_obs.Metrics.counter "repro.shrink_attempts"
 
-type decision = Step of int | Crash of int
+type decision =
+  | Step of int
+  | Crash of int
+  | Lose of int
+  | Stick of string
 
 module Decision = struct
   type t = decision
 
-  let pid = function Step pid | Crash pid -> pid
+  let pid = function
+    | Step pid | Crash pid | Lose pid -> Some pid
+    | Stick _ -> None
 
-  let equal a b =
-    match (a, b) with
-    | Step x, Step y | Crash x, Crash y -> x = y
-    | (Step _ | Crash _), _ -> false
+  let equal (a : t) (b : t) = a = b
 
   let pp ppf = function
     | Step pid -> Fmt.pf ppf "s%d" pid
     | Crash pid -> Fmt.pf ppf "c%d" pid
+    | Lose pid -> Fmt.pf ppf "l%d" pid
+    | Stick loc -> Fmt.pf ppf "k:%s" loc
 
   let to_json = function
     | Step pid -> Json.String (Printf.sprintf "s%d" pid)
     | Crash pid -> Json.String (Printf.sprintf "c%d" pid)
+    | Lose pid -> Json.String (Printf.sprintf "l%d" pid)
+    | Stick loc -> Json.String (Printf.sprintf "k:%s" loc)
 
   let of_json = function
     | Json.String s when String.length s >= 2 -> (
@@ -33,8 +40,16 @@ module Decision = struct
       match s.[0] with
       | 's' -> Result.map (fun pid -> Step pid) (num ())
       | 'c' -> Result.map (fun pid -> Crash pid) (num ())
+      | 'l' -> Result.map (fun pid -> Lose pid) (num ())
+      | 'k' ->
+        if s.[1] = ':' && String.length s > 2 then
+          Ok (Stick (String.sub s 2 (String.length s - 2)))
+        else Error (Printf.sprintf "bad stuck-at decision: %S" s)
       | _ -> Error (Printf.sprintf "bad decision tag: %S" s))
-    | j -> Error ("decision is not an \"s<pid>\"/\"c<pid>\" string: " ^ Json.to_string j)
+    | j ->
+      Error
+        ("decision is not an \"s<pid>\"/\"c<pid>\"/\"l<pid>\"/\"k:<loc>\" \
+          string: " ^ Json.to_string j)
 end
 
 type t = {
@@ -131,7 +146,15 @@ let apply ?(strict = true) config decisions =
     | [] -> Ok { final = config; applied = List.rev applied; skipped }
     | d :: rest ->
       let enabled = Engine.enabled config in
-      let applicable = List.mem (Decision.pid d) enabled in
+      let applicable =
+        match Decision.pid d with
+        | Some pid -> List.mem pid enabled
+        | None -> (
+          match d with
+          | Stick loc ->
+            Memory.Store.spec_of config.Engine.store loc <> None
+          | Step _ | Crash _ | Lose _ -> false)
+      in
       if not applicable then
         if strict then Error (inapplicable idx d enabled)
         else go config applied (skipped + 1) (idx + 1) rest
@@ -140,6 +163,10 @@ let apply ?(strict = true) config decisions =
           match d with
           | Step pid -> Engine.step config pid
           | Crash pid -> Engine.crash config pid
+          | Lose pid -> Engine.step_lost config pid
+          | Stick loc ->
+            { config with
+              Engine.store = Memory.Store.freeze config.Engine.store loc }
         in
         go config' (d :: applied) skipped (idx + 1) rest
   in
@@ -209,15 +236,17 @@ let ddmin test ds =
   in
   loop ds 2
 
-(* Drop each [Crash] decision individually; restart the scan after every
-   success (a removal can make others removable). *)
-let crash_pass test ds =
+(* Drop each adversary decision — crash, lost write, stuck-at —
+   individually; restart the scan after every success (a removal can
+   make others removable).  Keeps the fault set minimal: a surviving
+   fault decision is one the failure actually needs. *)
+let adversary_pass test ds =
   let rec go i ds =
     if i >= List.length ds then ds
     else
       match List.nth ds i with
       | Step _ -> go (i + 1) ds
-      | Crash _ -> (
+      | Crash _ | Lose _ | Stick _ -> (
         match test (drop_nth ds i) with
         | Some smaller -> go 0 smaller
         | None -> go (i + 1) ds)
@@ -228,7 +257,7 @@ let crash_pass test ds =
    the schedule entirely.  The big first cut for failures that only need
    a few of the participants. *)
 let pid_pass test ds =
-  let pids ds = List.sort_uniq compare (List.map Decision.pid ds) in
+  let pids ds = List.sort_uniq compare (List.filter_map Decision.pid ds) in
   let rec go tried ds =
     let next =
       List.find_opt (fun pid -> not (List.mem pid tried)) (pids ds)
@@ -236,7 +265,7 @@ let pid_pass test ds =
     match next with
     | None -> ds
     | Some pid -> (
-      let cand = List.filter (fun d -> Decision.pid d <> pid) ds in
+      let cand = List.filter (fun d -> Decision.pid d <> Some pid) ds in
       if List.length cand = List.length ds then go (pid :: tried) ds
       else
         match test cand with
@@ -268,7 +297,7 @@ let shrink ?(budget = 4_000) ~failing ~config0 t =
     (t, { attempts = !attempts; original; shrunk = original })
   | Some effective ->
     let rec fixpoint ds =
-      let ds' = ddmin test (crash_pass test (pid_pass test ds)) in
+      let ds' = ddmin test (adversary_pass test (pid_pass test ds)) in
       if List.length ds' < List.length ds && !attempts < budget then
         fixpoint ds'
       else ds'

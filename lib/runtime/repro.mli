@@ -8,7 +8,8 @@
     are deterministic ({!Program}'s purity requirement) and schedulers are
     oblivious ({!Sched}'s contract), a run is fully determined by its
     initial configuration plus the sequence of adversary decisions — which
-    process stepped, who was crashed.  A {b schedule certificate}
+    process stepped, who was crashed, which faults were injected and
+    where.  A {b schedule certificate}
     ({!type-t}) records exactly that, bracketed by two {!Fingerprint.digest}
     values, and is serialized as one strict {!Lepower_obs.Json} document:
 
@@ -26,19 +27,36 @@
     the instance; the runtime never interprets it — resolvers live above
     (see [Lepower_check.Repro_subject] and the [lepower replay] CLI). *)
 
+(** Faults are first-class adversary decisions: a fuzz run that injects a
+    lost write or freezes a register logs the injection in the same
+    decision stream as the scheduling choices, so replaying the stream
+    re-injects the faults at exactly the same points and the final
+    fingerprint still matches bit for bit.  Certificates without fault
+    decisions are unaffected (the format version stays 1; the alphabet
+    grew, the encoding of the old letters did not change). *)
 type decision =
   | Step of int  (** the adversary let this pid take its pending step *)
   | Crash of int  (** the adversary fail-stopped this pid *)
+  | Lose of int
+      (** the adversary let this pid step but discarded the store effect
+          (lost-write fault, {!Engine.step_lost}) *)
+  | Stick of string
+      (** the adversary froze the object at this location at its current
+          state (stuck-at fault, {!Memory.Store.freeze}) *)
 
 module Decision : sig
   type t = decision
 
-  val pid : t -> int
+  val pid : t -> int option
+  (** The process a decision concerns; [None] for {!Stick}, which targets
+      a location, not a process. *)
+
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
 
   val to_json : t -> Lepower_obs.Json.t
-  (** Compact encoding: [Step 3] is ["s3"], [Crash 0] is ["c0"]. *)
+  (** Compact encoding: [Step 3] is ["s3"], [Crash 0] is ["c0"],
+      [Lose 2] is ["l2"], [Stick "R"] is ["k:R"]. *)
 
   val of_json : Lepower_obs.Json.t -> (t, string) result
 end
@@ -115,8 +133,9 @@ type applied = {
 val apply :
   ?strict:bool -> Engine.config -> decision list -> (applied, string) result
 (** Drive a configuration along a decision list.  [strict] (default
-    [true]) fails on the first inapplicable decision — a [Step]/[Crash]
-    of a pid that is not running — naming its index; with [~strict:false]
+    [true]) fails on the first inapplicable decision — a
+    [Step]/[Crash]/[Lose] of a pid that is not running, or a [Stick] of
+    an unknown location — naming its index; with [~strict:false]
     inapplicable decisions are skipped and counted, which is what the
     shrinker's candidate evaluation uses. *)
 
@@ -144,8 +163,9 @@ val shrink :
   t * shrink_stats
 (** Minimize the certificate's decision list while [failing] holds of the
     replayed final configuration.  Three passes run to a fixpoint:
-    crash-removal (drop each [Crash] decision), pid-merge (drop {e all}
-    decisions of one process), and chunk-removal ddmin down to
+    adversary-removal (drop each [Crash]/[Lose]/[Stick] decision — so the
+    surviving fault set is one the failure actually needs), pid-merge
+    (drop {e all} decisions of one process), and chunk-removal ddmin down to
     granularity 1 — so the result is 1-minimal: removing any single
     decision no longer fails (up to the replay [budget], default 4000
     candidate replays).  Candidates replay leniently; the returned

@@ -52,6 +52,71 @@ let prioritize order =
   in
   make ~name:"prioritize" choose
 
+let pct ~seed ?(depth = 3) ~max_steps () =
+  (* Priorities are keyed on (seed, pid) rather than assigned on first
+     sight: a wrapper that vetoes a [choose] proposal must not perturb
+     the priority of a pid we merely looked at.  The step counter and
+     demotions commit in [observe], i.e. against the actual schedule. *)
+  let base = Hashtbl.create 8 in
+  let base_priority pid =
+    match Hashtbl.find_opt base pid with
+    | Some p -> p
+    | None ->
+      let st = Random.State.make [| 0x50c7; seed; pid |] in
+      let p = Random.State.int st 0x3fffffff in
+      Hashtbl.add base pid p;
+      p
+  in
+  let change_points = Hashtbl.create 8 in
+  let () =
+    let st = Random.State.make [| 0x9c7; seed |] in
+    for level = 1 to max 0 (depth - 1) do
+      let at = Random.State.int st (max 1 max_steps) in
+      if not (Hashtbl.mem change_points at) then
+        Hashtbl.add change_points at level
+    done
+  in
+  let demoted = Hashtbl.create 8 in
+  let steps = ref 0 in
+  let priority pid =
+    match Hashtbl.find_opt demoted pid with
+    | Some level -> level - 0x40000000 (* below every base priority *)
+    | None -> base_priority pid
+  in
+  let choose ~time:_ ~enabled =
+    match enabled with
+    | [] -> invalid_arg "Sched: empty enabled set"
+    | pid :: rest ->
+      List.fold_left
+        (fun best p ->
+          let bp = priority best and pp = priority p in
+          if pp > bp || (pp = bp && p < best) then p else best)
+        pid rest
+  in
+  let observe ~time:_ ~pid =
+    (match Hashtbl.find_opt change_points !steps with
+    | Some level -> Hashtbl.replace demoted pid level
+    | None -> ());
+    incr steps
+  in
+  { name = Printf.sprintf "pct(seed=%d,d=%d)" seed depth; choose; observe }
+
+let starve ~victim ~stall inner =
+  let remaining = ref stall in
+  let choose ~time ~enabled =
+    if !remaining <= 0 then inner.choose ~time ~enabled
+    else
+      match List.filter (fun pid -> pid <> victim) enabled with
+      | [] -> victim (* sole survivor: stalling further would stall the run *)
+      | others -> inner.choose ~time ~enabled:others
+  in
+  let observe ~time ~pid =
+    if !remaining > 0 then decr remaining;
+    inner.observe ~time ~pid
+  in
+  { name = Printf.sprintf "%s+starve(%d,%d)" inner.name victim stall;
+    choose; observe }
+
 let crashing ~crashed inner =
   let choose ~time ~enabled =
     match List.filter (fun pid -> not (List.mem pid crashed)) enabled with

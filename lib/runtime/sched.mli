@@ -62,6 +62,25 @@ val prioritize : int list -> t
     processes not listed are starved until all listed ones finish.  This is
     the "solo run" adversary used in wait-freedom tests. *)
 
+val pct : seed:int -> ?depth:int -> max_steps:int -> unit -> t
+(** Probabilistic concurrency testing (Burckhardt et al., ASPLOS 2010):
+    every process gets a random-but-fixed priority derived from
+    [(seed, pid)], the highest-priority enabled process always runs, and
+    [depth - 1] priority-change points are sampled over [\[0, max_steps)]
+    — when the executed-step counter crosses one, the process that moved
+    is demoted below every base priority.  A schedule-dependent bug of
+    depth [d] is found with probability ≥ 1/(n·k{^ d-1}) per run.
+    Deterministic in [seed]; demotions and the step counter commit in
+    [observe], so wrappers that veto proposals do not skew them.
+    [depth] defaults to 3. *)
+
+val starve : victim:int -> stall:int -> t -> t
+(** Starvation adversary: wraps a scheduler so that [victim] is not
+    scheduled during the first [stall] executed steps of the run (it runs
+    anyway if it is the only enabled process, since an oblivious adversary
+    gains nothing by halting the whole run).  After the stall expires the
+    wrapped scheduler sees the full enabled set again. *)
+
 val crashing : crashed:int list -> t -> t
 (** Wraps a scheduler so that the given pids are never scheduled
     (fail-stop).  When only crashed pids remain enabled the wrapper

@@ -1,6 +1,6 @@
 (* Tests for Runtime.Repro: schedule certificates, bit-for-bit replay,
    and ddmin counterexample shrinking — plus the halt-sentinel contract
-   of Sched.crashing and the legacy Explore wrappers they ride on.
+   of Sched.crashing.
 
    Everything here leans on one fact: programs are pure and schedulers
    are oblivious, so a run is fully determined by the initial
@@ -81,7 +81,7 @@ let test_explore_crash_cert () =
   | Error v ->
     Alcotest.(check bool) "path contains a crash decision" true
       (List.exists
-         (function Repro.Crash _ -> true | Repro.Step _ -> false)
+         (function Repro.Crash _ -> true | _ -> false)
          v.Explore.decisions);
     let cert =
       Repro.of_decisions ~sched:"explore" ~message:v.Explore.message
@@ -208,35 +208,6 @@ let test_crashing_halt_sentinel () =
   Alcotest.(check int) "live pid still scheduled" 1
     (sched.Sched.choose ~time:0 ~enabled:[ 0; 1 ])
 
-(* --- the deprecated labelled wrappers stay equivalent --- *)
-
-module Legacy = struct
-  [@@@ocaml.warning "-3"]
-
-  let test_explore_equivalence () =
-    let options = { Explore.Options.default with max_steps = 60 } in
-    let instance = Protocols.Cas_election.instance ~k:4 ~n:3 in
-    let stats = Explore.explore ~options (Election.config instance) in
-    let legacy =
-      Explore.explore_legacy ~max_steps:60 (Election.config instance)
-    in
-    Alcotest.(check bool) "explore_legacy = explore" true (stats = legacy)
-
-  let test_check_all_equivalence () =
-    let pred final =
-      if Array.for_all Runtime.Proc.is_running final.Engine.procs then
-        Error "nobody moved"
-      else Ok ()
-    in
-    match
-      ( Explore.check_all (config ()) pred,
-        Explore.check_all_legacy (config ()) pred )
-    with
-    | Ok s, Ok s' ->
-      Alcotest.(check bool) "check_all_legacy = check_all" true (s = s')
-    | _ -> Alcotest.fail "verdicts differ"
-end
-
 let () =
   Alcotest.run "repro"
     [
@@ -266,12 +237,5 @@ let () =
         [
           Alcotest.test_case "crashing halt sentinel" `Quick
             test_crashing_halt_sentinel;
-        ] );
-      ( "legacy",
-        [
-          Alcotest.test_case "explore_legacy equivalent" `Quick
-            Legacy.test_explore_equivalence;
-          Alcotest.test_case "check_all_legacy equivalent" `Quick
-            Legacy.test_check_all_equivalence;
         ] );
     ]
