@@ -934,6 +934,147 @@ let e14_fuzz ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E15: profiling overhead — the Lepower_prof phase layer's cost on    *)
+(* the E12 smoke workload.  Gates (exit 1): the per-phase table must   *)
+(* account for >= 90% of the enabled run's wall, and the estimated     *)
+(* disabled-mode overhead must stay under 2% (each probe site costs    *)
+(* one flag load when profiling is off; the estimate is that cost,     *)
+(* micro-benchmarked, times the probe count the workload drives).      *)
+(* Also measures the dom1-vs-dom4 busy accounting that explains E12's  *)
+(* "naive dom4" row: per-domain busy gauges summing past the wall      *)
+(* clock are the oversubscription signature on few-core hosts.         *)
+
+let e15_prof () =
+  let module Json = Lepower_obs.Json in
+  let module Phase = Lepower_prof.Phase in
+  let module Metrics = Lepower_obs.Metrics in
+  header "E15 profiling: disabled overhead + enabled coverage (E12 smoke workload)";
+  let instance = Protocols.Cas_election.instance ~k:6 ~n:5 in
+  let explore ~dedup ~por ~domains () =
+    ignore
+      (Protocols.Election.explore_stats instance ~max_steps:10_000
+         ~options:
+           {
+             Runtime.Explore.Options.default with
+             crash_faults = true;
+             dedup;
+             por;
+             domains;
+           })
+  in
+  let naive = explore ~dedup:false ~por:false ~domains:1 in
+  let best_of n f =
+    let rec go best left =
+      if left = 0 then best
+      else
+        let (), s = wall f in
+        go (min best s) (left - 1)
+    in
+    go infinity n
+  in
+  (* Profiling disabled (the default): the number the 2% budget guards. *)
+  let disabled_wall = best_of 5 naive in
+  (* Cost of one disabled probe site, micro-benchmarked directly. *)
+  let probe = Phase.make "e15.probe" in
+  let probe_reps = 1_000_000 in
+  let (), probe_secs =
+    wall (fun () ->
+        for _ = 1 to probe_reps do
+          Phase.leave (Phase.enter probe)
+        done)
+  in
+  let probe_ns = probe_secs /. float_of_int probe_reps *. 1e9 in
+  (* Profiling enabled: per-phase attribution and its wall coverage. *)
+  Phase.reset ();
+  Phase.enable ();
+  let (), enabled_wall = wall naive in
+  Phase.disable ();
+  let rows = Phase.rows () in
+  let probe_count =
+    List.fold_left (fun acc r -> acc + r.Phase.r_calls) 0 rows
+  in
+  let coverage_pct =
+    if enabled_wall > 0. then
+      float_of_int (Phase.self_total_ns ()) /. (enabled_wall *. 1e9) *. 100.
+    else 0.
+  in
+  let overhead_pct =
+    if disabled_wall > 0. then
+      float_of_int probe_count *. probe_ns /. (disabled_wall *. 1e9) *. 100.
+    else 0.
+  in
+  Format.printf "%a" (Phase.pp_table ~wall_us:(enabled_wall *. 1e6)) ();
+  Printf.printf "disabled wall (best of 5):  %8.3f ms\n" (disabled_wall *. 1e3);
+  Printf.printf "disabled probe cost:        %8.2f ns/site (%d reps)\n"
+    probe_ns probe_reps;
+  Printf.printf "probe sites driven:         %8d\n" probe_count;
+  Printf.printf "estimated disabled overhead: %7.3f %% of wall (budget 2%%)\n"
+    overhead_pct;
+  Printf.printf "enabled coverage:           %8.1f %% of wall (floor 90%%)\n"
+    coverage_pct;
+  (* dom1 vs dom4 on the reduced explorer: busy gauges vs wall clock. *)
+  let busy_sum domains =
+    let rec go acc w =
+      if w >= domains then acc
+      else
+        go
+          (acc
+          +. Metrics.gauge_value
+               (Metrics.gauge (Printf.sprintf "explore.domain%d.busy_s" w)))
+          (w + 1)
+    in
+    go 0. 0
+  in
+  let (), dom1_wall = wall (explore ~dedup:true ~por:true ~domains:1) in
+  let (), dom4_wall = wall (explore ~dedup:true ~por:true ~domains:4) in
+  let dom4_busy = busy_sum 4 in
+  let oversub = if dom4_wall > 0. then dom4_busy /. dom4_wall else 0. in
+  Printf.printf
+    "dedup+por dom1 %.3f ms; dom4 %.3f ms, busy sum %.3f ms (%.2fx wall%s)\n"
+    (dom1_wall *. 1e3) (dom4_wall *. 1e3) (dom4_busy *. 1e3) oversub
+    (if host_cores < 4 && oversub > 1.2 then
+       "; oversubscribed: fewer cores than domains"
+     else "");
+  let json =
+    Json.Obj
+      [
+        ("source", Json.String "bench/main.exe");
+        ("experiment", Json.String "E15");
+        ("host_cores", Json.Int host_cores);
+        ("probe_sites", Json.Int probe_count);
+        ("probe_cost_ns", Json.Float probe_ns);
+        ( "benchmarks",
+          Json.Obj
+            [
+              ("e12-smoke disabled overhead pct", Json.Float overhead_pct);
+              ("e12-smoke disabled wall_s", Json.Float disabled_wall);
+            ] );
+        ("enabled_wall_s", Json.Float enabled_wall);
+        ("enabled_coverage_pct", Json.Float coverage_pct);
+        ("phases", Phase.to_json ~wall_us:(enabled_wall *. 1e6) ());
+        ( "domains",
+          Json.Obj
+            [
+              ("dom1_wall_s", Json.Float dom1_wall);
+              ("dom4_wall_s", Json.Float dom4_wall);
+              ("dom4_busy_sum_s", Json.Float dom4_busy);
+              ("dom4_busy_over_wall", Json.Float oversub);
+            ] );
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) "BENCH_prof.json" in
+  Lepower_obs.Export.write_json path json;
+  Printf.printf "prof JSON: %s\n" path;
+  if coverage_pct < 90.0 then begin
+    prerr_endline "E15: phase table covers less than 90% of enabled wall";
+    exit 1
+  end;
+  if overhead_pct > 2.0 then begin
+    prerr_endline "E15: estimated disabled overhead exceeds the 2% budget";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifacts: alongside the tables above, emit        *)
 (* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
 (* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
@@ -973,6 +1114,7 @@ let () =
   | [| _; "explore-smoke" |] -> e12_explore ~smoke:true ()
   | [| _; "repro-smoke" |] -> e13_repro ~smoke:true ()
   | [| _; "fuzz-smoke" |] -> e14_fuzz ~smoke:true ()
+  | [| _; "prof-smoke" |] -> e15_prof ()
   | [| _ |] ->
     e1_capacity ();
     e2_bcl ();
@@ -988,9 +1130,11 @@ let () =
     e12_explore ~smoke:false ();
     e13_repro ~smoke:false ();
     e14_fuzz ~smoke:false ();
+    e15_prof ();
     let micro_rows = micro_benchmarks () in
     write_bench_json micro_rows;
     print_newline ()
   | _ ->
-    prerr_endline "usage: main.exe [explore-smoke|repro-smoke|fuzz-smoke]";
+    prerr_endline
+      "usage: main.exe [explore-smoke|repro-smoke|fuzz-smoke|prof-smoke]";
     exit 2

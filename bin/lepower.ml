@@ -44,6 +44,118 @@ let metrics_out_arg =
           "Write a JSON snapshot of all runtime metrics (counters, gauges, \
            histograms) to $(docv) after the run.")
 
+(* --- profiling / live-telemetry flags (explore, fuzz, lint) --- *)
+
+let prof_arg =
+  Arg.(
+    value & flag
+    & info [ "prof" ]
+        ~doc:
+          "Enable phase-attributed profiling: scoped timers and GC \
+           allocation deltas around the hot phases (engine step, \
+           fingerprint/dedup, POR, frontier split, scheduler decision, \
+           repro record, lint checks).  Prints the per-phase cost table \
+           after the run and appends it to --progress-out as a \
+           {\"type\":\"phases\"} JSONL row.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Print periodic campaign heartbeats as one-liners on stderr.")
+
+let progress_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream campaign heartbeats (frontier size, configs/s, dedup \
+           hit-rate, POR prune-rate, fuzz runs and ETA...) as strict JSONL \
+           to $(docv); render with 'lepower report'.")
+
+let progress_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "progress-interval" ] ~docv:"SECS"
+        ~doc:"Seconds between heartbeats (default 1.0; 0 = every tick).")
+
+let folded_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded-out" ] ~docv:"FILE"
+        ~doc:
+          "Collapse the recorded spans into Brendan-Gregg folded-stack \
+           lines and write them to $(docv) (feed to flamegraph.pl).")
+
+(* Run [f] with the telemetry plane the flags ask for: profiling phases
+   enabled under --prof (table printed afterwards), spans enabled under
+   --folded-out, heartbeats routed to stderr (--progress) and/or a JSONL
+   stream (--progress-out).  [f] receives the heartbeat (if any) to tick
+   from its progress callbacks. *)
+let with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
+    (f : Lepower_prof.Heartbeat.t option -> int) =
+  if prof then Lepower_prof.Phase.enable ();
+  if folded_out <> None then Lepower_obs.Span.enable ();
+  match
+    try Ok (Option.map open_out progress_out) with Sys_error e -> Error e
+  with
+  | Error e ->
+    Printf.eprintf "lepower: cannot open progress stream: %s\n" e;
+    1
+  | Ok out_chan ->
+    (* Heartbeats may arrive from worker domains; writes serialize here. *)
+    let emit_mutex = Mutex.create () in
+    let write_doc doc =
+      Option.iter
+        (fun oc ->
+          Lepower_obs.Json.to_channel oc doc;
+          output_char oc '\n')
+        out_chan
+    in
+    let emit doc =
+      Mutex.lock emit_mutex;
+      write_doc doc;
+      if progress then
+        Format.eprintf "%a@." Lepower_prof.Heartbeat.pp_line doc;
+      Mutex.unlock emit_mutex
+    in
+    let hb =
+      if progress || out_chan <> None then begin
+        (* Heartbeat rates and gauges come from the metrics plane. *)
+        Lepower_obs.Metrics.enable ();
+        Some (Lepower_prof.Heartbeat.create ~interval_s:interval ~emit ())
+      end
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let code = f hb in
+    let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+    if prof then begin
+      write_doc (Lepower_prof.Phase.to_json ~wall_us ());
+      Format.printf "%a" (Lepower_prof.Phase.pp_table ~wall_us) ()
+    end;
+    Option.iter
+      (fun oc ->
+        close_out oc;
+        Printf.printf "progress stream written to %s\n"
+          (Option.get progress_out))
+      out_chan;
+    let folded_code =
+      Option.fold ~none:0
+        ~some:(fun path ->
+          try
+            Lepower_prof.Folded.write path (Lepower_obs.Span.completed ());
+            Printf.printf "folded stacks written to %s\n" path;
+            0
+          with Sys_error e ->
+            Printf.eprintf "lepower: cannot write folded stacks: %s\n" e;
+            1)
+        folded_out
+    in
+    max code folded_code
+
 (* Run [f] with the observability subsystems the flags ask for enabled,
    then write the requested artifacts.  [f] returns the exit code and the
    execution trace to export (oldest first), if the subcommand has one. *)
@@ -203,11 +315,60 @@ let explore_crash =
           "Let the adversary also fail-stop any process at every choice \
            point (the wait-free adversary; multiplies the schedule space).")
 
+(* Heartbeat payload for explore: the campaign vitals the ISSUE asks the
+   stream to carry — throughput, reduction hit-rates, frontier size and
+   (under --domains) the per-domain busy gauges. *)
+let explore_hb_fields hb (p : Runtime.Explore.progress) =
+  let open Lepower_obs in
+  let elapsed = Lepower_prof.Heartbeat.elapsed_s hb in
+  let rate =
+    if elapsed > 0. then Float.of_int p.Runtime.Explore.p_configs /. elapsed
+    else 0.
+  in
+  let ratio num den =
+    if den = 0 then 0. else Float.of_int num /. Float.of_int den
+  in
+  let gauge name = Metrics.gauge_value (Metrics.gauge name) in
+  let busy =
+    if p.Runtime.Explore.p_domains <= 1 then []
+    else
+      List.init p.Runtime.Explore.p_domains (fun w ->
+          ( Printf.sprintf "domain%d_busy_s" w,
+            Json.Float (gauge (Printf.sprintf "explore.domain%d.busy_s" w)) ))
+  in
+  [
+    ("kind", Json.String "explore");
+    ("configs", Json.Int p.Runtime.Explore.p_configs);
+    ("terminals", Json.Int p.Runtime.Explore.p_terminals);
+    ("truncated", Json.Int p.Runtime.Explore.p_truncated);
+    ("max_depth", Json.Int p.Runtime.Explore.p_max_depth);
+    ("configs_per_s", Json.Float rate);
+    ( "dedup_hit_rate",
+      Json.Float
+        (ratio p.Runtime.Explore.p_deduped
+           (p.Runtime.Explore.p_deduped + p.Runtime.Explore.p_configs)) );
+    ( "por_prune_rate",
+      Json.Float
+        (ratio p.Runtime.Explore.p_pruned
+           (p.Runtime.Explore.p_pruned + p.Runtime.Explore.p_configs)) );
+    ("frontier", Json.Float (gauge "explore.frontier.size"));
+    ("domains", Json.Int p.Runtime.Explore.p_domains);
+  ]
+  @ busy
+
 let explore k protocol n max_steps dedup por domains crash_faults trace_out
-    metrics_out =
+    metrics_out prof progress progress_out interval folded_out =
   let instance = election_instance ~k ~n protocol in
   Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
+  with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
+  @@ fun hb ->
   with_obs ~trace_out ~metrics_out (fun () ->
+      let progress_cb =
+        Option.map
+          (fun hb (p : Runtime.Explore.progress) ->
+            Lepower_prof.Heartbeat.tick hb (fun () -> explore_hb_fields hb p))
+          hb
+      in
       match
         Protocols.Election.explore_stats instance ~max_steps
           ~options:
@@ -217,9 +378,27 @@ let explore k protocol n max_steps dedup por domains crash_faults trace_out
               dedup;
               por;
               domains;
+              progress = progress_cb;
             }
       with
       | Ok stats ->
+        (* One final forced beat so the stream always ends on the exact
+           totals, even for runs shorter than the interval. *)
+        Option.iter
+          (fun hb ->
+            Lepower_prof.Heartbeat.tick ~force:true hb (fun () ->
+                explore_hb_fields hb
+                  {
+                    Runtime.Explore.p_configs =
+                      stats.Runtime.Explore.configs_visited;
+                    p_terminals = stats.Runtime.Explore.terminals;
+                    p_truncated = stats.Runtime.Explore.truncated;
+                    p_deduped = stats.Runtime.Explore.configs_deduped;
+                    p_pruned = stats.Runtime.Explore.por_pruned;
+                    p_max_depth = stats.Runtime.Explore.max_depth;
+                    p_domains = stats.Runtime.Explore.domains_used;
+                  }))
+          hb;
         Printf.printf "schedules (terminals): %d\n"
           stats.Runtime.Explore.terminals;
         Printf.printf "truncated:             %d\n"
@@ -252,7 +431,8 @@ let explore_cmd =
     Term.(
       const explore $ k_arg $ elect_protocol $ elect_n $ explore_max_steps
       $ explore_dedup $ explore_por $ explore_domains $ explore_crash
-      $ trace_out_arg $ metrics_out_arg)
+      $ trace_out_arg $ metrics_out_arg $ prof_arg $ progress_arg
+      $ progress_out_arg $ progress_interval_arg $ folded_out_arg)
 
 (* --- lint --- *)
 
@@ -364,9 +544,23 @@ let lint_shrink =
           "Minimize the recorded certificate's decision log by delta \
            debugging before writing it (only with --repro-out).")
 
+let lint_hb_fields hb schedules =
+  let open Lepower_obs in
+  let elapsed = Lepower_prof.Heartbeat.elapsed_s hb in
+  let rate =
+    if elapsed > 0. then Float.of_int schedules /. elapsed else 0.
+  in
+  [
+    ("kind", Json.String "lint");
+    ("schedules", Json.Int schedules);
+    ("schedules_per_s", Json.Float rate);
+  ]
+
 let lint k n subject rules seeds exhaustive max_steps jsonl_out repro_out
-    shrink metrics_out =
+    shrink metrics_out prof progress progress_out interval folded_out =
   let open Lepower_check in
+  with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
+  @@ fun hb ->
   with_obs ~trace_out:None ~metrics_out @@ fun () ->
   let mode =
     if exhaustive then Some Lint.Exhaustive
@@ -379,11 +573,33 @@ let lint k n subject rules seeds exhaustive max_steps jsonl_out repro_out
         if !recorded = None then recorded := Some (cert, stats))
       repro_out
   in
+  (* [Lint.lint]'s progress count restarts per target; fold targets into
+     one cumulative schedule counter for the heartbeat stream. *)
+  let scheds = ref 0 in
+  let base = ref 0 in
+  let progress_cb =
+    Option.map
+      (fun hb per_target ->
+        scheds := !base + per_target;
+        Lepower_prof.Heartbeat.tick hb (fun () -> lint_hb_fields hb !scheds))
+      hb
+  in
   let reports =
     List.map
-      (fun t -> Lint.lint ?mode ?rules ?max_steps ~shrink ?on_repro t)
+      (fun t ->
+        let r =
+          Lint.lint ?mode ?rules ?max_steps ~shrink ?on_repro
+            ?progress:progress_cb t
+        in
+        base := !scheds;
+        r)
       (lint_targets ~k ~n subject)
   in
+  Option.iter
+    (fun hb ->
+      Lepower_prof.Heartbeat.tick ~force:true hb (fun () ->
+          lint_hb_fields hb !scheds))
+    hb;
   let repro_code =
     match (repro_out, !recorded) with
     | None, _ -> 0
@@ -438,7 +654,8 @@ let lint_cmd =
     Term.(
       const lint $ k_arg $ elect_n $ lint_subject $ lint_rules $ lint_seeds
       $ lint_exhaustive $ lint_max_steps $ lint_jsonl_out $ lint_repro_out
-      $ lint_shrink $ metrics_out_arg)
+      $ lint_shrink $ metrics_out_arg $ prof_arg $ progress_arg
+      $ progress_out_arg $ progress_interval_arg $ folded_out_arg)
 
 (* --- fuzz --- *)
 
@@ -533,10 +750,40 @@ let fuzz_no_shrink =
           "Skip delta-debugging minimization of the violation certificate \
            (fuzz shrinks by default).")
 
+let fuzz_hb_fields hb (p : Runtime.Fuzz.progress) =
+  let open Lepower_obs in
+  let elapsed = Lepower_prof.Heartbeat.elapsed_s hb in
+  let rate =
+    if elapsed > 0. then Float.of_int p.Runtime.Fuzz.p_run /. elapsed else 0.
+  in
+  let eta =
+    if rate > 0. then
+      Float.of_int (p.Runtime.Fuzz.p_runs_total - p.Runtime.Fuzz.p_run) /. rate
+    else 0.
+  in
+  [
+    ("kind", Json.String "fuzz");
+    ("run", Json.Int p.Runtime.Fuzz.p_run);
+    ("runs_total", Json.Int p.Runtime.Fuzz.p_runs_total);
+    ("injected", Json.Int p.Runtime.Fuzz.p_injected);
+    ("steps", Json.Int p.Runtime.Fuzz.p_steps);
+    ("runs_per_s", Json.Float rate);
+    ("eta_s", Json.Float eta);
+  ]
+
 let fuzz k n subject flip sched depth starve_pid starve_steps runs seed faults
-    max_steps repro_out no_shrink metrics_out =
+    max_steps repro_out no_shrink metrics_out prof progress progress_out
+    interval folded_out =
   let open Lepower_check in
+  with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
+  @@ fun hb ->
   with_obs ~trace_out:None ~metrics_out @@ fun () ->
+  let progress_cb =
+    Option.map
+      (fun hb (p : Runtime.Fuzz.progress) ->
+        Lepower_prof.Heartbeat.tick hb (fun () -> fuzz_hb_fields hb p))
+      hb
+  in
   let kind =
     match sched with
     | `Random -> Runtime.Fuzz.Random_walk
@@ -563,17 +810,34 @@ let fuzz k n subject flip sched depth starve_pid starve_steps runs seed faults
       in
       ( instance.Protocols.Election.name,
         Protocols.Election.fuzz ~runs ~seed ?max_steps ~plan ~kind ~shrink
-          ~subject:subject_json instance )
+          ~subject:subject_json ?progress:progress_cb instance )
     | `Broken_swmr ->
       let t = Lint.broken_swmr_fixture ~flip () in
-      (t.Lint.name, Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink t)
+      ( t.Lint.name,
+        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink
+          ?progress:progress_cb t )
     | `Broken_cas ->
       let t = Lint.broken_cas_fixture ?n ~flip () in
-      (t.Lint.name, Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink t)
+      ( t.Lint.name,
+        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink
+          ?progress:progress_cb t )
     | `Spin ->
       let t = Lint.spin_fixture () in
-      (t.Lint.name, Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink t)
+      ( t.Lint.name,
+        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink
+          ?progress:progress_cb t )
   in
+  Option.iter
+    (fun hb ->
+      Lepower_prof.Heartbeat.tick ~force:true hb (fun () ->
+          fuzz_hb_fields hb
+            {
+              Runtime.Fuzz.p_run = outcome.Runtime.Fuzz.runs;
+              p_runs_total = runs;
+              p_injected = outcome.Runtime.Fuzz.injected;
+              p_steps = outcome.Runtime.Fuzz.steps;
+            }))
+    hb;
   Printf.printf "subject:  %s\n" name;
   Printf.printf "sched:    %s  seed=%d  faults=%s\n"
     (Runtime.Fuzz.kind_name kind) seed
@@ -624,7 +888,8 @@ let fuzz_cmd =
       const fuzz $ k_arg $ elect_n $ fuzz_subject $ fuzz_flip $ fuzz_sched
       $ fuzz_depth $ fuzz_starve_pid $ fuzz_starve_steps $ fuzz_runs
       $ seed_arg $ fuzz_faults $ fuzz_max_steps $ fuzz_repro_out
-      $ fuzz_no_shrink $ metrics_out_arg)
+      $ fuzz_no_shrink $ metrics_out_arg $ prof_arg $ progress_arg
+      $ progress_out_arg $ progress_interval_arg $ folded_out_arg)
 
 (* --- replay --- *)
 
@@ -881,6 +1146,45 @@ let bounds_cmd =
     (Cmd.info "bounds" ~doc:"Print the paper's closed-form bounds.")
     Term.(const bounds $ const ())
 
+(* --- report --- *)
+
+let report_files =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Telemetry artifacts to ingest, in any mix: heartbeat/phase \
+           JSONL streams (--progress-out), metrics snapshots \
+           (--metrics-out), and single-line BENCH_*.json documents.")
+
+let report_require_phases =
+  Arg.(
+    value & flag
+    & info [ "require-phases" ]
+        ~doc:
+          "Fail (exit 1) unless the inputs contain a phase-attribution \
+           document with at least one nonzero row — the CI smoke's guard \
+           that --prof actually measured something.")
+
+let report files require_phases =
+  match
+    Lepower_prof.Report.run ~require_phases Format.std_formatter files
+  with
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "lepower report: %s\n" e;
+    1
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a human-readable campaign report from recorded telemetry: \
+          any mix of heartbeat/phase JSONL streams, metrics snapshots and \
+          BENCH_*.json documents, offline — no live process needed.")
+    Term.(const report $ report_files $ report_require_phases)
+
 let () =
   let info =
     Cmd.info "lepower" ~version:"1.0.0"
@@ -894,4 +1198,5 @@ let () =
           [
             elect_cmd; explore_cmd; lint_cmd; fuzz_cmd; replay_cmd;
             emulate_cmd; hierarchy_cmd; game_cmd; rename_cmd; bounds_cmd;
+            report_cmd;
           ]))

@@ -38,9 +38,10 @@ let default_seeds = 64
 let m_targets = Lepower_obs.Metrics.counter "lint.targets"
 let m_schedules = Lepower_obs.Metrics.counter "lint.schedules_analyzed"
 let m_findings = Lepower_obs.Metrics.counter "lint.findings"
+let ph_check = Lepower_prof.Phase.make "lint.check"
 
 let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
-    ?on_repro t =
+    ?on_repro ?progress t =
   Lepower_obs.Metrics.incr m_targets;
   Lepower_obs.Span.with_span "lint.target"
     ~args:[ ("name", Lepower_obs.Json.String t.name) ]
@@ -59,15 +60,21 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
       config.Engine.procs
   in
   let findings_of (config : Engine.config) =
+    let tok = Lepower_prof.Phase.enter ph_check in
     let trace = Engine.trace config in
-    Bounded_check.check ~bounds:t.bounds ~store trace
-    @ Trace_check.check ~single_writer:t.single_writer ~store trace
+    let fs =
+      Bounded_check.check ~bounds:t.bounds ~store trace
+      @ Trace_check.check ~single_writer:t.single_writer ~store trace
+    in
+    Lepower_prof.Phase.leave tok;
+    fs
   in
   let note fs (config : Engine.config) =
     incr schedules;
     Lepower_obs.Metrics.incr m_schedules;
     observe_steps config;
-    findings := fs @ !findings
+    findings := fs @ !findings;
+    match progress with Some f -> f !schedules | None -> ()
   in
   let analyze config = note (findings_of config) config in
   let exhaustive =
@@ -403,7 +410,7 @@ let fixtures () = [ broken_swmr_fixture (); broken_cas_fixture (); spin_fixture 
 
 (* --- fuzzing ----------------------------------------------------------- *)
 
-let fuzz_target ?runs ?seed ?max_steps ?plan ?kind ?shrink (t : target) =
+let fuzz_target ?runs ?seed ?max_steps ?plan ?kind ?shrink ?progress (t : target) =
   let store = Memory.Store.create t.bindings in
   let n = List.length t.programs in
   let max_steps =
@@ -429,5 +436,5 @@ let fuzz_target ?runs ?seed ?max_steps ?plan ?kind ?shrink (t : target) =
         Some (Printf.sprintf "per-process step budget %d exceeded" t.budget)
       else None
   in
-  Runtime.Fuzz.campaign ?runs ?seed ~max_steps ?plan ?kind ?shrink
+  Runtime.Fuzz.campaign ?runs ?seed ~max_steps ?plan ?kind ?shrink ?progress
     ~subject:t.subject ~failing (fun () -> Engine.init store t.programs)

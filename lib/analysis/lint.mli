@@ -53,6 +53,7 @@ val lint :
   ?max_steps:int ->
   ?shrink:bool ->
   ?on_repro:(Runtime.Repro.t -> Runtime.Repro.shrink_stats option -> unit) ->
+  ?progress:(int -> unit) ->
   target ->
   Report.t
 (** [rules] keeps only findings whose rule name is listed (default: all).
@@ -66,7 +67,10 @@ val lint :
     message — handed to the callback, after delta-debugging minimization
     when [shrink] is [true] (the shrink stats come along; [None] when
     shrinking was off).  Exhaustive mode never records: use
-    {!Protocols.Election.explore_repro} for whole-space certificates. *)
+    {!Protocols.Election.explore_repro} for whole-space certificates.
+
+    [progress]: called after every analyzed schedule with the count so
+    far, in both modes — drive heartbeats from here. *)
 
 val lint_instance :
   ?mode:mode ->
@@ -119,6 +123,7 @@ val fuzz_target :
   ?plan:Runtime.Faults.plan ->
   ?kind:Runtime.Fuzz.sched_kind ->
   ?shrink:bool ->
+  ?progress:(Runtime.Fuzz.progress -> unit) ->
   target ->
   Runtime.Fuzz.outcome
 (** Fuzz a target with {!Runtime.Fuzz.campaign}: each run starts from a

@@ -1,10 +1,19 @@
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+(* Domain-safety: counters and gauges are [Atomic.t] cells, histograms
+   take a per-histogram mutex, and the find-or-create registry takes a
+   global one.  Explore's Domain workers (and any future parallel
+   driver) may therefore hit the same instruments concurrently without
+   losing increments; the only remaining cross-domain laxity is the
+   [on] flag itself, whose reads are monotonic-enough (a worker that
+   races an enable/disable merely skips or records a few mutations). *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 let num_buckets = 33 (* <=1, <=2, ..., <=2^31, overflow *)
 
 type histogram = {
   h_name : string;
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -17,57 +26,62 @@ let enable () = on := true
 let disable () = on := false
 let is_enabled () = !on
 
+let registry_lock = Mutex.create ()
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let find_or_create tbl name create =
+  with_registry (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+        let x = create () in
+        Hashtbl.add tbl name x;
+        x)
+
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add counters name c;
-    c
+  find_or_create counters name (fun () ->
+      { c_name = name; c_value = Atomic.make 0 })
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; g_value = 0. } in
-    Hashtbl.add gauges name g;
-    g
+  find_or_create gauges name (fun () ->
+      { g_name = name; g_value = Atomic.make 0. })
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
+  find_or_create histograms name (fun () ->
       {
         h_name = name;
+        h_lock = Mutex.create ();
         h_count = 0;
         h_sum = 0.;
         h_min = 0.;
         h_max = 0.;
         h_buckets = Array.make num_buckets 0;
-      }
-    in
-    Hashtbl.add histograms name h;
-    h
+      })
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.;
-      h.h_min <- 0.;
-      h.h_max <- 0.;
-      Array.fill h.h_buckets 0 num_buckets 0)
-    histograms
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0.) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.h_lock;
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_min <- 0.;
+          h.h_max <- 0.;
+          Array.fill h.h_buckets 0 num_buckets 0;
+          Mutex.unlock h.h_lock)
+        histograms)
 
-let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
-let set g v = if !on then g.g_value <- v
+let incr ?(by = 1) c = if !on then ignore (Atomic.fetch_and_add c.c_value by)
+let set g v = if !on then Atomic.set g.g_value v
 
 let bucket_index v =
   let rec go i bound =
@@ -77,16 +91,18 @@ let bucket_index v =
 
 let observe h v =
   if !on then begin
+    Mutex.lock h.h_lock;
     if h.h_count = 0 || v < h.h_min then h.h_min <- v;
     if h.h_count = 0 || v > h.h_max then h.h_max <- v;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     let i = bucket_index v in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    Mutex.unlock h.h_lock
   end
 
-let value c = c.c_value
-let gauge_value g = g.g_value
+let value c = Atomic.get c.c_value
+let gauge_value g = Atomic.get g.g_value
 
 type histogram_stats = {
   count : int;
@@ -97,6 +113,7 @@ type histogram_stats = {
 }
 
 let histogram_stats h =
+  Mutex.lock h.h_lock;
   let buckets = ref [] in
   for i = num_buckets - 1 downto 0 do
     if h.h_buckets.(i) > 0 then
@@ -105,13 +122,17 @@ let histogram_stats h =
       in
       buckets := (bound, h.h_buckets.(i)) :: !buckets
   done;
-  {
-    count = h.h_count;
-    sum = h.h_sum;
-    min = h.h_min;
-    max = h.h_max;
-    buckets = !buckets;
-  }
+  let stats =
+    {
+      count = h.h_count;
+      sum = h.h_sum;
+      min = h.h_min;
+      max = h.h_max;
+      buckets = !buckets;
+    }
+  in
+  Mutex.unlock h.h_lock;
+  stats
 
 type snapshot = {
   counters : (string * int) list;
@@ -124,11 +145,19 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
+  (* Take the table bindings under the registry lock, then read each
+     instrument with its own synchronization (atomic get / histogram
+     mutex) outside it — lock order stays registry > instrument. *)
+  let cs, gs, hs =
+    with_registry (fun () ->
+        ( sorted_bindings counters (fun c -> (c.c_name, c)),
+          sorted_bindings gauges (fun g -> (g.g_name, g)),
+          sorted_bindings histograms (fun h -> (h.h_name, h)) ))
+  in
   {
-    counters = sorted_bindings counters (fun c -> (c.c_name, c.c_value));
-    gauges = sorted_bindings gauges (fun g -> (g.g_name, g.g_value));
-    histograms =
-      sorted_bindings histograms (fun h -> (h.h_name, histogram_stats h));
+    counters = List.map (fun (name, c) -> (name, value c)) cs;
+    gauges = List.map (fun (name, g) -> (name, gauge_value g)) gs;
+    histograms = List.map (fun (name, h) -> (name, histogram_stats h)) hs;
   }
 
 let histogram_stats_to_json (s : histogram_stats) =

@@ -9,7 +9,15 @@
 
     Metrics live in a global registry keyed by name: requesting an
     existing name returns the same cell, so modules can declare their
-    instruments at top level and tests can look the values up by name. *)
+    instruments at top level and tests can look the values up by name.
+
+    All mutation is {b domain-safe}: counters and gauges are atomic
+    cells, histograms serialize observations behind a per-histogram
+    mutex, and find-or-create takes a registry lock — instruments hit
+    concurrently from Domain workers (e.g. the parallel explorer's
+    [engine.*] counters) lose nothing.  [enable]/[disable] are plain
+    flag writes: a worker racing the flip may skip or record a handful
+    of mutations, never corrupt state. *)
 
 type counter
 type gauge

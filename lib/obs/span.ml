@@ -19,17 +19,28 @@ let set_sink s = custom_sink := s
 
 let epoch = Unix.gettimeofday ()
 
+(* One lock covers the monotone-clock state and the buffer, so spans
+   completed in Domain workers neither tear the buffer list nor step the
+   clock backwards relative to each other. *)
+let lock = Mutex.create ()
+
 let now_us =
   let last = ref 0. in
   fun () ->
     let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+    Mutex.lock lock;
     if t > !last then last := t;
-    !last
+    let t = !last in
+    Mutex.unlock lock;
+    t
 
 let emit span =
   match !custom_sink with
   | Some f -> f span
-  | None -> buffer := span :: !buffer
+  | None ->
+    Mutex.lock lock;
+    buffer := span :: !buffer;
+    Mutex.unlock lock
 
 let with_span ?(tid = 0) ?(args = []) name f =
   if not !on then f ()

@@ -10,7 +10,11 @@
 
     Timestamps are microseconds since the process loaded this module,
     forced monotone (non-decreasing) so spans and Chrome traces stay
-    well-ordered even if the wall clock steps backwards. *)
+    well-ordered even if the wall clock steps backwards.
+
+    The default buffering sink and the monotone clock are mutex-guarded,
+    so spans may complete concurrently in Domain workers; a custom
+    [set_sink] function must bring its own synchronization. *)
 
 type completed = {
   name : string;

@@ -1,0 +1,89 @@
+module Span = Lepower_obs.Span
+
+(* Rebuild the span tree from completed intervals with a sweep: sort by
+   start (ties: longer first, i.e. parent before child), keep a stack of
+   still-open spans, pop everything that ended before the next span
+   starts.  Overlap that is not proper nesting — possible with
+   unbalanced or cross-cutting spans — is clipped: the later span is
+   treated as a child of whatever is still open, and self times are
+   clamped at zero, so malformed input degrades gracefully instead of
+   corrupting the tree. *)
+
+type node = {
+  n_path : string;
+  n_fin : float;
+  n_dur : float;
+  mutable n_child : float;
+}
+
+let collapse (spans : Span.completed list) =
+  let acc : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let add path self_us =
+    let v = Option.value ~default:0 (Hashtbl.find_opt acc path) in
+    Hashtbl.replace acc path (v + self_us)
+  in
+  let by_tid : (int, Span.completed list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.completed) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_tid s.Span.tid) in
+      Hashtbl.replace by_tid s.Span.tid (s :: l))
+    spans;
+  let tids =
+    Hashtbl.fold (fun k _ acc -> k :: acc) by_tid [] |> List.sort compare
+  in
+  List.iter
+    (fun tid ->
+      let sorted =
+        List.sort
+          (fun (a : Span.completed) (b : Span.completed) ->
+            match Float.compare a.Span.start_us b.Span.start_us with
+            | 0 -> Float.compare b.Span.dur_us a.Span.dur_us
+            | c -> c)
+          (Hashtbl.find by_tid tid)
+      in
+      let stack = ref [] in
+      let rec pop_until start =
+        match !stack with
+        | top :: rest when top.n_fin <= start ->
+          stack := rest;
+          add top.n_path
+            (Int.of_float
+               (Float.round (Float.max 0. (top.n_dur -. top.n_child))));
+          (match rest with
+          | parent :: _ -> parent.n_child <- parent.n_child +. top.n_dur
+          | [] -> ());
+          pop_until start
+        | _ -> ()
+      in
+      List.iter
+        (fun (s : Span.completed) ->
+          pop_until s.Span.start_us;
+          let path =
+            match !stack with
+            | [] -> s.Span.name
+            | top :: _ -> top.n_path ^ ";" ^ s.Span.name
+          in
+          stack :=
+            {
+              n_path = path;
+              n_fin = s.Span.start_us +. s.Span.dur_us;
+              n_dur = s.Span.dur_us;
+              n_child = 0.;
+            }
+            :: !stack)
+        sorted;
+      pop_until infinity)
+    tids;
+  Hashtbl.fold (fun path v acc -> (path, v) :: acc) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_lines spans =
+  List.map (fun (path, v) -> Printf.sprintf "%s %d" path v) (collapse spans)
+
+let write path spans =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        (to_lines spans))

@@ -1,0 +1,23 @@
+(** Flamegraph export: collapse completed {!Lepower_obs.Span} intervals
+    into Brendan Gregg's folded-stack format — one
+    ["outer;inner;leaf <self_us>"] line per distinct stack, suitable for
+    [flamegraph.pl] or any folded-stack viewer.
+
+    Nesting is reconstructed per span lane ([tid]) from the recorded
+    intervals; weights are {e self} microseconds (a span's duration
+    minus its children's), so the flamegraph widths sum to real wall
+    time.  Ill-nested input — overlapping spans, unbalanced
+    instrumentation — is clipped rather than rejected: self times are
+    clamped at zero and overlap is attributed to the still-open span.
+
+    Output is deterministic: identical stacks are merged and lines are
+    sorted lexicographically, so a fixture round-trips byte-for-byte. *)
+
+val collapse : Lepower_obs.Span.completed list -> (string * int) list
+(** [(stack, self_us)] pairs, stacks [;]-joined root-first, sorted. *)
+
+val to_lines : Lepower_obs.Span.completed list -> string list
+(** The folded lines, ["stack self_us"]. *)
+
+val write : string -> Lepower_obs.Span.completed list -> unit
+(** Write the folded lines to a file, newline-terminated. *)

@@ -1,0 +1,57 @@
+module Json = Lepower_obs.Json
+
+type t = {
+  interval_s : float;
+  started : float;
+  emit : Json.t -> unit;
+  mutable last : float;
+  mutable seq : int;
+}
+
+let create ?(interval_s = 1.0) ~emit () =
+  let now = Unix.gettimeofday () in
+  { interval_s; started = now; emit; last = now; seq = 0 }
+
+let elapsed_s hb = Unix.gettimeofday () -. hb.started
+
+let beat hb fields =
+  let now = Unix.gettimeofday () in
+  hb.last <- now;
+  hb.seq <- hb.seq + 1;
+  hb.emit
+    (Json.Obj
+       (("type", Json.String "heartbeat")
+       :: ("seq", Json.Int hb.seq)
+       :: ("t_s", Json.Float (now -. hb.started))
+       :: fields ()))
+
+let tick ?(force = false) hb fields =
+  if force || Unix.gettimeofday () -. hb.last >= hb.interval_s then
+    beat hb fields
+
+(* One-line renderer for --progress on stderr: "hb #3 t=2.1s configs=52417
+   rate=24961/s ...".  Keys keep stream order; nested values are skipped
+   (the JSONL stream is the full-fidelity channel). *)
+let pp_line ppf doc =
+  match doc with
+  | Json.Obj fields ->
+    let seq =
+      match List.assoc_opt "seq" fields with
+      | Some (Json.Int i) -> i
+      | _ -> 0
+    in
+    Fmt.pf ppf "hb #%d" seq;
+    List.iter
+      (fun (k, v) ->
+        if k <> "type" && k <> "seq" then
+          match v with
+          | Json.Int i -> Fmt.pf ppf " %s=%d" k i
+          | Json.Float f ->
+            if Float.is_integer f && Float.abs f < 1e15 then
+              Fmt.pf ppf " %s=%.0f" k f
+            else Fmt.pf ppf " %s=%.2f" k f
+          | Json.String s -> Fmt.pf ppf " %s=%s" k s
+          | Json.Bool b -> Fmt.pf ppf " %s=%b" k b
+          | Json.Null | Json.List _ | Json.Obj _ -> ())
+      fields
+  | _ -> Fmt.pf ppf "hb %s" (Json.to_string doc)

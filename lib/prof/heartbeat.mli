@@ -1,0 +1,30 @@
+(** Periodic campaign telemetry: a rate-limited stream of snapshot
+    objects ([{"type":"heartbeat","seq":…,"t_s":…,…}]) emitted as strict
+    {!Lepower_obs.Json} values, one per line when written to a JSONL
+    sink.
+
+    The driver loop calls {!tick} at convenient points (the explorer
+    does so every few thousand configurations); the heartbeat decides —
+    from its configured interval — whether a beat is due, and only then
+    runs the caller's field thunk.  A tick that is not due costs one
+    clock read, so ticking from a hot loop is safe.  With
+    [~interval_s:0.] every tick beats (useful in tests). *)
+
+type t
+
+val create : ?interval_s:float -> emit:(Lepower_obs.Json.t -> unit) -> unit -> t
+(** [interval_s] defaults to 1 second.  [emit] receives each snapshot
+    object; it is called from whichever domain ticked, so a shared sink
+    must synchronize. *)
+
+val elapsed_s : t -> float
+(** Seconds since {!create} — the denominator for rates and ETA. *)
+
+val tick : ?force:bool -> t -> (unit -> (string * Lepower_obs.Json.t) list) -> unit
+(** Emit a snapshot if at least the configured interval has passed since
+    the last one (or [force] is set, e.g. for a final beat).  The thunk
+    supplies the payload fields appended after [type]/[seq]/[t_s]. *)
+
+val pp_line : Format.formatter -> Lepower_obs.Json.t -> unit
+(** Render a heartbeat object as a single [key=value] line for
+    [--progress] on stderr. *)

@@ -1,0 +1,234 @@
+module Json = Lepower_obs.Json
+
+(* A phase slot aggregates across all domains with atomic adds; the
+   nesting bookkeeping (who is whose child right now) is purely
+   per-domain, kept in a DLS stack, so concurrent explorer workers never
+   contend except on the final fetch_and_add per leave. *)
+
+type slot = {
+  name : string;
+  calls : int Atomic.t;
+  self_ns : int Atomic.t;
+  total_ns : int Atomic.t;
+  minor_words : int Atomic.t;
+  major_words : int Atomic.t;
+}
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let is_enabled () = !on
+
+let registry_lock = Mutex.create ()
+let slots : (string, slot) Hashtbl.t = Hashtbl.create 16
+
+let make name =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt slots name with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            name;
+            calls = Atomic.make 0;
+            self_ns = Atomic.make 0;
+            total_ns = Atomic.make 0;
+            minor_words = Atomic.make 0;
+            major_words = Atomic.make 0;
+          }
+        in
+        Hashtbl.add slots name s;
+        s)
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ s ->
+      Atomic.set s.calls 0;
+      Atomic.set s.self_ns 0;
+      Atomic.set s.total_ns 0;
+      Atomic.set s.minor_words 0;
+      Atomic.set s.major_words 0)
+    slots;
+  Mutex.unlock registry_lock
+
+let now_ns () = Int.of_float (Unix.gettimeofday () *. 1e9)
+
+type frame = {
+  f_slot : slot;
+  f_start_ns : int;
+  f_start_minor : float;
+  f_start_major : float;
+  mutable f_child_ns : int;
+  mutable f_child_minor : float;
+  mutable f_child_major : float;
+}
+
+type token = frame option
+
+(* Each domain keeps its own stack of open frames; self time/allocation
+   is total minus what nested phases already claimed. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enter slot : token =
+  if not !on then None
+  else begin
+    (* [Gc.minor_words] reads the live allocation pointer;
+       [quick_stat].minor_words only refreshes at minor collections, so
+       it reads 0 across any phase that doesn't trigger one. *)
+    let st = Gc.quick_stat () in
+    let f =
+      {
+        f_slot = slot;
+        f_start_ns = now_ns ();
+        f_start_minor = Gc.minor_words ();
+        f_start_major = st.Gc.major_words;
+        f_child_ns = 0;
+        f_child_minor = 0.;
+        f_child_major = 0.;
+      }
+    in
+    let stack = Domain.DLS.get stack_key in
+    stack := f :: !stack;
+    Some f
+  end
+
+let close_frame stack f =
+  let total_ns = now_ns () - f.f_start_ns in
+  let st = Gc.quick_stat () in
+  let minor = Gc.minor_words () -. f.f_start_minor in
+  let major = st.Gc.major_words -. f.f_start_major in
+  let self_ns = Int.max 0 (total_ns - f.f_child_ns) in
+  let self_minor = Float.max 0. (minor -. f.f_child_minor) in
+  let self_major = Float.max 0. (major -. f.f_child_major) in
+  let s = f.f_slot in
+  ignore (Atomic.fetch_and_add s.calls 1);
+  ignore (Atomic.fetch_and_add s.self_ns self_ns);
+  ignore (Atomic.fetch_and_add s.total_ns (Int.max 0 total_ns));
+  ignore (Atomic.fetch_and_add s.minor_words (Int.of_float self_minor));
+  ignore (Atomic.fetch_and_add s.major_words (Int.of_float self_major));
+  (match !stack with
+  | parent :: _ ->
+    parent.f_child_ns <- parent.f_child_ns + Int.max 0 total_ns;
+    parent.f_child_minor <- parent.f_child_minor +. Float.max 0. minor;
+    parent.f_child_major <- parent.f_child_major +. Float.max 0. major
+  | [] -> ())
+
+let leave (tok : token) =
+  match tok with
+  | None -> ()
+  | Some f ->
+    let stack = Domain.DLS.get stack_key in
+    (* Pop until we find our own frame.  Frames above it were entered
+       after us and never left (unbalanced usage, or a thunk that
+       escaped via an exception without its own leave): close them too,
+       innermost first, so the aggregate stays consistent instead of
+       corrupting later nesting. *)
+    let rec pop () =
+      match !stack with
+      | [] -> () (* already left (double leave): ignore *)
+      | top :: rest ->
+        stack := rest;
+        close_frame stack top;
+        if top != f then pop ()
+    in
+    if List.memq f !stack then pop ()
+
+let with_phase slot f =
+  if not !on then f ()
+  else begin
+    let tok = enter slot in
+    match f () with
+    | v ->
+      leave tok;
+      v
+    | exception e ->
+      leave tok;
+      raise e
+  end
+
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_self_ns : int;
+  r_total_ns : int;
+  r_minor_words : int;
+  r_major_words : int;
+}
+
+let rows () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) slots [] in
+  Mutex.unlock registry_lock;
+  all
+  |> List.filter_map (fun s ->
+         let calls = Atomic.get s.calls in
+         if calls = 0 then None
+         else
+           Some
+             {
+               r_name = s.name;
+               r_calls = calls;
+               r_self_ns = Atomic.get s.self_ns;
+               r_total_ns = Atomic.get s.total_ns;
+               r_minor_words = Atomic.get s.minor_words;
+               r_major_words = Atomic.get s.major_words;
+             })
+  |> List.sort (fun a b ->
+         match compare b.r_self_ns a.r_self_ns with
+         | 0 -> String.compare a.r_name b.r_name
+         | c -> c)
+
+let self_total_ns () =
+  List.fold_left (fun acc r -> acc + r.r_self_ns) 0 (rows ())
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.r_name);
+      ("calls", Json.Int r.r_calls);
+      ("self_us", Json.Float (Float.of_int r.r_self_ns /. 1e3));
+      ("total_us", Json.Float (Float.of_int r.r_total_ns /. 1e3));
+      ("minor_words", Json.Int r.r_minor_words);
+      ("major_words", Json.Int r.r_major_words);
+    ]
+
+let to_json ?wall_us () =
+  let base =
+    [
+      ("type", Json.String "phases");
+      ("rows", Json.List (List.map row_to_json (rows ())));
+    ]
+  in
+  match wall_us with
+  | None -> Json.Obj base
+  | Some w -> Json.Obj (base @ [ ("wall_us", Json.Float w) ])
+
+let pp_table ?wall_us ppf () =
+  let rs = rows () in
+  let us ns = Float.of_int ns /. 1e3 in
+  let wall =
+    match wall_us with
+    | Some w when w > 0. -> w
+    | _ -> Float.max 1e-9 (us (self_total_ns ()))
+  in
+  Fmt.pf ppf "%-24s %10s %12s %12s %6s %12s %10s@." "phase" "calls" "self(ms)"
+    "total(ms)" "self%" "minor(w)" "major(w)";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-24s %10d %12.3f %12.3f %5.1f%% %12d %10d@." r.r_name
+        r.r_calls
+        (us r.r_self_ns /. 1e3)
+        (us r.r_total_ns /. 1e3)
+        (100. *. us r.r_self_ns /. wall)
+        r.r_minor_words r.r_major_words)
+    rs;
+  Fmt.pf ppf "%-24s %10s %12.3f %33s@." "(sum of self)" ""
+    (us (self_total_ns ()) /. 1e3)
+    (Fmt.str "= %.1f%% of %.3f ms wall"
+       (100. *. us (self_total_ns ()) /. wall)
+       (wall /. 1e3))

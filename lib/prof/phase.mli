@@ -1,0 +1,73 @@
+(** Phase attribution: scoped timers plus [Gc.quick_stat] deltas around
+    the runtime's hot phases, aggregated into a per-phase table of wall
+    time, allocation and call counts.
+
+    A {e phase} is a named slot declared once at module level with
+    {!make}; the hot path brackets work with {!enter}/{!leave} (or
+    {!with_phase}).  Slots aggregate {e self} time and allocation —
+    total minus whatever nested phases claimed — so coarse phases
+    ([explore.walk]) can enclose fine ones ([engine.step],
+    [explore.fingerprint]) and the table still sums to at most 100% of
+    wall time.  Nesting is tracked per domain (in domain-local state);
+    the aggregate adds are atomic, so parallel explorer workers profile
+    concurrently without losing counts.
+
+    Cost model: when disabled (the default), {!enter} is one flag load
+    returning a static token and {!leave} is one comparison — nothing is
+    allocated or timed, keeping instrumented hot paths within the E12
+    overhead budget.  When enabled, each enter/leave pair costs two
+    clock reads and two [Gc.quick_stat] calls.
+
+    Robustness: {!leave} tolerates unbalanced usage.  Leaving a frame
+    that has open children closes the children first (innermost first);
+    leaving twice is a no-op.  Allocation deltas come from
+    [Gc.quick_stat] and are approximate under parallel collection. *)
+
+type slot
+
+val make : string -> slot
+(** Find-or-create the phase slot registered under this name. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every slot (the registry itself is kept). *)
+
+(** {1 Bracketing} *)
+
+type token
+
+val enter : slot -> token
+val leave : token -> unit
+
+val with_phase : slot -> (unit -> 'a) -> 'a
+(** [enter]/[leave] around the thunk; the phase is closed even if the
+    thunk raises.  When disabled this is just [f ()]. *)
+
+(** {1 Reading} *)
+
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_self_ns : int;  (** time in this phase, excluding nested phases *)
+  r_total_ns : int;  (** time in this phase, including nested phases *)
+  r_minor_words : int;  (** self minor-heap allocation, words *)
+  r_major_words : int;  (** self major-heap allocation, words *)
+}
+
+val rows : unit -> row list
+(** Non-empty slots, sorted by self time (descending). *)
+
+val self_total_ns : unit -> int
+(** Sum of self time over all slots — the profiled share of wall time. *)
+
+val to_json : ?wall_us:float -> unit -> Lepower_obs.Json.t
+(** The table as one strict-JSON object
+    ([{"type":"phases","rows":[...]}]), suitable for a JSONL stream and
+    for [lepower report]. *)
+
+val pp_table : ?wall_us:float -> Format.formatter -> unit -> unit
+(** Render the table human-readably; [wall_us] supplies the denominator
+    for the self%% column (defaults to the profiled total). *)

@@ -1,0 +1,283 @@
+module Json = Lepower_obs.Json
+
+(* Every input — heartbeat/metrics/phase JSONL streams and the
+   single-line BENCH_*.json artifacts — is read the same way: one JSON
+   document per non-empty line, classified by shape.  The report is
+   whatever sections the ingested documents can support; nothing is
+   required except (optionally) a phase table. *)
+
+type doc = { d_file : string; d_json : Json.t }
+
+type ingested = {
+  phases : Json.t option; (* last phase table seen wins *)
+  heartbeats : Json.t list; (* in stream order *)
+  metrics : Json.t option; (* last snapshot wins *)
+  benches : (string * Json.t) list; (* (file, doc), in argument order *)
+  other : int;
+}
+
+let empty =
+  { phases = None; heartbeats = []; metrics = None; benches = []; other = 0 }
+
+let classify acc { d_file; d_json } =
+  match d_json with
+  | Json.Obj fields -> (
+    match List.assoc_opt "type" fields with
+    | Some (Json.String "heartbeat") ->
+      { acc with heartbeats = d_json :: acc.heartbeats }
+    | Some (Json.String "phases") -> { acc with phases = Some d_json }
+    | _ ->
+      if List.mem_assoc "counters" fields then
+        { acc with metrics = Some d_json }
+      else if
+        List.mem_assoc "benchmarks" fields || List.mem_assoc "experiment" fields
+      then { acc with benches = (d_file, d_json) :: acc.benches }
+      else { acc with other = acc.other + 1 })
+  | _ -> { acc with other = acc.other + 1 }
+
+let ingest_file acc path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ as e -> e
+      | Ok (acc, n) ->
+        if String.trim line = "" then Ok (acc, n)
+        else (
+          match Json.of_string line with
+          | Ok j -> Ok (classify acc { d_file = path; d_json = j }, n + 1)
+          | Error e ->
+            Error (Printf.sprintf "%s:%d: not strict JSON: %s" path (n + 1) e)))
+    acc lines
+
+let ingest paths =
+  match
+    List.fold_left
+      (fun acc path ->
+        match acc with
+        | Error _ as e -> e
+        | Ok (ing, _) -> (
+          match ingest_file (Ok (ing, 0)) path with
+          | Ok (ing, _) -> Ok (ing, 0)
+          | Error _ as e -> e))
+      (Ok (empty, 0))
+      paths
+  with
+  | Error e -> Error e
+  | Ok (ing, _) ->
+    Ok
+      {
+        ing with
+        heartbeats = List.rev ing.heartbeats;
+        benches = List.rev ing.benches;
+      }
+
+(* --- rendering helpers --- *)
+
+let num = function
+  | Json.Int i -> Some (Float.of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let mem name j = Json.member name j
+
+let pp_num ppf f =
+  if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.0f" f
+  else if Float.abs f >= 100. then Fmt.pf ppf "%.1f" f
+  else Fmt.pf ppf "%.4g" f
+
+let section ppf title = Fmt.pf ppf "@.== %s ==@." title
+
+(* --- phases --- *)
+
+let phase_rows doc =
+  match mem "rows" doc with
+  | Some (Json.List rows) ->
+    List.filter_map
+      (fun r ->
+        match
+          ( mem "name" r,
+            mem "calls" r,
+            Option.bind (mem "self_us" r) num,
+            Option.bind (mem "total_us" r) num )
+        with
+        | Some (Json.String name), Some (Json.Int calls), Some s, Some t ->
+          let words k =
+            match Option.bind (mem k r) num with
+            | Some w -> Int.of_float w
+            | None -> 0
+          in
+          Some (name, calls, s, t, words "minor_words", words "major_words")
+        | _ -> None)
+      rows
+  | _ -> []
+
+let render_phases ppf doc =
+  let rows = phase_rows doc in
+  let wall =
+    match Option.bind (mem "wall_us" doc) num with
+    | Some w when w > 0. -> w
+    | _ ->
+      Float.max 1e-9
+        (List.fold_left (fun acc (_, _, s, _, _, _) -> acc +. s) 0. rows)
+  in
+  section ppf "Per-phase cost";
+  Fmt.pf ppf "%-24s %10s %12s %12s %6s %12s %10s@." "phase" "calls" "self(ms)"
+    "total(ms)" "self%" "minor(w)" "major(w)";
+  List.iter
+    (fun (name, calls, self_us, total_us, minor, major) ->
+      Fmt.pf ppf "%-24s %10d %12.3f %12.3f %5.1f%% %12d %10d@." name calls
+        (self_us /. 1e3) (total_us /. 1e3)
+        (100. *. self_us /. wall)
+        minor major)
+    rows;
+  let covered = List.fold_left (fun a (_, _, s, _, _, _) -> a +. s) 0. rows in
+  Fmt.pf ppf "profiled %.1f%% of %.3f ms wall@."
+    (100. *. covered /. wall)
+    (wall /. 1e3);
+  List.length rows
+
+(* --- heartbeats --- *)
+
+let render_heartbeats ppf beats =
+  section ppf
+    (Printf.sprintf "Throughput (%d heartbeats)" (List.length beats));
+  (* Columns: numeric scalar keys present in the final beat, in its
+     field order — the final beat carries the campaign's full vitals. *)
+  let keys =
+    match List.rev beats with
+    | Json.Obj fields :: _ ->
+      List.filter_map
+        (fun (k, v) ->
+          if k = "type" || k = "seq" then None
+          else Option.map (fun _ -> k) (num v))
+        fields
+    | _ -> []
+  in
+  Fmt.pf ppf "%6s" "seq";
+  List.iter (fun k -> Fmt.pf ppf " %14s" k) keys;
+  Fmt.pf ppf "@.";
+  let n = List.length beats in
+  let want = 12 in
+  let step = Int.max 1 ((n + want - 1) / want) in
+  List.iteri
+    (fun i beat ->
+      if i mod step = 0 || i = n - 1 then begin
+        let seq =
+          match Option.bind (mem "seq" beat) num with
+          | Some s -> Int.of_float s
+          | None -> i + 1
+        in
+        Fmt.pf ppf "%6d" seq;
+        List.iter
+          (fun k ->
+            match Option.bind (mem k beat) num with
+            | Some v -> Fmt.pf ppf " %14s" (Fmt.str "%a" pp_num v)
+            | None -> Fmt.pf ppf " %14s" "-")
+          keys;
+        Fmt.pf ppf "@."
+      end)
+    beats
+
+(* --- metrics --- *)
+
+let render_metrics ppf doc =
+  match mem "counters" doc with
+  | Some (Json.Obj counters) ->
+    section ppf "Top counters";
+    let sorted =
+      List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (num v))
+        counters
+      |> List.sort (fun (ka, a) (kb, b) ->
+             match Float.compare b a with
+             | 0 -> String.compare ka kb
+             | c -> c)
+    in
+    List.iteri
+      (fun i (k, v) ->
+        if i < 12 then Fmt.pf ppf "%-32s %a@." k pp_num v)
+      sorted
+  | _ -> ()
+
+(* --- benches --- *)
+
+let rec flatten prefix doc acc =
+  match doc with
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let key = if prefix = "" then k else prefix ^ "." ^ k in
+        flatten key v acc)
+      acc fields
+  | Json.Int i -> (prefix, Float.of_int i) :: acc
+  | Json.Float f -> (prefix, f) :: acc
+  | _ -> acc
+
+let render_benches ppf benches =
+  section ppf "Bench trajectory";
+  (* Group by experiment tag (fallback: the file name); with two or more
+     snapshots of the same experiment, show first -> last deltas. *)
+  let tag (file, doc) =
+    match mem "experiment" doc with
+    | Some (Json.String e) -> e
+    | _ -> Filename.basename file
+  in
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      let t = tag b in
+      if not (Hashtbl.mem groups t) then order := t :: !order;
+      Hashtbl.replace groups t
+        (Option.value ~default:[] (Hashtbl.find_opt groups t) @ [ b ]))
+    benches;
+  List.iter
+    (fun t ->
+      let docs = Hashtbl.find groups t in
+      match docs with
+      | [ (file, doc) ] ->
+        Fmt.pf ppf "%s (%s)@." t (Filename.basename file);
+        List.iter
+          (fun (k, v) -> Fmt.pf ppf "  %-40s %a@." k pp_num v)
+          (List.rev (flatten "" doc []))
+      | (file0, first) :: rest ->
+        let fileN, last = List.nth rest (List.length rest - 1) in
+        Fmt.pf ppf "%s (%s -> %s, %d snapshots)@." t
+          (Filename.basename file0) (Filename.basename fileN)
+          (List.length docs);
+        let old_vals = List.rev (flatten "" first []) in
+        let new_vals = List.rev (flatten "" last []) in
+        List.iter
+          (fun (k, v_new) ->
+            match List.assoc_opt k old_vals with
+            | Some v_old when v_old <> v_new ->
+              let delta =
+                if v_old = 0. then Float.infinity
+                else 100. *. (v_new -. v_old) /. Float.abs v_old
+              in
+              Fmt.pf ppf "  %-40s %a -> %a (%+.1f%%)@." k pp_num v_old pp_num
+                v_new delta
+            | Some _ | None -> ())
+          new_vals
+      | [] -> ())
+    (List.rev !order)
+
+let run ?(require_phases = false) ppf paths =
+  match ingest paths with
+  | Error e -> Error e
+  | Ok ing -> (
+    Fmt.pf ppf "lepower report: %d file%s@." (List.length paths)
+      (if List.length paths = 1 then "" else "s");
+    let phase_count =
+      match ing.phases with Some doc -> render_phases ppf doc | None -> 0
+    in
+    if ing.heartbeats <> [] then render_heartbeats ppf ing.heartbeats;
+    (match ing.metrics with Some doc -> render_metrics ppf doc | None -> ());
+    if ing.benches <> [] then render_benches ppf ing.benches;
+    if
+      phase_count = 0 && ing.heartbeats = [] && ing.metrics = None
+      && ing.benches = []
+    then Fmt.pf ppf "(nothing recognizable: %d unclassified lines)@." ing.other;
+    if require_phases && phase_count = 0 then
+      Error "no phase rows found (expected a {\"type\":\"phases\"} document)"
+    else Ok ())

@@ -1,0 +1,22 @@
+(** Campaign reports: ingest any mix of telemetry artifacts — heartbeat
+    and phase-table JSONL from [--progress-out], metrics snapshots from
+    [--metrics-out], and the single-line [BENCH_*.json] files — and
+    render a human-readable summary.
+
+    Every input file is read as one strict-JSON document per non-empty
+    line and classified by shape: [{"type":"heartbeat"}] rows feed the
+    throughput table, [{"type":"phases"}] the per-phase cost table (last
+    one wins), objects with a ["counters"] member the top-counter list,
+    and objects with ["benchmarks"]/["experiment"] members the
+    bench-trajectory section (two or more snapshots of the same
+    experiment render first-to-last deltas).  Sections whose inputs are
+    absent are simply omitted. *)
+
+val run :
+  ?require_phases:bool ->
+  Format.formatter ->
+  string list ->
+  (unit, string) result
+(** Render a report over the given files.  [Error _] on an unreadable
+    or non-JSON input line, or — with [require_phases] (used by the CI
+    smoke) — when no phase table with at least one row was found. *)

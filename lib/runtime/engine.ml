@@ -10,6 +10,10 @@ let m_faults = Obs.Metrics.counter "engine.faults"
 let m_runs = Obs.Metrics.counter "engine.runs"
 let h_steps_per_proc = Obs.Metrics.histogram "engine.steps_per_proc"
 
+(* Phase attribution (no-ops unless Lepower_prof.Phase is enabled). *)
+let ph_step = Lepower_prof.Phase.make "engine.step"
+let ph_choose = Lepower_prof.Phase.make "sched.choose"
+
 type config = {
   store : Memory.Store.t;
   procs : Proc.t array;
@@ -33,7 +37,7 @@ let set_proc config pid proc =
   procs.(pid) <- proc;
   { config with procs }
 
-let step config pid =
+let step_impl config pid =
   let proc = config.procs.(pid) in
   if not (Proc.is_running proc) then config
   else begin
@@ -86,6 +90,12 @@ let step config pid =
         { config with store; time = config.time + 1; trace = event :: config.trace })
   end
 
+let step config pid =
+  let tok = Lepower_prof.Phase.enter ph_step in
+  let config' = step_impl config pid in
+  Lepower_prof.Phase.leave tok;
+  config'
+
 let step_lost config pid =
   (* Lost-write fault: the process takes its step — response computed
      against the pre-state, continuation advanced, trace event recorded,
@@ -137,7 +147,12 @@ let run ?(max_steps = 1_000_000) ~sched config =
       match enabled config with
       | [] -> outcome_of ~hit_step_limit:false config
       | pids ->
-        let pid = sched.Sched.choose ~time:config.time ~enabled:pids in
+        let pid =
+          let tok = Lepower_prof.Phase.enter ph_choose in
+          let pid = sched.Sched.choose ~time:config.time ~enabled:pids in
+          Lepower_prof.Phase.leave tok;
+          pid
+        in
         (* [Sched.halt] — or, defensively, any pid outside the enabled
            set, which would otherwise no-op-step forever — ends the run
            with every process left in its current status. *)

@@ -18,6 +18,29 @@ let m_truncated = Lepower_obs.Metrics.counter "explore.truncated"
 let m_deduped = Lepower_obs.Metrics.counter "explore.configs_deduped"
 let m_por_pruned = Lepower_obs.Metrics.counter "explore.por_pruned"
 
+(* Phase attribution (no-ops unless Lepower_prof.Phase is enabled):
+   [explore.walk] carries the traversal residual; fingerprint/dedup and
+   POR commutation checks are nested phases, so their cost is charged to
+   themselves and subtracted from the walk's self time. *)
+let ph_walk = Lepower_prof.Phase.make "explore.walk"
+let ph_fingerprint = Lepower_prof.Phase.make "explore.fingerprint"
+let ph_por = Lepower_prof.Phase.make "explore.por"
+let ph_frontier = Lepower_prof.Phase.make "explore.frontier"
+
+(* Live progress for long campaigns: a rate-limited callback (every 8192
+   configurations per worker) with the running totals — globally merged
+   under [domains], via relaxed atomics.  The counts a parallel reader
+   sees momentarily lag the workers; the final stats do not. *)
+type progress = {
+  p_configs : int;
+  p_terminals : int;
+  p_truncated : int;
+  p_deduped : int;
+  p_pruned : int;
+  p_max_depth : int;
+  p_domains : int;
+}
+
 (* ------------------------------------------------------------------ *)
 (* Options.                                                           *)
 
@@ -31,6 +54,7 @@ module Options = struct
     analyze : (Engine.config -> unit) option;
     on_terminal : (Engine.config -> unit) option;
     on_truncated : (Engine.config -> unit) option;
+    progress : (progress -> unit) option;
   }
 
   let default =
@@ -43,6 +67,7 @@ module Options = struct
       analyze = None;
       on_terminal = None;
       on_truncated = None;
+      progress = None;
     }
 end
 
@@ -195,7 +220,7 @@ let moves_of opts pids =
 (* node is re-explored with the intersection (state-space caching      *)
 (* discipline), which keeps the combination sound.                     *)
 
-let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
+let explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal ~on_truncated
     (config0, histories0, depth0, rpath0) =
   let rec go config histories depth rpath sleep =
     if depth > acc.a_max_depth then acc.a_max_depth <- depth;
@@ -203,6 +228,9 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
     let leaf = enabled = [] || depth >= opts.o_max_steps in
     let proceed sleep =
       acc.a_configs <- acc.a_configs + 1;
+      (* Rate-limited so a no-op tick costs one mask and branch. *)
+      if acc.a_configs land 8191 = 0 then
+        (match tick with Some f -> f acc | None -> ());
       match enabled with
       | [] ->
         (match analyze with None -> () | Some f -> f config rpath);
@@ -226,10 +254,16 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
             end
             else begin
               let child_sleep =
-                if opts.o_por then
-                  List.filter
-                    (fun m' -> independent config m' m)
-                    (List.rev_append explored sleep)
+                if opts.o_por then begin
+                  let tok = Lepower_prof.Phase.enter ph_por in
+                  let kept =
+                    List.filter
+                      (fun m' -> independent config m' m)
+                      (List.rev_append explored sleep)
+                  in
+                  Lepower_prof.Phase.leave tok;
+                  kept
+                end
                 else []
               in
               let rpath' = decision_of_move m :: rpath in
@@ -249,21 +283,28 @@ let explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
     match visited with
     | None -> proceed sleep
     | Some tbl -> (
-      let key = Fingerprint.make config histories in
-      match Fingerprint.Tbl.find_opt tbl key with
-      | None ->
-        Fingerprint.Tbl.add tbl key (if leaf then [] else sleep);
-        proceed sleep
-      | Some stored when leaf || sleep_subset stored sleep ->
-        (* Everything this node would explore was already explored under
-           a sleep set no larger than the current one. *)
-        acc.a_deduped <- acc.a_deduped + 1
-      | Some stored ->
-        (* Revisit with moves awake that slept last time: re-explore
-           under the intersection so no transition is lost. *)
-        let sleep = sleep_inter sleep stored in
-        Fingerprint.Tbl.replace tbl key sleep;
-        proceed sleep)
+      let tok = Lepower_prof.Phase.enter ph_fingerprint in
+      let action =
+        let key = Fingerprint.make config histories in
+        match Fingerprint.Tbl.find_opt tbl key with
+        | None ->
+          Fingerprint.Tbl.add tbl key (if leaf then [] else sleep);
+          `Proceed sleep
+        | Some stored when leaf || sleep_subset stored sleep ->
+          (* Everything this node would explore was already explored
+             under a sleep set no larger than the current one. *)
+          `Dedup
+        | Some stored ->
+          (* Revisit with moves awake that slept last time: re-explore
+             under the intersection so no transition is lost. *)
+          let sleep = sleep_inter sleep stored in
+          Fingerprint.Tbl.replace tbl key sleep;
+          `Proceed sleep
+      in
+      Lepower_prof.Phase.leave tok;
+      match action with
+      | `Dedup -> acc.a_deduped <- acc.a_deduped + 1
+      | `Proceed sleep -> proceed sleep)
   in
   go config0 histories0 depth0 rpath0 []
 
@@ -321,34 +362,139 @@ let split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated ~target
    caller.  A worker that raises (e.g. [Stop_exploration] out of a
    checking callback) stops early; its exception is re-raised by the
    coordinator after all workers are joined. *)
-let run_parallel ~opts ~acc ~domains ~analyze ~on_terminal ~on_truncated
-    config =
-  let frontier =
-    split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated
-      ~target:(domains * 4) config
+(* Globally merged running totals for the progress callback: workers
+   publish their accumulator deltas with atomic adds each tick, so any
+   single reader sees a consistent-enough global count without touching
+   the workers' hot state. *)
+type pshared = {
+  ps_configs : int Atomic.t;
+  ps_terminals : int Atomic.t;
+  ps_truncated : int Atomic.t;
+  ps_deduped : int Atomic.t;
+  ps_pruned : int Atomic.t;
+  ps_max_depth : int Atomic.t;
+}
+
+let pshared_create () =
+  {
+    ps_configs = Atomic.make 0;
+    ps_terminals = Atomic.make 0;
+    ps_truncated = Atomic.make 0;
+    ps_deduped = Atomic.make 0;
+    ps_pruned = Atomic.make 0;
+    ps_max_depth = Atomic.make 0;
+  }
+
+let pshared_publish ps ~last (wacc : acc) =
+  let add cell now prev =
+    if now <> prev then ignore (Atomic.fetch_and_add cell (now - prev))
   in
+  add ps.ps_configs wacc.a_configs last.a_configs;
+  add ps.ps_terminals wacc.a_terminals last.a_terminals;
+  add ps.ps_truncated wacc.a_truncated last.a_truncated;
+  add ps.ps_deduped wacc.a_deduped last.a_deduped;
+  add ps.ps_pruned wacc.a_pruned last.a_pruned;
+  let rec bump () =
+    let cur = Atomic.get ps.ps_max_depth in
+    if
+      wacc.a_max_depth > cur
+      && not (Atomic.compare_and_set ps.ps_max_depth cur wacc.a_max_depth)
+    then bump ()
+  in
+  bump ();
+  acc_merge last wacc;
+  (* acc_merge adds; we want a copy of the current state instead. *)
+  last.a_terminals <- wacc.a_terminals;
+  last.a_truncated <- wacc.a_truncated;
+  last.a_max_depth <- wacc.a_max_depth;
+  last.a_choice_points <- wacc.a_choice_points;
+  last.a_configs <- wacc.a_configs;
+  last.a_deduped <- wacc.a_deduped;
+  last.a_pruned <- wacc.a_pruned
+
+let pshared_progress ps ~domains =
+  {
+    p_configs = Atomic.get ps.ps_configs;
+    p_terminals = Atomic.get ps.ps_terminals;
+    p_truncated = Atomic.get ps.ps_truncated;
+    p_deduped = Atomic.get ps.ps_deduped;
+    p_pruned = Atomic.get ps.ps_pruned;
+    p_max_depth = Atomic.get ps.ps_max_depth;
+    p_domains = domains;
+  }
+
+let g_frontier = Lepower_obs.Metrics.gauge "explore.frontier.size"
+
+(* Per-domain busy seconds: on an oversubscribed host (fewer cores than
+   domains) these sum to well over the coordinator's wall time, which is
+   exactly the dom4-slower-than-dom1 signature on 1-core runners. *)
+let g_domain_busy w =
+  Lepower_obs.Metrics.gauge (Printf.sprintf "explore.domain%d.busy_s" w)
+
+let g_domain_roots w =
+  Lepower_obs.Metrics.gauge (Printf.sprintf "explore.domain%d.roots" w)
+
+let run_parallel ~opts ~acc ~domains ~progress ~analyze ~on_terminal
+    ~on_truncated config =
+  let frontier =
+    let tok = Lepower_prof.Phase.enter ph_frontier in
+    let f =
+      split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated
+        ~target:(domains * 4) config
+    in
+    Lepower_prof.Phase.leave tok;
+    f
+  in
+  Lepower_obs.Metrics.set g_frontier (Float.of_int (List.length frontier));
   match frontier with
   | [] -> 1 (* the whole space fit in the frontier expansion *)
   | _ ->
     let items = Array.of_list frontier in
     let nd = min domains (Array.length items) in
+    let ps = pshared_create () in
+    let progress_mutex = Mutex.create () in
+    let notify () =
+      match progress with
+      | None -> ()
+      | Some f ->
+        Mutex.lock progress_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock progress_mutex)
+          (fun () -> f (pshared_progress ps ~domains:nd))
+    in
     let workers =
       List.init nd (fun w ->
           Domain.spawn (fun () ->
+              let t0 = Unix.gettimeofday () in
               let wacc = acc_create () in
+              let last = acc_create () in
+              let tick wacc =
+                pshared_publish ps ~last wacc;
+                notify ()
+              in
+              let tick = if progress = None then None else Some tick in
               let visited =
                 if opts.o_dedup then Some (Fingerprint.Tbl.create 1024)
                 else None
               in
               let failed = ref None in
+              let tok = Lepower_prof.Phase.enter ph_walk in
               (try
+                 let roots = ref 0 in
                  Array.iteri
                    (fun i item ->
-                     if i mod nd = w then
-                       explore_seq ~opts ~acc:wacc ~visited ~analyze
-                         ~on_terminal ~on_truncated item)
-                   items
+                     if i mod nd = w then begin
+                       incr roots;
+                       explore_seq ~opts ~acc:wacc ?tick ~visited ~analyze
+                         ~on_terminal ~on_truncated item
+                     end)
+                   items;
+                 Lepower_obs.Metrics.set (g_domain_roots w)
+                   (Float.of_int !roots)
                with e -> failed := Some e);
+              Lepower_prof.Phase.leave tok;
+              Lepower_obs.Metrics.set (g_domain_busy w)
+                (Unix.gettimeofday () -. t0);
               (wacc, !failed)))
     in
     let results = List.map Domain.join workers in
@@ -414,25 +560,44 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
           ("domains", Lepower_obs.Json.Int domains);
         ]
       (fun () ->
+        let progress = options.Options.progress in
         if domains <= 1 then begin
           let visited =
             if opts.o_dedup then Some (Fingerprint.Tbl.create 4096) else None
           in
-          explore_seq ~opts ~acc ~visited ~analyze ~on_terminal ~on_truncated
+          let tick =
+            Option.map
+              (fun f (acc : acc) ->
+                f
+                  {
+                    p_configs = acc.a_configs;
+                    p_terminals = acc.a_terminals;
+                    p_truncated = acc.a_truncated;
+                    p_deduped = acc.a_deduped;
+                    p_pruned = acc.a_pruned;
+                    p_max_depth = acc.a_max_depth;
+                    p_domains = 1;
+                  })
+              progress
+          in
+          let tok = Lepower_prof.Phase.enter ph_walk in
+          explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+            ~on_truncated
             (config, initial_histories config, 0, []);
+          Lepower_prof.Phase.leave tok;
           1
         end
         else if serialize then begin
           let mutex = Mutex.create () in
-          run_parallel ~opts ~acc ~domains
+          run_parallel ~opts ~acc ~domains ~progress
             ~analyze:(with_mutex mutex analyze)
             ~on_terminal:(with_mutex mutex on_terminal)
             ~on_truncated:(with_mutex mutex on_truncated)
             config
         end
         else
-          run_parallel ~opts ~acc ~domains ~analyze ~on_terminal ~on_truncated
-            config)
+          run_parallel ~opts ~acc ~domains ~progress ~analyze ~on_terminal
+            ~on_truncated config)
   in
   finish domains_used
 

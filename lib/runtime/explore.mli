@@ -67,6 +67,20 @@ type stats = {
 
 exception Stop_exploration
 
+(** Live progress for long campaigns, delivered to
+    {!Options.t.progress}: the running totals, globally merged under
+    [domains].  Parallel readers may see momentarily lagging counts; the
+    final {!stats} never do. *)
+type progress = {
+  p_configs : int;
+  p_terminals : int;
+  p_truncated : int;
+  p_deduped : int;
+  p_pruned : int;
+  p_max_depth : int;
+  p_domains : int;
+}
+
 (** The exploration configuration, consolidated — the {e only} way to
     configure this module (the pre-[Options] labelled-argument wrappers
     [explore_legacy]/[check_all_legacy] were deprecated for one release
@@ -97,12 +111,18 @@ module Options : sig
             the hook. *)
     on_terminal : (Engine.config -> unit) option;
     on_truncated : (Engine.config -> unit) option;
+    progress : (progress -> unit) option;
+        (** called every 8192 configurations (per worker domain, merged
+            globally and serialized by a mutex under [domains]) with the
+            running totals — drive heartbeats from here (default
+            [None]). *)
   }
 
   val default : t
   (** [{max_steps = 10_000; crash_faults = false; dedup = false;
       por = false; domains = 1; analyze = None; on_terminal = None;
-      on_truncated = None}] — the naive exhaustive walk, exactly. *)
+      on_truncated = None; progress = None}] — the naive exhaustive
+      walk, exactly. *)
 end
 
 val explore : ?options:Options.t -> Engine.config -> stats

@@ -3,6 +3,7 @@ module Json = Lepower_obs.Json
 
 let m_runs = Obs.Metrics.counter "fuzz.runs"
 let m_violations = Obs.Metrics.counter "fuzz.violations"
+let ph_run = Lepower_prof.Phase.make "fuzz.run"
 
 type sched_kind =
   | Random_walk
@@ -74,7 +75,20 @@ let run ?(max_steps = 1_000) ?(plan = Faults.none) ~kind ~seed config =
           in
           go config' (d :: log) crashes' faults')
   in
-  go config [] 0 0
+  let tok = Lepower_prof.Phase.enter ph_run in
+  let r = go config [] 0 0 in
+  Lepower_prof.Phase.leave tok;
+  r
+
+(* Live campaign progress: one callback per completed run (campaigns are
+   run-bounded, so per-run cadence is cheap), carrying the totals a
+   heartbeat needs to show runs/ETA/injection counts. *)
+type progress = {
+  p_run : int;  (** runs completed so far *)
+  p_runs_total : int;
+  p_injected : int;
+  p_steps : int;
+}
 
 type outcome = {
   runs : int;
@@ -88,7 +102,7 @@ type outcome = {
 
 let campaign ?(runs = 256) ?(seed = 1) ?(max_steps = 1_000)
     ?(plan = Faults.none) ?(kind = Pct { depth = 3 }) ?(shrink = true)
-    ?(subject = Json.Null) ~failing fresh_config =
+    ?(subject = Json.Null) ?progress ~failing fresh_config =
   Obs.Span.with_span "fuzz.campaign"
     ~args:
       [
@@ -113,6 +127,11 @@ let campaign ?(runs = 256) ?(seed = 1) ?(max_steps = 1_000)
       let r = run ~max_steps ~plan ~kind ~seed:(seed + i) config0 in
       let injected = injected + r.injected in
       let steps = steps + List.length r.decisions in
+      (match progress with
+      | Some f ->
+        f { p_run = i + 1; p_runs_total = runs; p_injected = injected;
+            p_steps = steps }
+      | None -> ());
       match failing r.final with
       | None -> go (i + 1) injected steps
       | Some message ->

@@ -69,6 +69,16 @@ val run :
     [kind]/[plan]/[max_steps] and initial configuration) ⇒ identical
     decision log. *)
 
+(** Live campaign progress, delivered to [campaign]'s [?progress] once
+    per completed run: totals so far plus the configured run budget, the
+    inputs a heartbeat needs for rates and ETA. *)
+type progress = {
+  p_run : int;  (** runs completed so far *)
+  p_runs_total : int;
+  p_injected : int;
+  p_steps : int;
+}
+
 (** Campaign verdict.  [runs] is how many runs executed (the campaign
     stops at the first violation, so this is the time-to-first-violation
     in runs); [steps] counts all decisions across them; [cert] carries
@@ -92,6 +102,7 @@ val campaign :
   ?kind:sched_kind ->
   ?shrink:bool ->
   ?subject:Lepower_obs.Json.t ->
+  ?progress:(progress -> unit) ->
   failing:(Engine.config -> string option) ->
   (unit -> Engine.config) ->
   outcome

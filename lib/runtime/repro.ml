@@ -2,6 +2,7 @@ module Json = Lepower_obs.Json
 
 let m_replays = Lepower_obs.Metrics.counter "repro.replays"
 let m_shrink_attempts = Lepower_obs.Metrics.counter "repro.shrink_attempts"
+let ph_record = Lepower_prof.Phase.make "repro.record"
 
 type decision =
   | Step of int
@@ -115,8 +116,14 @@ let make_cert ?(subject = Json.Null) ?(sched = "?") ?seed ?(max_steps = 0)
 
 let record ?subject ?seed ?max_steps ~sched config =
   let sched', log = recording sched in
+  (* The [repro.record] phase brackets only the certificate work — the
+     two digests and the cert build — so it isolates recording overhead
+     from the run it observes. *)
+  let tok = Lepower_prof.Phase.enter ph_record in
   let initial = Fingerprint.digest config in
+  Lepower_prof.Phase.leave tok;
   let outcome = Engine.run ?max_steps ~sched:sched' config in
+  let tok = Lepower_prof.Phase.enter ph_record in
   let cert =
     make_cert ?subject ~sched:sched.Sched.name ?seed
       ?max_steps:(Some (Option.value ~default:1_000_000 max_steps))
@@ -124,6 +131,7 @@ let record ?subject ?seed ?max_steps ~sched config =
       ~final:(Fingerprint.digest outcome.Engine.final)
       (log ())
   in
+  Lepower_prof.Phase.leave tok;
   (outcome, cert)
 
 (* ------------------------------------------------------------------ *)

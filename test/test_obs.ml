@@ -94,6 +94,30 @@ let test_histogram_stats () =
   (* 0.5 <= 1, 3 <= 4, 100 <= 128: three distinct non-empty buckets. *)
   Alcotest.(check int) "buckets" 3 (List.length s.Metrics.buckets)
 
+let test_metrics_multi_domain () =
+  fresh ();
+  Metrics.enable ();
+  let c = Metrics.counter "test.par.counter" in
+  let h = Metrics.histogram "test.par.histo" in
+  let domains = 4 and per_domain = 50_000 in
+  let worker () =
+    for i = 1 to per_domain do
+      Metrics.incr c;
+      if i mod 100 = 0 then Metrics.observe h (Float.of_int (i mod 7))
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join spawned;
+  (* Atomic counters: every increment lands, none are lost to races. *)
+  Alcotest.(check int) "no lost increments" (domains * per_domain)
+    (Metrics.value c);
+  let s = Metrics.histogram_stats h in
+  Alcotest.(check int) "no lost observations"
+    (domains * (per_domain / 100))
+    s.Metrics.count;
+  Alcotest.(check int) "bucket totals = count" s.Metrics.count
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Metrics.buckets)
+
 let test_metrics_snapshot_json () =
   fresh ();
   Metrics.enable ();
@@ -294,6 +318,8 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick
             test_counters_disabled_are_noops;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "multi-domain increments" `Quick
+            test_metrics_multi_domain;
           Alcotest.test_case "snapshot json" `Quick test_metrics_snapshot_json;
         ] );
       ( "spans",

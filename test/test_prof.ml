@@ -1,0 +1,321 @@
+(* Lepower_prof: phase attribution, heartbeats, folded stacks, report. *)
+
+module Phase = Lepower_prof.Phase
+module Heartbeat = Lepower_prof.Heartbeat
+module Folded = Lepower_prof.Folded
+module Report = Lepower_prof.Report
+module Json = Lepower_obs.Json
+module Span = Lepower_obs.Span
+
+let span ?(tid = 0) name start_us dur_us =
+  { Span.name; start_us; dur_us; tid; args = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Phase attribution.                                                  *)
+
+let with_phases f =
+  Phase.reset ();
+  Phase.enable ();
+  Fun.protect ~finally:(fun () -> Phase.disable (); Phase.reset ()) f
+
+let row name =
+  List.find_opt (fun r -> r.Phase.r_name = name) (Phase.rows ())
+
+let spin_ms ms =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < ms /. 1e3 do
+    ignore (Sys.opaque_identity (ref 0))
+  done
+
+let test_phase_disabled_noop () =
+  Phase.reset ();
+  let p = Phase.make "test.disabled" in
+  Phase.leave (Phase.enter p);
+  Alcotest.(check (list string))
+    "no rows recorded while disabled" []
+    (List.map (fun r -> r.Phase.r_name) (Phase.rows ()))
+
+let test_phase_self_vs_total () =
+  with_phases @@ fun () ->
+  let outer = Phase.make "test.outer" in
+  let inner = Phase.make "test.inner" in
+  Phase.with_phase outer (fun () ->
+      spin_ms 2.;
+      Phase.with_phase inner (fun () -> spin_ms 4.);
+      spin_ms 2.);
+  let o = Option.get (row "test.outer") in
+  let i = Option.get (row "test.inner") in
+  Alcotest.(check int) "outer calls" 1 o.Phase.r_calls;
+  Alcotest.(check int) "inner calls" 1 i.Phase.r_calls;
+  (* Self excludes the nested phase: outer self ~4ms of ~8ms total. *)
+  Alcotest.(check bool) "outer total >= inner total" true
+    (o.Phase.r_total_ns >= i.Phase.r_total_ns);
+  Alcotest.(check bool) "outer self < outer total" true
+    (o.Phase.r_self_ns < o.Phase.r_total_ns);
+  Alcotest.(check bool) "outer self excludes inner" true
+    (o.Phase.r_self_ns <= o.Phase.r_total_ns - i.Phase.r_self_ns);
+  Alcotest.(check bool) "inner leaf: self = total" true
+    (i.Phase.r_self_ns = i.Phase.r_total_ns);
+  (* Self times are disjoint, so their sum stays within the outer wall. *)
+  Alcotest.(check bool) "sum of self <= outer total" true
+    (Phase.self_total_ns () <= o.Phase.r_total_ns)
+
+let test_phase_unbalanced () =
+  with_phases @@ fun () ->
+  let outer = Phase.make "test.unb.outer" in
+  let leaked = Phase.make "test.unb.leaked" in
+  let after = Phase.make "test.unb.after" in
+  (* Enter a nested phase and never leave it; leaving the outer one must
+     close the orphan instead of corrupting the stack. *)
+  let t_outer = Phase.enter outer in
+  ignore (Phase.enter leaked : Phase.token);
+  Phase.leave t_outer;
+  (* Double-leave is a no-op. *)
+  Phase.leave t_outer;
+  Phase.with_phase after (fun () -> ());
+  let names = List.map (fun r -> r.Phase.r_name) (Phase.rows ()) in
+  Alcotest.(check bool) "orphan closed" true
+    (List.mem "test.unb.leaked" names);
+  let o = Option.get (row "test.unb.outer") in
+  let a = Option.get (row "test.unb.after") in
+  Alcotest.(check int) "outer recorded once" 1 o.Phase.r_calls;
+  Alcotest.(check int) "later phases unaffected" 1 a.Phase.r_calls
+
+let test_phase_exception () =
+  with_phases @@ fun () ->
+  let p = Phase.make "test.exn" in
+  (try Phase.with_phase p (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let r = Option.get (row "test.exn") in
+  Alcotest.(check int) "recorded despite raise" 1 r.Phase.r_calls
+
+let test_phase_json () =
+  with_phases @@ fun () ->
+  let p = Phase.make "test.json" in
+  Phase.with_phase p (fun () -> spin_ms 1.);
+  let doc = Phase.to_json ~wall_us:5000. () in
+  Alcotest.(check string) "type tag" "phases"
+    (match Json.member "type" doc with Some (Json.String s) -> s | _ -> "?");
+  match Json.member "rows" doc with
+  | Some (Json.List (Json.Obj fields :: _)) ->
+    Alcotest.(check bool) "row has name" true
+      (List.mem_assoc "name" fields && List.mem_assoc "self_us" fields)
+  | _ -> Alcotest.fail "rows missing"
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats.                                                         *)
+
+let test_heartbeat_interval_zero () =
+  let beats = ref [] in
+  let hb =
+    Heartbeat.create ~interval_s:0. ~emit:(fun d -> beats := d :: !beats) ()
+  in
+  for i = 1 to 3 do
+    Heartbeat.tick hb (fun () -> [ ("i", Json.Int i) ])
+  done;
+  let beats = List.rev !beats in
+  Alcotest.(check int) "every tick beats at interval 0" 3 (List.length beats);
+  List.iteri
+    (fun idx doc ->
+      Alcotest.(check int) "seq increments"
+        (idx + 1)
+        (match Json.member "seq" doc with Some (Json.Int s) -> s | _ -> -1);
+      Alcotest.(check string) "type tag" "heartbeat"
+        (match Json.member "type" doc with
+        | Some (Json.String s) -> s
+        | _ -> "?");
+      Alcotest.(check bool) "t_s present" true
+        (Json.member "t_s" doc <> None))
+    beats
+
+let test_heartbeat_rate_limit () =
+  let n = ref 0 in
+  let hb = Heartbeat.create ~interval_s:3600. ~emit:(fun _ -> incr n) () in
+  for _ = 1 to 100 do
+    Heartbeat.tick hb (fun () -> [])
+  done;
+  Alcotest.(check int) "not due: no beats" 0 !n;
+  Heartbeat.tick ~force:true hb (fun () -> []);
+  Alcotest.(check int) "force beats" 1 !n
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks.                                                      *)
+
+(* A known two-lane span layout whose folded rendering is pinned
+   byte-for-byte: lane 0 has run > walk > {step, step}; lane 1 has an
+   unrelated fuzz span. *)
+let folded_fixture () =
+  [
+    span "run" 0. 100.;
+    span "walk" 10. 80.;
+    span "step" 20. 10.;
+    span "step" 40. 10.;
+    span ~tid:1 "fuzz" 0. 30.;
+  ]
+
+let folded_expected =
+  [ "fuzz 30"; "run 20"; "run;walk 60"; "run;walk;step 20" ]
+
+let test_folded_fixture () =
+  Alcotest.(check (list string))
+    "folded lines byte-for-byte" folded_expected
+    (Folded.to_lines (folded_fixture ()))
+
+let test_folded_write_roundtrip () =
+  let path = Filename.temp_file "lepower_folded" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Folded.write path (folded_fixture ());
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check string)
+    "file round-trips byte-for-byte"
+    (String.concat "\n" folded_expected ^ "\n")
+    contents
+
+let test_folded_ill_nested () =
+  (* Overlapping spans (neither contains the other) must clip, not
+     crash, and self weights must stay non-negative with total weight
+     no more than the lane's real extent. *)
+  let spans =
+    [ span "a" 0. 60.; span "b" 30. 60.; span "c" 50. 100. ]
+  in
+  let lines = Folded.collapse spans in
+  List.iter
+    (fun (_, self) ->
+      Alcotest.(check bool) "self weight non-negative" true (self >= 0))
+    lines;
+  let total = List.fold_left (fun acc (_, s) -> acc + s) 0 lines in
+  Alcotest.(check bool) "clipped total within extent" true (total <= 150);
+  Alcotest.(check bool) "all stacks named" true
+    (List.for_all (fun (stack, _) -> stack <> "") lines)
+
+let test_folded_empty () =
+  Alcotest.(check (list string)) "no spans, no lines" [] (Folded.to_lines [])
+
+(* ------------------------------------------------------------------ *)
+(* Report.                                                             *)
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines)
+
+let render ?(require_phases = false) paths =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let r = Report.run ~require_phases ppf paths in
+  Format.pp_print_flush ppf ();
+  (r, Buffer.contents buf)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_report_from_stream () =
+  let path = Filename.temp_file "lepower_report" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write_lines path
+    [
+      {|{"type":"heartbeat","seq":1,"t_s":0.5,"kind":"explore","configs":100,"configs_per_s":200.0}|};
+      {|{"type":"heartbeat","seq":2,"t_s":1.0,"kind":"explore","configs":300,"configs_per_s":300.0}|};
+      {|{"type":"phases","rows":[{"name":"engine.step","calls":7,"self_us":400.0,"total_us":400.0,"minor_words":10,"major_words":0}],"wall_us":1000.0}|};
+    ];
+  let r, out = render ~require_phases:true [ path ] in
+  Alcotest.(check bool) "renders" true (r = Ok ());
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in report") true
+        (contains ~needle out))
+    [ "engine.step"; "heartbeat"; "configs" ]
+
+let test_report_require_phases_fails () =
+  let path = Filename.temp_file "lepower_report" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write_lines path [ {|{"type":"heartbeat","seq":1,"t_s":0.5,"runs":3}|} ];
+  let r, _ = render ~require_phases:true [ path ] in
+  Alcotest.(check bool) "no phase rows is an error" true (Result.is_error r)
+
+let test_report_rejects_garbage () =
+  let path = Filename.temp_file "lepower_report" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write_lines path [ "not json at all" ];
+  let r, _ = render [ path ] in
+  Alcotest.(check bool) "non-JSON line is an error" true (Result.is_error r)
+
+(* ------------------------------------------------------------------ *)
+(* Explore progress callbacks.                                         *)
+
+let test_explore_progress () =
+  (* Big enough that the 8192-config tick granularity fires many times
+     (the naive walk visits ~1M configurations here). *)
+  let instance = Protocols.Cas_election.instance ~k:8 ~n:7 in
+  let calls = ref 0 in
+  let last = ref 0 in
+  let monotone = ref true in
+  let progress (p : Runtime.Explore.progress) =
+    incr calls;
+    if p.Runtime.Explore.p_configs < !last then monotone := false;
+    last := p.Runtime.Explore.p_configs
+  in
+  match
+    Protocols.Election.explore_stats instance ~max_steps:10_000
+      ~options:
+        {
+          Runtime.Explore.Options.default with
+          crash_faults = true;
+          progress = Some progress;
+        }
+  with
+  | Error e -> Alcotest.fail ("explore violated: " ^ e)
+  | Ok stats ->
+    Alcotest.(check bool) "progress called" true (!calls > 0);
+    Alcotest.(check bool) "configs monotone" true !monotone;
+    Alcotest.(check bool) "counts stay within the final totals" true
+      (!last <= stats.Runtime.Explore.configs_visited)
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "phase",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_phase_disabled_noop;
+          Alcotest.test_case "self vs total under nesting" `Quick
+            test_phase_self_vs_total;
+          Alcotest.test_case "unbalanced enter/leave" `Quick
+            test_phase_unbalanced;
+          Alcotest.test_case "recorded despite exception" `Quick
+            test_phase_exception;
+          Alcotest.test_case "json document shape" `Quick test_phase_json;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "interval 0 beats every tick" `Quick
+            test_heartbeat_interval_zero;
+          Alcotest.test_case "rate limit and force" `Quick
+            test_heartbeat_rate_limit;
+        ] );
+      ( "folded",
+        [
+          Alcotest.test_case "fixture byte-for-byte" `Quick
+            test_folded_fixture;
+          Alcotest.test_case "file write round-trip" `Quick
+            test_folded_write_roundtrip;
+          Alcotest.test_case "ill-nested spans clip" `Quick
+            test_folded_ill_nested;
+          Alcotest.test_case "empty input" `Quick test_folded_empty;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "renders a mixed stream" `Quick
+            test_report_from_stream;
+          Alcotest.test_case "--require-phases without phases" `Quick
+            test_report_require_phases_fails;
+          Alcotest.test_case "rejects non-JSON lines" `Quick
+            test_report_rejects_garbage;
+        ] );
+      ( "explore-progress",
+        [
+          Alcotest.test_case "callback fires with monotone counts" `Quick
+            test_explore_progress;
+        ] );
+    ]
