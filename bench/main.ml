@@ -583,6 +583,8 @@ let e12_checked_workload ~instance ~crash_faults =
             configs_visited = 0;
             configs_deduped = 0;
             por_pruned = 0;
+            por_checks = 0;
+            por_fast_hits = 0;
             domains_used = domains;
           }
         in
@@ -1075,6 +1077,280 @@ let e15_prof () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E16: static analysis — what an effect summary costs to compute per  *)
+(* protocol (completeness, register footprints), and what the summary- *)
+(* seeded POR fast path buys the explorer.  Gates (exit 1): on the E12 *)
+(* cas workload the fast path must reproduce byte-identical check_all  *)
+(* verdicts and decision sets; on a composed workload of statically    *)
+(* disjoint election groups it must additionally land at least one     *)
+(* fast hit (the commuting pairs it exists for); and (full runs only)  *)
+(* it must not slow POR down past 25% even at a 0% hit rate.           *)
+
+let e16_analyze instance =
+  Lepower_static.Absint.analyze
+    ~bindings:instance.Protocols.Election.bindings
+    (List.init instance.Protocols.Election.n
+       instance.Protocols.Election.program)
+
+(* The lint examples grid, smallest instances: what `lepower lint
+   --static --protocol all` analyzes.  perm/multi are node-capped by
+   design (response fan-out), so their rows document the incomplete
+   case: no footprints, no certificates, presence evidence only. *)
+let e16_summary_table ~smoke =
+  let module Json = Lepower_obs.Json in
+  let module Summary = Lepower_static.Summary in
+  let instances =
+    [
+      Protocols.Cas_election.instance ~k:4 ~n:3;
+      Protocols.Bcl_election.instance ~k:4 ~n:3;
+      Protocols.Permutation_election.instance ~k:3 ~n:2;
+      Protocols.Multi_election.instance ~ks:[ 3; 2 ] ~n:2;
+    ]
+  in
+  let reps = if smoke then 3 else 20 in
+  Printf.printf "\n%-26s %10s %9s %7s %5s %9s\n" "protocol" "analyze"
+    "nodes" "passes" "regs" "complete";
+  List.map
+    (fun inst ->
+      let summary = e16_analyze inst in
+      let (), secs =
+        wall (fun () ->
+            for _ = 1 to reps do
+              ignore (e16_analyze inst)
+            done)
+      in
+      let ms = secs /. float_of_int reps *. 1e3 in
+      let regs = Summary.protocol_register_count summary in
+      Printf.printf "%-26s %8.3fms %9d %7d %5d %9s\n"
+        inst.Protocols.Election.name ms summary.Summary.nodes
+        summary.Summary.passes regs
+        (if summary.Summary.complete then "yes"
+         else String.concat "," summary.Summary.limits);
+      ( inst.Protocols.Election.name,
+        Json.Obj
+          [
+            ("analyze_ms", Json.Float ms);
+            ("nodes", Json.Int summary.Summary.nodes);
+            ("passes", Json.Int summary.Summary.passes);
+            ("registers", Json.Int regs);
+            ("complete", Json.Int (if summary.Summary.complete then 1 else 0));
+          ] ))
+    instances
+
+(* Location renaming builds the composed workload: [groups] copies of a
+   small cas election, each copy's locations prefixed so the copies are
+   statically disjoint — every cross-group process pair is exactly what
+   the fast matrix precomputes as commuting. *)
+let rec e16_rename f = function
+  | Runtime.Program.Done v -> Runtime.Program.Done v
+  | Runtime.Program.Step (loc, op, k) ->
+    Runtime.Program.Step (f loc, op, fun v -> e16_rename f (k v))
+
+let e16_disjoint_groups ~groups ~k ~n =
+  let base = Protocols.Cas_election.instance ~k ~n in
+  let tag g loc = Printf.sprintf "g%d.%s" g loc in
+  let gs = List.init groups Fun.id in
+  let bindings =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun (loc, spec) -> (tag g loc, spec))
+          base.Protocols.Election.bindings)
+      gs
+  in
+  let programs =
+    List.concat_map
+      (fun g ->
+        List.init n (fun pid ->
+            e16_rename (tag g) (base.Protocols.Election.program pid)))
+      gs
+  in
+  (bindings, programs)
+
+let e16_fastpath_row name (stats : Runtime.Explore.stats) secs =
+  Printf.printf "%-14s %9.3fs %10d %10d %11d %10d\n" name secs
+    stats.Runtime.Explore.configs_visited stats.Runtime.Explore.por_pruned
+    stats.Runtime.Explore.por_checks stats.Runtime.Explore.por_fast_hits
+
+let e16_hit_rate (stats : Runtime.Explore.stats) =
+  if stats.Runtime.Explore.por_checks = 0 then 0.
+  else
+    float_of_int stats.Runtime.Explore.por_fast_hits
+    /. float_of_int stats.Runtime.Explore.por_checks
+    *. 100.
+
+let e16_static ~smoke () =
+  let module Json = Lepower_obs.Json in
+  let module Summary = Lepower_static.Summary in
+  header
+    (Printf.sprintf "E16 static analysis (effect summaries + POR fast path)%s"
+       (if smoke then " [smoke]" else ""));
+  let protocol_rows = e16_summary_table ~smoke in
+  (* A/B on the E12 checked workload: dedup+por with and without the
+     summary-seeded footprints.  cas-election's processes all share one
+     location, so the honest expectation is a 0% hit rate — this leg
+     measures the fast path's overhead and proves agreement, not wins. *)
+  let instance =
+    if smoke then Protocols.Cas_election.instance ~k:6 ~n:5
+    else Protocols.Cas_election.instance ~k:8 ~n:7
+  in
+  let footprints =
+    match Summary.footprints (e16_analyze instance) with
+    | Some fp -> fp
+    | None ->
+      prerr_endline "E16: cas-election summary incomplete, no footprints";
+      exit 1
+  in
+  let opts fps =
+    {
+      Runtime.Explore.Options.default with
+      crash_faults = true;
+      dedup = true;
+      por = true;
+      footprints = fps;
+    }
+  in
+  Printf.printf "\n%s, crash_faults=true  (check_all, dedup+por)\n"
+    instance.Protocols.Election.name;
+  Printf.printf "%-14s %10s %10s %10s %11s %10s\n" "mode" "wall" "configs"
+    "pruned" "por_checks" "fast_hits";
+  let checked fps =
+    let result, secs =
+      wall (fun () ->
+          Protocols.Election.explore_stats instance ~max_steps:10_000
+            ~options:(opts fps))
+    in
+    (result, secs)
+  in
+  let base_result, base_secs = checked [||] in
+  let fast_result, fast_secs = checked footprints in
+  let verdict = function Ok _ -> "ok" | Error _ -> "VIOL" in
+  (match (base_result, fast_result) with
+  | Ok b, Ok f ->
+    e16_fastpath_row "por" b base_secs;
+    e16_fastpath_row "por+static" f fast_secs
+  | b, f ->
+    Printf.printf "por: %s, por+static: %s\n" (verdict b) (verdict f));
+  let verdicts_identical = verdict base_result = verdict fast_result in
+  let decisions fps =
+    Runtime.Explore.decision_sets
+      ~options:{ (opts fps) with max_steps = 10_000 }
+      (Protocols.Election.config instance)
+  in
+  let decisions_identical = decisions [||] = decisions footprints in
+  Printf.printf "check_all verdicts identical: %s, decision sets: %s\n"
+    (ok_or verdicts_identical) (ok_or decisions_identical);
+  let cas_hits, cas_checks, cas_rate =
+    match fast_result with
+    | Ok s ->
+      (s.Runtime.Explore.por_fast_hits, s.Runtime.Explore.por_checks,
+       e16_hit_rate s)
+    | Error _ -> (0, 0, 0.)
+  in
+  (* The composed workload: two statically disjoint election groups in
+     one configuration.  Cross-group pairs commute by footprint alone,
+     so here the matrix lookup replaces the exact per-move check. *)
+  let groups = 2 in
+  let bindings, programs = e16_disjoint_groups ~groups ~k:3 ~n:2 in
+  let dsummary = Lepower_static.Absint.analyze ~bindings programs in
+  let dfootprints =
+    match Summary.footprints dsummary with
+    | Some fp -> fp
+    | None ->
+      prerr_endline "E16: disjoint-groups summary incomplete, no footprints";
+      exit 1
+  in
+  let dconfig () = Runtime.Engine.init (Memory.Store.create bindings) programs in
+  let dopts fps =
+    {
+      Runtime.Explore.Options.default with
+      dedup = true;
+      por = true;
+      footprints = fps;
+    }
+  in
+  Printf.printf "\ndisjoint groups: %d x cas-election(k=3,n=2)  (plain explore, dedup+por)\n"
+    groups;
+  Printf.printf "%-14s %10s %10s %10s %11s %10s\n" "mode" "wall" "configs"
+    "pruned" "por_checks" "fast_hits";
+  let dexplore fps =
+    wall (fun () -> Runtime.Explore.explore ~options:(dopts fps) (dconfig ()))
+  in
+  let dbase, dbase_secs = dexplore [||] in
+  let dfast, dfast_secs = dexplore dfootprints in
+  e16_fastpath_row "por" dbase dbase_secs;
+  e16_fastpath_row "por+static" dfast dfast_secs;
+  let ddecisions fps =
+    Runtime.Explore.decision_sets ~options:(dopts fps) (dconfig ())
+  in
+  let ddecisions_identical = ddecisions [||] = ddecisions dfootprints in
+  let dhit = dfast.Runtime.Explore.por_fast_hits in
+  Printf.printf
+    "decision sets identical: %s, fast hits: %d of %d checks (%.1f%%)\n"
+    (ok_or ddecisions_identical) dhit dfast.Runtime.Explore.por_checks
+    (e16_hit_rate dfast);
+  let json =
+    Json.Obj
+      [
+        ("source", Json.String "bench/main.exe");
+        ("experiment", Json.String "E16");
+        ("smoke", Json.Bool smoke);
+        ("host_cores", Json.Int host_cores);
+        ("protocols", Json.Obj protocol_rows);
+        ( "por_fast_path",
+          Json.Obj
+            [
+              ( instance.Protocols.Election.name ^ " crash",
+                Json.Obj
+                  [
+                    ("por_wall_s", Json.Float base_secs);
+                    ("fast_wall_s", Json.Float fast_secs);
+                    ("por_checks", Json.Int cas_checks);
+                    ("fast_hits", Json.Int cas_hits);
+                    ("hit_rate_pct", Json.Float cas_rate);
+                  ] );
+              ( Printf.sprintf "disjoint-groups g%d cas-election(k=3,n=2)"
+                  groups,
+                Json.Obj
+                  [
+                    ("por_wall_s", Json.Float dbase_secs);
+                    ("fast_wall_s", Json.Float dfast_secs);
+                    ("por_checks", Json.Int dfast.Runtime.Explore.por_checks);
+                    ("fast_hits", Json.Int dhit);
+                    ("hit_rate_pct", Json.Float (e16_hit_rate dfast));
+                  ] );
+            ] );
+        ( "agreement",
+          Json.Obj
+            [
+              ("verdicts_identical", Json.Int (Bool.to_int verdicts_identical));
+              ( "decision_sets_identical",
+                Json.Int (Bool.to_int decisions_identical) );
+              ( "disjoint_decision_sets_identical",
+                Json.Int (Bool.to_int ddecisions_identical) );
+              ("disjoint_fast_hit", Json.Int (Bool.to_int (dhit > 0)));
+            ] );
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) "BENCH_static.json" in
+  Lepower_obs.Export.write_json path json;
+  Printf.printf "static JSON: %s\n" path;
+  if not (verdicts_identical && decisions_identical && ddecisions_identical)
+  then begin
+    prerr_endline "E16: footprint-seeded POR disagrees with exact POR";
+    exit 1
+  end;
+  if dhit = 0 then begin
+    prerr_endline "E16: no fast hit on statically disjoint groups";
+    exit 1
+  end;
+  if (not smoke) && base_secs > 0.05 && fast_secs > 1.25 *. base_secs
+  then begin
+    prerr_endline "E16: fast path slowed POR down by more than 25%";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifacts: alongside the tables above, emit        *)
 (* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
 (* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
@@ -1115,6 +1391,7 @@ let () =
   | [| _; "repro-smoke" |] -> e13_repro ~smoke:true ()
   | [| _; "fuzz-smoke" |] -> e14_fuzz ~smoke:true ()
   | [| _; "prof-smoke" |] -> e15_prof ()
+  | [| _; "static-smoke" |] -> e16_static ~smoke:true ()
   | [| _ |] ->
     e1_capacity ();
     e2_bcl ();
@@ -1131,10 +1408,12 @@ let () =
     e13_repro ~smoke:false ();
     e14_fuzz ~smoke:false ();
     e15_prof ();
+    e16_static ~smoke:false ();
     let micro_rows = micro_benchmarks () in
     write_bench_json micro_rows;
     print_newline ()
   | _ ->
     prerr_endline
-      "usage: main.exe [explore-smoke|repro-smoke|fuzz-smoke|prof-smoke]";
+      "usage: main.exe \
+       [explore-smoke|repro-smoke|fuzz-smoke|prof-smoke|static-smoke]";
     exit 2

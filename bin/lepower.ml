@@ -315,6 +315,17 @@ let explore_crash =
           "Let the adversary also fail-stop any process at every choice \
            point (the wait-free adversary; multiplies the schedule space).")
 
+let explore_static_por =
+  Arg.(
+    value & flag
+    & info [ "static-por" ]
+        ~doc:
+          "Seed --por with static effect summaries: processes whose \
+           footprints provably never conflict commute without per-move \
+           decoding (implies --por; verdicts and decision sets are \
+           identical).  Skipped with a note when the summary is \
+           incomplete (e.g. a retry-loop protocol).")
+
 (* Heartbeat payload for explore: the campaign vitals the ISSUE asks the
    stream to carry — throughput, reduction hit-rates, frontier size and
    (under --domains) the per-domain busy gauges. *)
@@ -356,8 +367,8 @@ let explore_hb_fields hb (p : Runtime.Explore.progress) =
   ]
   @ busy
 
-let explore k protocol n max_steps dedup por domains crash_faults trace_out
-    metrics_out prof progress progress_out interval folded_out =
+let explore k protocol n max_steps dedup por static_por domains crash_faults
+    trace_out metrics_out prof progress progress_out interval folded_out =
   let instance = election_instance ~k ~n protocol in
   Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
   with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
@@ -369,6 +380,23 @@ let explore k protocol n max_steps dedup por domains crash_faults trace_out
             Lepower_prof.Heartbeat.tick hb (fun () -> explore_hb_fields hb p))
           hb
       in
+      let footprints =
+        if not static_por then [||]
+        else
+          let summary =
+            Lepower_static.Absint.analyze
+              ~bindings:instance.Protocols.Election.bindings
+              (List.init instance.Protocols.Election.n
+                 instance.Protocols.Election.program)
+          in
+          match Lepower_static.Summary.footprints summary with
+          | Some fps -> fps
+          | None ->
+            Printf.printf
+              "static summary incomplete (%s): POR fast path disabled\n"
+              (String.concat ", " summary.Lepower_static.Summary.limits);
+            [||]
+      in
       match
         Protocols.Election.explore_stats instance ~max_steps
           ~options:
@@ -376,8 +404,9 @@ let explore k protocol n max_steps dedup por domains crash_faults trace_out
               Runtime.Explore.Options.default with
               crash_faults;
               dedup;
-              por;
+              por = por || static_por;
               domains;
+              footprints;
               progress = progress_cb;
             }
       with
@@ -413,6 +442,10 @@ let explore k protocol n max_steps dedup por domains crash_faults trace_out
           stats.Runtime.Explore.configs_deduped;
         Printf.printf "POR pruned moves:      %d\n"
           stats.Runtime.Explore.por_pruned;
+        if stats.Runtime.Explore.por_checks > 0 then
+          Printf.printf "POR fast-path hits:    %d of %d checks\n"
+            stats.Runtime.Explore.por_fast_hits
+            stats.Runtime.Explore.por_checks;
         Printf.printf "domains used:          %d\n"
           stats.Runtime.Explore.domains_used;
         (0, None)
@@ -430,9 +463,10 @@ let explore_cmd =
           explorer; the verdict is identical to the naive walk's.")
     Term.(
       const explore $ k_arg $ elect_protocol $ elect_n $ explore_max_steps
-      $ explore_dedup $ explore_por $ explore_domains $ explore_crash
-      $ trace_out_arg $ metrics_out_arg $ prof_arg $ progress_arg
-      $ progress_out_arg $ progress_interval_arg $ folded_out_arg)
+      $ explore_dedup $ explore_por $ explore_static_por $ explore_domains
+      $ explore_crash $ trace_out_arg $ metrics_out_arg $ prof_arg
+      $ progress_arg $ progress_out_arg $ progress_interval_arg
+      $ folded_out_arg)
 
 (* --- lint --- *)
 
@@ -496,6 +530,28 @@ let lint_max_steps =
     & opt (some int) None
     & info [ "max-steps" ] ~doc:"Per-execution step cap override.")
 
+let lint_static =
+  Arg.(
+    value & flag
+    & info [ "static" ]
+        ~doc:
+          "Run the static analysis plane (effect-summary abstract \
+           interpretation: static-swmr, static-k-bound, \
+           static-loop-bound, static-register-budget).  Alone, no \
+           schedule is executed at all; combined with --exhaustive or \
+           --seeds, both planes run, every execution is cross-checked \
+           against the summary, and a dynamic finding whose static \
+           counterpart already flagged the location is deduplicated.")
+
+let lint_register_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "register-budget" ] ~docv:"N"
+        ~doc:
+          "Fail when the protocol's static footprint needs more than \
+           $(docv) registers (with --static).")
+
 let lint_targets ~k ~n subject =
   let open Lepower_check in
   let protocol_name = function
@@ -556,8 +612,9 @@ let lint_hb_fields hb schedules =
     ("schedules_per_s", Json.Float rate);
   ]
 
-let lint k n subject rules seeds exhaustive max_steps jsonl_out repro_out
-    shrink metrics_out prof progress progress_out interval folded_out =
+let lint k n subject rules seeds exhaustive max_steps static register_budget
+    jsonl_out repro_out shrink metrics_out prof progress progress_out interval
+    folded_out =
   let open Lepower_check in
   with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
   @@ fun hb ->
@@ -565,6 +622,13 @@ let lint k n subject rules seeds exhaustive max_steps jsonl_out repro_out
   let mode =
     if exhaustive then Some Lint.Exhaustive
     else Option.map (fun s -> Lint.Sample s) seeds
+  in
+  (* --static alone is the pure static plane; an explicit execution
+     request (--exhaustive / --seeds) upgrades it to both planes. *)
+  let static_mode =
+    if not static then Lint.Static_off
+    else if exhaustive || seeds <> None then Lint.Static_and_dynamic
+    else Lint.Static_only
   in
   let recorded = ref None in
   let on_repro =
@@ -588,8 +652,8 @@ let lint k n subject rules seeds exhaustive max_steps jsonl_out repro_out
     List.map
       (fun t ->
         let r =
-          Lint.lint ?mode ?rules ?max_steps ~shrink ?on_repro
-            ?progress:progress_cb t
+          Lint.lint ?mode ~static:static_mode ?register_budget ?rules
+            ?max_steps ~shrink ?on_repro ?progress:progress_cb t
         in
         base := !scheds;
         r)
@@ -653,9 +717,10 @@ let lint_cmd =
           reported.")
     Term.(
       const lint $ k_arg $ elect_n $ lint_subject $ lint_rules $ lint_seeds
-      $ lint_exhaustive $ lint_max_steps $ lint_jsonl_out $ lint_repro_out
-      $ lint_shrink $ metrics_out_arg $ prof_arg $ progress_arg
-      $ progress_out_arg $ progress_interval_arg $ folded_out_arg)
+      $ lint_exhaustive $ lint_max_steps $ lint_static $ lint_register_budget
+      $ lint_jsonl_out $ lint_repro_out $ lint_shrink $ metrics_out_arg
+      $ prof_arg $ progress_arg $ progress_out_arg $ progress_interval_arg
+      $ folded_out_arg)
 
 (* --- fuzz --- *)
 

@@ -27,6 +27,7 @@ let target_of_instance ?(subject = Lepower_obs.Json.Null)
   }
 
 type mode = Auto | Exhaustive | Sample of int
+type static_mode = Static_off | Static_only | Static_and_dynamic
 
 (* Exhaustive interleaving search is only tractable when the whole system
    performs a handful of operations; beyond that we sample seeded random
@@ -40,8 +41,9 @@ let m_schedules = Lepower_obs.Metrics.counter "lint.schedules_analyzed"
 let m_findings = Lepower_obs.Metrics.counter "lint.findings"
 let ph_check = Lepower_prof.Phase.make "lint.check"
 
-let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
-    ?on_repro ?progress t =
+let lint ?(mode = Auto) ?(static = Static_off) ?static_options
+    ?register_budget ?rules ?max_nodes ?max_steps ?(shrink = false) ?on_repro
+    ?progress t =
   Lepower_obs.Metrics.incr m_targets;
   Lepower_obs.Span.with_span "lint.target"
     ~args:[ ("name", Lepower_obs.Json.String t.name) ]
@@ -49,6 +51,36 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
   let store = Memory.Store.create t.bindings in
   let n = List.length t.programs in
   let findings = ref [] in
+  (* The static plane: effect summaries, computed before (and, in
+     [Static_only], instead of) any execution. *)
+  let static_analysis =
+    match static with
+    | Static_off -> None
+    | Static_only | Static_and_dynamic ->
+      let options =
+        match static_options with
+        | Some o -> o
+        | None ->
+          (* A correct straight-line protocol must classify as [Bounded]
+             within its own budget; loops hit the cap regardless. *)
+          {
+            Lepower_static.Absint.default_options with
+            Lepower_static.Absint.depth_cap =
+              max Lepower_static.Absint.default_options
+                    .Lepower_static.Absint.depth_cap (2 * t.budget);
+          }
+      in
+      Some (Static_check.analyze ~options ~bounds:t.bounds ~bindings:t.bindings
+              t.programs)
+  in
+  let dynamic = static <> Static_only in
+  (match static_analysis with
+  | None -> ()
+  | Some a ->
+    findings :=
+      Static_check.findings ?register_budget ~name:t.name ~budget:t.budget
+        ~single_writer:t.single_writer ~bindings:t.bindings a
+      @ !findings);
   let max_proc_steps = ref 0 in
   let truncated = ref 0 in
   let schedules = ref 0 in
@@ -76,7 +108,17 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
     findings := fs @ !findings;
     match progress with Some f -> f !schedules | None -> ()
   in
-  let analyze config = note (findings_of config) config in
+  (* Soundness cross-check: every analyzed execution must stay inside the
+     effect summary (locations in footprints, states in Σ̂) — a violation
+     is an abstract-interpreter bug, not a protocol bug. *)
+  let soundness_of (config : Engine.config) =
+    match (static, static_analysis) with
+    | Static_and_dynamic, Some a ->
+      Static_check.soundness_findings ~name:t.name ~store
+        a.Static_check.summary (Engine.trace config)
+    | _ -> []
+  in
+  let analyze config = note (findings_of config @ soundness_of config) config in
   let exhaustive =
     match mode with
     | Exhaustive -> true
@@ -94,7 +136,8 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
          (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
          config.Engine.procs
   in
-  (if exhaustive then begin
+  (if not dynamic then ()
+   else if exhaustive then begin
      let max_steps =
        Option.value ~default:((t.budget * max n 1 * 2) + 8) max_steps
      in
@@ -170,8 +213,45 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
   (* Wait-freedom: the symbolic audit flags programs that admit an
      unbounded adversarial op sequence; executions corroborate (or
      refute) the flag — see Waitfree_check's doc on over-approximation. *)
+  let statically_waitfree =
+    (* The pre-pass: a complete summary whose every process is statically
+       bounded within budget subsumes the symbolic audit — the audit
+       walks the same trees against a (no larger) pooled responder, so it
+       could only confirm.  All-or-nothing: auditing a subset of
+       processes would see a differently-seeded response pool. *)
+    match static_analysis with
+    | Some a when a.Static_check.summary.Lepower_static.Summary.complete ->
+      let bounds_ok (p : Lepower_static.Summary.per_pid) =
+        match p.Lepower_static.Summary.op_bound with
+        | Lepower_static.Summary.Bounded b when b <= t.budget -> Some (p, b)
+        | Lepower_static.Summary.Bounded _ | Lepower_static.Summary.Unbounded
+          ->
+          None
+      in
+      let pids =
+        List.filter_map bounds_ok
+          a.Static_check.summary.Lepower_static.Summary.per_pid
+      in
+      if
+        List.length pids
+        = List.length a.Static_check.summary.Lepower_static.Summary.per_pid
+      then
+        Some
+          (List.map
+             (fun ((p : Lepower_static.Summary.per_pid), b) ->
+               (p.Lepower_static.Summary.pid, Waitfree_check.Bounded b))
+             pids)
+      else None
+    | _ -> None
+  in
   let audits =
-    Waitfree_check.audit_programs ?max_nodes ~store ~budget:t.budget t.programs
+    if not dynamic then []
+    else
+      match statically_waitfree with
+      | Some audits -> audits
+      | None ->
+        Waitfree_check.audit_programs ?max_nodes ~store ~budget:t.budget
+          t.programs
   in
   let corroborated = !truncated > 0 || !max_proc_steps > t.budget in
   List.iter
@@ -219,6 +299,33 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
       :: !findings;
   let findings =
     Finding.dedup !findings
+    |> (fun fs ->
+         (* Cross-plane dedup: when a static rule and its dynamic
+            counterpart flag the same location, the root cause is one —
+            keep the static finding (it carries the no-schedule-needed
+            evidence) and drop the corroborating dynamic one.  Only
+            active with the static plane on, so plain lint output is
+            untouched. *)
+         if static = Static_off then fs
+         else
+           let static_key (f : Finding.t) =
+             if String.length f.Finding.rule >= 7
+                && String.sub f.Finding.rule 0 7 = "static-"
+             then Some (f.Finding.rule, f.Finding.loc)
+             else None
+           in
+           let statics = List.filter_map static_key fs in
+           List.filter
+             (fun (f : Finding.t) ->
+               match Static_check.counterpart f.Finding.rule with
+               | Some s ->
+                 not
+                   (List.exists
+                      (fun (rule, loc) ->
+                        String.equal rule s && String.equal loc f.Finding.loc)
+                      statics)
+               | None -> true)
+             fs)
     |> List.filter (fun (f : Finding.t) ->
            match rules with
            | None -> true
@@ -234,13 +341,14 @@ let lint ?(mode = Auto) ?rules ?max_nodes ?max_steps ?(shrink = false)
           Report.schedules = !schedules;
           truncated = !truncated;
           max_proc_steps = !max_proc_steps;
-          exhaustive;
+          exhaustive = exhaustive && dynamic;
         };
     audits;
   }
 
-let lint_instance ?mode ?rules ?max_nodes ?max_steps ?subject instance =
-  lint ?mode ?rules ?max_nodes ?max_steps
+let lint_instance ?mode ?static ?rules ?max_nodes ?max_steps ?subject instance
+    =
+  lint ?mode ?static ?rules ?max_nodes ?max_steps
     (target_of_instance ?subject instance)
 
 (* --- seeded-bug fixtures ---------------------------------------------- *)

@@ -46,8 +46,25 @@ type mode =
   | Exhaustive
   | Sample of int  (** that many seeded random schedules *)
 
+(** The static analysis plane ({!Static_check}): *)
+type static_mode =
+  | Static_off  (** dynamic analyzers only (the default; output unchanged) *)
+  | Static_only
+      (** static rules only — no schedule is executed, no symbolic audit
+          runs; the report's [stats.schedules] is [0] *)
+  | Static_and_dynamic
+      (** both planes, plus: every analyzed execution is cross-checked
+          against the effect summary ([static-soundness]); a complete
+          summary with every process statically bounded within budget
+          replaces the symbolic wait-freedom audit (the pre-pass); and a
+          dynamic finding whose static counterpart flagged the same
+          location is dropped, so each root cause reports once *)
+
 val lint :
   ?mode:mode ->
+  ?static:static_mode ->
+  ?static_options:Lepower_static.Absint.options ->
+  ?register_budget:int ->
   ?rules:string list ->
   ?max_nodes:int ->
   ?max_steps:int ->
@@ -59,6 +76,13 @@ val lint :
 (** [rules] keeps only findings whose rule name is listed (default: all).
     [max_nodes] caps the symbolic audit ({!Waitfree_check.audit});
     [max_steps] overrides the per-execution step cap.
+
+    [static] (default [Static_off]) selects the {!static_mode};
+    [static_options] overrides the abstract interpreter's caps (default:
+    {!Lepower_static.Absint.default_options} with the depth cap raised
+    to at least twice the target's budget); [register_budget] turns the
+    register accountant's census into an error when the protocol's
+    static footprint exceeds it.
 
     [on_repro]: in sampled mode, every seeded run is recorded through
     {!Runtime.Repro.record}; the first {e failing} run (reportable
@@ -74,6 +98,7 @@ val lint :
 
 val lint_instance :
   ?mode:mode ->
+  ?static:static_mode ->
   ?rules:string list ->
   ?max_nodes:int ->
   ?max_steps:int ->

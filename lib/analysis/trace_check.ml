@@ -3,16 +3,22 @@ module Trace = Runtime.Trace
 module Op_codec = Objects.Op_codec
 
 (* Which mutation family does a spec's type_name promise?  [None] for
-   object types the checker has no model of (queues, LL/SC, …). *)
+   object types the checker has no model of. *)
 let expected_family type_name =
+  let has_prefix p =
+    String.length type_name >= String.length p
+    && String.sub type_name 0 (String.length p) = p
+  in
   if String.equal type_name "swmr-reg" || String.equal type_name "mwmr-reg"
   then Some "write"
-  else if String.length type_name >= 4 && String.sub type_name 0 4 = "cas("
-  then Some "cas"
+  else if has_prefix "cas(" then Some "cas"
   else if String.equal type_name "swap" then Some "swap"
   else if String.equal type_name "sticky" then Some "sticky-write"
-  else if String.length type_name >= 4 && String.sub type_name 0 4 = "rmw("
-  then Some "rmw"
+  else if has_prefix "rmw(" then Some "rmw"
+  else if String.equal type_name "queue" then Some "queue"
+  else if String.equal type_name "ll/sc" then Some "ll/sc"
+  else if String.equal type_name "test&set" then Some "test&set"
+  else if has_prefix "fetch&add" then Some "fetch&add"
   else None
 
 let is_register_type type_name =
@@ -43,7 +49,7 @@ let check ?(single_writer = []) ~store trace =
     || (match type_of loc with Some "swmr-reg" -> true | _ -> false)
   in
   let record_family loc kind =
-    let fam = Op_codec.kind_name kind in
+    let fam = Op_codec.family_name kind in
     let seen = Option.value ~default:[] (Hashtbl.find_opt families loc) in
     if not (List.exists (String.equal fam) seen) then begin
       Hashtbl.replace families loc (fam :: seen);
@@ -151,6 +157,12 @@ let check ?(single_writer = []) ~store trace =
            argument; replay in [Bounded_check] validates it. *)
         Hashtbl.replace last_mut loc
           { pid; value = e.Trace.result; clock }
+      | Op_codec.Ll | Op_codec.Sc _ | Op_codec.Enq _ | Op_codec.Deq
+      | Op_codec.Test_and_set | Op_codec.Reset | Op_codec.Fetch_add _ ->
+        (* Not register-like: these objects' responses are replay-checked
+           value by value in [Bounded_check]; no reads-from source to
+           track here. *)
+        ()
       | Op_codec.Other -> ())
     trace;
   Finding.dedup (List.rev !findings)

@@ -1,7 +1,7 @@
 module Value = Memory.Value
 module Program = Runtime.Program
 
-let fetch_add_op n = Value.pair (Value.sym "fetch&add") (Value.int n)
+let fetch_add_op = Op_codec.fetch_add_op
 
 let spec ?modulus () =
   let reduce v =
@@ -13,11 +13,11 @@ let spec ?modulus () =
     | Some m -> Printf.sprintf "fetch&add(mod %d)" m
   in
   let apply ~pid:_ state op =
-    match op with
-    | Value.Pair (Value.Sym "fetch&add", Value.Int n) ->
+    match Op_codec.classify op with
+    | Op_codec.Fetch_add n ->
       let current = Value.as_int state in
       Ok (Value.int (reduce (current + n)), state)
-    | Value.Sym "read" -> Ok (state, state)
+    | Op_codec.Read -> Ok (state, state)
     | _ -> Error ("fetch&add: bad operation " ^ Value.to_string op)
   in
   Memory.Spec.make ~type_name ~init:(Value.int 0) ~apply
@@ -29,5 +29,5 @@ let fetch_add loc n =
 
 let read loc =
   let open Program in
-  let* v = op loc (Value.sym "read") in
+  let* v = op loc Op_codec.read_op in
   return (Value.as_int v)

@@ -1,8 +1,8 @@
 module Value = Memory.Value
 module Program = Runtime.Program
 
-let ll_op = Value.sym "ll"
-let sc_op v = Value.pair (Value.sym "sc") v
+let ll_op = Op_codec.ll_op
+let sc_op = Op_codec.sc_op
 
 (* State: (value, linked pids).  A successful sc invalidates every link
    (including the writer's). *)
@@ -21,12 +21,12 @@ let spec ?values ~init () =
   if not (in_domain init) then invalid_arg "Llsc.spec: init outside domain";
   let apply ~pid state op =
     let value, linked = decode state in
-    match op with
-    | Value.Sym "ll" ->
+    match Op_codec.classify op with
+    | Op_codec.Ll ->
       let linked = if List.mem pid linked then linked else pid :: linked in
       Ok (encode value linked, value)
-    | Value.Sym "read" -> Ok (state, value)
-    | Value.Pair (Value.Sym "sc", v) ->
+    | Op_codec.Read -> Ok (state, value)
+    | Op_codec.Sc v ->
       if not (in_domain v) then
         Error ("ll/sc: value outside the domain: " ^ Value.to_string v)
       else if List.mem pid linked then Ok (encode v [], Value.bool true)
@@ -42,4 +42,4 @@ let sc loc v =
   let* r = op loc (sc_op v) in
   return (Value.as_bool r)
 
-let read loc = Program.op loc (Value.sym "read")
+let read loc = Program.op loc Op_codec.read_op

@@ -11,6 +11,13 @@ let cas_op ~expected ~desired = Value.triple (Value.sym "cas") expected desired
 let swap_op v = Value.pair (Value.sym "swap") v
 let sticky_write_op v = Value.pair (Value.sym "sticky-write") v
 let rmw_op name = Value.pair (Value.sym "rmw") (Value.sym name)
+let ll_op = Value.sym "ll"
+let sc_op v = Value.pair (Value.sym "sc") v
+let enq_op v = Value.pair (Value.sym "enq") v
+let deq_op = Value.sym "deq"
+let test_and_set_op = Value.sym "test&set"
+let reset_op = Value.sym "reset"
+let fetch_add_op n = Value.pair (Value.sym "fetch&add") (Value.int n)
 
 type kind =
   | Read
@@ -19,6 +26,13 @@ type kind =
   | Swap of Value.t
   | Sticky_write of Value.t
   | Rmw of string
+  | Ll
+  | Sc of Value.t
+  | Enq of Value.t
+  | Deq
+  | Test_and_set
+  | Reset
+  | Fetch_add of int
   | Other
 
 let classify op =
@@ -30,6 +44,13 @@ let classify op =
   | Value.Pair (Value.Sym "swap", v) -> Swap v
   | Value.Pair (Value.Sym "sticky-write", v) -> Sticky_write v
   | Value.Pair (Value.Sym "rmw", Value.Sym name) -> Rmw name
+  | Value.Sym "ll" -> Ll
+  | Value.Pair (Value.Sym "sc", v) -> Sc v
+  | Value.Pair (Value.Sym "enq", v) -> Enq v
+  | Value.Sym "deq" -> Deq
+  | Value.Sym "test&set" -> Test_and_set
+  | Value.Sym "reset" -> Reset
+  | Value.Pair (Value.Sym "fetch&add", Value.Int n) -> Fetch_add n
   | _ -> Other
 
 let decode_write op = match classify op with Write v -> Some v | _ -> None
@@ -45,11 +66,19 @@ let decode_sticky_write op =
   match classify op with Sticky_write v -> Some v | _ -> None
 
 let decode_rmw op = match classify op with Rmw name -> Some name | _ -> None
+let decode_sc op = match classify op with Sc v -> Some v | _ -> None
+let decode_enq op = match classify op with Enq v -> Some v | _ -> None
+
+let decode_fetch_add op =
+  match classify op with Fetch_add n -> Some n | _ -> None
+
 let is_read op = match classify op with Read -> true | _ -> false
 
 let is_mutation = function
   | Read -> false
   | Write _ | Cas _ | Swap _ | Sticky_write _ | Rmw _ -> true
+  (* [Ll] mutates the link set even though the value is untouched. *)
+  | Ll | Sc _ | Enq _ | Deq | Test_and_set | Reset | Fetch_add _ -> true
   | Other -> true
 
 let kind_name = function
@@ -59,4 +88,27 @@ let kind_name = function
   | Swap _ -> "swap"
   | Sticky_write _ -> "sticky-write"
   | Rmw _ -> "rmw"
+  | Ll -> "ll"
+  | Sc _ -> "sc"
+  | Enq _ -> "enq"
+  | Deq -> "deq"
+  | Test_and_set -> "test&set"
+  | Reset -> "reset"
+  | Fetch_add _ -> "fetch&add"
   | Other -> "other"
+
+let family_name = function
+  | Ll | Sc _ -> "ll/sc"
+  | Enq _ | Deq -> "queue"
+  | Test_and_set | Reset -> "test&set"
+  | k -> kind_name k
+
+(* The operation's argument value, when the invocation syntactically
+   carries the value it wants to install: what a static effect summary
+   can claim about written values without running the spec. *)
+let written_value = function
+  | Write v | Cas { desired = v; _ } | Swap v | Sticky_write v | Sc v
+  | Enq v ->
+    Some v
+  | Read | Rmw _ | Ll | Deq | Test_and_set | Reset | Fetch_add _ | Other ->
+    None

@@ -4,9 +4,9 @@
     and each module used to hand-roll both the encoder and the pattern
     match decoding it.  This module centralizes the encoding: the object
     specs decode through {!classify}, and the analysis layer
-    ([Lepower_check]) classifies trace events with the very same decoder,
-    so an object and its lint can never disagree about what an operation
-    means. *)
+    ([Lepower_check], [Lepower_static]) classifies trace events and step
+    programs with the very same decoder, so an object and its lint can
+    never disagree about what an operation means. *)
 
 module Value := Memory.Value
 
@@ -18,6 +18,13 @@ val cas_op : expected:Value.t -> desired:Value.t -> Value.t
 val swap_op : Value.t -> Value.t
 val sticky_write_op : Value.t -> Value.t
 val rmw_op : string -> Value.t
+val ll_op : Value.t
+val sc_op : Value.t -> Value.t
+val enq_op : Value.t -> Value.t
+val deq_op : Value.t
+val test_and_set_op : Value.t
+val reset_op : Value.t
+val fetch_add_op : int -> Value.t
 
 (** {1 Decoding} *)
 
@@ -29,7 +36,14 @@ type kind =
   | Swap of Value.t
   | Sticky_write of Value.t
   | Rmw of string
-  | Other  (** not one of the standard encodings (e.g. LL/SC, queue ops) *)
+  | Ll  (** load-linked: returns the value and links the caller *)
+  | Sc of Value.t  (** store-conditional of the value *)
+  | Enq of Value.t
+  | Deq
+  | Test_and_set
+  | Reset
+  | Fetch_add of int
+  | Other  (** not one of the standard encodings *)
 
 val classify : Value.t -> kind
 
@@ -40,11 +54,27 @@ val decode_cas : Value.t -> (Value.t * Value.t) option
 val decode_swap : Value.t -> Value.t option
 val decode_sticky_write : Value.t -> Value.t option
 val decode_rmw : Value.t -> string option
+val decode_sc : Value.t -> Value.t option
+val decode_enq : Value.t -> Value.t option
+val decode_fetch_add : Value.t -> int option
 val is_read : Value.t -> bool
 
 val is_mutation : kind -> bool
-(** Can the operation change the object's state?  [Read] cannot; [Other]
-    conservatively can. *)
+(** Can the operation change the object's state?  [Read] cannot; [Ll]
+    can (it mutates the link set); [Other] conservatively can. *)
 
 val kind_name : kind -> string
 (** Short tag for reports: ["read"], ["write"], ["cas"], … *)
+
+val family_name : kind -> string
+(** The operation family a mutation commits its location to, for the
+    op-type lint: paired operations of one object type share a family
+    ([Ll]/[Sc] are both ["ll/sc"], [Enq]/[Deq] both ["queue"],
+    [Test_and_set]/[Reset] both ["test&set"]); every other kind's family
+    is its {!kind_name}. *)
+
+val written_value : kind -> Value.t option
+(** The value the invocation syntactically carries and may install
+    ([Write]/[Cas]'s desired/[Swap]/[Sticky_write]/[Sc]/[Enq]); [None]
+    when the written value is state-dependent ([Rmw], [Fetch_add], …) or
+    the operation writes nothing. *)

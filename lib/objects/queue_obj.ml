@@ -1,16 +1,15 @@
 module Value = Memory.Value
 module Program = Runtime.Program
 
-let enq_op v = Value.pair (Value.sym "enq") v
-let deq_op = Value.sym "deq"
+let enq_op = Op_codec.enq_op
+let deq_op = Op_codec.deq_op
 
 let spec ?(init = []) () =
   let apply ~pid:_ state op =
     let items = Value.as_list state in
-    match op with
-    | Value.Pair (Value.Sym "enq", v) ->
-      Ok (Value.list (items @ [ v ]), Value.unit)
-    | Value.Sym "deq" -> (
+    match Op_codec.classify op with
+    | Op_codec.Enq v -> Ok (Value.list (items @ [ v ]), Value.unit)
+    | Op_codec.Deq -> (
       match items with
       | [] -> Ok (state, Value.option None)
       | x :: rest -> Ok (Value.list rest, Value.option (Some x)))

@@ -1,15 +1,15 @@
 module Value = Memory.Value
 module Program = Runtime.Program
 
-let test_and_set_op = Value.sym "test&set"
-let reset_op = Value.sym "reset"
+let test_and_set_op = Op_codec.test_and_set_op
+let reset_op = Op_codec.reset_op
 
 let spec () =
   let apply ~pid:_ state op =
-    match op with
-    | Value.Sym "test&set" -> Ok (Value.bool true, state)
-    | Value.Sym "reset" -> Ok (Value.bool false, Value.unit)
-    | Value.Sym "read" -> Ok (state, state)
+    match Op_codec.classify op with
+    | Op_codec.Test_and_set -> Ok (Value.bool true, state)
+    | Op_codec.Reset -> Ok (Value.bool false, Value.unit)
+    | Op_codec.Read -> Ok (state, state)
     | _ -> Error ("test&set: bad operation " ^ Value.to_string op)
   in
   Memory.Spec.make ~type_name:"test&set" ~init:(Value.bool false) ~apply
@@ -26,5 +26,5 @@ let reset loc =
 
 let read loc =
   let open Program in
-  let* v = op loc (Value.sym "read") in
+  let* v = op loc Op_codec.read_op in
   return (Value.as_bool v)

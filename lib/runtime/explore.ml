@@ -6,6 +6,8 @@ type stats = {
   configs_visited : int;
   configs_deduped : int;
   por_pruned : int;
+  por_checks : int;
+  por_fast_hits : int;
   domains_used : int;
 }
 
@@ -17,6 +19,8 @@ let m_terminals = Lepower_obs.Metrics.counter "explore.terminals"
 let m_truncated = Lepower_obs.Metrics.counter "explore.truncated"
 let m_deduped = Lepower_obs.Metrics.counter "explore.configs_deduped"
 let m_por_pruned = Lepower_obs.Metrics.counter "explore.por_pruned"
+let m_por_checks = Lepower_obs.Metrics.counter "explore.por_checks"
+let m_por_fast_hits = Lepower_obs.Metrics.counter "explore.por_fast_hits"
 
 (* Phase attribution (no-ops unless Lepower_prof.Phase is enabled):
    [explore.walk] carries the traversal residual; fingerprint/dedup and
@@ -51,6 +55,7 @@ module Options = struct
     dedup : bool;
     por : bool;
     domains : int;
+    footprints : (string list * string list) array;
     analyze : (Engine.config -> unit) option;
     on_terminal : (Engine.config -> unit) option;
     on_truncated : (Engine.config -> unit) option;
@@ -64,6 +69,7 @@ module Options = struct
       dedup = false;
       por = false;
       domains = 1;
+      footprints = [||];
       analyze = None;
       on_terminal = None;
       on_truncated = None;
@@ -115,6 +121,28 @@ let independent config m1 m2 =
   | None, _ | _, None -> true
   | Some (l1, r1), Some (l2, r2) -> (not (String.equal l1 l2)) || (r1 && r2)
 
+(* Summary-seeded commutation matrix (the POR fast path): [m.(p).(q)] is
+   [true] when processes [p] and [q] commute at {e every} configuration —
+   neither's static may-write set meets the other's footprint, so any
+   location both touch is read by both.  A sufficient condition only:
+   [false] entries fall back to the per-move [independent] check, so an
+   over-approximating footprint can cost precision but never soundness. *)
+let fast_matrix footprints =
+  let n = Array.length footprints in
+  if n = 0 then None
+  else
+    let module Ss = Set.Make (String) in
+    let writes = Array.map (fun (_, w) -> Ss.of_list w) footprints in
+    let foot =
+      Array.mapi (fun i (r, _) -> Ss.union (Ss.of_list r) writes.(i)) footprints
+    in
+    Some
+      (Array.init n (fun p ->
+           Array.init n (fun q ->
+               p <> q
+               && Ss.is_empty (Ss.inter writes.(p) foot.(q))
+               && Ss.is_empty (Ss.inter writes.(q) foot.(p)))))
+
 let sleep_mem m sleep = List.exists (move_equal m) sleep
 let sleep_subset a b = List.for_all (fun m -> sleep_mem m b) a
 let sleep_inter a b = List.filter (fun m -> sleep_mem m b) a
@@ -127,6 +155,7 @@ type opts = {
   o_crash_faults : bool;
   o_dedup : bool;
   o_por : bool;
+  o_fast : bool array array option;
 }
 
 let opts_of (options : Options.t) =
@@ -135,6 +164,7 @@ let opts_of (options : Options.t) =
     o_crash_faults = options.Options.crash_faults;
     o_dedup = options.Options.dedup;
     o_por = options.Options.por;
+    o_fast = fast_matrix options.Options.footprints;
   }
 
 type acc = {
@@ -145,6 +175,8 @@ type acc = {
   mutable a_configs : int;
   mutable a_deduped : int;
   mutable a_pruned : int;
+  mutable a_por_checks : int;
+  mutable a_fast : int;
 }
 
 let acc_create () =
@@ -156,6 +188,8 @@ let acc_create () =
     a_configs = 0;
     a_deduped = 0;
     a_pruned = 0;
+    a_por_checks = 0;
+    a_fast = 0;
   }
 
 let acc_merge into from =
@@ -165,7 +199,9 @@ let acc_merge into from =
   into.a_choice_points <- into.a_choice_points + from.a_choice_points;
   into.a_configs <- into.a_configs + from.a_configs;
   into.a_deduped <- into.a_deduped + from.a_deduped;
-  into.a_pruned <- into.a_pruned + from.a_pruned
+  into.a_pruned <- into.a_pruned + from.a_pruned;
+  into.a_por_checks <- into.a_por_checks + from.a_por_checks;
+  into.a_fast <- into.a_fast + from.a_fast
 
 let initial_histories (config : Engine.config) =
   Array.make (Array.length config.Engine.procs) Fingerprint.history_empty
@@ -258,7 +294,18 @@ let explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal ~on_truncated
                   let tok = Lepower_prof.Phase.enter ph_por in
                   let kept =
                     List.filter
-                      (fun m' -> independent config m' m)
+                      (fun m' ->
+                        acc.a_por_checks <- acc.a_por_checks + 1;
+                        let p = move_pid m' and q = move_pid m in
+                        match opts.o_fast with
+                        | Some fast
+                          when p <> q
+                               && p < Array.length fast
+                               && q < Array.length fast
+                               && fast.(p).(q) ->
+                          acc.a_fast <- acc.a_fast + 1;
+                          true
+                        | _ -> independent config m' m)
                       (List.rev_append explored sleep)
                   in
                   Lepower_prof.Phase.leave tok;
@@ -410,7 +457,9 @@ let pshared_publish ps ~last (wacc : acc) =
   last.a_choice_points <- wacc.a_choice_points;
   last.a_configs <- wacc.a_configs;
   last.a_deduped <- wacc.a_deduped;
-  last.a_pruned <- wacc.a_pruned
+  last.a_pruned <- wacc.a_pruned;
+  last.a_por_checks <- wacc.a_por_checks;
+  last.a_fast <- wacc.a_fast
 
 let pshared_progress ps ~domains =
   {
@@ -539,6 +588,8 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
     Lepower_obs.Metrics.incr m_truncated ~by:acc.a_truncated;
     Lepower_obs.Metrics.incr m_deduped ~by:acc.a_deduped;
     Lepower_obs.Metrics.incr m_por_pruned ~by:acc.a_pruned;
+    Lepower_obs.Metrics.incr m_por_checks ~by:acc.a_por_checks;
+    Lepower_obs.Metrics.incr m_por_fast_hits ~by:acc.a_fast;
     {
       terminals = acc.a_terminals;
       truncated = acc.a_truncated;
@@ -547,6 +598,8 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
       configs_visited = acc.a_configs;
       configs_deduped = acc.a_deduped;
       por_pruned = acc.a_pruned;
+      por_checks = acc.a_por_checks;
+      por_fast_hits = acc.a_fast;
       domains_used;
     }
   in

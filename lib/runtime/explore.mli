@@ -62,6 +62,12 @@ type stats = {
       (** revisits pruned by [dedup] memoization (0 unless enabled) *)
   por_pruned : int;
       (** sibling moves skipped by [por] sleep sets (0 unless enabled) *)
+  por_checks : int;
+      (** independence queries the [por] sleep-set filter made (0 unless
+          enabled) *)
+  por_fast_hits : int;
+      (** queries answered by the summary-seeded commutation matrix alone
+          — no per-move decoding (0 unless {!Options.t.footprints} given) *)
   domains_used : int;  (** worker domains that actually ran (1 if serial) *)
 }
 
@@ -99,6 +105,20 @@ module Options : sig
     dedup : bool;  (** fingerprint memoization (default [false]) *)
     por : bool;  (** sleep-set partial-order reduction (default [false]) *)
     domains : int;  (** worker domains (default [1] = sequential) *)
+    footprints : (string list * string list) array;
+        (** per-pid static (may-read, may-write) location lists, indexed
+            by pid — seeds a pairwise commutation matrix giving [por] a
+            fast path: processes whose footprints never conflict (no
+            may-write meets the other's footprint) commute at every
+            configuration, so their independence queries skip the
+            per-move program decoding.  {b Soundness requirement}: each
+            entry must {e over}-approximate every location that process
+            can ever touch / mutate (e.g. {!Lepower_static.Summary}'s
+            [footprints] of a [complete] analysis); the matrix is used as
+            a sufficient condition only, so a [false] entry merely falls
+            back to the exact check.  [[||]] (the default) disables the
+            fast path; verdicts, decision sets, and pruning decisions are
+            identical either way. *)
     analyze : (Engine.config -> unit) option;
         (** analysis hook: runs on every {e terminal} configuration,
             before [on_terminal].  It exists so whole-space checkers
@@ -120,9 +140,9 @@ module Options : sig
 
   val default : t
   (** [{max_steps = 10_000; crash_faults = false; dedup = false;
-      por = false; domains = 1; analyze = None; on_terminal = None;
-      on_truncated = None; progress = None}] — the naive exhaustive
-      walk, exactly. *)
+      por = false; domains = 1; footprints = [||]; analyze = None;
+      on_terminal = None; on_truncated = None; progress = None}] — the
+      naive exhaustive walk, exactly. *)
 end
 
 val explore : ?options:Options.t -> Engine.config -> stats

@@ -1,0 +1,192 @@
+module Value = Memory.Value
+module Spec = Memory.Spec
+module Program = Runtime.Program
+module Op_codec = Objects.Op_codec
+module Vset = Set.Make (Value)
+module Sset = Summary.Sset
+
+type options = {
+  value_cap : int;
+  depth_cap : int;
+  node_cap : int;
+  max_passes : int;
+}
+
+let default_options =
+  { value_cap = 12; depth_cap = 64; node_cap = 50_000; max_passes = 8 }
+
+(* Mutable per-process accumulator; monotone across fixpoint passes. *)
+type acc = {
+  mutable reads : Sset.t;
+  mutable writes : Sset.t;
+  written : (string, Absval.t) Hashtbl.t;
+  mutable deepest : int;
+  mutable terminates : bool;
+  mutable depth_capped : bool;
+  mutable node_capped : bool;
+  mutable pass_nodes : int;
+}
+
+let fresh_acc () =
+  {
+    reads = Sset.empty;
+    writes = Sset.empty;
+    written = Hashtbl.create 8;
+    deepest = 0;
+    terminates = false;
+    depth_capped = false;
+    node_capped = false;
+    pass_nodes = 0;
+  }
+
+let analyze ?(options = default_options) ~bindings programs =
+  let store = Memory.Store.create bindings in
+  (* The pooled abstract store: every state any process's walk has ever
+     produced, seeded lazily with initial values (the same shape as
+     [Waitfree_check.store_responder]'s pool).  [version] bumps on growth
+     so the fixpoint loop can detect convergence. *)
+  let pool : (string, Vset.t) Hashtbl.t = Hashtbl.create 16 in
+  let widened : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let version = ref 0 in
+  let total_nodes = ref 0 in
+  let states loc =
+    match Hashtbl.find_opt pool loc with
+    | Some s -> s
+    | None ->
+      let s =
+        match Memory.Store.peek store loc with
+        | Some init -> Vset.singleton init
+        | None -> Vset.empty
+      in
+      Hashtbl.replace pool loc s;
+      s
+  in
+  let pool_add loc state' =
+    let s = states loc in
+    if not (Vset.mem state' s) then
+      if Vset.cardinal s >= options.value_cap then
+        (* Stop growing the pool (keeps the fixpoint finite); the location
+           reports ⊤ in Σ̂ and the summary is marked incomplete. *)
+        Hashtbl.replace widened loc ()
+      else begin
+        Hashtbl.replace pool loc (Vset.add state' s);
+        incr version
+      end
+  in
+  let walk pid (a : acc) prog =
+    a.pass_nodes <- 0;
+    let rec go prog depth =
+      if depth > a.deepest then a.deepest <- depth;
+      match prog with
+      | Program.Done _ -> a.terminates <- true
+      | Program.Step (loc, op, k) ->
+        if depth >= options.depth_cap then a.depth_capped <- true
+        else begin
+          let mutates = Op_codec.is_mutation (Op_codec.classify op) in
+          if mutates then a.writes <- Sset.add loc a.writes
+          else a.reads <- Sset.add loc a.reads;
+          match Memory.Store.spec_of store loc with
+          | None -> () (* unknown location: the engine faults the process *)
+          | Some spec ->
+            let responses = ref Vset.empty in
+            Vset.iter
+              (fun state ->
+                match Spec.apply spec ~pid state op with
+                | Error _ -> ()
+                | Ok (state', resp) ->
+                  pool_add loc state';
+                  if mutates then begin
+                    let w =
+                      Option.value ~default:Absval.empty
+                        (Hashtbl.find_opt a.written loc)
+                    in
+                    Hashtbl.replace a.written loc
+                      (Absval.add ~cap:options.value_cap state' w)
+                  end;
+                  responses := Vset.add resp !responses)
+              (states loc);
+            Vset.iter
+              (fun resp ->
+                if not a.node_capped then begin
+                  a.pass_nodes <- a.pass_nodes + 1;
+                  incr total_nodes;
+                  if a.pass_nodes > options.node_cap then a.node_capped <- true
+                  else
+                    match k resp with
+                    | exception _ ->
+                      (* Same contract as the wait-freedom auditor: a
+                         raising continuation either faults the process or
+                         only arises from pooled state combinations no real
+                         execution produces; the path ends here. *)
+                      ()
+                    | next -> go next (depth + 1)
+                end)
+              !responses
+        end
+    in
+    go prog 0
+  in
+  let n = List.length programs in
+  let accs = Array.init n (fun _ -> fresh_acc ()) in
+  let passes = ref 0 in
+  let converged = ref false in
+  (try
+     for _ = 1 to options.max_passes do
+       incr passes;
+       let v0 = !version in
+       List.iteri (fun pid prog -> walk pid accs.(pid) prog) programs;
+       if !version = v0 then begin
+         converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let limits = ref [] in
+  let limit fmt = Printf.ksprintf (fun s -> limits := s :: !limits) fmt in
+  if not !converged then limit "passes-cap:%d" options.max_passes;
+  Hashtbl.iter (fun loc () -> limit "value-cap:%s" loc) widened;
+  Array.iteri
+    (fun pid a ->
+      if a.depth_capped then limit "depth-cap:p%d" pid;
+      if a.node_capped then limit "node-cap:p%d" pid)
+    accs;
+  let limits = List.sort compare !limits in
+  let sigma =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map
+         (fun loc ->
+           if Hashtbl.mem widened loc then (loc, Absval.top)
+           else
+             ( loc,
+               Vset.fold
+                 (fun v a -> Absval.add ~cap:options.value_cap v a)
+                 (states loc) Absval.empty ))
+         (Memory.Store.locs store))
+  in
+  let per_pid =
+    List.init n (fun pid ->
+        let a = accs.(pid) in
+        {
+          Summary.pid;
+          may_read = a.reads;
+          may_write = a.writes;
+          written =
+            List.sort
+              (fun (x, _) (y, _) -> String.compare x y)
+              (Hashtbl.fold (fun l v l' -> (l, v) :: l') a.written []);
+          op_bound =
+            (if a.depth_capped then Summary.Unbounded
+             else Summary.Bounded a.deepest);
+          terminates = a.terminates;
+          node_capped = a.node_capped;
+        })
+  in
+  {
+    Summary.per_pid;
+    sigma;
+    complete = limits = [];
+    passes = !passes;
+    nodes = !total_nodes;
+    limits;
+  }

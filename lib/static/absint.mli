@@ -1,0 +1,46 @@
+(** Effect-summary abstract interpretation over step programs.
+
+    The interpreter walks each process's {!Runtime.Program.prim} tree the
+    way {!Lepower_check.Waitfree_check} does — it cannot enumerate a
+    continuation's branches without feeding it responses, so it feeds
+    every response the object's sequential spec can produce from a
+    {e pooled} abstract store (every state the analysis has ever seen any
+    process produce, initial values included).  The pool is shared across
+    processes and passes; walks repeat until the pool stops growing
+    (a fixpoint) or {!options.max_passes} is hit.
+
+    The pooled store over-approximates every concrete execution by
+    induction: initially it holds exactly the initial states, and any
+    operation a real schedule could perform is applied here from a
+    superset of the states it could see, so its produced state and
+    response are pooled too.  Hence, when the fixpoint converges with no
+    cap hit ({!Summary.t.complete}), the summary's may-sets and Σ̂ contain
+    every location / state a real execution can touch or produce.
+
+    Three caps keep the walk finite, and hitting {e any} of them clears
+    [complete]:
+
+    - [value_cap]: per-location pooled-state cardinality; past it the
+      location widens to ⊤ in Σ̂ (unbounded-state objects: logs, queues);
+    - [depth_cap]: operations along one path; past it the process is
+      [Unbounded] (syntactic retry loop);
+    - [node_cap]: interpreter nodes per process per pass (defence against
+      exponential response fan-out). *)
+
+type options = {
+  value_cap : int;  (** abstract states per location before ⊤ (default 12) *)
+  depth_cap : int;  (** ops along one path before [Unbounded] (default 64) *)
+  node_cap : int;  (** nodes per process per pass (default 50_000) *)
+  max_passes : int;  (** fixpoint iteration cap (default 8) *)
+}
+
+val default_options : options
+
+val analyze :
+  ?options:options ->
+  bindings:(string * Memory.Spec.t) list ->
+  Runtime.Program.prim list ->
+  Summary.t
+(** [analyze ~bindings programs] — processes get pids [0 .. n-1] in list
+    order, mirroring {!Runtime.Engine.init}.  Pure: runs no schedule,
+    touches no engine state. *)

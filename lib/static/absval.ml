@@ -1,0 +1,40 @@
+module Value = Memory.Value
+module Vset = Set.Make (Value)
+
+type t = Top | Set of Vset.t
+
+let empty = Set Vset.empty
+let top = Top
+let singleton v = Set (Vset.singleton v)
+
+let widen ~cap = function
+  | Top -> Top
+  | Set s when Vset.cardinal s > cap -> Top
+  | a -> a
+
+let add ~cap v = function
+  | Top -> Top
+  | Set s -> widen ~cap (Set (Vset.add v s))
+
+let join ~cap a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Set x, Set y -> widen ~cap (Set (Vset.union x y))
+
+let mem v = function Top -> true | Set s -> Vset.mem v s
+let cardinal = function Top -> None | Set s -> Some (Vset.cardinal s)
+let is_top = function Top -> true | Set _ -> false
+let elements = function Top -> None | Set s -> Some (Vset.elements s)
+
+let equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Set x, Set y -> Vset.equal x y
+  | Top, Set _ | Set _, Top -> false
+
+let pp ppf = function
+  | Top -> Fmt.string ppf "⊤"
+  | Set s ->
+    Fmt.pf ppf "{%a}"
+      Fmt.(list ~sep:(any ", ") Value.pp)
+      (Vset.elements s)

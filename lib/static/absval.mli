@@ -1,0 +1,41 @@
+(** Abstract value domain for the effect-summary interpreter.
+
+    An abstract value over-approximates the set of concrete {!Memory.Value}
+    states a location may hold: either a finite set, or ⊤ (any value) once
+    a configurable cardinality cap is passed.  Widening to ⊤ keeps the
+    fixpoint computation in {!Absint} finite on objects whose state grows
+    without bound (append-only logs, queues). *)
+
+module Value := Memory.Value
+
+type t
+(** A finite set of values, or ⊤. *)
+
+val empty : t
+(** The empty set — the bottom of the domain. *)
+
+val top : t
+(** ⊤: every value. *)
+
+val singleton : Value.t -> t
+
+val add : cap:int -> Value.t -> t -> t
+(** [add ~cap v a] adds [v]; the result widens to ⊤ when its cardinality
+    would exceed [cap]. *)
+
+val join : cap:int -> t -> t -> t
+(** Set union, widening to ⊤ past [cap]. *)
+
+val mem : Value.t -> t -> bool
+(** Abstract membership — always [true] on ⊤. *)
+
+val cardinal : t -> int option
+(** [None] on ⊤. *)
+
+val is_top : t -> bool
+
+val elements : t -> Value.t list option
+(** The concrete values, sorted; [None] on ⊤. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+module Sset = Summary.Sset
+
+type t = {
+  per_pid : (int * int) list;
+  total : int;
+  bound : int;
+  unused : string list;
+}
+
+let count ~bindings summary =
+  let union = Summary.protocol_footprint summary in
+  {
+    per_pid =
+      List.map
+        (fun (p : Summary.per_pid) ->
+          (p.Summary.pid, Summary.register_count p))
+        summary.Summary.per_pid;
+    total = Sset.cardinal union;
+    bound = List.length bindings;
+    unused =
+      List.filter_map
+        (fun (loc, _) -> if Sset.mem loc union then None else Some loc)
+        bindings
+      |> List.sort String.compare;
+  }
+
+let over_budget t ~budget = t.total > budget
+
+let pp ppf t =
+  Fmt.pf ppf "%d registers (%d bound%s) — per process: %a" t.total t.bound
+    (match t.unused with
+    | [] -> ""
+    | u -> Printf.sprintf ", %d unused" (List.length u))
+    Fmt.(list ~sep:(any ", ") (fun ppf (p, c) -> pf ppf "p%d:%d" p c))
+    t.per_pid

@@ -1,0 +1,22 @@
+(** The register accountant: how many shared objects a protocol actually
+    needs, counted from static footprints.
+
+    The paper's constructions are measured in the number (and size) of
+    bounded registers they consume; the accountant reports the static
+    footprint of each process and of the whole protocol, and flags
+    bindings no process can ever touch (allocated but unreachable). *)
+
+type t = {
+  per_pid : (int * int) list;  (** pid, footprint size; pid order *)
+  total : int;  (** distinct locations in the union of all footprints *)
+  bound : int;  (** locations the store actually binds *)
+  unused : string list;
+      (** bound locations outside every process's footprint, sorted *)
+}
+
+val count : bindings:(string * Memory.Spec.t) list -> Summary.t -> t
+
+val over_budget : t -> budget:int -> bool
+(** [total > budget]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type cert = {
+  loc : string;
+  type_name : string;
+  khat : int option;
+  non_init : int option;
+  bound : int option;
+  violated : bool;
+}
+
+(* "cas(7)" -> Some 7 (same parse as [Bounded_check.cas_size]). *)
+let cas_size type_name =
+  if String.length type_name > 5 && String.sub type_name 0 4 = "cas(" then
+    int_of_string_opt (String.sub type_name 4 (String.length type_name - 5))
+  else None
+
+let certify ?(bounds = []) ~bindings summary =
+  List.map
+    (fun (loc, (spec : Memory.Spec.t)) ->
+      let type_name = spec.Memory.Spec.type_name in
+      let sigma =
+        Option.value ~default:Absval.empty (Summary.sigma_of summary loc)
+      in
+      let khat = Absval.cardinal sigma in
+      let non_init =
+        match khat with
+        | None -> None
+        | Some k ->
+          Some (if Absval.mem spec.Memory.Spec.init sigma then k - 1 else k)
+      in
+      let declared = List.assoc_opt loc bounds in
+      let intrinsic = cas_size type_name in
+      let bound =
+        match (declared, intrinsic) with
+        | Some k, _ -> Some k
+        | None, Some k -> Some k
+        | None, None -> None
+      in
+      let violated =
+        match (bound, intrinsic) with
+        | None, _ -> false
+        | Some k, Some _ ->
+          (* cas alphabet: ⊥ plus k−1 symbols. *)
+          (match non_init with Some c -> c > k - 1 | None -> false)
+        | Some k, None ->
+          (* Declared bound on a type without an intrinsic alphabet counts
+             every distinct value, initial included. *)
+          (match khat with Some c -> c > k | None -> false)
+      in
+      { loc; type_name; khat; non_init; bound; violated })
+    bindings

@@ -1,0 +1,36 @@
+(** Static k-bound certificates.
+
+    The dynamic bounded-value lint ({!Lepower_check.Bounded_check})
+    certifies one execution's value timeline; this module certifies the
+    {e abstract} store Σ̂ of a {!Summary.t} against the same bounds — over
+    every execution at once, without running any.  The counting mirrors
+    the dynamic rule exactly: a [cas(k)] location may hold at most [k−1]
+    distinct non-⊥ values (⊥ being its initial state), and a location
+    with only a declared bound [k] may hold at most [k] distinct values,
+    initial included. *)
+
+type cert = {
+  loc : string;
+  type_name : string;
+  khat : int option;
+      (** distinct abstract states, initial value included; [None] = ⊤ *)
+  non_init : int option;
+      (** distinct abstract states other than the initial value *)
+  bound : int option;
+      (** the effective bound: a declared bound, else the [cas(k)]
+          alphabet size; [None] when the type promises nothing *)
+  violated : bool;
+      (** the abstract state count provably exceeds the bound (a real
+          over-approximated count, so with a {!Summary.t.complete} summary
+          this means {e some} schedule can exceed it — and with an
+          incomplete one it is still a genuine set of producible states) *)
+}
+
+val certify :
+  ?bounds:(string * int) list ->
+  bindings:(string * Memory.Spec.t) list ->
+  Summary.t ->
+  cert list
+(** One certificate per binding, in binding order.  [bounds] declares (or,
+    for [cas(k)] types, overrides) a location's bound — the same contract
+    as {!Lepower_check.Bounded_check.check}. *)

@@ -1,0 +1,49 @@
+module Value = Memory.Value
+module Trace = Runtime.Trace
+module Op_codec = Objects.Op_codec
+module Sset = Summary.Sset
+
+let check ~store summary trace =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let by_pid = Array.of_list summary.Summary.per_pid in
+  let diverged : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let check_state loc state =
+    match Summary.sigma_of summary loc with
+    | Some sigma when Absval.mem state sigma -> ()
+    | Some _ ->
+      add "state %s of %s is outside Σ̂" (Value.to_string state) loc
+    | None -> add "location %s is outside Σ̂'s domain" loc
+  in
+  let st = ref store in
+  List.iter
+    (fun (e : Trace.event) ->
+      let pid = e.Trace.pid and loc = e.Trace.loc in
+      (match
+         if pid >= 0 && pid < Array.length by_pid then Some by_pid.(pid)
+         else None
+       with
+      | None -> add "t=%d event by unknown p%d" e.Trace.time pid
+      | Some p ->
+        let mutates = Op_codec.is_mutation (Op_codec.classify e.Trace.op) in
+        if not (Sset.mem loc (Summary.footprint p)) then
+          add "t=%d p%d touched %s outside its static footprint" e.Trace.time
+            pid loc
+        else if mutates && not (Sset.mem loc p.Summary.may_write) then
+          add "t=%d p%d mutated %s outside its may-write set" e.Trace.time pid
+            loc);
+      if not (Hashtbl.mem diverged loc) then
+        match Memory.Store.apply !st ~pid loc e.Trace.op with
+        | Error _ ->
+          (* Replay divergence (faults, lost writes): the dynamic lint
+             reports it; we just stop judging this location's states. *)
+          Hashtbl.replace diverged loc ()
+        | Ok (st', result) ->
+          if not (Value.equal result e.Trace.result) then
+            Hashtbl.replace diverged loc ()
+          else begin
+            st := st';
+            Option.iter (check_state loc) (Memory.Store.peek st' loc)
+          end)
+    trace;
+  List.rev !violations
