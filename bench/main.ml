@@ -1351,6 +1351,258 @@ let e16_static ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E17: hot-path engine — the arena backend (compiled step programs,   *)
+(* mutable arena store with O(1) snapshot/undo, incremental            *)
+(* fingerprints) against the persistent reference engine, with the     *)
+(* cross-backend agreement checks that make the speedup trustworthy:   *)
+(* identical verdicts and full statistics per mode, byte-identical     *)
+(* decision sets, identical fault-fuzz certificates, and bit-for-bit   *)
+(* cross-backend certificate replay.  Gates (exit 1): any agreement    *)
+(* failure; in full (non-smoke) mode additionally a plain naive-walk   *)
+(* speedup below 5x.                                                   *)
+
+let e17_modes =
+  [ ("naive", false, false); ("dedup", true, false); ("dedup+por", true, true) ]
+
+let e17_backends = [ Runtime.Engine.Persistent; Runtime.Engine.Arena ]
+
+let e17_store ~smoke () =
+  let module Json = Lepower_obs.Json in
+  header
+    (Printf.sprintf "E17 hot-path engine (arena backend vs persistent)%s"
+       (if smoke then " [smoke]" else ""));
+  let instance =
+    if smoke then Protocols.Cas_election.instance ~k:6 ~n:5
+    else Protocols.Cas_election.instance ~k:8 ~n:7
+  in
+  (* Lowering telemetry, aggregated across every arena run below. *)
+  let low_nodes = ref 0 in
+  let low_hits = ref 0 in
+  let low_misses = ref 0 in
+  let low_bailed = ref 0 in
+  let on_lowering reports =
+    Array.iter
+      (fun (r : Runtime.Program.Compiled.report) ->
+        low_nodes := !low_nodes + r.Runtime.Program.Compiled.nodes;
+        low_hits := !low_hits + r.Runtime.Program.Compiled.hits;
+        low_misses := !low_misses + r.Runtime.Program.Compiled.misses;
+        if r.Runtime.Program.Compiled.bailed then incr low_bailed)
+      reports
+  in
+  let opts ~dedup ~por backend =
+    {
+      Runtime.Explore.Options.default with
+      crash_faults = true;
+      dedup;
+      por;
+      backend;
+      on_lowering =
+        (match backend with
+        | Runtime.Engine.Persistent -> None
+        | Runtime.Engine.Arena -> Some on_lowering);
+    }
+  in
+  Printf.printf "\n%s, crash_faults=true  (check_all)\n"
+    instance.Protocols.Election.name;
+  e12_table_header ();
+  (* rows : (mode, backend) -> (json row, wall, Ok stats option) *)
+  let rows =
+    List.concat_map
+      (fun (mode, dedup, por) ->
+        List.map
+          (fun backend ->
+            let name =
+              Printf.sprintf "%s %s" mode
+                (Runtime.Engine.backend_name backend)
+            in
+            let result, secs =
+              wall (fun () ->
+                  Protocols.Election.explore_stats instance ~max_steps:10_000
+                    ~options:(opts ~dedup ~por backend))
+            in
+            match result with
+            | Ok stats ->
+              ((mode, backend), (e12_stats_row name stats secs "ok", secs, Some stats))
+            | Error _ ->
+              let zero =
+                {
+                  Runtime.Explore.terminals = 0;
+                  truncated = 0;
+                  max_depth = 0;
+                  choice_points = 0;
+                  configs_visited = 0;
+                  configs_deduped = 0;
+                  por_pruned = 0;
+                  por_checks = 0;
+                  por_fast_hits = 0;
+                  domains_used = 1;
+                }
+              in
+              ((mode, backend), (e12_stats_row name zero secs "VIOL", secs, None)))
+          e17_backends)
+      e17_modes
+  in
+  let cell mode backend =
+    let _, (_, secs, stats) =
+      List.find (fun (k, _) -> k = (mode, backend)) rows
+    in
+    (secs, stats)
+  in
+  (* Throughput leg: the 5x gate measures the plain naive walk — E12's
+     raw enumeration with no terminal predicate.  The checked rows above
+     stay in the table because they are the honest end-to-end numbers:
+     running a checker materializes a full configuration per terminal,
+     which dominates the walk and erases most of the arena's advantage.
+     Metrics are disabled around both timing runs (equally) so the legs
+     compare the walk, not the counter feed; best of 3 damps noise on
+     this 1-core host. *)
+  let config = Protocols.Election.config instance in
+  let metrics_were_on = Lepower_obs.Metrics.is_enabled () in
+  Lepower_obs.Metrics.disable ();
+  let time_plain backend =
+    let best = ref infinity and stats = ref None in
+    for _ = 1 to 3 do
+      let s, secs =
+        wall (fun () ->
+            Runtime.Explore.explore
+              ~options:
+                { (opts ~dedup:false ~por:false backend) with max_steps = 10_000 }
+              config)
+      in
+      stats := Some s;
+      if secs < !best then best := secs
+    done;
+    (!best, !stats)
+  in
+  let plain_p, plain_stats_p = time_plain Runtime.Engine.Persistent in
+  let plain_a, plain_stats_a = time_plain Runtime.Engine.Arena in
+  if metrics_were_on then Lepower_obs.Metrics.enable ();
+  let plain_rows =
+    List.filter_map
+      (fun (name, secs, stats) ->
+        Option.map (fun s -> (e12_stats_row name s secs "-", secs)) stats)
+      [
+        ("plain persistent", plain_p, plain_stats_p);
+        ("plain arena", plain_a, plain_stats_a);
+      ]
+  in
+  let plain_identical =
+    plain_stats_p = plain_stats_a && plain_stats_p <> None
+  in
+  (* Agreement 1: per mode, verdict and the full statistics record must
+     be identical across backends (dedup and POR counters included — the
+     arena DFS must take exactly the reference's search tree). *)
+  let stats_identical =
+    List.for_all
+      (fun (mode, _, _) ->
+        let _, sp = cell mode Runtime.Engine.Persistent in
+        let _, sa = cell mode Runtime.Engine.Arena in
+        sp = sa && sp <> None)
+      e17_modes
+  in
+  (* Agreement 2: decision sets byte-identical across backends, every
+     mode, on an instance small enough to finish the naive walk fast. *)
+  let small = Protocols.Cas_election.instance ~k:4 ~n:3 in
+  let decisions_identical =
+    List.for_all
+      (fun (_, dedup, por) ->
+        let sets backend =
+          Runtime.Explore.decision_sets
+            ~options:{ (opts ~dedup ~por backend) with max_steps = 60 }
+            (Protocols.Election.config small)
+        in
+        sets Runtime.Engine.Persistent = sets Runtime.Engine.Arena)
+      e17_modes
+  in
+  (* Agreement 3: a fault-injecting fuzz campaign must produce the
+     identical certificate on either backend, and each certificate must
+     replay bit-for-bit on both. *)
+  let fuzz_outcome backend =
+    Protocols.Election.fuzz ~runs:256 ~seed:1 ~plan:Runtime.Faults.default
+      ~kind:Runtime.Fuzz.Random_walk ~shrink:false ~backend small
+  in
+  let cert_p = (fuzz_outcome Runtime.Engine.Persistent).Runtime.Fuzz.cert in
+  let cert_a = (fuzz_outcome Runtime.Engine.Arena).Runtime.Fuzz.cert in
+  let certs_identical = cert_p <> None && cert_p = cert_a in
+  let replays_ok =
+    match cert_p with
+    | None -> false
+    | Some cert ->
+      List.for_all
+        (fun backend ->
+          match
+            Runtime.Repro.replay ~backend cert (Protocols.Election.config small)
+          with
+          | Ok _ -> true
+          | Error _ -> false)
+        e17_backends
+  in
+  let speedup = if plain_a > 0. then plain_p /. plain_a else 0. in
+  let cost_ratio = if plain_p > 0. then plain_a /. plain_p else 1. in
+  Printf.printf
+    "\nstats identical per mode: %s (plain walk: %s), decision sets: %s, \
+     fuzz certs: %s, cross-replay: %s\n"
+    (ok_or stats_identical) (ok_or plain_identical) (ok_or decisions_identical)
+    (ok_or certs_identical) (ok_or replays_ok);
+  Printf.printf "plain naive-walk speedup (persistent/arena): %.2fx\n" speedup;
+  Printf.printf
+    "lowering: %d compiled nodes, %d edge hits / %d misses, %d pids bailed\n"
+    !low_nodes !low_hits !low_misses !low_bailed;
+  let json =
+    Json.Obj
+      [
+        ("source", Json.String "bench/main.exe");
+        ("experiment", Json.String "E17");
+        ("smoke", Json.Bool smoke);
+        ("host_cores", Json.Int host_cores);
+        ( "workloads",
+          Json.Obj
+            [
+              ( instance.Protocols.Election.name ^ " crash",
+                Json.Obj
+                  (List.map (fun (_, (row, _, _)) -> row) rows
+                  @ List.map fst plain_rows) );
+            ] );
+        ( "agreement",
+          Json.Obj
+            [
+              ("stats_identical", Json.Int (Bool.to_int stats_identical));
+              ( "plain_stats_identical",
+                Json.Int (Bool.to_int plain_identical) );
+              ( "decision_sets_identical",
+                Json.Int (Bool.to_int decisions_identical) );
+              ("fuzz_certs_identical", Json.Int (Bool.to_int certs_identical));
+              ("cross_replay_ok", Json.Int (Bool.to_int replays_ok));
+            ] );
+        ( "lowering",
+          Json.Obj
+            [
+              ("nodes", Json.Int !low_nodes);
+              ("edge_hits", Json.Int !low_hits);
+              ("edge_misses", Json.Int !low_misses);
+              ("bailed_pids", Json.Int !low_bailed);
+            ] );
+        ("arena_speedup_naive", Json.Float speedup);
+        ( "benchmarks",
+          Json.Obj [ ("arena_cost_ratio_naive", Json.Float cost_ratio) ] );
+      ]
+  in
+  let path = Filename.concat (bench_dir ()) "BENCH_store.json" in
+  Lepower_obs.Export.write_json path json;
+  Printf.printf "store JSON: %s\n" path;
+  if not (stats_identical && plain_identical && decisions_identical
+          && certs_identical && replays_ok)
+  then begin
+    prerr_endline "E17: cross-backend agreement check FAILED";
+    exit 1
+  end;
+  if (not smoke) && speedup < 5.0 then begin
+    Printf.eprintf
+      "E17: arena plain naive-walk speedup %.2fx below the 5x gate\n" speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifacts: alongside the tables above, emit        *)
 (* BENCH_micro.json (B1-B5 estimates) and BENCH_counters.json (the     *)
 (* Lepower_obs metrics accumulated across E1-E10/A1) so perf PRs can   *)
@@ -1392,6 +1644,7 @@ let () =
   | [| _; "fuzz-smoke" |] -> e14_fuzz ~smoke:true ()
   | [| _; "prof-smoke" |] -> e15_prof ()
   | [| _; "static-smoke" |] -> e16_static ~smoke:true ()
+  | [| _; "store-smoke" |] -> e17_store ~smoke:true ()
   | [| _ |] ->
     e1_capacity ();
     e2_bcl ();
@@ -1409,11 +1662,13 @@ let () =
     e14_fuzz ~smoke:false ();
     e15_prof ();
     e16_static ~smoke:false ();
+    e17_store ~smoke:false ();
     let micro_rows = micro_benchmarks () in
     write_bench_json micro_rows;
     print_newline ()
   | _ ->
     prerr_endline
       "usage: main.exe \
-       [explore-smoke|repro-smoke|fuzz-smoke|prof-smoke|static-smoke]";
+       [explore-smoke|repro-smoke|fuzz-smoke|prof-smoke|static-smoke|\
+        store-smoke]";
     exit 2

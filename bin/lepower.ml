@@ -275,6 +275,38 @@ let elect_cmd =
 
 (* --- explore --- *)
 
+(* Shared by explore, fuzz and replay: which executor runs the schedules.
+   [arena] is the hot path (compiled step programs + mutable arena store);
+   verdicts, statistics, decision sets and certificates are identical to
+   [persistent] — see Runtime.Engine.Machine. *)
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("persistent", Runtime.Engine.Persistent);
+             ("arena", Runtime.Engine.Arena);
+           ])
+        Runtime.Engine.Persistent
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend: $(b,persistent) (immutable reference \
+           configurations) or $(b,arena) (compiled step programs over a \
+           mutable arena store with O(1) snapshot/undo — substantially \
+           faster; verdicts, statistics, decision sets and certificates \
+           are identical).  Programs whose compiled form outgrows the node \
+           budget transparently fall back to closure interpretation.")
+
+let backend_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "backend-verify" ]
+        ~doc:
+          "Debug: with --backend arena, shadow every machine step with the \
+           persistent reference engine and abort on the first divergence.  \
+           Orders of magnitude slower.")
+
 let explore_max_steps =
   Arg.(
     value & opt int 50
@@ -368,7 +400,8 @@ let explore_hb_fields hb (p : Runtime.Explore.progress) =
   @ busy
 
 let explore k protocol n max_steps dedup por static_por domains crash_faults
-    trace_out metrics_out prof progress progress_out interval folded_out =
+    backend backend_verify trace_out metrics_out prof progress progress_out
+    interval folded_out =
   let instance = election_instance ~k ~n protocol in
   Printf.printf "protocol: %s\n" instance.Protocols.Election.name;
   with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
@@ -397,6 +430,29 @@ let explore k protocol n max_steps dedup por static_por domains crash_faults
               (String.concat ", " summary.Lepower_static.Summary.limits);
             [||]
       in
+      (* Aggregate per-item lowering reports under --backend arena: how
+         much of each process compiled to the flat instruction DAG and
+         whether anything bailed to the closure fallback. *)
+      let low_items = ref 0 in
+      let low_nodes = ref 0 in
+      let low_hits = ref 0 in
+      let low_misses = ref 0 in
+      let low_bailed = ref 0 in
+      let on_lowering =
+        match backend with
+        | Runtime.Engine.Persistent -> None
+        | Runtime.Engine.Arena ->
+          Some
+            (fun reports ->
+              incr low_items;
+              Array.iter
+                (fun (r : Runtime.Program.Compiled.report) ->
+                  low_nodes := !low_nodes + r.Runtime.Program.Compiled.nodes;
+                  low_hits := !low_hits + r.Runtime.Program.Compiled.hits;
+                  low_misses := !low_misses + r.Runtime.Program.Compiled.misses;
+                  if r.Runtime.Program.Compiled.bailed then incr low_bailed)
+                reports)
+      in
       match
         Protocols.Election.explore_stats instance ~max_steps
           ~options:
@@ -406,7 +462,10 @@ let explore k protocol n max_steps dedup por static_por domains crash_faults
               dedup;
               por = por || static_por;
               domains;
+              backend;
+              verify_backend = backend_verify;
               footprints;
+              on_lowering;
               progress = progress_cb;
             }
       with
@@ -448,6 +507,14 @@ let explore k protocol n max_steps dedup por static_por domains crash_faults
             stats.Runtime.Explore.por_checks;
         Printf.printf "domains used:          %d\n"
           stats.Runtime.Explore.domains_used;
+        (match backend with
+        | Runtime.Engine.Persistent -> ()
+        | Runtime.Engine.Arena ->
+          Printf.printf
+            "backend:               arena (%d machines; %d compiled nodes, \
+             %d edge hits / %d misses, %d pids bailed to closures%s)\n"
+            !low_items !low_nodes !low_hits !low_misses !low_bailed
+            (if backend_verify then "; verified against persistent" else ""));
         (0, None)
       | Error e ->
         Printf.printf "violation: %s\n" e;
@@ -464,9 +531,9 @@ let explore_cmd =
     Term.(
       const explore $ k_arg $ elect_protocol $ elect_n $ explore_max_steps
       $ explore_dedup $ explore_por $ explore_static_por $ explore_domains
-      $ explore_crash $ trace_out_arg $ metrics_out_arg $ prof_arg
-      $ progress_arg $ progress_out_arg $ progress_interval_arg
-      $ folded_out_arg)
+      $ explore_crash $ backend_arg $ backend_verify_arg $ trace_out_arg
+      $ metrics_out_arg $ prof_arg $ progress_arg $ progress_out_arg
+      $ progress_interval_arg $ folded_out_arg)
 
 (* --- lint --- *)
 
@@ -837,8 +904,8 @@ let fuzz_hb_fields hb (p : Runtime.Fuzz.progress) =
   ]
 
 let fuzz k n subject flip sched depth starve_pid starve_steps runs seed faults
-    max_steps repro_out no_shrink metrics_out prof progress progress_out
-    interval folded_out =
+    max_steps backend repro_out no_shrink metrics_out prof progress
+    progress_out interval folded_out =
   let open Lepower_check in
   with_telemetry ~prof ~progress ~progress_out ~interval ~folded_out
   @@ fun hb ->
@@ -875,21 +942,21 @@ let fuzz k n subject flip sched depth starve_pid starve_steps runs seed faults
       in
       ( instance.Protocols.Election.name,
         Protocols.Election.fuzz ~runs ~seed ?max_steps ~plan ~kind ~shrink
-          ~subject:subject_json ?progress:progress_cb instance )
+          ~subject:subject_json ~backend ?progress:progress_cb instance )
     | `Broken_swmr ->
       let t = Lint.broken_swmr_fixture ~flip () in
       ( t.Lint.name,
-        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink
+        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink ~backend
           ?progress:progress_cb t )
     | `Broken_cas ->
       let t = Lint.broken_cas_fixture ?n ~flip () in
       ( t.Lint.name,
-        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink
+        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink ~backend
           ?progress:progress_cb t )
     | `Spin ->
       let t = Lint.spin_fixture () in
       ( t.Lint.name,
-        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink
+        Lint.fuzz_target ~runs ~seed ?max_steps ~plan ~kind ~shrink ~backend
           ?progress:progress_cb t )
   in
   Option.iter
@@ -904,9 +971,10 @@ let fuzz k n subject flip sched depth starve_pid starve_steps runs seed faults
             }))
     hb;
   Printf.printf "subject:  %s\n" name;
-  Printf.printf "sched:    %s  seed=%d  faults=%s\n"
+  Printf.printf "sched:    %s  seed=%d  faults=%s  backend=%s\n"
     (Runtime.Fuzz.kind_name kind) seed
-    (if faults then "on" else "off");
+    (if faults then "on" else "off")
+    (Runtime.Engine.backend_name backend);
   Printf.printf "runs:     %d (budget %d)  decisions=%d  injected=%d\n"
     outcome.Runtime.Fuzz.runs runs outcome.Runtime.Fuzz.steps
     outcome.Runtime.Fuzz.injected;
@@ -952,9 +1020,10 @@ let fuzz_cmd =
     Term.(
       const fuzz $ k_arg $ elect_n $ fuzz_subject $ fuzz_flip $ fuzz_sched
       $ fuzz_depth $ fuzz_starve_pid $ fuzz_starve_steps $ fuzz_runs
-      $ seed_arg $ fuzz_faults $ fuzz_max_steps $ fuzz_repro_out
-      $ fuzz_no_shrink $ metrics_out_arg $ prof_arg $ progress_arg
-      $ progress_out_arg $ progress_interval_arg $ folded_out_arg)
+      $ seed_arg $ fuzz_faults $ fuzz_max_steps $ backend_arg
+      $ fuzz_repro_out $ fuzz_no_shrink $ metrics_out_arg $ prof_arg
+      $ progress_arg $ progress_out_arg $ progress_interval_arg
+      $ folded_out_arg)
 
 (* --- replay --- *)
 
@@ -981,7 +1050,7 @@ let replay_out =
     & info [ "out" ] ~docv:"FILE"
         ~doc:"Write the minimized certificate to $(docv) (with --shrink).")
 
-let replay cert_file shrink out trace_out metrics_out =
+let replay cert_file shrink out backend trace_out metrics_out =
   with_obs ~trace_out ~metrics_out @@ fun () ->
   match Runtime.Repro.load cert_file with
   | Error e ->
@@ -1004,7 +1073,8 @@ let replay cert_file shrink out trace_out metrics_out =
       if cert.Runtime.Repro.message <> "" then
         Printf.printf "failure:   %s\n" cert.Runtime.Repro.message;
       match
-        Runtime.Repro.replay cert r.Lepower_check.Repro_subject.config
+        Runtime.Repro.replay ~backend cert
+          r.Lepower_check.Repro_subject.config
       with
       | Error e ->
         Printf.printf "replay rejected: %s\n" e;
@@ -1057,8 +1127,8 @@ let replay_cmd =
           final configuration fingerprints bit-for-bit, and re-check the \
           failure.  Exit 0 iff the failure reproduces.")
     Term.(
-      const replay $ replay_cert $ replay_shrink $ replay_out $ trace_out_arg
-      $ metrics_out_arg)
+      const replay $ replay_cert $ replay_shrink $ replay_out $ backend_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* --- emulate --- *)
 

@@ -2,7 +2,14 @@
 
     The store is immutable; applying an operation returns a new store.  This
     makes configurations of the whole system first-class values, so the
-    exhaustive explorer can branch over interleavings without copying. *)
+    exhaustive explorer can branch over interleavings without copying.
+
+    {!Arena} is the mutable twin: the same locations and specs in flat
+    arrays, mutated in place with an explicit undo journal.  The engine's
+    compiled backend ([Engine.Machine]) runs on it; this persistent type
+    stays the reference implementation, and the two are cross-checked
+    state-for-state in the test suite and behind the explorer's
+    [verify_backend] debug flag. *)
 
 type t
 
@@ -36,7 +43,13 @@ val freeze : t -> string -> t
     location (like {!poke}). *)
 
 val spec_of : t -> string -> Spec.t option
+
 val locs : t -> string list
+(** All locations, sorted.  Served from a key array cached at {!add}
+    time — [apply]/[poke]/[freeze] never change the location set — so
+    per-decision callers (the fuzz fault roller) do not re-walk the
+    map. *)
+
 val compare_states : t -> t -> int
 (** Compare the two stores' states location-wise (specs are assumed equal);
     used to key visited-set entries in exhaustive exploration. *)
@@ -45,4 +58,119 @@ val state_bindings : t -> (string * Value.t) list
 (** Every location's current state, sorted by location.  The canonical
     store component of the explorer's configuration fingerprint. *)
 
+val fold_states : (string -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the state bindings in sorted-location order without
+    materializing the binding list — the allocation-free variant of
+    {!state_bindings} for hashing passes. *)
+
 val pp : Format.formatter -> t -> unit
+
+(** Mutable arena backing: the same objects in flat arrays indexed by
+    interned location ids (id order = sorted location order), with an
+    explicit undo journal.  [mark]/[undo_to] give O(1)-amortized
+    snapshot/undo, so a depth-first explorer mutates on descent and pops
+    the journal on backtrack instead of threading persistent maps.
+
+    Not thread-safe; one arena per domain. *)
+module Arena : sig
+  type store := t
+
+  type t
+
+  val of_store : store -> t
+  (** Freeze a persistent store into a fresh arena (empty journal). *)
+
+  val to_store : t -> store
+  (** Materialize the arena's current specs and states as a persistent
+      store.  [to_store (of_store s)] is state- and spec-identical to
+      [s]; after mutations it reflects the arena's current state. *)
+
+  val n_locs : t -> int
+
+  val loc_name : t -> int -> string
+  (** The location interned as id [i]; ids are [0 .. n_locs - 1] in
+      sorted-location order. *)
+
+  val mem : t -> string -> bool
+
+  val state_at : t -> int -> Value.t
+  (** Current state of the object with interned id [i]. *)
+
+  val spec_at : t -> int -> Spec.t
+  (** Current spec of the object with interned id [i].  The arena only
+      replaces a spec via {!freeze} (journaled), so callers caching
+      derived data can use physical equality of the spec as a validity
+      witness. *)
+
+  val id_of_loc : t -> string -> int option
+  (** Interned id of a location name, if bound. *)
+
+  val apply : t -> pid:int -> string -> Value.t -> (Value.t, string) result
+  (** Like the persistent [apply], but mutates in place and journals the
+      overwritten state.  Same error strings. *)
+
+  val apply_id : t -> pid:int -> int -> Value.t -> (Value.t, string) result
+  (** [apply] by interned id, skipping the name lookup. *)
+
+  val commit_state : t -> int -> Value.t -> Value.t -> unit
+  (** [commit_state a i old state'] records the transition [old ->
+      state'] of object [i] exactly as {!apply_id}'s success branch
+      would — journal entry, in-place write, last-delta scratch —
+      without consulting the spec.  For callers (the engine's
+      transition memo) that have already validated the transition
+      against the object's spec; [old] must be [state_at a i]. *)
+
+  val write_state : t -> int -> Value.t -> unit
+  (** Raw in-place write of object [i]'s state, {e not} journaled: a
+      subsequent {!undo_to} will not restore the overwritten value.
+      Only for callers that save and restore the old state themselves
+      (the engine's stack-undo naive walk); everything else should use
+      {!apply}/{!apply_id}/{!commit_state}. *)
+
+  val states_view : t -> Value.t array
+  (** The live, id-indexed states array itself — the hot-loop
+      counterpart of {!state_at}.  Reads are always fine; writes bypass
+      the journal exactly like {!write_state} and carry the same
+      obligation. *)
+
+  val specs_view : t -> Spec.t array
+  (** The live, id-indexed specs array (hot-loop counterpart of
+      {!spec_at}).  Read-only by convention: spec replacement must go
+      through {!freeze} so it is journaled. *)
+
+  val peek : t -> string -> Value.t option
+
+  val poke : t -> string -> Value.t -> unit
+  (** Journaled, like {!apply}.  @raise Invalid_argument on an unknown
+      location (same message as the persistent [poke]). *)
+
+  val freeze : t -> string -> unit
+  (** Stuck-at fault, same semantics as the persistent [freeze]
+      (idempotent; the spec replacement is journaled and undone by
+      {!undo_to}). *)
+
+  val mark : t -> int
+  (** The current journal position — an O(1) snapshot token. *)
+
+  val undo_to : t -> int -> unit
+  (** Pop the journal back to a {!mark}, restoring every state and spec
+      overwritten since.  Cost: O(entries popped); each entry was O(1)
+      to record, so a DFS pays O(1) amortized per step. *)
+
+  val state_bindings : t -> (string * Value.t) list
+  (** Current bindings in id (= sorted-location) order — list-identical
+      to the persistent [state_bindings] of {!to_store}, built by one
+      pass over the preallocated arrays (no sort, no map walk). *)
+
+  val iter_states : (string -> Value.t -> unit) -> t -> unit
+
+  val last_id : t -> int
+  (** Interned id of the location the most recent successful {!apply}
+      touched ([-1] before the first).  With {!last_old_state} and
+      {!state_at}, callers maintaining incremental digests read the
+      single-binding delta of a step without re-deriving it. *)
+
+  val last_old_state : t -> Value.t
+  (** The overwritten state of that location, as it was {e before} the
+      most recent successful {!apply}. *)
+end

@@ -6,7 +6,12 @@ type t =
   | Pair of t * t
   | List of t list
 
+(* Physical equality first: the explorer's hot paths compare values that
+   are very often the same heap block (unchanged states, shared op
+   encodings), and [==] can never contradict structural equality here. *)
 let rec equal a b =
+  a == b
+  ||
   match a, b with
   | Unit, Unit -> true
   | Bool x, Bool y -> x = y
@@ -18,6 +23,8 @@ let rec equal a b =
   | (Unit | Bool _ | Int _ | Sym _ | Pair _ | List _), _ -> false
 
 let rec compare a b =
+  if a == b then 0
+  else
   let tag = function
     | Unit -> 0
     | Bool _ -> 1

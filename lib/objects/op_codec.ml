@@ -72,7 +72,11 @@ let decode_enq op = match classify op with Enq v -> Some v | _ -> None
 let decode_fetch_add op =
   match classify op with Fetch_add n -> Some n | _ -> None
 
-let is_read op = match classify op with Read -> true | _ -> false
+(* Direct match, not [classify]: [classify] allocates a [kind] payload
+   for every mutation op, and [is_read] sits on per-event paths (POR
+   independence checks, trace lints over millions of events).  Must stay
+   equivalent to [classify op = Read]. *)
+let is_read op = match op with Value.Sym "read" -> true | _ -> false
 
 let is_mutation = function
   | Read -> false

@@ -21,6 +21,26 @@ type config = {
   trace : Trace.event list;
 }
 
+type backend = Persistent | Arena
+
+let backend_name = function Persistent -> "persistent" | Arena -> "arena"
+
+(* Store-op metrics, shared by the persistent [step] and [Machine.step]
+   so both backends feed the same counters. *)
+let record_store_op o result =
+  if Obs.Metrics.is_enabled () then begin
+    Obs.Metrics.incr m_store_ops;
+    (* A compare&swap succeeds iff it returns its expected value and
+       actually changes the state (the alphabet-reading cas with
+       expected = desired is a read, not a successful swap). *)
+    match o with
+    | Value.Pair (Value.Sym "cas", Value.Pair (expected, desired)) ->
+      if Value.equal result expected && not (Value.equal expected desired)
+      then Obs.Metrics.incr m_cas_success
+      else Obs.Metrics.incr m_cas_failure
+    | _ -> ()
+  end
+
 let init store progs =
   let procs = List.mapi (fun pid prog -> Proc.make ~pid prog) progs in
   { store; procs = Array.of_list procs; time = 0; trace = [] }
@@ -51,18 +71,7 @@ let step_impl config pid =
         Obs.Metrics.incr m_faults;
         set_proc config pid { proc with status = Proc.Faulty msg }
       | Ok (store, result) ->
-        if Obs.Metrics.is_enabled () then begin
-          Obs.Metrics.incr m_store_ops;
-          (* A compare&swap succeeds iff it returns its expected value and
-             actually changes the state (the alphabet-reading cas with
-             expected = desired is a read, not a successful swap). *)
-          match o with
-          | Value.Pair (Value.Sym "cas", Value.Pair (expected, desired)) ->
-            if Value.equal result expected && not (Value.equal expected desired)
-            then Obs.Metrics.incr m_cas_success
-            else Obs.Metrics.incr m_cas_failure
-          | _ -> ()
-        end;
+        record_store_op o result;
         let event = { Trace.time = config.time; pid; loc; op = o; result } in
         let proc' =
           match k result with
@@ -189,3 +198,704 @@ let max_steps_per_proc outcome =
   Array.fold_left
     (fun acc (p : Proc.t) -> max acc p.Proc.steps)
     0 outcome.final.procs
+
+let status_equal a b =
+  match (a, b) with
+  | Proc.Running, Proc.Running | Proc.Crashed, Proc.Crashed -> true
+  | Proc.Decided x, Proc.Decided y -> Value.equal x y
+  | Proc.Faulty x, Proc.Faulty y -> String.equal x y
+  | (Proc.Running | Proc.Decided _ | Proc.Crashed | Proc.Faulty _), _ -> false
+
+let event_equal (a : Trace.event) (b : Trace.event) =
+  a.Trace.time = b.Trace.time
+  && a.Trace.pid = b.Trace.pid
+  && String.equal a.Trace.loc b.Trace.loc
+  && Value.equal a.Trace.op b.Trace.op
+  && Value.equal a.Trace.result b.Trace.result
+
+let config_equal a b =
+  a.time = b.time
+  && Memory.Store.compare_states a.store b.store = 0
+  && Array.length a.procs = Array.length b.procs
+  && Array.for_all2
+       (fun (p : Proc.t) (q : Proc.t) ->
+         p.Proc.steps = q.Proc.steps && status_equal p.Proc.status q.Proc.status)
+       a.procs b.procs
+  && List.equal event_equal a.trace b.trace
+
+(* ------------------------------------------------------------------ *)
+(* The arena-backed machine: same step semantics, mutation + journal.  *)
+
+let read_sym = Value.Sym "read"
+
+module Machine = struct
+  (* Hot-path state is kept in unboxed int arrays so the DFS inner loop
+     performs no [caml_modify] write barriers:
+
+     - a pc is an int: [>= 0] is a compiled node id, [-1] means "the
+       closure-interpreter continuation in [prim_pcs.(pid)]";
+     - a status is one of the [st_*] codes below, with the decided
+       value / fault message parked in side arrays ([decided.(pid)] /
+       [faults.(pid)] are only meaningful under the matching code, and
+       may go stale after an undo — never read them otherwise). *)
+  let st_running = 0
+
+  let st_crashed = 1
+
+  let st_decided = 2
+
+  let st_faulty = 3
+
+  let prim_dummy = Program.Done Value.Unit
+
+  (* One journal entry per status-changing or store-touching step:
+     [J_event] is a successful store operation (steps/time advanced, the
+     trace grew, and the arena journal position [smark] — taken {e
+     before} the apply — bounds its store writes); [J_status] is a pure
+     status change out of [Running] (decide, store-rejected fault,
+     crash) with the pc untouched.  [prev_node >= 0] restores the pc
+     directly; otherwise [prev_prim] holds the pre-step closure
+     continuation. *)
+  type jentry =
+    | J_event of {
+        pid : int;
+        prev_node : int;
+        prev_prim : Program.prim;
+        smark : int;
+        loc : string;
+        op : Value.t;
+        result : Value.t;
+        time : int;
+      }
+    | J_status of { pid : int }
+
+  (* Fused transition memo, one per compiled [Node] instruction.  A
+     clean store-op step from a node is a pure function of the current
+     state of the instruction's location: [Spec.apply] is a
+     deterministic sequential specification, and [pid], [loc] and [op]
+     are all fixed by the instruction, as is the continuation edge given
+     the result.  Bounded-size objects have tiny state alphabets, so a
+     short association array keyed by state covers the whole transition
+     table after a brief warm-up and the hot path skips the spec closure
+     (operation decoding, alphabet scans) and both hash lookups.
+
+     Validity: an entry speaks for the spec it was built against.  The
+     arena only ever swaps a location's spec via [freeze] (journalled,
+     so undo restores the original object), hence the physical witness
+     [x_spec]; on mismatch the memo is rebuilt for the current spec.
+     Faulting and inline-fallback outcomes are never memoized. *)
+  type xout = {
+    x_state' : Value.t;
+    x_result : Value.t;
+    x_next : int;  (* next node id *)
+    x_decided : Value.t option;  (* [Some v] when [x_next] is [Done v] *)
+  }
+
+  type xinst = {
+    x_loc : int;  (* interned arena id of the instruction's location *)
+    x_loc_name : string;
+    x_op : Value.t;
+    x_spec : Memory.Spec.t;  (* physical validity witness *)
+    mutable x_n : int;
+    mutable x_keys : Value.t array;  (* pre-states, scanned linearly *)
+    mutable x_outs : xout array;
+  }
+
+  type t = {
+    arena : Memory.Store.Arena.t;
+    progs : Program.Compiled.t array;
+    pcs : int array;
+    prim_pcs : Program.prim array;
+    statuses : int array;
+    decided : Value.t array;
+    faults : string array;
+    steps : int array;
+    mutable time : int;
+    base_trace : Trace.event list;
+        (* reverse-chron trace of the seed config; the machine's own
+           events live in the journal and are materialized on demand *)
+    mutable journal : jentry array;
+    mutable jlen : int;
+    j_statuses : jentry array;
+        (* interned per-pid [J_status] entries so status-only journal
+           pushes (decide, crash, store-rejected fault) allocate nothing *)
+    memos : xinst option array array;  (* per pid, indexed by node id *)
+    (* Scratch describing the most recent [step]'s store operation, for
+       callers maintaining incremental fingerprints.  Valid only until
+       the next step/undo. *)
+    mutable last_valid : bool;
+    mutable last_loc : string;
+    mutable last_op : Value.t;
+    mutable last_result : Value.t;
+  }
+
+  let of_config ?max_nodes (config : config) =
+    let n = Array.length config.procs in
+    let statuses = Array.make n st_running in
+    let decided = Array.make n Value.Unit in
+    let faults = Array.make n "" in
+    Array.iteri
+      (fun i (p : Proc.t) ->
+        match p.Proc.status with
+        | Proc.Running -> ()
+        | Proc.Crashed -> statuses.(i) <- st_crashed
+        | Proc.Decided v ->
+          statuses.(i) <- st_decided;
+          decided.(i) <- v
+        | Proc.Faulty msg ->
+          statuses.(i) <- st_faulty;
+          faults.(i) <- msg)
+      config.procs;
+    {
+      arena = Memory.Store.Arena.of_store config.store;
+      progs =
+        Array.map
+          (fun (p : Proc.t) -> Program.Compiled.compile ?max_nodes p.Proc.prog)
+          config.procs;
+      pcs = Array.make n 0;
+      prim_pcs = Array.make n prim_dummy;
+      statuses;
+      decided;
+      faults;
+      steps = Array.map (fun (p : Proc.t) -> p.Proc.steps) config.procs;
+      time = config.time;
+      base_trace = config.trace;
+      journal = Array.make 64 (J_status { pid = 0 });
+      jlen = 0;
+      j_statuses = Array.init n (fun pid -> J_status { pid });
+      memos = Array.init n (fun _ -> [||]);
+      last_valid = false;
+      last_loc = "";
+      last_op = Value.Unit;
+      last_result = Value.Unit;
+    }
+
+  let n_procs m = Array.length m.pcs
+  let time m = m.time
+
+  let status m pid =
+    let s = m.statuses.(pid) in
+    if s = st_running then Proc.Running
+    else if s = st_crashed then Proc.Crashed
+    else if s = st_decided then Proc.Decided m.decided.(pid)
+    else Proc.Faulty m.faults.(pid)
+
+  let is_running m pid = m.statuses.(pid) = st_running
+
+  let enabled m =
+    let acc = ref [] in
+    for i = Array.length m.statuses - 1 downto 0 do
+      if is_running m i then acc := i :: !acc
+    done;
+    !acc
+
+  let mem_loc m loc = Memory.Store.Arena.mem m.arena loc
+  let state_bindings m = Memory.Store.Arena.state_bindings m.arena
+
+  let push m e =
+    (if m.jlen = Array.length m.journal then begin
+       let j = Array.make (2 * m.jlen) m.journal.(0) in
+       Array.blit m.journal 0 j 0 m.jlen;
+       m.journal <- j
+     end);
+    m.journal.(m.jlen) <- e;
+    m.jlen <- m.jlen + 1
+
+  let decide m pid v =
+    m.statuses.(pid) <- st_decided;
+    m.decided.(pid) <- v;
+    push m m.j_statuses.(pid)
+
+  (* Status flip inside a store-op step: the step's own [J_event]
+     restores [Running] on undo, so no [J_status] entry is logged. *)
+  let decide_nopush m pid v =
+    m.statuses.(pid) <- st_decided;
+    m.decided.(pid) <- v
+
+  let fault m pid msg =
+    m.statuses.(pid) <- st_faulty;
+    m.faults.(pid) <- msg
+
+  (* ---- transition-memo plumbing ---- *)
+
+  let memo_slot m pid id =
+    let xa = m.memos.(pid) in
+    let len = Array.length xa in
+    if id < len then xa
+    else begin
+      let xa' = Array.make (max (2 * len) (id + 8)) None in
+      Array.blit xa 0 xa' 0 len;
+      m.memos.(pid) <- xa';
+      xa'
+    end
+
+  let memo_seed m cp id =
+    let loc = Program.Compiled.loc_at cp id in
+    match Memory.Store.Arena.id_of_loc m.arena loc with
+    | None -> None  (* unknown location: the slow path faults *)
+    | Some li ->
+      Some
+        {
+          x_loc = li;
+          x_loc_name = loc;
+          x_op = Program.Compiled.op_value_at cp id;
+          x_spec = Memory.Store.Arena.spec_at m.arena li;
+          x_n = 0;
+          x_keys = [||];
+          x_outs = [||];
+        }
+
+  let rec memo_find x st k =
+    if k >= x.x_n then -1
+    else
+      (* in bounds: [k < x_n <= Array.length x_keys] *)
+      let key = Array.unsafe_get x.x_keys k in
+      if key == st || Value.equal key st then k else memo_find x st (k + 1)
+
+  let memo_append x key o =
+    (if x.x_n = Array.length x.x_keys then begin
+       let cap = max 4 (2 * x.x_n) in
+       let ks = Array.make cap key and os = Array.make cap o in
+       Array.blit x.x_keys 0 ks 0 x.x_n;
+       Array.blit x.x_outs 0 os 0 x.x_n;
+       x.x_keys <- ks;
+       x.x_outs <- os
+     end);
+    x.x_keys.(x.x_n) <- key;
+    x.x_outs.(x.x_n) <- o;
+    x.x_n <- x.x_n + 1
+
+  (* Generic node step — first visit of a (node, state) pair, or a
+     non-memoizable outcome.  On a clean [Ok] + node continuation it
+     installs the transition into [x] for next time. *)
+  let step_node_slow m pid cp id x =
+    let loc = Program.Compiled.loc_at cp id in
+    let op = Program.Compiled.op_value_at cp id in
+    let smark = Memory.Store.Arena.mark m.arena in
+    match Memory.Store.Arena.apply m.arena ~pid loc op with
+    | Error msg ->
+      Obs.Metrics.incr m_faults;
+      fault m pid msg;
+      push m m.j_statuses.(pid)
+    | Ok result ->
+      record_store_op op result;
+      (match Program.Compiled.advance cp id result with
+      | Program.Compiled.O_fault msg ->
+        (* pc deliberately unchanged, like the persistent engine
+           keeping [prog] on a continuation type error *)
+        Obs.Metrics.incr m_faults;
+        fault m pid msg
+      | Program.Compiled.O_next id' ->
+        m.pcs.(pid) <- id';
+        if Program.Compiled.is_done cp id' then
+          decide_nopush m pid (Program.Compiled.decided_value cp id')
+      | Program.Compiled.O_inline next -> (
+        m.pcs.(pid) <- -1;
+        m.prim_pcs.(pid) <- next;
+        match next with
+        | Program.Done v -> decide_nopush m pid v
+        | Program.Step _ -> ()));
+      m.steps.(pid) <- m.steps.(pid) + 1;
+      push m
+        (J_event
+           {
+             pid;
+             prev_node = id;
+             prev_prim = prim_dummy;
+             smark;
+             loc;
+             op;
+             result;
+             time = m.time;
+           });
+      m.time <- m.time + 1;
+      m.last_valid <- true;
+      m.last_loc <- loc;
+      m.last_op <- op;
+      m.last_result <- result;
+      (match x with
+      | None -> ()
+      | Some x ->
+        if m.statuses.(pid) <> st_faulty then begin
+          let next = m.pcs.(pid) in
+          if next >= 0 then
+            memo_append x
+              (Memory.Store.Arena.last_old_state m.arena)
+              {
+                x_state' = Memory.Store.Arena.state_at m.arena x.x_loc;
+                x_result = result;
+                x_next = next;
+                x_decided =
+                  (if m.statuses.(pid) = st_decided then
+                     Some m.decided.(pid)
+                   else None);
+              }
+        end)
+
+  (* Closure-interpreter fallback for instructions the lowering bailed
+     on — identical to the persistent engine's continuation handling. *)
+  let step_prim_slow m pid prim loc op k =
+    let smark = Memory.Store.Arena.mark m.arena in
+    match Memory.Store.Arena.apply m.arena ~pid loc op with
+    | Error msg ->
+      Obs.Metrics.incr m_faults;
+      fault m pid msg;
+      push m m.j_statuses.(pid)
+    | Ok result ->
+      record_store_op op result;
+      (match k result with
+      | exception Value.Type_error (want, got) ->
+        Obs.Metrics.incr m_faults;
+        fault m pid
+          (Printf.sprintf "type error: expected %s, got %s" want
+             (Value.to_string got))
+      | Program.Done v ->
+        m.prim_pcs.(pid) <- Program.Done v;
+        decide_nopush m pid v
+      | next -> m.prim_pcs.(pid) <- next);
+      m.steps.(pid) <- m.steps.(pid) + 1;
+      push m
+        (J_event
+           {
+             pid;
+             prev_node = -1;
+             prev_prim = prim;
+             smark;
+             loc;
+             op;
+             result;
+             time = m.time;
+           });
+      m.time <- m.time + 1;
+      m.last_valid <- true;
+      m.last_loc <- loc;
+      m.last_op <- op;
+      m.last_result <- result
+
+  let step_impl m pid =
+    m.last_valid <- false;
+    if m.statuses.(pid) = st_running then begin
+      Obs.Metrics.incr m_steps;
+      let cp = m.progs.(pid) in
+      let id = m.pcs.(pid) in
+      if id >= 0 then
+        if Program.Compiled.is_done cp id then
+          decide m pid (Program.Compiled.decided_value cp id)
+        else begin
+          let xa = memo_slot m pid id in
+          let x =
+            match xa.(id) with
+            | Some x
+              when Memory.Store.Arena.spec_at m.arena x.x_loc == x.x_spec ->
+              Some x
+            | _ ->
+              (* first visit, or the spec changed (freeze/undo): build
+                 a fresh memo for the spec currently in force *)
+              let x = memo_seed m cp id in
+              xa.(id) <- x;
+              x
+          in
+          match x with
+          | None -> step_node_slow m pid cp id None
+          | Some x ->
+            let st = Memory.Store.Arena.state_at m.arena x.x_loc in
+            let k = memo_find x st 0 in
+            if k < 0 then step_node_slow m pid cp id (Some x)
+            else begin
+              let o = x.x_outs.(k) in
+              let smark = Memory.Store.Arena.mark m.arena in
+              Memory.Store.Arena.commit_state m.arena x.x_loc st o.x_state';
+              record_store_op x.x_op o.x_result;
+              m.pcs.(pid) <- o.x_next;
+              (match o.x_decided with
+              | None -> ()
+              | Some v -> decide_nopush m pid v);
+              m.steps.(pid) <- m.steps.(pid) + 1;
+              push m
+                (J_event
+                   {
+                     pid;
+                     prev_node = id;
+                     prev_prim = prim_dummy;
+                     smark;
+                     loc = x.x_loc_name;
+                     op = x.x_op;
+                     result = o.x_result;
+                     time = m.time;
+                   });
+              m.time <- m.time + 1;
+              m.last_valid <- true;
+              m.last_loc <- x.x_loc_name;
+              m.last_op <- x.x_op;
+              m.last_result <- o.x_result
+            end
+        end
+      else
+        match m.prim_pcs.(pid) with
+        | Program.Done v -> decide m pid v
+        | Program.Step (loc, op, k) as prim ->
+          step_prim_slow m pid prim loc op k
+    end
+
+  let step m pid =
+    let tok = Lepower_prof.Phase.enter ph_step in
+    step_impl m pid;
+    Lepower_prof.Phase.leave tok
+
+  let crash m pid =
+    if is_running m pid then begin
+      m.statuses.(pid) <- st_crashed;
+      push m m.j_statuses.(pid)
+    end
+
+  let step_lost m pid =
+    let smark = Memory.Store.Arena.mark m.arena in
+    step m pid;
+    Memory.Store.Arena.undo_to m.arena smark
+
+  let freeze m loc = Memory.Store.Arena.freeze m.arena loc
+  let mark m = m.jlen
+
+  let undo_to m mk =
+    while m.jlen > mk do
+      m.jlen <- m.jlen - 1;
+      match m.journal.(m.jlen) with
+      | J_status { pid } -> m.statuses.(pid) <- st_running
+      | J_event e ->
+        m.statuses.(e.pid) <- st_running;
+        (if e.prev_node >= 0 then m.pcs.(e.pid) <- e.prev_node
+         else begin
+           m.pcs.(e.pid) <- -1;
+           m.prim_pcs.(e.pid) <- e.prev_prim
+         end);
+        m.steps.(e.pid) <- m.steps.(e.pid) - 1;
+        m.time <- m.time - 1;
+        Memory.Store.Arena.undo_to m.arena e.smark
+    done;
+    m.last_valid <- false
+
+  (* ---- allocation-free naive enumeration ---- *)
+
+  type walk_stats = {
+    mutable w_configs : int;
+    mutable w_terminals : int;
+    mutable w_truncated : int;
+    mutable w_max_depth : int;
+    mutable w_choice_points : int;
+  }
+
+  (* Exhaustive naive walk (every interleaving, optional crash moves, no
+     memoization), counting only — the caller sees no configurations, so
+     nothing needs the journal or the trace: every move's undo data
+     lives in the DFS stack frame.  Memo-hit steps write the arena
+     directly and restore the saved state on backtrack; first visits and
+     non-memoizable steps (prim fallback, faults, decide-only programs)
+     go through the journaled [step_impl]/[undo_to] pair.  Crash moves
+     are a status flip both ways.  Traversal order and counter semantics
+     mirror the Explore naive DFS exactly; steps are not phase-
+     attributed here (metrics counters are still fed when enabled). *)
+  let walk_naive ?tick ~crash_faults ~max_steps ~depth0 ws m =
+    let n = Array.length m.statuses in
+    let statuses = m.statuses and pcs = m.pcs and steps = m.steps in
+    let arena = m.arena in
+    let sarr = Memory.Store.Arena.states_view arena in
+    let specs = Memory.Store.Arena.specs_view arena in
+    let metrics_on = Obs.Metrics.is_enabled () in
+    (* [running] is threaded through the recursion so leaves need no
+       status scan at all; every status flip below adjusts it. *)
+    let running0 = ref 0 in
+    for pid = 0 to n - 1 do
+      if statuses.(pid) = st_running then incr running0
+    done;
+    (* unsafe_get/set: [pid < n], memo ids are within the slot array by
+       the explicit length check, [memo_find] returns [< x_n], and
+       [x_loc] was interned by the arena — all indices are in bounds by
+       construction. *)
+    let rec go depth running =
+      if depth > ws.w_max_depth then ws.w_max_depth <- depth;
+      ws.w_configs <- ws.w_configs + 1;
+      (if ws.w_configs land 8191 = 0 then
+         match tick with None -> () | Some f -> f ws);
+      if running = 0 then ws.w_terminals <- ws.w_terminals + 1
+      else if depth >= max_steps then ws.w_truncated <- ws.w_truncated + 1
+      else begin
+        if running >= 2 || crash_faults then
+          ws.w_choice_points <- ws.w_choice_points + 1;
+        for pid = 0 to n - 1 do
+          if Array.unsafe_get statuses pid = st_running then begin
+            (let fast =
+               let pcv = Array.unsafe_get pcs pid in
+               if pcv < 0 then false
+               else
+                 let xa = Array.unsafe_get m.memos pid in
+                 if pcv >= Array.length xa then false
+                 else
+                   (* a memo only ever exists for non-[Done] nodes, so
+                      the [is_done] dispatch is implicit here *)
+                   match Array.unsafe_get xa pcv with
+                   | Some x when Array.unsafe_get specs x.x_loc == x.x_spec
+                     -> (
+                     let st = Array.unsafe_get sarr x.x_loc in
+                     let k = memo_find x st 0 in
+                     if k < 0 then false
+                     else begin
+                       (* gentle move-to-front: a hit bubbles one slot
+                          toward the front, so the DFS's temporal
+                          locality keeps the common state at scan
+                          position 0 without thrashing *)
+                       let k =
+                         if k > 0 then begin
+                           let pk = Array.unsafe_get x.x_keys (k - 1)
+                           and po = Array.unsafe_get x.x_outs (k - 1) in
+                           Array.unsafe_set x.x_keys (k - 1)
+                             (Array.unsafe_get x.x_keys k);
+                           Array.unsafe_set x.x_outs (k - 1)
+                             (Array.unsafe_get x.x_outs k);
+                           Array.unsafe_set x.x_keys k pk;
+                           Array.unsafe_set x.x_outs k po;
+                           k - 1
+                         end
+                         else k
+                       in
+                       let o = Array.unsafe_get x.x_outs k in
+                       if metrics_on then begin
+                         Obs.Metrics.incr m_steps;
+                         record_store_op x.x_op o.x_result
+                       end;
+                       Array.unsafe_set sarr x.x_loc o.x_state';
+                       Array.unsafe_set pcs pid o.x_next;
+                       let running' =
+                         match o.x_decided with
+                         | None -> running
+                         | Some v ->
+                           Array.unsafe_set statuses pid st_decided;
+                           Array.unsafe_set m.decided pid v;
+                           running - 1
+                       in
+                       Array.unsafe_set steps pid
+                         (Array.unsafe_get steps pid + 1);
+                       m.time <- m.time + 1;
+                       go (depth + 1) running';
+                       m.time <- m.time - 1;
+                       Array.unsafe_set steps pid
+                         (Array.unsafe_get steps pid - 1);
+                       Array.unsafe_set statuses pid st_running;
+                       Array.unsafe_set pcs pid pcv;
+                       Array.unsafe_set sarr x.x_loc st;
+                       true
+                     end)
+                   | _ -> false
+             in
+             if not fast then begin
+               let mk = m.jlen in
+               step_impl m pid;
+               go (depth + 1) (if is_running m pid then running else running - 1);
+               undo_to m mk
+             end);
+            if crash_faults then begin
+              Array.unsafe_set statuses pid st_crashed;
+              go depth (running - 1);
+              Array.unsafe_set statuses pid st_running
+            end
+          end
+        done
+      end
+    in
+    go depth0 !running0
+
+  let last_step_event m = m.last_valid
+  let last_loc m = m.last_loc
+  let last_op m = m.last_op
+  let last_result m = m.last_result
+  let last_old_state m = Memory.Store.Arena.last_old_state m.arena
+
+  let last_new_state m =
+    Memory.Store.Arena.state_at m.arena (Memory.Store.Arena.last_id m.arena)
+
+  let access m pid =
+    let pcv = m.pcs.(pid) in
+    if pcv >= 0 then begin
+      let cp = m.progs.(pid) in
+      if Program.Compiled.is_done cp pcv then None
+      else
+        Some (Program.Compiled.loc_at cp pcv, Program.Compiled.read_at cp pcv)
+    end
+    else
+      match m.prim_pcs.(pid) with
+      | Program.Step (loc, op, _) -> Some (loc, Value.equal op read_sym)
+      | Program.Done _ -> None
+
+  let config m =
+    let procs =
+      Array.init (Array.length m.pcs) (fun pid ->
+          {
+            Proc.pid;
+            prog =
+              (let pcv = m.pcs.(pid) in
+               if pcv >= 0 then Program.Compiled.prim_at m.progs.(pid) pcv
+               else m.prim_pcs.(pid));
+            steps = m.steps.(pid);
+            status = status m pid;
+          })
+    in
+    let trace = ref m.base_trace in
+    for i = 0 to m.jlen - 1 do
+      match m.journal.(i) with
+      | J_event e ->
+        trace :=
+          {
+            Trace.time = e.time;
+            pid = e.pid;
+            loc = e.loc;
+            op = e.op;
+            result = e.result;
+          }
+          :: !trace
+      | J_status _ -> ()
+    done;
+    {
+      store = Memory.Store.Arena.to_store m.arena;
+      procs;
+      time = m.time;
+      trace = !trace;
+    }
+
+  let reports m = Array.map Program.Compiled.report m.progs
+
+  let run ?(max_steps = 1_000_000) ~sched m =
+    let rec go () =
+      if m.time >= max_steps then outcome_of ~hit_step_limit:true (config m)
+      else
+        match enabled m with
+        | [] -> outcome_of ~hit_step_limit:false (config m)
+        | pids ->
+          let pid =
+            let tok = Lepower_prof.Phase.enter ph_choose in
+            let pid = sched.Sched.choose ~time:m.time ~enabled:pids in
+            Lepower_prof.Phase.leave tok;
+            pid
+          in
+          if not (List.mem pid pids) then
+            outcome_of ~hit_step_limit:false (config m)
+          else begin
+            sched.Sched.observe ~time:m.time ~pid;
+            step m pid;
+            go ()
+          end
+    in
+    Obs.Metrics.incr m_runs;
+    Obs.Span.with_span "engine.run"
+      ~args:
+        [
+          ("procs", Obs.Json.Int (n_procs m));
+          ("sched", Obs.Json.String sched.Sched.name);
+        ]
+      (fun () ->
+        let outcome = go () in
+        if Obs.Metrics.is_enabled () then
+          Array.iter
+            (fun (p : Proc.t) ->
+              Obs.Metrics.observe h_steps_per_proc (Float.of_int p.Proc.steps))
+            outcome.final.procs;
+        outcome)
+end

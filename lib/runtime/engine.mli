@@ -16,6 +16,17 @@ type config = {
           must go through {!trace}, which reverses it. *)
 }
 
+(** Which implementation executes steps.  [Persistent] is the reference:
+    pure functions over {!config}.  [Arena] is the hot path: a
+    {!Machine} over a mutable {!Memory.Store.Arena} with compiled
+    programs and an undo journal.  The two are step-for-step
+    equivalent; [Explore]/[Fuzz]/[Repro] take a backend option and
+    guarantee identical verdicts, decision sets, and replay digests. *)
+type backend = Persistent | Arena
+
+val backend_name : backend -> string
+(** ["persistent"] / ["arena"] (the CLI flag spelling). *)
+
 val init : Memory.Store.t -> Program.prim list -> config
 (** Processes get pids [0 .. n-1] in list order. *)
 
@@ -77,3 +88,139 @@ val distinct_decisions : outcome -> Memory.Value.t list
 val max_steps_per_proc : outcome -> int
 (** Maximum number of operations any single process performed: the
     empirical wait-freedom bound of the run. *)
+
+val config_equal : config -> config -> bool
+(** Structural equality of everything a backend can disagree on: store
+    states (specs assumed equal), per-process status and step counts,
+    the clock, and the full trace with [time]/[pid] stamps.  Process
+    programs — closures — are {e not} compared; by program determinism
+    equal traces imply equal continuations.  Used by the explorer's
+    [verify_backend] lockstep mode and the cross-backend tests. *)
+
+(** The mutable execution machine: the [Arena] backend.
+
+    A machine is a {!config} lowered for speed — the store becomes a
+    {!Memory.Store.Arena}, each process's program a
+    {!Program.Compiled.t}, statuses and step counts flat arrays — plus
+    an undo journal so a depth-first explorer can {!mark}, take steps,
+    and {!undo_to} in O(1) amortized per step instead of keeping
+    persistent copies.
+
+    Step semantics are {e identical} to the persistent {!step}: the
+    same store errors, type-error messages, status transitions, trace
+    events, and metric counters, in the same order.  Materializing with
+    {!config} after any step sequence yields a configuration
+    [config_equal] to the one the persistent engine reaches through the
+    same moves.
+
+    Not thread-safe; one machine per domain. *)
+module Machine : sig
+  type t
+
+  val of_config : ?max_nodes:int -> config -> t
+  (** Lower a configuration.  [max_nodes] caps each process's compiled
+      instruction graph (default {!Program.Compiled.default_max_nodes});
+      processes that outgrow it transparently continue on the closure
+      interpreter ({!reports} says which). *)
+
+  val n_procs : t -> int
+  val time : t -> int
+  val status : t -> int -> Proc.status
+  val is_running : t -> int -> bool
+
+  val enabled : t -> int list
+  (** Pids still [Running], ascending — same as the persistent
+      {!Engine.enabled}. *)
+
+  val mem_loc : t -> string -> bool
+  val state_bindings : t -> (string * Memory.Value.t) list
+
+  val step : t -> int -> unit
+  (** Advance process [pid] by one operation, journaling enough to undo.
+      Same semantics as the persistent {!Engine.step}. *)
+
+  val crash : t -> int -> unit
+  val step_lost : t -> int -> unit
+
+  val freeze : t -> string -> unit
+  (** Stuck-at fault.  Journaled in the {e arena} but not as a machine
+      step, so only replay/fuzz (which never backtrack) may use it;
+      a machine {!undo_to} across a freeze would not restore it. *)
+
+  val mark : t -> int
+  (** O(1) snapshot token: the machine journal position. *)
+
+  val undo_to : t -> int -> unit
+  (** Rewind to a {!mark}: statuses, pcs, step counts, clock, trace and
+      store all return to their state at the mark. *)
+
+  type walk_stats = {
+    mutable w_configs : int;
+    mutable w_terminals : int;
+    mutable w_truncated : int;
+    mutable w_max_depth : int;
+    mutable w_choice_points : int;
+  }
+
+  val walk_naive :
+    ?tick:(walk_stats -> unit) ->
+    crash_faults:bool ->
+    max_steps:int ->
+    depth0:int ->
+    walk_stats ->
+    t ->
+    unit
+  (** Exhaustive naive enumeration (every interleaving; with
+      [crash_faults], every crash placement), counting into
+      [walk_stats] — the machine's raw hot path.  Because the caller
+      observes no configurations, each move's undo data lives in the
+      DFS stack frame: memoized transitions bypass the journal entirely
+      and the walk allocates nothing once the per-instruction
+      transition memos are warm.  Traversal order and counter semantics
+      match the {!Explore} naive DFS; [tick] fires every 8192nd
+      configuration counted from [w_configs]'s initial value.  Steps
+      are not phase-attributed; metrics counters are fed as usual.
+      The machine is back in its pre-walk state on return. *)
+
+  val access : t -> int -> (string * bool) option
+  (** [(loc, is_read)] of the operation process [pid] is about to
+      perform; [None] if its program is done.  Status-independent, like
+      the explorer's persistent move-access probe; [is_read] is the
+      literal [:read] check the POR independence relation uses. *)
+
+  (** {2 Last-step delta}
+
+      After a {!step} that performed a store operation, these expose
+      its single-binding effect without allocation, so the explorer
+      maintains incremental {!Fingerprint} sums.  Valid only until the
+      next step or undo ({!last_step_event} says whether they are). *)
+
+  val last_step_event : t -> bool
+  (** Whether the most recent {!step} performed a store operation (false
+      after a decide step, a store-rejected fault, or an undo). *)
+
+  val last_loc : t -> string
+  val last_op : t -> Memory.Value.t
+  val last_result : t -> Memory.Value.t
+
+  val last_old_state : t -> Memory.Value.t
+  (** State of [last_loc]'s object before the operation. *)
+
+  val last_new_state : t -> Memory.Value.t
+  (** Its state now.  After {!step_lost} this equals {!last_old_state}
+      (the write evaporated), which keeps incremental store sums
+      correct with no special case. *)
+
+  val config : t -> config
+  (** Materialize the current state as a persistent configuration
+      (store, procs with [prim] programs, clock, full reverse-chron
+      trace).  O(locs + procs + events since [of_config]). *)
+
+  val run : ?max_steps:int -> sched:Sched.t -> t -> outcome
+  (** Drive the machine like the persistent {!Engine.run} — same
+      scheduler protocol, halt rules, span, and metrics — returning the
+      same outcome the persistent engine would. *)
+
+  val reports : t -> Program.Compiled.report array
+  (** Per-process lowering reports (indexed by pid). *)
+end

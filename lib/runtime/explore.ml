@@ -55,10 +55,13 @@ module Options = struct
     dedup : bool;
     por : bool;
     domains : int;
+    backend : Engine.backend;
+    verify_backend : bool;
     footprints : (string list * string list) array;
     analyze : (Engine.config -> unit) option;
     on_terminal : (Engine.config -> unit) option;
     on_truncated : (Engine.config -> unit) option;
+    on_lowering : (Program.Compiled.report array -> unit) option;
     progress : (progress -> unit) option;
   }
 
@@ -69,10 +72,13 @@ module Options = struct
       dedup = false;
       por = false;
       domains = 1;
+      backend = Engine.Persistent;
+      verify_backend = false;
       footprints = [||];
       analyze = None;
       on_terminal = None;
       on_truncated = None;
+      on_lowering = None;
       progress = None;
     }
 end
@@ -155,6 +161,8 @@ type opts = {
   o_crash_faults : bool;
   o_dedup : bool;
   o_por : bool;
+  o_backend : Engine.backend;
+  o_verify : bool;
   o_fast : bool array array option;
 }
 
@@ -164,6 +172,8 @@ let opts_of (options : Options.t) =
     o_crash_faults = options.Options.crash_faults;
     o_dedup = options.Options.dedup;
     o_por = options.Options.por;
+    o_backend = options.Options.backend;
+    o_verify = options.Options.verify_backend;
     o_fast = fast_matrix options.Options.footprints;
   }
 
@@ -356,6 +366,317 @@ let explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal ~on_truncated
   go config0 histories0 depth0 rpath0 []
 
 (* ------------------------------------------------------------------ *)
+(* The same DFS on the arena backend: one Engine.Machine per frontier  *)
+(* item, mutated on descent and journal-popped on backtrack.  Every    *)
+(* counter, callback, traversal order and pruning decision is the same *)
+(* as [explore_seq]'s — the two must agree config-for-config, which    *)
+(* the cross-backend tests and the [verify_backend] lockstep shadow    *)
+(* enforce.  Configurations are only materialized at leaves that have  *)
+(* callbacks; fingerprint sums are maintained incrementally from the   *)
+(* machine's step deltas.                                              *)
+
+let move_access_m m = function
+  | Crash_m _ -> None
+  | Step_m pid -> Engine.Machine.access m pid
+
+let independent_m m m1 m2 =
+  move_pid m1 <> move_pid m2
+  &&
+  match (move_access_m m m1, move_access_m m m2) with
+  | None, _ | _, None -> true
+  | Some (l1, r1), Some (l2, r2) -> (not (String.equal l1 l2)) || (r1 && r2)
+
+let explore_seq_arena ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+    ~on_truncated (config0, histories0, depth0, rpath0) =
+  let m = Engine.Machine.of_config config0 in
+  let n = Engine.Machine.n_procs m in
+  (* Frame-local save/restore instead of [explore_seq]'s copy-per-step:
+     one histories array for the whole item. *)
+  let histories = Array.copy histories0 in
+  let store_sum = ref 0 and proc_sum = ref 0 in
+  (if opts.o_dedup then begin
+     let s, p = Fingerprint.sums config0 histories0 in
+     store_sum := s;
+     proc_sum := p
+   end);
+  let verify shadow =
+    match shadow with
+    | None -> ()
+    | Some c ->
+      if not (Engine.config_equal c (Engine.Machine.config m)) then
+        failwith
+          (Printf.sprintf
+             "Explore: arena backend diverged from the persistent reference \
+              at time %d (verify_backend)"
+             (Engine.Machine.time m))
+  in
+  let rec go depth rpath sleep shadow =
+    verify shadow;
+    if depth > acc.a_max_depth then acc.a_max_depth <- depth;
+    let enabled = Engine.Machine.enabled m in
+    let leaf = enabled = [] || depth >= opts.o_max_steps in
+    let proceed sleep =
+      acc.a_configs <- acc.a_configs + 1;
+      if acc.a_configs land 8191 = 0 then
+        (match tick with Some f -> f acc | None -> ());
+      match enabled with
+      | [] ->
+        (match (analyze, on_terminal) with
+        | None, None -> acc.a_terminals <- acc.a_terminals + 1
+        | _ ->
+          let config = Engine.Machine.config m in
+          (match analyze with None -> () | Some f -> f config rpath);
+          acc.a_terminals <- acc.a_terminals + 1;
+          (match on_terminal with None -> () | Some f -> f config rpath))
+      | _ when depth >= opts.o_max_steps ->
+        acc.a_truncated <- acc.a_truncated + 1;
+        (match on_truncated with
+        | None -> ()
+        | Some f -> f (Engine.Machine.config m) rpath)
+      | pids ->
+        if (match pids with _ :: _ :: _ -> true | _ -> opts.o_crash_faults)
+        then acc.a_choice_points <- acc.a_choice_points + 1;
+        let rec loop sleep explored = function
+          | [] -> ()
+          | mv :: rest ->
+            if sleep_mem mv sleep then begin
+              acc.a_pruned <- acc.a_pruned + 1;
+              loop sleep explored rest
+            end
+            else begin
+              let child_sleep =
+                if opts.o_por then begin
+                  let tok = Lepower_prof.Phase.enter ph_por in
+                  let kept =
+                    List.filter
+                      (fun mv' ->
+                        acc.a_por_checks <- acc.a_por_checks + 1;
+                        let p = move_pid mv' and q = move_pid mv in
+                        match opts.o_fast with
+                        | Some fast
+                          when p <> q
+                               && p < Array.length fast
+                               && q < Array.length fast
+                               && fast.(p).(q) ->
+                          acc.a_fast <- acc.a_fast + 1;
+                          true
+                        | _ -> independent_m m mv' mv)
+                      (List.rev_append explored sleep)
+                  in
+                  Lepower_prof.Phase.leave tok;
+                  kept
+                end
+                else []
+              in
+              let rpath' = decision_of_move mv :: rpath in
+              (match mv with
+              | Step_m pid ->
+                let mk = Engine.Machine.mark m in
+                let saved_hist = histories.(pid) in
+                let saved_status = Engine.Machine.status m pid in
+                let saved_ssum = !store_sum and saved_psum = !proc_sum in
+                Engine.Machine.step m pid;
+                (if opts.o_dedup then begin
+                   (if Engine.Machine.last_step_event m then begin
+                      let loc = Engine.Machine.last_loc m in
+                      histories.(pid) <-
+                        Fingerprint.history_extend_op histories.(pid) ~loc
+                          ~op:(Engine.Machine.last_op m)
+                          ~result:(Engine.Machine.last_result m);
+                      store_sum :=
+                        !store_sum
+                        - Fingerprint.store_binding_hash loc
+                            (Engine.Machine.last_old_state m)
+                        + Fingerprint.store_binding_hash loc
+                            (Engine.Machine.last_new_state m)
+                    end);
+                   proc_sum :=
+                     !proc_sum
+                     - Fingerprint.proc_hash ~pid saved_status saved_hist
+                     + Fingerprint.proc_hash ~pid
+                         (Engine.Machine.status m pid)
+                         histories.(pid)
+                 end);
+                go (depth + 1) rpath' child_sleep
+                  (Option.map (fun c -> Engine.step c pid) shadow);
+                Engine.Machine.undo_to m mk;
+                histories.(pid) <- saved_hist;
+                store_sum := saved_ssum;
+                proc_sum := saved_psum
+              | Crash_m pid ->
+                let mk = Engine.Machine.mark m in
+                let saved_status = Engine.Machine.status m pid in
+                let saved_psum = !proc_sum in
+                Engine.Machine.crash m pid;
+                (if opts.o_dedup then
+                   proc_sum :=
+                     !proc_sum
+                     - Fingerprint.proc_hash ~pid saved_status histories.(pid)
+                     + Fingerprint.proc_hash ~pid
+                         (Engine.Machine.status m pid)
+                         histories.(pid));
+                go depth rpath' child_sleep
+                  (Option.map (fun c -> Engine.crash c pid) shadow);
+                Engine.Machine.undo_to m mk;
+                proc_sum := saved_psum);
+              loop sleep (if opts.o_por then mv :: explored else explored) rest
+            end
+        in
+        loop sleep [] (moves_of opts pids)
+    in
+    match visited with
+    | None -> proceed sleep
+    | Some tbl -> (
+      let tok = Lepower_prof.Phase.enter ph_fingerprint in
+      let action =
+        let key =
+          Fingerprint.of_parts ~store_sum:!store_sum ~proc_sum:!proc_sum
+            ~store:(Engine.Machine.state_bindings m)
+            ~procs:
+              (Array.init n (fun pid ->
+                   (Engine.Machine.status m pid, histories.(pid))))
+        in
+        match Fingerprint.Tbl.find_opt tbl key with
+        | None ->
+          Fingerprint.Tbl.add tbl key (if leaf then [] else sleep);
+          `Proceed sleep
+        | Some stored when leaf || sleep_subset stored sleep -> `Dedup
+        | Some stored ->
+          let sleep = sleep_inter sleep stored in
+          Fingerprint.Tbl.replace tbl key sleep;
+          `Proceed sleep
+      in
+      Lepower_prof.Phase.leave tok;
+      match action with
+      | `Dedup -> acc.a_deduped <- acc.a_deduped + 1
+      | `Proceed sleep -> proceed sleep)
+  in
+  go depth0 rpath0 [] (if opts.o_verify then Some config0 else None);
+  m
+
+(* Specialized arena walk for the naive mode (no dedup, no POR, no
+   lockstep shadow): the traversal needs no move lists, no sleep sets
+   and — when no callback wants a path — no decision accumulation, so
+   the whole DFS runs allocation-free on the machine's journal.  Same
+   traversal order and counters as [explore_seq_arena]; that equality is
+   what the cross-backend tests pin down. *)
+let rec explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
+    ~on_truncated (config0, _histories0, depth0, rpath0) =
+  let m = Engine.Machine.of_config config0 in
+  match (analyze, on_terminal, on_truncated) with
+  | None, None, None ->
+    (* Counting-only walk: hand the whole enumeration to the machine's
+       journal-free hot path.  [ws] starts from the shared accumulator
+       so the tick cadence ([a_configs land 8191]) is unchanged. *)
+    let ws =
+      {
+        Engine.Machine.w_configs = acc.a_configs;
+        w_terminals = acc.a_terminals;
+        w_truncated = acc.a_truncated;
+        w_max_depth = acc.a_max_depth;
+        w_choice_points = acc.a_choice_points;
+      }
+    in
+    let sync (ws : Engine.Machine.walk_stats) =
+      acc.a_configs <- ws.Engine.Machine.w_configs;
+      acc.a_terminals <- ws.Engine.Machine.w_terminals;
+      acc.a_truncated <- ws.Engine.Machine.w_truncated;
+      acc.a_max_depth <- ws.Engine.Machine.w_max_depth;
+      acc.a_choice_points <- ws.Engine.Machine.w_choice_points
+    in
+    let tick =
+      match tick with
+      | None -> None
+      | Some f ->
+        Some
+          (fun ws ->
+            sync ws;
+            f acc)
+    in
+    Engine.Machine.walk_naive ?tick ~crash_faults:opts.o_crash_faults
+      ~max_steps:opts.o_max_steps ~depth0 ws m;
+    sync ws;
+    m
+  | _ -> explore_arena_naive_cb ~opts ~acc ?tick ~analyze ~on_terminal
+           ~on_truncated m depth0 rpath0
+
+and explore_arena_naive_cb ~opts ~acc ?tick ~analyze ~on_terminal
+    ~on_truncated m depth0 rpath0 =
+  let n = Engine.Machine.n_procs m in
+  let crash = opts.o_crash_faults in
+  let track_paths =
+    analyze <> None || on_terminal <> None || on_truncated <> None
+  in
+  let rec go depth rpath =
+    if depth > acc.a_max_depth then acc.a_max_depth <- depth;
+    acc.a_configs <- acc.a_configs + 1;
+    if acc.a_configs land 8191 = 0 then
+      (match tick with Some f -> f acc | None -> ());
+    let en = ref 0 in
+    for pid = 0 to n - 1 do
+      if Engine.Machine.is_running m pid then incr en
+    done;
+    if !en = 0 then (
+      match (analyze, on_terminal) with
+      | None, None -> acc.a_terminals <- acc.a_terminals + 1
+      | _ ->
+        let config = Engine.Machine.config m in
+        (match analyze with None -> () | Some f -> f config rpath);
+        acc.a_terminals <- acc.a_terminals + 1;
+        (match on_terminal with None -> () | Some f -> f config rpath))
+    else if depth >= opts.o_max_steps then begin
+      acc.a_truncated <- acc.a_truncated + 1;
+      match on_truncated with
+      | None -> ()
+      | Some f -> f (Engine.Machine.config m) rpath
+    end
+    else begin
+      if !en >= 2 || crash then
+        acc.a_choice_points <- acc.a_choice_points + 1;
+      for pid = 0 to n - 1 do
+        if Engine.Machine.is_running m pid then begin
+          let mk = Engine.Machine.mark m in
+          Engine.Machine.step m pid;
+          go (depth + 1)
+            (if track_paths then Repro.Step pid :: rpath else rpath);
+          Engine.Machine.undo_to m mk;
+          if crash then begin
+            let mk = Engine.Machine.mark m in
+            Engine.Machine.crash m pid;
+            go depth (if track_paths then Repro.Crash pid :: rpath else rpath);
+            Engine.Machine.undo_to m mk
+          end
+        end
+      done
+    end
+  in
+  go depth0 rpath0;
+  m
+
+(* Backend dispatch for one DFS item — the single worker entry point for
+   both the [domains <= 1] path and the frontier workers. *)
+let explore_item ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+    ~on_truncated ~on_lowering item =
+  match opts.o_backend with
+  | Engine.Persistent ->
+    explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal ~on_truncated
+      item
+  | Engine.Arena -> (
+    let m =
+      if
+        (not opts.o_dedup) && (not opts.o_por) && (not opts.o_verify)
+        && visited = None
+      then explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
+             ~on_truncated item
+      else
+        explore_seq_arena ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+          ~on_truncated item
+    in
+    match on_lowering with
+    | None -> ()
+    | Some f -> f (Engine.Machine.reports m))
+
+(* ------------------------------------------------------------------ *)
 (* Multicore frontier exploration.                                    *)
 
 (* Expand the first few levels of the schedule tree breadth-first (naive:
@@ -484,7 +805,7 @@ let g_domain_roots w =
   Lepower_obs.Metrics.gauge (Printf.sprintf "explore.domain%d.roots" w)
 
 let run_parallel ~opts ~acc ~domains ~progress ~analyze ~on_terminal
-    ~on_truncated config =
+    ~on_truncated ~on_lowering config =
   let frontier =
     let tok = Lepower_prof.Phase.enter ph_frontier in
     let f =
@@ -534,8 +855,8 @@ let run_parallel ~opts ~acc ~domains ~progress ~analyze ~on_terminal
                    (fun i item ->
                      if i mod nd = w then begin
                        incr roots;
-                       explore_seq ~opts ~acc:wacc ?tick ~visited ~analyze
-                         ~on_terminal ~on_truncated item
+                       explore_item ~opts ~acc:wacc ?tick ~visited ~analyze
+                         ~on_terminal ~on_truncated ~on_lowering item
                      end)
                    items;
                  Lepower_obs.Metrics.set (g_domain_roots w)
@@ -578,6 +899,21 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
     ~on_truncated config =
   let opts = opts_of options in
   let domains = options.Options.domains in
+  (* The lowering report fires once per DFS item, not per configuration,
+     so a mutex around it is cheap even on the hottest runs. *)
+  let on_lowering =
+    match options.Options.on_lowering with
+    | None -> None
+    | Some f when domains <= 1 -> Some f
+    | Some f ->
+      let mutex = Mutex.create () in
+      Some
+        (fun reports ->
+          Mutex.lock mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock mutex)
+            (fun () -> f reports))
+  in
   let acc = acc_create () in
   let finish domains_used =
     (* Counters maintained once, from the merged totals, so they stay
@@ -634,8 +970,8 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
               progress
           in
           let tok = Lepower_prof.Phase.enter ph_walk in
-          explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal
-            ~on_truncated
+          explore_item ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+            ~on_truncated ~on_lowering
             (config, initial_histories config, 0, []);
           Lepower_prof.Phase.leave tok;
           1
@@ -646,11 +982,11 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
             ~analyze:(with_mutex mutex analyze)
             ~on_terminal:(with_mutex mutex on_terminal)
             ~on_truncated:(with_mutex mutex on_truncated)
-            config
+            ~on_lowering config
         end
         else
           run_parallel ~opts ~acc ~domains ~progress ~analyze ~on_terminal
-            ~on_truncated config)
+            ~on_truncated ~on_lowering config)
   in
   finish domains_used
 

@@ -105,6 +105,24 @@ module Options : sig
     dedup : bool;  (** fingerprint memoization (default [false]) *)
     por : bool;  (** sleep-set partial-order reduction (default [false]) *)
     domains : int;  (** worker domains (default [1] = sequential) *)
+    backend : Engine.backend;
+        (** which executor runs the DFS (default [Persistent]).
+            [Arena] lowers each DFS root into an {!Engine.Machine} —
+            compiled programs, mutable store, O(1) snapshot/undo on
+            backtrack, incremental fingerprint sums — and is
+            substantially faster; verdicts, statistics, decision sets
+            and reported witness paths are identical.  A program whose
+            compiled form outgrows its node budget transparently falls
+            back to closure interpretation (see
+            {!Program.Compiled}/[on_lowering]); the frontier split under
+            [domains] stays persistent either way (it is shallow and
+            exact). *)
+    verify_backend : bool;
+        (** debug flag (default [false], [Arena] only): shadow every
+            machine step with the persistent reference and [failwith] on
+            the first divergence ({!Engine.config_equal} after every
+            move).  Orders of magnitude slower; for test suites and
+            bug hunts, not for campaigns. *)
     footprints : (string list * string list) array;
         (** per-pid static (may-read, may-write) location lists, indexed
             by pid — seeds a pairwise commutation matrix giving [por] a
@@ -131,6 +149,14 @@ module Options : sig
             the hook. *)
     on_terminal : (Engine.config -> unit) option;
     on_truncated : (Engine.config -> unit) option;
+    on_lowering : (Program.Compiled.report array -> unit) option;
+        (** [Arena] only: called once per DFS item (once total when
+            [domains <= 1]) with the per-pid lowering reports of that
+            item's machine — how many instructions were interned,
+            edge-table hit/miss counts, and whether the process bailed
+            to the closure fallback.  Serialized by a mutex under
+            [domains].  The CLI's [--backend arena] aggregates these
+            into its lowering summary (default [None]). *)
     progress : (progress -> unit) option;
         (** called every 8192 configurations (per worker domain, merged
             globally and serialized by a mutex under [domains]) with the
@@ -140,9 +166,10 @@ module Options : sig
 
   val default : t
   (** [{max_steps = 10_000; crash_faults = false; dedup = false;
-      por = false; domains = 1; footprints = [||]; analyze = None;
-      on_terminal = None; on_truncated = None; progress = None}] — the
-      naive exhaustive walk, exactly. *)
+      por = false; domains = 1; backend = Persistent;
+      verify_backend = false; footprints = [||]; analyze = None;
+      on_terminal = None; on_truncated = None; on_lowering = None;
+      progress = None}] — the naive exhaustive walk, exactly. *)
 end
 
 val explore : ?options:Options.t -> Engine.config -> stats

@@ -31,21 +31,32 @@ let apply config decision =
     Obs.Metrics.incr m_injected;
     { config with Engine.store = Memory.Store.freeze config.Engine.store loc }
 
+let apply_machine m decision =
+  match decision with
+  | Repro.Step pid -> Engine.Machine.step m pid
+  | Repro.Crash pid ->
+    Obs.Metrics.incr m_injected;
+    Engine.Machine.crash m pid
+  | Repro.Lose pid ->
+    Obs.Metrics.incr m_injected;
+    Engine.Machine.step_lost m pid
+  | Repro.Stick loc ->
+    Obs.Metrics.incr m_injected;
+    Engine.Machine.freeze m loc
+
 (* One adversary decision, deterministic in [rng].  The scheduler is only
    consulted for decisions that schedule a process (Step/Lose), so its
-   own state advances exactly with the executed schedule. *)
-let decide ~plan ~rng ~crashes ~faults ~sched ~time ~enabled config =
+   own state advances exactly with the executed schedule.  Taking the
+   location list (fixed for a run — faults never add or remove objects)
+   instead of a config keeps the decision policy backend-agnostic. *)
+let decide ~plan ~rng ~crashes ~faults ~sched ~time ~enabled ~locs =
   let roll = Random.State.float rng 1.0 in
   let in_band lo width = width > 0.0 && roll >= lo && roll < lo +. width in
   let crash_ok = crashes < plan.max_crashes && List.length enabled > 1 in
   let fault_ok = faults < plan.max_faults in
   if crash_ok && in_band 0.0 plan.crash_p then
     Some (Repro.Crash (List.nth enabled (Random.State.int rng (List.length enabled))))
-  else if
-    fault_ok && in_band plan.crash_p plan.stick_p
-    && Memory.Store.locs config.Engine.store <> []
-  then
-    let locs = Memory.Store.locs config.Engine.store in
+  else if fault_ok && in_band plan.crash_p plan.stick_p && locs <> [] then
     Some (Repro.Stick (List.nth locs (Random.State.int rng (List.length locs))))
   else
     let pid = sched.Sched.choose ~time ~enabled in

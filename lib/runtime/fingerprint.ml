@@ -12,16 +12,19 @@ type history =
 let history_empty = Nil
 let history_hash = function Nil -> 0x2545f491 | Ev e -> e.h
 
-let history_extend tl (e : Trace.event) =
+let history_extend_op tl ~loc ~op ~result =
   (* [time] and [pid] deliberately excluded: the fingerprint must be
      invariant under reorderings of other processes' events. *)
   let h =
     String.fold_left
       (fun h c -> mix h (Char.code c))
-      (mix (history_hash tl) 0x1f) e.Trace.loc
+      (mix (history_hash tl) 0x1f) loc
   in
-  let h = Value.hash_fold (Value.hash_fold h e.Trace.op) e.Trace.result in
-  Ev { loc = e.Trace.loc; op = e.Trace.op; result = e.Trace.result; h; tl }
+  let h = Value.hash_fold (Value.hash_fold h op) result in
+  Ev { loc; op; result; h; tl }
+
+let history_extend tl (e : Trace.event) =
+  history_extend_op tl ~loc:e.Trace.loc ~op:e.Trace.op ~result:e.Trace.result
 
 let rec history_equal a b =
   a == b
@@ -56,27 +59,57 @@ type t = {
   procs : (Proc.status * history) array;
 }
 
+(* The hash is a pair of {e commutative} sums — one term per store
+   binding, one term per process — mixed together at the end.  Summing
+   (native wrap-around [+]) instead of chaining costs nothing in
+   collision resistance we care about (each term is already a deep FNV
+   hash, and [equal] rechecks structurally), and buys incrementality:
+   replacing one binding's term is [sum - old_term + new_term], so the
+   arena-backed explorer maintains the configuration hash in O(1) per
+   step instead of rehashing every binding and process. *)
+
+let store_binding_hash loc v =
+  Value.hash_fold
+    (String.fold_left (fun h c -> mix h (Char.code c)) (mix 0x811c9dc5 0x7f) loc)
+    v
+
+let proc_hash ~pid status hist =
+  mix (mix (mix 0x9e3779b9 (pid + 1)) (status_hash status)) (history_hash hist)
+
+let combine ~store_sum ~proc_sum =
+  mix (mix 0x811c9dc5 store_sum) proc_sum land max_int
+
+let sums (config : Engine.config) histories =
+  let store_sum =
+    Memory.Store.fold_states
+      (fun loc v acc -> acc + store_binding_hash loc v)
+      config.Engine.store 0
+  in
+  let proc_sum = ref 0 in
+  Array.iteri
+    (fun pid (p : Proc.t) ->
+      proc_sum := !proc_sum + proc_hash ~pid p.Proc.status histories.(pid))
+    config.Engine.procs;
+  (store_sum, !proc_sum)
+
+let of_parts ~store_sum ~proc_sum ~store ~procs =
+  { hash = combine ~store_sum ~proc_sum; store; procs }
+
 let make (config : Engine.config) histories =
   let store = Memory.Store.state_bindings config.Engine.store in
-  let h =
-    List.fold_left
-      (fun h (loc, v) ->
-        Value.hash_fold
-          (String.fold_left (fun h c -> mix h (Char.code c)) (mix h 0x7f) loc)
-          v)
-      0x811c9dc5 store
+  let store_sum =
+    List.fold_left (fun acc (loc, v) -> acc + store_binding_hash loc v) 0 store
   in
-  let n = Array.length config.Engine.procs in
   let procs =
-    Array.init n (fun pid ->
+    Array.init (Array.length config.Engine.procs) (fun pid ->
         (config.Engine.procs.(pid).Proc.status, histories.(pid)))
   in
-  let h = ref h in
-  Array.iter
-    (fun (status, hist) ->
-      h := mix (mix !h (status_hash status)) (history_hash hist))
+  let proc_sum = ref 0 in
+  Array.iteri
+    (fun pid (status, hist) ->
+      proc_sum := !proc_sum + proc_hash ~pid status hist)
     procs;
-  { hash = !h land max_int; store; procs }
+  { hash = combine ~store_sum ~proc_sum:!proc_sum; store; procs }
 
 let hash t = t.hash
 

@@ -33,6 +33,14 @@ val history_extend : history -> Trace.event -> history
     and [pid] fields are ignored: only [(loc, op, result)] enter the
     fingerprint, keeping it insensitive to the global interleaving. *)
 
+val history_extend_op :
+  history -> loc:string -> op:Memory.Value.t -> result:Memory.Value.t -> history
+(** {!history_extend} without requiring a materialized {!Trace.event} —
+    the arena-backed explorer extends histories straight from the
+    machine's step delta. *)
+
+val history_hash : history -> int
+
 type t
 (** A fingerprint: canonical store bindings + per-process status and
     history, with a precomputed hash. *)
@@ -44,6 +52,45 @@ val make : Engine.config -> history array -> t
 
 val equal : t -> t -> bool
 val hash : t -> int
+
+(** {2 Incremental hashing}
+
+    The fingerprint hash is built from two {e commutative} sums — one
+    term per store binding ({!store_binding_hash}), one term per process
+    ({!proc_hash}) — combined by {!combine}.  Because the sums commute,
+    a caller that knows which single binding or process a step changed
+    can maintain them in O(1): [sum - old_term + new_term] (native
+    wrap-around [+]/[-]).  {!sums} computes them from scratch;
+    {!of_parts} assembles a fingerprint from maintained sums.
+    [make config hs] and
+    [of_parts ~store_sum ~proc_sum ...] agree whenever the sums equal
+    [sums config hs] — the property the test suite checks over random
+    op sequences. *)
+
+val store_binding_hash : string -> Memory.Value.t -> int
+(** The store sum's term for one [loc -> state] binding. *)
+
+val proc_hash : pid:int -> Proc.status -> history -> int
+(** The process sum's term for one process (the pid is baked into the
+    term, so the sum distinguishes permutations). *)
+
+val combine : store_sum:int -> proc_sum:int -> int
+(** Fold the two sums into the final non-negative hash. *)
+
+val sums : Engine.config -> history array -> int * int
+(** [(store_sum, proc_sum)] computed from scratch, without
+    materializing binding lists. *)
+
+val of_parts :
+  store_sum:int ->
+  proc_sum:int ->
+  store:(string * Memory.Value.t) list ->
+  procs:(Proc.status * history) array ->
+  t
+(** Assemble a fingerprint from incrementally-maintained sums plus the
+    canonical structural components (used by [equal] on hash
+    collision).  [store] must be sorted by location; [procs.(pid)] must
+    match the terms folded into [proc_sum]. *)
 
 module Tbl : Hashtbl.S with type key = t
 

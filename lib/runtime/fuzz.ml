@@ -30,53 +30,99 @@ type run = {
   hit_step_limit : bool;
 }
 
-let run ?(max_steps = 1_000) ?(plan = Faults.none) ~kind ~seed config =
+let run ?(max_steps = 1_000) ?(plan = Faults.none)
+    ?(backend = Engine.Persistent) ~kind ~seed config =
   Obs.Metrics.incr m_runs;
   let sched = instantiate kind ~seed ~max_steps in
   let rng = Random.State.make [| 0xfa17; seed |] in
-  let finish ~hit config log injected =
+  (* Faults never add or remove objects, so the fault roller's location
+     list is fixed for the whole run — computed once, not per decision. *)
+  let locs = Memory.Store.locs config.Engine.store in
+  let finish ~hit final log injected =
     {
-      final = config;
+      final;
       decisions = List.rev log;
       sched_name = Printf.sprintf "fuzz:%s" sched.Sched.name;
       injected;
       hit_step_limit = hit;
     }
   in
-  let rec go config log crashes faults =
-    if config.Engine.time >= max_steps then
-      finish ~hit:true config log (crashes + faults)
-    else
-      match Engine.enabled config with
-      | [] -> finish ~hit:false config log (crashes + faults)
-      | enabled -> (
-        match
-          Faults.decide ~plan ~rng ~crashes ~faults ~sched
-            ~time:config.Engine.time ~enabled config
-        with
-        | None -> finish ~hit:false config log (crashes + faults)
-        | Some d ->
-          (* The engine protocol: [observe] fires for every decision that
-             scheduled a process, lost writes included — the scheduler
-             cannot tell a lost step from a real one, just as the process
-             cannot. *)
-          (match d with
-          | Repro.Step pid | Repro.Lose pid ->
-            sched.Sched.observe ~time:config.Engine.time ~pid
-          | Repro.Crash _ | Repro.Stick _ -> ());
-          let config' = Faults.apply config d in
-          let crashes' =
-            match d with Repro.Crash _ -> crashes + 1 | _ -> crashes
-          in
-          let faults' =
-            match d with
-            | Repro.Lose _ | Repro.Stick _ -> faults + 1
-            | _ -> faults
-          in
-          go config' (d :: log) crashes' faults')
+  (* Both loops make rng and scheduler calls in exactly the same order,
+     so a seed produces the same decision log on either backend. *)
+  let go_persistent () =
+    let rec go config log crashes faults =
+      if config.Engine.time >= max_steps then
+        finish ~hit:true config log (crashes + faults)
+      else
+        match Engine.enabled config with
+        | [] -> finish ~hit:false config log (crashes + faults)
+        | enabled -> (
+          match
+            Faults.decide ~plan ~rng ~crashes ~faults ~sched
+              ~time:config.Engine.time ~enabled ~locs
+          with
+          | None -> finish ~hit:false config log (crashes + faults)
+          | Some d ->
+            (* The engine protocol: [observe] fires for every decision that
+               scheduled a process, lost writes included — the scheduler
+               cannot tell a lost step from a real one, just as the process
+               cannot. *)
+            (match d with
+            | Repro.Step pid | Repro.Lose pid ->
+              sched.Sched.observe ~time:config.Engine.time ~pid
+            | Repro.Crash _ | Repro.Stick _ -> ());
+            let config' = Faults.apply config d in
+            let crashes' =
+              match d with Repro.Crash _ -> crashes + 1 | _ -> crashes
+            in
+            let faults' =
+              match d with
+              | Repro.Lose _ | Repro.Stick _ -> faults + 1
+              | _ -> faults
+            in
+            go config' (d :: log) crashes' faults')
+    in
+    go config [] 0 0
+  in
+  let go_arena () =
+    let m = Engine.Machine.of_config config in
+    let rec go log crashes faults =
+      if Engine.Machine.time m >= max_steps then
+        finish ~hit:true (Engine.Machine.config m) log (crashes + faults)
+      else
+        match Engine.Machine.enabled m with
+        | [] -> finish ~hit:false (Engine.Machine.config m) log (crashes + faults)
+        | enabled -> (
+          match
+            Faults.decide ~plan ~rng ~crashes ~faults ~sched
+              ~time:(Engine.Machine.time m) ~enabled ~locs
+          with
+          | None ->
+            finish ~hit:false (Engine.Machine.config m) log (crashes + faults)
+          | Some d ->
+            (match d with
+            | Repro.Step pid | Repro.Lose pid ->
+              sched.Sched.observe ~time:(Engine.Machine.time m) ~pid
+            | Repro.Crash _ | Repro.Stick _ -> ());
+            Faults.apply_machine m d;
+            let crashes' =
+              match d with Repro.Crash _ -> crashes + 1 | _ -> crashes
+            in
+            let faults' =
+              match d with
+              | Repro.Lose _ | Repro.Stick _ -> faults + 1
+              | _ -> faults
+            in
+            go (d :: log) crashes' faults')
+    in
+    go [] 0 0
   in
   let tok = Lepower_prof.Phase.enter ph_run in
-  let r = go config [] 0 0 in
+  let r =
+    match backend with
+    | Engine.Persistent -> go_persistent ()
+    | Engine.Arena -> go_arena ()
+  in
   Lepower_prof.Phase.leave tok;
   r
 
@@ -102,7 +148,7 @@ type outcome = {
 
 let campaign ?(runs = 256) ?(seed = 1) ?(max_steps = 1_000)
     ?(plan = Faults.none) ?(kind = Pct { depth = 3 }) ?(shrink = true)
-    ?(subject = Json.Null) ?progress ~failing fresh_config =
+    ?(subject = Json.Null) ?backend ?progress ~failing fresh_config =
   Obs.Span.with_span "fuzz.campaign"
     ~args:
       [
@@ -124,7 +170,7 @@ let campaign ?(runs = 256) ?(seed = 1) ?(max_steps = 1_000)
       }
     else
       let config0 = fresh_config () in
-      let r = run ~max_steps ~plan ~kind ~seed:(seed + i) config0 in
+      let r = run ~max_steps ~plan ?backend ~kind ~seed:(seed + i) config0 in
       let injected = injected + r.injected in
       let steps = steps + List.length r.decisions in
       (match progress with

@@ -54,6 +54,7 @@ type run = {
 val run :
   ?max_steps:int ->
   ?plan:Faults.plan ->
+  ?backend:Engine.backend ->
   kind:sched_kind ->
   seed:int ->
   Engine.config ->
@@ -67,7 +68,9 @@ val run :
     Stops when no process is running, the scheduler halts, or [max_steps]
     (default 1000) store operations have run.  Same [seed] (with equal
     [kind]/[plan]/[max_steps] and initial configuration) ⇒ identical
-    decision log. *)
+    decision log, on {e either} backend ([Persistent] default;
+    [Arena] drives an {!Engine.Machine} and makes the same rng and
+    scheduler calls in the same order). *)
 
 (** Live campaign progress, delivered to [campaign]'s [?progress] once
     per completed run: totals so far plus the configured run budget, the
@@ -102,6 +105,7 @@ val campaign :
   ?kind:sched_kind ->
   ?shrink:bool ->
   ?subject:Lepower_obs.Json.t ->
+  ?backend:Engine.backend ->
   ?progress:(progress -> unit) ->
   failing:(Engine.config -> string option) ->
   (unit -> Engine.config) ->
@@ -110,5 +114,7 @@ val campaign :
     run [i] from [fresh ()] with seed [seed + i] (base default 1), and
     stops at the first final configuration for which [failing] returns a
     message.  Defaults: [max_steps 1000], [plan] {!Faults.none},
-    [kind] [Pct {depth = 3}], [shrink true].  The certificate embeds
-    [subject] so [lepower replay] can rebuild the instance. *)
+    [kind] [Pct {depth = 3}], [shrink true], [backend] [Persistent].
+    The certificate embeds [subject] so [lepower replay] can rebuild
+    the instance.  Equal seeds yield equal certificates across
+    backends (see {!run}). *)

@@ -63,3 +63,66 @@ val run_sequential : Memory.Store.t -> pid:int -> prim ->
   (Memory.Store.t * Value.t, string) result
 (** Run a program to completion alone against a store (no concurrency).
     Used by tests and by the replay checker. *)
+
+(** Programs lowered to a flat instruction array.
+
+    The purity requirement above makes [(instruction, response) -> next
+    instruction] deterministic, so a {!prim} can be lowered into an array
+    of instructions whose op nodes memoize, per decoded response, the id
+    of the next instruction (or the fault message a response provokes).
+    Lowering is demand-driven: the first traversal of an edge calls the
+    stored continuation and interns the result; later traversals are
+    table hits that allocate nothing.  A program whose reachable
+    instruction set exceeds [max_nodes] stops interning and transparently
+    falls back to closure interpretation via {!outcome.O_inline};
+    {!report} says which path a process took. *)
+module Compiled : sig
+  type t
+
+  val default_max_nodes : int
+  (** 65536. *)
+
+  val compile : ?max_nodes:int -> prim -> t
+  (** Lower a program.  Only the entry instruction is interned eagerly;
+      the rest of the graph materializes as {!advance} explores it. *)
+
+  val entry : t -> int
+  (** Instruction id of the program's initial state (always [0]). *)
+
+  val is_done : t -> int -> bool
+
+  val decided_value : t -> int -> Value.t
+  (** @raise Invalid_argument if the instruction is an op. *)
+
+  val loc_at : t -> int -> string
+  (** Location of an op instruction.  @raise Invalid_argument on done. *)
+
+  val op_value_at : t -> int -> Value.t
+
+  val read_at : t -> int -> bool
+  (** Whether the op is the literal read operation ([:read]) — the POR
+      independence check, precomputed at intern time. *)
+
+  val prim_at : t -> int -> prim
+  (** Rebuild the {!prim} view of an instruction (for materializing a
+      machine state back into a persistent configuration). *)
+
+  (** Result of feeding a response to an op instruction. *)
+  type outcome =
+    | O_next of int  (** next interned instruction *)
+    | O_inline of prim
+        (** instruction cap hit: continue on the closure interpreter *)
+    | O_fault of string  (** the continuation raised a type error *)
+
+  val advance : t -> int -> Value.t -> outcome
+  (** [advance c id response] follows (and on first traversal, builds)
+      the edge out of op instruction [id] labelled [response].
+      @raise Invalid_argument if [id] is a done instruction. *)
+
+  type report = { nodes : int; hits : int; misses : int; bailed : bool }
+  (** [nodes] interned instructions; [hits]/[misses] edge-table hits and
+      first-traversal continuation calls; [bailed] whether the cap was
+      ever hit (some steps ran on the closure fallback). *)
+
+  val report : t -> report
+end

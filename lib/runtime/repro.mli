@@ -131,21 +131,31 @@ type applied = {
 }
 
 val apply :
-  ?strict:bool -> Engine.config -> decision list -> (applied, string) result
+  ?strict:bool ->
+  ?backend:Engine.backend ->
+  Engine.config ->
+  decision list ->
+  (applied, string) result
 (** Drive a configuration along a decision list.  [strict] (default
     [true]) fails on the first inapplicable decision — a
     [Step]/[Crash]/[Lose] of a pid that is not running, or a [Stick] of
     an unknown location — naming its index; with [~strict:false]
     inapplicable decisions are skipped and counted, which is what the
-    shrinker's candidate evaluation uses. *)
+    shrinker's candidate evaluation uses.  [backend] (default
+    [Persistent]) selects the executor; both run the same applicability
+    logic and step semantics, so the outcome — including error
+    strings — is identical. *)
 
-val replay : t -> Engine.config -> (Engine.config, string) result
+val replay :
+  ?backend:Engine.backend -> t -> Engine.config -> (Engine.config, string) result
 (** [replay cert config] verifies [config]'s digest against
     [cert.initial], strictly applies the decisions, and verifies the
     resulting digest against [cert.final].  [Ok] returns the final
     configuration — the caller re-checks its predicate on it; [Error]
     names the first mismatch (a corrupted or mis-resolved certificate
-    never replays silently). *)
+    never replays silently).  Because the digest gates are bit-for-bit,
+    a certificate recorded on either backend replays on either: the
+    cross-backend test matrix relies on exactly this. *)
 
 (** {1 Shrinking} *)
 

@@ -1,0 +1,332 @@
+(* Cross-backend equivalence: the mutable arena store against the
+   persistent reference, and the compiled machine against the closure
+   engine.  The arena/machine pair is the hot path of every campaign,
+   so these tests pin the contract the speedup rests on: state-for-state
+   store agreement through random op sequences (faults and snapshot/
+   undo included), identical exploration statistics, decision sets and
+   fuzz certificates in every mode, bit-for-bit certificate replay on
+   either backend, and incremental fingerprint sums that match the
+   from-scratch computation after every machine step. *)
+
+module Value = Memory.Value
+module Spec = Memory.Spec
+module Store = Memory.Store
+module Arena = Memory.Store.Arena
+module Engine = Runtime.Engine
+module Machine = Runtime.Engine.Machine
+module Explore = Runtime.Explore
+module Fingerprint = Runtime.Fingerprint
+
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+
+(* --- random op sequences: arena tracks the persistent store --- *)
+
+(* A deterministic psuedo-random stream (splitmix-ish) so the sequence
+   is reproducible from the seed alone. *)
+let mk_rng seed =
+  let state = ref (seed * 2654435769 + 1) in
+  fun bound ->
+    let s = !state in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    state := s;
+    abs s mod bound
+
+let zoo_bindings () =
+  let open Objects.Zoo in
+  [ rw_register; test_and_set; swap; cas 4; sticky_bit; fetch_add_mod 5 ]
+  |> List.map (fun e -> (e.name, e.spec, Array.of_list e.ops))
+
+let check_agree ~msg store arena =
+  (* Every observation the rest of the system makes must agree. *)
+  List.iter
+    (fun (loc, v) ->
+      Alcotest.(check (option value))
+        (Printf.sprintf "%s: peek %s" msg loc)
+        (Some v) (Arena.peek arena loc))
+    (Store.state_bindings store);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: state_bindings" msg)
+    true
+    (Store.state_bindings store = Arena.state_bindings arena);
+  Alcotest.(check int)
+    (Printf.sprintf "%s: compare_states" msg)
+    0
+    (Store.compare_states store (Arena.to_store arena))
+
+let test_random_ops () =
+  let bindings = zoo_bindings () in
+  let store0 =
+    Store.create (List.map (fun (name, spec, _) -> (name, spec)) bindings)
+  in
+  let locs = Array.of_list (List.map (fun (name, _, _) -> name) bindings) in
+  let ops = Array.of_list (List.map (fun (_, _, ops) -> ops) bindings) in
+  let n_locs = Array.length locs in
+  List.iter
+    (fun seed ->
+      let rng = mk_rng seed in
+      let arena = Arena.of_store store0 in
+      let store = ref store0 in
+      (* a stack of (persistent snapshot, arena mark) checkpoints *)
+      let saves = ref [] in
+      for i = 0 to 399 do
+        let li = rng n_locs in
+        let loc = locs.(li) in
+        let msg = Printf.sprintf "seed %d op %d" seed i in
+        (match rng 10 with
+        | 0 ->
+          (* poke both to the same (type-respecting) value: replay the
+             object's init state *)
+          let v = (List.nth bindings li |> fun (_, s, _) -> s).Spec.init in
+          store := Store.poke !store loc v;
+          Arena.poke arena loc v
+        | 1 ->
+          store := Store.freeze !store loc;
+          Arena.freeze arena loc
+        | 2 -> saves := (!store, Arena.mark arena) :: !saves
+        | 3 -> (
+          match !saves with
+          | [] -> ()
+          | (s, mk) :: rest ->
+            saves := rest;
+            store := s;
+            Arena.undo_to arena mk)
+        | _ -> (
+          let pid = rng 4 in
+          let op = ops.(li).(rng (Array.length ops.(li))) in
+          match (Store.apply !store ~pid loc op, Arena.apply arena ~pid loc op)
+          with
+          | Ok (store', rp), Ok ra ->
+            store := store';
+            Alcotest.check value (msg ^ ": result") rp ra
+          | Error ep, Error ea ->
+            Alcotest.(check string) (msg ^ ": error") ep ea
+          | Ok _, Error e ->
+            Alcotest.failf "%s: persistent Ok but arena Error %s" msg e
+          | Error e, Ok _ ->
+            Alcotest.failf "%s: persistent Error %s but arena Ok" msg e));
+        check_agree ~msg !store arena
+      done)
+    [ 1; 7; 42; 1994 ]
+
+(* --- incremental fingerprint sums from the machine's step delta --- *)
+
+let cas_instance = Protocols.Cas_election.instance ~k:4 ~n:3
+
+let test_incremental_sums () =
+  let config0 = Protocols.Election.config cas_instance in
+  let n = Array.length config0.Engine.procs in
+  let m = Machine.of_config config0 in
+  let histories = Array.make n Fingerprint.history_empty in
+  let store_sum0, proc_sum0 = Fingerprint.sums config0 histories in
+  let store_sum = ref store_sum0 and proc_sum = ref proc_sum0 in
+  let rng = mk_rng 13 in
+  for i = 0 to 199 do
+    match Machine.enabled m with
+    | [] -> ()
+    | en ->
+      let pid = List.nth en (rng (List.length en)) in
+      let status_before = Machine.status m pid in
+      let hist_before = histories.(pid) in
+      Machine.step m pid;
+      if Machine.last_step_event m then begin
+        let loc = Machine.last_loc m in
+        (* store sum: one binding changed *)
+        store_sum :=
+          !store_sum
+          - Fingerprint.store_binding_hash loc (Machine.last_old_state m)
+          + Fingerprint.store_binding_hash loc (Machine.last_new_state m);
+        (* proc sum: one process's history (and possibly status) changed *)
+        histories.(pid) <-
+          Fingerprint.history_extend_op histories.(pid) ~loc
+            ~op:(Machine.last_op m) ~result:(Machine.last_result m);
+        proc_sum :=
+          !proc_sum
+          - Fingerprint.proc_hash ~pid status_before hist_before
+          + Fingerprint.proc_hash ~pid (Machine.status m pid) histories.(pid)
+      end;
+      let s, p = Fingerprint.sums (Machine.config m) histories in
+      Alcotest.(check int) (Printf.sprintf "step %d: store sum" i) s !store_sum;
+      Alcotest.(check int) (Printf.sprintf "step %d: proc sum" i) p !proc_sum;
+      Alcotest.(check bool)
+        (Printf.sprintf "step %d: combine non-negative" i)
+        true
+        (Fingerprint.combine ~store_sum:!store_sum ~proc_sum:!proc_sum >= 0)
+  done
+
+(* --- whole-space agreement across backends --- *)
+
+let modes = [ ("naive", false, false); ("dedup", true, false); ("dedup+por", true, true) ]
+
+let opts ~dedup ~por backend =
+  {
+    Explore.Options.default with
+    crash_faults = true;
+    max_steps = 60;
+    dedup;
+    por;
+    backend;
+  }
+
+let test_explore_stats_agree () =
+  List.iter
+    (fun (mode, dedup, por) ->
+      let stats backend =
+        Protocols.Election.explore_stats cas_instance ~max_steps:60
+          ~options:(opts ~dedup ~por backend)
+      in
+      let sp = stats Engine.Persistent and sa = stats Engine.Arena in
+      (match sp with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: persistent verdict: %s" mode e);
+      Alcotest.(check bool)
+        (mode ^ ": stats identical across backends")
+        true (sp = sa))
+    modes
+
+let test_decision_sets_agree () =
+  let config = Protocols.Election.config cas_instance in
+  List.iter
+    (fun (mode, dedup, por) ->
+      let sets backend =
+        Explore.decision_sets ~options:(opts ~dedup ~por backend) config
+      in
+      Alcotest.(check bool)
+        (mode ^ ": decision sets identical across backends")
+        true
+        (sets Engine.Persistent = sets Engine.Arena))
+    modes
+
+let test_verify_backend () =
+  (* The lockstep debug flag shadows every machine move with the
+     persistent reference and fails on the first divergence. *)
+  let stats =
+    Protocols.Election.explore_stats cas_instance ~max_steps:60
+      ~options:
+        {
+          (opts ~dedup:false ~por:false Engine.Arena) with
+          verify_backend = true;
+        }
+  in
+  match stats with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "verify_backend run failed: %s" e
+
+(* --- fuzz certificates: identical across backends, replay on both --- *)
+
+let test_fuzz_certs_agree () =
+  let outcome backend =
+    Protocols.Election.fuzz ~runs:256 ~seed:1 ~plan:Runtime.Faults.default
+      ~kind:Runtime.Fuzz.Random_walk ~shrink:false ~backend cas_instance
+  in
+  let op = outcome Engine.Persistent and oa = outcome Engine.Arena in
+  Alcotest.(check bool)
+    "fault fuzz finds a violation" true
+    (op.Runtime.Fuzz.cert <> None);
+  Alcotest.(check bool)
+    "certificates identical across backends" true
+    (op.Runtime.Fuzz.cert = oa.Runtime.Fuzz.cert);
+  match op.Runtime.Fuzz.cert with
+  | None -> ()
+  | Some cert ->
+    let config = Protocols.Election.config cas_instance in
+    List.iter
+      (fun backend ->
+        match Runtime.Repro.replay ~backend cert config with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "replay on %s: %s" (Engine.backend_name backend) e)
+      [ Engine.Persistent; Engine.Arena ]
+
+(* --- forced closure fallback: machine == engine, digest-for-digest --- *)
+
+let test_fallback_digest () =
+  (* max_nodes:1 forces every pid to bail out of compilation, so the
+     machine runs the closure interpreter over the arena — its outcome
+     must still be digest-identical to the persistent engine's. *)
+  let run_digest mk_outcome =
+    let outcome = mk_outcome () in
+    Fingerprint.digest outcome.Engine.final
+  in
+  List.iter
+    (fun seed ->
+      let sched () = Runtime.Sched.random ~seed in
+      let dp =
+        run_digest (fun () ->
+            Engine.run ~max_steps:400 ~sched:(sched ())
+              (Protocols.Election.config cas_instance))
+      in
+      let da =
+        run_digest (fun () ->
+            Machine.run ~max_steps:400 ~sched:(sched ())
+              (Machine.of_config ~max_nodes:1
+                 (Protocols.Election.config cas_instance)))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: fallback digest" seed)
+        dp da)
+    [ 0; 1; 2; 3 ]
+
+(* --- the engine's read classification matches the specs --- *)
+
+let test_is_read_consistent () =
+  (* [Op_codec.is_read] feeds the machine's [access]/POR read
+     classification, so a misclassified mutating op would unsoundly
+     commute.  Cross-check against the specs themselves: an op deemed a
+     read must never change any reachable state of any zoo object. *)
+  List.iter
+    (fun (e : Objects.Zoo.entry) ->
+      (* breadth-first closure of reachable states under the op universe,
+         bounded — the zoo objects are tiny *)
+      let seen = ref [ e.spec.Spec.init ] in
+      let frontier = ref [ e.spec.Spec.init ] in
+      let budget = ref 200 in
+      while !frontier <> [] && !budget > 0 do
+        decr budget;
+        let state = List.hd !frontier in
+        frontier := List.tl !frontier;
+        List.iter
+          (fun op ->
+            match Spec.apply e.spec ~pid:0 state op with
+            | Error _ -> ()
+            | Ok (state', _) ->
+              (if Objects.Op_codec.is_read op then
+                 Alcotest.(check bool)
+                   (Printf.sprintf "%s: read op leaves state unchanged" e.name)
+                   true
+                   (Value.equal state state'));
+              if not (List.exists (Value.equal state') !seen) then begin
+                seen := state' :: !seen;
+                frontier := state' :: !frontier
+              end)
+          e.ops
+      done)
+    (Objects.Zoo.all ())
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "arena-equivalence",
+        [
+          Alcotest.test_case "random op sequences" `Quick test_random_ops;
+        ] );
+      ( "incremental-fingerprint",
+        [
+          Alcotest.test_case "machine step delta" `Quick test_incremental_sums;
+        ] );
+      ( "cross-backend",
+        [
+          Alcotest.test_case "explore stats" `Quick test_explore_stats_agree;
+          Alcotest.test_case "decision sets" `Quick test_decision_sets_agree;
+          Alcotest.test_case "verify-backend lockstep" `Quick
+            test_verify_backend;
+          Alcotest.test_case "fuzz certificates" `Quick test_fuzz_certs_agree;
+          Alcotest.test_case "forced fallback digest" `Quick
+            test_fallback_digest;
+        ] );
+      ( "op-classification",
+        [
+          Alcotest.test_case "is_read vs specs" `Quick test_is_read_consistent;
+        ] );
+    ]
