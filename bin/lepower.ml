@@ -1081,7 +1081,10 @@ let replay cert_file shrink out backend trace_out metrics_out =
         (1, None)
       | Ok final -> (
         let trace = Some (Runtime.Engine.trace final) in
-        match r.Lepower_check.Repro_subject.failing final with
+        match
+          r.Lepower_check.Repro_subject.failing
+            (Runtime.Engine.Config_view.of_config final)
+        with
         | None ->
           print_endline
             "replay verified (fingerprints match) but the subject's failure \

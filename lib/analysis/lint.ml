@@ -84,16 +84,19 @@ let lint ?(mode = Auto) ?(static = Static_off) ?static_options
   let max_proc_steps = ref 0 in
   let truncated = ref 0 in
   let schedules = ref 0 in
-  let observe_steps (config : Engine.config) =
-    Array.iter
-      (fun (p : Runtime.Proc.t) ->
-        if p.Runtime.Proc.steps > !max_proc_steps then
-          max_proc_steps := p.Runtime.Proc.steps)
-      config.Engine.procs
+  let module View = Engine.Config_view in
+  let observe_steps view =
+    let s = View.max_steps_per_proc view in
+    if s > !max_proc_steps then max_proc_steps := s
   in
-  let findings_of (config : Engine.config) =
+  (* The trace lints are inherently global-order checks, so the hook
+     materializes the trace through the view.  Lint's exhaustive path
+     runs the plain explorer with no dedup/POR (the lints need every
+     interleaving's order anyway), so this is sound — and the reason
+     lint hooks must never be combined with the reductions. *)
+  let findings_of view =
     let tok = Lepower_prof.Phase.enter ph_check in
-    let trace = Engine.trace config in
+    let trace = View.trace view in
     let fs =
       Bounded_check.check ~bounds:t.bounds ~store trace
       @ Trace_check.check ~single_writer:t.single_writer ~store trace
@@ -101,24 +104,24 @@ let lint ?(mode = Auto) ?(static = Static_off) ?static_options
     Lepower_prof.Phase.leave tok;
     fs
   in
-  let note fs (config : Engine.config) =
+  let note fs view =
     incr schedules;
     Lepower_obs.Metrics.incr m_schedules;
-    observe_steps config;
+    observe_steps view;
     findings := fs @ !findings;
     match progress with Some f -> f !schedules | None -> ()
   in
   (* Soundness cross-check: every analyzed execution must stay inside the
      effect summary (locations in footprints, states in Σ̂) — a violation
      is an abstract-interpreter bug, not a protocol bug. *)
-  let soundness_of (config : Engine.config) =
+  let soundness_of view =
     match (static, static_analysis) with
     | Static_and_dynamic, Some a ->
       Static_check.soundness_findings ~name:t.name ~store
-        a.Static_check.summary (Engine.trace config)
+        a.Static_check.summary (View.trace view)
     | _ -> []
   in
-  let analyze config = note (findings_of config @ soundness_of config) config in
+  let analyze view = note (findings_of view @ soundness_of view) view in
   let exhaustive =
     match mode with
     | Exhaustive -> true
@@ -130,11 +133,9 @@ let lint ?(mode = Auto) ?(static = Static_off) ?static_options
      per-seed certificate recording and shrink-candidate validation.
      [hit_step_limit] is not recoverable from a replayed configuration,
      but a truncated run's process stepped past the budget, which is. *)
-  let failing_config (config : Engine.config) =
-    List.exists Finding.is_reportable (findings_of config)
-    || Array.exists
-         (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
-         config.Engine.procs
+  let failing_config view =
+    List.exists Finding.is_reportable (findings_of view)
+    || View.max_steps_per_proc view > t.budget
   in
   (if not dynamic then ()
    else if exhaustive then begin
@@ -150,9 +151,9 @@ let lint ?(mode = Auto) ?(static = Static_off) ?static_options
              analyze = Some analyze;
              on_truncated =
                Some
-                 (fun config ->
+                 (fun view ->
                    incr truncated;
-                   observe_steps config);
+                   observe_steps view);
            }
          (config ())
      in
@@ -170,21 +171,20 @@ let lint ?(mode = Auto) ?(static = Static_off) ?static_options
        | None ->
          let outcome = Engine.run ~max_steps ~sched (config ()) in
          if outcome.Engine.hit_step_limit then incr truncated;
-         analyze outcome.Engine.final
+         analyze (View.of_config outcome.Engine.final)
        | Some report ->
          let outcome, cert =
            Runtime.Repro.record ~subject:t.subject ~seed ~max_steps ~sched
              (config ())
          in
          if outcome.Engine.hit_step_limit then incr truncated;
-         let fs = findings_of outcome.Engine.final in
-         note fs outcome.Engine.final;
+         let final_view = View.of_config outcome.Engine.final in
+         let fs = findings_of final_view in
+         note fs final_view;
          let failed =
            List.exists Finding.is_reportable fs
            || outcome.Engine.hit_step_limit
-           || Array.exists
-                (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
-                outcome.Engine.final.Engine.procs
+           || View.max_steps_per_proc final_view > t.budget
          in
          if failed && not !recorded then begin
            recorded := true;
@@ -528,8 +528,8 @@ let fuzz_target ?runs ?seed ?max_steps ?plan ?kind ?shrink ?backend ?progress
   (* The same failure predicate [Repro_subject.of_target] builds — kept
      textually close to [failing_config] above so the certificate a fuzz
      campaign emits fails under exactly the predicate replay re-checks. *)
-  let failing (config : Engine.config) =
-    let trace = Engine.trace config in
+  let failing view =
+    let trace = Engine.Config_view.trace view in
     let findings =
       Bounded_check.check ~bounds:t.bounds ~store trace
       @ Trace_check.check ~single_writer:t.single_writer ~store trace
@@ -537,11 +537,7 @@ let fuzz_target ?runs ?seed ?max_steps ?plan ?kind ?shrink ?backend ?progress
     match List.find_opt Finding.is_reportable findings with
     | Some f -> Some (Printf.sprintf "%s: %s" f.Finding.rule f.Finding.detail)
     | None ->
-      if
-        Array.exists
-          (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.budget)
-          config.Engine.procs
-      then
+      if Engine.Config_view.max_steps_per_proc view > t.budget then
         Some (Printf.sprintf "per-process step budget %d exceeded" t.budget)
       else None
   in

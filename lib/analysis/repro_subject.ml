@@ -5,7 +5,7 @@ module Election = Protocols.Election
 type resolved = {
   name : string;
   config : Engine.config;
-  failing : Engine.config -> string option;
+  failing : Engine.Config_view.t -> string option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -35,8 +35,8 @@ let fixture ?n ?(flip = false) name =
 
 let of_target (t : Lint.target) =
   let store = Memory.Store.create t.Lint.bindings in
-  let failing (config : Engine.config) =
-    let trace = Engine.trace config in
+  let failing view =
+    let trace = Engine.Config_view.trace view in
     let findings =
       Bounded_check.check ~bounds:t.Lint.bounds ~store trace
       @ Trace_check.check ~single_writer:t.Lint.single_writer ~store trace
@@ -44,11 +44,7 @@ let of_target (t : Lint.target) =
     match List.find_opt Finding.is_reportable findings with
     | Some f -> Some (Printf.sprintf "%s: %s" f.Finding.rule f.Finding.detail)
     | None ->
-      if
-        Array.exists
-          (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.Lint.budget)
-          config.Engine.procs
-      then
+      if Engine.Config_view.max_steps_per_proc view > t.Lint.budget then
         Some
           (Printf.sprintf "per-process step budget %d exceeded" t.Lint.budget)
       else None
@@ -74,8 +70,8 @@ let of_election instance ~crashed =
       (fun c pid -> Engine.crash c pid)
       (Election.config instance) crashed
   in
-  let failing config =
-    match Election.check_partial instance config with
+  let failing view =
+    match Election.check_partial instance view with
     | Ok () -> None
     | Error m -> Some m
   in

@@ -21,16 +21,18 @@
 
 (** A resolved subject: the rebuilt initial configuration (digest-equal
     to the one the certificate was recorded from, for an honest
-    certificate) and the failure predicate replayed configurations are
-    judged by — [Some message] when the configuration exhibits the
-    subject's failure.  [failing] tolerates partial runs: an execution
-    prefix that has not yet failed is [None], never a false positive
-    (this is what makes it sound as a {!Runtime.Repro.shrink}
-    predicate). *)
+    certificate) and the failure predicate replayed states are judged
+    by — [Some message] when the state exhibits the subject's failure.
+    [failing] reads through the backend-neutral
+    {!Runtime.Engine.Config_view.t} (wrap a materialized configuration
+    with {!Runtime.Engine.Config_view.of_config}).  It tolerates
+    partial runs: an execution prefix that has not yet failed is
+    [None], never a false positive (this is what makes it sound as a
+    {!Runtime.Repro.shrink} predicate). *)
 type resolved = {
   name : string;
   config : Runtime.Engine.config;
-  failing : Runtime.Engine.config -> string option;
+  failing : Runtime.Engine.Config_view.t -> string option;
 }
 
 val election :

@@ -5,13 +5,10 @@ module Vset = Set.Make (Value)
 
 let decision_values _instance config =
   let acc = ref Vset.empty in
-  let on_terminal (c : Engine.config) =
-    Array.iter
-      (fun p ->
-        match Runtime.Proc.decision p with
-        | Some v -> acc := Vset.add v !acc
-        | None -> ())
-      c.Engine.procs
+  let on_terminal view =
+    List.iter
+      (fun v -> acc := Vset.add v !acc)
+      (Engine.Config_view.decision_values view)
   in
   ignore
     (Runtime.Explore.explore

@@ -28,6 +28,24 @@ val check : spec:Memory.Spec.t -> History.t -> result
 
 val is_linearizable : spec:Memory.Spec.t -> History.t -> bool
 
+val check_view :
+  spec:Memory.Spec.t ->
+  history_loc:string ->
+  Runtime.Engine.Config_view.t ->
+  result
+(** {!check} on the history recorded at [history_loc], read through a
+    backend-neutral view ({!History.of_view}): the checker-predicate
+    form, usable directly inside {!Runtime.Explore.check_all} /
+    {!Runtime.Fuzz.campaign} predicates with no per-terminal store
+    materialization on the arena backend. *)
+
+val is_linearizable_view :
+  spec:Memory.Spec.t ->
+  history_loc:string ->
+  Runtime.Engine.Config_view.t ->
+  bool
+(** Boolean form of {!check_view}. *)
+
 val check_run :
   spec:Memory.Spec.t ->
   history_loc:string ->

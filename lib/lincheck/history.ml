@@ -44,9 +44,9 @@ let bracket loc o body =
   let* () = respond loc result in
   return result
 
-let of_store store loc =
+let of_events loc events =
   let events =
-    match Memory.Store.peek store loc with
+    match events with
     | Some v -> Value.as_list v
     | None -> invalid_arg ("History.of_store: no recorder at " ^ loc)
   in
@@ -69,6 +69,11 @@ let of_store store loc =
       | s -> invalid_arg ("History.of_store: bad event kind " ^ s))
     events;
   List.rev !ops
+
+let of_store store loc = of_events loc (Memory.Store.peek store loc)
+
+let of_view view loc =
+  of_events loc (Runtime.Engine.Config_view.store_state view loc)
 
 let pp ppf t =
   let pp_op ppf o =

@@ -18,51 +18,38 @@ let config t =
   let store = Memory.Store.create t.bindings in
   Engine.init store (List.init t.n t.program)
 
-let check_config t (config : Engine.config) =
-  let procs = Array.to_list config.Engine.procs in
-  let faults =
-    List.filter_map
-      (fun (p : Runtime.Proc.t) ->
-        match p.Runtime.Proc.status with
-        | Runtime.Proc.Faulty m -> Some (p.Runtime.Proc.pid, m)
-        | _ -> None)
-      procs
-  in
-  if faults <> [] then
-    let pid, m = List.hd faults in
-    Error (Printf.sprintf "process %d faulty: %s" pid m)
-  else if
-    List.exists
-      (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.status = Runtime.Proc.Running)
-      procs
-  then Error "some live process did not decide"
-  else
-    let decisions = List.filter_map Runtime.Proc.decision procs in
-    let distinct = List.sort_uniq Value.compare decisions in
-    let is_input v = Array.exists (Value.equal v) t.inputs in
-    let over =
-      List.find_opt
-        (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.step_bound)
-        procs
-    in
-    match (distinct, over) with
-    | _ :: _ :: _, _ ->
-      Error
-        (Fmt.str "agreement violated: decisions %a"
-           Fmt.(list ~sep:(any ", ") Value.pp)
-           distinct)
-    | _, Some p ->
-      Error
-        (Printf.sprintf "wait-freedom bound exceeded: pid %d took %d > %d"
-           p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
-    | [ v ], None ->
-      if is_input v then Ok ()
-      else Error (Fmt.str "validity violated: %a is no one's input" Value.pp v)
-    | [], None -> Ok ()
+module View = Runtime.Engine.Config_view
+
+let check_config t view =
+  match View.faults view with
+  | (pid, m) :: _ -> Error (Printf.sprintf "process %d faulty: %s" pid m)
+  | [] ->
+    if View.has_running view then Error "some live process did not decide"
+    else
+      let distinct =
+        List.sort_uniq Value.compare (View.decision_values view)
+      in
+      let is_input v = Array.exists (Value.equal v) t.inputs in
+      let over = View.over_step_bound view t.step_bound in
+      (match (distinct, over) with
+      | _ :: _ :: _, _ ->
+        Error
+          (Fmt.str "agreement violated: decisions %a"
+             Fmt.(list ~sep:(any ", ") Value.pp)
+             distinct)
+      | _, Some (pid, steps) ->
+        Error
+          (Printf.sprintf "wait-freedom bound exceeded: pid %d took %d > %d"
+             pid steps t.step_bound)
+      | [ v ], None ->
+        if is_input v then Ok ()
+        else
+          Error (Fmt.str "validity violated: %a is no one's input" Value.pp v)
+      | [], None -> Ok ())
 
 let check_outcome t (outcome : Engine.outcome) =
   if outcome.Engine.hit_step_limit then Error "run hit the global step limit"
-  else check_config t outcome.Engine.final
+  else check_config t (View.of_config outcome.Engine.final)
 
 let max_run_steps t = (t.step_bound * t.n) + 1000
 

@@ -14,96 +14,71 @@ let config t =
   let store = Memory.Store.create t.bindings in
   Engine.init store (List.init t.n t.program)
 
-let check_config t (config : Engine.config) =
-  let procs = Array.to_list config.Engine.procs in
-  let faults =
-    List.filter_map
-      (fun (p : Runtime.Proc.t) ->
-        match p.Runtime.Proc.status with
-        | Runtime.Proc.Faulty m -> Some (p.Runtime.Proc.pid, m)
-        | _ -> None)
-      procs
-  in
-  let undecided =
-    List.filter
-      (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.status = Runtime.Proc.Running)
-      procs
-  in
-  let decisions = List.filter_map Runtime.Proc.decision procs in
-  let distinct =
-    List.sort_uniq Value.compare decisions
-  in
-  let over_bound =
-    List.filter (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.step_bound)
-      procs
-  in
-  let trace = Engine.trace config in
-  let stepped pid = List.exists (fun e -> e.Runtime.Trace.pid = pid) trace in
-  match (faults, undecided, distinct, over_bound) with
+module View = Runtime.Engine.Config_view
+
+(* Both checkers read the final state through the backend-neutral view:
+   statuses, decisions, step counts — all O(1)/O(procs) flat-array reads
+   on the arena backend, no per-terminal materialization.  The old
+   validity test scanned the trace for the leader's pid; [View.stepped]
+   (steps > 0) is equivalent — both backends record an event exactly
+   when they increment a step count — and order-insensitive. *)
+let check_config t view =
+  let faults = View.faults view in
+  (* First-decider order, no sort: this runs on every terminal of a
+     checked walk, so the happy path must not allocate more than the
+     decision list itself.  The violation report below re-sorts. *)
+  let distinct = View.distinct_decisions view in
+  let over_bound = View.over_step_bound view t.step_bound in
+  match (faults, View.has_running view, distinct, over_bound) with
   | (pid, m) :: _, _, _, _ ->
     Error (Printf.sprintf "process %d faulty: %s" pid m)
-  | [], _ :: _, _, _ ->
+  | [], true, _, _ ->
     Error "some live process did not decide (run incomplete?)"
-  | [], [], [], _ ->
+  | [], false, [], _ ->
     (* Everyone crashed before deciding: vacuously fine. *)
     Ok ()
-  | [], [], _ :: _ :: _, _ ->
+  | [], false, _ :: _ :: _, _ ->
     Error
       (Fmt.str "agreement violated: decisions %a"
          Fmt.(list ~sep:(any ", ") Value.pp)
-         distinct)
-  | [], [], [ _ ], p :: _ ->
+         (List.sort Value.compare distinct))
+  | [], false, [ _ ], Some (pid, steps) ->
     Error
       (Printf.sprintf
          "wait-freedom bound exceeded: process %d took %d > %d steps"
-         p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
-  | [], [], [ leader ], [] ->
+         pid steps t.step_bound)
+  | [], false, [ leader ], None ->
     let pid =
       match leader with Value.Int i -> i | _ -> -1
     in
     if pid < 0 || pid >= t.n then
       Error (Fmt.str "elected identity %a is not a process id" Value.pp leader)
-    else if not (stepped pid) then
+    else if not (View.stepped view pid) then
       Error
         (Printf.sprintf "validity violated: leader %d never took a step" pid)
     else Ok ()
 
-let check_partial t (config : Engine.config) =
+let check_partial t view =
   (* For judging replayed schedule prefixes (Runtime.Repro shrinking):
      a still-running process is an incomplete run, not a violation, so
      only what has already happened may fail — faults, disagreement,
      budget overruns.  Completed configurations get the full check. *)
-  let procs = Array.to_list config.Engine.procs in
-  if
-    not
-      (List.exists
-         (fun (p : Runtime.Proc.t) ->
-           p.Runtime.Proc.status = Runtime.Proc.Running)
-         procs)
-  then check_config t config
+  if not (View.has_running view) then check_config t view
   else
     let fault =
-      List.find_map
-        (fun (p : Runtime.Proc.t) ->
-          match p.Runtime.Proc.status with
-          | Runtime.Proc.Faulty m ->
-            Some (Printf.sprintf "process %d faulty: %s" p.Runtime.Proc.pid m)
-          | _ -> None)
-        procs
+      match View.faults view with
+      | (pid, m) :: _ -> Some (Printf.sprintf "process %d faulty: %s" pid m)
+      | [] -> None
     in
-    let distinct =
-      List.sort_uniq Value.compare (List.filter_map Runtime.Proc.decision procs)
-    in
+    let distinct = View.distinct_decisions view in
     let over =
-      List.find_map
-        (fun (p : Runtime.Proc.t) ->
-          if p.Runtime.Proc.steps > t.step_bound then
-            Some
-              (Printf.sprintf
-                 "wait-freedom bound exceeded: process %d took %d > %d steps"
-                 p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
-          else None)
-        procs
+      match View.over_step_bound view t.step_bound with
+      | Some (pid, steps) ->
+        Some
+          (Printf.sprintf
+             "wait-freedom bound exceeded: process %d took %d > %d steps"
+             pid steps t.step_bound)
+      | None -> None
     in
     match (fault, distinct, over) with
     | Some m, _, _ -> Error m
@@ -111,14 +86,20 @@ let check_partial t (config : Engine.config) =
       Error
         (Fmt.str "agreement violated: decisions %a"
            Fmt.(list ~sep:(any ", ") Value.pp)
-           distinct)
+           (List.sort Value.compare distinct))
     | None, _, Some m -> Error m
     | None, ([] | [ _ ]), None -> Ok ()
+
+let check_config_legacy t (config : Engine.config) =
+  check_config t (View.of_config config)
+
+let check_partial_legacy t (config : Engine.config) =
+  check_partial t (View.of_config config)
 
 let check_outcome t (outcome : Engine.outcome) =
   if outcome.Engine.hit_step_limit then
     Error "run hit the global step limit (livelock or bound too small)"
-  else check_config t outcome.Engine.final
+  else check_config t (View.of_config outcome.Engine.final)
 
 let run t ~sched =
   let outcome =
@@ -186,8 +167,8 @@ let fuzz ?runs ?seed ?max_steps ?plan ?kind ?shrink ?subject ?backend ?progress
      processes crashed or stalled mid-protocol, and under fault
      injection that is the interesting case — only genuine disagreement,
      faults, or budget overruns should count as violations. *)
-  let failing config =
-    match check_partial t config with Ok () -> None | Error m -> Some m
+  let failing view =
+    match check_partial t view with Ok () -> None | Error m -> Some m
   in
   Runtime.Fuzz.campaign ?runs ?seed ~max_steps ?plan ?kind ?shrink ?subject
     ?backend ?progress ~failing (fun () -> config t)

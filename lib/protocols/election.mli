@@ -35,18 +35,38 @@ val check_outcome :
     Crashed processes are exempt from deciding; all others must decide the
     same pid, and that pid must appear in the trace (validity). *)
 
-val check_config : instance -> Runtime.Engine.config -> (unit, string) result
-(** The terminal-configuration form of {!check_outcome}: what
-    {!explore_all} runs on every complete schedule.  Expects a finished
-    run — still-running processes are reported as incomplete. *)
+val check_config :
+  instance -> Runtime.Engine.Config_view.t -> (unit, string) result
+(** The terminal-state form of {!check_outcome}: what {!explore_all}
+    runs on every complete schedule.  Takes the backend-neutral
+    {!Runtime.Engine.Config_view.t}, reading only statuses, decisions
+    and step counts (order-insensitive flat-array accessors — zero-copy
+    on the arena backend, and sound under every explorer reduction).
+    Expects a finished run — still-running processes are reported as
+    incomplete. *)
 
-val check_partial : instance -> Runtime.Engine.config -> (unit, string) result
+val check_partial :
+  instance -> Runtime.Engine.Config_view.t -> (unit, string) result
 (** Like {!check_config} but tolerant of still-running processes: only
     faults, disagreement among decisions already made, and budget
     overruns fail.  This is the failure predicate replayed schedule
     {e prefixes} are judged by ({!Runtime.Repro.shrink} candidates — an
     incomplete run must not count as a violation, or shrinking would
     trivialize). *)
+
+val check_config_legacy :
+  instance -> Runtime.Engine.config -> (unit, string) result
+[@@ocaml.deprecated
+  "use check_config with an Engine.Config_view (wrap configs with \
+   Engine.Config_view.of_config); removed next release"]
+(** {!check_config} on a materialized configuration.  One release only. *)
+
+val check_partial_legacy :
+  instance -> Runtime.Engine.config -> (unit, string) result
+[@@ocaml.deprecated
+  "use check_partial with an Engine.Config_view (wrap configs with \
+   Engine.Config_view.of_config); removed next release"]
+(** {!check_partial} on a materialized configuration.  One release only. *)
 
 val run :
   instance -> sched:Runtime.Sched.t -> (Runtime.Engine.outcome, string) result

@@ -71,24 +71,14 @@ let config t =
 let decisions_of (outcome : Engine.outcome) =
   List.sort_uniq Value.compare (List.map snd outcome.Engine.decisions)
 
-let check_crash_free t (final : Engine.config) =
-  let procs = Array.to_list final.Engine.procs in
-  if
-    List.exists
-      (fun (p : Runtime.Proc.t) ->
-        match p.Runtime.Proc.status with Runtime.Proc.Faulty _ -> true | _ -> false)
-      procs
-  then Error "faulty process"
-  else if
-    List.exists
-      (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.status = Runtime.Proc.Running)
-      procs
-  then Error "undecided process in a crash-free run"
+module View = Runtime.Engine.Config_view
+
+let check_crash_free t view =
+  if View.faults view <> [] then Error "faulty process"
+  else if View.has_running view then
+    Error "undecided process in a crash-free run"
   else
-    let ds =
-      List.filter_map Runtime.Proc.decision procs
-      |> List.sort_uniq Value.compare
-    in
+    let ds = List.sort_uniq Value.compare (View.decision_values view) in
     match ds with
     | [ v ] when Array.exists (Value.equal v) t.inputs -> Ok ()
     | [ _ ] -> Error "validity violated"
@@ -117,9 +107,9 @@ let explore_all t ~max_steps =
      bound (a process starved mid-spin) are expected, not violations.
      Complete schedules must satisfy agreement + validity. *)
   let failure = ref None in
-  let on_terminal final =
+  let on_terminal view =
     if !failure = None then
-      match check_crash_free t final with
+      match check_crash_free t view with
       | Ok () -> ()
       | Error msg -> failure := Some msg
   in

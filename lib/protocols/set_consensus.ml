@@ -18,27 +18,17 @@ let config t =
   let store = Memory.Store.create t.bindings in
   Engine.init store (List.init t.n t.program)
 
-let check_config t (config : Engine.config) =
-  let procs = Array.to_list config.Engine.procs in
-  match
-    List.find_map
-      (fun (p : Runtime.Proc.t) ->
-        match p.Runtime.Proc.status with
-        | Runtime.Proc.Faulty m -> Some (p.Runtime.Proc.pid, m)
-        | _ -> None)
-      procs
-  with
-  | Some (pid, m) -> Error (Printf.sprintf "process %d faulty: %s" pid m)
-  | None ->
-    if
-      List.exists
-        (fun (p : Runtime.Proc.t) ->
-          p.Runtime.Proc.status = Runtime.Proc.Running)
-        procs
-    then Error "some live process did not decide"
+module View = Runtime.Engine.Config_view
+
+let check_config t view =
+  match View.faults view with
+  | (pid, m) :: _ -> Error (Printf.sprintf "process %d faulty: %s" pid m)
+  | [] ->
+    if View.has_running view then Error "some live process did not decide"
     else
-      let decisions = List.filter_map Runtime.Proc.decision procs in
-      let distinct = List.sort_uniq Value.compare decisions in
+      let distinct =
+        List.sort_uniq Value.compare (View.decision_values view)
+      in
       let is_input v = Array.exists (Value.equal v) t.inputs in
       if List.length distinct > t.k then
         Error
@@ -49,20 +39,16 @@ let check_config t (config : Engine.config) =
       else if not (List.for_all is_input distinct) then
         Error "validity violated: some decision is no one's input"
       else
-        match
-          List.find_opt
-            (fun (p : Runtime.Proc.t) -> p.Runtime.Proc.steps > t.step_bound)
-            procs
-        with
-        | Some p ->
+        match View.over_step_bound view t.step_bound with
+        | Some (pid, steps) ->
           Error
             (Printf.sprintf "wait-freedom bound exceeded: pid %d took %d > %d"
-               p.Runtime.Proc.pid p.Runtime.Proc.steps t.step_bound)
+               pid steps t.step_bound)
         | None -> Ok ()
 
 let check_outcome t (outcome : Engine.outcome) =
   if outcome.Engine.hit_step_limit then Error "run hit the global step limit"
-  else check_config t outcome.Engine.final
+  else check_config t (View.of_config outcome.Engine.final)
 
 let run_random t ~seed =
   let outcome =

@@ -81,27 +81,15 @@ let renaming ~n =
 let config t =
   Engine.init (Memory.Store.create t.bindings) (List.init t.n t.program)
 
-let check_config t (final : Engine.config) =
-  let procs = Array.to_list final.Engine.procs in
-  match
-    List.find_map
-      (fun (p : Runtime.Proc.t) ->
-        match p.Runtime.Proc.status with
-        | Runtime.Proc.Faulty m -> Some m
-        | _ -> None)
-      procs
-  with
-  | Some m -> Error ("faulty process: " ^ m)
-  | None ->
-    if
-      List.exists
-        (fun (p : Runtime.Proc.t) ->
-          p.Runtime.Proc.status = Runtime.Proc.Running)
-        procs
-    then Error "undecided process"
+module View = Runtime.Engine.Config_view
+
+let check_config t view =
+  match View.faults view with
+  | (_, m) :: _ -> Error ("faulty process: " ^ m)
+  | [] ->
+    if View.has_running view then Error "undecided process"
     else
-      let names = List.filter_map Runtime.Proc.decision procs in
-      let ints = List.map Value.as_int names in
+      let ints = List.map Value.as_int (View.decision_values view) in
       if List.exists (fun i -> i < 0 || i >= t.name_space) ints then
         Error "name outside the name space"
       else if List.length (List.sort_uniq compare ints) <> List.length ints
@@ -110,7 +98,7 @@ let check_config t (final : Engine.config) =
 
 let check_outcome t (outcome : Engine.outcome) =
   if outcome.Engine.hit_step_limit then Error "hit step limit"
-  else check_config t outcome.Engine.final
+  else check_config t (View.of_config outcome.Engine.final)
 
 let run_random t ~seed =
   let outcome =

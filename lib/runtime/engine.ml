@@ -803,6 +803,130 @@ module Machine = struct
     in
     go depth0 !running0
 
+  (* [walk_naive] with per-leaf hooks: same traversal, same counters,
+     and — crucially — the same allocation-free memo fast path, kept as
+     a separate clone so the uncheckable plain walk above pays nothing
+     for the hook plumbing.  Every move is recorded into [path]
+     ([Step pid] as [pid], [Crash pid] as [-pid-1]); the hook argument
+     is the number of moves currently recorded, so a hook can
+     reconstruct the schedule (and from it the trace) by replaying
+     [path.(0 .. mc-1)] from the walk's root configuration.  That
+     reconstruction is the only way to get the trace at a leaf: memo-hit
+     steps bypass the journal, so [config]/the journal do not cover
+     them here.  [path] needs [max_steps + n_procs + 1] slots — at most
+     [max_steps] step moves plus one crash per process on any branch.
+     Hooks observe the machine mid-walk and must not step or undo it. *)
+  let walk_naive_checked ?tick ~crash_faults ~max_steps ~depth0 ~path
+      ~on_terminal ~on_truncated ws m =
+    let n = Array.length m.statuses in
+    let statuses = m.statuses and pcs = m.pcs and steps = m.steps in
+    let arena = m.arena in
+    let sarr = Memory.Store.Arena.states_view arena in
+    let specs = Memory.Store.Arena.specs_view arena in
+    let metrics_on = Obs.Metrics.is_enabled () in
+    let running0 = ref 0 in
+    for pid = 0 to n - 1 do
+      if statuses.(pid) = st_running then incr running0
+    done;
+    (* unsafe accesses: in bounds by the same argument as [walk_naive];
+       [path] writes stay under [max_steps + n + 1] by the slot-count
+       argument in the comment above. *)
+    let rec go depth mc running =
+      if depth > ws.w_max_depth then ws.w_max_depth <- depth;
+      ws.w_configs <- ws.w_configs + 1;
+      (if ws.w_configs land 8191 = 0 then
+         match tick with None -> () | Some f -> f ws);
+      if running = 0 then begin
+        ws.w_terminals <- ws.w_terminals + 1;
+        on_terminal mc
+      end
+      else if depth >= max_steps then begin
+        ws.w_truncated <- ws.w_truncated + 1;
+        on_truncated mc
+      end
+      else begin
+        if running >= 2 || crash_faults then
+          ws.w_choice_points <- ws.w_choice_points + 1;
+        for pid = 0 to n - 1 do
+          if Array.unsafe_get statuses pid = st_running then begin
+            (let fast =
+               let pcv = Array.unsafe_get pcs pid in
+               if pcv < 0 then false
+               else
+                 let xa = Array.unsafe_get m.memos pid in
+                 if pcv >= Array.length xa then false
+                 else
+                   match Array.unsafe_get xa pcv with
+                   | Some x when Array.unsafe_get specs x.x_loc == x.x_spec
+                     -> (
+                     let st = Array.unsafe_get sarr x.x_loc in
+                     let k = memo_find x st 0 in
+                     if k < 0 then false
+                     else begin
+                       let k =
+                         if k > 0 then begin
+                           let pk = Array.unsafe_get x.x_keys (k - 1)
+                           and po = Array.unsafe_get x.x_outs (k - 1) in
+                           Array.unsafe_set x.x_keys (k - 1)
+                             (Array.unsafe_get x.x_keys k);
+                           Array.unsafe_set x.x_outs (k - 1)
+                             (Array.unsafe_get x.x_outs k);
+                           Array.unsafe_set x.x_keys k pk;
+                           Array.unsafe_set x.x_outs k po;
+                           k - 1
+                         end
+                         else k
+                       in
+                       let o = Array.unsafe_get x.x_outs k in
+                       if metrics_on then begin
+                         Obs.Metrics.incr m_steps;
+                         record_store_op x.x_op o.x_result
+                       end;
+                       Array.unsafe_set sarr x.x_loc o.x_state';
+                       Array.unsafe_set pcs pid o.x_next;
+                       let running' =
+                         match o.x_decided with
+                         | None -> running
+                         | Some v ->
+                           Array.unsafe_set statuses pid st_decided;
+                           Array.unsafe_set m.decided pid v;
+                           running - 1
+                       in
+                       Array.unsafe_set steps pid
+                         (Array.unsafe_get steps pid + 1);
+                       m.time <- m.time + 1;
+                       Array.unsafe_set path mc pid;
+                       go (depth + 1) (mc + 1) running';
+                       m.time <- m.time - 1;
+                       Array.unsafe_set steps pid
+                         (Array.unsafe_get steps pid - 1);
+                       Array.unsafe_set statuses pid st_running;
+                       Array.unsafe_set pcs pid pcv;
+                       Array.unsafe_set sarr x.x_loc st;
+                       true
+                     end)
+                   | _ -> false
+             in
+             if not fast then begin
+               let mk = m.jlen in
+               step_impl m pid;
+               Array.unsafe_set path mc pid;
+               go (depth + 1) (mc + 1)
+                 (if is_running m pid then running else running - 1);
+               undo_to m mk
+             end);
+            if crash_faults then begin
+              Array.unsafe_set statuses pid st_crashed;
+              Array.unsafe_set path mc (-pid - 1);
+              go depth (mc + 1) (running - 1);
+              Array.unsafe_set statuses pid st_running
+            end
+          end
+        done
+      end
+    in
+    go depth0 0 !running0
+
   let last_step_event m = m.last_valid
   let last_loc m = m.last_loc
   let last_op m = m.last_op
@@ -898,4 +1022,357 @@ module Machine = struct
               Obs.Metrics.observe h_steps_per_proc (Float.of_int p.Proc.steps))
             outcome.final.procs;
         outcome)
+end
+
+module Config_view = struct
+  type impl =
+    | V_config of config
+    | V_machine of Machine.t
+    | V_flat of Machine.t * (unit -> config)
+        (* live machine driven by [Machine.walk_naive_checked]: flat
+           accessors read the machine arrays directly, but the journal
+           does not cover memo-hit steps, so anything trace-shaped must
+           come from the replay thunk (the explorer replays the recorded
+           move path from the walk's root configuration) *)
+
+  type t = {
+    impl : impl;
+    mutable ordered : bool;
+        (* set once any accessor exposing global trace order runs;
+           [Explore.check_all]'s soundness guard reads it *)
+    mutable cached_trace : Trace.t option;
+    mutable cached_config : config option;
+  }
+
+  let of_config c =
+    { impl = V_config c; ordered = false; cached_trace = None;
+      cached_config = Some c }
+
+  let of_machine m =
+    { impl = V_machine m; ordered = false; cached_trace = None;
+      cached_config = None }
+
+  let of_machine_flat m ~replay =
+    { impl = V_flat (m, replay); ordered = false; cached_trace = None;
+      cached_config = None }
+
+  let n_procs v =
+    match v.impl with
+    | V_config c -> Array.length c.procs
+    | V_machine m | V_flat (m, _) -> Machine.n_procs m
+
+  let time v =
+    match v.impl with
+    | V_config c -> c.time
+    | V_machine m | V_flat (m, _) -> Machine.time m
+
+  let status v pid =
+    match v.impl with
+    | V_config c -> c.procs.(pid).Proc.status
+    | V_machine m | V_flat (m, _) -> Machine.status m pid
+
+  let is_running v pid =
+    match v.impl with
+    | V_config c -> Proc.is_running c.procs.(pid)
+    | V_machine m | V_flat (m, _) -> Machine.is_running m pid
+
+  (* The per-pid accessors below are specialized per implementation
+     rather than layered on [status]: checkers run them on every
+     terminal of a walk, and the generic path would allocate a
+     [Proc.status] per query on the machine backend. *)
+
+  let has_running v =
+    match v.impl with
+    | V_config c ->
+      let procs = c.procs in
+      let n = Array.length procs in
+      let rec go pid = pid < n && (Proc.is_running procs.(pid) || go (pid + 1)) in
+      go 0
+    | V_machine m | V_flat (m, _) ->
+      let st = m.Machine.statuses in
+      let n = Array.length st in
+      let rec go pid =
+        pid < n && (st.(pid) = Machine.st_running || go (pid + 1))
+      in
+      go 0
+
+  let steps v pid =
+    match v.impl with
+    | V_config c -> c.procs.(pid).Proc.steps
+    | V_machine m | V_flat (m, _) -> m.Machine.steps.(pid)
+
+  (* [steps pid > 0] iff pid has a trace event: both backends record an
+     event exactly when they increment [steps] (decide steps and
+     store-rejected faults touch neither; a continuation type error
+     records both).  This gives checkers the per-pid "took a
+     shared-memory step" test without scanning the trace. *)
+  let stepped v pid = steps v pid > 0
+
+  let max_steps_per_proc v =
+    let best = ref 0 in
+    for pid = 0 to n_procs v - 1 do
+      let s = steps v pid in
+      if s > !best then best := s
+    done;
+    !best
+
+  let over_step_bound v bound =
+    match v.impl with
+    | V_config c ->
+      let procs = c.procs in
+      let n = Array.length procs in
+      let rec go pid =
+        if pid >= n then None
+        else
+          let s = procs.(pid).Proc.steps in
+          if s > bound then Some (pid, s) else go (pid + 1)
+      in
+      go 0
+    | V_machine m | V_flat (m, _) ->
+      let steps = m.Machine.steps in
+      let n = Array.length steps in
+      let rec go pid =
+        if pid >= n then None
+        else
+          let s = steps.(pid) in
+          if s > bound then Some (pid, s) else go (pid + 1)
+      in
+      go 0
+
+  let decision v pid =
+    match v.impl with
+    | V_config c -> (
+      match c.procs.(pid).Proc.status with
+      | Proc.Decided x -> Some x
+      | _ -> None)
+    | V_machine m | V_flat (m, _) ->
+      if m.Machine.statuses.(pid) = Machine.st_decided then
+        Some m.Machine.decided.(pid)
+      else None
+
+  let decisions v =
+    let acc = ref [] in
+    for pid = n_procs v - 1 downto 0 do
+      match decision v pid with
+      | Some x -> acc := (pid, x) :: !acc
+      | None -> ()
+    done;
+    !acc
+
+  let decision_values v =
+    match v.impl with
+    | V_config c ->
+      let acc = ref [] in
+      for pid = Array.length c.procs - 1 downto 0 do
+        match c.procs.(pid).Proc.status with
+        | Proc.Decided x -> acc := x :: !acc
+        | _ -> ()
+      done;
+      !acc
+    | V_machine m | V_flat (m, _) ->
+      let st = m.Machine.statuses in
+      let acc = ref [] in
+      for pid = Array.length st - 1 downto 0 do
+        if st.(pid) = Machine.st_decided then
+          acc := m.Machine.decided.(pid) :: !acc
+      done;
+      !acc
+
+  (* First-decider (lowest-pid) order.  Scans the backing arrays
+     directly — no intermediate [decision_values] list — because
+     agreement checkers call this on every terminal of a walk; [acc]
+     carries the distinct values seen so far in reverse, which stays
+     tiny (1 for any agreeing terminal), so the [exists] is effectively
+     constant and the final [rev] one cons in the common case. *)
+  let distinct_decisions v =
+    match v.impl with
+    | V_config c ->
+      let procs = c.procs in
+      let n = Array.length procs in
+      let rec go acc pid =
+        if pid >= n then List.rev acc
+        else
+          match procs.(pid).Proc.status with
+          | Proc.Decided x when not (List.exists (Value.equal x) acc) ->
+            go (x :: acc) (pid + 1)
+          | _ -> go acc (pid + 1)
+      in
+      go [] 0
+    | V_machine m | V_flat (m, _) ->
+      let st = m.Machine.statuses in
+      let d = m.Machine.decided in
+      let n = Array.length st in
+      let rec go acc pid =
+        if pid >= n then List.rev acc
+        else if
+          st.(pid) = Machine.st_decided
+          && not (List.exists (Value.equal d.(pid)) acc)
+        then go (d.(pid) :: acc) (pid + 1)
+        else go acc (pid + 1)
+      in
+      go [] 0
+
+  let faults v =
+    match v.impl with
+    | V_config c ->
+      let acc = ref [] in
+      for pid = Array.length c.procs - 1 downto 0 do
+        match c.procs.(pid).Proc.status with
+        | Proc.Faulty msg -> acc := (pid, msg) :: !acc
+        | _ -> ()
+      done;
+      !acc
+    | V_machine m | V_flat (m, _) ->
+      let st = m.Machine.statuses in
+      let acc = ref [] in
+      for pid = Array.length st - 1 downto 0 do
+        if st.(pid) = Machine.st_faulty then
+          acc := (pid, m.Machine.faults.(pid)) :: !acc
+      done;
+      !acc
+
+  let store_state v loc =
+    match v.impl with
+    | V_config c -> Memory.Store.peek c.store loc
+    | V_machine m | V_flat (m, _) -> Memory.Store.Arena.peek m.Machine.arena loc
+
+  let mem_loc v loc =
+    match v.impl with
+    | V_config c -> Memory.Store.peek c.store loc <> None
+    | V_machine m | V_flat (m, _) -> Machine.mem_loc m loc
+
+  let state_bindings v =
+    match v.impl with
+    | V_config c -> Memory.Store.state_bindings c.store
+    | V_machine m | V_flat (m, _) -> Machine.state_bindings m
+
+  (* Materialize the persistent configuration behind this view without
+     marking an order access: the order-free projections of a flat view
+     ([trace_length], [events_of]) need the replayed trace — the live
+     machine's journal misses memo-hit steps — but exposing them must
+     not trip the soundness guard. *)
+  let materialize v =
+    match v.cached_config with
+    | Some c -> c
+    | None ->
+      let c =
+        match v.impl with
+        | V_config c -> c
+        | V_machine m -> Machine.config m
+        | V_flat (_, replay) -> replay ()
+      in
+      v.cached_config <- Some c;
+      c
+
+  let trace_length v =
+    match v.impl with
+    | V_config c -> List.length c.trace
+    | V_flat _ -> List.length (materialize v).trace
+    | V_machine m ->
+      let n = ref (List.length m.Machine.base_trace) in
+      for i = 0 to m.Machine.jlen - 1 do
+        match m.Machine.journal.(i) with
+        | Machine.J_event _ -> incr n
+        | Machine.J_status _ -> ()
+      done;
+      !n
+
+  let events_of v pid =
+    (* Per-pid projection, chronological.  Deliberately does {e not}
+       set [ordered]: a single process's own operations keep their
+       relative order under any commutation of independent steps, so
+       projections stay sound under dedup/POR. *)
+    match v.impl with
+    | V_config c ->
+      List.rev
+        (List.filter (fun (e : Trace.event) -> e.Trace.pid = pid) c.trace)
+    | V_flat _ ->
+      List.rev
+        (List.filter
+           (fun (e : Trace.event) -> e.Trace.pid = pid)
+           (materialize v).trace)
+    | V_machine m ->
+      let base =
+        List.rev
+          (List.filter
+             (fun (e : Trace.event) -> e.Trace.pid = pid)
+             m.Machine.base_trace)
+      in
+      let acc = ref [] in
+      for i = m.Machine.jlen - 1 downto 0 do
+        match m.Machine.journal.(i) with
+        | Machine.J_event e when e.pid = pid ->
+          acc :=
+            {
+              Trace.time = e.time;
+              pid = e.pid;
+              loc = e.loc;
+              op = e.op;
+              result = e.result;
+            }
+            :: !acc
+        | _ -> ()
+      done;
+      base @ !acc
+
+  let order_accessed v = v.ordered
+
+  let trace v =
+    v.ordered <- true;
+    match v.cached_trace with
+    | Some t -> t
+    | None ->
+      let t =
+        match v.impl with
+        | V_config c -> List.rev c.trace
+        | V_flat _ -> List.rev (materialize v).trace
+        | V_machine m ->
+          let rev = ref m.Machine.base_trace in
+          for i = 0 to m.Machine.jlen - 1 do
+            match m.Machine.journal.(i) with
+            | Machine.J_event e ->
+              rev :=
+                {
+                  Trace.time = e.time;
+                  pid = e.pid;
+                  loc = e.loc;
+                  op = e.op;
+                  result = e.result;
+                }
+                :: !rev
+            | Machine.J_status _ -> ()
+          done;
+          List.rev !rev
+      in
+      v.cached_trace <- Some t;
+      t
+
+  let last_event v =
+    v.ordered <- true;
+    match v.impl with
+    | V_config c -> (match c.trace with e :: _ -> Some e | [] -> None)
+    | V_flat _ -> (
+      match (materialize v).trace with e :: _ -> Some e | [] -> None)
+    | V_machine m ->
+      let rec scan i =
+        if i < 0 then
+          match m.Machine.base_trace with e :: _ -> Some e | [] -> None
+        else
+          match m.Machine.journal.(i) with
+          | Machine.J_event e ->
+            Some
+              {
+                Trace.time = e.time;
+                pid = e.pid;
+                loc = e.loc;
+                op = e.op;
+                result = e.result;
+              }
+          | Machine.J_status _ -> scan (i - 1)
+      in
+      scan (m.Machine.jlen - 1)
+
+  let config v =
+    v.ordered <- true;
+    materialize v
 end

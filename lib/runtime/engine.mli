@@ -182,6 +182,31 @@ module Machine : sig
       are not phase-attributed; metrics counters are fed as usual.
       The machine is back in its pre-walk state on return. *)
 
+  val walk_naive_checked :
+    ?tick:(walk_stats -> unit) ->
+    crash_faults:bool ->
+    max_steps:int ->
+    depth0:int ->
+    path:int array ->
+    on_terminal:(int -> unit) ->
+    on_truncated:(int -> unit) ->
+    walk_stats ->
+    t ->
+    unit
+  (** {!walk_naive} with per-leaf hooks: the same traversal, counters
+      and allocation-free memoized hot path, but every move is recorded
+      into [path] — a step of process [p] as [p], a crash of [p] as
+      [-p-1] — and [on_terminal] (resp. [on_truncated]) fires at each
+      terminal (resp. step-bound-truncated) leaf with the number of
+      moves currently recorded.  [path] must have at least
+      [max_steps + n_procs + 1] slots: at most [max_steps] step moves
+      plus one crash per process on any branch.  Because memoized
+      transitions bypass the journal, the machine's journal does not
+      cover the schedule at a leaf — hooks needing the trace must
+      replay [path] from the walk's root configuration (which is what
+      {!Config_view.of_machine_flat} arranges).  Hooks observe the
+      machine live, mid-walk, and must not step or undo it. *)
+
   val access : t -> int -> (string * bool) option
   (** [(loc, is_read)] of the operation process [pid] is about to
       perform; [None] if its program is done.  Status-independent, like
@@ -223,4 +248,133 @@ module Machine : sig
 
   val reports : t -> Program.Compiled.report array
   (** Per-process lowering reports (indexed by pid). *)
+end
+
+(** Backend-neutral read-only view of a terminal (or intermediate)
+    configuration — the one type every checker-facing hook takes.
+
+    A view over a persistent {!config} just reads the record.  A view
+    over an arena {!Machine} serves every accessor below straight from
+    the machine's flat arrays and arena store — {b no} journal walk, no
+    store rebuild — except the explicitly materializing ones
+    ({!Config_view.trace}, {!Config_view.last_event},
+    {!Config_view.config}), which are the slow fallback.
+
+    Cost contract (arena-backed view; persistent is O(1)/O(procs)
+    throughout):
+    - O(1): {!Config_view.n_procs}, {!Config_view.time},
+      {!Config_view.status}, {!Config_view.is_running},
+      {!Config_view.steps}, {!Config_view.stepped},
+      {!Config_view.decision}, {!Config_view.store_state},
+      {!Config_view.mem_loc}.
+    - O(procs): {!Config_view.has_running}, {!Config_view.decisions},
+      {!Config_view.decision_values}, {!Config_view.distinct_decisions},
+      {!Config_view.faults}, {!Config_view.over_step_bound},
+      {!Config_view.max_steps_per_proc}.
+    - O(locs): {!Config_view.state_bindings}.
+    - O(events): {!Config_view.trace_length}, {!Config_view.events_of}.
+    - Materializing (O(events + locs + procs), allocates):
+      {!Config_view.trace}, {!Config_view.last_event},
+      {!Config_view.config} — cached after the first call.
+
+    Order tracking: {!Config_view.trace}, {!Config_view.last_event} and
+    {!Config_view.config} expose the global interleaving order and mark
+    the view ({!Config_view.order_accessed}).  {!Explore.check_all}
+    uses that mark to fail loudly when an order-inspecting predicate
+    runs under [dedup]/[por], where only order-insensitive predicates
+    are sound.  {!Config_view.events_of} (a single pid's projection)
+    and {!Config_view.trace_length} are order-insensitive and do not
+    mark the view.
+
+    A view borrows its backing state: an arena-backed view is valid
+    only until the machine's next [step]/[undo_to].  Explorer hooks
+    receive a fresh view per terminal and must not retain it. *)
+module Config_view : sig
+  type t
+
+  val of_config : config -> t
+  (** Trivial persistent view ({!Config_view.config} returns the
+      argument itself). *)
+
+  val of_machine : Machine.t -> t
+  (** Zero-copy arena view.  Borrow: valid until the machine moves. *)
+
+  val of_machine_flat : Machine.t -> replay:(unit -> config) -> t
+  (** Zero-copy view over a machine driven by
+      {!Machine.walk_naive_checked}, whose journal does not cover
+      memo-hit steps.  Flat accessors (statuses, decisions, steps,
+      store state) read the machine arrays directly; trace-shaped
+      accessors ({!trace}, {!last_event}, {!config}, {!trace_length},
+      {!events_of}) materialize a persistent configuration by calling
+      [replay] — typically the explorer replaying the walk's recorded
+      move path from its root configuration — once, cached.  Same
+      borrow discipline as {!of_machine}. *)
+
+  val n_procs : t -> int
+  val time : t -> int
+  val status : t -> int -> Proc.status
+  val is_running : t -> int -> bool
+
+  val has_running : t -> bool
+  (** Whether any process is still [Running] (i.e. the configuration is
+      not terminal). *)
+
+  val steps : t -> int -> int
+  (** Shared-memory operations process [pid] has performed. *)
+
+  val stepped : t -> int -> bool
+  (** [steps v pid > 0] — equivalently, whether [pid] has a trace
+      event: both backends record an event exactly when they increment
+      the step count. *)
+
+  val max_steps_per_proc : t -> int
+  (** The empirical wait-freedom bound, like {!Engine.max_steps_per_proc}. *)
+
+  val over_step_bound : t -> int -> (int * int) option
+  (** First (lowest-pid) process whose step count exceeds the bound, as
+      [(pid, steps)]. *)
+
+  val decision : t -> int -> Memory.Value.t option
+
+  val decisions : t -> (int * Memory.Value.t) list
+  (** [(pid, decision)] for every decided process, pid order — matches
+      {!outcome}'s [decisions] field. *)
+
+  val decision_values : t -> Memory.Value.t list
+  (** Decision values in pid order (with duplicates). *)
+
+  val distinct_decisions : t -> Memory.Value.t list
+  (** Deduplicated decision values, first-pid order. *)
+
+  val faults : t -> (int * string) list
+  (** [(pid, message)] for every faulty process, pid order. *)
+
+  val store_state : t -> string -> Memory.Value.t option
+  (** Current state of one shared object, like {!Memory.Store.peek}. *)
+
+  val mem_loc : t -> string -> bool
+  val state_bindings : t -> (string * Memory.Value.t) list
+
+  val trace_length : t -> int
+  (** Number of trace events.  Order-insensitive; does not mark the
+      view. *)
+
+  val events_of : t -> int -> Trace.event list
+  (** Process [pid]'s own operations, chronological.  Order-insensitive
+      (a pid's events keep their relative order under commutation of
+      independent steps), so this does not mark the view. *)
+
+  val order_accessed : t -> bool
+  (** Whether {!trace}, {!last_event} or {!config} ran on this view. *)
+
+  val trace : t -> Trace.t
+  (** Full trace, oldest first — like {!Engine.trace}.  Materializes on
+      an arena view (cached) and marks the view as order-accessed. *)
+
+  val last_event : t -> Trace.event option
+  (** Most recent trace event.  Marks the view as order-accessed. *)
+
+  val config : t -> config
+  (** Materialize the whole configuration (the slow fallback; cached).
+      Marks the view as order-accessed. *)
 end

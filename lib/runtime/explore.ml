@@ -58,9 +58,9 @@ module Options = struct
     backend : Engine.backend;
     verify_backend : bool;
     footprints : (string list * string list) array;
-    analyze : (Engine.config -> unit) option;
-    on_terminal : (Engine.config -> unit) option;
-    on_truncated : (Engine.config -> unit) option;
+    analyze : (Engine.Config_view.t -> unit) option;
+    on_terminal : (Engine.Config_view.t -> unit) option;
+    on_truncated : (Engine.Config_view.t -> unit) option;
     on_lowering : (Program.Compiled.report array -> unit) option;
     progress : (progress -> unit) option;
   }
@@ -279,12 +279,21 @@ let explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal ~on_truncated
         (match tick with Some f -> f acc | None -> ());
       match enabled with
       | [] ->
-        (match analyze with None -> () | Some f -> f config rpath);
-        acc.a_terminals <- acc.a_terminals + 1;
-        (match on_terminal with None -> () | Some f -> f config rpath)
+        (match (analyze, on_terminal) with
+        | None, None -> acc.a_terminals <- acc.a_terminals + 1
+        | _ ->
+          (* One view per terminal, shared by both hooks, so the
+             soundness guard sees every access the leaf performed. *)
+          let view = Engine.Config_view.of_config config in
+          let path () = rpath in
+          (match analyze with None -> () | Some f -> f view path);
+          acc.a_terminals <- acc.a_terminals + 1;
+          (match on_terminal with None -> () | Some f -> f view path))
       | _ when depth >= opts.o_max_steps ->
         acc.a_truncated <- acc.a_truncated + 1;
-        (match on_truncated with None -> () | Some f -> f config rpath)
+        (match on_truncated with
+        | None -> ()
+        | Some f -> f (Engine.Config_view.of_config config) (fun () -> rpath))
       | pids ->
         (* A choice point is a configuration where the adversary has more
            than one move: several enabled processes, or (with crash
@@ -424,15 +433,18 @@ let explore_seq_arena ~opts ~acc ?tick ~visited ~analyze ~on_terminal
         (match (analyze, on_terminal) with
         | None, None -> acc.a_terminals <- acc.a_terminals + 1
         | _ ->
-          let config = Engine.Machine.config m in
-          (match analyze with None -> () | Some f -> f config rpath);
+          (* Zero-copy: the hooks read the machine's live state through
+             the view; nothing is materialized unless they ask. *)
+          let view = Engine.Config_view.of_machine m in
+          let path () = rpath in
+          (match analyze with None -> () | Some f -> f view path);
           acc.a_terminals <- acc.a_terminals + 1;
-          (match on_terminal with None -> () | Some f -> f config rpath))
+          (match on_terminal with None -> () | Some f -> f view path))
       | _ when depth >= opts.o_max_steps ->
         acc.a_truncated <- acc.a_truncated + 1;
         (match on_truncated with
         | None -> ()
-        | Some f -> f (Engine.Machine.config m) rpath)
+        | Some f -> f (Engine.Config_view.of_machine m) (fun () -> rpath))
       | pids ->
         if (match pids with _ :: _ :: _ -> true | _ -> opts.o_crash_faults)
         then acc.a_choice_points <- acc.a_choice_points + 1;
@@ -556,101 +568,106 @@ let explore_seq_arena ~opts ~acc ?tick ~visited ~analyze ~on_terminal
 
 (* Specialized arena walk for the naive mode (no dedup, no POR, no
    lockstep shadow): the traversal needs no move lists, no sleep sets
-   and — when no callback wants a path — no decision accumulation, so
-   the whole DFS runs allocation-free on the machine's journal.  Same
-   traversal order and counters as [explore_seq_arena]; that equality is
-   what the cross-backend tests pin down. *)
-let rec explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
+   and no decision accumulation, so the whole DFS runs allocation-free
+   on the machine's memoized hot path — with or without callbacks.
+   Hooks observe each leaf through a flat [Config_view]: the usual
+   checker reads (statuses, decisions, steps, store state) are O(1)
+   array reads on the live machine, and only a hook that actually asks
+   for the trace or the decision path pays, by replaying the walker's
+   recorded move path from this item's root configuration.  Same
+   traversal order and counters as [explore_seq_arena]; that equality
+   is what the cross-backend tests pin down. *)
+let explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
     ~on_truncated (config0, _histories0, depth0, rpath0) =
   let m = Engine.Machine.of_config config0 in
-  match (analyze, on_terminal, on_truncated) with
-  | None, None, None ->
-    (* Counting-only walk: hand the whole enumeration to the machine's
-       journal-free hot path.  [ws] starts from the shared accumulator
-       so the tick cadence ([a_configs land 8191]) is unchanged. *)
-    let ws =
-      {
-        Engine.Machine.w_configs = acc.a_configs;
-        w_terminals = acc.a_terminals;
-        w_truncated = acc.a_truncated;
-        w_max_depth = acc.a_max_depth;
-        w_choice_points = acc.a_choice_points;
-      }
-    in
-    let sync (ws : Engine.Machine.walk_stats) =
-      acc.a_configs <- ws.Engine.Machine.w_configs;
-      acc.a_terminals <- ws.Engine.Machine.w_terminals;
-      acc.a_truncated <- ws.Engine.Machine.w_truncated;
-      acc.a_max_depth <- ws.Engine.Machine.w_max_depth;
-      acc.a_choice_points <- ws.Engine.Machine.w_choice_points
-    in
-    let tick =
-      match tick with
-      | None -> None
-      | Some f ->
-        Some
-          (fun ws ->
-            sync ws;
-            f acc)
-    in
-    Engine.Machine.walk_naive ?tick ~crash_faults:opts.o_crash_faults
-      ~max_steps:opts.o_max_steps ~depth0 ws m;
-    sync ws;
-    m
-  | _ -> explore_arena_naive_cb ~opts ~acc ?tick ~analyze ~on_terminal
-           ~on_truncated m depth0 rpath0
-
-and explore_arena_naive_cb ~opts ~acc ?tick ~analyze ~on_terminal
-    ~on_truncated m depth0 rpath0 =
-  let n = Engine.Machine.n_procs m in
-  let crash = opts.o_crash_faults in
-  let track_paths =
-    analyze <> None || on_terminal <> None || on_truncated <> None
+  (* [ws] starts from the shared accumulator so the tick cadence
+     ([a_configs land 8191]) is unchanged. *)
+  let ws =
+    {
+      Engine.Machine.w_configs = acc.a_configs;
+      w_terminals = acc.a_terminals;
+      w_truncated = acc.a_truncated;
+      w_max_depth = acc.a_max_depth;
+      w_choice_points = acc.a_choice_points;
+    }
   in
-  let rec go depth rpath =
-    if depth > acc.a_max_depth then acc.a_max_depth <- depth;
-    acc.a_configs <- acc.a_configs + 1;
-    if acc.a_configs land 8191 = 0 then
-      (match tick with Some f -> f acc | None -> ());
-    let en = ref 0 in
-    for pid = 0 to n - 1 do
-      if Engine.Machine.is_running m pid then incr en
-    done;
-    if !en = 0 then (
-      match (analyze, on_terminal) with
-      | None, None -> acc.a_terminals <- acc.a_terminals + 1
+  let sync (ws : Engine.Machine.walk_stats) =
+    acc.a_configs <- ws.Engine.Machine.w_configs;
+    acc.a_terminals <- ws.Engine.Machine.w_terminals;
+    acc.a_truncated <- ws.Engine.Machine.w_truncated;
+    acc.a_max_depth <- ws.Engine.Machine.w_max_depth;
+    acc.a_choice_points <- ws.Engine.Machine.w_choice_points
+  in
+  let tick =
+    match tick with
+    | None -> None
+    | Some f ->
+      Some
+        (fun ws ->
+          sync ws;
+          f acc)
+  in
+  (* [~finally]: a hook may abort the walk ([check_all] raises
+     [Stop_exploration] on the first violation); the counters walked so
+     far still belong in the accumulator. *)
+  Fun.protect
+    ~finally:(fun () -> sync ws)
+    (fun () ->
+      match (analyze, on_terminal, on_truncated) with
+      | None, None, None ->
+        (* Counting-only walk: hand the whole enumeration to the
+           machine's journal-free hot path. *)
+        Engine.Machine.walk_naive ?tick ~crash_faults:opts.o_crash_faults
+          ~max_steps:opts.o_max_steps ~depth0 ws m
       | _ ->
-        let config = Engine.Machine.config m in
-        (match analyze with None -> () | Some f -> f config rpath);
-        acc.a_terminals <- acc.a_terminals + 1;
-        (match on_terminal with None -> () | Some f -> f config rpath))
-    else if depth >= opts.o_max_steps then begin
-      acc.a_truncated <- acc.a_truncated + 1;
-      match on_truncated with
-      | None -> ()
-      | Some f -> f (Engine.Machine.config m) rpath
-    end
-    else begin
-      if !en >= 2 || crash then
-        acc.a_choice_points <- acc.a_choice_points + 1;
-      for pid = 0 to n - 1 do
-        if Engine.Machine.is_running m pid then begin
-          let mk = Engine.Machine.mark m in
-          Engine.Machine.step m pid;
-          go (depth + 1)
-            (if track_paths then Repro.Step pid :: rpath else rpath);
-          Engine.Machine.undo_to m mk;
-          if crash then begin
-            let mk = Engine.Machine.mark m in
-            Engine.Machine.crash m pid;
-            go depth (if track_paths then Repro.Crash pid :: rpath else rpath);
-            Engine.Machine.undo_to m mk
-          end
-        end
-      done
-    end
-  in
-  go depth0 rpath0;
+        let path = Array.make (opts.o_max_steps + Engine.Machine.n_procs m + 2) 0 in
+        let mc_now = ref 0 in
+        (* Both thunks read [path.(0 .. !mc_now - 1)], the move path of
+           the leaf whose hook is currently running; they are only
+           valid for the duration of that hook call (the same borrow
+           discipline as the view itself). *)
+        let decisions () =
+          let ds = ref rpath0 in
+          for i = 0 to !mc_now - 1 do
+            let mv = Array.unsafe_get path i in
+            ds :=
+              (if mv >= 0 then Repro.Step mv else Repro.Crash (-mv - 1))
+              :: !ds
+          done;
+          !ds
+        in
+        let replay () =
+          let cfg = ref config0 in
+          for i = 0 to !mc_now - 1 do
+            let mv = Array.unsafe_get path i in
+            cfg :=
+              (if mv >= 0 then Engine.step !cfg mv
+               else Engine.crash !cfg (-mv - 1))
+          done;
+          !cfg
+        in
+        let on_terminal_mc mc =
+          match (analyze, on_terminal) with
+          | None, None -> ()
+          | _ ->
+            mc_now := mc;
+            (* One view per terminal, shared by both hooks, so the
+               soundness guard sees every access the leaf performed. *)
+            let view = Engine.Config_view.of_machine_flat m ~replay in
+            (match analyze with None -> () | Some f -> f view decisions);
+            (match on_terminal with None -> () | Some f -> f view decisions)
+        in
+        let on_truncated_mc mc =
+          match on_truncated with
+          | None -> ()
+          | Some f ->
+            mc_now := mc;
+            f (Engine.Config_view.of_machine_flat m ~replay) decisions
+        in
+        Engine.Machine.walk_naive_checked ?tick
+          ~crash_faults:opts.o_crash_faults ~max_steps:opts.o_max_steps
+          ~depth0 ~path ~on_terminal:on_terminal_mc
+          ~on_truncated:on_truncated_mc ws m);
   m
 
 (* Backend dispatch for one DFS item — the single worker entry point for
@@ -691,13 +708,20 @@ let split_frontier ~opts ~acc ~analyze ~on_terminal ~on_truncated ~target
     acc.a_configs <- acc.a_configs + 1;
     match Engine.enabled config with
     | [] ->
-      (match analyze with None -> () | Some f -> f config rpath);
-      acc.a_terminals <- acc.a_terminals + 1;
-      (match on_terminal with None -> () | Some f -> f config rpath);
+      (match (analyze, on_terminal) with
+      | None, None -> acc.a_terminals <- acc.a_terminals + 1
+      | _ ->
+        let view = Engine.Config_view.of_config config in
+        let path () = rpath in
+        (match analyze with None -> () | Some f -> f view path);
+        acc.a_terminals <- acc.a_terminals + 1;
+        (match on_terminal with None -> () | Some f -> f view path));
       []
     | _ when depth >= opts.o_max_steps ->
       acc.a_truncated <- acc.a_truncated + 1;
-      (match on_truncated with None -> () | Some f -> f config rpath);
+      (match on_truncated with
+      | None -> ()
+      | Some f -> f (Engine.Config_view.of_config config) (fun () -> rpath));
       []
     | pids ->
       if (match pids with _ :: _ :: _ -> true | _ -> opts.o_crash_faults)
@@ -883,9 +907,9 @@ let with_mutex mutex f =
         (fun () -> g config rpath))
     f
 
-(* Adapt a public [Engine.config -> unit] callback to the internal
-   path-carrying shape. *)
-let drop_path f = Option.map (fun g config _rpath -> g config) f
+(* Adapt a public [Engine.Config_view.t -> unit] callback to the
+   internal path-carrying shape. *)
+let drop_path f = Option.map (fun g view _rpath -> g view) f
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points.                                               *)
@@ -1003,15 +1027,25 @@ type violation = {
   decisions : Repro.decision list;
 }
 
-let check_all ?(options = Options.default) config predicate =
-  (* The predicate is a pure function of the configuration, so under
-     domain parallelism it runs concurrently in the workers with no lock
-     — a per-terminal mutex would serialize the entire search.  Only the
+exception Unsound_predicate of string
+
+let unsound_message =
+  "Explore.check_all: the predicate (or analyze hook) inspected the global \
+   trace order (Config_view.trace / last_event / config) on a satisfying \
+   terminal while dedup or por was enabled; the reductions only preserve \
+   trace-order-insensitive properties, so the verdict would be unsound. \
+   Disable dedup/por, or restate the predicate with order-insensitive \
+   accessors (statuses, decisions, steps, store_state, events_of)."
+
+let check_all_gen ~guard ~(options : Options.t) config predicate =
+  (* The predicate is a pure function of the view, so under domain
+     parallelism it runs concurrently in the workers with no lock — a
+     per-terminal mutex would serialize the entire search.  Only the
      two effectful spots synchronize: recording the first violation, and
      the caller's [analyze] hook (arbitrary user code). *)
   let mutex = Mutex.create () in
   let failure = ref None in
-  let record config rpath message =
+  let record view path message =
     Mutex.lock mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock mutex)
@@ -1020,32 +1054,42 @@ let check_all ?(options = Options.default) config predicate =
           failure :=
             Some
               {
-                trace = Engine.trace config;
+                trace = Engine.Config_view.trace view;
                 message;
-                decisions = List.rev rpath;
+                decisions = List.rev (path ());
               });
     raise Stop_exploration
   in
-  let on_terminal config rpath =
-    match predicate config with
-    | Ok () -> ()
-    | Error message -> record config rpath message
+  (* Soundness guard: dedup/POR explore one representative per
+     commutation class, so a verdict is only transferable to the pruned
+     interleavings when the predicate never looked at the global order.
+     A violation is exempt — its witness schedule is genuinely executed
+     — so the guard fires only on satisfying terminals. *)
+  let guard_order =
+    guard && (options.Options.dedup || options.Options.por)
   in
-  let on_truncated config rpath =
+  let on_terminal view path =
+    match predicate view with
+    | Ok () ->
+      if guard_order && Engine.Config_view.order_accessed view then
+        raise (Unsound_predicate unsound_message)
+    | Error message -> record view path message
+  in
+  let on_truncated view path =
     (* The truncated schedule is the whole diagnostic: say where the
        execution was cut off and what it was doing, not just that it
        happened. *)
-    let depth = List.length config.Engine.trace in
+    let depth = Engine.Config_view.trace_length view in
     let message =
-      match config.Engine.trace with
-      | [] -> "execution exceeded the step bound before any shared-memory op"
-      | last :: _ ->
+      match Engine.Config_view.last_event view with
+      | None -> "execution exceeded the step bound before any shared-memory op"
+      | Some last ->
         Fmt.str
           "execution exceeded the step bound at depth %d (possible \
            livelock); last event: %a"
           depth Trace.pp_event last
     in
-    record config rpath message
+    record view path message
   in
   match
     explore_inner ~serialize:false ~options
@@ -1057,6 +1101,9 @@ let check_all ?(options = Options.default) config predicate =
     match !failure with
     | Some v -> Error v
     | None -> assert false)
+
+let check_all ?(options = Options.default) config predicate =
+  check_all_gen ~guard:true ~options config predicate
 
 module Vtbl = Hashtbl.Make (struct
   type t = Memory.Value.t
@@ -1070,15 +1117,14 @@ let decision_sets ?(options = Options.default) config =
      O(1) per terminal instead of a comparison against every set seen so
      far.  The result stays the documented sorted list of sorted lists. *)
   let sets = Vtbl.create 64 in
-  let on_terminal config _rpath =
+  let on_terminal view _rpath =
     let ds =
-      Array.to_list config.Engine.procs
-      |> List.filter_map Proc.decision
+      Engine.Config_view.decision_values view
       |> List.sort Memory.Value.compare
     in
     let key = Memory.Value.List ds in
     if not (Vtbl.mem sets key) then Vtbl.add sets key ds;
-    match options.Options.on_terminal with None -> () | Some f -> f config
+    match options.Options.on_terminal with None -> () | Some f -> f view
   in
   ignore
     (explore_inner ~serialize:true ~options
@@ -1088,3 +1134,36 @@ let decision_sets ?(options = Options.default) config =
        config);
   Vtbl.fold (fun _ ds acc -> ds :: acc) sets []
   |> List.sort (List.compare Memory.Value.compare)
+
+
+(* ------------------------------------------------------------------ *)
+(* One-release legacy shims (PR-4 style): the [Engine.config]-taking   *)
+(* hook shapes, kept for one release so downstream callers migrate at  *)
+(* leisure.  Each wraps the old callback over [Config_view.config] —   *)
+(* the materializing slow path, exactly the per-terminal cost the view *)
+(* API removes — so new code should take the view directly.            *)
+
+let lift_config_hook f =
+  Option.map (fun g view -> g (Engine.Config_view.config view)) f
+
+let explore_legacy ?(options = Options.default) ?analyze ?on_terminal
+    ?on_truncated config =
+  let pick shim kept = match lift_config_hook shim with
+    | Some _ as s -> s
+    | None -> kept
+  in
+  let options =
+    {
+      options with
+      Options.analyze = pick analyze options.Options.analyze;
+      on_terminal = pick on_terminal options.Options.on_terminal;
+      on_truncated = pick on_truncated options.Options.on_truncated;
+    }
+  in
+  explore ~options config
+
+let check_all_legacy ?(options = Options.default) config predicate =
+  (* Materializing marks the view as order-accessed, so the legacy
+     entry keeps the old documented-caveat behavior: no guard. *)
+  check_all_gen ~guard:false ~options config (fun view ->
+      predicate (Engine.Config_view.config view))

@@ -42,10 +42,26 @@
     statuses, decisions, or per-process trace projections), the
     existence of bound-exceeding executions, and {!decision_sets}
     exactly.  Reductions are {b not} sound for predicates that inspect
-    the global interleaving order of the trace.  With [domains = n > 1]
-    the [on_terminal]/[on_truncated]/[analyze] callbacks run in worker
-    domains, serialized by a mutex; terminal visit order is
-    nondeterministic (the stats are not). *)
+    the global interleaving order of the trace — {!check_all} {b fails
+    loudly} ({!Unsound_predicate}) when a predicate does so under
+    [dedup]/[por], using {!Engine.Config_view.order_accessed}.  With
+    [domains = n > 1] the [on_terminal]/[on_truncated]/[analyze]
+    callbacks run in worker domains, serialized by a mutex; terminal
+    visit order is nondeterministic (the stats are not).
+
+    {2 The checker API}
+
+    Every checker-facing hook — {!Options.t.analyze},
+    {!Options.t.on_terminal}, {!Options.t.on_truncated}, and the
+    {!check_all} predicate — takes an {!Engine.Config_view.t}: a
+    backend-neutral read-only view served zero-copy from the arena
+    machine's flat arrays (or trivially from a persistent
+    configuration).  Predicates that stick to the view's O(1)/O(procs)
+    accessors cost nothing per terminal on the arena backend; calling
+    {!Engine.Config_view.config} materializes the old full
+    configuration as a slow fallback.  The previous
+    [Engine.config]-taking shapes remain for one release as
+    {!explore_legacy} / {!check_all_legacy}. *)
 
 type stats = {
   terminals : int;  (** complete executions enumerated *)
@@ -88,10 +104,8 @@ type progress = {
 }
 
 (** The exploration configuration, consolidated — the {e only} way to
-    configure this module (the pre-[Options] labelled-argument wrappers
-    [explore_legacy]/[check_all_legacy] were deprecated for one release
-    and are gone).  Prefer [{ Options.default with ... }] over spelling
-    out all fields. *)
+    configure this module.  Prefer [{ Options.default with ... }] over
+    spelling out all fields. *)
 module Options : sig
   type t = {
     max_steps : int;
@@ -137,18 +151,21 @@ module Options : sig
             back to the exact check.  [[||]] (the default) disables the
             fast path; verdicts, decision sets, and pruning decisions are
             identical either way. *)
-    analyze : (Engine.config -> unit) option;
-        (** analysis hook: runs on every {e terminal} configuration,
-            before [on_terminal].  It exists so whole-space checkers
-            layered on top of this module ([check_all], the protocol
-            harnesses) can still feed each complete trace to an external
-            analysis pass — e.g. [Lepower_check]'s trace discipline and
-            bounded-value lints — without claiming the [on_terminal]
-            callback for themselves.  With [dedup]/[por] only a
-            representative interleaving per equivalence class reaches
-            the hook. *)
-    on_terminal : (Engine.config -> unit) option;
-    on_truncated : (Engine.config -> unit) option;
+    analyze : (Engine.Config_view.t -> unit) option;
+        (** analysis hook: runs on every {e terminal} view, before
+            [on_terminal] (the two hooks share one view per terminal).
+            It exists so whole-space checkers layered on top of this
+            module ([check_all], the protocol harnesses) can still feed
+            each complete trace to an external analysis pass — e.g.
+            [Lepower_check]'s trace discipline and bounded-value lints —
+            without claiming the [on_terminal] callback for themselves.
+            With [dedup]/[por] only a representative interleaving per
+            equivalence class reaches the hook. *)
+    on_terminal : (Engine.Config_view.t -> unit) option;
+        (** runs on every terminal view.  The view borrows the
+            executing machine's live state: read what you need inside
+            the callback; do not retain the view. *)
+    on_truncated : (Engine.Config_view.t -> unit) option;
     on_lowering : (Program.Compiled.report array -> unit) option;
         (** [Arena] only: called once per DFS item (once total when
             [domains <= 1]) with the per-pid lowering reports of that
@@ -196,29 +213,45 @@ type violation = {
   decisions : Repro.decision list;
 }
 
+exception Unsound_predicate of string
+(** Raised by {!check_all} when the predicate (or the shared [analyze]
+    hook) read the global trace order ({!Engine.Config_view.trace},
+    [last_event] or [config]) on a {e satisfying} terminal while
+    [dedup] or [por] was enabled — the reductions prune interleavings
+    that only differ in that order, so the verdict would be unsound.
+    Violations are exempt: their witness schedule genuinely executed. *)
+
 val check_all :
   ?options:Options.t ->
   Engine.config ->
-  (Engine.config -> (unit, string) result) ->
+  (Engine.Config_view.t -> (unit, string) result) ->
   (stats, violation) result
-(** Run the predicate on every terminal configuration; stop at the first
+(** Run the predicate on every terminal view; stop at the first
     violation and report its schedule.  A truncated execution is itself a
     violation (non-termination under some schedule); its [message] names
     the truncation depth and the truncated trace's last event.
-    [options.analyze] is honored; [options.on_terminal] and
-    [options.on_truncated] are {b ignored} — [check_all] claims both
-    hooks for the predicate and truncation reporting.
+    [options.analyze] is honored (it shares the predicate's view);
+    [options.on_terminal] and [options.on_truncated] are {b ignored} —
+    [check_all] claims both hooks for the predicate and truncation
+    reporting.
+
+    On the arena backend the view reads the machine's live flat arrays:
+    a predicate built from the O(1)/O(procs) accessors adds no
+    per-terminal materialization cost (E17's checked rows measure
+    this).  {!Engine.Config_view.config} is available as the slow
+    fallback and counts as an order access.
 
     [dedup]/[por]/[domains] may be requested {b only} for predicates
-    insensitive to the global trace order (see {!explore}); the Ok/Error
-    verdict is then identical to the naive walk's, though the particular
-    witness schedule reported may be a different member of the same
-    commutation class.
+    insensitive to the global trace order (see {!explore}) — enforced
+    at runtime via {!Unsound_predicate}; the Ok/Error verdict is then
+    identical to the naive walk's, though the particular witness
+    schedule reported may be a different member of the same commutation
+    class.
 
     Under [domains = n > 1] the predicate runs {b concurrently} in the
-    worker domains (it must be — and, being a function of an immutable
-    configuration, naturally is — pure); serializing it would serialize
-    the whole search.  [analyze] and violation recording remain
+    worker domains (it must be — and, being a function of a read-only
+    view, naturally is — pure); serializing it would serialize the
+    whole search.  [analyze] and violation recording remain
     mutex-protected. *)
 
 val decision_sets :
@@ -229,3 +262,38 @@ val decision_sets :
     the reductions are always sound here and the output is byte-identical
     across all modes.  [options.on_terminal] (if any) still runs after
     the internal recording; other callbacks pass through unchanged. *)
+
+(** {1 Legacy shims (one release)}
+
+    The [Engine.config]-taking hook shapes from before the
+    {!Engine.Config_view} redesign.  Both materialize a full persistent
+    configuration per terminal — the exact per-terminal cost the view
+    API removes — and will be deleted next release. *)
+
+val explore_legacy :
+  ?options:Options.t ->
+  ?analyze:(Engine.config -> unit) ->
+  ?on_terminal:(Engine.config -> unit) ->
+  ?on_truncated:(Engine.config -> unit) ->
+  Engine.config ->
+  stats
+[@@ocaml.deprecated
+  "use Explore.explore with Config_view-taking Options hooks; this shim \
+   materializes a full config per terminal and will be removed next \
+   release"]
+(** {!explore}, with old-style configuration-taking callbacks (each, when
+    given, overrides the corresponding [options] field). *)
+
+val check_all_legacy :
+  ?options:Options.t ->
+  Engine.config ->
+  (Engine.config -> (unit, string) result) ->
+  (stats, violation) result
+[@@ocaml.deprecated
+  "use Explore.check_all with a Config_view-taking predicate; this shim \
+   materializes a full config per terminal and will be removed next \
+   release"]
+(** {!check_all}, with an old-style configuration-taking predicate.
+    The {!Unsound_predicate} guard is disabled (materializing always
+    counts as an order access): the documented soundness caveat is the
+    caller's responsibility, as before. *)

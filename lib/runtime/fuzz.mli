@@ -107,14 +107,39 @@ val campaign :
   ?subject:Lepower_obs.Json.t ->
   ?backend:Engine.backend ->
   ?progress:(progress -> unit) ->
-  failing:(Engine.config -> string option) ->
+  failing:(Engine.Config_view.t -> string option) ->
   (unit -> Engine.config) ->
   outcome
 (** [campaign ~failing fresh] runs up to [runs] (default 256) fuzz runs,
     run [i] from [fresh ()] with seed [seed + i] (base default 1), and
-    stops at the first final configuration for which [failing] returns a
-    message.  Defaults: [max_steps 1000], [plan] {!Faults.none},
+    stops at the first final state for which [failing] returns a
+    message.  The predicate reads the final state through an
+    {!Engine.Config_view.t}: on the arena backend non-violating runs
+    never materialize a persistent configuration — the view serves the
+    predicate from the machine's flat arrays, and a full configuration
+    is only built when a certificate or violation report needs one.
+    Defaults: [max_steps 1000], [plan] {!Faults.none},
     [kind] [Pct {depth = 3}], [shrink true], [backend] [Persistent].
     The certificate embeds [subject] so [lepower replay] can rebuild
     the instance.  Equal seeds yield equal certificates across
     backends (see {!run}). *)
+
+val campaign_legacy :
+  ?runs:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?plan:Faults.plan ->
+  ?kind:sched_kind ->
+  ?shrink:bool ->
+  ?subject:Lepower_obs.Json.t ->
+  ?backend:Engine.backend ->
+  ?progress:(progress -> unit) ->
+  failing:(Engine.config -> string option) ->
+  (unit -> Engine.config) ->
+  outcome
+[@@ocaml.deprecated
+  "use Fuzz.campaign with a Config_view-taking predicate; this shim \
+   materializes a full config per run and will be removed next release"]
+(** {!campaign} with the pre-{!Engine.Config_view} predicate shape:
+    materializes every run's final configuration (the cost {!campaign}
+    now avoids).  One release only. *)

@@ -333,7 +333,11 @@ let shrink ?(budget = 4_000) ~failing ~config0 t =
       Lepower_obs.Metrics.incr m_shrink_attempts;
       match apply ~strict:false config0 ds with
       | Error _ -> None
-      | Ok { final; applied; _ } -> if failing final then Some applied else None
+      | Ok { final; applied; _ } ->
+        (* Candidates replay on the persistent backend, so the view is
+           a free wrapper over the already-materialized final. *)
+        if failing (Engine.Config_view.of_config final) then Some applied
+        else None
     end
   in
   let original = List.length t.decisions in
@@ -355,6 +359,11 @@ let shrink ?(budget = 4_000) ~failing ~config0 t =
         ~max_steps:t.max_steps ~message:t.message config0 shrunk
     in
     (cert, { attempts = !attempts; original; shrunk = List.length shrunk })
+
+let shrink_legacy ?budget ~failing ~config0 t =
+  shrink ?budget
+    ~failing:(fun view -> failing (Engine.Config_view.config view))
+    ~config0 t
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: one strict Lepower_obs.Json document.                *)

@@ -167,12 +167,12 @@ type shrink_stats = {
 
 val shrink :
   ?budget:int ->
-  failing:(Engine.config -> bool) ->
+  failing:(Engine.Config_view.t -> bool) ->
   config0:Engine.config ->
   t ->
   t * shrink_stats
-(** Minimize the certificate's decision list while [failing] holds of the
-    replayed final configuration.  Three passes run to a fixpoint:
+(** Minimize the certificate's decision list while [failing] holds of a
+    view of the replayed final configuration.  Three passes run to a fixpoint:
     adversary-removal (drop each [Crash]/[Lose]/[Stick] decision — so the
     surviving fault set is one the failure actually needs), pid-merge
     (drop {e all} decisions of one process), and chunk-removal ddmin down to
@@ -185,6 +185,18 @@ val shrink :
 
     Observability: wrapped in a ["repro.shrink"] span; maintains
     [repro.replays] and [repro.shrink_attempts] counters. *)
+
+val shrink_legacy :
+  ?budget:int ->
+  failing:(Engine.config -> bool) ->
+  config0:Engine.config ->
+  t ->
+  t * shrink_stats
+[@@ocaml.deprecated
+  "use Repro.shrink with a Config_view-taking predicate; this shim will \
+   be removed next release"]
+(** {!shrink} with the pre-{!Engine.Config_view} predicate shape.  One
+    release only. *)
 
 (** {1 Serialization} *)
 

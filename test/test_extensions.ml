@@ -109,8 +109,7 @@ let test_splitter_at_most_one_stop () =
   match
     Runtime.Explore.check_all config (fun final ->
         let outs =
-          Array.to_list final.Runtime.Engine.procs
-          |> List.filter_map Runtime.Proc.decision
+          Runtime.Engine.Config_view.decision_values final
           |> List.map Value.as_sym
         in
         let count s = List.length (List.filter (String.equal s) outs) in

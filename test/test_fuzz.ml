@@ -84,7 +84,7 @@ let test_finds_flip_fixtures () =
             Alcotest.(check bool)
               (target.Lint.name ^ ": replayed final still fails")
               true
-              (resolved.Subject.failing final <> None))))
+              (resolved.Subject.failing (Engine.Config_view.of_config final) <> None))))
     [ Lint.broken_cas_fixture ~flip:true (); Lint.broken_swmr_fixture ~flip:true () ]
 
 (* --- fault semantics -------------------------------------------------- *)
@@ -187,7 +187,7 @@ let test_election_fuzz_with_faults () =
       | Error e -> Alcotest.failf "replay: %s" e
       | Ok final ->
         Alcotest.(check bool) "replayed final still violates" true
-          (resolved.Subject.failing final <> None)))
+          (resolved.Subject.failing (Engine.Config_view.of_config final) <> None)))
 
 (* --- the new schedulers ----------------------------------------------- *)
 

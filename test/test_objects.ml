@@ -136,9 +136,8 @@ let test_testset_winner_unique () =
   match
     Explore.check_all config (fun final ->
         let winners =
-          Array.to_list final.Engine.procs
-          |> List.filter (fun p ->
-                 Runtime.Proc.decision p = Some (Value.bool true))
+          Engine.Config_view.decision_values final
+          |> List.filter (fun v -> v = Value.bool true)
         in
         if List.length winners = 1 then Ok () else Error "winner not unique")
   with
@@ -254,11 +253,7 @@ let test_sticky_elect_agreement () =
   let config = Engine.init store [ prog 0; prog 1; prog 2 ] in
   match
     Explore.check_all config (fun final ->
-        let decisions =
-          Array.to_list final.Engine.procs
-          |> List.filter_map Runtime.Proc.decision
-          |> List.sort_uniq Value.compare
-        in
+        let decisions = Engine.Config_view.distinct_decisions final in
         if List.length decisions = 1 then Ok () else Error "disagreement")
   with
   | Ok _ -> ()
@@ -372,9 +367,8 @@ let test_llsc_unique_winner () =
   match
     Explore.check_all config (fun final ->
         let winners =
-          Array.to_list final.Engine.procs
-          |> List.filter (fun p ->
-                 Runtime.Proc.decision p = Some (Value.bool true))
+          Engine.Config_view.decision_values final
+          |> List.filter (fun v -> v = Value.bool true)
         in
         (* At least one sc must succeed (the last ll before the first sc
            is always still linked), and never two in a row without a

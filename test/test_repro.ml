@@ -67,13 +67,13 @@ let test_explore_crash_cert () =
   (* Fail exactly when the adversary crashed someone: the first
      violating DFS path necessarily contains a Crash decision, so the
      certificate exercises crash replay. *)
-  let predicate final =
-    if
-      Array.exists
-        (fun p -> p.Runtime.Proc.status = Runtime.Proc.Crashed)
-        final.Engine.procs
-    then Error "a process crashed"
-    else Ok ()
+  let predicate view =
+    let someone_crashed =
+      List.exists
+        (fun pid -> Engine.Config_view.status view pid = Runtime.Proc.Crashed)
+        (List.init (Engine.Config_view.n_procs view) Fun.id)
+    in
+    if someone_crashed then Error "a process crashed" else Ok ()
   in
   let options = { Explore.Options.default with crash_faults = true } in
   match Explore.check_all ~options (config ()) predicate with
@@ -90,7 +90,7 @@ let test_explore_crash_cert () =
     (match Repro.replay cert (config ()) with
     | Error e -> Alcotest.failf "explorer cert rejected: %s" e
     | Ok final -> (
-      match predicate final with
+      match predicate (Engine.Config_view.of_config final) with
       | Error _ -> ()
       | Ok () -> Alcotest.fail "replayed final lost the crash"))
 
@@ -105,7 +105,9 @@ let test_election_explore_repro () =
     (match Repro.replay cert (Election.config instance) with
     | Error e -> Alcotest.failf "election cert rejected: %s" e
     | Ok final -> (
-      match Election.check_config instance final with
+      match
+        Election.check_config instance (Engine.Config_view.of_config final)
+      with
       | Ok () -> Alcotest.fail "replayed final passes the election check"
       | Error _ -> ()))
 
@@ -145,7 +147,10 @@ let failing_cert (target : Lint.target) (resolved : Subject.resolved)
         Repro.record ~subject:target.Lint.subject ~seed ~max_steps
           ~sched:(Sched.random ~seed) resolved.Subject.config
       in
-      match resolved.Subject.failing outcome.Engine.final with
+      match
+        resolved.Subject.failing
+          (Engine.Config_view.of_config outcome.Engine.final)
+      with
       | Some message -> Repro.with_message cert message
       | None -> go (seed + 1)
   in
@@ -156,6 +161,7 @@ let test_shrink_broken_cas () =
   let resolved = Subject.of_target target in
   let config0 = resolved.Subject.config in
   let failing c = resolved.Subject.failing c <> None in
+  let failing_config final = failing (Engine.Config_view.of_config final) in
   let cert = failing_cert target resolved ~max_steps:1024 in
   let min_cert, stats = Repro.shrink ~failing ~config0 cert in
   Alcotest.(check int) "original length" (List.length cert.Repro.decisions)
@@ -171,7 +177,8 @@ let test_shrink_broken_cas () =
   (match Repro.replay min_cert config0 with
   | Error e -> Alcotest.failf "shrunk cert rejected: %s" e
   | Ok final ->
-    Alcotest.(check bool) "shrunk cert still fails" true (failing final));
+    Alcotest.(check bool) "shrunk cert still fails" true
+      (failing_config final));
   (* 1-minimality: removing any single decision loses the failure. *)
   List.iteri
     (fun i _ ->
@@ -182,7 +189,7 @@ let test_shrink_broken_cas () =
         Alcotest.(check bool)
           (Printf.sprintf "dropping decision %d no longer fails" i)
           false
-          (failing a.Repro.final))
+          (failing_config a.Repro.final))
     min_cert.Repro.decisions
 
 let test_shrink_broken_swmr () =
@@ -190,6 +197,7 @@ let test_shrink_broken_swmr () =
   let resolved = Subject.of_target target in
   let config0 = resolved.Subject.config in
   let failing c = resolved.Subject.failing c <> None in
+  let failing_config final = failing (Engine.Config_view.of_config final) in
   let cert = failing_cert target resolved ~max_steps:256 in
   let min_cert, stats = Repro.shrink ~failing ~config0 cert in
   Alcotest.(check bool) "never grows" true
@@ -197,7 +205,8 @@ let test_shrink_broken_swmr () =
   match Repro.replay min_cert config0 with
   | Error e -> Alcotest.failf "shrunk cert rejected: %s" e
   | Ok final ->
-    Alcotest.(check bool) "shrunk cert still fails" true (failing final)
+    Alcotest.(check bool) "shrunk cert still fails" true
+      (failing_config final)
 
 (* --- the crashing wrapper's halt sentinel --- *)
 

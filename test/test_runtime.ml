@@ -215,15 +215,13 @@ let test_check_all_finds_violation () =
   match
     Explore.check_all config (fun final ->
         let winners =
-          Array.to_list final.Engine.procs
-          |> List.filter (fun p ->
-                 match Runtime.Proc.decision p with
-                 | Some (Value.Int 0) -> true
-                 | _ -> false)
+          Engine.Config_view.decisions final
+          |> List.filter (fun (_, v) ->
+                 match v with Value.Int 0 -> true | _ -> false)
         in
         (* Claim (falsely) that pid 0 always sees 0 first. *)
         match winners with
-        | [ p ] when p.Runtime.Proc.pid = 0 -> Ok ()
+        | [ (0, _) ] -> Ok ()
         | _ -> Error "pid 1 won the race")
   with
   | Ok _ -> Alcotest.fail "expected a violating schedule"

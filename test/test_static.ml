@@ -125,8 +125,11 @@ let soundness_of_instance inst =
       dedup = true;
       analyze =
         Some
-          (fun config ->
-            match Soundness.check ~store summary (Runtime.Engine.trace config) with
+          (fun view ->
+            match
+              Soundness.check ~store summary
+                (Runtime.Engine.Config_view.trace view)
+            with
             | [] -> ()
             | vs -> violations := vs @ !violations);
     }
