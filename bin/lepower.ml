@@ -295,7 +295,10 @@ let backend_arg =
            configurations) or $(b,arena) (compiled step programs over a \
            mutable arena store with O(1) snapshot/undo — substantially \
            faster; verdicts, statistics, decision sets and certificates \
-           are identical).  Programs whose compiled form outgrows the node \
+           are identical).  Composes with --dedup/--por/--static-por: the \
+           reduced walks run journal-free on the machine's flat arrays \
+           with incrementally-maintained fingerprints (see DESIGN.md \
+           $(i,§7)).  Programs whose compiled form outgrows the node \
            budget transparently fall back to closure interpretation.")
 
 let backend_verify_arg =
@@ -304,8 +307,9 @@ let backend_verify_arg =
     & info [ "backend-verify" ]
         ~doc:
           "Debug: with --backend arena, shadow every machine step with the \
-           persistent reference engine and abort on the first divergence.  \
-           Orders of magnitude slower.")
+           persistent reference engine and abort on the first divergence \
+           (works in every mode; forces the journaled reduced path when \
+           --dedup/--por is on).  Orders of magnitude slower.")
 
 let explore_max_steps =
   Arg.(
@@ -320,7 +324,10 @@ let explore_dedup =
         ~doc:
           "Memoize visited configurations (canonical fingerprint over store \
            + per-process state) and prune revisits.  Sound here: the \
-           election predicate is trace-order-insensitive.")
+           election predicate is trace-order-insensitive.  Under --backend \
+           arena the fingerprint is maintained incrementally from each \
+           step's delta and revisit probes compare machine snapshots in \
+           place.")
 
 let explore_por =
   Arg.(
@@ -355,8 +362,8 @@ let explore_static_por =
           "Seed --por with static effect summaries: processes whose \
            footprints provably never conflict commute without per-move \
            decoding (implies --por; verdicts and decision sets are \
-           identical).  Skipped with a note when the summary is \
-           incomplete (e.g. a retry-loop protocol).")
+           identical on either backend).  Skipped with a note when the \
+           summary is incomplete (e.g. a retry-loop protocol).")
 
 (* Heartbeat payload for explore: the campaign vitals the ISSUE asks the
    stream to carry — throughput, reduction hit-rates, frontier size and

@@ -90,12 +90,6 @@ let check_partial t view =
     | None, _, Some m -> Error m
     | None, ([] | [ _ ]), None -> Ok ()
 
-let check_config_legacy t (config : Engine.config) =
-  check_config t (View.of_config config)
-
-let check_partial_legacy t (config : Engine.config) =
-  check_partial t (View.of_config config)
-
 let check_outcome t (outcome : Engine.outcome) =
   if outcome.Engine.hit_step_limit then
     Error "run hit the global step limit (livelock or bound too small)"

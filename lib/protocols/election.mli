@@ -54,20 +54,6 @@ val check_partial :
     incomplete run must not count as a violation, or shrinking would
     trivialize). *)
 
-val check_config_legacy :
-  instance -> Runtime.Engine.config -> (unit, string) result
-[@@ocaml.deprecated
-  "use check_config with an Engine.Config_view (wrap configs with \
-   Engine.Config_view.of_config); removed next release"]
-(** {!check_config} on a materialized configuration.  One release only. *)
-
-val check_partial_legacy :
-  instance -> Runtime.Engine.config -> (unit, string) result
-[@@ocaml.deprecated
-  "use check_partial with an Engine.Config_view (wrap configs with \
-   Engine.Config_view.of_config); removed next release"]
-(** {!check_partial} on a materialized configuration.  One release only. *)
-
 val run :
   instance -> sched:Runtime.Sched.t -> (Runtime.Engine.outcome, string) result
 (** Run to completion under the scheduler and check the outcome. *)

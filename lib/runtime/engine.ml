@@ -936,6 +936,198 @@ module Machine = struct
   let last_new_state m =
     Memory.Store.Arena.state_at m.arena (Memory.Store.Arena.last_id m.arena)
 
+  (* ---- journal-free single-step frames ----
+
+     The reduced explorer (dedup / sleep-set POR) cannot hand the whole
+     enumeration to [walk_naive]: it interleaves its own bookkeeping
+     (fingerprint sums, sleep bitsets, visited table) between moves.
+     A [frame] packages exactly one move's undo data in the caller's
+     stack frame instead of the journal: [step_frame] replicates the
+     memoized fast path of [walk_naive] (direct array writes, gentle
+     move-to-front) and records the inverse plus the step's store delta
+     in the frame; first visits and non-memoizable steps fall back to
+     the journaled [step_impl], with the frame holding only the mark.
+     The [frame_*] accessors expose the delta uniformly across both
+     paths so callers maintaining incremental fingerprints never touch
+     the machine's scratch directly. *)
+
+  type frame = {
+    mutable f_fast : bool;  (* true: stack-undo memo hit; false: journaled *)
+    mutable f_pid : int;
+    mutable f_pc : int;  (* fast: node id to restore *)
+    mutable f_loc : int;  (* fast: arena location id touched *)
+    mutable f_mark : int;  (* slow: journal mark to rewind to *)
+    mutable f_loc_name : string;
+    mutable f_op : Value.t;
+    mutable f_result : Value.t;
+    mutable f_old : Value.t;
+    mutable f_new : Value.t;
+  }
+
+  let frame () =
+    {
+      f_fast = false;
+      f_pid = 0;
+      f_pc = 0;
+      f_loc = 0;
+      f_mark = 0;
+      f_loc_name = "";
+      f_op = Value.Unit;
+      f_result = Value.Unit;
+      f_old = Value.Unit;
+      f_new = Value.Unit;
+    }
+
+  let step_frame m pid f =
+    f.f_pid <- pid;
+    let fast =
+      let pcv = m.pcs.(pid) in
+      if pcv < 0 then false
+      else
+        let xa = m.memos.(pid) in
+        if pcv >= Array.length xa then false
+        else
+          match xa.(pcv) with
+          | Some x when Memory.Store.Arena.spec_at m.arena x.x_loc == x.x_spec
+            -> (
+            let sarr = Memory.Store.Arena.states_view m.arena in
+            let st = sarr.(x.x_loc) in
+            let k = memo_find x st 0 in
+            if k < 0 then false
+            else begin
+              (* gentle move-to-front, exactly as in [walk_naive] *)
+              let k =
+                if k > 0 then begin
+                  let pk = x.x_keys.(k - 1) and po = x.x_outs.(k - 1) in
+                  x.x_keys.(k - 1) <- x.x_keys.(k);
+                  x.x_outs.(k - 1) <- x.x_outs.(k);
+                  x.x_keys.(k) <- pk;
+                  x.x_outs.(k) <- po;
+                  k - 1
+                end
+                else k
+              in
+              let o = x.x_outs.(k) in
+              if Obs.Metrics.is_enabled () then begin
+                Obs.Metrics.incr m_steps;
+                record_store_op x.x_op o.x_result
+              end;
+              sarr.(x.x_loc) <- o.x_state';
+              m.pcs.(pid) <- o.x_next;
+              (match o.x_decided with
+              | None -> ()
+              | Some v ->
+                m.statuses.(pid) <- st_decided;
+                m.decided.(pid) <- v);
+              m.steps.(pid) <- m.steps.(pid) + 1;
+              m.time <- m.time + 1;
+              f.f_fast <- true;
+              f.f_pc <- pcv;
+              f.f_loc <- x.x_loc;
+              f.f_loc_name <- x.x_loc_name;
+              f.f_op <- x.x_op;
+              f.f_result <- o.x_result;
+              f.f_old <- st;
+              f.f_new <- o.x_state';
+              true
+            end)
+          | _ -> false
+    in
+    if not fast then begin
+      f.f_fast <- false;
+      f.f_mark <- m.jlen;
+      step_impl m pid
+    end
+
+  let undo_frame m f =
+    if f.f_fast then begin
+      let pid = f.f_pid in
+      m.time <- m.time - 1;
+      m.steps.(pid) <- m.steps.(pid) - 1;
+      (* a memo hit never faults or crashes: the only status a fast
+         step can set is [Decided], so restoring [Running] is exact *)
+      m.statuses.(pid) <- st_running;
+      m.pcs.(pid) <- f.f_pc;
+      Memory.Store.Arena.write_state m.arena f.f_loc f.f_old;
+      m.last_valid <- false
+    end
+    else undo_to m f.f_mark
+
+  (* Memo hits are always genuine store operations (only clean [Ok]
+     transitions are memoized), so on the fast path there is always an
+     event; the slow path defers to the machine's scratch. *)
+  let frame_step_event m f = f.f_fast || m.last_valid
+  let frame_loc m f = if f.f_fast then f.f_loc_name else m.last_loc
+
+  let frame_loc_id m f =
+    if f.f_fast then f.f_loc else Memory.Store.Arena.last_id m.arena
+  let frame_op m f = if f.f_fast then f.f_op else m.last_op
+  let frame_result m f = if f.f_fast then f.f_result else m.last_result
+  let frame_old_state m f = if f.f_fast then f.f_old else last_old_state m
+  let frame_new_state m f = if f.f_fast then f.f_new else last_new_state m
+
+  (* Crash moves in a frame-based walk are a status flip both ways —
+     identical to [walk_naive]'s crash handling, no journal entry.  The
+     caller must only crash a currently-running process and must pair
+     every [crash_frame] with an [uncrash_frame] on backtrack. *)
+  let crash_frame m pid = m.statuses.(pid) <- st_crashed
+  let uncrash_frame m pid = m.statuses.(pid) <- st_running
+
+  (* Compact machine snapshots: the structural payload a visited-set
+     entry needs to disambiguate hash collisions — store states in slot
+     order plus per-process status — with an equality that compares the
+     snapshot against the *live* machine, so a lookup hit materializes
+     nothing.  Location names are deliberately absent: within one
+     exploration the arena layout is fixed, so slot index [i] always
+     denotes the same location and comparing values slotwise makes
+     exactly the distinctions [Fingerprint.equal] makes on the sorted
+     binding list. *)
+  type snapshot = {
+    sn_states : Value.t array;
+    sn_statuses : int array;
+    sn_decided : Value.t array;
+    sn_faults : string array;
+  }
+
+  (* Plain copies: [decided]/[faults] slots of processes in other states
+     carry stale values, but [snapshot_equal] only consults them behind
+     the matching status code, so they never influence equality. *)
+  let snapshot m =
+    {
+      sn_states = Array.copy (Memory.Store.Arena.states_view m.arena);
+      sn_statuses = Array.copy m.statuses;
+      sn_decided = Array.copy m.decided;
+      sn_faults = Array.copy m.faults;
+    }
+
+  let snapshot_equal m s =
+    let sarr = Memory.Store.Arena.states_view m.arena in
+    let k = Array.length sarr in
+    let n = Array.length m.statuses in
+    Array.length s.sn_states = k
+    && Array.length s.sn_statuses = n
+    && (let rec states i =
+          i >= k
+          ||
+          (* physical first: memoized transitions reinstall the same
+             value blocks, so revisits usually share states physically *)
+          (let a = Array.unsafe_get sarr i
+           and b = Array.unsafe_get s.sn_states i in
+           (a == b || Value.equal a b) && states (i + 1))
+        in
+        states 0)
+    &&
+    let rec procs i =
+      i >= n
+      ||
+      let st = m.statuses.(i) in
+      st = s.sn_statuses.(i)
+      && (st <> st_decided || Value.equal m.decided.(i) s.sn_decided.(i))
+      && (st <> st_faulty || String.equal m.faults.(i) s.sn_faults.(i))
+      && procs (i + 1)
+    in
+    procs 0
+
   let access m pid =
     let pcv = m.pcs.(pid) in
     if pcv >= 0 then begin
@@ -948,6 +1140,37 @@ module Machine = struct
       match m.prim_pcs.(pid) with
       | Program.Step (loc, op, _) -> Some (loc, Value.equal op read_sym)
       | Program.Done _ -> None
+
+  (* [access] without the option/tuple allocation, for commutation
+     checks in hot loops: [-1] = no pending access, [-2] = access on a
+     location the store does not know (compare those by name via
+     [access]; they fault when stepped, but until then they are real
+     accesses), else [2 * slot lor read]. *)
+  let access_enc m pid =
+    let enc loc read =
+      match Memory.Store.Arena.id_of_loc m.arena loc with
+      | Some id -> (2 * id) lor Bool.to_int read
+      | None -> -2
+    in
+    let pcv = m.pcs.(pid) in
+    if pcv >= 0 then begin
+      let cp = m.progs.(pid) in
+      if Program.Compiled.is_done cp pcv then -1
+      else begin
+        (* a warm memo carries the interned slot — skip the name lookup *)
+        let xa = m.memos.(pid) in
+        let read = Program.Compiled.read_at cp pcv in
+        if pcv < Array.length xa then
+          match xa.(pcv) with
+          | Some x -> (2 * x.x_loc) lor Bool.to_int read
+          | None -> enc (Program.Compiled.loc_at cp pcv) read
+        else enc (Program.Compiled.loc_at cp pcv) read
+      end
+    end
+    else
+      match m.prim_pcs.(pid) with
+      | Program.Step (loc, op, _) -> enc loc (Value.equal op read_sym)
+      | Program.Done _ -> -1
 
   let config m =
     let procs =

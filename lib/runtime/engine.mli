@@ -213,6 +213,14 @@ module Machine : sig
       the explorer's persistent move-access probe; [is_read] is the
       literal [:read] check the POR independence relation uses. *)
 
+  val access_enc : t -> int -> int
+  (** {!access} as an int, allocation-free, for commutation checks in
+      hot loops: [-1] if the program is done, [-2] if the pending
+      access names a location the store does not intern (fall back to
+      {!access} and compare names), else [2 * slot lor is_read] with
+      [slot] the arena location id — equal slots iff equal location
+      names. *)
+
   (** {2 Last-step delta}
 
       After a {!step} that performed a store operation, these expose
@@ -235,6 +243,96 @@ module Machine : sig
   (** Its state now.  After {!step_lost} this equals {!last_old_state}
       (the write evaporated), which keeps incremental store sums
       correct with no special case. *)
+
+  (** {2 Journal-free single-step frames}
+
+      The building block of the reduced (dedup / sleep-set POR) arena
+      walk: one move's undo data packaged in the caller's stack frame
+      instead of the journal.  {!step_frame} takes the same memoized
+      fast path as {!walk_naive} — direct array writes, no journal
+      entry, no allocation — and records the exact inverse in the
+      frame; a first visit or non-memoizable step falls back to the
+      journaled step with the frame holding only the journal mark.
+      The [frame_*] accessors expose the step's single-binding store
+      delta uniformly across both paths, so callers can maintain
+      incremental {!Fingerprint} sums without touching the machine's
+      {!last_step_event} scratch.  Frames are reusable; undo them in
+      strict LIFO order. *)
+
+  type frame
+  (** Mutable undo record for one step.  Reusable across moves at the
+      same stack depth; contents are valid from a {!step_frame} until
+      the matching {!undo_frame}. *)
+
+  val frame : unit -> frame
+  (** A fresh (blank) frame. *)
+
+  val step_frame : t -> int -> frame -> unit
+  (** [step_frame m pid f] steps [pid] exactly like {!step} (same
+      memoization, same metrics, same fault semantics) but records the
+      undo in [f]: memo hits bypass the journal entirely; slow-path
+      steps are journaled and [f] keeps the mark.  [pid] must be
+      running. *)
+
+  val undo_frame : t -> frame -> unit
+  (** Exact inverse of the matching {!step_frame}.  Frames must be
+      undone in reverse order of their steps (LIFO). *)
+
+  val frame_step_event : t -> frame -> bool
+  (** Whether the frame's step performed a store operation (memo hits
+      always do; a slow-path decide step or store-rejected fault does
+      not).  The frame analogue of {!last_step_event}. *)
+
+  val frame_loc : t -> frame -> string
+  (** Location the frame's step operated on. *)
+
+  val frame_loc_id : t -> frame -> int
+  (** The same location as its interned arena slot id — lets callers
+      index per-location precomputed data (e.g. fingerprint seeds)
+      without re-interning the name. *)
+
+  val frame_op : t -> frame -> Memory.Value.t
+  (** The operation value. *)
+
+  val frame_result : t -> frame -> Memory.Value.t
+  (** The operation's response. *)
+
+  val frame_old_state : t -> frame -> Memory.Value.t
+  (** State of {!frame_loc}'s object before the operation. *)
+
+  val frame_new_state : t -> frame -> Memory.Value.t
+  (** Its state after the operation. *)
+
+  val crash_frame : t -> int -> unit
+  (** Unjournaled crash: flips the (running) process to crashed, for
+      frame-based walks.  Pair with {!uncrash_frame} on backtrack. *)
+
+  val uncrash_frame : t -> int -> unit
+  (** Undo a {!crash_frame}: flips the process back to running. *)
+
+  (** {2 Machine snapshots}
+
+      The structural payload a visited-set entry stores to disambiguate
+      hash collisions: store states in arena slot order plus per-process
+      status, {e without} location names — within one exploration the
+      arena layout is fixed, so slotwise value comparison makes exactly
+      the distinctions {!Fingerprint.equal} makes on the sorted binding
+      list.  Process histories are not included; they live in the
+      explorer, which compares them alongside. *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  (** Capture the current store states and process statuses.
+      O(locs + procs), two small array copies — no journal walk, no
+      binding-list or [config] materialization. *)
+
+  val snapshot_equal : t -> snapshot -> bool
+  (** Compare a stored snapshot against the {e live} machine — the
+      machine side materializes nothing, so a visited-set probe that
+      hits allocates nothing.  Only meaningful between a snapshot and a
+      machine of the same exploration (same arena layout and process
+      count); mismatched shapes compare unequal. *)
 
   val config : t -> config
   (** Materialize the current state as a persistent configuration

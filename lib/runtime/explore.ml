@@ -163,10 +163,14 @@ type opts = {
   o_por : bool;
   o_backend : Engine.backend;
   o_verify : bool;
+  o_reduced : bool;
+      (* Arena + (dedup or por), no lockstep shadow, and the move
+         alphabet fits an int bitset: dispatch reduced exploration to
+         the journal-free bitset walk. *)
   o_fast : bool array array option;
 }
 
-let opts_of (options : Options.t) =
+let opts_of (options : Options.t) ~n_procs =
   {
     o_max_steps = options.Options.max_steps;
     o_crash_faults = options.Options.crash_faults;
@@ -174,6 +178,11 @@ let opts_of (options : Options.t) =
     o_por = options.Options.por;
     o_backend = options.Options.backend;
     o_verify = options.Options.verify_backend;
+    o_reduced =
+      options.Options.backend = Engine.Arena
+      && (options.Options.dedup || options.Options.por)
+      && (not options.Options.verify_backend)
+      && 2 * n_procs <= 62;
     o_fast = fast_matrix options.Options.footprints;
   }
 
@@ -212,6 +221,92 @@ let acc_merge into from =
   into.a_pruned <- into.a_pruned + from.a_pruned;
   into.a_por_checks <- into.a_por_checks + from.a_por_checks;
   into.a_fast <- into.a_fast + from.a_fast
+
+(* The reduced walk's visited table.  [Fingerprint.Tbl] would force the
+   walk to materialize a full fingerprint record (sorted binding list +
+   procs array) per lookup just so [Hashtbl] has a key to hash and
+   compare — on the dedup-heavy workloads that costs more than the walk
+   itself (three lookups per stored config on cas k=8 n=7).  Instead
+   each entry keeps a compact {!Engine.Machine.snapshot} plus the
+   history array, and a probe compares entries against the *live*
+   machine — a hit allocates nothing; only a miss (first visit) pays
+   the snapshot.  Same hash ({!Fingerprint.combine} of the incremental
+   sums) and the same structural distinctions as [Fingerprint.equal],
+   so hit/miss decisions — and therefore every stat — stay
+   byte-identical with the reference walk. *)
+type rentry = {
+  re_hash : int;
+  re_snap : Engine.Machine.snapshot;
+  re_hists : Fingerprint.history array;
+  mutable re_sleep : int;  (** bitset sleep set stored at first visit *)
+}
+
+type rtbl = { mutable r_buckets : rentry list array; mutable r_count : int }
+
+let rtbl_create size = { r_buckets = Array.make (max 16 size) []; r_count = 0 }
+
+let rtbl_find tbl m histories h =
+  let bs = tbl.r_buckets in
+  let n = Array.length histories in
+  let rec scan = function
+    | [] -> None
+    | e :: rest ->
+      if
+        e.re_hash = h
+        (* histories first: hash-consing makes the usual hit a run of
+           pointer equalities, cheaper than the snapshot's value
+           comparisons *)
+        && (let rec hists i =
+              i >= n
+              || (Fingerprint.history_equal e.re_hists.(i) histories.(i)
+                 && hists (i + 1))
+            in
+            hists 0)
+        && Engine.Machine.snapshot_equal m e.re_snap
+      then Some e
+      else scan rest
+  in
+  scan bs.(h mod Array.length bs)
+
+let rtbl_add tbl m histories h sleep =
+  (if tbl.r_count >= 2 * Array.length tbl.r_buckets then begin
+     let bs' = Array.make (2 * Array.length tbl.r_buckets) [] in
+     Array.iter
+       (List.iter (fun e ->
+            let i = e.re_hash mod Array.length bs' in
+            bs'.(i) <- e :: bs'.(i)))
+       tbl.r_buckets;
+     tbl.r_buckets <- bs'
+   end);
+  let i = h mod Array.length tbl.r_buckets in
+  tbl.r_buckets.(i) <-
+    {
+      re_hash = h;
+      re_snap = Engine.Machine.snapshot m;
+      re_hists = Array.copy histories;
+      re_sleep = sleep;
+    }
+    :: tbl.r_buckets.(i);
+  tbl.r_count <- tbl.r_count + 1
+
+(* Visited-set representation, fixed per run by [opts]: the reference
+   walks ([explore_seq], [explore_seq_arena]) store the sleep set at
+   first visit as a move list keyed by full fingerprints; the reduced
+   arena walk uses the snapshot table above.  Dispatch depends on
+   [opts] alone — never on a particular DFS item — so workers can pick
+   the representation before seeing any work and share one table
+   across their frontier items. *)
+type visited_tbl =
+  | V_lists of move list Fingerprint.Tbl.t
+  | V_bits of rtbl
+
+let visited_create opts size =
+  if not opts.o_dedup then None
+  else if opts.o_reduced then Some (V_bits (rtbl_create size))
+  else Some (V_lists (Fingerprint.Tbl.create size))
+
+let visited_lists = function Some (V_lists t) -> Some t | _ -> None
+let visited_bits = function Some (V_bits t) -> Some t | _ -> None
 
 let initial_histories (config : Engine.config) =
   Array.make (Array.length config.Engine.procs) Fingerprint.history_empty
@@ -670,24 +765,331 @@ let explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
           ~on_truncated:on_truncated_mc ws m);
   m
 
+(* Reduced exploration (dedup and/or sleep-set POR) journal-free on the
+   machine's flat arrays.  Per-move undo lives in a stack of reusable
+   [Machine.frame]s — memo-hit steps bypass the journal entirely and
+   crashes are unjournaled status flips.  Sleep sets are int bitsets
+   ([Step_m p] at bit [p], [Crash_m p] at bit [n + p]; dispatch
+   guarantees [2n <= 62]), and the dedup key is assembled from the
+   incrementally maintained fingerprint sums, so no [Machine.config],
+   no move list and no sleep list is ever materialized on the hot
+   path.  Leaf hooks observe the machine through the same flat view as
+   the naive checked walk, replaying the recorded move path on demand.
+
+   Fidelity: traversal order (pids ascending, step before crash, crash
+   at the same depth), counter cadence (including the [a_por_checks] /
+   [a_fast] increments per sleep-set candidate — explored and sleep
+   sets are disjoint, so bit iteration visits exactly the candidates
+   the reference's list filter does), dedup actions and the
+   caching-discipline subset/intersection tests all mirror
+   [explore_seq] exactly; the cross-backend digest tests pin this. *)
+let explore_arena_reduced ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+    ~on_truncated (config0, histories0, depth0, rpath0) =
+  let m = Engine.Machine.of_config config0 in
+  let n = Engine.Machine.n_procs m in
+  let histories = Array.copy histories0 in
+  let store_sum = ref 0 and proc_sum = ref 0 in
+  (* Per-walk fingerprint plumbing: histories are extended through a
+     hash-consing table so re-derived spines stay physically shared
+     (visited-set hits then compare by pointer), and each location's
+     [store_binding_hash] string prefix is precomputed per arena slot so
+     a step's store delta is two value folds, no string walks. *)
+  let hc = Fingerprint.hcons_create 1024 in
+  (* One-entry per-pid extension cache in front of [hc]: right after
+     backtracking, a sibling branch re-extends the same (physical) tail
+     with the same memoized event blocks, so even the consing probe's
+     hashing is skippable.  Physical-only compares — a false miss just
+     falls through to [hc], which guarantees the canonical block. *)
+  let ext_tl = Array.make n Fingerprint.history_empty in
+  let ext_loc = Array.make n "" in
+  let ext_op = Array.make n Memory.Value.Unit in
+  let ext_result = Array.make n Memory.Value.Unit in
+  let ext_ev = Array.make n Fingerprint.history_empty in
+  let extend pid tl ~loc ~op ~result =
+    if
+      ext_tl.(pid) == tl
+      && ext_loc.(pid) == loc
+      && ext_op.(pid) == op
+      && ext_result.(pid) == result
+    then ext_ev.(pid)
+    else begin
+      let ev = Fingerprint.history_extend_hc hc tl ~loc ~op ~result in
+      ext_tl.(pid) <- tl;
+      ext_loc.(pid) <- loc;
+      ext_op.(pid) <- op;
+      ext_result.(pid) <- result;
+      ext_ev.(pid) <- ev;
+      ev
+    end
+  in
+  let seeds =
+    if opts.o_dedup then
+      Array.of_list
+        (List.map
+           (fun (l, _) -> Fingerprint.store_seed l)
+           (Engine.Machine.state_bindings m))
+    else [||]
+  in
+  (if opts.o_dedup then begin
+     let s, p = Fingerprint.sums config0 histories0 in
+     store_sum := s;
+     proc_sum := p
+   end);
+  (* Move path + per-move frames: [mc] indexes both.  At most
+     [max_steps] step moves plus one crash per process on any branch. *)
+  let slots = opts.o_max_steps + n + 2 in
+  let path = Array.make slots 0 in
+  (* Frames grow with the deepest branch actually reached, not with the
+     [max_steps] bound — a frame per *live* move, reused across
+     siblings at the same stack depth. *)
+  let frames = ref (Array.init 64 (fun _ -> Engine.Machine.frame ())) in
+  let frame_at mc =
+    let fa = !frames in
+    let len = Array.length fa in
+    if mc < len then Array.unsafe_get fa mc
+    else begin
+      let fa' =
+        Array.init
+          (min slots (max (2 * len) (mc + 1)))
+          (fun i -> if i < len then fa.(i) else Engine.Machine.frame ())
+      in
+      frames := fa';
+      fa'.(mc)
+    end
+  in
+  let mc_now = ref 0 in
+  (* Hook thunks, as in [explore_arena_naive]: valid only while the
+     hook runs, reconstruct the schedule from [path.(0 .. !mc_now-1)]. *)
+  let decisions () =
+    let ds = ref rpath0 in
+    for i = 0 to !mc_now - 1 do
+      let mv = Array.unsafe_get path i in
+      ds := (if mv >= 0 then Repro.Step mv else Repro.Crash (-mv - 1)) :: !ds
+    done;
+    !ds
+  in
+  let replay () =
+    let cfg = ref config0 in
+    for i = 0 to !mc_now - 1 do
+      let mv = Array.unsafe_get path i in
+      cfg :=
+        (if mv >= 0 then Engine.step !cfg mv else Engine.crash !cfg (-mv - 1))
+    done;
+    !cfg
+  in
+  (* Sleep-set filter for the child of taken move [(q, q_crash)]: keep
+     each candidate bit of [cand] that is independent of the move, with
+     the static fast matrix consulted first — the same per-candidate
+     check (and counter increments) as the reference's list filter.
+     [accs] holds every process's pending access in the {e parent}
+     state, encoded by {!Engine.Machine.access_enc} — each expansion
+     snapshots them once (recursion builds its own for deeper levels),
+     so the exact check is two array reads and integer compares per
+     candidate, no program-counter decode, no string walk. *)
+  let child_sleep_of accs cand q q_crash =
+    let tok = Lepower_prof.Phase.enter ph_por in
+    let kept = ref 0 in
+    for b = 0 to (2 * n) - 1 do
+      if cand land (1 lsl b) <> 0 then begin
+        acc.a_por_checks <- acc.a_por_checks + 1;
+        let p = if b < n then b else b - n in
+        let keep =
+          match opts.o_fast with
+          | Some fast
+            when p <> q
+                 && p < Array.length fast
+                 && q < Array.length fast
+                 && fast.(p).(q) ->
+            acc.a_fast <- acc.a_fast + 1;
+            true
+          | _ ->
+            p <> q
+            && (b >= n || q_crash
+               ||
+               let ep = Array.unsafe_get accs p
+               and eq = Array.unsafe_get accs q in
+               if ep = -1 || eq = -1 then true
+               else if ep >= 0 && eq >= 0 then
+                 ep lsr 1 <> eq lsr 1 || ep land eq land 1 = 1
+               else
+                 (* an un-interned location: compare by name *)
+                 match
+                   (Engine.Machine.access m p, Engine.Machine.access m q)
+                 with
+                 | None, _ | _, None -> true
+                 | Some (l1, r1), Some (l2, r2) ->
+                   (not (String.equal l1 l2)) || (r1 && r2))
+        in
+        if keep then kept := !kept lor (1 lsl b)
+      end
+    done;
+    Lepower_prof.Phase.leave tok;
+    !kept
+  in
+  let rec go depth mc running sleep =
+    if depth > acc.a_max_depth then acc.a_max_depth <- depth;
+    let leaf = running = 0 || depth >= opts.o_max_steps in
+    let proceed sleep =
+      acc.a_configs <- acc.a_configs + 1;
+      if acc.a_configs land 8191 = 0 then
+        (match tick with Some f -> f acc | None -> ());
+      if running = 0 then begin
+        match (analyze, on_terminal) with
+        | None, None -> acc.a_terminals <- acc.a_terminals + 1
+        | _ ->
+          mc_now := mc;
+          (* One view per terminal, shared by both hooks, so the
+             soundness guard sees every access the leaf performed. *)
+          let view = Engine.Config_view.of_machine_flat m ~replay in
+          (match analyze with None -> () | Some f -> f view decisions);
+          acc.a_terminals <- acc.a_terminals + 1;
+          (match on_terminal with None -> () | Some f -> f view decisions)
+      end
+      else if depth >= opts.o_max_steps then begin
+        acc.a_truncated <- acc.a_truncated + 1;
+        match on_truncated with
+        | None -> ()
+        | Some f ->
+          mc_now := mc;
+          f (Engine.Config_view.of_machine_flat m ~replay) decisions
+      end
+      else begin
+        if running >= 2 || opts.o_crash_faults then
+          acc.a_choice_points <- acc.a_choice_points + 1;
+        let accs =
+          if opts.o_por then Array.init n (Engine.Machine.access_enc m)
+          else [||]
+        in
+        let explored = ref 0 in
+        for pid = 0 to n - 1 do
+          if Engine.Machine.is_running m pid then begin
+            (if sleep land (1 lsl pid) <> 0 then
+               acc.a_pruned <- acc.a_pruned + 1
+             else begin
+               let child_sleep =
+                 if opts.o_por then
+                   child_sleep_of accs (!explored lor sleep) pid false
+                 else 0
+               in
+               let f = frame_at mc in
+               let saved_hist = histories.(pid) in
+               let saved_ssum = !store_sum and saved_psum = !proc_sum in
+               Engine.Machine.step_frame m pid f;
+               (if opts.o_dedup then begin
+                  (if Engine.Machine.frame_step_event m f then begin
+                     let loc = Engine.Machine.frame_loc m f in
+                     let seed = seeds.(Engine.Machine.frame_loc_id m f) in
+                     histories.(pid) <-
+                       extend pid histories.(pid) ~loc
+                         ~op:(Engine.Machine.frame_op m f)
+                         ~result:(Engine.Machine.frame_result m f);
+                     store_sum :=
+                       !store_sum
+                       - Memory.Value.hash_fold seed
+                           (Engine.Machine.frame_old_state m f)
+                       + Memory.Value.hash_fold seed
+                           (Engine.Machine.frame_new_state m f)
+                   end);
+                  proc_sum :=
+                    !proc_sum
+                    - Fingerprint.proc_hash ~pid Proc.Running saved_hist
+                    + Fingerprint.proc_hash ~pid
+                        (Engine.Machine.status m pid)
+                        histories.(pid)
+                end);
+               Array.unsafe_set path mc pid;
+               go (depth + 1) (mc + 1)
+                 (if Engine.Machine.is_running m pid then running
+                  else running - 1)
+                 child_sleep;
+               Engine.Machine.undo_frame m f;
+               histories.(pid) <- saved_hist;
+               store_sum := saved_ssum;
+               proc_sum := saved_psum;
+               if opts.o_por then explored := !explored lor (1 lsl pid)
+             end);
+            if opts.o_crash_faults then begin
+              if sleep land (1 lsl (n + pid)) <> 0 then
+                acc.a_pruned <- acc.a_pruned + 1
+              else begin
+                let child_sleep =
+                  if opts.o_por then
+                    child_sleep_of accs (!explored lor sleep) pid true
+                  else 0
+                in
+                let saved_psum = !proc_sum in
+                Engine.Machine.crash_frame m pid;
+                (if opts.o_dedup then
+                   proc_sum :=
+                     !proc_sum
+                     - Fingerprint.proc_hash ~pid Proc.Running histories.(pid)
+                     + Fingerprint.proc_hash ~pid Proc.Crashed histories.(pid));
+                Array.unsafe_set path mc (-pid - 1);
+                go depth (mc + 1) (running - 1) child_sleep;
+                Engine.Machine.uncrash_frame m pid;
+                proc_sum := saved_psum;
+                if opts.o_por then explored := !explored lor (1 lsl (n + pid))
+              end
+            end
+          end
+        done
+      end
+    in
+    match visited with
+    | None -> proceed sleep
+    | Some tbl -> (
+      let tok = Lepower_prof.Phase.enter ph_fingerprint in
+      let action =
+        let h =
+          Fingerprint.combine ~store_sum:!store_sum ~proc_sum:!proc_sum
+        in
+        match rtbl_find tbl m histories h with
+        | None ->
+          rtbl_add tbl m histories h (if leaf then 0 else sleep);
+          `Proceed sleep
+        | Some e when leaf || e.re_sleep land lnot sleep = 0 -> `Dedup
+        | Some e ->
+          let sleep = sleep land e.re_sleep in
+          e.re_sleep <- sleep;
+          `Proceed sleep
+      in
+      Lepower_prof.Phase.leave tok;
+      match action with
+      | `Dedup -> acc.a_deduped <- acc.a_deduped + 1
+      | `Proceed sleep -> proceed sleep)
+  in
+  let running0 = ref 0 in
+  for pid = 0 to n - 1 do
+    if Engine.Machine.is_running m pid then incr running0
+  done;
+  go depth0 0 !running0 0;
+  m
+
 (* Backend dispatch for one DFS item — the single worker entry point for
    both the [domains <= 1] path and the frontier workers. *)
 let explore_item ~opts ~acc ?tick ~visited ~analyze ~on_terminal
     ~on_truncated ~on_lowering item =
   match opts.o_backend with
   | Engine.Persistent ->
-    explore_seq ~opts ~acc ?tick ~visited ~analyze ~on_terminal ~on_truncated
-      item
+    explore_seq ~opts ~acc ?tick ~visited:(visited_lists visited) ~analyze
+      ~on_terminal ~on_truncated item
   | Engine.Arena -> (
     let m =
       if
         (not opts.o_dedup) && (not opts.o_por) && (not opts.o_verify)
         && visited = None
-      then explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
-             ~on_truncated item
-      else
-        explore_seq_arena ~opts ~acc ?tick ~visited ~analyze ~on_terminal
+      then
+        explore_arena_naive ~opts ~acc ?tick ~analyze ~on_terminal
           ~on_truncated item
+      else if opts.o_reduced then
+        explore_arena_reduced ~opts ~acc ?tick
+          ~visited:(visited_bits visited) ~analyze ~on_terminal ~on_truncated
+          item
+      else
+        (* Lockstep shadow ([verify_backend]) or an oversized move
+           alphabet: the journaled reference walk. *)
+        explore_seq_arena ~opts ~acc ?tick ~visited:(visited_lists visited)
+          ~analyze ~on_terminal ~on_truncated item
     in
     match on_lowering with
     | None -> ()
@@ -867,10 +1269,7 @@ let run_parallel ~opts ~acc ~domains ~progress ~analyze ~on_terminal
                 notify ()
               in
               let tick = if progress = None then None else Some tick in
-              let visited =
-                if opts.o_dedup then Some (Fingerprint.Tbl.create 1024)
-                else None
-              in
+              let visited = visited_create opts 1024 in
               let failed = ref None in
               let tok = Lepower_prof.Phase.enter ph_walk in
               (try
@@ -921,7 +1320,7 @@ let drop_path f = Option.map (fun g view _rpath -> g view) f
    only what actually needs it (the analyze hook, failure recording). *)
 let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
     ~on_truncated config =
-  let opts = opts_of options in
+  let opts = opts_of options ~n_procs:(Array.length config.Engine.procs) in
   let domains = options.Options.domains in
   (* The lowering report fires once per DFS item, not per configuration,
      so a mutex around it is cheap even on the hottest runs. *)
@@ -975,9 +1374,7 @@ let explore_inner ~serialize ~(options : Options.t) ~analyze ~on_terminal
       (fun () ->
         let progress = options.Options.progress in
         if domains <= 1 then begin
-          let visited =
-            if opts.o_dedup then Some (Fingerprint.Tbl.create 4096) else None
-          in
+          let visited = visited_create opts 4096 in
           let tick =
             Option.map
               (fun f (acc : acc) ->
@@ -1134,36 +1531,3 @@ let decision_sets ?(options = Options.default) config =
        config);
   Vtbl.fold (fun _ ds acc -> ds :: acc) sets []
   |> List.sort (List.compare Memory.Value.compare)
-
-
-(* ------------------------------------------------------------------ *)
-(* One-release legacy shims (PR-4 style): the [Engine.config]-taking   *)
-(* hook shapes, kept for one release so downstream callers migrate at  *)
-(* leisure.  Each wraps the old callback over [Config_view.config] —   *)
-(* the materializing slow path, exactly the per-terminal cost the view *)
-(* API removes — so new code should take the view directly.            *)
-
-let lift_config_hook f =
-  Option.map (fun g view -> g (Engine.Config_view.config view)) f
-
-let explore_legacy ?(options = Options.default) ?analyze ?on_terminal
-    ?on_truncated config =
-  let pick shim kept = match lift_config_hook shim with
-    | Some _ as s -> s
-    | None -> kept
-  in
-  let options =
-    {
-      options with
-      Options.analyze = pick analyze options.Options.analyze;
-      on_terminal = pick on_terminal options.Options.on_terminal;
-      on_truncated = pick on_truncated options.Options.on_truncated;
-    }
-  in
-  explore ~options config
-
-let check_all_legacy ?(options = Options.default) config predicate =
-  (* Materializing marks the view as order-accessed, so the legacy
-     entry keeps the old documented-caveat behavior: no guard. *)
-  check_all_gen ~guard:false ~options config (fun view ->
-      predicate (Engine.Config_view.config view))

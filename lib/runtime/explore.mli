@@ -59,9 +59,9 @@
     configuration).  Predicates that stick to the view's O(1)/O(procs)
     accessors cost nothing per terminal on the arena backend; calling
     {!Engine.Config_view.config} materializes the old full
-    configuration as a slow fallback.  The previous
-    [Engine.config]-taking shapes remain for one release as
-    {!explore_legacy} / {!check_all_legacy}. *)
+    configuration as a slow fallback.  (The pre-view
+    [Engine.config]-taking entry points survived one release as
+    deprecated [*_legacy] shims and have been removed.) *)
 
 type stats = {
   terminals : int;  (** complete executions enumerated *)
@@ -125,12 +125,18 @@ module Options : sig
             compiled programs, mutable store, O(1) snapshot/undo on
             backtrack, incremental fingerprint sums — and is
             substantially faster; verdicts, statistics, decision sets
-            and reported witness paths are identical.  A program whose
-            compiled form outgrows its node budget transparently falls
-            back to closure interpretation (see
-            {!Program.Compiled}/[on_lowering]); the frontier split under
-            [domains] stays persistent either way (it is shallow and
-            exact). *)
+            and reported witness paths are identical.  With [dedup]
+            and/or [por] the walk is journal-free between choice
+            points: per-move undo lives in stack frames
+            ({!Engine.Machine.step_frame}), sleep sets are int bitsets,
+            and the dedup key is maintained incrementally from each
+            step's store delta, so no full configuration is ever
+            materialized on the hot path (see DESIGN.md §7 for the
+            contract).  A program whose compiled form outgrows its node
+            budget transparently falls back to closure interpretation
+            (see {!Program.Compiled}/[on_lowering]); the frontier split
+            under [domains] stays persistent either way (it is shallow
+            and exact). *)
     verify_backend : bool;
         (** debug flag (default [false], [Arena] only): shadow every
             machine step with the persistent reference and [failwith] on
@@ -263,37 +269,3 @@ val decision_sets :
     across all modes.  [options.on_terminal] (if any) still runs after
     the internal recording; other callbacks pass through unchanged. *)
 
-(** {1 Legacy shims (one release)}
-
-    The [Engine.config]-taking hook shapes from before the
-    {!Engine.Config_view} redesign.  Both materialize a full persistent
-    configuration per terminal — the exact per-terminal cost the view
-    API removes — and will be deleted next release. *)
-
-val explore_legacy :
-  ?options:Options.t ->
-  ?analyze:(Engine.config -> unit) ->
-  ?on_terminal:(Engine.config -> unit) ->
-  ?on_truncated:(Engine.config -> unit) ->
-  Engine.config ->
-  stats
-[@@ocaml.deprecated
-  "use Explore.explore with Config_view-taking Options hooks; this shim \
-   materializes a full config per terminal and will be removed next \
-   release"]
-(** {!explore}, with old-style configuration-taking callbacks (each, when
-    given, overrides the corresponding [options] field). *)
-
-val check_all_legacy :
-  ?options:Options.t ->
-  Engine.config ->
-  (Engine.config -> (unit, string) result) ->
-  (stats, violation) result
-[@@ocaml.deprecated
-  "use Explore.check_all with a Config_view-taking predicate; this shim \
-   materializes a full config per terminal and will be removed next \
-   release"]
-(** {!check_all}, with an old-style configuration-taking predicate.
-    The {!Unsound_predicate} guard is disabled (materializing always
-    counts as an order access): the documented soundness caveat is the
-    caller's responsibility, as before. *)

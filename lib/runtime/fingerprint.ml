@@ -26,6 +26,60 @@ let history_extend_op tl ~loc ~op ~result =
 let history_extend tl (e : Trace.event) =
   history_extend_op tl ~loc:e.Trace.loc ~op:e.Trace.op ~result:e.Trace.result
 
+(* Hash-consed extension.  Exploration revisits the same configuration
+   along many interleavings; without consing each route rebuilds its own
+   structurally-equal history spine, and every visited-set hit then pays
+   a full structural walk to prove equality.  Consing on
+   (physical tail, event) makes re-derived histories physically equal —
+   programs are deterministic, so re-extending the same tail in the same
+   state appends the same event — and [history_equal]'s [==] shortcut
+   turns hit-side comparison into a pointer check.  The table is scoped
+   by the caller (one per walk): consing is an optimization, never a
+   semantic requirement, and un-consed histories still compare fine. *)
+type hcons = { mutable hc_buckets : history list array; mutable hc_count : int }
+
+let hcons_create size = { hc_buckets = Array.make (max 16 size) []; hc_count = 0 }
+
+let history_extend_hc hc tl ~loc ~op ~result =
+  let h =
+    String.fold_left
+      (fun h c -> mix h (Char.code c))
+      (mix (history_hash tl) 0x1f) loc
+  in
+  let h = Value.hash_fold (Value.hash_fold h op) result in
+  let idx = h land max_int mod Array.length hc.hc_buckets in
+  let rec scan = function
+    | (Ev e as ev) :: rest ->
+      if
+        e.h = h && e.tl == tl
+        && String.equal e.loc loc
+        && Value.equal e.op op
+        && Value.equal e.result result
+      then Some ev
+      else scan rest
+    | (Nil :: _ | []) -> None
+  in
+  match scan hc.hc_buckets.(idx) with
+  | Some ev -> ev
+  | None ->
+    (if hc.hc_count >= 2 * Array.length hc.hc_buckets then begin
+       let bs = Array.make (2 * Array.length hc.hc_buckets) [] in
+       Array.iter
+         (List.iter (fun ev ->
+              let i =
+                (match ev with Ev e -> e.h | Nil -> 0) land max_int
+                mod Array.length bs
+              in
+              bs.(i) <- ev :: bs.(i)))
+         hc.hc_buckets;
+       hc.hc_buckets <- bs
+     end);
+    let ev = Ev { loc; op; result; h; tl } in
+    let idx = h land max_int mod Array.length hc.hc_buckets in
+    hc.hc_buckets.(idx) <- ev :: hc.hc_buckets.(idx);
+    hc.hc_count <- hc.hc_count + 1;
+    ev
+
 let rec history_equal a b =
   a == b
   ||
@@ -68,10 +122,10 @@ type t = {
    arena-backed explorer maintains the configuration hash in O(1) per
    step instead of rehashing every binding and process. *)
 
-let store_binding_hash loc v =
-  Value.hash_fold
-    (String.fold_left (fun h c -> mix h (Char.code c)) (mix 0x811c9dc5 0x7f) loc)
-    v
+let store_seed loc =
+  String.fold_left (fun h c -> mix h (Char.code c)) (mix 0x811c9dc5 0x7f) loc
+
+let store_binding_hash loc v = Value.hash_fold (store_seed loc) v
 
 let proc_hash ~pid status hist =
   mix (mix (mix 0x9e3779b9 (pid + 1)) (status_hash status)) (history_hash hist)

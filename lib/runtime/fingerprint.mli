@@ -39,7 +39,36 @@ val history_extend_op :
     the arena-backed explorer extends histories straight from the
     machine's step delta. *)
 
+type hcons
+(** A hash-consing table for history extension, scoped to one walk. *)
+
+val hcons_create : int -> hcons
+
+val history_extend_hc :
+  hcons ->
+  history ->
+  loc:string ->
+  op:Memory.Value.t ->
+  result:Memory.Value.t ->
+  history
+(** {!history_extend_op} through a consing table: re-extending the same
+    (physical) tail with an equal event returns the {e same} history
+    block, so histories re-derived along commuting interleavings become
+    physically equal and {!history_equal}'s identity shortcut makes
+    visited-set hits O(procs) pointer checks instead of full spine
+    walks.  Purely an optimization — the returned history is
+    structurally identical to {!history_extend_op}'s, with the same
+    hash, and compares correctly against un-consed histories. *)
+
 val history_hash : history -> int
+
+val history_equal : history -> history -> bool
+(** Structural equality on [(loc, op, result)] triples, physical-identity
+    shortcut first — sibling branches share spines, so comparing a stored
+    history against a live one is usually O(1).  This is the per-process
+    component of {!equal}, exposed for visited-set implementations that
+    keep histories outside the fingerprint record (the journal-free
+    reduced walk's snapshot table). *)
 
 type t
 (** A fingerprint: canonical store bindings + per-process status and
@@ -69,6 +98,13 @@ val hash : t -> int
 
 val store_binding_hash : string -> Memory.Value.t -> int
 (** The store sum's term for one [loc -> state] binding. *)
+
+val store_seed : string -> int
+(** The location-only prefix of {!store_binding_hash}:
+    [store_binding_hash loc v = Memory.Value.hash_fold (store_seed loc) v].
+    Locations are fixed for the lifetime of a walk, so a hot loop can
+    precompute the seed per location and skip the string fold on every
+    step delta. *)
 
 val proc_hash : pid:int -> Proc.status -> history -> int
 (** The process sum's term for one process (the pid is baked into the

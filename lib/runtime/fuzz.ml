@@ -240,10 +240,3 @@ let campaign ?(runs = 256) ?(seed = 1) ?(max_steps = 1_000)
         }
   in
   go 0 0 0
-
-let campaign_legacy ?runs ?seed ?max_steps ?plan ?kind ?shrink ?subject
-    ?backend ?progress ~failing fresh_config =
-  campaign ?runs ?seed ?max_steps ?plan ?kind ?shrink ?subject ?backend
-    ?progress
-    ~failing:(fun view -> failing (Engine.Config_view.config view))
-    fresh_config

@@ -123,23 +123,3 @@ val campaign :
     The certificate embeds [subject] so [lepower replay] can rebuild
     the instance.  Equal seeds yield equal certificates across
     backends (see {!run}). *)
-
-val campaign_legacy :
-  ?runs:int ->
-  ?seed:int ->
-  ?max_steps:int ->
-  ?plan:Faults.plan ->
-  ?kind:sched_kind ->
-  ?shrink:bool ->
-  ?subject:Lepower_obs.Json.t ->
-  ?backend:Engine.backend ->
-  ?progress:(progress -> unit) ->
-  failing:(Engine.config -> string option) ->
-  (unit -> Engine.config) ->
-  outcome
-[@@ocaml.deprecated
-  "use Fuzz.campaign with a Config_view-taking predicate; this shim \
-   materializes a full config per run and will be removed next release"]
-(** {!campaign} with the pre-{!Engine.Config_view} predicate shape:
-    materializes every run's final configuration (the cost {!campaign}
-    now avoids).  One release only. *)

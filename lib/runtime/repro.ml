@@ -360,11 +360,6 @@ let shrink ?(budget = 4_000) ~failing ~config0 t =
     in
     (cert, { attempts = !attempts; original; shrunk = List.length shrunk })
 
-let shrink_legacy ?budget ~failing ~config0 t =
-  shrink ?budget
-    ~failing:(fun view -> failing (Engine.Config_view.config view))
-    ~config0 t
-
 (* ------------------------------------------------------------------ *)
 (* Serialization: one strict Lepower_obs.Json document.                *)
 

@@ -186,18 +186,6 @@ val shrink :
     Observability: wrapped in a ["repro.shrink"] span; maintains
     [repro.replays] and [repro.shrink_attempts] counters. *)
 
-val shrink_legacy :
-  ?budget:int ->
-  failing:(Engine.config -> bool) ->
-  config0:Engine.config ->
-  t ->
-  t * shrink_stats
-[@@ocaml.deprecated
-  "use Repro.shrink with a Config_view-taking predicate; this shim will \
-   be removed next release"]
-(** {!shrink} with the pre-{!Engine.Config_view} predicate shape.  One
-    release only. *)
-
 (** {1 Serialization} *)
 
 val to_json : t -> Lepower_obs.Json.t

@@ -63,12 +63,21 @@ let test_random_ops () =
   let locs = Array.of_list (List.map (fun (name, _, _) -> name) bindings) in
   let ops = Array.of_list (List.map (fun (_, _, ops) -> ops) bindings) in
   let n_locs = Array.length locs in
+  let sum_scratch bs =
+    List.fold_left
+      (fun acc (l, v) -> acc + Fingerprint.store_binding_hash l v)
+      0 bs
+  in
   List.iter
     (fun seed ->
       let rng = mk_rng seed in
       let arena = Arena.of_store store0 in
       let store = ref store0 in
-      (* a stack of (persistent snapshot, arena mark) checkpoints *)
+      (* the store half of the fingerprint sum, maintained incrementally
+         through pokes, freezes, ops and undos exactly as the reduced
+         walk maintains it through step frames *)
+      let sum = ref (sum_scratch (Store.state_bindings store0)) in
+      (* a stack of (persistent snapshot, arena mark, sum) checkpoints *)
       let saves = ref [] in
       for i = 0 to 399 do
         let li = rng n_locs in
@@ -79,34 +88,54 @@ let test_random_ops () =
           (* poke both to the same (type-respecting) value: replay the
              object's init state *)
           let v = (List.nth bindings li |> fun (_, s, _) -> s).Spec.init in
+          let old = Option.get (Arena.peek arena loc) in
           store := Store.poke !store loc v;
-          Arena.poke arena loc v
+          Arena.poke arena loc v;
+          sum :=
+            !sum
+            - Fingerprint.store_binding_hash loc old
+            + Fingerprint.store_binding_hash loc v
         | 1 ->
+          (* stuck-at fault: spec swapped, state binding untouched — no
+             sum delta *)
           store := Store.freeze !store loc;
           Arena.freeze arena loc
-        | 2 -> saves := (!store, Arena.mark arena) :: !saves
+        | 2 -> saves := (!store, Arena.mark arena, !sum) :: !saves
         | 3 -> (
           match !saves with
           | [] -> ()
-          | (s, mk) :: rest ->
+          | (s, mk, sv) :: rest ->
             saves := rest;
             store := s;
+            sum := sv;
             Arena.undo_to arena mk)
         | _ -> (
           let pid = rng 4 in
           let op = ops.(li).(rng (Array.length ops.(li))) in
+          let old = Option.get (Arena.peek arena loc) in
           match (Store.apply !store ~pid loc op, Arena.apply arena ~pid loc op)
           with
           | Ok (store', rp), Ok ra ->
             store := store';
-            Alcotest.check value (msg ^ ": result") rp ra
+            Alcotest.check value (msg ^ ": result") rp ra;
+            let nw = Option.get (Arena.peek arena loc) in
+            sum :=
+              !sum
+              - Fingerprint.store_binding_hash loc old
+              + Fingerprint.store_binding_hash loc nw
           | Error ep, Error ea ->
             Alcotest.(check string) (msg ^ ": error") ep ea
           | Ok _, Error e ->
             Alcotest.failf "%s: persistent Ok but arena Error %s" msg e
           | Error e, Ok _ ->
             Alcotest.failf "%s: persistent Error %s but arena Ok" msg e));
-        check_agree ~msg !store arena
+        check_agree ~msg !store arena;
+        (* both backends agree binding-for-binding (just checked), so one
+           from-scratch fold pins the incremental sum for both *)
+        Alcotest.(check int)
+          (msg ^ ": incremental store sum")
+          (sum_scratch (Arena.state_bindings arena))
+          !sum
       done)
     [ 1; 7; 42; 1994 ]
 
@@ -114,50 +143,121 @@ let test_random_ops () =
 
 let cas_instance = Protocols.Cas_election.instance ~k:4 ~n:3
 
+(* The property the journal-free reduced walk rests on (DESIGN.md §7):
+   fingerprint sums maintained in O(1) from each move's delta equal the
+   from-scratch computation — through ordinary steps, decides, crashes,
+   stuck-at freezes and lost writes — on {e both} backends, with the
+   machine staying digest-lockstep with the persistent engine under the
+   same schedule. *)
 let test_incremental_sums () =
-  let config0 = Protocols.Election.config cas_instance in
-  let n = Array.length config0.Engine.procs in
-  let m = Machine.of_config config0 in
-  let histories = Array.make n Fingerprint.history_empty in
-  let store_sum0, proc_sum0 = Fingerprint.sums config0 histories in
-  let store_sum = ref store_sum0 and proc_sum = ref proc_sum0 in
-  let rng = mk_rng 13 in
-  for i = 0 to 199 do
-    match Machine.enabled m with
-    | [] -> ()
-    | en ->
-      let pid = List.nth en (rng (List.length en)) in
-      let status_before = Machine.status m pid in
-      let hist_before = histories.(pid) in
-      Machine.step m pid;
-      if Machine.last_step_event m then begin
-        let loc = Machine.last_loc m in
-        (* store sum: one binding changed *)
-        store_sum :=
-          !store_sum
-          - Fingerprint.store_binding_hash loc (Machine.last_old_state m)
-          + Fingerprint.store_binding_hash loc (Machine.last_new_state m);
-        (* proc sum: one process's history (and possibly status) changed *)
-        histories.(pid) <-
-          Fingerprint.history_extend_op histories.(pid) ~loc
-            ~op:(Machine.last_op m) ~result:(Machine.last_result m);
-        proc_sum :=
-          !proc_sum
-          - Fingerprint.proc_hash ~pid status_before hist_before
-          + Fingerprint.proc_hash ~pid (Machine.status m pid) histories.(pid)
-      end;
-      let s, p = Fingerprint.sums (Machine.config m) histories in
-      Alcotest.(check int) (Printf.sprintf "step %d: store sum" i) s !store_sum;
-      Alcotest.(check int) (Printf.sprintf "step %d: proc sum" i) p !proc_sum;
-      Alcotest.(check bool)
-        (Printf.sprintf "step %d: combine non-negative" i)
-        true
-        (Fingerprint.combine ~store_sum:!store_sum ~proc_sum:!proc_sum >= 0)
-  done
+  List.iter
+    (fun seed ->
+      let config0 = Protocols.Election.config cas_instance in
+      let n = Array.length config0.Engine.procs in
+      let locs = Array.of_list (Store.locs config0.Engine.store) in
+      let m = Machine.of_config config0 in
+      let pc = ref config0 in
+      let histories = Array.make n Fingerprint.history_empty in
+      let store_sum0, proc_sum0 = Fingerprint.sums config0 histories in
+      let store_sum = ref store_sum0 and proc_sum = ref proc_sum0 in
+      let rng = mk_rng seed in
+      for i = 0 to 299 do
+        (match Machine.enabled m with
+        | [] -> ()
+        | en ->
+          let pid = List.nth en (rng (List.length en)) in
+          let status_before = Machine.status m pid in
+          let hist_before = histories.(pid) in
+          (* one process's history (and possibly status) changed *)
+          let bump_proc () =
+            proc_sum :=
+              !proc_sum
+              - Fingerprint.proc_hash ~pid status_before hist_before
+              + Fingerprint.proc_hash ~pid (Machine.status m pid)
+                  histories.(pid)
+          in
+          let record_event ~store_delta =
+            if Machine.last_step_event m then begin
+              let loc = Machine.last_loc m in
+              if store_delta then
+                store_sum :=
+                  !store_sum
+                  - Fingerprint.store_binding_hash loc
+                      (Machine.last_old_state m)
+                  + Fingerprint.store_binding_hash loc
+                      (Machine.last_new_state m);
+              histories.(pid) <-
+                Fingerprint.history_extend_op histories.(pid) ~loc
+                  ~op:(Machine.last_op m) ~result:(Machine.last_result m)
+            end
+          in
+          match rng 12 with
+          | 0 ->
+            Machine.crash m pid;
+            pc := Engine.crash !pc pid;
+            bump_proc ()
+          | 1 ->
+            (* stuck-at freeze replaces a spec but no state binding, so
+               the canonical fingerprint — states, statuses, histories —
+               sees no delta at all *)
+            let loc = locs.(rng (Array.length locs)) in
+            Machine.freeze m loc;
+            pc := { !pc with Engine.store = Store.freeze !pc.Engine.store loc }
+          | 2 ->
+            (* lost write: the event (and so the history term) happens,
+               the store delta does not *)
+            Machine.step_lost m pid;
+            pc := Engine.step_lost !pc pid;
+            record_event ~store_delta:false;
+            bump_proc ()
+          | _ ->
+            Machine.step m pid;
+            pc := Engine.step !pc pid;
+            record_event ~store_delta:true;
+            bump_proc ());
+        let s, p = Fingerprint.sums (Machine.config m) histories in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d move %d: arena store sum" seed i)
+          s !store_sum;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d move %d: arena proc sum" seed i)
+          p !proc_sum;
+        let s', p' = Fingerprint.sums !pc histories in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d move %d: persistent store sum" seed i)
+          s' !store_sum;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d move %d: persistent proc sum" seed i)
+          p' !proc_sum;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d move %d: combine non-negative" seed i)
+          true
+          (Fingerprint.combine ~store_sum:!store_sum ~proc_sum:!proc_sum >= 0)
+      done;
+      (* the per-location seed identity the hot loop's precomputed
+         [store_seed] array relies on *)
+      List.iter
+        (fun (loc, v) ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: store_seed identity at %s" seed loc)
+            (Fingerprint.store_binding_hash loc v)
+            (Value.hash_fold (Fingerprint.store_seed loc) v))
+        (Store.state_bindings !pc.Engine.store);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: final digest lockstep" seed)
+        (Fingerprint.digest !pc)
+        (Fingerprint.digest (Machine.config m)))
+    [ 13; 99; 4096 ]
 
 (* --- whole-space agreement across backends --- *)
 
-let modes = [ ("naive", false, false); ("dedup", true, false); ("dedup+por", true, true) ]
+let modes =
+  [
+    ("naive", false, false);
+    ("dedup", true, false);
+    ("por", false, true);
+    ("dedup+por", true, true);
+  ]
 
 let opts ~dedup ~por backend =
   {
@@ -200,18 +300,21 @@ let test_decision_sets_agree () =
 
 let test_verify_backend () =
   (* The lockstep debug flag shadows every machine move with the
-     persistent reference and fails on the first divergence. *)
-  let stats =
-    Protocols.Election.explore_stats cas_instance ~max_steps:60
-      ~options:
-        {
-          (opts ~dedup:false ~por:false Engine.Arena) with
-          verify_backend = true;
-        }
-  in
-  match stats with
-  | Ok _ -> ()
-  | Error e -> Alcotest.failf "verify_backend run failed: %s" e
+     persistent reference and fails on the first divergence.  Running it
+     per mode also keeps the journaled reduced path (the fallback the
+     lockstep shadow runs on) exercised alongside the journal-free
+     walk. *)
+  List.iter
+    (fun (mode, dedup, por) ->
+      let stats =
+        Protocols.Election.explore_stats cas_instance ~max_steps:60
+          ~options:
+            { (opts ~dedup ~por Engine.Arena) with verify_backend = true }
+      in
+      match stats with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: verify_backend run failed: %s" mode e)
+    modes
 
 (* --- fuzz certificates: identical across backends, replay on both --- *)
 

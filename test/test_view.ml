@@ -1,20 +1,16 @@
 (* Engine.Config_view: the backend-neutral read surface every checker
-   now goes through.  Four contracts are pinned here:
+   now goes through.  Three contracts are pinned here:
 
    - accessor equivalence: on lockstep random walks the zero-copy
      machine-backed view, the persistent-config view and the
      materializing fallback agree on every accessor;
    - digest-pinned verdicts: check_all verdicts (stats and violations
      alike) and decision sets are byte-identical across backends in
-     every reduction mode;
+     every reduction mode — including the journal-free reduced arena
+     walk the dedup/por/dedup+por modes dispatch to;
    - the soundness guard: an order-inspecting predicate under dedup/por
      raises Unsound_predicate, order-free predicates and unreduced runs
-     never do;
-   - the one-release legacy shims produce the same verdicts and
-     certificates as the view-based API they wrap. *)
-
-[@@@alert "-deprecated"]
-[@@@ocaml.warning "-3"]
+     never do. *)
 
 module Value = Memory.Value
 module Store = Memory.Store
@@ -161,7 +157,12 @@ let test_accessors_agree () =
 (* --- digest-pinned cross-backend verdicts --- *)
 
 let modes =
-  [ ("naive", false, false); ("dedup", true, false); ("dedup+por", true, true) ]
+  [
+    ("naive", false, false);
+    ("dedup", true, false);
+    ("por", false, true);
+    ("dedup+por", true, true);
+  ]
 
 let opts ~dedup ~por backend =
   {
@@ -273,81 +274,6 @@ let test_guard_sees_analyze_hook () =
   | exception Explore.Unsound_predicate _ -> ()
   | _ -> Alcotest.fail "dedup + order-accessing analyze hook must raise"
 
-(* --- legacy shims: same verdicts, same certificates --- *)
-
-let test_legacy_check_all () =
-  let config = Election.config cas_instance in
-  let options = { Explore.Options.default with max_steps = 60 } in
-  let fresh = Explore.check_all ~options config
-      (Election.check_config cas_instance)
-  in
-  let legacy =
-    Explore.check_all_legacy ~options config
-      (Election.check_config_legacy cas_instance)
-  in
-  Alcotest.(check string)
-    "legacy shim verdict byte-identical" (digest_of fresh) (digest_of legacy)
-
-let test_legacy_explore_hooks () =
-  let config = Election.config cas_instance in
-  let count hooks_run run =
-    hooks_run := 0;
-    let stats = run () in
-    (stats.Explore.terminals, !hooks_run)
-  in
-  let seen_new = ref 0 and seen_old = ref 0 in
-  let t_new, n_new =
-    count seen_new (fun () ->
-        Explore.explore
-          ~options:
-            {
-              Explore.Options.default with
-              max_steps = 60;
-              on_terminal = Some (fun _view -> incr seen_new);
-            }
-          config)
-  in
-  let t_old, n_old =
-    count seen_old (fun () ->
-        Explore.explore_legacy ~on_terminal:(fun _config -> incr seen_old)
-          ~options:{ Explore.Options.default with max_steps = 60 }
-          config)
-  in
-  Alcotest.(check int) "same terminals" t_new t_old;
-  Alcotest.(check int) "view hook ran per terminal" t_new n_new;
-  Alcotest.(check int) "legacy hook ran per terminal" t_old n_old
-
-let test_legacy_campaign () =
-  let inst = Protocols.Bcl_election.overloaded_instance ~k:3 in
-  let fresh_config () = Election.config inst in
-  let failing_view view =
-    match Election.check_partial inst view with
-    | Ok () -> None
-    | Error e -> Some e
-  in
-  let failing_config final =
-    match Election.check_partial_legacy inst final with
-    | Ok () -> None
-    | Error e -> Some e
-  in
-  let outcome_new =
-    Fuzz.campaign ~runs:128 ~seed:1 ~max_steps:200 ~failing:failing_view
-      fresh_config
-  in
-  let outcome_old =
-    Fuzz.campaign_legacy ~runs:128 ~seed:1 ~max_steps:200
-      ~failing:failing_config fresh_config
-  in
-  Alcotest.(check bool)
-    "campaign finds the overloaded-instance bug" true
-    (outcome_new.Fuzz.cert <> None);
-  Alcotest.(check bool)
-    "legacy campaign produces the identical certificate" true
-    (outcome_new.Fuzz.cert = outcome_old.Fuzz.cert);
-  Alcotest.(check bool)
-    "first violation index agrees" true
-    (outcome_new.Fuzz.first_violation = outcome_old.Fuzz.first_violation)
-
 let () =
   Alcotest.run "view"
     [
@@ -370,14 +296,5 @@ let () =
             test_guard_ignores_order_free_predicates;
           Alcotest.test_case "analyze hook shares the view" `Quick
             test_guard_sees_analyze_hook;
-        ] );
-      ( "legacy-shims",
-        [
-          Alcotest.test_case "check_all_legacy verdict" `Quick
-            test_legacy_check_all;
-          Alcotest.test_case "explore_legacy hooks" `Quick
-            test_legacy_explore_hooks;
-          Alcotest.test_case "campaign_legacy certificate" `Quick
-            test_legacy_campaign;
         ] );
     ]
